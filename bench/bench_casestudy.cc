@@ -1,0 +1,80 @@
+// E7 — the measurement studies themselves: simulated completion time of
+// the two case-study computations as workers are added. This is the
+// experiment the *user* of the monitor runs (the Lai & Miller loop: the
+// paper reports the tool led to "substantial improvements" in a program's
+// performance); the monitor's analyses explain the shapes these curves
+// take.
+//
+// Counters:
+//   sim_ms       simulated completion time of the computation
+//   speedup left to EXPERIMENTS.md (ratio of sim_ms across worker counts)
+#include "bench_util.h"
+
+#include "util/strings.h"
+
+namespace dpm::bench {
+namespace {
+
+/// Runs a job to completion and returns the simulated time startjob took.
+double run_job(kernel::World& world, control::MonitorSession& session,
+               const std::vector<std::string>& add_commands) {
+  (void)session.command("filter f1 m0");
+  (void)session.command("newjob study");
+  for (const auto& cmd : add_commands) (void)session.command(cmd);
+  (void)session.command("setflags study all");
+  const double t0 = sim_us(world);
+  (void)session.command("startjob study");
+  world.run();
+  return (sim_us(world) - t0) / 1000.0;
+}
+
+void BM_TspWorkers(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  double total = 0;
+  for (auto _ : state) {
+    auto world = make_world(static_cast<std::size_t>(workers) + 2);
+    control::spawn_meterdaemons(*world);
+    control::MonitorSession session(*world, {.host = "m0", .uid = 100});
+    world->run();
+    (void)session.drain_output();
+    std::vector<std::string> cmds;
+    cmds.push_back(util::strprintf("addprocess study m1 tsp_master 9000 %d 10 7",
+                                   workers));
+    for (int i = 0; i < workers; ++i) {
+      cmds.push_back(util::strprintf("addprocess study m%d tsp_worker m1 9000",
+                                     2 + i));
+    }
+    total += run_job(*world, session, cmds);
+  }
+  state.counters["sim_ms"] = total / static_cast<double>(state.iterations());
+}
+
+void BM_GridNodes(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  double total = 0;
+  for (auto _ : state) {
+    auto world = make_world(static_cast<std::size_t>(nodes) + 1);
+    control::spawn_meterdaemons(*world);
+    control::MonitorSession session(*world, {.host = "m0", .uid = 100});
+    world->run();
+    (void)session.drain_output();
+    std::string hosts;
+    for (int i = 0; i < nodes; ++i) hosts += util::strprintf(" m%d", 1 + i);
+    std::vector<std::string> cmds;
+    for (int i = 0; i < nodes; ++i) {
+      cmds.push_back(util::strprintf(
+          "addprocess study m%d grid_node %d %d 20 48 32 8400%s", 1 + i, i,
+          nodes, hosts.c_str()));
+    }
+    total += run_job(*world, session, cmds);
+  }
+  state.counters["sim_ms"] = total / static_cast<double>(state.iterations());
+}
+
+BENCHMARK(BM_TspWorkers)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GridNodes)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dpm::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+// E3 — filter selection and reduction (§3.4).
+//
+// Measures the FilterEngine directly (real-time throughput, since the
+// filter's own speed is what bounds how much metering a filter machine
+// can absorb), across rule-set sizes and selectivities, plus the
+// trace-size reduction from '#' discard editing.
+//
+// Counters:
+//   records_per_s   decode+select+render throughput (real time)
+//   accept_rate     fraction of records kept
+//   bytes_out_per_record  log bytes per accepted record (discard effect)
+#include <benchmark/benchmark.h>
+
+#include "filter/filter_program.h"
+#include "filter/trace.h"
+#include "meter/metermsgs.h"
+#include "util/strings.h"
+
+namespace dpm::bench {
+namespace {
+
+/// A batch of realistic meter records from several machines/pids.
+util::Bytes make_batch(int records) {
+  util::Bytes out;
+  for (int i = 0; i < records; ++i) {
+    meter::MeterMsg m;
+    switch (i % 4) {
+      case 0:
+        // Some sends hit the paper's Fig 3.3 rule (machine 0, sock 4,
+        // destName 228320140).
+        m.body = meter::MeterSend{i % 7, 0,
+                                  static_cast<meter::SocketId>(i % 8 == 0 ? 4 : 3),
+                                  static_cast<std::uint32_t>(32 + i % 1024),
+                                  i % 8 == 0 ? "228320140" : ""};
+        break;
+      case 1:
+        m.body = meter::MeterRecv{i % 7, 0, 3, 64, "228320140"};
+        break;
+      case 2:
+        m.body = meter::MeterRecvCall{i % 7, 0, 3};
+        break;
+      default:
+        m.body = meter::MeterAccept{i % 7, 0, 4, 5, "131073", "196612"};
+        break;
+    }
+    m.header.machine = static_cast<std::uint16_t>(i % 8 == 0 ? 0 : 1 + i % 5);
+    m.header.cpu_time = 1000 * i;
+    m.header.proc_time = 10000 * (i / 16);
+    auto wire = m.serialize();
+    out.insert(out.end(), wire.begin(), wire.end());
+  }
+  return out;
+}
+
+filter::FilterEngine make_engine(const std::string& rules) {
+  auto d = filter::Descriptions::parse(filter::default_descriptions_text());
+  auto t = filter::Templates::parse(rules);
+  return filter::FilterEngine(std::move(*d), std::move(*t));
+}
+
+constexpr int kRecords = 2000;
+
+void run_engine(benchmark::State& state, const std::string& rules) {
+  const util::Bytes batch = make_batch(kRecords);
+  std::uint64_t accepted = 0, records = 0, bytes_out = 0;
+  for (auto _ : state) {
+    filter::FilterEngine engine = make_engine(rules);
+    std::string log = engine.feed(1, batch);
+    benchmark::DoNotOptimize(log);
+    accepted += engine.stats().accepted;
+    records += engine.stats().records_in;
+    bytes_out += engine.stats().bytes_out;
+  }
+  state.counters["records_per_s"] = benchmark::Counter(
+      static_cast<double>(records), benchmark::Counter::kIsRate);
+  state.counters["accept_rate"] =
+      static_cast<double>(accepted) / static_cast<double>(records);
+  state.counters["bytes_out_per_record"] =
+      accepted ? static_cast<double>(bytes_out) / static_cast<double>(accepted)
+               : 0.0;
+}
+
+void BM_Filter_NoRules(benchmark::State& state) { run_engine(state, ""); }
+
+void BM_Filter_OneRule(benchmark::State& state) {
+  run_engine(state, "machine=2\n");  // keeps ~20%
+}
+
+void BM_Filter_PaperRules(benchmark::State& state) {
+  // The paper's Fig 3.3 rules verbatim.
+  run_engine(state,
+             "machine=5, cpuTime<10000\n"
+             "machine=0, type=1, sock=4, destName=228320140\n");
+}
+
+void BM_Filter_ManyRules(benchmark::State& state) {
+  std::string rules;
+  for (int i = 0; i < state.range(0); ++i) {
+    rules += util::strprintf("machine=%d, type=%d\n", i % 5, 1 + i % 10);
+  }
+  run_engine(state, rules);
+}
+
+void BM_Filter_DiscardEditing(benchmark::State& state) {
+  // Keep everything but drop four fields from every record (Fig 3.4's
+  // size-reduction technique).
+  run_engine(state, "machine=#*, pid=#*, pc=#*, procTime=#*\n");
+}
+
+void BM_Filter_HighlySelective(benchmark::State& state) {
+  run_engine(state, "type=1, msgLength>900\n");  // keeps a few percent
+}
+
+BENCHMARK(BM_Filter_NoRules);
+BENCHMARK(BM_Filter_OneRule);
+BENCHMARK(BM_Filter_PaperRules);
+BENCHMARK(BM_Filter_ManyRules)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(BM_Filter_DiscardEditing);
+BENCHMARK(BM_Filter_HighlySelective);
+
+}  // namespace
+}  // namespace dpm::bench
+
+BENCHMARK_MAIN();

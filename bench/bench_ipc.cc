@@ -1,0 +1,148 @@
+// E5 — the IPC substrate (§3.1): stream vs datagram behaviour that the
+// monitor's model rests on. Stream throughput and round-trip latency vs
+// message size; local vs remote hops; datagram delivery under loss.
+//
+// Counters:
+//   sim_us_rt        simulated round-trip time
+//   sim_mbytes_per_s simulated stream throughput
+//   delivery_rate    datagrams delivered / sent
+#include "bench_util.h"
+
+namespace dpm::bench {
+namespace {
+
+void BM_StreamRoundTrip(benchmark::State& state) {
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  const bool local = state.range(1) != 0;
+  constexpr int kRounds = 50;
+  double total = 0;
+  for (auto _ : state) {
+    auto world = make_world(2);
+    (void)world->spawn(1, "server", 100, [&](kernel::Sys& sys) {
+      auto ls = sys.socket(kernel::SockDomain::internet,
+                           kernel::SockType::stream);
+      (void)sys.bind_port(*ls, 5000);
+      (void)sys.listen(*ls, 2);
+      auto conn = sys.accept(*ls);
+      for (;;) {
+        auto d = sys.recv_exact(*conn, size);
+        if (!d.ok()) break;
+        if (!sys.send(*conn, *d).ok()) break;
+      }
+    });
+    double elapsed = 0;
+    (void)world->spawn(local ? 1u : 2u, "client", 100, [&](kernel::Sys& sys) {
+      sys.sleep(util::msec(5));
+      auto addr = sys.resolve("m0", 5000);
+      auto fd = sys.socket(kernel::SockDomain::internet,
+                           kernel::SockType::stream);
+      (void)sys.connect(*fd, *addr);
+      util::Bytes msg(size, 0x5a);
+      const double t0 = sim_us(sys.world());
+      for (int i = 0; i < kRounds; ++i) {
+        (void)sys.send(*fd, msg);
+        (void)sys.recv_exact(*fd, size);
+      }
+      elapsed = sim_us(sys.world()) - t0;
+      (void)sys.close(*fd);
+    });
+    world->run();
+    total += elapsed;
+  }
+  state.counters["sim_us_rt"] =
+      total / static_cast<double>(state.iterations()) / kRounds;
+}
+
+void BM_StreamThroughput(benchmark::State& state) {
+  const std::size_t total_bytes = 1 << 20;
+  const std::size_t chunk = static_cast<std::size_t>(state.range(0));
+  double total_us = 0;
+  for (auto _ : state) {
+    auto world = make_world(2);
+    std::size_t received = 0;
+    (void)world->spawn(1, "sink", 100, [&](kernel::Sys& sys) {
+      auto ls = sys.socket(kernel::SockDomain::internet,
+                           kernel::SockType::stream);
+      (void)sys.bind_port(*ls, 5001);
+      (void)sys.listen(*ls, 2);
+      auto conn = sys.accept(*ls);
+      for (;;) {
+        auto d = sys.recv(*conn, 65536);
+        if (!d.ok() || d->empty()) break;
+        received += d->size();
+      }
+    });
+    double elapsed = 0;
+    (void)world->spawn(2, "source", 100, [&](kernel::Sys& sys) {
+      sys.sleep(util::msec(5));
+      auto addr = sys.resolve("m0", 5001);
+      auto fd = sys.socket(kernel::SockDomain::internet,
+                           kernel::SockType::stream);
+      (void)sys.connect(*fd, *addr);
+      util::Bytes msg(chunk, 0x11);
+      const double t0 = sim_us(sys.world());
+      for (std::size_t sent = 0; sent < total_bytes; sent += chunk) {
+        (void)sys.send(*fd, msg);
+      }
+      (void)sys.close(*fd);
+      elapsed = sim_us(sys.world()) - t0;
+    });
+    world->run();
+    total_us += elapsed;
+  }
+  const double secs = total_us / static_cast<double>(state.iterations()) / 1e6;
+  state.counters["sim_mbytes_per_s"] =
+      static_cast<double>(total_bytes) / (1 << 20) / secs;
+}
+
+void BM_DatagramDelivery(benchmark::State& state) {
+  const double loss = static_cast<double>(state.range(0)) / 100.0;
+  constexpr int kCount = 500;
+  std::int64_t delivered = 0;
+  for (auto _ : state) {
+    kernel::WorldConfig cfg;
+    cfg.default_net.dgram_loss = loss;
+    auto world = make_world(2, cfg);
+    std::int64_t got = 0;
+    (void)world->spawn(1, "sink", 100, [&](kernel::Sys& sys) {
+      auto fd = sys.socket(kernel::SockDomain::internet,
+                           kernel::SockType::dgram);
+      (void)sys.bind_port(*fd, 5002);
+      for (;;) {
+        auto sel = sys.select({*fd}, false, util::msec(50));
+        if (!sel.ok() || sel->timed_out) break;
+        if (sys.recvfrom(*fd).ok()) ++got;
+      }
+    });
+    (void)world->spawn(2, "source", 100, [&](kernel::Sys& sys) {
+      sys.sleep(util::msec(5));
+      auto addr = sys.resolve("m0", 5002);
+      auto fd = sys.socket(kernel::SockDomain::internet,
+                           kernel::SockType::dgram);
+      util::Bytes msg(64, 0x22);
+      for (int i = 0; i < kCount; ++i) {
+        (void)sys.sendto(*fd, msg, *addr);
+        sys.sleep(util::usec(200));
+      }
+    });
+    world->run();
+    delivered += got;
+  }
+  state.counters["delivery_rate"] = static_cast<double>(delivered) /
+                                    static_cast<double>(state.iterations()) /
+                                    kCount;
+}
+
+BENCHMARK(BM_StreamRoundTrip)
+    ->Args({64, 0})->Args({1024, 0})->Args({16384, 0})  // remote
+    ->Args({64, 1})->Args({1024, 1})                    // local
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StreamThroughput)->Arg(256)->Arg(4096)->Arg(65536)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DatagramDelivery)->Arg(0)->Arg(5)->Arg(25)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dpm::bench
+
+BENCHMARK_MAIN();

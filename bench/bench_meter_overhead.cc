@@ -1,0 +1,111 @@
+// E1 — metering cost at the kernel (§3.2, §4.1).
+//
+// The paper's design claim: buffering meter messages makes the number of
+// messages sent to the filter "considerably smaller" than the number of
+// events; M_IMMEDIATE trades that for promptness. This benchmark measures
+// (a) the simulated CPU cost added to a metered process per event, and
+// (b) the meter-message amplification, across buffer sizes and the
+// immediate mode.
+//
+// Counters:
+//   sim_us_per_send  simulated cost of one send syscall under this config
+//   events           meter events generated
+//   flushes          meter messages (batches) actually sent
+//   meter_bytes      bytes shipped over the meter connection
+#include "bench_util.h"
+
+namespace dpm::bench {
+namespace {
+
+constexpr int kSends = 400;
+
+/// Runs `kSends` socketpair sends under the given metering mode.
+/// buffer_msgs == 0 means unmetered; immediate==true forces M_IMMEDIATE.
+void run_send_workload(benchmark::State& state, std::uint32_t buffer_msgs,
+                       bool immediate, meter::Flags flags) {
+  double total_sim_us = 0;
+  std::uint64_t events = 0, flushes = 0, bytes = 0;
+
+  for (auto _ : state) {
+    kernel::WorldConfig cfg;
+    if (buffer_msgs > 0) cfg.meter_buffer_msgs = buffer_msgs;
+    cfg.meter_buffer_bytes = 1 << 20;  // count-driven flushing only
+    auto world = make_world(2, cfg);
+
+    // Meter sink on m1.
+    (void)world->spawn(2, "sink", 100, [](kernel::Sys& sys) {
+      auto ls = sys.socket(kernel::SockDomain::internet,
+                           kernel::SockType::stream);
+      (void)sys.bind_port(*ls, 4500);
+      (void)sys.listen(*ls, 4);
+      auto conn = sys.accept(*ls);
+      for (;;) {
+        auto data = sys.recv(*conn, 65536);
+        if (!data.ok() || data->empty()) break;
+      }
+    });
+
+    std::int64_t t0 = 0, t1 = 0;
+    (void)world->spawn(1, "app", 100, [&](kernel::Sys& sys) {
+      sys.sleep(util::msec(5));
+      if (buffer_msgs > 0) {
+        auto addr = sys.resolve("m1", 4500);
+        auto ms = sys.socket(kernel::SockDomain::internet,
+                             kernel::SockType::stream);
+        (void)sys.connect(*ms, *addr);
+        meter::Flags f = flags;
+        if (immediate) f |= meter::M_IMMEDIATE;
+        (void)sys.setmeter(meter::SETMETER_SELF,
+                           static_cast<std::int32_t>(f), *ms);
+        (void)sys.close(*ms);
+      }
+      auto pair = sys.socketpair();
+      t0 = util::count_us(world->now());
+      for (int i = 0; i < kSends; ++i) {
+        (void)sys.send(pair->first, "0123456789abcdef");
+      }
+      t1 = util::count_us(world->now());
+    });
+    world->run();
+
+    total_sim_us += static_cast<double>(t1 - t0);
+    const kernel::MeterStats stats = world->meter_stats();
+    events += stats.events;
+    flushes += stats.flushes;
+    bytes += stats.bytes;
+  }
+
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["sim_us_per_send"] = total_sim_us / iters / kSends;
+  state.counters["events"] = static_cast<double>(events) / iters;
+  state.counters["flushes"] = static_cast<double>(flushes) / iters;
+  state.counters["meter_bytes"] = static_cast<double>(bytes) / iters;
+}
+
+void BM_Unmetered(benchmark::State& state) {
+  run_send_workload(state, 0, false, 0);
+}
+
+void BM_MeteredBuffered(benchmark::State& state) {
+  run_send_workload(state, static_cast<std::uint32_t>(state.range(0)), false,
+                    meter::M_ALL);
+}
+
+void BM_MeteredImmediate(benchmark::State& state) {
+  run_send_workload(state, 1, true, meter::M_ALL);
+}
+
+void BM_MeteredSendFlagOnly(benchmark::State& state) {
+  run_send_workload(state, 8, false, meter::M_SEND);
+}
+
+BENCHMARK(BM_Unmetered)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MeteredBuffered)->Arg(1)->Arg(4)->Arg(8)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MeteredImmediate)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MeteredSendFlagOnly)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dpm::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// E2 — application perturbation (§2.2).
+//
+// "The measurements will cause some degradation of the computation's
+// performance, but this degradation should be kept as small as possible."
+// The workload is a fixed ping-pong exchange; the measured quantity is
+// its simulated completion time with metering off, with each flag subset,
+// buffered vs immediate. The slowdown ratios are what EXPERIMENTS.md
+// reports.
+//
+// Counters:
+//   sim_ms_total   simulated completion time of the whole exchange
+//   sim_us_per_rt  simulated time per round trip
+#include "bench_util.h"
+
+namespace dpm::bench {
+namespace {
+
+constexpr int kRounds = 100;
+
+void run_pingpong(benchmark::State& state, bool metered, meter::Flags flags,
+                  const std::string& filter_host = "m0") {
+  double total_sim_us = 0;
+  for (auto _ : state) {
+    auto world = make_world(3);
+    control::spawn_meterdaemons(*world);
+    control::MonitorSession session(*world, {.host = "m0", .uid = 100});
+    world->run();
+    (void)session.drain_output();
+
+    (void)session.command("filter f1 " + filter_host);
+    (void)session.command("newjob bench");
+    (void)session.command("addprocess bench m1 pingpong_server 5000 " +
+                          std::to_string(kRounds));
+    (void)session.command("addprocess bench m2 pingpong_client m1 5000 " +
+                          std::to_string(kRounds) + " 64");
+    if (metered) {
+      (void)session.command("setflags bench " +
+                            meter::flags_to_string(flags & ~meter::M_IMMEDIATE) +
+                            ((flags & meter::M_IMMEDIATE) ? " immediate" : ""));
+    }
+    const double before = sim_us(*world);
+    std::string out = session.command("startjob bench");
+    const double after = sim_us(*world);
+    total_sim_us += after - before;
+    benchmark::DoNotOptimize(out);
+  }
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["sim_ms_total"] = total_sim_us / iters / 1000.0;
+  state.counters["sim_us_per_rt"] = total_sim_us / iters / kRounds;
+}
+
+void BM_PingPong_Unmetered(benchmark::State& state) {
+  run_pingpong(state, false, 0);
+}
+void BM_PingPong_AllBuffered(benchmark::State& state) {
+  run_pingpong(state, true, meter::M_ALL);
+}
+void BM_PingPong_AllImmediate(benchmark::State& state) {
+  run_pingpong(state, true, meter::M_ALL | meter::M_IMMEDIATE);
+}
+void BM_PingPong_SendReceiveOnly(benchmark::State& state) {
+  run_pingpong(state, true, meter::M_SEND | meter::M_RECEIVE);
+}
+void BM_PingPong_ConnectionEventsOnly(benchmark::State& state) {
+  run_pingpong(state, true,
+               meter::M_ACCEPT | meter::M_CONNECT | meter::M_SOCKET |
+                   meter::M_DESTSOCKET);
+}
+
+// Ablation (§3.4): "There are no restrictions placed on ... the location
+// of the filter ... In situations where filter operations contribute
+// significantly to the system load, this flexibility may be useful."
+// Hosting the filter on the *server's* machine steals that machine's CPU
+// from the computation; a disjoint filter machine does not.
+void BM_PingPong_FilterOnServerMachine(benchmark::State& state) {
+  run_pingpong(state, true, meter::M_ALL, "m1");
+}
+void BM_PingPong_FilterOnDisjointMachine(benchmark::State& state) {
+  run_pingpong(state, true, meter::M_ALL, "m0");
+}
+
+BENCHMARK(BM_PingPong_Unmetered)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PingPong_AllBuffered)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PingPong_AllImmediate)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PingPong_SendReceiveOnly)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PingPong_ConnectionEventsOnly)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PingPong_FilterOnServerMachine)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PingPong_FilterOnDisjointMachine)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace dpm::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+// Shared setup for the benchmark harness.
+//
+// The benchmarks report *simulated* costs (the quantity the paper cares
+// about: how much the monitor perturbs the computation) as benchmark
+// counters, alongside the real-time throughput of the simulator itself.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "control/session.h"
+#include "kernel/syscalls.h"
+#include "kernel/world.h"
+#include "meter/meterflags.h"
+
+namespace dpm::bench {
+
+/// A world with `n` machines named m0..m(n-1), monitor installed, daemons
+/// running, and account 100 everywhere.
+inline std::unique_ptr<kernel::World> make_world(std::size_t n,
+                                                 kernel::WorldConfig cfg = {}) {
+  auto world = std::make_unique<kernel::World>(cfg);
+  for (std::size_t i = 0; i < n; ++i) {
+    world->add_machine("m" + std::to_string(i));
+  }
+  control::install_monitor(*world);
+  apps::install_everywhere(*world);
+  world->add_account_everywhere(100);
+  return world;
+}
+
+/// Simulated microseconds elapsed in the world.
+inline double sim_us(const kernel::World& world) {
+  return static_cast<double>(util::count_us(world.now()));
+}
+
+}  // namespace dpm::bench

@@ -1,0 +1,76 @@
+// Acquiring a running system server (§4.3): "a user may be interested
+// only in monitoring a system server to better understand its behavior."
+//
+// An echo server is already running on red (it was NOT created by the
+// monitor). The session acquires it, watches its traffic while ordinary
+// unmonitored clients use it, then removes the job — which takes the
+// metering down but leaves the server running.
+#include <iostream>
+
+#include "analysis/report.h"
+#include "apps/apps.h"
+#include "control/session.h"
+#include "kernel/world.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace dpm;
+
+  kernel::World world;
+  const kernel::MachineId yellow = world.add_machine("yellow");
+  const kernel::MachineId red = world.add_machine("red");
+  const kernel::MachineId green = world.add_machine("green");
+
+  control::install_monitor(world);
+  apps::install_everywhere(world);
+  control::spawn_meterdaemons(world);
+  world.add_account_everywhere(100);
+
+  // The pre-existing server (pid printed below, as `ps` would show it).
+  auto server = world.spawn(red, "echo_server", 100,
+                            apps::make_echo_server({"echo_server", "7", "0"}));
+  if (!server.ok()) return 1;
+  std::cout << "system server already running on red, pid " << *server
+            << "\n\n";
+
+  control::MonitorSession session(world, {.host = "yellow", .uid = 100});
+  world.run();
+  (void)session.drain_output();
+
+  auto run = [&](const std::string& cmd) {
+    std::cout << cmd << "\n" << session.command(cmd);
+  };
+  run("filter f1 yellow");
+  run("newjob watch");
+  run("setflags watch send receive receivecall");
+  run(util::strprintf("acquire watch red %d", *server));
+  run("jobs watch");
+
+  // Ordinary clients (unmonitored) use the server while it is watched.
+  for (int i = 0; i < 3; ++i) {
+    (void)world.spawn(green, "client", 100,
+                      apps::make_echo_client(
+                          {"echo_client", "red", "7", "5", "64"}));
+  }
+  world.run();
+  std::cout << session.drain_output();
+
+  run("removejob watch");
+  run("getlog f1 server.trace");
+  session.send_line("bye");
+  world.run();
+
+  kernel::Process* p = world.find_process(red, *server);
+  std::cout << "\nserver still "
+            << (p && p->status == kernel::ProcStatus::alive ? "running"
+                                                            : "GONE")
+            << " after the monitoring session; meter flags now "
+            << (p ? p->meter_flags : 0) << "\n\n";
+
+  auto text = world.machine(yellow).fs.read_text("server.trace");
+  if (text) {
+    const analysis::Trace trace = analysis::read_trace(*text);
+    std::cout << analysis::full_report(trace);
+  }
+  return 0;
+}

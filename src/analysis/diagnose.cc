@@ -1,0 +1,182 @@
+#include "analysis/diagnose.h"
+
+#include <algorithm>
+#include <map>
+
+#include "analysis/comm_stats.h"
+#include "analysis/ordering.h"
+#include "analysis/parallelism.h"
+#include "util/strings.h"
+
+namespace dpm::analysis {
+
+bool Diagnosis::has(const std::string& category) const {
+  for (const auto& f : findings) {
+    if (f.category == category) return true;
+  }
+  return false;
+}
+
+std::string Diagnosis::render() const {
+  if (findings.empty()) return "== diagnosis ==\n(nothing notable)\n";
+  std::string out = "== diagnosis ==\n";
+  for (const auto& f : findings) {
+    const char* tag = f.severity == Severity::warning ? "WARN"
+                      : f.severity == Severity::notice ? "note"
+                                                       : "info";
+    out += util::strprintf("[%s] %s\n", tag, f.message.c_str());
+  }
+  return out;
+}
+
+namespace {
+
+/// Per-process wait accounting (recvcall -> matching receive, aligned
+/// clocks), plus the peer whose messages ended the longest waits.
+struct WaitProfile {
+  std::int64_t window = 0;
+  std::int64_t waiting = 0;
+  std::map<ProcKey, std::int64_t> waited_on;  // peer -> summed wait
+};
+
+std::map<ProcKey, WaitProfile> wait_profiles(const Trace& trace,
+                                             const Ordering& ordering,
+                                             const ClockAlignment& clocks) {
+  std::map<ProcKey, WaitProfile> out;
+  struct Open {
+    std::int64_t since = 0;
+  };
+  std::map<std::pair<ProcKey, std::uint64_t>, Open> open;
+  std::map<ProcKey, std::pair<std::int64_t, std::int64_t>> window;
+
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    const Event& e = trace.events[i];
+    const std::int64_t t = clocks.aligned(e);
+    auto [wit, fresh] = window.try_emplace(e.proc(), std::make_pair(t, t));
+    if (!fresh) {
+      wit->second.first = std::min(wit->second.first, t);
+      wit->second.second = std::max(wit->second.second, t);
+    }
+    if (e.type == meter::EventType::recvcall) {
+      open[{e.proc(), e.sock}] = Open{t};
+    } else if (e.type == meter::EventType::recv) {
+      auto oit = open.find({e.proc(), e.sock});
+      if (oit == open.end()) continue;
+      const std::int64_t waited = std::max<std::int64_t>(0, t - oit->second.since);
+      open.erase(oit);
+      WaitProfile& p = out[e.proc()];
+      p.waiting += waited;
+      if (ordering.events[i].matched_send) {
+        const Event& send = trace.events[*ordering.events[i].matched_send];
+        p.waited_on[send.proc()] += waited;
+      }
+    }
+  }
+  for (auto& [key, p] : out) {
+    auto wit = window.find(key);
+    if (wit != window.end()) p.window = wit->second.second - wit->second.first;
+  }
+  return out;
+}
+
+}  // namespace
+
+Diagnosis diagnose(const Trace& trace) {
+  Diagnosis d;
+  if (trace.events.empty()) return d;
+
+  const Ordering ordering = order_events(trace);
+  const ClockAlignment clocks = estimate_clock_alignment(trace, ordering);
+  const CommStats stats = communication_statistics(trace);
+  const ParallelismProfile par = measure_parallelism(trace);
+
+  // ---- starved processes ----
+  for (const auto& [key, p] : wait_profiles(trace, ordering, clocks)) {
+    if (p.window <= 0) continue;
+    const double frac = static_cast<double>(p.waiting) /
+                        static_cast<double>(p.window);
+    if (frac < 0.5) continue;
+    std::string msg = util::strprintf(
+        "%s spends %.0f%% of its window waiting for messages",
+        proc_key_text(key).c_str(), 100.0 * frac);
+    const auto dominant = std::max_element(
+        p.waited_on.begin(), p.waited_on.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    if (dominant != p.waited_on.end() && dominant->second > 0) {
+      msg += ", mostly on " + proc_key_text(dominant->first);
+    }
+    d.findings.push_back({Severity::warning, "wait", msg});
+  }
+
+  // ---- serialization ----
+  if (par.processes >= 3 && par.average < 1.3) {
+    d.findings.push_back(
+        {Severity::warning, "serial",
+         util::strprintf("average parallelism is %.2f across %zu processes: "
+                         "the computation is effectively serial",
+                         par.average, par.processes)});
+  }
+
+  // ---- traffic hot spot ----
+  if (stats.graph.edges.size() >= 3) {
+    std::uint64_t total = 0, top = 0;
+    const CommEdge* top_edge = nullptr;
+    for (const auto& e : stats.graph.edges) {
+      total += e.bytes;
+      if (e.bytes > top) {
+        top = e.bytes;
+        top_edge = &e;
+      }
+    }
+    if (top_edge && total > 0 && top * 2 > total) {
+      d.findings.push_back(
+          {Severity::notice, "hotspot",
+           util::strprintf("%s -> %s carries %.0f%% of all attributed bytes",
+                           proc_key_text(top_edge->from).c_str(),
+                           proc_key_text(top_edge->to).c_str(),
+                           100.0 * static_cast<double>(top) /
+                               static_cast<double>(total))});
+    }
+  }
+
+  // ---- datagram loss ----
+  {
+    ConnectionMatcher matcher(trace);
+    std::uint64_t dgram_sends = 0, dgram_recvs = 0;
+    for (const Event& e : trace.events) {
+      if (e.type == meter::EventType::send && !e.dest_name.empty() &&
+          matcher.owner_of_name(e.dest_name)) {
+        ++dgram_sends;
+      }
+      if (e.type == meter::EventType::recv && !e.source_name.empty() &&
+          matcher.owner_of_name(e.source_name)) {
+        ++dgram_recvs;
+      }
+    }
+    if (dgram_sends > dgram_recvs && dgram_recvs > 0) {
+      d.findings.push_back(
+          {Severity::warning, "loss",
+           util::strprintf("%llu of %llu attributable datagrams never "
+                           "arrived (%.0f%% loss)",
+                           static_cast<unsigned long long>(dgram_sends -
+                                                           dgram_recvs),
+                           static_cast<unsigned long long>(dgram_sends),
+                           100.0 * static_cast<double>(dgram_sends - dgram_recvs) /
+                               static_cast<double>(dgram_sends))});
+    }
+  }
+
+  // ---- clock skew ----
+  if (ordering.clock_anomalies > 0) {
+    d.findings.push_back(
+        {Severity::info, "clocks",
+         util::strprintf("machine clocks disagree: %zu receive records are "
+                         "stamped before their sends (up to %lld us) — "
+                         "trust the deduced order, not the timestamps",
+                         ordering.clock_anomalies,
+                         static_cast<long long>(ordering.max_anomaly_us))});
+  }
+  return d;
+}
+
+}  // namespace dpm::analysis

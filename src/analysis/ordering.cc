@@ -1,0 +1,186 @@
+#include "analysis/ordering.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+namespace dpm::analysis {
+
+namespace {
+
+/// A directed channel for message matching: sends at one endpoint, the
+/// receives they produce at the other.
+struct ChannelQueues {
+  std::deque<std::size_t> sends;
+  std::deque<std::size_t> recvs;
+};
+
+}  // namespace
+
+Ordering order_events(const Trace& trace) {
+  Ordering out;
+  const std::size_t n = trace.events.size();
+  out.events.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out.events[i].index = i;
+
+  ConnectionMatcher matcher(trace);
+
+  // ---- Match sends to receives per directed channel ----
+  // Stream channels are keyed by the *sending* endpoint (proc, sock);
+  // datagram traffic by the (source-name owner endpoint, receiver
+  // endpoint) pair.
+  std::map<std::pair<ProcKey, std::uint64_t>, ChannelQueues> stream_chans;
+  std::map<std::pair<Endpoint, ProcKey>, ChannelQueues> dgram_chans;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Event& e = trace.events[i];
+    if (e.type == meter::EventType::send) {
+      if (e.dest_name.empty()) {
+        stream_chans[{e.proc(), e.sock}].sends.push_back(i);
+      }
+      // Datagram sends are routed below, once every name is learned.
+    } else if (e.type == meter::EventType::recv) {
+      if (e.source_name.empty()) {
+        // Stream receive: find the remote (sending) endpoint.
+        if (auto remote = matcher.remote_of(e.proc(), e.sock)) {
+          stream_chans[{remote->proc, remote->sock}].recvs.push_back(i);
+        }
+      } else if (auto owner = matcher.owner_of_name(e.source_name)) {
+        dgram_chans[{*owner, e.proc()}].recvs.push_back(i);
+      }
+    }
+  }
+  // Datagram sends: route to the channel of (own endpoint, dest owner).
+  for (std::size_t i = 0; i < n; ++i) {
+    const Event& e = trace.events[i];
+    if (e.type != meter::EventType::send || e.dest_name.empty()) continue;
+    if (auto owner = matcher.owner_of_name(e.dest_name)) {
+      // The sender's own endpoint may be known by its bound name via a
+      // connect record; otherwise identify it by (proc, sock).
+      dgram_chans[{Endpoint{e.proc(), e.sock}, owner->proc}].sends.push_back(i);
+    }
+  }
+  // A datagram channel only pairs when the receive records' sourceName
+  // resolves to the same endpoint (proc, sock) the sends came from —
+  // which the trace guarantees when the sender connect()ed its socket.
+
+  // Pair k-th send with k-th receive.
+  std::vector<std::vector<std::size_t>> succ(n);
+  std::vector<std::size_t> indeg(n, 0);
+  auto add_edge = [&](std::size_t a, std::size_t b) {
+    succ[a].push_back(b);
+    ++indeg[b];
+  };
+
+  auto pair_queues = [&](ChannelQueues& q) {
+    const std::size_t k = std::min(q.sends.size(), q.recvs.size());
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t s = q.sends[i];
+      const std::size_t r = q.recvs[i];
+      out.events[r].matched_send = s;
+      add_edge(s, r);
+      ++out.message_pairs;
+      const Event& se = trace.events[s];
+      const Event& re = trace.events[r];
+      if (se.machine != re.machine) {
+        ++out.cross_machine_pairs;
+        if (re.cpu_time < se.cpu_time) {
+          ++out.clock_anomalies;
+          out.max_anomaly_us =
+              std::max(out.max_anomaly_us, se.cpu_time - re.cpu_time);
+        }
+      }
+    }
+  };
+  for (auto& [key, q] : stream_chans) pair_queues(q);
+  for (auto& [key, q] : dgram_chans) pair_queues(q);
+
+  // ---- Program order within each process ----
+  std::map<ProcKey, std::size_t> last_of;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto [it, fresh] = last_of.try_emplace(trace.events[i].proc(), i);
+    if (!fresh) {
+      add_edge(it->second, i);
+      it->second = i;
+    }
+  }
+
+  // ---- Lamport clocks by topological order (Kahn) ----
+  std::deque<std::size_t> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.events[i].lamport = 1;
+    if (indeg[i] == 0) ready.push_back(i);
+  }
+  std::size_t visited = 0;
+  while (!ready.empty()) {
+    const std::size_t i = ready.front();
+    ready.pop_front();
+    ++visited;
+    for (std::size_t j : succ[i]) {
+      out.events[j].lamport =
+          std::max(out.events[j].lamport, out.events[i].lamport + 1);
+      if (--indeg[j] == 0) ready.push_back(j);
+    }
+  }
+  out.had_cycle = visited != n;  // possible only from mis-matched pairs
+  return out;
+}
+
+ClockAlignment estimate_clock_alignment(const Trace& trace,
+                                        const Ordering& ordering) {
+  ClockAlignment out;
+
+  // Minimum observed (recv - send) per directed machine pair.
+  std::map<std::pair<std::uint16_t, std::uint16_t>, std::int64_t> min_delta;
+  std::set<std::uint16_t> machines;
+  for (const Event& e : trace.events) machines.insert(e.machine);
+
+  for (const OrderedEvent& oe : ordering.events) {
+    if (!oe.matched_send) continue;
+    const Event& recv = trace.events[oe.index];
+    const Event& send = trace.events[*oe.matched_send];
+    if (recv.machine == send.machine) continue;
+    const std::int64_t delta = recv.cpu_time - send.cpu_time;
+    auto key = std::make_pair(send.machine, recv.machine);
+    auto it = min_delta.find(key);
+    if (it == min_delta.end() || delta < it->second) min_delta[key] = delta;
+  }
+
+  // Pairwise offset estimates; BFS over the "has traffic" graph anchors
+  // each component at its lowest machine id.
+  auto pair_offset = [&](std::uint16_t a,
+                         std::uint16_t b) -> std::optional<std::int64_t> {
+    auto ab = min_delta.find({a, b});
+    auto ba = min_delta.find({b, a});
+    if (ab != min_delta.end() && ba != min_delta.end()) {
+      return (ab->second - ba->second) / 2;  // offset_b - offset_a
+    }
+    if (ab != min_delta.end()) return ab->second;  // latency unknown: bound
+    if (ba != min_delta.end()) return -ba->second;
+    return std::nullopt;
+  };
+
+  std::set<std::uint16_t> done;
+  for (std::uint16_t root : machines) {
+    if (done.count(root)) continue;
+    out.offset_us[root] = 0;
+    done.insert(root);
+    std::deque<std::uint16_t> frontier{root};
+    while (!frontier.empty()) {
+      const std::uint16_t a = frontier.front();
+      frontier.pop_front();
+      for (std::uint16_t b : machines) {
+        if (done.count(b)) continue;
+        auto off = pair_offset(a, b);
+        if (!off) continue;
+        out.offset_us[b] = out.offset_us[a] + *off;
+        done.insert(b);
+        frontier.push_back(b);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dpm::analysis

@@ -1,0 +1,77 @@
+#include "analysis/timeline.h"
+
+#include <algorithm>
+#include <map>
+
+#include "analysis/ordering.h"
+#include "util/strings.h"
+
+namespace dpm::analysis {
+
+std::string render_timeline(const Trace& trace, TimelineOptions opts) {
+  if (trace.events.empty()) return "(empty trace)\n";
+  const int width = std::max(8, opts.width);
+
+  const Ordering ordering = order_events(trace);
+  const ClockAlignment clocks = estimate_clock_alignment(trace, ordering);
+
+  struct Row {
+    std::int64_t first = 0;
+    std::int64_t last = 0;
+    bool seen = false;
+    std::map<std::uint64_t, std::int64_t> pending;  // sock -> recvcall time
+    std::vector<std::pair<std::int64_t, std::int64_t>> waits;
+  };
+  std::map<ProcKey, Row> rows;
+  std::int64_t lo = INT64_MAX, hi = INT64_MIN;
+
+  for (const Event& e : trace.events) {
+    Row& r = rows[e.proc()];
+    const std::int64_t t = clocks.aligned(e);
+    if (!r.seen) {
+      r.first = r.last = t;
+      r.seen = true;
+    }
+    r.last = std::max(r.last, t);
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+    if (e.type == meter::EventType::recvcall) {
+      r.pending[e.sock] = t;
+    } else if (e.type == meter::EventType::recv) {
+      auto it = r.pending.find(e.sock);
+      if (it != r.pending.end()) {
+        if (t > it->second) r.waits.emplace_back(it->second, t);
+        r.pending.erase(it);
+      }
+    }
+  }
+  if (hi <= lo) hi = lo + 1;
+
+  auto bucket_of = [&](std::int64_t t) {
+    const auto b = (t - lo) * width / (hi - lo);
+    return static_cast<int>(std::clamp<std::int64_t>(b, 0, width - 1));
+  };
+
+  std::string out;
+  for (const auto& [key, r] : rows) {
+    std::string line(static_cast<std::size_t>(width), ' ');
+    for (int b = bucket_of(r.first); b <= bucket_of(r.last); ++b) {
+      line[static_cast<std::size_t>(b)] = '#';
+    }
+    for (const auto& [a, b] : r.waits) {
+      for (int i = bucket_of(a); i <= bucket_of(b); ++i) {
+        line[static_cast<std::size_t>(i)] = '.';
+      }
+    }
+    out += util::strprintf("%-12s |%s|\n", proc_key_text(key).c_str(),
+                           line.c_str());
+  }
+  if (opts.show_legend) {
+    out += util::strprintf(
+        "window: %lld us ('#' active, '.' waiting for a message)\n",
+        static_cast<long long>(hi - lo));
+  }
+  return out;
+}
+
+}  // namespace dpm::analysis

@@ -1,0 +1,66 @@
+#include "analysis/trace_reader.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/strings.h"
+
+namespace dpm::analysis {
+
+std::string proc_key_text(const ProcKey& k) {
+  return util::strprintf("m%u/p%d", k.machine, k.pid);
+}
+
+std::optional<Event> event_from_record(const filter::Record& rec) {
+  auto type = meter::event_by_name(util::to_lower(rec.event_name));
+  if (!type) {
+    // Description files name events in caps ("SEND"); map a few aliases.
+    const std::string lower = util::to_lower(rec.event_name);
+    if (lower == "receive") type = meter::EventType::recv;
+    else if (lower == "socket") type = meter::EventType::sockcrt;
+    else if (lower == "destsock") type = meter::EventType::destsock;
+    else return std::nullopt;
+  }
+  Event e;
+  e.type = *type;
+  if (auto v = rec.num("machine")) e.machine = static_cast<std::uint16_t>(*v);
+  if (auto v = rec.num("cpuTime")) e.cpu_time = *v;
+  if (auto v = rec.num("procTime")) e.proc_time = *v;
+  if (auto v = rec.num("pid")) e.pid = static_cast<std::int32_t>(*v);
+  if (auto v = rec.num("pc")) e.pc = static_cast<std::uint32_t>(*v);
+  if (auto v = rec.num("sock")) e.sock = static_cast<std::uint64_t>(*v);
+  if (auto v = rec.num("newSock")) e.new_sock = static_cast<std::uint64_t>(*v);
+  if (auto v = rec.num("msgLength")) e.msg_length = static_cast<std::uint32_t>(*v);
+  if (auto v = rec.num("newPid")) e.new_pid = static_cast<std::int32_t>(*v);
+  if (auto v = rec.num("status")) e.status = static_cast<std::int32_t>(*v);
+  if (auto v = rec.text("destName")) e.dest_name = *v;
+  if (auto v = rec.text("sourceName")) e.source_name = *v;
+  if (auto v = rec.text("sockName")) e.sock_name = *v;
+  if (auto v = rec.text("peerName")) e.peer_name = *v;
+  return e;
+}
+
+Trace read_trace(const std::string& text) {
+  Trace out;
+  filter::ParsedTrace parsed = filter::parse_trace(text);
+  out.malformed = parsed.malformed;
+  out.events.reserve(parsed.records.size());
+  for (const auto& rec : parsed.records) {
+    auto e = event_from_record(rec);
+    if (!e) {
+      ++out.malformed;
+      continue;
+    }
+    e->index = out.events.size();
+    out.events.push_back(std::move(*e));
+  }
+  return out;
+}
+
+std::vector<ProcKey> Trace::processes() const {
+  std::set<ProcKey> keys;
+  for (const auto& e : events) keys.insert(e.proc());
+  return std::vector<ProcKey>(keys.begin(), keys.end());
+}
+
+}  // namespace dpm::analysis

@@ -1,0 +1,69 @@
+#include "apps/apps.h"
+
+#include "apps/apps_util.h"
+
+namespace dpm::apps {
+
+kernel::Fd connect_retry(kernel::Sys& sys, const std::string& host,
+                         net::Port port, int attempts) {
+  for (int i = 0; i < attempts; ++i) {
+    auto addr = sys.resolve(host, port);
+    if (!addr) return -1;
+    auto fd = sys.socket(kernel::SockDomain::internet, kernel::SockType::stream);
+    if (!fd) return -1;
+    if (sys.connect(*fd, *addr)) return *fd;
+    (void)sys.close(*fd);
+    sys.sleep(util::msec(10));
+  }
+  return -1;
+}
+
+util::Bytes payload(std::size_t n, std::uint8_t tag) {
+  util::Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<std::uint8_t>(tag + i);
+  }
+  return b;
+}
+
+kernel::ProcessMain make_hello(const std::vector<std::string>& argv) {
+  return [argv](kernel::Sys& sys) {
+    const std::string text = arg_str(argv, 1, "hello");
+    (void)sys.print(text + "\n");
+    sys.exit(0);
+  };
+}
+
+void register_all(kernel::ExecRegistry& r) {
+  r.register_program("hello", make_hello);
+  r.register_program("pingpong_server", make_pingpong_server);
+  r.register_program("pingpong_client", make_pingpong_client);
+  r.register_program("dgram_sink", make_dgram_sink);
+  r.register_program("dgram_sender", make_dgram_sender);
+  r.register_program("echo_server", make_echo_server);
+  r.register_program("echo_client", make_echo_client);
+  r.register_program("ring_node", make_ring_node);
+  r.register_program("grid_node", make_grid_node);
+  r.register_program("pipe_source", make_pipe_source);
+  r.register_program("pipe_stage", make_pipe_stage);
+  r.register_program("pipe_sink", make_pipe_sink);
+  r.register_program("tsp_master", make_tsp_master);
+  r.register_program("tsp_worker", make_tsp_worker);
+}
+
+void install_everywhere(kernel::World& world) {
+  register_all(world.programs());
+  static const char* kNames[] = {
+      "hello",       "pingpong_server", "pingpong_client", "dgram_sink",
+      "dgram_sender", "echo_server",    "echo_client",     "ring_node",
+      "pipe_source", "pipe_stage",      "pipe_sink",       "tsp_master",
+      "grid_node",
+      "tsp_worker",
+  };
+  for (kernel::MachineId m : world.machines()) {
+    auto& fs = world.machine(m).fs;
+    for (const char* name : kNames) fs.put_executable(name, name);
+  }
+}
+
+}  // namespace dpm::apps

@@ -1,0 +1,52 @@
+// Application programs that run inside the simulated 4.2BSD world.
+//
+// These are the measured computations: the monitor's tests, examples and
+// benchmarks create jobs from them. Each program is a ProcessMain factory
+// taking exec-style argv (argv[0] is the executable path).
+//
+//   hello           [text]                    print and exit
+//   pingpong_server <port> <rounds>           stream echo partner
+//   pingpong_client <host> <port> <rounds> <bytes> [compute_us]
+//   dgram_sink      <port> [quiet_ms]         drain datagrams until quiet
+//   dgram_sender    <host> <port> <count> <bytes>
+//   echo_server     <port> [max]              datagram echo (acquirable)
+//   echo_client     <host> <port> <count> <bytes>
+//   ring_node       <index> <n> <rounds> <baseport> <host0> ... <hostN-1>
+//   grid_node       <index> <n> <iters> <rows> <cols> <baseport> <host...>
+//   pipe_source     <host> <port> <items> <bytes>
+//   pipe_stage      <inport> <outhost> <outport> [compute_us]
+//   pipe_sink       <inport>
+//   tsp_master      <port> <workers> <cities> <seed>
+//   tsp_worker      <masterhost> <port> [cost_per_node_ns]
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kernel/exec_registry.h"
+#include "kernel/world.h"
+
+namespace dpm::apps {
+
+kernel::ProcessMain make_hello(const std::vector<std::string>& argv);
+kernel::ProcessMain make_pingpong_server(const std::vector<std::string>& argv);
+kernel::ProcessMain make_pingpong_client(const std::vector<std::string>& argv);
+kernel::ProcessMain make_dgram_sink(const std::vector<std::string>& argv);
+kernel::ProcessMain make_dgram_sender(const std::vector<std::string>& argv);
+kernel::ProcessMain make_echo_server(const std::vector<std::string>& argv);
+kernel::ProcessMain make_echo_client(const std::vector<std::string>& argv);
+kernel::ProcessMain make_ring_node(const std::vector<std::string>& argv);
+kernel::ProcessMain make_grid_node(const std::vector<std::string>& argv);
+kernel::ProcessMain make_pipe_source(const std::vector<std::string>& argv);
+kernel::ProcessMain make_pipe_stage(const std::vector<std::string>& argv);
+kernel::ProcessMain make_pipe_sink(const std::vector<std::string>& argv);
+kernel::ProcessMain make_tsp_master(const std::vector<std::string>& argv);
+kernel::ProcessMain make_tsp_worker(const std::vector<std::string>& argv);
+
+/// Registers every application program under its name above.
+void register_all(kernel::ExecRegistry& registry);
+
+/// Installs executable files for all programs on every machine.
+void install_everywhere(kernel::World& world);
+
+}  // namespace dpm::apps

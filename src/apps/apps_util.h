@@ -1,0 +1,34 @@
+// Shared helpers for the application programs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernel/syscalls.h"
+#include "util/strings.h"
+
+namespace dpm::apps {
+
+/// argv[i] as an integer, or `dflt` when absent/malformed.
+inline std::int64_t arg_int(const std::vector<std::string>& argv, std::size_t i,
+                            std::int64_t dflt) {
+  if (i >= argv.size()) return dflt;
+  return util::parse_int(argv[i]).value_or(dflt);
+}
+
+inline std::string arg_str(const std::vector<std::string>& argv, std::size_t i,
+                           const std::string& dflt = {}) {
+  return i < argv.size() ? argv[i] : dflt;
+}
+
+/// Connects a fresh stream socket to host:port, retrying while the peer
+/// is not listening yet (processes of a job start in arbitrary order).
+/// Returns the connected fd or -1.
+kernel::Fd connect_retry(kernel::Sys& sys, const std::string& host,
+                         net::Port port, int attempts = 50);
+
+/// A deterministic payload of `n` bytes.
+util::Bytes payload(std::size_t n, std::uint8_t tag = 0x5a);
+
+}  // namespace dpm::apps

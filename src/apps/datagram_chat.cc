@@ -1,0 +1,64 @@
+// Datagram programs: a sink that drains traffic until the network goes
+// quiet and a sender that fires a burst. They exercise the unreliable
+// path (§3.1: datagram delivery "is not guaranteed, though it is likely")
+// and give experiment E5 its loss measurements.
+#include "apps/apps.h"
+#include "apps/apps_util.h"
+
+namespace dpm::apps {
+
+using kernel::SockDomain;
+using kernel::SockType;
+using kernel::Sys;
+
+kernel::ProcessMain make_dgram_sink(const std::vector<std::string>& argv) {
+  return [argv](Sys& sys) {
+    const auto port = static_cast<net::Port>(arg_int(argv, 1, 6000));
+    const auto quiet_ms = arg_int(argv, 2, 200);
+
+    auto fd = sys.socket(SockDomain::internet, SockType::dgram);
+    if (!fd || !sys.bind_port(*fd, port)) sys.exit(1);
+
+    std::int64_t received = 0;
+    std::int64_t bytes = 0;
+    for (;;) {
+      auto sel = sys.select({*fd}, false, util::msec(quiet_ms));
+      if (!sel || sel->timed_out) break;
+      auto d = sys.recvfrom(*fd);
+      if (!d) break;
+      ++received;
+      bytes += static_cast<std::int64_t>(d->data.size());
+    }
+    (void)sys.print(util::strprintf("dgram_sink: %lld datagrams, %lld bytes\n",
+                                    static_cast<long long>(received),
+                                    static_cast<long long>(bytes)));
+    sys.exit(0);
+  };
+}
+
+kernel::ProcessMain make_dgram_sender(const std::vector<std::string>& argv) {
+  return [argv](Sys& sys) {
+    const std::string host = arg_str(argv, 1, "localhost");
+    const auto port = static_cast<net::Port>(arg_int(argv, 2, 6000));
+    const auto count = arg_int(argv, 3, 10);
+    const auto bytes = static_cast<std::size_t>(arg_int(argv, 4, 64));
+
+    auto addr = sys.resolve(host, port);
+    if (!addr) sys.exit(1);
+    auto fd = sys.socket(SockDomain::internet, SockType::dgram);
+    if (!fd) sys.exit(1);
+    // connect() predefines the recipient (§3.1) and, by binding the
+    // socket's name into a CONNECT record, lets the analysis attribute
+    // this sender's datagrams.
+    if (!sys.connect(*fd, *addr)) sys.exit(1);
+
+    const util::Bytes msg = payload(bytes, 0x11);
+    for (std::int64_t i = 0; i < count; ++i) {
+      (void)sys.send(*fd, msg);
+      sys.sleep(util::usec(500));
+    }
+    sys.exit(0);
+  };
+}
+
+}  // namespace dpm::apps

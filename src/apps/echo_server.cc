@@ -1,0 +1,60 @@
+// A long-running system server (datagram echo). The paper's *acquire*
+// command exists for exactly this: "a user may be interested only in
+// monitoring a system server to better understand its behavior" (§4.3).
+#include "apps/apps.h"
+#include "apps/apps_util.h"
+
+namespace dpm::apps {
+
+using kernel::SockDomain;
+using kernel::SockType;
+using kernel::Sys;
+
+kernel::ProcessMain make_echo_server(const std::vector<std::string>& argv) {
+  return [argv](Sys& sys) {
+    const auto port = static_cast<net::Port>(arg_int(argv, 1, 7));
+    const auto max = arg_int(argv, 2, 0);  // 0 = run forever
+
+    auto fd = sys.socket(SockDomain::internet, SockType::dgram);
+    if (!fd || !sys.bind_port(*fd, port)) sys.exit(1);
+
+    std::int64_t served = 0;
+    for (;;) {
+      auto d = sys.recvfrom(*fd);
+      if (!d) break;
+      (void)sys.sendto(*fd, d->data, d->source);
+      if (max > 0 && ++served >= max) break;
+    }
+    sys.exit(0);
+  };
+}
+
+kernel::ProcessMain make_echo_client(const std::vector<std::string>& argv) {
+  return [argv](Sys& sys) {
+    const std::string host = arg_str(argv, 1, "localhost");
+    const auto port = static_cast<net::Port>(arg_int(argv, 2, 7));
+    const auto count = arg_int(argv, 3, 5);
+    const auto bytes = static_cast<std::size_t>(arg_int(argv, 4, 32));
+
+    auto addr = sys.resolve(host, port);
+    if (!addr) sys.exit(1);
+    auto fd = sys.socket(SockDomain::internet, SockType::dgram);
+    if (!fd) sys.exit(1);
+
+    const util::Bytes msg = payload(bytes, 0x22);
+    std::int64_t echoed = 0;
+    for (std::int64_t i = 0; i < count; ++i) {
+      (void)sys.sendto(*fd, msg, *addr);
+      auto sel = sys.select({*fd}, false, util::msec(100));
+      if (sel && !sel->timed_out && !sel->readable.empty()) {
+        if (sys.recvfrom(*fd)) ++echoed;
+      }
+    }
+    (void)sys.print(util::strprintf("echo_client: %lld/%lld echoed\n",
+                                    static_cast<long long>(echoed),
+                                    static_cast<long long>(count)));
+    sys.exit(0);
+  };
+}
+
+}  // namespace dpm::apps

@@ -1,0 +1,159 @@
+// Distributed grid relaxation (Jacobi iteration with 1-D row
+// decomposition): each node owns a strip of the grid and exchanges
+// boundary rows with its neighbours every iteration over stream
+// connections. The textbook tightly-coupled distributed computation —
+// its trace shows the alternating compute/wait pattern the parallelism
+// and timeline analyses are built to expose, and its numerical result is
+// independent of the decomposition, which the tests verify.
+//
+//   grid_node <index> <n> <iters> <rows> <cols> <baseport> <host0> ...
+//
+// Global grid: rows x cols, zero boundary all around, cell (r,c)
+// initialised to ((r*31 + c*17) % 100) / 10.0. After <iters> Jacobi
+// sweeps each node prints the sum of its strip ("grid_node i: sum
+// <value>"); the global sum is the sum over nodes.
+#include <cmath>
+#include <cstring>
+
+#include "apps/apps.h"
+#include "apps/apps_util.h"
+#include "util/bytes.h"
+
+namespace dpm::apps {
+
+using kernel::Fd;
+using kernel::SockDomain;
+using kernel::SockType;
+using kernel::Sys;
+
+namespace {
+
+double initial_cell(std::int64_t r, std::int64_t c) {
+  return static_cast<double>((r * 31 + c * 17) % 100) / 10.0;
+}
+
+util::Bytes pack_row(const std::vector<double>& row) {
+  util::BinaryWriter w;
+  for (double v : row) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    w.u64(bits);
+  }
+  return w.take();
+}
+
+bool unpack_row(const util::Bytes& data, std::vector<double>* row) {
+  if (data.size() != row->size() * 8) return false;
+  util::BinaryReader r(data);
+  for (double& v : *row) {
+    auto bits = r.u64();
+    if (!bits) return false;
+    std::memcpy(&v, &*bits, sizeof v);
+  }
+  return true;
+}
+
+}  // namespace
+
+kernel::ProcessMain make_grid_node(const std::vector<std::string>& argv) {
+  return [argv](Sys& sys) {
+    const auto index = arg_int(argv, 1, 0);
+    const auto n = arg_int(argv, 2, 1);
+    const auto iters = arg_int(argv, 3, 4);
+    const auto rows = arg_int(argv, 4, 12);
+    const auto cols = arg_int(argv, 5, 8);
+    const auto base_port = static_cast<net::Port>(arg_int(argv, 6, 8400));
+    std::vector<std::string> hosts;
+    for (std::size_t i = 7; i < argv.size(); ++i) hosts.push_back(argv[i]);
+    if (n < 1 || static_cast<std::int64_t>(hosts.size()) != n || index >= n ||
+        rows < n || cols < 1) {
+      (void)sys.print("grid_node: bad arguments\n");
+      sys.exit(1);
+    }
+
+    // This node's strip of global rows [lo, hi).
+    const std::int64_t lo = index * rows / n;
+    const std::int64_t hi = (index + 1) * rows / n;
+    const auto strip = static_cast<std::size_t>(hi - lo);
+    const auto width = static_cast<std::size_t>(cols);
+    std::vector<std::vector<double>> grid(strip, std::vector<double>(width));
+    for (std::size_t r = 0; r < strip; ++r) {
+      for (std::size_t c = 0; c < width; ++c) {
+        grid[r][c] = initial_cell(lo + static_cast<std::int64_t>(r),
+                                  static_cast<std::int64_t>(c));
+      }
+    }
+
+    // One stream connection per adjacent pair: node i accepts from i-1
+    // and connects to i+1 (streams are bidirectional).
+    Fd left = -1, right = -1;
+    Fd ls = -1;
+    if (index > 0) {
+      auto l = sys.socket(SockDomain::internet, SockType::stream);
+      if (!l || !sys.bind_port(*l, static_cast<net::Port>(base_port + index)) ||
+          !sys.listen(*l, 2)) {
+        sys.exit(1);
+      }
+      ls = *l;
+    }
+    if (index < n - 1) {
+      right = connect_retry(sys, hosts[static_cast<std::size_t>(index + 1)],
+                            static_cast<net::Port>(base_port + index + 1));
+      if (right < 0) sys.exit(1);
+    }
+    if (index > 0) {
+      auto conn = sys.accept(ls);
+      if (!conn) sys.exit(1);
+      left = *conn;
+      (void)sys.close(ls);
+    }
+
+    std::vector<double> ghost_up(width, 0.0), ghost_down(width, 0.0);
+    for (std::int64_t it = 0; it < iters; ++it) {
+      // Exchange boundary rows with the neighbours.
+      if (left >= 0 && !sys.send(left, pack_row(grid.front()))) sys.exit(1);
+      if (right >= 0 && !sys.send(right, pack_row(grid.back()))) sys.exit(1);
+      if (left >= 0) {
+        auto data = sys.recv_exact(left, width * 8);
+        if (!data || !unpack_row(*data, &ghost_up)) sys.exit(1);
+      } else {
+        std::fill(ghost_up.begin(), ghost_up.end(), 0.0);
+      }
+      if (right >= 0) {
+        auto data = sys.recv_exact(right, width * 8);
+        if (!data || !unpack_row(*data, &ghost_down)) sys.exit(1);
+      } else {
+        std::fill(ghost_down.begin(), ghost_down.end(), 0.0);
+      }
+
+      // Jacobi sweep with zero outer boundary.
+      std::vector<std::vector<double>> next = grid;
+      for (std::size_t r = 0; r < strip; ++r) {
+        const std::vector<double>& up = r == 0 ? ghost_up : grid[r - 1];
+        const std::vector<double>& down =
+            r == strip - 1 ? ghost_down : grid[r + 1];
+        for (std::size_t c = 0; c < width; ++c) {
+          const double lft = c == 0 ? 0.0 : grid[r][c - 1];
+          const double rgt = c == width - 1 ? 0.0 : grid[r][c + 1];
+          next[r][c] = 0.25 * (up[c] + down[c] + lft + rgt);
+        }
+      }
+      grid.swap(next);
+      // The sweep costs CPU proportional to the strip size.
+      sys.compute(util::usec(static_cast<std::int64_t>(strip * width) * 2));
+    }
+
+    double sum = 0.0;
+    for (const auto& row : grid) {
+      for (double v : row) sum += v;
+    }
+    if (left >= 0) (void)sys.close(left);
+    if (right >= 0) (void)sys.close(right);
+    (void)sys.print(util::strprintf("grid_node %lld: sum %.6f\n",
+                                    static_cast<long long>(index), sum));
+    sys.exit(0);
+  };
+}
+
+}  // namespace dpm::apps

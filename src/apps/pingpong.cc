@@ -1,0 +1,66 @@
+// Ping-pong pair: the canonical two-process computation (processes A and
+// B of the paper's example session exchange messages over one stream
+// connection). Also the perturbation workload for experiment E2: its
+// round-trip rate is sensitive to every added metering cost.
+#include "apps/apps.h"
+#include "apps/apps_util.h"
+
+namespace dpm::apps {
+
+using kernel::SockDomain;
+using kernel::SockType;
+using kernel::Sys;
+
+kernel::ProcessMain make_pingpong_server(const std::vector<std::string>& argv) {
+  return [argv](Sys& sys) {
+    const auto port = static_cast<net::Port>(arg_int(argv, 1, 5000));
+    const auto rounds = arg_int(argv, 2, 10);
+
+    auto ls = sys.socket(SockDomain::internet, SockType::stream);
+    if (!ls || !sys.bind_port(*ls, port) || !sys.listen(*ls, 4)) sys.exit(1);
+    auto conn = sys.accept(*ls);
+    if (!conn) sys.exit(1);
+
+    for (std::int64_t i = 0; i < rounds; ++i) {
+      auto msg = sys.recv(*conn, 64 * 1024);
+      if (!msg || msg->empty()) break;
+      if (!sys.send(*conn, *msg)) break;
+    }
+    (void)sys.close(*conn);
+    (void)sys.close(*ls);
+    sys.exit(0);
+  };
+}
+
+kernel::ProcessMain make_pingpong_client(const std::vector<std::string>& argv) {
+  return [argv](Sys& sys) {
+    const std::string host = arg_str(argv, 1, "localhost");
+    const auto port = static_cast<net::Port>(arg_int(argv, 2, 5000));
+    const auto rounds = arg_int(argv, 3, 10);
+    const auto bytes = static_cast<std::size_t>(arg_int(argv, 4, 64));
+    const auto compute_us = arg_int(argv, 5, 0);
+
+    kernel::Fd fd = connect_retry(sys, host, port);
+    if (fd < 0) {
+      (void)sys.print("pingpong_client: cannot connect\n");
+      sys.exit(1);
+    }
+
+    const util::Bytes msg = payload(bytes);
+    const std::int64_t t0 = sys.clock_us();
+    for (std::int64_t i = 0; i < rounds; ++i) {
+      if (compute_us > 0) sys.compute(util::usec(compute_us));
+      if (!sys.send(fd, msg)) break;
+      auto reply = sys.recv_exact(fd, bytes);
+      if (!reply) break;
+    }
+    const std::int64_t t1 = sys.clock_us();
+    (void)sys.print(util::strprintf("pingpong: %lld rounds in %lld us\n",
+                                    static_cast<long long>(rounds),
+                                    static_cast<long long>(t1 - t0)));
+    (void)sys.close(fd);
+    sys.exit(0);
+  };
+}
+
+}  // namespace dpm::apps

@@ -1,0 +1,86 @@
+// A pipeline: source -> stage* -> sink over stream connections. Stages
+// add CPU work, so the parallelism analysis sees genuine overlap across
+// machines.
+#include "apps/apps.h"
+#include "apps/apps_util.h"
+
+namespace dpm::apps {
+
+using kernel::SockDomain;
+using kernel::SockType;
+using kernel::Sys;
+
+namespace {
+
+kernel::Fd listen_accept(Sys& sys, net::Port port) {
+  auto ls = sys.socket(SockDomain::internet, SockType::stream);
+  if (!ls || !sys.bind_port(*ls, port) || !sys.listen(*ls, 2)) return -1;
+  auto conn = sys.accept(*ls);
+  (void)sys.close(*ls);
+  return conn ? *conn : -1;
+}
+
+}  // namespace
+
+kernel::ProcessMain make_pipe_source(const std::vector<std::string>& argv) {
+  return [argv](Sys& sys) {
+    const std::string host = arg_str(argv, 1, "localhost");
+    const auto port = static_cast<net::Port>(arg_int(argv, 2, 8100));
+    const auto items = arg_int(argv, 3, 20);
+    const auto bytes = static_cast<std::size_t>(arg_int(argv, 4, 256));
+
+    kernel::Fd out = connect_retry(sys, host, port);
+    if (out < 0) sys.exit(1);
+    const util::Bytes item = payload(bytes, 0x44);
+    for (std::int64_t i = 0; i < items; ++i) {
+      sys.compute(util::usec(300));  // producing an item costs CPU
+      if (!sys.send(out, item)) break;
+    }
+    (void)sys.close(out);
+    sys.exit(0);
+  };
+}
+
+kernel::ProcessMain make_pipe_stage(const std::vector<std::string>& argv) {
+  return [argv](Sys& sys) {
+    const auto in_port = static_cast<net::Port>(arg_int(argv, 1, 8100));
+    const std::string out_host = arg_str(argv, 2, "localhost");
+    const auto out_port = static_cast<net::Port>(arg_int(argv, 3, 8101));
+    const auto compute_us = arg_int(argv, 4, 500);
+
+    kernel::Fd out = connect_retry(sys, out_host, out_port);
+    if (out < 0) sys.exit(1);
+    kernel::Fd in = listen_accept(sys, in_port);
+    if (in < 0) sys.exit(1);
+
+    for (;;) {
+      auto data = sys.recv(in, 4096);
+      if (!data || data->empty()) break;
+      sys.compute(util::usec(compute_us));
+      if (!sys.send(out, *data)) break;
+    }
+    (void)sys.close(in);
+    (void)sys.close(out);
+    sys.exit(0);
+  };
+}
+
+kernel::ProcessMain make_pipe_sink(const std::vector<std::string>& argv) {
+  return [argv](Sys& sys) {
+    const auto in_port = static_cast<net::Port>(arg_int(argv, 1, 8101));
+    kernel::Fd in = listen_accept(sys, in_port);
+    if (in < 0) sys.exit(1);
+    std::int64_t bytes = 0;
+    for (;;) {
+      auto data = sys.recv(in, 4096);
+      if (!data || data->empty()) break;
+      bytes += static_cast<std::int64_t>(data->size());
+    }
+    (void)sys.close(in);
+    (void)sys.print(util::strprintf("pipe_sink: %lld bytes\n",
+                                    static_cast<long long>(bytes)));
+    sys.exit(0);
+  };
+}
+
+}  // namespace dpm::apps

@@ -1,0 +1,66 @@
+// Token ring: n processes pass a token around a cycle of stream
+// connections. A structural-study workload — its communication graph is
+// a ring, which the analysis module should recover exactly.
+#include "apps/apps.h"
+#include "apps/apps_util.h"
+
+namespace dpm::apps {
+
+using kernel::SockDomain;
+using kernel::SockType;
+using kernel::Sys;
+
+kernel::ProcessMain make_ring_node(const std::vector<std::string>& argv) {
+  return [argv](Sys& sys) {
+    const auto index = arg_int(argv, 1, 0);
+    const auto n = arg_int(argv, 2, 2);
+    const auto rounds = arg_int(argv, 3, 3);
+    const auto base_port = static_cast<net::Port>(arg_int(argv, 4, 8000));
+    std::vector<std::string> hosts;
+    for (std::size_t i = 5; i < argv.size(); ++i) hosts.push_back(argv[i]);
+    if (n < 2 || static_cast<std::int64_t>(hosts.size()) != n) {
+      (void)sys.print("ring_node: bad arguments\n");
+      sys.exit(1);
+    }
+
+    // Listen for the predecessor, connect to the successor.
+    auto ls = sys.socket(SockDomain::internet, SockType::stream);
+    if (!ls ||
+        !sys.bind_port(*ls, static_cast<net::Port>(base_port + index)) ||
+        !sys.listen(*ls, 2)) {
+      sys.exit(1);
+    }
+    const auto succ = (index + 1) % n;
+    kernel::Fd out = connect_retry(sys, hosts[static_cast<std::size_t>(succ)],
+                                   static_cast<net::Port>(base_port + succ));
+    if (out < 0) sys.exit(1);
+    auto in = sys.accept(*ls);
+    if (!in) sys.exit(1);
+
+    const util::Bytes token = payload(16, 0x33);
+    std::int64_t seen = 0;
+    if (index == 0) {
+      if (!sys.send(out, token)) sys.exit(1);
+    }
+    while (seen < rounds) {
+      auto t = sys.recv_exact(*in, token.size());
+      if (!t) break;
+      ++seen;
+      sys.compute(util::usec(200));  // per-hop work
+      const bool last_pass = index == 0 && seen == rounds;
+      if (!last_pass) {
+        if (!sys.send(out, token)) break;
+      }
+      if (index != 0 && seen == rounds) break;
+    }
+    (void)sys.close(out);
+    (void)sys.close(*in);
+    (void)sys.close(*ls);
+    (void)sys.print(util::strprintf("ring_node %lld: %lld passes\n",
+                                    static_cast<long long>(index),
+                                    static_cast<long long>(seen)));
+    sys.exit(0);
+  };
+}
+
+}  // namespace dpm::apps

@@ -1,0 +1,242 @@
+// Distributed traveling-salesman solver (master/worker branch-and-bound).
+//
+// The paper's initial experience section cites the Lai & Miller 84 TSP
+// case study: "A multiprocess computation was developed and debugged
+// using the tool, which led to substantial modifications of the program
+// resulting in substantial improvements of its performance." This is that
+// computation's analog: a master that hands first-branch subproblems to
+// workers over stream connections, sharing the best bound as it improves.
+//
+// Wire protocol (framed as u32 length + body):
+//   master->worker  'H' ncities dist[n*n]     hello
+//   master->worker  'W' second_city bound     work item
+//   master->worker  'S'                       stop
+//   worker->master  'R' cost nodes            result
+#include "apps/apps.h"
+#include "apps/apps_util.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace dpm::apps {
+
+using kernel::Fd;
+using kernel::SockDomain;
+using kernel::SockType;
+using kernel::Sys;
+
+namespace {
+
+constexpr std::int64_t kInf = INT64_MAX / 4;
+
+util::SysResult<void> send_blob(Sys& sys, Fd fd, const util::Bytes& body) {
+  util::BinaryWriter w;
+  w.u32(static_cast<std::uint32_t>(body.size()));
+  w.raw(body);
+  auto r = sys.send(fd, w.bytes());
+  if (!r) return r.error();
+  return {};
+}
+
+util::SysResult<util::Bytes> recv_blob(Sys& sys, Fd fd) {
+  auto head = sys.recv_exact(fd, 4);
+  if (!head) return head.error();
+  const std::uint32_t n = static_cast<std::uint32_t>((*head)[0]) |
+                          static_cast<std::uint32_t>((*head)[1]) << 8 |
+                          static_cast<std::uint32_t>((*head)[2]) << 16 |
+                          static_cast<std::uint32_t>((*head)[3]) << 24;
+  if (n > (1u << 20)) return util::Err::emsgsize;
+  return sys.recv_exact(fd, n);
+}
+
+std::vector<std::int64_t> make_matrix(std::int64_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::int64_t> d(static_cast<std::size_t>(n * n), 0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = i + 1; j < n; ++j) {
+      const std::int64_t w = rng.uniform(10, 99);
+      d[static_cast<std::size_t>(i * n + j)] = w;
+      d[static_cast<std::size_t>(j * n + i)] = w;
+    }
+  }
+  return d;
+}
+
+/// Exhaustive DFS with bound pruning starting 0 -> second; returns the
+/// best complete-tour cost found and counts explored nodes.
+struct SearchResult {
+  std::int64_t best;
+  std::int64_t nodes;
+};
+
+void dfs(const std::vector<std::int64_t>& d, std::int64_t n,
+         std::vector<std::int64_t>& path, std::vector<bool>& used,
+         std::int64_t cost, std::int64_t& best, std::int64_t& nodes) {
+  ++nodes;
+  if (cost >= best) return;  // bound pruning
+  if (static_cast<std::int64_t>(path.size()) == n) {
+    const std::int64_t total =
+        cost + d[static_cast<std::size_t>(path.back() * n + path.front())];
+    best = std::min(best, total);
+    return;
+  }
+  const std::int64_t last = path.back();
+  for (std::int64_t c = 1; c < n; ++c) {
+    if (used[static_cast<std::size_t>(c)]) continue;
+    used[static_cast<std::size_t>(c)] = true;
+    path.push_back(c);
+    dfs(d, n, path, used, cost + d[static_cast<std::size_t>(last * n + c)],
+        best, nodes);
+    path.pop_back();
+    used[static_cast<std::size_t>(c)] = false;
+  }
+}
+
+SearchResult solve_branch(const std::vector<std::int64_t>& d, std::int64_t n,
+                          std::int64_t second, std::int64_t bound) {
+  std::vector<std::int64_t> path{0, second};
+  std::vector<bool> used(static_cast<std::size_t>(n), false);
+  used[0] = used[static_cast<std::size_t>(second)] = true;
+  std::int64_t best = bound;
+  std::int64_t nodes = 0;
+  dfs(d, n, path, used, d[static_cast<std::size_t>(second)], best, nodes);
+  return SearchResult{best, nodes};
+}
+
+}  // namespace
+
+kernel::ProcessMain make_tsp_master(const std::vector<std::string>& argv) {
+  return [argv](Sys& sys) {
+    const auto port = static_cast<net::Port>(arg_int(argv, 1, 9000));
+    const auto nworkers = arg_int(argv, 2, 2);
+    const auto ncities = arg_int(argv, 3, 9);
+    const auto seed = static_cast<std::uint64_t>(arg_int(argv, 4, 42));
+
+    auto ls = sys.socket(SockDomain::internet, SockType::stream);
+    if (!ls || !sys.bind_port(*ls, port) || !sys.listen(*ls, 16)) sys.exit(1);
+
+    const std::vector<std::int64_t> dist = make_matrix(ncities, seed);
+
+    std::vector<Fd> workers;
+    for (std::int64_t i = 0; i < nworkers; ++i) {
+      auto conn = sys.accept(*ls);
+      if (!conn) sys.exit(1);
+      workers.push_back(*conn);
+      util::BinaryWriter hello;
+      hello.u8('H');
+      hello.i64(ncities);
+      for (std::int64_t v : dist) hello.i64(v);
+      if (!send_blob(sys, *conn, hello.bytes())) sys.exit(1);
+    }
+
+    std::deque<std::int64_t> tasks;  // second city of the fixed branch
+    for (std::int64_t c = 1; c < ncities; ++c) tasks.push_back(c);
+
+    std::int64_t best = kInf;
+    std::int64_t total_nodes = 0;
+
+    auto give_work = [&](Fd fd) -> bool {
+      if (tasks.empty()) return false;
+      util::BinaryWriter w;
+      w.u8('W');
+      w.i64(tasks.front());
+      w.i64(best);
+      tasks.pop_front();
+      return send_blob(sys, fd, w.bytes()).ok();
+    };
+
+    std::size_t busy = 0;
+    for (Fd fd : workers) {
+      if (give_work(fd)) ++busy;
+    }
+    while (busy > 0) {
+      auto sel = sys.select(workers, false, std::nullopt);
+      if (!sel) break;
+      for (Fd fd : sel->readable) {
+        auto blob = recv_blob(sys, fd);
+        if (!blob) {
+          --busy;
+          continue;
+        }
+        util::BinaryReader r(*blob);
+        auto tag = r.u8();
+        auto cost = r.i64();
+        auto nodes = r.i64();
+        if (tag && *tag == 'R' && cost && nodes) {
+          best = std::min(best, *cost);
+          total_nodes += *nodes;
+        }
+        --busy;
+        if (give_work(fd)) ++busy;
+      }
+    }
+    for (Fd fd : workers) {
+      util::BinaryWriter w;
+      w.u8('S');
+      (void)send_blob(sys, fd, w.bytes());
+      (void)sys.close(fd);
+    }
+    (void)sys.print(util::strprintf(
+        "tsp: best tour %lld (%lld cities, %lld nodes explored)\n",
+        static_cast<long long>(best), static_cast<long long>(ncities),
+        static_cast<long long>(total_nodes)));
+    sys.exit(0);
+  };
+}
+
+kernel::ProcessMain make_tsp_worker(const std::vector<std::string>& argv) {
+  return [argv](Sys& sys) {
+    const std::string host = arg_str(argv, 1, "localhost");
+    const auto port = static_cast<net::Port>(arg_int(argv, 2, 9000));
+    const auto ns_per_node = arg_int(argv, 3, 2000);
+
+    Fd fd = connect_retry(sys, host, port);
+    if (fd < 0) sys.exit(1);
+
+    std::int64_t n = 0;
+    std::vector<std::int64_t> dist;
+    for (;;) {
+      auto blob = recv_blob(sys, fd);
+      if (!blob) break;
+      util::BinaryReader r(*blob);
+      auto tag = r.u8();
+      if (!tag) break;
+      if (*tag == 'H') {
+        auto nc = r.i64();
+        if (!nc) break;
+        n = *nc;
+        dist.resize(static_cast<std::size_t>(n * n));
+        bool ok = true;
+        for (auto& v : dist) {
+          auto x = r.i64();
+          if (!x) {
+            ok = false;
+            break;
+          }
+          v = *x;
+        }
+        if (!ok) break;
+      } else if (*tag == 'W') {
+        auto second = r.i64();
+        auto bound = r.i64();
+        if (!second || !bound || n == 0) break;
+        const SearchResult res = solve_branch(dist, n, *second, *bound);
+        // Model the search's CPU consumption in simulated time.
+        sys.compute(util::usec(res.nodes * ns_per_node / 1000 + 1));
+        util::BinaryWriter w;
+        w.u8('R');
+        w.i64(res.best);
+        w.i64(res.nodes);
+        if (!send_blob(sys, fd, w.bytes())) break;
+      } else {  // 'S'
+        break;
+      }
+    }
+    (void)sys.close(fd);
+    sys.exit(0);
+  };
+}
+
+}  // namespace dpm::apps

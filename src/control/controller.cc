@@ -1,0 +1,806 @@
+#include "control/controller.h"
+
+#include <algorithm>
+
+#include "daemon/protocol.h"
+#include "filter/trace.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace dpm::control {
+
+namespace {
+
+using daemon::AcquireRequest;
+using daemon::CreateReply;
+using daemon::CreateRequest;
+using daemon::DaemonMsg;
+using daemon::FilterReply;
+using daemon::FilterRequest;
+using daemon::IoNote;
+using daemon::MsgType;
+using daemon::ProcRequest;
+using daemon::SetFlagsRequest;
+using daemon::SimpleReply;
+using daemon::StateNote;
+using kernel::Fd;
+using kernel::Sys;
+using util::Err;
+
+std::string basename_of(const std::string& path) {
+  auto pos = path.rfind('/');
+  return pos == std::string::npos ? path : path.substr(pos + 1);
+}
+
+/// Extracts the status of a daemon reply regardless of its exact type.
+std::int32_t reply_status(const DaemonMsg& m) {
+  if (const auto* s = std::get_if<SimpleReply>(&m)) return s->status;
+  if (const auto* c = std::get_if<CreateReply>(&m)) return c->status;
+  if (const auto* f = std::get_if<FilterReply>(&m)) return f->status;
+  return static_cast<std::int32_t>(Err::einval);
+}
+
+std::string err_text(std::int32_t status) {
+  return std::string(util::err_message(static_cast<Err>(status)));
+}
+
+}  // namespace
+
+Controller::Controller(Sys& sys) : sys_(sys) {}
+
+void Controller::emit(const std::string& text) {
+  if (sink_fd_ >= 0) {
+    (void)sys_.write(sink_fd_, text);
+  } else {
+    (void)sys_.print(text);
+  }
+}
+
+void Controller::prompt() { emit("<Control> "); }
+
+std::optional<net::SockAddr> Controller::daemon_addr(
+    const std::string& machine) {
+  return sys_.resolve(machine, daemon::kDaemonPort);
+}
+
+bool Controller::stage_file(const std::string& machine,
+                            const std::string& path) {
+  if (machine == sys_.hostname()) return true;
+  // §3.5.3: no remote file system in 4.2BSD — copy the file with rcp. If
+  // the file is not present locally we proceed: it may already exist on
+  // the remote machine (the daemon reports an error if not).
+  auto probe = sys_.open(path, Sys::OpenMode::read);
+  if (!probe) return true;
+  (void)sys_.close(*probe);
+  auto r = sys_.rcp(sys_.hostname(), path, machine, path);
+  if (!r && r.error() != Err::eacces) {
+    // eacces means a copy of the file is already installed there under
+    // another account (the standard files are); anything else is a real
+    // staging failure worth reporting — but the daemon still gets to try.
+    emit(util::strprintf("warning: cannot copy '%s' to '%s': %s\n",
+                         path.c_str(), machine.c_str(),
+                         err_text(static_cast<std::int32_t>(r.error())).c_str()));
+  }
+  return true;
+}
+
+void Controller::run() {
+  // The notification socket: daemons connect here to report state changes
+  // (§3.5.1's inverted exchange).
+  auto ns = sys_.socket(kernel::SockDomain::internet, kernel::SockType::stream);
+  if (!ns || !sys_.bind_port(*ns, 0) || !sys_.listen(*ns, 64)) {
+    (void)sys_.print("controller: cannot create notification socket\n");
+    sys_.exit(1);
+  }
+  notif_sock_ = *ns;
+  auto bound = sys_.getsockname(*ns);
+  control_port_ = bound ? bound->port : 0;
+
+  for (;;) {
+    prompt_pending_ = true;
+    auto line = next_command_line();
+    if (!line) {
+      // stdin EOF behaves like an unconditional die (^D, §4.3).
+      remove_filters();
+      break;
+    }
+    if (!execute(*line)) break;
+  }
+  sys_.exit(0);
+}
+
+std::optional<std::string> Controller::next_command_line() {
+  for (;;) {
+    // Script input (source) takes precedence; notifications are polled
+    // between script commands.
+    if (!source_stack_.empty()) {
+      poll_notifications(/*block_until_input=*/false);
+      auto& top = source_stack_.back();
+      if (top.empty()) {
+        source_stack_.pop_back();
+        continue;
+      }
+      std::string line = std::move(top.front());
+      top.pop_front();
+      if (prompt_pending_) {
+        prompt();
+        prompt_pending_ = false;
+      }
+      emit(line + "\n");  // echo script commands into the transcript
+      return line;
+    }
+
+    if (prompt_pending_) {
+      prompt();
+      prompt_pending_ = false;
+    }
+    poll_notifications(/*block_until_input=*/true);
+    auto line = sys_.read_line();
+    if (!line) return std::nullopt;  // error: treat as EOF
+    if (!line->has_value()) return std::nullopt;
+    return **line;
+  }
+}
+
+void Controller::poll_notifications(bool block_until_input) {
+  for (;;) {
+    std::optional<util::Duration> timeout;
+    if (!block_until_input) timeout = util::Duration{0};
+    auto sel = sys_.select({0, notif_sock_}, /*child_events=*/false, timeout);
+    if (!sel) return;
+    bool input_ready = false;
+    bool note_ready = false;
+    for (Fd fd : sel->readable) {
+      if (fd == 0) input_ready = true;
+      if (fd == notif_sock_) note_ready = true;
+    }
+    if (note_ready) {
+      auto conn = sys_.accept(notif_sock_);
+      if (conn) {
+        handle_notification(*conn);
+        (void)sys_.close(*conn);
+      }
+    }
+    if (input_ready) return;
+    if (!block_until_input && !note_ready) return;
+  }
+}
+
+void Controller::handle_notification(Fd conn) {
+  auto msg = daemon::recv_msg(sys_, conn);
+  if (!msg) return;
+
+  if (const auto* note = std::get_if<StateNote>(&*msg)) {
+    const auto event = static_cast<kernel::ChildEvent>(note->event);
+    // Is it a process of some job?
+    for (auto& [jname, job] : jobs_) {
+      ProcEntry* p = job.find_pid(note->machine, note->pid);
+      if (!p) continue;
+      switch (event) {
+        case kernel::ChildEvent::exited:
+        case kernel::ChildEvent::killed:
+          if (p->state != ProcState::killed) {
+            p->state = ProcState::killed;
+            emit(util::strprintf(
+                "DONE: process %s in job '%s' terminated: reason: %s\n",
+                p->name.c_str(), jname.c_str(),
+                event == kernel::ChildEvent::exited ? "normal" : "killed"));
+          }
+          break;
+        case kernel::ChildEvent::stopped:
+          if (p->state == ProcState::running) p->state = ProcState::stopped;
+          break;
+        case kernel::ChildEvent::continued:
+          if (p->state == ProcState::stopped) p->state = ProcState::running;
+          break;
+      }
+      return;
+    }
+    // A filter?
+    for (auto it = filters_.begin(); it != filters_.end(); ++it) {
+      if (it->second.machine == note->machine && it->second.pid == note->pid) {
+        if (event == kernel::ChildEvent::exited ||
+            event == kernel::ChildEvent::killed) {
+          emit(util::strprintf("filter '%s' terminated\n",
+                               it->first.c_str()));
+          if (default_filter_ == it->first) default_filter_.clear();
+          filters_.erase(it);
+        }
+        return;
+      }
+    }
+    return;
+  }
+
+  if (const auto* io = std::get_if<IoNote>(&*msg)) {
+    for (auto& [jname, job] : jobs_) {
+      ProcEntry* p = job.find_pid(io->machine, io->pid);
+      if (p) {
+        emit(util::strprintf("[%s] %s", p->name.c_str(), io->data.c_str()));
+        if (!io->data.empty() && io->data.back() != '\n') emit("\n");
+        return;
+      }
+    }
+  }
+}
+
+bool Controller::execute(const std::string& raw_line) {
+  const std::string line{util::trim(raw_line)};
+  if (line.empty() || line[0] == '#') return true;
+  auto tokens = util::split(line, " \t");
+  const std::string cmd = util::to_lower(tokens[0]);
+  std::vector<std::string> args(tokens.begin() + 1, tokens.end());
+
+  for (const auto& a : args) {
+    if (!util::is_word(a)) {
+      emit(util::strprintf("bad parameter '%s'\n", a.c_str()));
+      return true;
+    }
+  }
+
+  if (cmd != "die" && cmd != "exit" && cmd != "bye") warned_die_ = false;
+
+  if (cmd == "help") {
+    cmd_help();
+  } else if (cmd == "filter") {
+    cmd_filter(args);
+  } else if (cmd == "newjob") {
+    cmd_newjob(args);
+  } else if (cmd == "addprocess" || cmd == "add") {
+    cmd_addprocess(args);
+  } else if (cmd == "acquire") {
+    cmd_acquire(args);
+  } else if (cmd == "setflags") {
+    cmd_setflags(args);
+  } else if (cmd == "startjob") {
+    cmd_startjob(args);
+  } else if (cmd == "stopjob") {
+    cmd_stopjob(args);
+  } else if (cmd == "removejob" || cmd == "rmjob") {
+    cmd_removejob(args);
+  } else if (cmd == "removeprocess" || cmd == "rmprocess") {
+    cmd_removeprocess(args);
+  } else if (cmd == "jobs") {
+    cmd_jobs(args);
+  } else if (cmd == "getlog") {
+    cmd_getlog(args);
+  } else if (cmd == "source") {
+    cmd_source(args);
+  } else if (cmd == "sink") {
+    cmd_sink(args);
+  } else if (cmd == "die" || cmd == "exit" || cmd == "bye") {
+    return cmd_die();
+  } else {
+    emit(util::strprintf("unknown command '%s' (try help)\n", cmd.c_str()));
+  }
+  return true;
+}
+
+void Controller::cmd_help() {
+  emit(
+      "commands:\n"
+      "  help\n"
+      "  filter [<filtername> [<machine> [<filterfile> [<descriptions> [<templates>]]]]]\n"
+      "  newjob <jobname> [<filtername>]\n"
+      "  addprocess <jobname> <machine> <processfile> [<parm1 parm2 ...>]\n"
+      "  acquire <jobname> <machine> <process identifier>\n"
+      "  setflags <jobname> <flag1 flag2 ...>\n"
+      "  startjob <jobname>\n"
+      "  stopjob <jobname>\n"
+      "  removejob <jobname>\n"
+      "  removeprocess <jobname> <processname>\n"
+      "  jobs [<jobname1 jobname2 ...>]\n"
+      "  getlog <filtername> <destination filename>\n"
+      "  source <filename>\n"
+      "  sink [<filename>]\n"
+      "  die (aliases: exit, bye, ^D)\n"
+      "metering flags: fork termproc send receivecall receive socket dup\n"
+      "  destsocket accept connect all immediate (prefix '-' resets)\n");
+}
+
+void Controller::cmd_filter(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    if (filters_.empty()) {
+      emit("no filters\n");
+      return;
+    }
+    for (const auto& [name, f] : filters_) {
+      emit(util::strprintf("%d %s %s\n", f.pid, name.c_str(),
+                           f.machine.c_str()));
+    }
+    return;
+  }
+
+  const std::string& name = args[0];
+  if (filters_.count(name)) {
+    emit(util::strprintf("filter '%s' already exists\n", name.c_str()));
+    return;
+  }
+  const std::string machine = args.size() > 1 ? args[1] : sys_.hostname();
+  const std::string filterfile = args.size() > 2 ? args[2] : "filter";
+  const std::string descriptions = args.size() > 3 ? args[3] : "descriptions";
+  const std::string templates = args.size() > 4 ? args[4] : "templates";
+
+  auto addr = daemon_addr(machine);
+  if (!addr) {
+    emit(util::strprintf("unknown machine '%s'\n", machine.c_str()));
+    return;
+  }
+  if (!stage_file(machine, filterfile) || !stage_file(machine, descriptions) ||
+      !stage_file(machine, templates)) {
+    return;
+  }
+
+  FilterRequest req;
+  req.uid = sys_.getuid();
+  req.filterfile = filterfile;
+  req.logfile = filter::log_path_for(name);
+  req.descriptions = descriptions;
+  req.templates = templates;
+  req.control_port = control_port_;
+  req.control_host = sys_.hostname();
+  auto reply = daemon::rpc_call(sys_, *addr, req);
+  if (!reply) {
+    emit(util::strprintf("filter '%s' not created: %s\n", name.c_str(),
+                         std::string(util::err_message(reply.error())).c_str()));
+    return;
+  }
+  const auto* fr = std::get_if<FilterReply>(&*reply);
+  if (!fr || fr->status != 0) {
+    emit(util::strprintf("filter '%s' not created: %s\n", name.c_str(),
+                         err_text(reply_status(*reply)).c_str()));
+    return;
+  }
+  FilterRec rec;
+  rec.name = name;
+  rec.machine = machine;
+  rec.pid = fr->pid;
+  rec.meter_port = fr->meter_port;
+  rec.logfile = req.logfile;
+  filters_[name] = rec;
+  if (default_filter_.empty()) default_filter_ = name;
+  emit(util::strprintf("filter '%s' ... created: identifier = %d\n",
+                       name.c_str(), fr->pid));
+}
+
+void Controller::cmd_newjob(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    emit("usage: newjob <jobname> [<filtername>]\n");
+    return;
+  }
+  const std::string& name = args[0];
+  if (jobs_.count(name)) {
+    emit(util::strprintf("job '%s' already exists\n", name.c_str()));
+    return;
+  }
+  std::string filter_name = args.size() > 1 ? args[1] : default_filter_;
+  if (filter_name.empty() || !filters_.count(filter_name)) {
+    // §4.3: "A job cannot be created if a filter has not been created."
+    emit("no filter: create a filter first\n");
+    return;
+  }
+  Job job;
+  job.name = name;
+  job.filter_name = filter_name;
+  jobs_[name] = std::move(job);
+}
+
+void Controller::cmd_addprocess(const std::vector<std::string>& args) {
+  if (args.size() < 3) {
+    emit("usage: addprocess <jobname> <machine> <processfile> [<parms>]\n");
+    return;
+  }
+  auto jit = jobs_.find(args[0]);
+  if (jit == jobs_.end()) {
+    emit(util::strprintf("no such job '%s'\n", args[0].c_str()));
+    return;
+  }
+  Job& job = jit->second;
+  const std::string& machine = args[1];
+  const std::string& processfile = args[2];
+  auto addr = daemon_addr(machine);
+  if (!addr) {
+    emit(util::strprintf("unknown machine '%s'\n", machine.c_str()));
+    return;
+  }
+  if (!stage_file(machine, processfile)) return;
+
+  const FilterRec& filt = filters_.at(job.filter_name);
+  CreateRequest req;
+  req.uid = sys_.getuid();
+  req.filename = processfile;
+  req.params.assign(args.begin() + 3, args.end());
+  req.filter_port = filt.meter_port;
+  req.filter_host = filt.machine;
+  req.meter_flags = job.flags;
+  req.control_port = control_port_;
+  req.control_host = sys_.hostname();
+  auto reply = daemon::rpc_call(sys_, *addr, req);
+  const std::string display = basename_of(processfile);
+  if (!reply) {
+    emit(util::strprintf("process '%s' not created: %s\n", display.c_str(),
+                         std::string(util::err_message(reply.error())).c_str()));
+    return;
+  }
+  const auto* cr = std::get_if<CreateReply>(&*reply);
+  if (!cr || cr->status != 0) {
+    emit(util::strprintf("process '%s' not created: %s\n", display.c_str(),
+                         err_text(reply_status(*reply)).c_str()));
+    return;
+  }
+  ProcEntry p;
+  p.name = display;
+  p.machine = machine;
+  p.pid = cr->pid;
+  p.state = ProcState::fresh;
+  p.flags = job.flags;
+  job.procs.push_back(std::move(p));
+  emit(util::strprintf("process '%s' ... created: identifier = %d\n",
+                       display.c_str(), cr->pid));
+}
+
+void Controller::cmd_acquire(const std::vector<std::string>& args) {
+  if (args.size() < 3) {
+    emit("usage: acquire <jobname> <machine> <process identifier>\n");
+    return;
+  }
+  auto jit = jobs_.find(args[0]);
+  if (jit == jobs_.end()) {
+    emit(util::strprintf("no such job '%s'\n", args[0].c_str()));
+    return;
+  }
+  Job& job = jit->second;
+  const std::string& machine = args[1];
+  auto pid = util::parse_int(args[2]);
+  if (!pid) {
+    emit("bad process identifier\n");
+    return;
+  }
+  auto addr = daemon_addr(machine);
+  if (!addr) {
+    emit(util::strprintf("unknown machine '%s'\n", machine.c_str()));
+    return;
+  }
+  const FilterRec& filt = filters_.at(job.filter_name);
+  AcquireRequest req;
+  req.uid = sys_.getuid();
+  req.pid = static_cast<std::int32_t>(*pid);
+  req.filter_port = filt.meter_port;
+  req.filter_host = filt.machine;
+  req.meter_flags = job.flags;
+  auto reply = daemon::rpc_call(sys_, *addr, req);
+  const std::int32_t status = reply ? reply_status(*reply)
+                                    : static_cast<std::int32_t>(reply.error());
+  if (status != 0) {
+    emit(util::strprintf("process %lld not acquired: %s\n",
+                         static_cast<long long>(*pid),
+                         err_text(status).c_str()));
+    return;
+  }
+  ProcEntry p;
+  p.name = util::strprintf("pid%lld", static_cast<long long>(*pid));
+  p.machine = machine;
+  p.pid = static_cast<kernel::Pid>(*pid);
+  p.state = ProcState::acquired;
+  p.flags = job.flags;
+  job.procs.push_back(std::move(p));
+  emit(util::strprintf("process %lld ... acquired\n",
+                       static_cast<long long>(*pid)));
+}
+
+void Controller::cmd_setflags(const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    emit("usage: setflags <jobname> <flag1 flag2 ...>\n");
+    return;
+  }
+  auto jit = jobs_.find(args[0]);
+  if (jit == jobs_.end()) {
+    emit(util::strprintf("no such job '%s'\n", args[0].c_str()));
+    return;
+  }
+  Job& job = jit->second;
+  std::string bad;
+  auto mask = apply_flag_tokens(job.flags,
+                                std::vector<std::string>(args.begin() + 1,
+                                                         args.end()),
+                                &bad);
+  if (!mask) {
+    emit(util::strprintf("unknown flag '%s'\n", bad.c_str()));
+    return;
+  }
+  job.flags = *mask;
+  emit("new job flags = " + meter::flags_to_string(job.flags) + "\n");
+
+  for (auto& p : job.procs) {
+    if (p.state == ProcState::killed) continue;
+    auto addr = daemon_addr(p.machine);
+    if (!addr) continue;
+    SetFlagsRequest req;
+    req.uid = sys_.getuid();
+    req.pid = p.pid;
+    req.flags = job.flags;
+    auto reply = daemon::rpc_call(sys_, *addr, req);
+    const std::int32_t status =
+        reply ? reply_status(*reply) : static_cast<std::int32_t>(reply.error());
+    if (status == 0) {
+      p.flags = job.flags;
+      emit(util::strprintf("Process '%s' : Flags set\n", p.name.c_str()));
+    } else {
+      emit(util::strprintf("Process '%s' : %s\n", p.name.c_str(),
+                           err_text(status).c_str()));
+    }
+  }
+}
+
+void Controller::cmd_startjob(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    emit("usage: startjob <jobname>\n");
+    return;
+  }
+  auto jit = jobs_.find(args[0]);
+  if (jit == jobs_.end()) {
+    emit(util::strprintf("no such job '%s'\n", args[0].c_str()));
+    return;
+  }
+  for (auto& p : jit->second.procs) {
+    if (!can_transition(p.state, ProcState::running)) {
+      emit(util::strprintf("'%s' cannot be started (%s).\n", p.name.c_str(),
+                           proc_state_name(p.state)));
+      continue;
+    }
+    auto addr = daemon_addr(p.machine);
+    if (!addr) continue;
+    ProcRequest req;
+    req.what = MsgType::start_request;
+    req.uid = sys_.getuid();
+    req.pid = p.pid;
+    auto reply = daemon::rpc_call(sys_, *addr, req);
+    const std::int32_t status =
+        reply ? reply_status(*reply) : static_cast<std::int32_t>(reply.error());
+    if (status == 0) {
+      p.state = ProcState::running;
+      emit(util::strprintf("'%s' started.\n", p.name.c_str()));
+    } else {
+      emit(util::strprintf("'%s' not started: %s\n", p.name.c_str(),
+                           err_text(status).c_str()));
+    }
+  }
+}
+
+void Controller::cmd_stopjob(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    emit("usage: stopjob <jobname>\n");
+    return;
+  }
+  auto jit = jobs_.find(args[0]);
+  if (jit == jobs_.end()) {
+    emit(util::strprintf("no such job '%s'\n", args[0].c_str()));
+    return;
+  }
+  for (auto& p : jit->second.procs) {
+    // Killed and acquired processes are ignored (§4.3).
+    if (!can_transition(p.state, ProcState::stopped)) continue;
+    auto addr = daemon_addr(p.machine);
+    if (!addr) continue;
+    ProcRequest req;
+    req.what = MsgType::stop_request;
+    req.uid = sys_.getuid();
+    req.pid = p.pid;
+    auto reply = daemon::rpc_call(sys_, *addr, req);
+    const std::int32_t status =
+        reply ? reply_status(*reply) : static_cast<std::int32_t>(reply.error());
+    if (status == 0) {
+      p.state = ProcState::stopped;
+      emit(util::strprintf("'%s' stopped.\n", p.name.c_str()));
+    } else {
+      emit(util::strprintf("'%s' not stopped: %s\n", p.name.c_str(),
+                           err_text(status).c_str()));
+    }
+  }
+}
+
+bool Controller::remove_proc(Job& job, ProcEntry& p) {
+  (void)job;
+  auto addr = daemon_addr(p.machine);
+  if (!addr) return false;
+  if (p.state == ProcState::stopped) {
+    ProcRequest req;
+    req.what = MsgType::kill_request;
+    req.uid = sys_.getuid();
+    req.pid = p.pid;
+    (void)daemon::rpc_call(sys_, *addr, req);
+    p.state = ProcState::killed;
+  } else if (p.state == ProcState::acquired) {
+    // "the control program insures that the filter connection of that
+    // process is taken down ... but the process continues to execute."
+    ProcRequest req;
+    req.what = MsgType::release_request;
+    req.uid = sys_.getuid();
+    req.pid = p.pid;
+    (void)daemon::rpc_call(sys_, *addr, req);
+  }
+  return true;
+}
+
+void Controller::cmd_removejob(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    emit("usage: removejob <jobname>\n");
+    return;
+  }
+  auto jit = jobs_.find(args[0]);
+  if (jit == jobs_.end()) {
+    emit(util::strprintf("no such job '%s'\n", args[0].c_str()));
+    return;
+  }
+  Job& job = jit->second;
+  if (!job.removable()) {
+    emit(util::strprintf(
+        "job '%s' has running or new processes; not removed\n",
+        job.name.c_str()));
+    return;
+  }
+  for (auto& p : job.procs) {
+    remove_proc(job, p);
+    emit(util::strprintf("'%s' removed\n", p.name.c_str()));
+  }
+  jobs_.erase(jit);
+}
+
+void Controller::cmd_removeprocess(const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    emit("usage: removeprocess <jobname> <processname>\n");
+    return;
+  }
+  auto jit = jobs_.find(args[0]);
+  if (jit == jobs_.end()) {
+    emit(util::strprintf("no such job '%s'\n", args[0].c_str()));
+    return;
+  }
+  Job& job = jit->second;
+  ProcEntry* p = job.find(args[1]);
+  if (!p) {
+    emit(util::strprintf("no process '%s' in job '%s'\n", args[1].c_str(),
+                         job.name.c_str()));
+    return;
+  }
+  if (p->state != ProcState::killed && p->state != ProcState::stopped &&
+      p->state != ProcState::acquired) {
+    emit(util::strprintf("'%s' is %s; not removed\n", p->name.c_str(),
+                         proc_state_name(p->state)));
+    return;
+  }
+  remove_proc(job, *p);
+  emit(util::strprintf("'%s' removed\n", p->name.c_str()));
+  job.procs.erase(job.procs.begin() + (p - job.procs.data()));
+}
+
+void Controller::cmd_jobs(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    if (jobs_.empty()) {
+      emit("no jobs\n");
+      return;
+    }
+    int i = 1;
+    for (const auto& [name, job] : jobs_) {
+      emit(util::strprintf("%d. %s filter: %s\n", i++, name.c_str(),
+                           job.filter_name.c_str()));
+    }
+    return;
+  }
+  for (const auto& name : args) {
+    auto jit = jobs_.find(name);
+    if (jit == jobs_.end()) {
+      emit(util::strprintf("no such job '%s'\n", name.c_str()));
+      continue;
+    }
+    emit(util::strprintf("job '%s' (filter %s):\n", name.c_str(),
+                         jit->second.filter_name.c_str()));
+    for (const auto& p : jit->second.procs) {
+      emit(util::strprintf("  %d %s %s %s flags: %s\n", p.pid,
+                           proc_state_name(p.state), p.name.c_str(),
+                           p.machine.c_str(),
+                           meter::flags_to_string(p.flags).c_str()));
+    }
+  }
+}
+
+void Controller::cmd_getlog(const std::vector<std::string>& args) {
+  if (args.size() < 2) {
+    emit("usage: getlog <filtername> <destination filename>\n");
+    return;
+  }
+  auto fit = filters_.find(args[0]);
+  if (fit == filters_.end()) {
+    emit(util::strprintf("no such filter '%s'\n", args[0].c_str()));
+    return;
+  }
+  auto r = sys_.rcp(fit->second.machine, fit->second.logfile, sys_.hostname(),
+                    args[1]);
+  if (!r) {
+    emit(util::strprintf("getlog failed: %s\n",
+                         std::string(util::err_message(r.error())).c_str()));
+  }
+}
+
+void Controller::cmd_source(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    emit("usage: source <filename>\n");
+    return;
+  }
+  if (source_stack_.size() >= kMaxSourceDepth) {
+    emit("source: nesting too deep\n");
+    return;
+  }
+  auto fd = sys_.open(args[0], Sys::OpenMode::read);
+  if (!fd) {
+    emit(util::strprintf("cannot read '%s'\n", args[0].c_str()));
+    return;
+  }
+  std::string text;
+  for (;;) {
+    auto chunk = sys_.read(*fd, 4096);
+    if (!chunk || chunk->empty()) break;
+    text += util::to_string(*chunk);
+  }
+  (void)sys_.close(*fd);
+  std::deque<std::string> lines;
+  for (auto& line : util::split_keep_empty(text, '\n')) {
+    if (!util::trim(line).empty()) lines.push_back(line);
+  }
+  source_stack_.push_back(std::move(lines));
+}
+
+void Controller::cmd_sink(const std::vector<std::string>& args) {
+  if (sink_fd_ >= 0) {
+    (void)sys_.close(sink_fd_);
+    sink_fd_ = -1;
+  }
+  if (args.empty()) return;  // output back to the terminal
+  auto fd = sys_.open(args[0], Sys::OpenMode::write_trunc);
+  if (!fd) {
+    emit(util::strprintf("cannot write '%s'\n", args[0].c_str()));
+    return;
+  }
+  sink_fd_ = *fd;
+}
+
+void Controller::remove_filters() {
+  for (const auto& [name, f] : filters_) {
+    auto addr = daemon_addr(f.machine);
+    if (!addr) continue;
+    ProcRequest req;
+    req.what = MsgType::kill_request;
+    req.uid = sys_.getuid();
+    req.pid = f.pid;
+    (void)daemon::rpc_call(sys_, *addr, req);
+  }
+  filters_.clear();
+}
+
+bool Controller::cmd_die() {
+  bool active = false;
+  for (const auto& [name, job] : jobs_) {
+    if (job.has_active()) active = true;
+  }
+  if (active && !warned_die_) {
+    emit("there are still active processes; repeat to exit anyway\n");
+    warned_die_ = true;
+    return true;
+  }
+  // "Upon exit, all executing filter processes are removed."
+  remove_filters();
+  return false;
+}
+
+kernel::ProcessMain make_controller_main(const std::vector<std::string>&) {
+  return [](Sys& sys) {
+    Controller controller(sys);
+    controller.run();
+  };
+}
+
+void register_controller_program(kernel::ExecRegistry& registry) {
+  registry.register_program(kControllerProgram, make_controller_main);
+}
+
+}  // namespace dpm::control

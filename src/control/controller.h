@@ -1,0 +1,107 @@
+// The controller (§3.5, §4.3) — "a command interpreter. It provides the
+// user with a concise menu of commands to use in the measurement and
+// control of one or more distributed computations."
+//
+// Commands: help, filter, newjob, addprocess, acquire, setflags, startjob,
+// stopjob, removejob, removeprocess, jobs, getlog, source, sink, die
+// (aliases exit, bye). The controller runs as a simulated process: it
+// reads commands from standard input, performs daemon RPCs over temporary
+// connections, and listens on a notification socket for daemon-initiated
+// state-change reports (§3.5.1).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "control/job.h"
+#include "kernel/exec_registry.h"
+#include "kernel/syscalls.h"
+#include "net/address.h"
+
+namespace dpm::control {
+
+/// A filter process the controller created.
+struct FilterRec {
+  std::string name;
+  std::string machine;
+  kernel::Pid pid = 0;
+  net::Port meter_port = 0;
+  std::string logfile;
+};
+
+class Controller {
+ public:
+  explicit Controller(kernel::Sys& sys);
+
+  /// The command loop; returns when the user exits.
+  void run();
+
+  /// Executes one command line (used by run() and by tests driving the
+  /// controller directly). Returns false when the command ends the
+  /// session.
+  bool execute(const std::string& line);
+
+  // Introspection for tests.
+  const std::map<std::string, FilterRec>& filters() const { return filters_; }
+  const std::map<std::string, Job>& jobs() const { return jobs_; }
+  net::Port control_port() const { return control_port_; }
+
+ private:
+  // ---- command handlers (§4.3) ----
+  void cmd_help();
+  void cmd_filter(const std::vector<std::string>& args);
+  void cmd_newjob(const std::vector<std::string>& args);
+  void cmd_addprocess(const std::vector<std::string>& args);
+  void cmd_acquire(const std::vector<std::string>& args);
+  void cmd_setflags(const std::vector<std::string>& args);
+  void cmd_startjob(const std::vector<std::string>& args);
+  void cmd_stopjob(const std::vector<std::string>& args);
+  void cmd_removejob(const std::vector<std::string>& args);
+  void cmd_removeprocess(const std::vector<std::string>& args);
+  void cmd_jobs(const std::vector<std::string>& args);
+  void cmd_getlog(const std::vector<std::string>& args);
+  void cmd_source(const std::vector<std::string>& args);
+  void cmd_sink(const std::vector<std::string>& args);
+  bool cmd_die();
+
+  // ---- plumbing ----
+  void emit(const std::string& text);  // honors sink redirection
+  void prompt();
+  std::optional<std::string> next_command_line();
+  void poll_notifications(bool block_until_input);
+  void handle_notification(kernel::Fd conn);
+  /// Ensures `path` exists on `machine`, copying it with rcp from the
+  /// controller's machine if needed (§3.5.3). Returns false on failure.
+  bool stage_file(const std::string& machine, const std::string& path);
+  std::optional<net::SockAddr> daemon_addr(const std::string& machine);
+  /// Removes one process per removejob semantics; true on success.
+  bool remove_proc(Job& job, ProcEntry& p);
+  /// Kills every filter process (on die).
+  void remove_filters();
+
+  kernel::Sys& sys_;
+  net::Port control_port_ = 0;
+  kernel::Fd notif_sock_ = -1;
+
+  std::map<std::string, FilterRec> filters_;
+  std::string default_filter_;
+  std::map<std::string, Job> jobs_;
+
+  // source/sink state (§4.3)
+  std::vector<std::deque<std::string>> source_stack_;
+  kernel::Fd sink_fd_ = -1;
+  bool warned_die_ = false;
+  bool prompt_pending_ = false;
+};
+
+/// The controller program ("controller" in the exec registry).
+kernel::ProcessMain make_controller_main(const std::vector<std::string>& argv);
+void register_controller_program(kernel::ExecRegistry& registry);
+
+inline constexpr const char* kControllerProgram = "controller";
+inline constexpr std::size_t kMaxSourceDepth = 16;  // §4.3 source nesting
+
+}  // namespace dpm::control

@@ -1,0 +1,89 @@
+#include "control/job.h"
+
+namespace dpm::control {
+
+const char* proc_state_name(ProcState s) {
+  switch (s) {
+    case ProcState::fresh: return "new";
+    case ProcState::acquired: return "acquired";
+    case ProcState::running: return "running";
+    case ProcState::stopped: return "stopped";
+    case ProcState::killed: return "killed";
+  }
+  return "?";
+}
+
+bool can_transition(ProcState from, ProcState to) {
+  if (from == to) return false;
+  switch (from) {
+    case ProcState::fresh:
+      return to == ProcState::running || to == ProcState::stopped;
+    case ProcState::running:
+      return to == ProcState::stopped || to == ProcState::killed;
+    case ProcState::stopped:
+      return to == ProcState::running || to == ProcState::killed;
+    case ProcState::acquired:
+      return false;  // an acquired process can only be metered
+    case ProcState::killed:
+      return false;  // a process cannot be restarted once killed
+  }
+  return false;
+}
+
+ProcEntry* Job::find(const std::string& proc_name) {
+  for (auto& p : procs) {
+    if (p.name == proc_name) return &p;
+  }
+  return nullptr;
+}
+
+ProcEntry* Job::find_pid(const std::string& machine, kernel::Pid pid) {
+  for (auto& p : procs) {
+    if (p.machine == machine && p.pid == pid) return &p;
+  }
+  return nullptr;
+}
+
+bool Job::removable() const {
+  for (const auto& p : procs) {
+    if (p.state != ProcState::killed && p.state != ProcState::stopped &&
+        p.state != ProcState::acquired) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Job::has_active() const {
+  for (const auto& p : procs) {
+    if (p.state != ProcState::killed) return true;
+  }
+  return false;
+}
+
+std::optional<meter::Flags> apply_flag_tokens(
+    meter::Flags current, const std::vector<std::string>& tokens,
+    std::string* bad) {
+  meter::Flags mask = current;
+  for (const auto& tok : tokens) {
+    bool reset = false;
+    std::string name = tok;
+    if (!name.empty() && name[0] == '-') {
+      reset = true;
+      name.erase(0, 1);
+    }
+    auto flag = meter::flag_by_name(name);
+    if (!flag) {
+      if (bad) *bad = tok;
+      return std::nullopt;
+    }
+    if (reset) {
+      mask &= ~*flag;
+    } else {
+      mask |= *flag;  // §4.3: the active set is the union of setflags calls
+    }
+  }
+  return mask;
+}
+
+}  // namespace dpm::control

@@ -1,0 +1,64 @@
+// Jobs and the process state machine (§4.2, Fig 4.2).
+//
+// "The controller uses the term job to designate a computation. ... The
+// five process states recognized by the controller are new, acquired,
+// running, stopped, and killed." The transition rules of Fig 4.2 are
+// enforced here:
+//   * new      -> running (start) | stopped (stopjob)
+//   * running <-> stopped; running -> killed (completion)
+//   * stopped  -> killed (removal)
+//   * new      -/-> killed ("precautionary measure")
+//   * acquired -> acquired only ("can only be metered")
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kernel/types.h"
+#include "meter/meterflags.h"
+
+namespace dpm::control {
+
+enum class ProcState { fresh, acquired, running, stopped, killed };
+// ("fresh" is the paper's *new*; `new` is reserved in C++.)
+
+const char* proc_state_name(ProcState s);
+
+/// Would the Fig 4.2 state machine allow this transition?
+bool can_transition(ProcState from, ProcState to);
+
+/// A process tracked by the controller.
+struct ProcEntry {
+  std::string name;      // display name ('A', 'B', ...)
+  std::string machine;   // literal host name
+  kernel::Pid pid = 0;
+  ProcState state = ProcState::fresh;
+  meter::Flags flags = 0;
+};
+
+/// A job: a named computation plus the filter collecting its traces.
+struct Job {
+  std::string name;
+  std::string filter_name;
+  meter::Flags flags = 0;  // accumulated setflags mask (union semantics)
+  std::vector<ProcEntry> procs;
+
+  ProcEntry* find(const std::string& proc_name);
+  ProcEntry* find_pid(const std::string& machine, kernel::Pid pid);
+
+  /// removejob precondition: every process killed, stopped, or acquired.
+  bool removable() const;
+  /// die warns while any process is new, stopped, running, or acquired.
+  bool has_active() const;
+};
+
+/// Applies a setflags argument list ("send", "-receive", "all", "-all") to
+/// an accumulated mask; returns nullopt naming the bad token via `bad`.
+std::optional<meter::Flags> apply_flag_tokens(
+    meter::Flags current, const std::vector<std::string>& tokens,
+    std::string* bad);
+
+}  // namespace dpm::control

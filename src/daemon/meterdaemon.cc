@@ -1,0 +1,397 @@
+#include "daemon/meterdaemon.h"
+
+#include <algorithm>
+#include <map>
+
+#include "daemon/protocol.h"
+#include "kernel/syscalls.h"
+#include "meter/meterflags.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace dpm::daemon {
+
+namespace {
+
+using kernel::Fd;
+using kernel::Pid;
+using kernel::SockDomain;
+using kernel::SockType;
+using kernel::Sys;
+using util::Err;
+
+/// Daemon-side record of a process it created or acquired.
+struct ProcRec {
+  std::int32_t uid = 0;
+  std::uint16_t control_port = 0;
+  std::string control_host;
+  Fd gateway = -1;       // daemon's end of the stdio socket pair (-1: none)
+  bool acquired = false;
+};
+
+class Meterdaemon {
+ public:
+  explicit Meterdaemon(Sys& sys) : sys_(sys) {}
+
+  void run() {
+    auto lsock = sys_.socket(SockDomain::internet, SockType::stream);
+    if (!lsock || !sys_.bind_port(*lsock, kDaemonPort) ||
+        !sys_.listen(*lsock, 16)) {
+      (void)sys_.print("meterdaemon: cannot bind daemon port\n");
+      sys_.exit(1);
+    }
+    lsock_ = *lsock;
+
+    for (;;) {
+      std::vector<Fd> fds{lsock_};
+      for (const auto& [pid, rec] : procs_) {
+        if (rec.gateway >= 0) fds.push_back(rec.gateway);
+      }
+      auto sel = sys_.select(fds, /*child_events=*/true, std::nullopt);
+      if (!sel) break;
+
+      if (sel->child_event) drain_child_changes();
+      for (Fd fd : sel->readable) {
+        if (fd == lsock_) {
+          serve_one_rpc();
+        } else {
+          forward_process_output(fd);
+        }
+      }
+    }
+  }
+
+ private:
+  /// §3.5.1: the daemon is signaled when one of its processes changes
+  /// state; it connects to the responsible controller and reports.
+  void drain_child_changes() {
+    for (;;) {
+      auto c = sys_.waitchange(/*block=*/false);
+      if (!c) break;
+      auto it = procs_.find(c->pid);
+      if (it == procs_.end()) continue;
+      const ProcRec rec = it->second;
+      if (c->event == kernel::ChildEvent::exited ||
+          c->event == kernel::ChildEvent::killed) {
+        if (rec.gateway >= 0) {
+          drain_gateway_tail(c->pid, rec);
+          (void)sys_.close(rec.gateway);
+        }
+        procs_.erase(it);
+      }
+      if (rec.control_port != 0) {
+        auto to = sys_.resolve(rec.control_host, rec.control_port);
+        if (to) {
+          StateNote note;
+          note.machine = sys_.hostname();
+          note.pid = c->pid;
+          note.event = static_cast<std::uint8_t>(c->event);
+          note.status = c->status;
+          (void)notify(sys_, *to, note);
+        }
+      }
+    }
+  }
+
+  /// Output the process wrote before exiting may still sit in the gateway.
+  void drain_gateway_tail(Pid pid, const ProcRec& rec) {
+    for (;;) {
+      auto data = sys_.recv(rec.gateway, 4096);
+      if (!data || data->empty()) break;
+      send_io_note(pid, rec, util::to_string(*data));
+    }
+  }
+
+  void forward_process_output(Fd gateway) {
+    Pid pid = 0;
+    const ProcRec* rec = nullptr;
+    for (const auto& [p, r] : procs_) {
+      if (r.gateway == gateway) {
+        pid = p;
+        rec = &r;
+        break;
+      }
+    }
+    if (!rec) return;
+    auto data = sys_.recv(gateway, 4096);
+    if (!data) return;
+    if (data->empty()) {
+      // Process closed its stdio; child-exit handling closes the fd.
+      return;
+    }
+    send_io_note(pid, *rec, util::to_string(*data));
+  }
+
+  void send_io_note(Pid pid, const ProcRec& rec, std::string data) {
+    if (rec.control_port == 0) return;
+    auto to = sys_.resolve(rec.control_host, rec.control_port);
+    if (!to) return;
+    IoNote note;
+    note.machine = sys_.hostname();
+    note.pid = pid;
+    note.data = std::move(data);
+    (void)notify(sys_, *to, note);
+  }
+
+  void serve_one_rpc() {
+    auto conn = sys_.accept(lsock_);
+    if (!conn) return;
+    auto req = recv_msg(sys_, *conn);
+    if (req) {
+      DaemonMsg reply = dispatch(*req);
+      (void)send_msg(sys_, *conn, reply);
+    }
+    (void)sys_.close(*conn);
+  }
+
+  DaemonMsg dispatch(const DaemonMsg& req) {
+    struct Visitor {
+      Meterdaemon& d;
+      DaemonMsg operator()(const CreateRequest& r) { return d.do_create(r); }
+      DaemonMsg operator()(const FilterRequest& r) { return d.do_filter(r); }
+      DaemonMsg operator()(const SetFlagsRequest& r) { return d.do_setflags(r); }
+      DaemonMsg operator()(const ProcRequest& r) { return d.do_proc(r); }
+      DaemonMsg operator()(const AcquireRequest& r) { return d.do_acquire(r); }
+      DaemonMsg operator()(const IoSend& r) { return d.do_io_send(r); }
+      // Anything else is a protocol error.
+      DaemonMsg operator()(const CreateReply&) { return bad(); }
+      DaemonMsg operator()(const FilterReply&) { return bad(); }
+      DaemonMsg operator()(const SimpleReply&) { return bad(); }
+      DaemonMsg operator()(const StateNote&) { return bad(); }
+      DaemonMsg operator()(const IoNote&) { return bad(); }
+      static DaemonMsg bad() {
+        return SimpleReply{static_cast<std::int32_t>(Err::einval)};
+      }
+    };
+    return std::visit(Visitor{*this}, req);
+  }
+
+  /// Runs `fn` with the requester's identity (§3.5.5: "a user is granted
+  /// no special privileges").
+  template <typename Fn>
+  DaemonMsg as_user(std::int32_t uid, Fn&& fn) {
+    if (!sys_.seteuid(uid)) {
+      return SimpleReply{static_cast<std::int32_t>(Err::eperm)};
+    }
+    DaemonMsg out = fn();
+    (void)sys_.seteuid(kernel::kSuperUser);
+    return out;
+  }
+
+  /// Creates the meter connection to a filter and issues setmeter().
+  Err wire_meter(Pid pid, const std::string& filter_host,
+                 std::uint16_t filter_port, std::uint32_t flags) {
+    auto addr = sys_.resolve(filter_host, filter_port);
+    if (!addr) return Err::enoent;
+    auto ms = sys_.socket(SockDomain::internet, SockType::stream);
+    if (!ms) return ms.error();
+    auto conn = sys_.connect(*ms, *addr);
+    if (!conn) {
+      (void)sys_.close(*ms);
+      return conn.error();
+    }
+    auto sm = sys_.setmeter(pid, static_cast<std::int32_t>(flags), *ms);
+    // The daemon's own descriptor is closed either way; the kernel holds
+    // the hidden reference for the metered process (§3.2).
+    (void)sys_.close(*ms);
+    return sm.error();
+  }
+
+  DaemonMsg do_create(const CreateRequest& r) {
+    return as_user(r.uid, [&]() -> DaemonMsg {
+      CreateReply reply;
+
+      Fd child_stdin = -1;
+      Fd gateway = -1;
+      Fd child_end = -1;
+      if (!r.stdin_file.empty()) {
+        // §3.5.2: input from a file — the daemon opens the (already
+        // copied) file and redirects the process's standard input to it.
+        auto f = sys_.open(r.stdin_file, Sys::OpenMode::read);
+        if (!f) {
+          reply.status = static_cast<std::int32_t>(f.error());
+          return reply;
+        }
+        child_stdin = *f;
+      }
+      // Gateway for stdout/stderr (and stdin when no file): a local
+      // socket pair; local IPC is reliable (§3.5.2).
+      auto pair = sys_.socketpair();
+      if (!pair) {
+        if (child_stdin >= 0) (void)sys_.close(child_stdin);
+        reply.status = static_cast<std::int32_t>(pair.error());
+        return reply;
+      }
+      gateway = pair->first;
+      child_end = pair->second;
+      if (child_stdin < 0) child_stdin = child_end;
+
+      Sys::SpawnArgs sa;
+      sa.path = r.filename;
+      sa.args = r.params;
+      sa.suspended = true;  // processes are created in the *new* state
+      sa.stdin_fd = child_stdin;
+      sa.stdout_fd = child_end;
+      sa.stderr_fd = child_end;
+      auto pid = sys_.spawn(sa);
+      // The daemon's copy of the child end is no longer needed.
+      (void)sys_.close(child_end);
+      if (child_stdin != child_end) (void)sys_.close(child_stdin);
+      if (!pid) {
+        (void)sys_.close(gateway);
+        reply.status = static_cast<std::int32_t>(pid.error());
+        return reply;
+      }
+
+      if (r.filter_port != 0) {
+        const Err e = wire_meter(*pid, r.filter_host, r.filter_port,
+                                 r.meter_flags);
+        if (e != Err::ok) {
+          (void)sys_.kill_kill(*pid);
+          (void)sys_.close(gateway);
+          reply.status = static_cast<std::int32_t>(e);
+          return reply;
+        }
+      }
+
+      ProcRec rec;
+      rec.uid = r.uid;
+      rec.control_port = r.control_port;
+      rec.control_host = r.control_host;
+      rec.gateway = gateway;
+      procs_[*pid] = rec;
+
+      reply.pid = *pid;
+      reply.status = 0;
+      return reply;
+    });
+  }
+
+  DaemonMsg do_filter(const FilterRequest& r) {
+    return as_user(r.uid, [&]() -> DaemonMsg {
+      FilterReply reply;
+
+      // Reserve a port for the filter's meter socket: bind an ephemeral
+      // port, note the number, release it (ports are never reused in a
+      // run, so the filter can re-bind it).
+      auto probe = sys_.socket(SockDomain::internet, SockType::stream);
+      if (!probe) {
+        reply.status = static_cast<std::int32_t>(probe.error());
+        return reply;
+      }
+      auto bound = sys_.bind_port(*probe, 0);
+      (void)sys_.close(*probe);
+      if (!bound) {
+        reply.status = static_cast<std::int32_t>(bound.error());
+        return reply;
+      }
+      const net::Port meter_port = bound->port;
+
+      auto pair = sys_.socketpair();
+      if (!pair) {
+        reply.status = static_cast<std::int32_t>(pair.error());
+        return reply;
+      }
+
+      Sys::SpawnArgs sa;
+      sa.path = r.filterfile;
+      sa.args = {r.logfile, r.descriptions, r.templates,
+                 util::strprintf("%u", meter_port)};
+      sa.suspended = false;  // filters start immediately
+      sa.stdin_fd = pair->second;
+      sa.stdout_fd = pair->second;
+      sa.stderr_fd = pair->second;
+      auto pid = sys_.spawn(sa);
+      (void)sys_.close(pair->second);
+      if (!pid) {
+        (void)sys_.close(pair->first);
+        reply.status = static_cast<std::int32_t>(pid.error());
+        return reply;
+      }
+
+      ProcRec rec;
+      rec.uid = r.uid;
+      rec.control_port = r.control_port;
+      rec.control_host = r.control_host;
+      rec.gateway = pair->first;
+      procs_[*pid] = rec;
+
+      reply.pid = *pid;
+      reply.status = 0;
+      reply.meter_port = meter_port;
+      return reply;
+    });
+  }
+
+  DaemonMsg do_setflags(const SetFlagsRequest& r) {
+    return as_user(r.uid, [&]() -> DaemonMsg {
+      auto res = sys_.setmeter(r.pid, static_cast<std::int32_t>(r.flags),
+                               meter::SETMETER_NO_CHANGE);
+      return SimpleReply{static_cast<std::int32_t>(res.error())};
+    });
+  }
+
+  DaemonMsg do_proc(const ProcRequest& r) {
+    return as_user(r.uid, [&]() -> DaemonMsg {
+      util::SysResult<void> res;
+      switch (r.what) {
+        case MsgType::start_request:
+          res = sys_.kill_continue(r.pid);
+          break;
+        case MsgType::stop_request:
+          res = sys_.kill_stop(r.pid);
+          break;
+        case MsgType::kill_request:
+          res = sys_.kill_kill(r.pid);
+          break;
+        case MsgType::release_request:
+          // Take the metering down but leave the process running
+          // (removejob on acquired processes, §4.3).
+          res = sys_.setmeter(r.pid, meter::SETMETER_NONE,
+                              meter::SETMETER_NONE);
+          break;
+        default:
+          res = Err::einval;
+      }
+      return SimpleReply{static_cast<std::int32_t>(res.error())};
+    });
+  }
+
+  DaemonMsg do_acquire(const AcquireRequest& r) {
+    return as_user(r.uid, [&]() -> DaemonMsg {
+      // Acquired processes keep their environment; only metering changes.
+      const Err e =
+          wire_meter(r.pid, r.filter_host, r.filter_port, r.meter_flags);
+      return SimpleReply{static_cast<std::int32_t>(e)};
+    });
+  }
+
+  DaemonMsg do_io_send(const IoSend& r) {
+    auto it = procs_.find(r.pid);
+    if (it == procs_.end() || it->second.gateway < 0) {
+      return SimpleReply{static_cast<std::int32_t>(Err::esrch)};
+    }
+    auto res = sys_.send(it->second.gateway, r.data);
+    return SimpleReply{static_cast<std::int32_t>(res.error())};
+  }
+
+  Sys& sys_;
+  Fd lsock_ = -1;
+  std::map<Pid, ProcRec> procs_;
+};
+
+}  // namespace
+
+kernel::ProcessMain make_meterdaemon_main(const std::vector<std::string>&) {
+  return [](Sys& sys) {
+    Meterdaemon daemon(sys);
+    daemon.run();
+    sys.exit(0);
+  };
+}
+
+void register_meterdaemon_program(kernel::ExecRegistry& registry) {
+  registry.register_program(kMeterdaemonProgram, make_meterdaemon_main);
+}
+
+}  // namespace dpm::daemon

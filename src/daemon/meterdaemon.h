@@ -1,0 +1,30 @@
+// The meterdaemon (§3.5).
+//
+// "There must be a meterdaemon on each machine that supports the
+// measurement system. The sole purpose of the meterdaemons is to carry
+// out control functions for the controller."
+//
+// The daemon: listens on the well-known daemon port for RPC connections;
+// creates processes suspended (new state) with their stdio redirected
+// through a gateway socket pair (§3.5.2); wires meter connections to the
+// filter and issues setmeter(); starts/stops/kills its children on
+// request; reports child state changes to the responsible controller by
+// initiating a connection (the protocol's one exception, §3.5.1); and
+// forwards process output to the controller as io notes.
+#pragma once
+
+#include <string>
+
+#include "kernel/exec_registry.h"
+
+namespace dpm::daemon {
+
+/// The meterdaemon program (runs as root). argv: <exe>. Registered as
+/// program "meterdaemon".
+kernel::ProcessMain make_meterdaemon_main(const std::vector<std::string>& argv);
+
+void register_meterdaemon_program(kernel::ExecRegistry& registry);
+
+inline constexpr const char* kMeterdaemonProgram = "meterdaemon";
+
+}  // namespace dpm::daemon

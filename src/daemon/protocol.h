@@ -1,0 +1,162 @@
+// The controller ↔ meterdaemon communication protocol (§3.5.1, Fig 3.6).
+//
+// "This format includes a message type and a message body. ... The
+// exchange is structured as a remote procedure call. ... the controller
+// sends a request message to the meterdaemon over this connection, and
+// then waits for the meterdaemon's reply. ... the meterdaemon carries out
+// the requested function, sends a reply message back to the controller
+// over the connection, closes the connection, and then waits for a new
+// connection request."
+//
+// The one protocol exception is reproduced too: state-change reports are
+// connections *initiated by the daemon* to the controller's notification
+// socket. The wire format is: u32 total size, u32 type, body. Types 11
+// (create request) and 18 (create reply) match Fig 3.6.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "kernel/syscalls.h"
+#include "net/address.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace dpm::daemon {
+
+/// Well-known port every meterdaemon listens on.
+inline constexpr net::Port kDaemonPort = 577;
+
+enum class MsgType : std::uint32_t {
+  create_request = 11,   // Fig 3.6
+  create_reply = 18,     // Fig 3.6
+  filter_request = 12,
+  filter_reply = 19,
+  setflags_request = 13,
+  start_request = 14,
+  stop_request = 15,
+  kill_request = 16,
+  acquire_request = 17,
+  release_request = 20,
+  simple_reply = 21,     // status-only reply (setflags/start/stop/kill/...)
+  state_note = 30,       // daemon → controller: child state change
+  io_note = 31,          // daemon → controller: process stdout data
+  io_send = 32,          // controller → daemon: data for process stdin
+};
+
+/// Fig 3.6 "create request": filename, parameters, the filter's socket
+/// name as (host, port) per §3.5.4, meter flags, and the controller's
+/// notification socket name. `uid` identifies the requesting account
+/// (§3.5.5); `stdin_file` is the optional input file the daemon opens and
+/// redirects (§3.5.2).
+struct CreateRequest {
+  std::int32_t uid = 0;
+  std::string filename;
+  std::vector<std::string> params;
+  std::uint16_t filter_port = 0;
+  std::string filter_host;
+  std::uint32_t meter_flags = 0;
+  std::uint16_t control_port = 0;
+  std::string control_host;
+  std::string stdin_file;  // empty: gateway stdio
+};
+
+struct CreateReply {
+  std::int32_t pid = 0;
+  std::int32_t status = 0;  // 0 ok, else util::Err value
+};
+
+/// Create a filter process from `filterfile` with its support files; the
+/// reply reports the meter port the filter bound.
+struct FilterRequest {
+  std::int32_t uid = 0;
+  std::string filterfile;
+  std::string logfile;
+  std::string descriptions;
+  std::string templates;
+  std::uint16_t control_port = 0;
+  std::string control_host;
+};
+
+struct FilterReply {
+  std::int32_t pid = 0;
+  std::int32_t status = 0;
+  std::uint16_t meter_port = 0;
+};
+
+struct SetFlagsRequest {
+  std::int32_t uid = 0;
+  std::int32_t pid = 0;
+  std::uint32_t flags = 0;
+};
+
+/// start / stop / kill / release share a body; the MsgType disambiguates.
+struct ProcRequest {
+  MsgType what = MsgType::start_request;
+  std::int32_t uid = 0;
+  std::int32_t pid = 0;
+};
+
+struct AcquireRequest {
+  std::int32_t uid = 0;
+  std::int32_t pid = 0;
+  std::uint16_t filter_port = 0;
+  std::string filter_host;
+  std::uint32_t meter_flags = 0;
+};
+
+struct SimpleReply {
+  std::int32_t status = 0;
+};
+
+/// Daemon → controller: a created process changed state.
+struct StateNote {
+  std::string machine;  // literal host name of the daemon's machine
+  std::int32_t pid = 0;
+  std::uint8_t event = 0;  // kernel::ChildEvent value
+  std::int32_t status = 0;
+};
+
+/// Daemon → controller: output the process wrote to its redirected stdio.
+struct IoNote {
+  std::string machine;
+  std::int32_t pid = 0;
+  std::string data;
+};
+
+/// Controller → daemon: input for a process's stdin.
+struct IoSend {
+  std::int32_t uid = 0;
+  std::int32_t pid = 0;
+  std::string data;
+};
+
+using DaemonMsg =
+    std::variant<CreateRequest, CreateReply, FilterRequest, FilterReply,
+                 SetFlagsRequest, ProcRequest, AcquireRequest, SimpleReply,
+                 StateNote, IoNote, IoSend>;
+
+MsgType msg_type(const DaemonMsg& m);
+util::Bytes serialize(const DaemonMsg& m);
+std::optional<DaemonMsg> parse(const util::Bytes& wire);
+
+/// Sends one framed message on a connected stream socket.
+util::SysResult<void> send_msg(kernel::Sys& sys, kernel::Fd fd,
+                               const DaemonMsg& m);
+
+/// Receives one framed message (blocking). econnreset on truncation.
+util::SysResult<DaemonMsg> recv_msg(kernel::Sys& sys, kernel::Fd fd);
+
+/// One full RPC exchange over a temporary connection (§3.5.1): connect to
+/// `to`, send `request`, await the reply, close.
+util::SysResult<DaemonMsg> rpc_call(kernel::Sys& sys, const net::SockAddr& to,
+                                    const DaemonMsg& request);
+
+/// One-shot notification (no reply expected): connect, send, close.
+util::SysResult<void> notify(kernel::Sys& sys, const net::SockAddr& to,
+                             const DaemonMsg& note);
+
+}  // namespace dpm::daemon

@@ -1,0 +1,174 @@
+#include "filter/count_filter.h"
+
+#include <algorithm>
+#include <map>
+
+#include "filter/descriptions.h"
+#include "filter/filter_program.h"
+#include "filter/templates.h"
+#include "kernel/syscalls.h"
+#include "util/strings.h"
+
+namespace dpm::filter {
+
+namespace {
+
+using kernel::Fd;
+using kernel::SockDomain;
+using kernel::SockType;
+using kernel::Sys;
+
+std::string read_whole_file(Sys& sys, const std::string& path) {
+  auto fd = sys.open(path, Sys::OpenMode::read);
+  if (!fd) return {};
+  std::string text;
+  for (;;) {
+    auto chunk = sys.read(*fd, 4096);
+    if (!chunk || chunk->empty()) break;
+    text += util::to_string(*chunk);
+  }
+  (void)sys.close(*fd);
+  return text;
+}
+
+/// Aggregated view of the accepted records.
+class Counters {
+ public:
+  void add(const Record& rec) {
+    ++by_event_[rec.event_name];
+    const auto machine = rec.num("machine").value_or(-1);
+    const auto pid = rec.num("pid").value_or(-1);
+    auto& p = by_proc_[{machine, pid}];
+    ++p.events;
+    if (rec.event_name == "SEND") {
+      ++p.sends;
+      p.bytes += rec.num("msgLength").value_or(0);
+    }
+    ++total_;
+  }
+
+  std::string render() const {
+    std::string out = "# countfilter summary\n";
+    out += util::strprintf("total=%llu\n",
+                           static_cast<unsigned long long>(total_));
+    for (const auto& [name, n] : by_event_) {
+      out += util::strprintf("event %s %llu\n", name.c_str(),
+                             static_cast<unsigned long long>(n));
+    }
+    for (const auto& [key, p] : by_proc_) {
+      out += util::strprintf(
+          "proc m%lld/p%lld events=%llu sends=%llu sendBytes=%lld\n",
+          static_cast<long long>(key.first), static_cast<long long>(key.second),
+          static_cast<unsigned long long>(p.events),
+          static_cast<unsigned long long>(p.sends),
+          static_cast<long long>(p.bytes));
+    }
+    return out;
+  }
+
+ private:
+  struct ProcCounts {
+    std::uint64_t events = 0;
+    std::uint64_t sends = 0;
+    std::int64_t bytes = 0;
+  };
+  std::map<std::string, std::uint64_t> by_event_;
+  std::map<std::pair<std::int64_t, std::int64_t>, ProcCounts> by_proc_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace
+
+kernel::ProcessMain make_count_filter_main(
+    const std::vector<std::string>& argv) {
+  return [argv](Sys& sys) {
+    if (argv.size() < 5) {
+      (void)sys.print("countfilter: bad arguments\n");
+      sys.exit(1);
+    }
+    const std::string& logfile = argv[1];
+    auto desc = Descriptions::parse(read_whole_file(sys, argv[2]));
+    auto templ = Templates::parse(read_whole_file(sys, argv[3]));
+    const auto port = util::parse_int(argv[4]).value_or(0);
+    if (!desc || !templ || port <= 0) {
+      (void)sys.print("countfilter: bad support files\n");
+      sys.exit(1);
+    }
+    const Descriptions descriptions = std::move(*desc);
+    const Templates templates = std::move(*templ);
+
+    auto lsock = sys.socket(SockDomain::internet, SockType::stream);
+    if (!lsock || !sys.bind_port(*lsock, static_cast<net::Port>(port)) ||
+        !sys.listen(*lsock, 32)) {
+      sys.exit(1);
+    }
+
+    Counters counters;
+    std::map<std::uint64_t, util::Bytes> partial;
+
+    auto rewrite_log = [&] {
+      auto fd = sys.open(logfile, Sys::OpenMode::write_trunc);
+      if (fd) {
+        (void)sys.write(*fd, counters.render());
+        (void)sys.close(*fd);
+      }
+    };
+    rewrite_log();  // an empty summary exists from the start
+
+    std::vector<Fd> conns;
+    for (;;) {
+      std::vector<Fd> fds = conns;
+      fds.push_back(*lsock);
+      auto sel = sys.select(fds, false, std::nullopt);
+      if (!sel) break;
+      bool changed = false;
+      for (Fd fd : sel->readable) {
+        if (fd == *lsock) {
+          auto conn = sys.accept(*lsock);
+          if (conn) conns.push_back(*conn);
+          continue;
+        }
+        auto data = sys.recv(fd, 8192);
+        if (!data || data->empty()) {
+          partial.erase(static_cast<std::uint64_t>(fd));
+          (void)sys.close(fd);
+          conns.erase(std::remove(conns.begin(), conns.end(), fd), conns.end());
+          continue;
+        }
+        util::Bytes& buf = partial[static_cast<std::uint64_t>(fd)];
+        buf.insert(buf.end(), data->begin(), data->end());
+        std::size_t pos = 0;
+        while (buf.size() - pos >= 4) {
+          const std::uint32_t size =
+              static_cast<std::uint32_t>(buf[pos]) |
+              static_cast<std::uint32_t>(buf[pos + 1]) << 8 |
+              static_cast<std::uint32_t>(buf[pos + 2]) << 16 |
+              static_cast<std::uint32_t>(buf[pos + 3]) << 24;
+          if (size < 26 || size > (1u << 20)) {
+            buf.clear();
+            pos = 0;
+            break;
+          }
+          if (buf.size() - pos < size) break;
+          util::Bytes raw(buf.begin() + static_cast<std::ptrdiff_t>(pos),
+                          buf.begin() + static_cast<std::ptrdiff_t>(pos + size));
+          pos += size;
+          auto rec = descriptions.decode(raw);
+          if (!rec) continue;
+          if (!templates.evaluate(*rec).accept) continue;
+          counters.add(*rec);
+          changed = true;
+        }
+        buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(pos));
+      }
+      if (changed) rewrite_log();
+    }
+    sys.exit(0);
+  };
+}
+
+void register_count_filter_program(kernel::ExecRegistry& registry) {
+  registry.register_program(kCountFilterProgram, make_count_filter_main);
+}
+
+}  // namespace dpm::filter

@@ -1,0 +1,25 @@
+// A custom filter (§3.4).
+//
+// "Different filter processes can be used in the measurement system.
+// Given one basic constraint, a user can write a custom filter." This one
+// demonstrates the point: instead of logging every accepted record, it
+// *aggregates* — it maintains per-event-type and per-process counters and
+// rewrites its log file as a summary each time the counts change. The
+// controller creates it exactly like the standard filter
+// (`filter f2 <machine> countfilter`), and getlog retrieves the summary.
+#pragma once
+
+#include "kernel/exec_registry.h"
+
+namespace dpm::filter {
+
+/// argv: <exe> <logfile> <descriptions> <templates> <meter-port>
+/// (the same argv contract as the standard filter, so the daemon's filter
+/// creation path works unchanged).
+kernel::ProcessMain make_count_filter_main(const std::vector<std::string>& argv);
+
+void register_count_filter_program(kernel::ExecRegistry& registry);
+
+inline constexpr const char* kCountFilterProgram = "countfilter";
+
+}  // namespace dpm::filter

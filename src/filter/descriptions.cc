@@ -1,0 +1,216 @@
+#include "filter/descriptions.h"
+
+#include <algorithm>
+
+#include "meter/metermsgs.h"
+#include "util/strings.h"
+
+namespace dpm::filter {
+
+std::string field_value_text(const FieldValue& v) {
+  if (const auto* n = std::get_if<std::int64_t>(&v)) {
+    return util::strprintf("%lld", static_cast<long long>(*n));
+  }
+  return std::get<std::string>(v);
+}
+
+std::optional<std::int64_t> field_value_num(const FieldValue& v) {
+  if (const auto* n = std::get_if<std::int64_t>(&v)) return *n;
+  return util::parse_int(std::get<std::string>(v));
+}
+
+const FieldValue* Record::find(const std::string& name) const {
+  for (const auto& [n, v] : fields) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+std::optional<std::int64_t> Record::num(const std::string& name) const {
+  const FieldValue* v = find(name);
+  if (!v) return std::nullopt;
+  return field_value_num(*v);
+}
+
+std::optional<std::string> Record::text(const std::string& name) const {
+  const FieldValue* v = find(name);
+  if (!v) return std::nullopt;
+  return field_value_text(*v);
+}
+
+namespace {
+
+std::string strip_comment(const std::string& line) {
+  auto pos = line.find('#');
+  return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+}  // namespace
+
+std::optional<Descriptions> Descriptions::parse(const std::string& text,
+                                                std::string* error) {
+  Descriptions out;
+  int lineno = 0;
+  for (const auto& raw_line : util::split_keep_empty(text, '\n')) {
+    ++lineno;
+    const std::string line{util::trim(strip_comment(raw_line))};
+    if (line.empty()) continue;
+
+    auto tokens = util::split(line, " \t");
+    if (tokens.empty()) continue;
+
+    if (tokens[0] == "HEADER") {
+      out.header_fields_.assign(tokens.begin() + 1, tokens.end());
+      continue;
+    }
+
+    // "SEND 1, pid,0,4,10 pc,4,4,10 ..." — the type number may carry a
+    // trailing comma.
+    if (tokens.size() < 2) {
+      if (error) *error = util::strprintf("line %d: missing type number", lineno);
+      return std::nullopt;
+    }
+    EventDesc desc;
+    desc.name = tokens[0];
+    std::string type_tok = tokens[1];
+    if (!type_tok.empty() && type_tok.back() == ',') type_tok.pop_back();
+    auto type = util::parse_int(type_tok);
+    if (!type || *type <= 0) {
+      if (error) *error = util::strprintf("line %d: bad type '%s'", lineno, type_tok.c_str());
+      return std::nullopt;
+    }
+    desc.type = static_cast<std::uint32_t>(*type);
+
+    for (std::size_t i = 2; i < tokens.size(); ++i) {
+      auto parts = util::split_keep_empty(tokens[i], ',');
+      if (parts.size() != 4) {
+        if (error) {
+          *error = util::strprintf("line %d: bad field '%s' (want name,offset,len,base)",
+                                   lineno, tokens[i].c_str());
+        }
+        return std::nullopt;
+      }
+      FieldDesc f;
+      f.name = parts[0];
+      auto off = util::parse_int(parts[1]);
+      auto len = util::parse_int(parts[2]);
+      auto base = util::parse_int(parts[3]);
+      if (f.name.empty() || !off || *off < 0 || !len || *len < 0 || !base ||
+          (*len != 0 && *len != 1 && *len != 2 && *len != 4 && *len != 8)) {
+        if (error) *error = util::strprintf("line %d: bad field '%s'", lineno, tokens[i].c_str());
+        return std::nullopt;
+      }
+      f.offset = static_cast<std::size_t>(*off);
+      f.length = static_cast<std::size_t>(*len);
+      f.base = static_cast<int>(*base);
+      desc.fields.push_back(std::move(f));
+    }
+    out.by_type_[desc.type] = std::move(desc);
+  }
+  if (out.by_type_.empty()) {
+    if (error) *error = "no event descriptions found";
+    return std::nullopt;
+  }
+  return out;
+}
+
+const EventDesc* Descriptions::by_type(std::uint32_t type) const {
+  auto it = by_type_.find(type);
+  return it == by_type_.end() ? nullptr : &it->second;
+}
+
+const EventDesc* Descriptions::by_name(const std::string& name) const {
+  for (const auto& [t, d] : by_type_) {
+    if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
+namespace {
+
+std::optional<std::int64_t> read_le(const util::Bytes& raw, std::size_t at,
+                                    std::size_t len) {
+  if (at + len > raw.size()) return std::nullopt;
+  std::uint64_t v = 0;
+  for (std::size_t i = len; i-- > 0;) v = (v << 8) | raw[at + i];
+  // Fields are signed, as in the paper's C structs (a killed process's
+  // termproc status is -1): sign-extend sub-8-byte widths.
+  if (len < 8 && (v & (1ULL << (8 * len - 1)))) {
+    v |= ~((1ULL << (8 * len)) - 1);
+  }
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace
+
+std::optional<Record> Descriptions::decode(const util::Bytes& raw) const {
+  if (raw.size() < meter::kHeaderSize) return std::nullopt;
+  Record rec;
+
+  // Fixed header layout: size u32 @0, machine u16 @4, cpuTime i64 @6,
+  // procTime i64 @14, traceType u32 @22.
+  auto size = read_le(raw, 0, 4);
+  auto machine = read_le(raw, 4, 2);
+  auto cpu = read_le(raw, 6, 8);
+  auto proc = read_le(raw, 14, 8);
+  auto type = read_le(raw, 22, 4);
+  if (!size || static_cast<std::size_t>(*size) != raw.size()) return std::nullopt;
+  rec.type = static_cast<std::uint32_t>(*type);
+
+  const EventDesc* desc = by_type(rec.type);
+  if (!desc) return std::nullopt;
+  rec.event_name = desc->name;
+  rec.fields.emplace_back("size", *size);
+  rec.fields.emplace_back("machine", *machine);
+  rec.fields.emplace_back("cpuTime", *cpu);
+  rec.fields.emplace_back("procTime", *proc);
+  rec.fields.emplace_back("type", *type);
+
+  const std::size_t body = meter::kHeaderSize;
+  // Counted strings are laid out back to back starting at the first
+  // string field's offset; `cursor` tracks where the next one begins.
+  std::size_t cursor = 0;
+  bool cursor_set = false;
+  for (const FieldDesc& f : desc->fields) {
+    if (f.length > 0) {
+      auto v = read_le(raw, body + f.offset, f.length);
+      if (!v) return std::nullopt;
+      rec.fields.emplace_back(f.name, *v);
+      continue;
+    }
+    auto len = rec.num(f.name + "Len");
+    if (!len || *len < 0) return std::nullopt;
+    if (!cursor_set) {
+      cursor = body + f.offset;
+      cursor_set = true;
+    }
+    if (cursor + static_cast<std::size_t>(*len) > raw.size()) return std::nullopt;
+    std::string s(reinterpret_cast<const char*>(raw.data() + cursor),
+                  static_cast<std::size_t>(*len));
+    cursor += static_cast<std::size_t>(*len);
+    rec.fields.emplace_back(f.name, std::move(s));
+  }
+  return rec;
+}
+
+const std::string& default_descriptions_text() {
+  static const std::string text = R"(# Standard meter event record descriptions (cf. paper Fig 3.2).
+# Format: NAME type, field,offset,length,base ... ; offsets are relative to
+# the record body; length 0 / base 0 marks a counted string whose byte
+# count is the earlier <name>Len field.
+HEADER size machine cpuTime procTime traceType
+SEND 1, pid,0,4,10 pc,4,4,10 sock,8,8,10 msgLength,16,4,10 destNameLen,20,4,10 destName,24,0,0
+RECEIVE 2, pid,0,4,10 pc,4,4,10 sock,8,8,10 msgLength,16,4,10 sourceNameLen,20,4,10 sourceName,24,0,0
+RECVCALL 3, pid,0,4,10 pc,4,4,10 sock,8,8,10
+SOCKET 4, pid,0,4,10 pc,4,4,10 sock,8,8,10 domain,16,4,10 socktype,20,4,10 protocol,24,4,10
+DUP 5, pid,0,4,10 pc,4,4,10 sock,8,8,10 newSock,16,8,10
+DESTSOCK 6, pid,0,4,10 pc,4,4,10 sock,8,8,10
+FORK 7, pid,0,4,10 pc,4,4,10 newPid,8,4,10
+ACCEPT 8, pid,0,4,10 pc,4,4,10 sock,8,8,10 newSock,16,8,10 sockNameLen,24,4,10 peerNameLen,28,4,10 sockName,32,0,0 peerName,32,0,0
+CONNECT 9, pid,0,4,10 pc,4,4,10 sock,8,8,10 sockNameLen,16,4,10 peerNameLen,20,4,10 sockName,24,0,0 peerName,24,0,0
+TERMPROC 10, pid,0,4,10 pc,4,4,10 status,8,4,10
+)";
+  return text;
+}
+
+}  // namespace dpm::filter

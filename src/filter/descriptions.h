@@ -1,0 +1,93 @@
+// Event record descriptions (Fig 3.2).
+//
+// "The event record descriptions define the message formats. These
+// descriptions are stored in a file with there being a description for
+// each type of event. A description is a list of fields within an event
+// record. ... Since the meter creates these messages, such definitions are
+// very important for establishing a successful protocol between the meter
+// and a filter."
+//
+// File grammar (one description per line; '#'-to-end-of-line comments):
+//
+//   HEADER size machine cpuTime procTime traceType
+//   SEND 1, pid,0,4,10 pc,4,4,10 sock,8,8,10 msgLength,16,4,10 ...
+//
+// An event line is: NAME <type-number>, then fields as
+// fieldName,offset,length,base. Offsets are relative to the start of the
+// record *body* (the header layout is fixed and named by the HEADER line).
+// length 1/2/4/8 with base 10 or 16 denotes a little-endian integer.
+// length 0 with base 0 denotes a counted string: its byte count is the
+// value of the earlier "<fieldName>Len" field, and consecutive string
+// fields are laid out one after another starting at the first string
+// field's offset.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace dpm::filter {
+
+using FieldValue = std::variant<std::int64_t, std::string>;
+
+std::string field_value_text(const FieldValue& v);
+
+/// Numeric view of a value, when it has one (strings that parse as decimal
+/// integers count, so internet names compare numerically — Fig 3.3).
+std::optional<std::int64_t> field_value_num(const FieldValue& v);
+
+struct FieldDesc {
+  std::string name;
+  std::size_t offset = 0;  // within the record body
+  std::size_t length = 0;  // 0 = counted string
+  int base = 10;           // display/compare base; 0 = string
+};
+
+struct EventDesc {
+  std::string name;          // "SEND"
+  std::uint32_t type = 0;    // traceType value
+  std::vector<FieldDesc> fields;
+};
+
+/// A decoded event record: ordered (name, value) pairs, header fields
+/// first. Field order matters for the trace file rendering.
+struct Record {
+  std::uint32_t type = 0;
+  std::string event_name;
+  std::vector<std::pair<std::string, FieldValue>> fields;
+
+  const FieldValue* find(const std::string& name) const;
+  std::optional<std::int64_t> num(const std::string& name) const;
+  std::optional<std::string> text(const std::string& name) const;
+};
+
+class Descriptions {
+ public:
+  /// Parses a description file; returns nullopt and fills `error` on
+  /// malformed input.
+  static std::optional<Descriptions> parse(const std::string& text,
+                                           std::string* error = nullptr);
+
+  const EventDesc* by_type(std::uint32_t type) const;
+  const EventDesc* by_name(const std::string& name) const;
+  std::size_t size() const { return by_type_.size(); }
+
+  /// Decodes one complete raw meter message (header + body). Returns
+  /// nullopt if the record is malformed or its type is not described.
+  std::optional<Record> decode(const util::Bytes& raw) const;
+
+ private:
+  std::map<std::uint32_t, EventDesc> by_type_;
+  std::vector<std::string> header_fields_;
+};
+
+/// The standard description file installed on every machine (describes all
+/// ten meter event types in this kernel's wire layout).
+const std::string& default_descriptions_text();
+
+}  // namespace dpm::filter

@@ -1,0 +1,147 @@
+#include "filter/filter_program.h"
+
+#include <algorithm>
+
+#include "filter/trace.h"
+#include "kernel/syscalls.h"
+#include "meter/metermsgs.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace dpm::filter {
+
+std::string FilterEngine::feed(std::uint64_t conn, const util::Bytes& data) {
+  stats_.bytes_in += data.size();
+  util::Bytes& buf = partial_[conn];
+  buf.insert(buf.end(), data.begin(), data.end());
+
+  std::string out;
+  std::size_t pos = 0;
+  while (buf.size() - pos >= 4) {
+    const std::uint32_t size = static_cast<std::uint32_t>(buf[pos]) |
+                               static_cast<std::uint32_t>(buf[pos + 1]) << 8 |
+                               static_cast<std::uint32_t>(buf[pos + 2]) << 16 |
+                               static_cast<std::uint32_t>(buf[pos + 3]) << 24;
+    if (size < meter::kHeaderSize || size > (1u << 20)) {
+      // Desynchronized stream: drop the connection's buffer.
+      ++stats_.malformed;
+      buf.clear();
+      pos = 0;
+      break;
+    }
+    if (buf.size() - pos < size) break;  // record incomplete
+    util::Bytes raw(buf.begin() + static_cast<std::ptrdiff_t>(pos),
+                    buf.begin() + static_cast<std::ptrdiff_t>(pos + size));
+    pos += size;
+    ++stats_.records_in;
+
+    auto rec = desc_.decode(raw);
+    if (!rec) {
+      ++stats_.malformed;
+      continue;
+    }
+    const Templates::Decision d = templ_.evaluate(*rec);
+    if (!d.accept) {
+      ++stats_.rejected;
+      continue;
+    }
+    ++stats_.accepted;
+    std::string line = trace_line(*rec, d.discard);
+    stats_.bytes_out += line.size();
+    out += line;
+  }
+  buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(pos));
+  return out;
+}
+
+kernel::ProcessMain make_filter_main(const std::vector<std::string>& argv) {
+  return [argv](kernel::Sys& sys) {
+    if (argv.size() < 5) {
+      (void)sys.print("filter: usage: filter logfile descriptions templates port\n");
+      sys.exit(1);
+    }
+    const std::string& logfile = argv[1];
+    const std::string& desc_path = argv[2];
+    const std::string& templ_path = argv[3];
+    const auto port = util::parse_int(argv[4]);
+    if (!port || *port <= 0 || *port > 65535) {
+      (void)sys.print("filter: bad port\n");
+      sys.exit(1);
+    }
+
+    auto read_file = [&sys](const std::string& path) -> std::string {
+      auto fd = sys.open(path, kernel::Sys::OpenMode::read);
+      if (!fd) return {};
+      std::string text;
+      for (;;) {
+        auto chunk = sys.read(*fd, 4096);
+        if (!chunk || chunk->empty()) break;
+        text += util::to_string(*chunk);
+      }
+      (void)sys.close(*fd);
+      return text;
+    };
+
+    std::string err;
+    auto desc = Descriptions::parse(read_file(desc_path), &err);
+    if (!desc) {
+      (void)sys.print("filter: bad descriptions: " + err + "\n");
+      sys.exit(1);
+    }
+    auto templ = Templates::parse(read_file(templ_path), &err);
+    if (!templ) {
+      (void)sys.print("filter: bad templates: " + err + "\n");
+      sys.exit(1);
+    }
+    FilterEngine engine(std::move(*desc), std::move(*templ));
+
+    auto log_fd = sys.open(logfile, kernel::Sys::OpenMode::write_trunc);
+    if (!log_fd) {
+      (void)sys.print("filter: cannot open log file\n");
+      sys.exit(1);
+    }
+
+    auto lsock = sys.socket(kernel::SockDomain::internet,
+                            kernel::SockType::stream);
+    if (!lsock) sys.exit(1);
+    auto bound = sys.bind_port(*lsock, static_cast<net::Port>(*port));
+    if (!bound) {
+      (void)sys.print("filter: cannot bind meter port\n");
+      sys.exit(1);
+    }
+    if (!sys.listen(*lsock, 32)) sys.exit(1);
+
+    std::vector<kernel::Fd> conns;
+    for (;;) {
+      std::vector<kernel::Fd> fds = conns;
+      fds.push_back(*lsock);
+      auto sel = sys.select(fds, /*child_events=*/false, std::nullopt);
+      if (!sel) break;
+      for (kernel::Fd fd : sel->readable) {
+        if (fd == *lsock) {
+          auto conn = sys.accept(*lsock);
+          if (conn) conns.push_back(*conn);
+          continue;
+        }
+        auto data = sys.recv(fd, 8192);
+        if (!data || data->empty()) {
+          // Metered process went away; drop the connection.
+          engine.end_connection(static_cast<std::uint64_t>(fd));
+          (void)sys.close(fd);
+          conns.erase(std::remove(conns.begin(), conns.end(), fd), conns.end());
+          continue;
+        }
+        const std::string lines =
+            engine.feed(static_cast<std::uint64_t>(fd), *data);
+        if (!lines.empty()) (void)sys.write(*log_fd, lines);
+      }
+    }
+    sys.exit(0);
+  };
+}
+
+void register_filter_program(kernel::ExecRegistry& registry) {
+  registry.register_program(kStdFilterProgram, make_filter_main);
+}
+
+}  // namespace dpm::filter

@@ -1,0 +1,98 @@
+#include "filter/trace.h"
+
+#include "meter/metermsgs.h"
+#include "util/strings.h"
+
+namespace dpm::filter {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    if (ch == ' ' || ch == '%' || ch == '\n' || ch == '=') {
+      out += util::strprintf("%%%02x", static_cast<unsigned char>(ch));
+    } else {
+      out.push_back(ch);
+    }
+  }
+  return out;
+}
+
+std::string unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      auto hi = util::parse_int_base(s.substr(i + 1, 2), 16);
+      if (hi) {
+        out.push_back(static_cast<char>(*hi));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(s[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string trace_line(const Record& rec, const std::set<std::string>& discard) {
+  std::string out = "event=" + rec.event_name;
+  for (const auto& [name, value] : rec.fields) {
+    if (discard.count(name)) continue;
+    out += ' ';
+    out += name;
+    out += '=';
+    out += escape(field_value_text(value));
+  }
+  out += '\n';
+  return out;
+}
+
+std::optional<Record> parse_trace_line(const std::string& line) {
+  const std::string trimmed{util::trim(line)};
+  if (trimmed.empty() || trimmed[0] == '#') return std::nullopt;
+  Record rec;
+  for (const auto& tok : util::split(trimmed, " \t")) {
+    auto eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0) return std::nullopt;
+    const std::string name = tok.substr(0, eq);
+    const std::string value = unescape(tok.substr(eq + 1));
+    if (name == "event") {
+      rec.event_name = value;
+      continue;
+    }
+    if (auto n = util::parse_int(value)) {
+      rec.fields.emplace_back(name, *n);
+    } else {
+      rec.fields.emplace_back(name, value);
+    }
+  }
+  if (rec.event_name.empty()) return std::nullopt;
+  if (auto t = rec.num("type")) rec.type = static_cast<std::uint32_t>(*t);
+  return rec;
+}
+
+ParsedTrace parse_trace(const std::string& text) {
+  ParsedTrace out;
+  for (const auto& line : util::split_keep_empty(text, '\n')) {
+    const std::string t{util::trim(line)};
+    if (t.empty() || t[0] == '#') continue;
+    auto rec = parse_trace_line(t);
+    if (rec) {
+      out.records.push_back(std::move(*rec));
+    } else {
+      ++out.malformed;
+    }
+  }
+  return out;
+}
+
+std::string log_path_for(const std::string& filter_name) {
+  return "/usr/tmp/" + filter_name + ".log";
+}
+
+}  // namespace dpm::filter

@@ -1,0 +1,41 @@
+// Trace (log) file format.
+//
+// "A filter sends its output to a log file located in the /usr/tmp
+// directory. Each filter has its own log file. This file is used to store
+// the trace messages collected by the filter."
+//
+// The log is one text line per accepted event record: space-separated
+// name=value pairs in description order, with discarded fields omitted
+// (the paper stored edited binary records; a self-describing text line
+// keeps the same information and the same size-reduction property —
+// documented in DESIGN.md). Values never contain spaces; a value that
+// would (none do today) is %-escaped.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "filter/descriptions.h"
+#include "filter/templates.h"
+
+namespace dpm::filter {
+
+/// Renders an accepted record, omitting discarded fields. Ends with '\n'.
+std::string trace_line(const Record& rec, const std::set<std::string>& discard);
+
+/// Parses one trace line back into a Record (numbers become ints, other
+/// values strings). Returns nullopt for blank/comment lines.
+std::optional<Record> parse_trace_line(const std::string& line);
+
+/// Parses a whole log file; malformed lines are skipped and counted.
+struct ParsedTrace {
+  std::vector<Record> records;
+  std::size_t malformed = 0;
+};
+ParsedTrace parse_trace(const std::string& text);
+
+/// Standard location of a filter's log file (§3.4).
+std::string log_path_for(const std::string& filter_name);
+
+}  // namespace dpm::filter

@@ -1,0 +1,59 @@
+#include "kernel/descriptor.h"
+
+namespace dpm::kernel {
+
+Fd DescriptorTable::alloc(Descriptor d) {
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i]) {
+      slots_[i] = std::move(d);
+      return static_cast<Fd>(i);
+    }
+  }
+  return -1;
+}
+
+void DescriptorTable::install(Fd fd, Descriptor d) {
+  if (fd < 0) return;
+  const auto i = static_cast<std::size_t>(fd);
+  if (i >= slots_.size()) return;
+  slots_[i] = std::move(d);
+}
+
+Descriptor* DescriptorTable::get(Fd fd) {
+  if (fd < 0 || static_cast<std::size_t>(fd) >= slots_.size()) return nullptr;
+  auto& slot = slots_[static_cast<std::size_t>(fd)];
+  return slot ? &*slot : nullptr;
+}
+
+const Descriptor* DescriptorTable::get(Fd fd) const {
+  if (fd < 0 || static_cast<std::size_t>(fd) >= slots_.size()) return nullptr;
+  const auto& slot = slots_[static_cast<std::size_t>(fd)];
+  return slot ? &*slot : nullptr;
+}
+
+std::optional<Descriptor> DescriptorTable::release(Fd fd) {
+  if (fd < 0 || static_cast<std::size_t>(fd) >= slots_.size()) return std::nullopt;
+  auto& slot = slots_[static_cast<std::size_t>(fd)];
+  if (!slot) return std::nullopt;
+  std::optional<Descriptor> out = std::move(slot);
+  slot.reset();
+  return out;
+}
+
+std::size_t DescriptorTable::in_use() const {
+  std::size_t n = 0;
+  for (const auto& s : slots_) {
+    if (s) ++n;
+  }
+  return n;
+}
+
+std::vector<std::pair<Fd, Descriptor>> DescriptorTable::entries() const {
+  std::vector<std::pair<Fd, Descriptor>> out;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i]) out.emplace_back(static_cast<Fd>(i), *slots_[i]);
+  }
+  return out;
+}
+
+}  // namespace dpm::kernel

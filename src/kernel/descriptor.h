@@ -1,0 +1,104 @@
+// Descriptor tables.
+//
+// Each process owns a descriptor table pointing at sockets, open files, or
+// host pipes (the harness's stand-in for a terminal). Fork copies the
+// table, as 4.2BSD does; dup copies one slot. The table has a fixed size
+// so tests can verify that metering does not consume descriptor budget
+// (§3.2: the meter socket "is not stored in the process's descriptor
+// table").
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kernel/types.h"
+#include "kernel/wait.h"
+#include "util/bytes.h"
+
+namespace dpm::kernel {
+
+/// An open regular file: shared position, as when inherited across fork.
+struct OpenFile {
+  MachineId machine;
+  std::string path;
+  std::size_t offset = 0;
+  bool writable = false;
+  bool append = false;
+};
+
+/// One direction of a harness-visible byte pipe (simulated terminal).
+/// The harness side reads/writes outside the simulation; the process side
+/// goes through read/write syscalls.
+struct HostPipe {
+  std::deque<std::uint8_t> buf;
+  bool closed = false;  // writer side closed: readers see EOF after drain
+  WaitChannel readers;
+
+  void host_write(const std::string& s) {
+    buf.insert(buf.end(), s.begin(), s.end());
+  }
+  std::string host_drain() {
+    std::string out(buf.begin(), buf.end());
+    buf.clear();
+    return out;
+  }
+};
+
+struct Descriptor {
+  enum class Kind { null, socket, file, pipe };
+  Kind kind = Kind::null;
+  SocketId sock = 0;
+  std::shared_ptr<OpenFile> file;
+  std::shared_ptr<HostPipe> pipe;
+
+  static Descriptor null_dev() { return Descriptor{}; }
+  static Descriptor for_socket(SocketId s) {
+    Descriptor d;
+    d.kind = Kind::socket;
+    d.sock = s;
+    return d;
+  }
+  static Descriptor for_file(std::shared_ptr<OpenFile> f) {
+    Descriptor d;
+    d.kind = Kind::file;
+    d.file = std::move(f);
+    return d;
+  }
+  static Descriptor for_pipe(std::shared_ptr<HostPipe> p) {
+    Descriptor d;
+    d.kind = Kind::pipe;
+    d.pipe = std::move(p);
+    return d;
+  }
+};
+
+class DescriptorTable {
+ public:
+  explicit DescriptorTable(std::size_t max_slots) : slots_(max_slots) {}
+
+  /// Lowest free slot, as UNIX allocates descriptors. -1 if full.
+  Fd alloc(Descriptor d);
+
+  /// Installs at a specific slot (stdio wiring), replacing what is there.
+  void install(Fd fd, Descriptor d);
+
+  Descriptor* get(Fd fd);
+  const Descriptor* get(Fd fd) const;
+
+  /// Clears the slot and returns what it held.
+  std::optional<Descriptor> release(Fd fd);
+
+  std::size_t capacity() const { return slots_.size(); }
+  std::size_t in_use() const;
+
+  /// All occupied slots (fork inheritance walks this).
+  std::vector<std::pair<Fd, Descriptor>> entries() const;
+
+ private:
+  std::vector<std::optional<Descriptor>> slots_;
+};
+
+}  // namespace dpm::kernel

@@ -1,0 +1,28 @@
+#include "kernel/exec_registry.h"
+
+namespace dpm::kernel {
+
+void ExecRegistry::register_program(const std::string& name,
+                                    ProgramFactory factory) {
+  programs_[name] = std::move(factory);
+}
+
+bool ExecRegistry::has(const std::string& name) const {
+  return programs_.count(name) != 0;
+}
+
+std::optional<ProcessMain> ExecRegistry::instantiate(
+    const std::string& name, const std::vector<std::string>& argv) const {
+  auto it = programs_.find(name);
+  if (it == programs_.end()) return std::nullopt;
+  return it->second(argv);
+}
+
+std::vector<std::string> ExecRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(programs_.size());
+  for (const auto& [name, f] : programs_) out.push_back(name);
+  return out;
+}
+
+}  // namespace dpm::kernel

@@ -1,0 +1,46 @@
+// The exec registry: how executable files become running code.
+//
+// Real 4.2BSD loads machine code from the executable; in the simulation an
+// executable file names a *program* registered here, and exec instantiates
+// the program's ProcessMain with the argument vector. All the standard
+// monitor programs (filter, meterdaemon) and the example applications are
+// registered at world construction.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dpm::kernel {
+
+class Sys;
+
+/// The body of a simulated process. Receives its syscall interface; the
+/// process terminates when the body returns or calls Sys::exit.
+using ProcessMain = std::function<void(Sys&)>;
+
+/// Instantiates a process body from an argument vector (argv[0] is the
+/// program name, as in exec).
+using ProgramFactory =
+    std::function<ProcessMain(const std::vector<std::string>& argv)>;
+
+class ExecRegistry {
+ public:
+  /// Registers a program; replaces an existing registration of that name.
+  void register_program(const std::string& name, ProgramFactory factory);
+
+  bool has(const std::string& name) const;
+
+  /// Builds the process main; nullopt if the program is unknown.
+  std::optional<ProcessMain> instantiate(
+      const std::string& name, const std::vector<std::string>& argv) const;
+
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, ProgramFactory> programs_;
+};
+
+}  // namespace dpm::kernel

@@ -1,0 +1,82 @@
+#include "kernel/file_system.h"
+
+namespace dpm::kernel {
+
+void FileSystem::put(const std::string& path, util::Bytes content, Uid owner,
+                     bool world_readable) {
+  files_[path] = FileData{std::move(content), owner, world_readable, std::nullopt};
+}
+
+void FileSystem::put_text(const std::string& path, const std::string& text,
+                          Uid owner, bool world_readable) {
+  put(path, util::to_bytes(text), owner, world_readable);
+}
+
+void FileSystem::put_executable(const std::string& path,
+                                const std::string& program, Uid owner) {
+  FileData f;
+  f.owner = owner;
+  f.world_readable = true;
+  f.program = program;
+  files_[path] = std::move(f);
+}
+
+bool FileSystem::exists(const std::string& path) const {
+  return files_.count(path) != 0;
+}
+
+util::SysResult<const FileData*> FileSystem::open_read(const std::string& path,
+                                                       Uid uid) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return util::Err::enoent;
+  const FileData& f = it->second;
+  if (!f.world_readable && f.owner != uid && uid != kSuperUser) {
+    return util::Err::eacces;
+  }
+  return &f;
+}
+
+util::SysResult<FileData*> FileSystem::open_write(const std::string& path,
+                                                  Uid uid, bool truncate) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    FileData f;
+    f.owner = uid;
+    it = files_.emplace(path, std::move(f)).first;
+  } else if (it->second.owner != uid && uid != kSuperUser) {
+    return util::Err::eacces;
+  } else if (truncate) {
+    it->second.content.clear();
+  }
+  return &it->second;
+}
+
+util::SysResult<void> FileSystem::remove(const std::string& path, Uid uid) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return util::Err::enoent;
+  if (it->second.owner != uid && uid != kSuperUser) return util::Err::eacces;
+  files_.erase(it);
+  return {};
+}
+
+std::optional<std::string> FileSystem::read_text(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return std::nullopt;
+  return util::to_string(it->second.content);
+}
+
+std::optional<util::Bytes> FileSystem::read_bytes(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) return std::nullopt;
+  return it->second.content;
+}
+
+std::vector<std::string> FileSystem::list(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [path, f] : files_) {
+    if (path.rfind(prefix, 0) == 0) out.push_back(path);
+  }
+  return out;
+}
+
+}  // namespace dpm::kernel

@@ -1,0 +1,64 @@
+// Per-machine miniature filesystem.
+//
+// Holds executable files (resolved through the ExecRegistry), filter
+// description/template files, filter log files under /usr/tmp, and files
+// staged by the simulated rcp. Access control follows the paper's policy
+// (§3.5.5): plain account-based owner checks, no special monitor privilege.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kernel/types.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace dpm::kernel {
+
+struct FileData {
+  util::Bytes content;
+  Uid owner = kSuperUser;
+  bool world_readable = true;
+  /// Executable files name a program in the ExecRegistry instead of
+  /// carrying machine code.
+  std::optional<std::string> program;
+};
+
+class FileSystem {
+ public:
+  /// Creates or replaces a regular file.
+  void put(const std::string& path, util::Bytes content, Uid owner,
+           bool world_readable = true);
+  void put_text(const std::string& path, const std::string& text,
+                Uid owner = kSuperUser, bool world_readable = true);
+
+  /// Installs an executable file referring to a registered program.
+  void put_executable(const std::string& path, const std::string& program,
+                      Uid owner = kSuperUser);
+
+  bool exists(const std::string& path) const;
+
+  /// Read access check per §3.5.5.
+  util::SysResult<const FileData*> open_read(const std::string& path,
+                                             Uid uid) const;
+
+  /// Returns the mutable file, creating it if absent (write access check).
+  util::SysResult<FileData*> open_write(const std::string& path, Uid uid,
+                                        bool truncate);
+
+  util::SysResult<void> remove(const std::string& path, Uid uid);
+
+  /// Whole-file convenience reads for the harness and analysis code.
+  std::optional<std::string> read_text(const std::string& path) const;
+  std::optional<util::Bytes> read_bytes(const std::string& path) const;
+
+  std::vector<std::string> list(const std::string& prefix) const;
+
+ private:
+  std::map<std::string, FileData> files_;
+};
+
+}  // namespace dpm::kernel

@@ -1,0 +1,56 @@
+// A machine: CPU, clock, network interfaces, kernel state, filesystem.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "kernel/file_system.h"
+#include "kernel/process.h"
+#include "kernel/types.h"
+#include "net/address.h"
+#include "net/hosts.h"
+#include "sim/clock.h"
+
+namespace dpm::kernel {
+
+class Machine {
+ public:
+  Machine(MachineId id, std::uint16_t index, std::string name,
+          sim::MachineClock clock, std::vector<net::Interface> interfaces)
+      : id(id), index(index), name(std::move(name)), clock(clock),
+        interfaces(std::move(interfaces)) {}
+
+  MachineId id;
+  std::uint16_t index;  // compact id carried in meter headers
+  std::string name;     // literal host name (what processes exchange, §3.5.4)
+  sim::MachineClock clock;
+  std::vector<net::Interface> interfaces;
+
+  FileSystem fs;
+
+  /// Name bindings for sockets on this machine.
+  std::map<net::Port, SocketId> inet_bound;
+  std::map<std::string, SocketId> unix_bound;
+  net::Port next_port = 1024;
+
+  /// Local process table; pids are meaningful only here (§3.5.1).
+  std::map<Pid, std::shared_ptr<Process>> procs;
+  Pid next_pid = 100;
+
+  /// Non-preemptive FIFO CPU: the time until which the CPU is booked.
+  util::TimePoint cpu_free_at{};
+
+  /// User accounts; creating a process requires one (§3.5.5).
+  std::set<Uid> accounts{kSuperUser};
+
+  bool primary_interface(net::Interface* out) const {
+    if (interfaces.empty()) return false;
+    if (out) *out = interfaces.front();
+    return true;
+  }
+};
+
+}  // namespace dpm::kernel

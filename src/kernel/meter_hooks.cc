@@ -1,0 +1,77 @@
+#include "kernel/meter_hooks.h"
+
+#include <algorithm>
+
+#include "kernel/machine.h"
+
+namespace dpm::kernel {
+
+namespace {
+
+/// Books CPU time for kernel metering work without blocking the process:
+/// the machine's CPU is considered busy for `d` longer, and the time is
+/// charged to the process (it pays for its own monitoring, as in the
+/// paper's real kernel).
+void book_cpu(World& world, Machine& m, Process& p, util::Duration d) {
+  if (d.count() <= 0) return;
+  const util::TimePoint now = world.exec().now();
+  m.cpu_free_at = std::max(m.cpu_free_at, now) + d;
+  p.cpu_used += d;
+}
+
+}  // namespace
+
+void meter_emit(World& world, Process& p, MeterEventDraft&& draft) {
+  if ((p.meter_flags & draft.guard) == 0 || p.meter_sock == 0) return;
+
+  Machine& m = world.machine(p.machine);
+  const WorldConfig& cfg = world.config();
+
+  meter::MeterMsg msg;
+  msg.body = std::move(draft.body);
+  msg.header.machine = m.index;
+  msg.header.cpu_time = m.clock.read_us(world.exec().now());
+  const std::int64_t grain = cfg.cpu_grain.count();
+  msg.header.proc_time = (p.cpu_used.count() / grain) * grain;
+
+  const util::Bytes wire = msg.serialize();
+  p.meter_pending.insert(p.meter_pending.end(), wire.begin(), wire.end());
+  ++p.meter_pending_count;
+  ++p.meter_events;
+  ++world.mutable_meter_stats().events;
+
+  book_cpu(world, m, p, cfg.costs.meter_event);
+
+  const bool immediate = (p.meter_flags & meter::M_IMMEDIATE) != 0;
+  if (immediate || p.meter_pending_count >= cfg.meter_buffer_msgs ||
+      p.meter_pending.size() >= cfg.meter_buffer_bytes) {
+    meter_flush(world, p);
+  }
+}
+
+void meter_flush(World& world, Process& p) {
+  if (p.meter_pending.empty()) return;
+  util::Bytes batch;
+  batch.swap(p.meter_pending);
+  p.meter_pending_count = 0;
+
+  Machine& m = world.machine(p.machine);
+  const auto& costs = world.config().costs;
+  book_cpu(world, m, p,
+           costs.meter_flush_base +
+               util::usec(costs.meter_flush_per_kb.count() *
+                          static_cast<std::int64_t>(batch.size()) / 1024));
+
+  ++p.meter_flushes;
+  p.meter_bytes += batch.size();
+  auto& stats = world.mutable_meter_stats();
+  ++stats.flushes;
+  stats.bytes += batch.size();
+
+  if (p.meter_sock != 0) {
+    world.kernel_stream_send(p.meter_sock, std::move(batch));
+  }
+  // Without a meter socket the batch is simply lost (Appendix C).
+}
+
+}  // namespace dpm::kernel

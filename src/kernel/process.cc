@@ -1,0 +1,15 @@
+#include "kernel/process.h"
+
+namespace dpm::kernel {
+
+const char* child_event_name(ChildEvent e) {
+  switch (e) {
+    case ChildEvent::stopped: return "stopped";
+    case ChildEvent::continued: return "continued";
+    case ChildEvent::exited: return "exited";
+    case ChildEvent::killed: return "killed";
+  }
+  return "?";
+}
+
+}  // namespace dpm::kernel

@@ -1,0 +1,142 @@
+// Socket lifecycle and stream delivery (World methods).
+//
+// Sockets are never deallocated during a run: destruction marks the object
+// closed ("zombie"), releases its names, drains its queues and wakes every
+// waiter. This guarantees that syscall code blocked on a socket can safely
+// re-examine it after waking, with no dangling references.
+#include "kernel/socket.h"
+
+#include <cassert>
+
+#include "kernel/world.h"
+#include "util/logging.h"
+
+namespace dpm::kernel {
+
+SocketId World::create_socket(MachineId m, SockDomain domain, SockType type) {
+  const SocketId id = next_socket_++;
+  sockets_[id] = std::make_unique<Socket>(id, m, domain, type);
+  return id;
+}
+
+Socket* World::find_socket(SocketId id) {
+  auto it = sockets_.find(id);
+  if (it == sockets_.end()) return nullptr;
+  if (it->second->sstate == Socket::StreamState::closed &&
+      it->second->refs == 0) {
+    return nullptr;  // destroyed; object kept only for parked waiters
+  }
+  return it->second.get();
+}
+
+Socket& World::socket(SocketId id) {
+  auto it = sockets_.find(id);
+  assert(it != sockets_.end());
+  return *it->second;
+}
+
+void World::socket_ref(SocketId id) {
+  if (id == 0) return;
+  Socket* s = find_socket(id);
+  assert(s);
+  ++s->refs;
+}
+
+void World::socket_unref(SocketId id) {
+  if (id == 0) return;
+  auto it = sockets_.find(id);
+  assert(it != sockets_.end());
+  Socket& s = *it->second;
+  assert(s.refs > 0);
+  if (--s.refs == 0) destroy_socket(id);
+}
+
+void World::destroy_socket(SocketId id) {
+  Socket& s = socket(id);
+
+  // Release name bindings.
+  Machine& m = machine(s.machine);
+  if (s.bound) {
+    if (s.name.family == net::Family::internet) {
+      auto it = m.inet_bound.find(s.name.port);
+      if (it != m.inet_bound.end() && it->second == id) m.inet_bound.erase(it);
+    } else if (s.name.family == net::Family::unix_path) {
+      auto it = m.unix_bound.find(s.name.path);
+      if (it != m.unix_bound.end() && it->second == id) m.unix_bound.erase(it);
+    }
+  }
+
+  // A dying listener destroys its queued, not-yet-accepted connections.
+  for (SocketId conn_id : s.accept_queue) {
+    Socket* conn = find_socket(conn_id);
+    if (conn && conn->refs == 0) {
+      close_stream(*conn);
+      conn->sstate = Socket::StreamState::closed;
+      conn->readers.wake_all(exec_);
+      conn->writers.wake_all(exec_);
+    }
+  }
+  s.accept_queue.clear();
+
+  if (s.sstate == Socket::StreamState::connected) close_stream(s);
+  s.sstate = Socket::StreamState::closed;
+  s.rbuf.clear();
+  s.dgrams.clear();
+  s.readers.wake_all(exec_);
+  s.writers.wake_all(exec_);
+  s.connectors.wake_all(exec_);
+}
+
+void World::close_stream(Socket& s) {
+  if (s.sstate != Socket::StreamState::connected || s.peer == 0) return;
+  const SocketId peer_id = s.peer;
+  Socket* peer = find_socket(peer_id);
+  s.sstate = Socket::StreamState::closed;
+  s.peer = 0;
+  if (!peer) return;
+  // EOF must arrive after any data still in flight: ship it on the same
+  // ordered channel.
+  const bool local = peer->machine == s.machine;
+  fabric_.send(s.net_hint, local, s.tx_channel, /*droppable=*/false, 1,
+               [this, peer_id] { deliver_eof(peer_id); });
+}
+
+void World::kernel_stream_send(SocketId from, util::Bytes data) {
+  Socket* s = find_socket(from);
+  // Appendix C: "Meter messages are lost if they are sent on an
+  // unconnected socket."
+  if (!s || s->sstate != Socket::StreamState::connected || s->peer == 0) return;
+  Socket* peer = find_socket(s->peer);
+  if (!peer) return;
+  const SocketId peer_id = peer->id;
+  const bool local = peer->machine == s->machine;
+  const std::size_t n = data.size();
+  fabric_.send(s->net_hint, local, s->tx_channel, /*droppable=*/false, n,
+               [this, peer_id, data = std::move(data)]() mutable {
+                 deliver_stream(peer_id, std::move(data), /*accounted=*/false);
+               });
+}
+
+void World::deliver_stream(SocketId to, util::Bytes data, bool accounted) {
+  auto it = sockets_.find(to);
+  if (it == sockets_.end()) return;
+  Socket& s = *it->second;
+  if (accounted) {
+    assert(s.in_flight >= data.size());
+    s.in_flight -= data.size();
+  }
+  if (s.sstate == Socket::StreamState::closed && s.refs == 0) return;
+  s.rbuf.insert(s.rbuf.end(), data.begin(), data.end());
+  s.readers.wake_all(exec_);
+}
+
+void World::deliver_eof(SocketId to) {
+  auto it = sockets_.find(to);
+  if (it == sockets_.end()) return;
+  Socket& s = *it->second;
+  s.eof = true;
+  s.readers.wake_all(exec_);
+  s.writers.wake_all(exec_);
+}
+
+}  // namespace dpm::kernel

@@ -1,0 +1,1171 @@
+#include "kernel/syscalls.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "kernel/meter_hooks.h"
+#include "util/logging.h"
+
+namespace dpm::kernel {
+
+using util::Err;
+
+namespace {
+constexpr std::size_t kDgramMax = 16 * 1024;
+}
+
+// ---------------------------------------------------------------------------
+// Prologue / scheduling primitives
+// ---------------------------------------------------------------------------
+
+const std::string& Sys::hostname() const {
+  return world_.machine(proc_->machine).name;
+}
+
+std::int64_t Sys::clock_us() const {
+  return mach().clock.read_us(world_.exec().now());
+}
+
+std::int64_t Sys::proctime_us() const {
+  const std::int64_t grain = world_.config().cpu_grain.count();
+  return (proc_->cpu_used.count() / grain) * grain;
+}
+
+void Sys::enter(util::Duration extra_cost) {
+  ++proc_->syscalls;
+  stop_checkpoint();
+  charge(world_.config().costs.syscall_base + extra_cost);
+}
+
+void Sys::charge(util::Duration d) {
+  if (d.count() <= 0) return;
+  auto& exec = world_.exec();
+  Machine& m = mach();
+  const util::TimePoint start = std::max(exec.now(), m.cpu_free_at);
+  const util::TimePoint end = start + d;
+  m.cpu_free_at = end;
+  proc_->cpu_used += d;
+  const sim::TaskId me = exec.current_task();
+  exec.schedule_at(end, [&exec, me] { exec.make_runnable(me); });
+  while (exec.now() < end) exec.park_current();
+}
+
+void Sys::stop_checkpoint() {
+  auto& exec = world_.exec();
+  while (proc_->stop_requested) {
+    if (!proc_->in_stop) {
+      proc_->in_stop = true;
+      if (proc_->parent != 0 && !proc_->initial_suspend) {
+        world_.push_child_change(
+            mach(), proc_->parent,
+            ChildChange{proc_->pid, ChildEvent::stopped, 0});
+      }
+    }
+    proc_->stop_gate.add(exec.current_task());
+    exec.park_current();
+  }
+  if (proc_->in_stop) {
+    proc_->in_stop = false;
+    if (proc_->parent != 0 && !proc_->initial_suspend) {
+      world_.push_child_change(mach(), proc_->parent,
+                               ChildChange{proc_->pid, ChildEvent::continued, 0});
+    }
+    proc_->initial_suspend = false;
+  }
+}
+
+void Sys::wait_on(WaitChannel& chan, const std::function<bool()>& cond) {
+  auto& exec = world_.exec();
+  while (!cond()) {
+    chan.add(exec.current_task());
+    exec.park_current();
+    stop_checkpoint();
+  }
+}
+
+void Sys::compute(util::Duration d) {
+  stop_checkpoint();
+  charge(d);
+}
+
+void Sys::sleep(util::Duration d) {
+  stop_checkpoint();
+  world_.exec().sleep_for(d);
+}
+
+void Sys::yield() {
+  auto& exec = world_.exec();
+  const sim::TaskId me = exec.current_task();
+  exec.schedule_at(exec.now(), [&exec, me] { exec.make_runnable(me); });
+  exec.park_current();
+  stop_checkpoint();
+}
+
+util::SysResult<Socket*> Sys::sock_of(Fd fd) {
+  Descriptor* d = proc_->fds.get(fd);
+  if (!d) return Err::ebadf;
+  if (d->kind != Descriptor::Kind::socket) return Err::enotsock;
+  Socket* s = world_.find_socket(d->sock);
+  if (!s) return Err::ebadf;
+  return s;
+}
+
+util::SysResult<void> Sys::auto_bind(Socket& s) {
+  if (s.bound) return {};
+  Machine& m = mach();
+  if (s.domain == SockDomain::internet) {
+    net::Interface itf;
+    if (!m.primary_interface(&itf)) return Err::eaddrnotavail;
+    while (m.inet_bound.count(m.next_port)) ++m.next_port;
+    const net::Port port = m.next_port++;
+    s.name = net::SockAddr::inet(itf.network, itf.addr, port);
+    m.inet_bound[port] = s.id;
+  } else {
+    s.name = net::SockAddr::internal(world_.next_internal_name_++);
+  }
+  s.bound = true;
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// Socket creation / naming
+// ---------------------------------------------------------------------------
+
+util::SysResult<Fd> Sys::socket(SockDomain domain, SockType type) {
+  enter(world_.config().costs.socket_create);
+  const SocketId sid = world_.create_socket(proc_->machine, domain, type);
+  world_.socket_ref(sid);
+  const Fd fd = proc_->fds.alloc(Descriptor::for_socket(sid));
+  if (fd < 0) {
+    world_.socket_unref(sid);
+    return Err::emfile;
+  }
+  meter_emit(world_, *proc_,
+             MeterEventDraft{meter::M_SOCKET,
+                             meter::MeterSockCrt{
+                                 proc_->pid, proc_->pc, sid,
+                                 static_cast<std::uint32_t>(domain),
+                                 static_cast<std::uint32_t>(type), 0}});
+  return fd;
+}
+
+util::SysResult<void> Sys::bind(Fd fd, const net::SockAddr& name) {
+  enter(world_.config().costs.bind_cost);
+  auto sr = sock_of(fd);
+  if (!sr) return sr.error();
+  Socket& s = **sr;
+  if (s.bound) return Err::einval;
+  Machine& m = mach();
+  switch (name.family) {
+    case net::Family::internet: {
+      if (s.domain != SockDomain::internet) return Err::einval;
+      net::SockAddr a = name;
+      // Fill in the host part from the machine's interface on the
+      // requested network (processes bind ports, not foreign addresses).
+      bool have = false;
+      for (const auto& itf : m.interfaces) {
+        if (itf.network == a.network) {
+          a.host = itf.addr;
+          have = true;
+          break;
+        }
+      }
+      if (!have) return Err::eaddrnotavail;
+      if (a.port == 0) {
+        while (m.inet_bound.count(m.next_port)) ++m.next_port;
+        a.port = m.next_port++;
+      } else if (m.inet_bound.count(a.port)) {
+        return Err::eaddrinuse;
+      }
+      m.inet_bound[a.port] = s.id;
+      s.name = a;
+      break;
+    }
+    case net::Family::unix_path: {
+      if (s.domain != SockDomain::unix_path) return Err::einval;
+      if (name.path.empty()) return Err::einval;
+      if (m.unix_bound.count(name.path)) return Err::eaddrinuse;
+      m.unix_bound[name.path] = s.id;
+      s.name = name;
+      break;
+    }
+    default:
+      return Err::einval;
+  }
+  s.bound = true;
+  return {};
+}
+
+util::SysResult<net::SockAddr> Sys::bind_port(Fd fd, net::Port port) {
+  net::Interface itf;
+  if (!mach().primary_interface(&itf)) return Err::eaddrnotavail;
+  auto r = bind(fd, net::SockAddr::inet(itf.network, itf.addr, port));
+  if (!r) return r.error();
+  auto sr = sock_of(fd);
+  if (!sr) return sr.error();
+  return (*sr)->name;
+}
+
+util::SysResult<void> Sys::listen(Fd fd, int backlog) {
+  enter();
+  auto sr = sock_of(fd);
+  if (!sr) return sr.error();
+  Socket& s = **sr;
+  if (s.type != SockType::stream) return Err::eopnotsupp;
+  if (s.sstate != Socket::StreamState::idle) return Err::einval;
+  auto b = auto_bind(s);
+  if (!b) return b.error();
+  s.sstate = Socket::StreamState::listening;
+  s.backlog = std::max(1, backlog);
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// Connection establishment
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Runs on the server machine when a connection request arrives.
+void syn_arrives(World& w, MachineId server_machine, net::SockAddr dest,
+                 SocketId client_id, net::SockAddr client_name,
+                 net::NetworkId over_net, bool local) {
+  Machine& m = w.machine(server_machine);
+  SocketId listener_id = 0;
+  if (dest.family == net::Family::internet) {
+    auto it = m.inet_bound.find(dest.port);
+    if (it != m.inet_bound.end()) listener_id = it->second;
+  } else if (dest.family == net::Family::unix_path) {
+    auto it = m.unix_bound.find(dest.path);
+    if (it != m.unix_bound.end()) listener_id = it->second;
+  }
+
+  Socket* listener = listener_id ? w.find_socket(listener_id) : nullptr;
+  const bool acceptable =
+      listener && listener->type == SockType::stream &&
+      listener->sstate == Socket::StreamState::listening &&
+      listener->accept_queue.size() <
+          static_cast<std::size_t>(listener->backlog);
+
+  auto reply = [&w, client_id, over_net, local](
+                   util::Err result, SocketId conn_id,
+                   net::SockAddr listener_name) {
+    w.fabric().send(over_net, local, /*channel=*/0, /*droppable=*/false, 8,
+                    [&w, client_id, result, conn_id, listener_name] {
+                      Socket* c = w.find_socket(client_id);
+                      if (!c) return;
+                      if (result == util::Err::ok) {
+                        c->sstate = Socket::StreamState::connected;
+                        c->peer = conn_id;
+                        c->peer_name = listener_name;
+                        c->connect_result = util::Err::ok;
+                      } else {
+                        c->sstate = Socket::StreamState::idle;
+                        c->connect_result = result;
+                      }
+                      c->connectors.wake_all(w.exec());
+                      c->writers.wake_all(w.exec());
+                    });
+  };
+
+  if (!acceptable) {
+    reply(util::Err::econnrefused, 0, {});
+    return;
+  }
+
+  // Create the connection socket (owned by the accepting side once
+  // accept() runs; until then it lives on the listener's queue).
+  const SocketId conn_id =
+      w.create_socket(server_machine, listener->domain, SockType::stream);
+  Socket& conn = w.socket(conn_id);
+  conn.sstate = Socket::StreamState::connected;
+  conn.bound = true;
+  conn.name = listener->name;  // connection sockets share the listener name
+  conn.peer = client_id;
+  conn.peer_name = client_name;
+  conn.net_hint = over_net;
+  conn.tx_channel = w.fabric().new_channel();
+
+  listener->accept_queue.push_back(conn_id);
+  listener->readers.wake_all(w.exec());
+
+  reply(util::Err::ok, conn_id, listener->name);
+}
+
+}  // namespace
+
+util::SysResult<void> Sys::connect(Fd fd, const net::SockAddr& name) {
+  enter(world_.config().costs.connect_cost);
+  auto sr = sock_of(fd);
+  if (!sr) return sr.error();
+  Socket& s = **sr;
+
+  if (s.type == SockType::dgram) {
+    // Predefining the recipient (§3.1): later send() uses this name.
+    s.default_dest = name;
+    auto b = auto_bind(s);
+    if (!b) return b.error();
+    meter_emit(world_, *proc_,
+               MeterEventDraft{meter::M_CONNECT,
+                               meter::MeterConnect{proc_->pid, proc_->pc, s.id,
+                                                   s.name.text(), name.text()}});
+    return {};
+  }
+
+  if (s.sstate == Socket::StreamState::connected) return Err::eisconn;
+  if (s.sstate != Socket::StreamState::idle) return Err::einval;
+  auto b = auto_bind(s);
+  if (!b) return b.error();
+
+  // Locate the destination machine.
+  MachineId target = 0;
+  net::NetworkId over_net = 0;
+  bool local = false;
+  if (name.family == net::Family::internet) {
+    auto tm = world_.hosts().machine_at(name);
+    if (!tm) return Err::econnrefused;
+    target = *tm;
+    over_net = name.network;
+    local = (target == proc_->machine);
+  } else if (name.family == net::Family::unix_path) {
+    if (s.domain != SockDomain::unix_path) return Err::einval;
+    target = proc_->machine;  // UNIX-domain names are machine-local
+    local = true;
+  } else {
+    return Err::einval;
+  }
+
+  s.sstate = Socket::StreamState::connecting;
+  s.connect_result.reset();
+  s.net_hint = over_net;
+
+  const SocketId sid = s.id;
+  const net::SockAddr client_name = s.name;
+  World* w = &world_;
+  world_.fabric().send(over_net, local, /*channel=*/0, /*droppable=*/false, 8,
+                       [w, target, name, sid, client_name, over_net, local] {
+                         syn_arrives(*w, target, name, sid, client_name,
+                                     over_net, local);
+                       });
+
+  wait_on(s.connectors, [this, sid] {
+    Socket* sock = world_.find_socket(sid);
+    return !sock || sock->connect_result.has_value();
+  });
+
+  Socket* sock = world_.find_socket(sid);
+  if (!sock) return Err::ebadf;
+  if (*sock->connect_result != Err::ok) return *sock->connect_result;
+  sock->tx_channel = world_.fabric().new_channel();
+
+  meter_emit(world_, *proc_,
+             MeterEventDraft{
+                 meter::M_CONNECT,
+                 meter::MeterConnect{proc_->pid, proc_->pc, sock->id,
+                                     sock->name.text(), sock->peer_name.text()}});
+  return {};
+}
+
+util::SysResult<Fd> Sys::accept(Fd fd) {
+  enter(world_.config().costs.accept_cost);
+  auto sr = sock_of(fd);
+  if (!sr) return sr.error();
+  Socket& s = **sr;
+  if (s.type != SockType::stream) return Err::eopnotsupp;
+  if (s.sstate != Socket::StreamState::listening) return Err::einval;
+
+  const SocketId sid = s.id;
+  wait_on(s.readers, [this, sid] {
+    Socket* sock = world_.find_socket(sid);
+    return !sock || !sock->accept_queue.empty();
+  });
+
+  Socket* listener = world_.find_socket(sid);
+  if (!listener) return Err::ebadf;
+  const SocketId conn_id = listener->accept_queue.front();
+  listener->accept_queue.pop_front();
+
+  world_.socket_ref(conn_id);
+  const Fd nfd = proc_->fds.alloc(Descriptor::for_socket(conn_id));
+  if (nfd < 0) {
+    world_.socket_unref(conn_id);
+    return Err::emfile;
+  }
+  Socket& conn = world_.socket(conn_id);
+  meter_emit(world_, *proc_,
+             MeterEventDraft{
+                 meter::M_ACCEPT,
+                 meter::MeterAccept{proc_->pid, proc_->pc, listener->id,
+                                    conn_id, listener->name.text(),
+                                    conn.peer_name.text()}});
+  return nfd;
+}
+
+util::SysResult<std::pair<Fd, Fd>> Sys::socketpair() {
+  enter(world_.config().costs.socket_create * 2);
+  const SocketId a = world_.create_socket(proc_->machine, SockDomain::internal,
+                                          SockType::stream);
+  const SocketId b = world_.create_socket(proc_->machine, SockDomain::internal,
+                                          SockType::stream);
+  Socket& sa = world_.socket(a);
+  Socket& sb = world_.socket(b);
+  sa.name = net::SockAddr::internal(world_.next_internal_name_++);
+  sb.name = net::SockAddr::internal(world_.next_internal_name_++);
+  sa.bound = sb.bound = true;
+  sa.sstate = sb.sstate = Socket::StreamState::connected;
+  sa.peer = b;
+  sb.peer = a;
+  sa.peer_name = sb.name;
+  sb.peer_name = sa.name;
+  sa.tx_channel = world_.fabric().new_channel();
+  sb.tx_channel = world_.fabric().new_channel();
+
+  world_.socket_ref(a);
+  const Fd fa = proc_->fds.alloc(Descriptor::for_socket(a));
+  if (fa < 0) {
+    world_.socket_unref(a);
+    return Err::emfile;
+  }
+  world_.socket_ref(b);
+  const Fd fb = proc_->fds.alloc(Descriptor::for_socket(b));
+  if (fb < 0) {
+    world_.socket_unref(b);
+    (void)close(fa);
+    return Err::emfile;
+  }
+
+  // §3.2: "socketpair() is not treated differently from a pair of socket
+  // creates followed by separate connects and accepts; all four messages
+  // are produced."
+  meter_emit(world_, *proc_,
+             MeterEventDraft{meter::M_SOCKET,
+                             meter::MeterSockCrt{
+                                 proc_->pid, proc_->pc, a,
+                                 static_cast<std::uint32_t>(sa.domain),
+                                 static_cast<std::uint32_t>(sa.type), 0}});
+  meter_emit(world_, *proc_,
+             MeterEventDraft{meter::M_SOCKET,
+                             meter::MeterSockCrt{
+                                 proc_->pid, proc_->pc, b,
+                                 static_cast<std::uint32_t>(sb.domain),
+                                 static_cast<std::uint32_t>(sb.type), 0}});
+  meter_emit(world_, *proc_,
+             MeterEventDraft{meter::M_CONNECT,
+                             meter::MeterConnect{proc_->pid, proc_->pc, a,
+                                                 sa.name.text(),
+                                                 sb.name.text()}});
+  meter_emit(world_, *proc_,
+             MeterEventDraft{meter::M_ACCEPT,
+                             meter::MeterAccept{proc_->pid, proc_->pc, b, b,
+                                                sb.name.text(),
+                                                sa.name.text()}});
+  return std::make_pair(fa, fb);
+}
+
+// ---------------------------------------------------------------------------
+// Data transfer
+// ---------------------------------------------------------------------------
+
+util::SysResult<std::size_t> Sys::send(Fd fd, const util::Bytes& data) {
+  return send_impl(fd, data, nullptr);
+}
+
+util::SysResult<std::size_t> Sys::send(Fd fd, std::string_view data) {
+  return send_impl(fd, util::to_bytes(data), nullptr);
+}
+
+util::SysResult<std::size_t> Sys::sendto(Fd fd, const util::Bytes& data,
+                                         const net::SockAddr& dest) {
+  return send_impl(fd, data, &dest);
+}
+
+util::SysResult<std::size_t> Sys::send_impl(Fd fd, const util::Bytes& data,
+                                            const net::SockAddr* dest) {
+  const auto& costs = world_.config().costs;
+  enter(costs.send_base +
+        util::usec(costs.send_per_kb.count() *
+                   static_cast<std::int64_t>(data.size()) / 1024));
+  auto sr = sock_of(fd);
+  if (!sr) return sr.error();
+  Socket& s = **sr;
+  if (s.type == SockType::stream) {
+    if (dest) return Err::eisconn;  // sendto on a stream socket
+    return stream_send(s, data);
+  }
+  const net::SockAddr* target = dest;
+  if (!target) {
+    if (s.default_dest.is_unspec()) return Err::enotconn;
+    target = &s.default_dest;
+  }
+  return dgram_send(s, data, *target);
+}
+
+util::SysResult<std::size_t> Sys::stream_send(Socket& s,
+                                              const util::Bytes& data) {
+  if (s.sstate != Socket::StreamState::connected) return Err::enotconn;
+  const SocketId sid = s.id;
+  const std::size_t window = world_.config().stream_window;
+  std::size_t sent = 0;
+
+  while (sent < data.size()) {
+    Socket* self = world_.find_socket(sid);
+    if (!self || self->sstate != Socket::StreamState::connected) return Err::epipe;
+    Socket* peer = world_.find_socket(self->peer);
+    if (!peer || peer->eof) return Err::epipe;
+
+    const std::size_t used = peer->rbuf.size() + peer->in_flight;
+    if (used >= window) {
+      // Wait for the reader to drain; senders queue on the *peer's*
+      // writers channel (the reader wakes it).
+      const SocketId peer_id = peer->id;
+      wait_on(peer->writers, [this, peer_id, sid, window] {
+        Socket* p = world_.find_socket(peer_id);
+        Socket* me = world_.find_socket(sid);
+        if (!p || !me || me->sstate != Socket::StreamState::connected ||
+            p->eof) {
+          return true;  // error surfaced on re-check above
+        }
+        return p->rbuf.size() + p->in_flight < window;
+      });
+      continue;
+    }
+
+    const std::size_t chunk = std::min(window - used, data.size() - sent);
+    util::Bytes payload(data.begin() + static_cast<std::ptrdiff_t>(sent),
+                        data.begin() + static_cast<std::ptrdiff_t>(sent + chunk));
+    peer->in_flight += chunk;
+    const SocketId peer_id = peer->id;
+    const bool local = peer->machine == self->machine;
+    World* w = &world_;
+    world_.fabric().send(self->net_hint, local, self->tx_channel,
+                         /*droppable=*/false, chunk,
+                         [w, peer_id, payload = std::move(payload)]() mutable {
+                           w->deliver_stream(peer_id, std::move(payload),
+                                             /*accounted=*/true);
+                         });
+    sent += chunk;
+  }
+
+  // §4.1: when one writes across a connection the recipient's name is not
+  // available to the metering software — the name length is zero.
+  meter_emit(world_, *proc_,
+             MeterEventDraft{meter::M_SEND,
+                             meter::MeterSend{proc_->pid, proc_->pc, sid,
+                                              static_cast<std::uint32_t>(
+                                                  data.size()),
+                                              ""}});
+  return sent;
+}
+
+util::SysResult<std::size_t> Sys::dgram_send(Socket& s, const util::Bytes& data,
+                                             const net::SockAddr& dest) {
+  if (data.size() > kDgramMax) return Err::emsgsize;
+  auto b = auto_bind(s);
+  if (!b) return b.error();
+
+  // Resolve the destination machine; an unresolvable destination behaves
+  // like a lost datagram (no error surfaces to the sender).
+  MachineId target = 0;
+  bool resolvable = false;
+  net::NetworkId over_net = 0;
+  if (dest.family == net::Family::internet) {
+    if (auto tm = world_.hosts().machine_at(dest)) {
+      target = *tm;
+      over_net = dest.network;
+      resolvable = true;
+    }
+  } else if (dest.family == net::Family::unix_path) {
+    target = proc_->machine;
+    resolvable = true;
+  }
+
+  if (resolvable) {
+    const bool local = (target == proc_->machine);
+    World* w = &world_;
+    const net::SockAddr source = s.name;
+    const net::SockAddr to = dest;
+    const std::size_t max_queue = world_.config().dgram_queue_max;
+    util::Bytes payload = data;
+    world_.fabric().send(
+        over_net, local, /*channel=*/0, /*droppable=*/!local, data.size(),
+        [w, target, to, source, payload = std::move(payload), max_queue]() mutable {
+          Machine& m = w->machine(target);
+          SocketId sid = 0;
+          if (to.family == net::Family::internet) {
+            auto it = m.inet_bound.find(to.port);
+            if (it != m.inet_bound.end()) sid = it->second;
+          } else {
+            auto it = m.unix_bound.find(to.path);
+            if (it != m.unix_bound.end()) sid = it->second;
+          }
+          Socket* rs = sid ? w->find_socket(sid) : nullptr;
+          if (!rs || rs->type != SockType::dgram) return;   // dropped
+          if (rs->dgrams.size() >= max_queue) return;       // queue overflow
+          rs->dgrams.push_back(Datagram{source, std::move(payload)});
+          rs->readers.wake_all(w->exec());
+        });
+  }
+
+  meter_emit(world_, *proc_,
+             MeterEventDraft{meter::M_SEND,
+                             meter::MeterSend{proc_->pid, proc_->pc, s.id,
+                                              static_cast<std::uint32_t>(
+                                                  data.size()),
+                                              dest.text()}});
+  return data.size();
+}
+
+util::SysResult<std::size_t> Sys::writev(Fd fd,
+                                         const std::vector<util::Bytes>& iov) {
+  util::Bytes all;
+  for (const auto& part : iov) all.insert(all.end(), part.begin(), part.end());
+  return send(fd, all);
+}
+
+util::SysResult<util::Bytes> Sys::recv(Fd fd, std::size_t max) {
+  enter(world_.config().costs.recv_base);
+  auto sr = sock_of(fd);
+  if (!sr) return sr.error();
+  Socket& s = **sr;
+  if (s.type != SockType::stream) {
+    // read() on a datagram socket returns one whole message (§3.1).
+    auto d = recvfrom_unlogged(fd);
+    if (!d) return d.error();
+    return std::move(d->data);
+  }
+  if (s.sstate == Socket::StreamState::listening) return Err::einval;
+  if (s.sstate != Socket::StreamState::connected &&
+      s.sstate != Socket::StreamState::closed && !s.eof) {
+    if (s.rbuf.empty()) return Err::enotconn;
+  }
+
+  const SocketId sid = s.id;
+  meter_emit(world_, *proc_,
+             MeterEventDraft{meter::M_RECEIVECALL,
+                             meter::MeterRecvCall{proc_->pid, proc_->pc, sid}});
+
+  wait_on(s.readers, [this, sid] {
+    Socket* sock = world_.find_socket(sid);
+    return !sock || !sock->rbuf.empty() || sock->eof ||
+           sock->sstate != Socket::StreamState::connected;
+  });
+
+  Socket* sock = world_.find_socket(sid);
+  if (!sock) return Err::ebadf;
+  const std::size_t n = std::min(max, sock->rbuf.size());
+  util::Bytes out(sock->rbuf.begin(),
+                  sock->rbuf.begin() + static_cast<std::ptrdiff_t>(n));
+  sock->rbuf.erase(sock->rbuf.begin(),
+                   sock->rbuf.begin() + static_cast<std::ptrdiff_t>(n));
+  if (n > 0) sock->writers.wake_all(world_.exec());  // window opened
+
+  meter_emit(world_, *proc_,
+             MeterEventDraft{meter::M_RECEIVE,
+                             meter::MeterRecv{proc_->pid, proc_->pc, sid,
+                                              static_cast<std::uint32_t>(n),
+                                              ""}});
+  return out;
+}
+
+util::SysResult<util::Bytes> Sys::recv_exact(Fd fd, std::size_t n) {
+  util::Bytes out;
+  while (out.size() < n) {
+    auto chunk = recv(fd, n - out.size());
+    if (!chunk) return chunk.error();
+    if (chunk->empty()) return Err::econnreset;  // EOF mid-message
+    out.insert(out.end(), chunk->begin(), chunk->end());
+  }
+  return out;
+}
+
+util::SysResult<Datagram> Sys::recvfrom(Fd fd) {
+  enter(world_.config().costs.recv_base);
+  return recvfrom_unlogged(fd);
+}
+
+util::SysResult<Datagram> Sys::recvfrom_unlogged(Fd fd) {
+  auto sr = sock_of(fd);
+  if (!sr) return sr.error();
+  Socket& s = **sr;
+  if (s.type != SockType::dgram) return Err::eopnotsupp;
+  auto b = auto_bind(s);
+  if (!b) return b.error();
+
+  const SocketId sid = s.id;
+  meter_emit(world_, *proc_,
+             MeterEventDraft{meter::M_RECEIVECALL,
+                             meter::MeterRecvCall{proc_->pid, proc_->pc, sid}});
+
+  wait_on(s.readers, [this, sid] {
+    Socket* sock = world_.find_socket(sid);
+    return !sock || !sock->dgrams.empty();
+  });
+
+  Socket* sock = world_.find_socket(sid);
+  if (!sock) return Err::ebadf;
+  Datagram d = std::move(sock->dgrams.front());
+  sock->dgrams.pop_front();
+
+  meter_emit(world_, *proc_,
+             MeterEventDraft{meter::M_RECEIVE,
+                             meter::MeterRecv{proc_->pid, proc_->pc, sid,
+                                              static_cast<std::uint32_t>(
+                                                  d.data.size()),
+                                              d.source.text()}});
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Descriptor management
+// ---------------------------------------------------------------------------
+
+util::SysResult<Fd> Sys::dup(Fd fd) {
+  enter();
+  Descriptor* d = proc_->fds.get(fd);
+  if (!d) return Err::ebadf;
+  Descriptor copy = *d;
+  if (copy.kind == Descriptor::Kind::socket) world_.socket_ref(copy.sock);
+  const SocketId sock_id = copy.kind == Descriptor::Kind::socket ? copy.sock : 0;
+  const Fd nfd = proc_->fds.alloc(std::move(copy));
+  if (nfd < 0) {
+    if (sock_id) world_.socket_unref(sock_id);
+    return Err::emfile;
+  }
+  meter_emit(world_, *proc_,
+             MeterEventDraft{meter::M_DUP,
+                             meter::MeterDup{proc_->pid, proc_->pc, sock_id,
+                                             sock_id}});
+  return nfd;
+}
+
+util::SysResult<void> Sys::close(Fd fd) {
+  enter();
+  auto released = proc_->fds.release(fd);
+  if (!released) return Err::ebadf;
+  if (released->kind == Descriptor::Kind::socket) {
+    meter_emit(world_, *proc_,
+               MeterEventDraft{meter::M_DESTSOCKET,
+                               meter::MeterDestSock{proc_->pid, proc_->pc,
+                                                    released->sock}});
+  }
+  world_.release_descriptor(*released);
+  return {};
+}
+
+util::SysResult<net::SockAddr> Sys::getsockname(Fd fd) {
+  auto sr = sock_of(fd);
+  if (!sr) return sr.error();
+  return (*sr)->name;
+}
+
+util::SysResult<net::SockAddr> Sys::getpeername(Fd fd) {
+  auto sr = sock_of(fd);
+  if (!sr) return sr.error();
+  if ((*sr)->sstate != Socket::StreamState::connected) return Err::enotconn;
+  return (*sr)->peer_name;
+}
+
+// ---------------------------------------------------------------------------
+// select / waitchange
+// ---------------------------------------------------------------------------
+
+util::SysResult<SelectResult> Sys::select(const std::vector<Fd>& read_fds,
+                                          bool child_events,
+                                          std::optional<util::Duration> timeout) {
+  enter();
+  auto& exec = world_.exec();
+  std::optional<util::TimePoint> deadline;
+  if (timeout) deadline = exec.now() + *timeout;
+  bool timer_armed = false;
+
+  for (;;) {
+    SelectResult out;
+    for (Fd fd : read_fds) {
+      const Descriptor* d = proc_->fds.get(fd);
+      if (!d) return Err::ebadf;
+      bool ready = false;
+      switch (d->kind) {
+        case Descriptor::Kind::socket: {
+          Socket* s = world_.find_socket(d->sock);
+          ready = !s || s->readable();
+          break;
+        }
+        case Descriptor::Kind::pipe:
+          ready = !d->pipe->buf.empty() || d->pipe->closed;
+          break;
+        case Descriptor::Kind::file:
+          ready = true;
+          break;
+        case Descriptor::Kind::null:
+          ready = true;  // reads return EOF immediately
+          break;
+      }
+      if (ready) out.readable.push_back(fd);
+    }
+    if (child_events && !proc_->child_changes.empty()) out.child_event = true;
+
+    if (!out.readable.empty() || out.child_event) return out;
+    if (deadline && exec.now() >= *deadline) {
+      out.timed_out = true;
+      return out;
+    }
+
+    // Register for wakeups, then park.
+    const sim::TaskId me = exec.current_task();
+    for (Fd fd : read_fds) {
+      const Descriptor* d = proc_->fds.get(fd);
+      if (d->kind == Descriptor::Kind::socket) {
+        if (Socket* s = world_.find_socket(d->sock)) s->readers.add(me);
+      } else if (d->kind == Descriptor::Kind::pipe) {
+        d->pipe->readers.add(me);
+      }
+    }
+    if (child_events) proc_->child_wait.add(me);
+    if (deadline && !timer_armed) {
+      exec.schedule_at(*deadline, [&exec, me] { exec.make_runnable(me); });
+      timer_armed = true;
+    }
+    exec.park_current();
+    stop_checkpoint();
+  }
+}
+
+util::SysResult<ChildChange> Sys::waitchange(bool block) {
+  enter();
+  if (proc_->child_changes.empty() && !block) return Err::ewouldblock;
+  wait_on(proc_->child_wait, [this] { return !proc_->child_changes.empty(); });
+  ChildChange c = proc_->child_changes.front();
+  proc_->child_changes.pop_front();
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Processes
+// ---------------------------------------------------------------------------
+
+util::SysResult<Pid> Sys::fork(ProcessMain child_main) {
+  enter(world_.config().costs.fork_cost);
+  SpawnOpts opts;
+  opts.parent = proc_->pid;
+  auto r = world_.spawn(proc_->machine, proc_->name + "'", proc_->euid,
+                        std::move(child_main), opts);
+  if (!r) return r.error();
+  Process* child = world_.find_process(proc_->machine, *r);
+  assert(child);
+
+  // Inherit the descriptor table (§3.1: a forked child gains access to the
+  // parent's sockets and open files).
+  for (auto& [fd, d] : proc_->fds.entries()) {
+    if (d.kind == Descriptor::Kind::socket) world_.socket_ref(d.sock);
+    child->fds.install(fd, d);
+  }
+
+  // §3.2: "When a process forks, the child process inherits the meter
+  // socket and the meter flags of the parent."
+  child->meter_flags = proc_->meter_flags;
+  if (proc_->meter_sock != 0) {
+    world_.socket_ref(proc_->meter_sock);
+    child->meter_sock = proc_->meter_sock;
+  }
+
+  meter_emit(world_, *proc_,
+             MeterEventDraft{meter::M_FORK,
+                             meter::MeterFork{proc_->pid, proc_->pc, *r}});
+  return *r;
+}
+
+util::SysResult<Pid> Sys::spawn(const SpawnArgs& sa) {
+  enter(world_.config().costs.fork_cost);
+
+  auto stdio = [this](Fd fd) -> util::SysResult<Descriptor> {
+    if (fd < 0) return Descriptor::null_dev();
+    Descriptor* d = proc_->fds.get(fd);
+    if (!d) return Err::ebadf;
+    return *d;  // World::spawn refs sockets when installing stdio
+  };
+  auto in = stdio(sa.stdin_fd);
+  if (!in) return in.error();
+  auto out = stdio(sa.stdout_fd);
+  if (!out) return out.error();
+  auto err = stdio(sa.stderr_fd);
+  if (!err) return err.error();
+
+  SpawnOpts opts;
+  opts.suspended = sa.suspended;
+  opts.parent = proc_->pid;
+  opts.stdin_fd = *in;
+  opts.stdout_fd = *out;
+  opts.stderr_fd = *err;
+  auto r = world_.spawn_file(proc_->machine, sa.path, proc_->euid, sa.args,
+                             std::move(opts));
+  if (!r) return r.error();
+
+  // Meter inheritance, as for fork (§3.2: a process created by a monitored
+  // server is itself monitored).
+  Process* child = world_.find_process(proc_->machine, *r);
+  assert(child);
+  child->meter_flags = proc_->meter_flags;
+  if (proc_->meter_sock != 0) {
+    world_.socket_ref(proc_->meter_sock);
+    child->meter_sock = proc_->meter_sock;
+  }
+  meter_emit(world_, *proc_,
+             MeterEventDraft{meter::M_FORK,
+                             meter::MeterFork{proc_->pid, proc_->pc, *r}});
+  return *r;
+}
+
+util::SysResult<void> Sys::seteuid(Uid uid) {
+  enter();
+  if (proc_->uid != kSuperUser) return Err::eperm;
+  proc_->euid = uid;
+  return {};
+}
+
+void Sys::exit(int status) { throw ProcessExit{status}; }
+
+util::SysResult<void> Sys::kill_stop(Pid pid) {
+  enter();
+  return world_.proc_stop(proc_->machine, pid, proc_->euid);
+}
+
+util::SysResult<void> Sys::kill_continue(Pid pid) {
+  enter();
+  return world_.proc_continue(proc_->machine, pid, proc_->euid);
+}
+
+util::SysResult<void> Sys::kill_kill(Pid pid) {
+  enter();
+  if (pid == proc_->pid) exit(-1);
+  return world_.proc_kill(proc_->machine, pid, proc_->euid);
+}
+
+// ---------------------------------------------------------------------------
+// setmeter (Appendix C)
+// ---------------------------------------------------------------------------
+
+util::SysResult<void> Sys::setmeter(std::int32_t proc, std::int32_t flags,
+                                    std::int32_t sock) {
+  enter();
+  Process* target;
+  if (proc == meter::SETMETER_SELF) {
+    target = proc_.get();
+  } else {
+    target = world_.find_process(proc_->machine, proc);
+  }
+  if (!target || target->status == ProcStatus::dead) return Err::esrch;
+  // "A user can request metering only for processes belonging to that
+  // user. ... A superuser process can set metering for any process."
+  if (target->uid != proc_->euid && proc_->euid != kSuperUser) return Err::eperm;
+
+  // Validate the socket argument before changing anything.
+  SocketId new_sock = 0;
+  bool change_sock = false;
+  bool close_sock = false;
+  if (sock == meter::SETMETER_NO_CHANGE) {
+    // keep
+  } else if (sock == meter::SETMETER_NONE) {
+    change_sock = true;
+    close_sock = true;
+  } else {
+    Descriptor* d = proc_->fds.get(sock);
+    if (!d) return Err::esrch;  // man page: ESRCH "the socket does not exist"
+    if (d->kind != Descriptor::Kind::socket) return Err::enotsock;
+    Socket* s = world_.find_socket(d->sock);
+    if (!s) return Err::esrch;
+    // "The socket provided must be a stream socket in the Internet
+    // domain." Connectedness is deliberately NOT checked.
+    if (s->domain != SockDomain::internet || s->type != SockType::stream) {
+      return Err::einval;
+    }
+    new_sock = s->id;
+    change_sock = true;
+  }
+
+  if (change_sock) {
+    if (target->meter_sock != 0) {
+      // "If setmeter() is called specifying a new meter socket for a
+      // process already having one, the old socket is closed."
+      meter_flush(world_, *target);
+      world_.socket_unref(target->meter_sock);
+      target->meter_sock = 0;
+    }
+    if (!close_sock) {
+      // The descriptor is duplicated for the metered process but not
+      // placed in its descriptor table (§3.2) — just take a reference.
+      world_.socket_ref(new_sock);
+      target->meter_sock = new_sock;
+      world_.socket(new_sock).is_meter_conn = true;
+    }
+  }
+
+  if (flags == meter::SETMETER_NO_CHANGE) {
+    // keep
+  } else if (flags == meter::SETMETER_NONE) {
+    target->meter_flags = 0;
+  } else {
+    // Appendix C: the mask *replaces* the previous mask (the controller's
+    // union semantics are implemented above the kernel).
+    target->meter_flags = static_cast<meter::Flags>(flags);
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// Files, pipes and stdio
+// ---------------------------------------------------------------------------
+
+util::SysResult<Fd> Sys::open(const std::string& path, OpenMode mode) {
+  enter(world_.config().costs.file_io_base);
+  Machine& m = mach();
+  if (mode == OpenMode::read) {
+    auto f = m.fs.open_read(path, proc_->euid);
+    if (!f) return f.error();
+  } else {
+    auto f = m.fs.open_write(path, proc_->euid, mode == OpenMode::write_trunc);
+    if (!f) return f.error();
+  }
+  auto of = std::make_shared<OpenFile>();
+  of->machine = proc_->machine;
+  of->path = path;
+  of->writable = mode != OpenMode::read;
+  of->append = mode == OpenMode::append;
+  if (of->append) {
+    if (auto data = m.fs.read_bytes(path)) of->offset = data->size();
+  }
+  const Fd fd = proc_->fds.alloc(Descriptor::for_file(std::move(of)));
+  if (fd < 0) return Err::emfile;
+  return fd;
+}
+
+util::SysResult<util::Bytes> Sys::read(Fd fd, std::size_t max) {
+  Descriptor* d = proc_->fds.get(fd);
+  if (!d) return Err::ebadf;
+  switch (d->kind) {
+    case Descriptor::Kind::socket:
+      return recv(fd, max);
+    case Descriptor::Kind::file: {
+      const auto& costs = world_.config().costs;
+      enter(costs.file_io_base);
+      auto data = world_.machine(d->file->machine).fs.read_bytes(d->file->path);
+      if (!data) return Err::enoent;
+      if (d->file->offset >= data->size()) return util::Bytes{};  // EOF
+      const std::size_t n = std::min(max, data->size() - d->file->offset);
+      util::Bytes out(data->begin() + static_cast<std::ptrdiff_t>(d->file->offset),
+                      data->begin() + static_cast<std::ptrdiff_t>(d->file->offset + n));
+      d->file->offset += n;
+      charge(util::usec(costs.file_io_per_kb.count() *
+                        static_cast<std::int64_t>(n) / 1024));
+      return out;
+    }
+    case Descriptor::Kind::pipe: {
+      enter();
+      auto pipe = d->pipe;
+      wait_on(pipe->readers,
+              [pipe] { return !pipe->buf.empty() || pipe->closed; });
+      const std::size_t n = std::min(max, pipe->buf.size());
+      util::Bytes out(pipe->buf.begin(),
+                      pipe->buf.begin() + static_cast<std::ptrdiff_t>(n));
+      pipe->buf.erase(pipe->buf.begin(),
+                      pipe->buf.begin() + static_cast<std::ptrdiff_t>(n));
+      return out;
+    }
+    case Descriptor::Kind::null:
+      enter();
+      return util::Bytes{};  // EOF
+  }
+  return Err::ebadf;
+}
+
+util::SysResult<std::size_t> Sys::write(Fd fd, const util::Bytes& data) {
+  Descriptor* d = proc_->fds.get(fd);
+  if (!d) return Err::ebadf;
+  switch (d->kind) {
+    case Descriptor::Kind::socket:
+      return send(fd, data);
+    case Descriptor::Kind::file: {
+      const auto& costs = world_.config().costs;
+      enter(costs.file_io_base +
+            util::usec(costs.file_io_per_kb.count() *
+                       static_cast<std::int64_t>(data.size()) / 1024));
+      if (!d->file->writable) return Err::eacces;
+      Machine& fm = world_.machine(d->file->machine);
+      auto f = fm.fs.open_write(d->file->path, proc_->euid, /*truncate=*/false);
+      if (!f) return f.error();
+      auto& content = (*f)->content;
+      if (d->file->offset > content.size()) d->file->offset = content.size();
+      content.resize(std::max(content.size(), d->file->offset + data.size()));
+      std::copy(data.begin(), data.end(),
+                content.begin() + static_cast<std::ptrdiff_t>(d->file->offset));
+      d->file->offset += data.size();
+      return data.size();
+    }
+    case Descriptor::Kind::pipe: {
+      enter();
+      auto pipe = d->pipe;
+      pipe->buf.insert(pipe->buf.end(), data.begin(), data.end());
+      pipe->readers.wake_all(world_.exec());
+      return data.size();
+    }
+    case Descriptor::Kind::null:
+      enter();
+      return data.size();  // discarded
+  }
+  return Err::ebadf;
+}
+
+util::SysResult<std::size_t> Sys::write(Fd fd, std::string_view data) {
+  return write(fd, util::to_bytes(data));
+}
+
+util::SysResult<void> Sys::unlink(const std::string& path) {
+  enter(world_.config().costs.file_io_base);
+  return mach().fs.remove(path, proc_->euid);
+}
+
+util::SysResult<void> Sys::rcp(const std::string& src_host,
+                               const std::string& src,
+                               const std::string& dst_host,
+                               const std::string& dst) {
+  enter(world_.config().costs.file_io_base);
+  auto sm = world_.hosts().machine_of(src_host);
+  auto dm = world_.hosts().machine_of(dst_host);
+  if (!sm || !dm) return Err::enoent;
+  auto r = world_.copy_file(*sm, src, *dm, dst, proc_->euid);
+  if (!r) return r.error();
+  // Network transfer time: a simple size-proportional sleep.
+  const std::int64_t bytes = static_cast<std::int64_t>(*r);
+  if (*sm != *dm) sleep(util::msec(5) + util::usec(bytes));
+  return {};
+}
+
+util::SysResult<std::size_t> Sys::print(std::string_view s) {
+  return write(1, s);
+}
+
+util::SysResult<std::optional<std::string>> Sys::read_line() {
+  for (;;) {
+    auto nl = stdin_buf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = stdin_buf_.substr(0, nl);
+      stdin_buf_.erase(0, nl + 1);
+      return std::optional<std::string>(std::move(line));
+    }
+    auto chunk = read(0, 512);
+    if (!chunk) return chunk.error();
+    if (chunk->empty()) {
+      if (stdin_buf_.empty()) return std::optional<std::string>{};
+      std::string line = std::move(stdin_buf_);
+      stdin_buf_.clear();
+      return std::optional<std::string>(std::move(line));
+    }
+    stdin_buf_ += util::to_string(*chunk);
+  }
+}
+
+std::optional<net::SockAddr> Sys::resolve(const std::string& host,
+                                          net::Port port) {
+  return world_.hosts().resolve_from(hostname(), host, port);
+}
+
+}  // namespace dpm::kernel

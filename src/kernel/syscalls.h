@@ -1,0 +1,213 @@
+// Sys — the system-call interface handed to every simulated process.
+//
+// This is the programmer's view the monitor must stay consistent with
+// (§2.1): socket(), bind(), listen(), connect(), accept(), the write()
+// family (write/writev/send/sendmsg are "all variations of write()", so a
+// single send entry point), the read() family, sendto/recvfrom for
+// datagrams, socketpair(), dup(), close(), fork(), select(), plus
+// setmeter() (Appendix C) and a few process/file calls the monitor's own
+// components need.
+//
+// Blocking calls park the calling task; a killed process unwinds via
+// sim::TaskAborted from inside any blocking call.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "kernel/process.h"
+#include "kernel/socket.h"
+#include "kernel/types.h"
+#include "kernel/world.h"
+#include "net/address.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace dpm::kernel {
+
+/// Thrown by Sys::exit; caught by the process wrapper.
+struct ProcessExit {
+  int status;
+};
+
+struct SelectResult {
+  std::vector<Fd> readable;
+  bool child_event = false;
+  bool timed_out = false;
+};
+
+class Sys {
+ public:
+  Sys(World& world, std::shared_ptr<Process> proc)
+      : world_(world), proc_(std::move(proc)) {}
+
+  // ---- identity & environment ----
+  Pid getpid() const { return proc_->pid; }
+  Uid getuid() const { return proc_->euid; }
+  MachineId machine_id() const { return proc_->machine; }
+  const std::string& hostname() const;
+  const std::vector<std::string>& args() const { return args_; }
+  void set_args(std::vector<std::string> a) { args_ = std::move(a); }
+
+  /// Local (skewed, quantized) clock reading in microseconds — gettimeofday.
+  std::int64_t clock_us() const;
+  /// CPU time charged to this process, at the accounting grain (§4.1).
+  std::int64_t proctime_us() const;
+
+  /// Tags subsequent meter events with a call-site id ("pc").
+  void set_pc(std::uint32_t pc) { proc_->pc = pc; }
+
+  // ---- computation ----
+  /// Consumes CPU for `d` (contends with other local processes).
+  void compute(util::Duration d);
+  /// Blocks without consuming CPU.
+  void sleep(util::Duration d);
+  /// Yields to other runnable activity at the current instant.
+  void yield();
+
+  // ---- sockets ----
+  util::SysResult<Fd> socket(SockDomain domain, SockType type);
+  util::SysResult<void> bind(Fd fd, const net::SockAddr& name);
+  /// Binds an internet socket to a specific or ephemeral (port 0) port on
+  /// the machine's primary interface; returns the bound name.
+  util::SysResult<net::SockAddr> bind_port(Fd fd, net::Port port);
+  util::SysResult<void> listen(Fd fd, int backlog);
+  util::SysResult<Fd> accept(Fd fd);
+  util::SysResult<void> connect(Fd fd, const net::SockAddr& name);
+  /// Stream write: blocks until all bytes are queued. Returns byte count.
+  util::SysResult<std::size_t> send(Fd fd, const util::Bytes& data);
+  util::SysResult<std::size_t> send(Fd fd, std::string_view data);
+  /// Datagram send to an explicit destination.
+  util::SysResult<std::size_t> sendto(Fd fd, const util::Bytes& data,
+                                      const net::SockAddr& dest);
+  /// Stream read: up to `max` bytes; empty result means EOF.
+  util::SysResult<util::Bytes> recv(Fd fd, std::size_t max);
+  /// Reads exactly `n` bytes or fails with econnreset on early EOF.
+  util::SysResult<util::Bytes> recv_exact(Fd fd, std::size_t n);
+  /// Datagram receive: one whole message (§3.1).
+  util::SysResult<Datagram> recvfrom(Fd fd);
+
+  // §3.1: write(), writev(), send() and sendmsg() "may all be thought of
+  // as variations of write()", and the five read routines of read(); the
+  // variants share one implementation and thus one meter event ("it is
+  // not important to distinguish between the varieties", §3.2).
+  util::SysResult<std::size_t> sendmsg(Fd fd, const util::Bytes& data) {
+    return send(fd, data);
+  }
+  util::SysResult<std::size_t> writev(Fd fd,
+                                      const std::vector<util::Bytes>& iov);
+  util::SysResult<util::Bytes> readv(Fd fd, std::size_t max) {
+    return recv(fd, max);
+  }
+  util::SysResult<util::Bytes> recvmsg(Fd fd, std::size_t max) {
+    return recv(fd, max);
+  }
+  util::SysResult<std::pair<Fd, Fd>> socketpair();
+  util::SysResult<Fd> dup(Fd fd);
+  util::SysResult<void> close(Fd fd);
+  util::SysResult<net::SockAddr> getsockname(Fd fd);
+  util::SysResult<net::SockAddr> getpeername(Fd fd);
+
+  /// select(): blocks until an fd in `read_fds` is readable, a child
+  /// state-change is queued (if `child_events`), or the timeout expires.
+  util::SysResult<SelectResult> select(const std::vector<Fd>& read_fds,
+                                       bool child_events,
+                                       std::optional<util::Duration> timeout);
+
+  // ---- processes ----
+  /// fork(): the child runs `child_main` with an inherited descriptor
+  /// table, uid, and meter state (§3.2). Returns the child pid.
+  util::SysResult<Pid> fork(ProcessMain child_main);
+
+  /// fork+exec: creates a child from an executable file on this machine.
+  /// stdio descriptors name slots in the *caller's* table (-1 = null
+  /// device); the child inherits copies, plus the caller's meter state —
+  /// as the paper notes for the rexec server, a process created by a
+  /// monitored server is itself monitored (§3.2).
+  struct SpawnArgs {
+    std::string path;
+    std::vector<std::string> args;
+    bool suspended = false;
+    Fd stdin_fd = -1;
+    Fd stdout_fd = -1;
+    Fd stderr_fd = -1;
+  };
+  util::SysResult<Pid> spawn(const SpawnArgs& sa);
+
+  /// seteuid(): root only (eperm otherwise); the meterdaemon uses it to
+  /// carry out each request with the requesting user's privileges.
+  util::SysResult<void> seteuid(Uid uid);
+  [[noreturn]] void exit(int status);
+  /// Oldest queued child state change; blocks if `block` and none queued.
+  util::SysResult<ChildChange> waitchange(bool block);
+  /// Stop / continue / kill another local process (signal stand-ins).
+  util::SysResult<void> kill_stop(Pid pid);
+  util::SysResult<void> kill_continue(Pid pid);
+  util::SysResult<void> kill_kill(Pid pid);
+
+  // ---- the paper's system call (Appendix C) ----
+  /// proc: pid or SETMETER_SELF. flags: mask, SETMETER_NO_CHANGE or
+  /// SETMETER_NONE. sock: descriptor of a connected internet stream
+  /// socket, SETMETER_NO_CHANGE, or SETMETER_NONE (closes the meter
+  /// socket). Errors: eperm (foreign process), esrch (no such process),
+  /// einval (socket not an internet stream socket).
+  util::SysResult<void> setmeter(std::int32_t proc, std::int32_t flags,
+                                 std::int32_t sock);
+
+  // ---- files ----
+  enum class OpenMode { read, write_trunc, append };
+  util::SysResult<Fd> open(const std::string& path, OpenMode mode);
+  util::SysResult<util::Bytes> read(Fd fd, std::size_t max);
+  util::SysResult<std::size_t> write(Fd fd, const util::Bytes& data);
+  util::SysResult<std::size_t> write(Fd fd, std::string_view data);
+  util::SysResult<void> unlink(const std::string& path);
+  /// Simulated `rcp host1:path1 host2:path2` (§3.5.3). Either host may be
+  /// the local one. Charged transfer latency proportional to size.
+  util::SysResult<void> rcp(const std::string& src_host, const std::string& src,
+                            const std::string& dst_host, const std::string& dst);
+
+  // ---- stdio convenience ----
+  util::SysResult<std::size_t> print(std::string_view s);  // fd 1
+  /// Reads one '\n'-terminated line from fd 0 (blocking); nullopt on EOF.
+  util::SysResult<std::optional<std::string>> read_line();
+
+  // ---- escape hatches for the harness/tools (not part of the 4.2BSD
+  //      surface; used by programs that must resolve host names) ----
+  World& world() { return world_; }
+  Process& process() { return *proc_; }
+  /// Resolves `host:port` from this machine's point of view (§3.5.4).
+  std::optional<net::SockAddr> resolve(const std::string& host, net::Port port);
+
+ private:
+  friend class World;
+
+  // Syscall prologue: stop-gate checkpoint + base CPU charge + accounting.
+  void enter(util::Duration extra_cost = util::Duration{0});
+  void charge(util::Duration d);
+  void stop_checkpoint();
+  /// Parks until `cond` is true; registers on `chan` each iteration.
+  void wait_on(WaitChannel& chan, const std::function<bool()>& cond);
+
+  util::SysResult<Socket*> sock_of(Fd fd);
+  util::SysResult<void> auto_bind(Socket& s);
+  Machine& mach() const { return world_.machine(proc_->machine); }
+
+  util::SysResult<std::size_t> send_impl(Fd fd, const util::Bytes& data,
+                                         const net::SockAddr* dest);
+  util::SysResult<std::size_t> stream_send(Socket& s, const util::Bytes& data);
+  util::SysResult<std::size_t> dgram_send(Socket& s, const util::Bytes& data,
+                                          const net::SockAddr& dest);
+  /// recvfrom body without the syscall prologue (read() on dgram sockets).
+  util::SysResult<Datagram> recvfrom_unlogged(Fd fd);
+
+  World& world_;
+  std::shared_ptr<Process> proc_;
+  std::vector<std::string> args_;
+  std::string stdin_buf_;  // read_line() carry-over
+};
+
+}  // namespace dpm::kernel

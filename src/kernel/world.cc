@@ -1,0 +1,265 @@
+#include "kernel/world.h"
+
+#include <cassert>
+
+#include "kernel/meter_hooks.h"
+#include "kernel/syscalls.h"
+#include "util/logging.h"
+
+namespace dpm::kernel {
+
+World::World(WorldConfig cfg)
+    : cfg_(cfg), rng_(cfg.seed), fabric_(exec_, cfg.seed ^ 0x9e3779b97f4a7c15ULL) {
+  fabric_.configure_network(0, cfg_.default_net);
+  fabric_.configure_local(cfg_.local_net);
+}
+
+World::~World() {
+  // Abort every live task while the world is still intact so that process
+  // finalization (meter flush, descriptor teardown) sees valid state.
+  for (auto& [mid, m] : machines_) {
+    for (auto& [pid, p] : m->procs) {
+      if (p->status != ProcStatus::dead && p->task != sim::kNoTask &&
+          !exec_.task_finished(p->task)) {
+        exec_.abort_task(p->task);
+      }
+    }
+  }
+  exec_.run();
+}
+
+MachineId World::add_machine(const std::string& name,
+                             std::vector<net::Interface> interfaces,
+                             sim::MachineClock::Config clock) {
+  const MachineId id = next_machine_++;
+  auto m = std::make_unique<Machine>(id, static_cast<std::uint16_t>(id - 1),
+                                     name, sim::MachineClock(clock), interfaces);
+  const bool ok = hosts_.add_host(name, id, std::move(interfaces));
+  assert(ok && "duplicate host name or address");
+  (void)ok;
+  machines_[id] = std::move(m);
+  return id;
+}
+
+MachineId World::add_machine(const std::string& name) {
+  sim::MachineClock::Config clock;
+  clock.offset = util::usec(rng_.uniform(-50000, 50000));
+  clock.drift_ppm = static_cast<double>(rng_.uniform(-100, 100));
+  clock.tick = util::usec(1000);
+  return add_machine(name, {net::Interface{0, next_addr_++}}, clock);
+}
+
+void World::add_account(MachineId m, Uid uid) {
+  machine(m).accounts.insert(uid);
+}
+
+void World::add_account_everywhere(Uid uid) {
+  for (auto& [id, m] : machines_) m->accounts.insert(uid);
+}
+
+Machine& World::machine(MachineId id) {
+  auto it = machines_.find(id);
+  assert(it != machines_.end());
+  return *it->second;
+}
+
+const Machine& World::machine(MachineId id) const {
+  auto it = machines_.find(id);
+  assert(it != machines_.end());
+  return *it->second;
+}
+
+Machine* World::machine_by_name(const std::string& name) {
+  for (auto& [id, m] : machines_) {
+    if (m->name == name) return m.get();
+  }
+  return nullptr;
+}
+
+std::vector<MachineId> World::machines() const {
+  std::vector<MachineId> out;
+  out.reserve(machines_.size());
+  for (const auto& [id, m] : machines_) out.push_back(id);
+  return out;
+}
+
+util::SysResult<Pid> World::spawn(MachineId mid, const std::string& proc_name,
+                                  Uid uid, ProcessMain main, SpawnOpts opts) {
+  Machine& m = machine(mid);
+  if (!m.accounts.count(uid) && uid != kSuperUser) return util::Err::eacces;
+
+  const Pid pid = m.next_pid++;
+  auto proc = std::make_shared<Process>(pid, mid, uid, proc_name,
+                                        cfg_.max_descriptors);
+  proc->parent = opts.parent;
+  proc->stop_requested = opts.suspended;
+  proc->initial_suspend = opts.suspended;
+
+  auto install_stdio = [&](Fd fd, Descriptor d) {
+    if (d.kind == Descriptor::Kind::socket) socket_ref(d.sock);
+    proc->fds.install(fd, std::move(d));
+  };
+  install_stdio(0, opts.stdin_fd);
+  install_stdio(1, opts.stdout_fd);
+  install_stdio(2, opts.stderr_fd);
+
+  m.procs[pid] = proc;
+
+  auto args = opts.args;
+  proc->task = exec_.spawn(
+      proc_name, [this, proc, main = std::move(main), args]() mutable {
+        Sys sys(*this, proc);
+        sys.set_args(std::move(args));
+        proc->status = ProcStatus::alive;
+        int status = 0;
+        bool was_killed = false;
+        try {
+          sys.stop_checkpoint();  // honors create-suspended (§3.5.1)
+          main(sys);
+        } catch (const ProcessExit& e) {
+          status = e.status;
+        } catch (const sim::TaskAborted&) {
+          was_killed = true;
+        }
+        finalize_exit(proc, was_killed ? -1 : status, was_killed);
+        if (was_killed) throw sim::TaskAborted{};  // let the task wrapper see it
+      });
+  return pid;
+}
+
+util::SysResult<Pid> World::spawn_file(MachineId mid, const std::string& path,
+                                       Uid uid, std::vector<std::string> args,
+                                       SpawnOpts opts) {
+  Machine& m = machine(mid);
+  auto file = m.fs.open_read(path, uid);
+  if (!file) return file.error();
+  if (!(*file)->program) return util::Err::eacces;  // not executable
+  std::vector<std::string> argv;
+  argv.push_back(path);
+  for (auto& a : args) argv.push_back(a);
+  auto main = programs_.instantiate(*(*file)->program, argv);
+  if (!main) return util::Err::enoent;
+  opts.args = std::move(argv);
+  return spawn(mid, path, uid, std::move(*main), std::move(opts));
+}
+
+Process* World::find_process(MachineId mid, Pid pid) {
+  auto it = machines_.find(mid);
+  if (it == machines_.end()) return nullptr;
+  auto pit = it->second->procs.find(pid);
+  if (pit == it->second->procs.end()) return nullptr;
+  return pit->second.get();
+}
+
+util::SysResult<void> World::proc_stop(MachineId mid, Pid pid, Uid caller) {
+  Process* p = find_process(mid, pid);
+  if (!p || p->status == ProcStatus::dead) return util::Err::esrch;
+  if (p->uid != caller && caller != kSuperUser) return util::Err::eperm;
+  if (!p->stop_requested) {
+    p->stop_requested = true;
+    // Nudge the task so a blocked process reaches its stop checkpoint.
+    exec_.make_runnable(p->task);
+  }
+  return {};
+}
+
+util::SysResult<void> World::proc_continue(MachineId mid, Pid pid, Uid caller) {
+  Process* p = find_process(mid, pid);
+  if (!p || p->status == ProcStatus::dead) return util::Err::esrch;
+  if (p->uid != caller && caller != kSuperUser) return util::Err::eperm;
+  p->stop_requested = false;
+  p->stop_gate.wake_all(exec_);
+  return {};
+}
+
+util::SysResult<void> World::proc_kill(MachineId mid, Pid pid, Uid caller) {
+  Process* p = find_process(mid, pid);
+  if (!p) return util::Err::esrch;
+  if (p->uid != caller && caller != kSuperUser) return util::Err::eperm;
+  if (p->status == ProcStatus::dead) return {};
+  p->stop_requested = false;  // a stopped process must unwind, not sleep
+  exec_.abort_task(p->task);
+  return {};
+}
+
+void World::finalize_exit(std::shared_ptr<Process> p, int status,
+                          bool was_killed) {
+  if (p->status == ProcStatus::dead) return;
+
+  // §3.2: "As part of process termination, any unsent messages are
+  // forwarded to the filter." The termproc event itself is recorded first.
+  meter_emit(*this, *p,
+             MeterEventDraft{meter::M_TERMPROC,
+                             meter::MeterTermProc{p->pid, p->pc,
+                                                  was_killed ? -1 : status}});
+  meter_flush(*this, *p);
+  if (p->meter_sock != 0) {
+    socket_unref(p->meter_sock);
+    p->meter_sock = 0;
+  }
+
+  // Close every descriptor (socket refs drop; peers see EOF).
+  for (auto& [fd, d] : p->fds.entries()) {
+    auto released = p->fds.release(fd);
+    if (released) release_descriptor(*released);
+  }
+
+  p->status = ProcStatus::dead;
+  p->exit_status = status;
+  p->killed = was_killed;
+
+  Machine& m = machine(p->machine);
+  if (p->parent != 0) {
+    push_child_change(m, p->parent,
+                      ChildChange{p->pid,
+                                  was_killed ? ChildEvent::killed
+                                             : ChildEvent::exited,
+                                  status});
+  }
+  for (auto& fn : exit_listeners_) fn(p->machine, p->pid, status, was_killed);
+}
+
+void World::push_child_change(Machine& m, Pid parent, ChildChange change) {
+  auto it = m.procs.find(parent);
+  if (it == m.procs.end() || it->second->status == ProcStatus::dead) return;
+  it->second->child_changes.push_back(change);
+  it->second->child_wait.wake_all(exec_);
+}
+
+void World::release_descriptor(Descriptor& d) {
+  if (d.kind == Descriptor::Kind::socket) {
+    socket_unref(d.sock);
+  }
+  // Files and pipes are shared_ptr-managed; dropping the descriptor is
+  // enough.
+  d = Descriptor::null_dev();
+}
+
+std::size_t World::live_processes() const {
+  std::size_t n = 0;
+  for (const auto& [id, m] : machines_) {
+    for (const auto& [pid, p] : m->procs) {
+      if (p->status == ProcStatus::alive) ++n;
+    }
+  }
+  return n;
+}
+
+util::SysResult<std::size_t> World::copy_file(MachineId src_m,
+                                              const std::string& src,
+                                              MachineId dst_m,
+                                              const std::string& dst, Uid uid) {
+  Machine& sm = machine(src_m);
+  auto file = sm.fs.open_read(src, uid);
+  if (!file) return file.error();
+  const FileData& f = **file;
+  Machine& dm = machine(dst_m);
+  if (!dm.accounts.count(uid) && uid != kSuperUser) return util::Err::eacces;
+  auto out = dm.fs.open_write(dst, uid, /*truncate=*/true);
+  if (!out) return out.error();
+  (*out)->content = f.content;
+  (*out)->program = f.program;  // executables stay executable when copied
+  return f.content.size();
+}
+
+}  // namespace dpm::kernel

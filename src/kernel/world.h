@@ -1,0 +1,171 @@
+// The World: one simulated distributed system.
+//
+// Owns the executive (time), the network fabric, the host table, every
+// machine, the global socket registry, and the exec registry. The harness
+// (tests, examples, benchmarks) builds a World, registers programs, spawns
+// bootstrap processes (meterdaemons, a controller), and runs the event
+// loop.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel/exec_registry.h"
+#include "kernel/machine.h"
+#include "kernel/socket.h"
+#include "kernel/types.h"
+#include "net/fabric.h"
+#include "net/hosts.h"
+#include "sim/executive.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace dpm::kernel {
+
+class Sys;
+
+/// Aggregate metering counters across all processes (experiment E1).
+struct MeterStats {
+  std::uint64_t events = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Options for World::spawn / World::spawn_file.
+struct SpawnOpts {
+  bool suspended = false;  // park at the stop gate before the first insn
+  Pid parent = 0;
+  std::vector<std::string> args;
+  Descriptor stdin_fd = Descriptor::null_dev();
+  Descriptor stdout_fd = Descriptor::null_dev();
+  Descriptor stderr_fd = Descriptor::null_dev();
+};
+
+class World {
+ public:
+  explicit World(WorldConfig cfg = {});
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  // ---- construction ----
+
+  /// Adds a machine with explicit interfaces and clock model.
+  MachineId add_machine(const std::string& name,
+                        std::vector<net::Interface> interfaces,
+                        sim::MachineClock::Config clock = {});
+
+  /// Convenience: one interface on network 0, address auto-assigned,
+  /// mild pseudo-random clock skew derived from the world seed.
+  MachineId add_machine(const std::string& name);
+
+  /// Grants `uid` an account on the machine (§3.5.5).
+  void add_account(MachineId m, Uid uid);
+  void add_account_everywhere(Uid uid);
+
+  Machine& machine(MachineId id);
+  const Machine& machine(MachineId id) const;
+  Machine* machine_by_name(const std::string& name);
+  std::vector<MachineId> machines() const;
+
+  sim::Executive& exec() { return exec_; }
+  net::Fabric& fabric() { return fabric_; }
+  net::HostTable& hosts() { return hosts_; }
+  ExecRegistry& programs() { return programs_; }
+  const WorldConfig& config() const { return cfg_; }
+  WorldConfig& mutable_config() { return cfg_; }
+  util::Rng& rng() { return rng_; }
+
+  // ---- process creation ----
+
+  /// Spawns a process running `main` directly (harness bootstrap).
+  util::SysResult<Pid> spawn(MachineId m, const std::string& proc_name,
+                             Uid uid, ProcessMain main, SpawnOpts opts = {});
+
+  /// Spawns from an executable file (the daemon's create path): the file
+  /// must exist on the machine and name a registered program.
+  util::SysResult<Pid> spawn_file(MachineId m, const std::string& path,
+                                  Uid uid, std::vector<std::string> args,
+                                  SpawnOpts opts = {});
+
+  Process* find_process(MachineId m, Pid pid);
+
+  // ---- process control (what the daemon's signals do) ----
+  util::SysResult<void> proc_stop(MachineId m, Pid pid, Uid caller);
+  util::SysResult<void> proc_continue(MachineId m, Pid pid, Uid caller);
+  util::SysResult<void> proc_kill(MachineId m, Pid pid, Uid caller);
+
+  // ---- sockets (kernel-internal; syscalls go through Sys) ----
+  SocketId create_socket(MachineId m, SockDomain domain, SockType type);
+  Socket* find_socket(SocketId id);
+  Socket& socket(SocketId id);
+  void socket_ref(SocketId id);
+  void socket_unref(SocketId id);
+
+  /// Kernel-side non-blocking stream send (meter flush path): enqueues the
+  /// bytes toward the peer regardless of window, no meter hooks.
+  void kernel_stream_send(SocketId from, util::Bytes data);
+
+  /// Closes one endpoint: marks closed, tells the peer (EOF after data).
+  void close_stream(Socket& s);
+
+  // ---- simulated rcp (§3.5.3): copy a file between machines ----
+  /// Kernel-level copy with access checks; charged latency is the caller's
+  /// problem (Sys::rcp charges it).
+  util::SysResult<std::size_t> copy_file(MachineId src_m, const std::string& src,
+                                         MachineId dst_m, const std::string& dst,
+                                         Uid uid);
+
+  // ---- running ----
+  void run() { exec_.run(); }
+  void run_until(util::TimePoint t) { exec_.run_until(t); }
+  void run_for(util::Duration d) { exec_.run_until(exec_.now() + d); }
+  util::TimePoint now() const { return exec_.now(); }
+
+  // ---- experiment hooks ----
+  MeterStats meter_stats() const { return meter_stats_; }
+  MeterStats& mutable_meter_stats() { return meter_stats_; }
+
+  /// Called by the exit path; the harness may watch process completion.
+  using ExitListener = std::function<void(MachineId, Pid, int status, bool killed)>;
+  void add_exit_listener(ExitListener fn) { exit_listeners_.push_back(std::move(fn)); }
+
+  /// Live (alive, not dead) process count across all machines.
+  std::size_t live_processes() const;
+
+ private:
+  friend class Sys;
+  friend void meter_emit(World&, Process&, struct MeterEventDraft&&);
+  friend void meter_flush(World&, Process&);
+
+  void finalize_exit(std::shared_ptr<Process> p, int status, bool was_killed);
+  void push_child_change(Machine& m, Pid parent, ChildChange change);
+  void destroy_socket(SocketId id);
+  void release_descriptor(Descriptor& d);
+
+  /// Delivery of one stream chunk into `to` (fabric callback). `accounted`
+  /// marks chunks counted against the receive window by the sender.
+  void deliver_stream(SocketId to, util::Bytes data, bool accounted);
+  void deliver_eof(SocketId to);
+
+  WorldConfig cfg_;
+  sim::Executive exec_;
+  util::Rng rng_;
+  net::Fabric fabric_;
+  net::HostTable hosts_;
+  ExecRegistry programs_;
+  std::map<MachineId, std::unique_ptr<Machine>> machines_;
+  MachineId next_machine_ = 1;
+  net::HostAddr next_addr_ = 1;
+  std::map<SocketId, std::unique_ptr<Socket>> sockets_;
+  SocketId next_socket_ = 1;
+  std::uint64_t next_internal_name_ = 1;
+  MeterStats meter_stats_;
+  std::vector<ExitListener> exit_listeners_;
+};
+
+}  // namespace dpm::kernel

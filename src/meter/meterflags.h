@@ -1,0 +1,54 @@
+// Meter flags — the reproduction of the paper's <meterflags.h>.
+//
+// The flags select which system calls generate meter events for a process
+// (§3.2, §4.1, setmeter(2) man page in Appendix C). They form a 32-bit
+// mask stored in the process-table entry. M_IMMEDIATE is not an event: it
+// requests that meter messages be sent immediately instead of buffered.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dpm::meter {
+
+using Flags = std::uint32_t;
+
+constexpr Flags M_SEND = 1u << 0;         // process sends a message
+constexpr Flags M_RECEIVECALL = 1u << 1;  // process makes a call to receive
+constexpr Flags M_RECEIVE = 1u << 2;      // process receives a message
+constexpr Flags M_SOCKET = 1u << 3;       // process creates a socket
+constexpr Flags M_DUP = 1u << 4;          // process duplicates a descriptor
+constexpr Flags M_DESTSOCKET = 1u << 5;   // process closes a socket
+constexpr Flags M_FORK = 1u << 6;         // process forks
+constexpr Flags M_ACCEPT = 1u << 7;       // process accepts a connection
+constexpr Flags M_CONNECT = 1u << 8;      // process initiates a connection
+constexpr Flags M_TERMPROC = 1u << 9;     // process terminates
+
+constexpr Flags M_ALL = M_SEND | M_RECEIVECALL | M_RECEIVE | M_SOCKET | M_DUP |
+                        M_DESTSOCKET | M_FORK | M_ACCEPT | M_CONNECT |
+                        M_TERMPROC;
+
+/// Send meter messages immediately rather than buffering them (§4.1).
+constexpr Flags M_IMMEDIATE = 1u << 31;
+
+/// Sentinels for setmeter() arguments (Appendix C: the special value -1).
+constexpr std::int32_t SETMETER_SELF = -1;        // proc: the calling process
+constexpr std::int32_t SETMETER_NO_CHANGE = -1;   // flags/socket: keep current
+constexpr std::int32_t SETMETER_NONE = -2;        // flags: clear; socket: close
+
+/// Parses a user-facing flag name as used by the controller's setflags
+/// command ("send", "receivecall", "receive", "socket", "dup",
+/// "destsocket", "fork", "accept", "connect", "termproc", "all",
+/// "immediate"). Returns nullopt for unknown names.
+std::optional<Flags> flag_by_name(std::string_view name);
+
+/// Renders a mask as the controller displays it, e.g. "send receive fork".
+std::string flags_to_string(Flags flags);
+
+/// All user-facing flag names, in display order.
+const std::vector<std::string>& flag_names();
+
+}  // namespace dpm::meter

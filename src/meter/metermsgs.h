@@ -1,0 +1,166 @@
+// Meter message formats — the reproduction of the paper's <metermsgs.h>
+// (Appendix A).
+//
+// Every metered event produces one message: a fixed header followed by a
+// body whose layout depends on the event type. The wire layout is fixed
+// little-endian so that filter *description files* (Fig 3.2) can locate
+// fields by byte offset. Divergences from the 1984 struct layout: times
+// are 64-bit microseconds and socket identifiers are 64-bit (documented in
+// DESIGN.md); socket names are carried as canonical text preceded by a
+// 32-bit length, with internet names rendered as the paper's single
+// decimal number.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace dpm::meter {
+
+/// traceType values. Chosen so the paper's example selection rules hold:
+/// Fig 3.3 matches a send with "type=1"; Fig 3.4 matches accepts with
+/// "type=8, sockName=peerName".
+enum class EventType : std::uint32_t {
+  send = 1,
+  recv = 2,
+  recvcall = 3,
+  sockcrt = 4,
+  dup = 5,
+  destsock = 6,
+  fork = 7,
+  accept = 8,
+  connect = 9,
+  termproc = 10,
+};
+
+std::string_view event_name(EventType t);
+std::optional<EventType> event_by_name(std::string_view name);
+
+using Pid = std::int32_t;
+using SocketId = std::uint64_t;  // "file table entry address" in the paper
+
+/// Common header (paper: struct MeterHeader).
+/// Wire layout: size u32 @0, machine u16 @4, cpuTime i64 @6,
+/// procTime i64 @14, traceType u32 @22. Header length 26 bytes.
+struct MeterHeader {
+  std::uint32_t size = 0;     // total message size including header
+  std::uint16_t machine = 0;  // machine on which the process runs
+  std::int64_t cpu_time = 0;  // local clock reading, microseconds (§4.1)
+  std::int64_t proc_time = 0; // CPU time charged to the process, 10ms grain
+  EventType trace_type = EventType::send;
+};
+
+constexpr std::size_t kHeaderSize = 26;
+
+struct MeterAccept {
+  Pid pid = 0;
+  std::uint32_t pc = 0;     // call-site tag ("PC when system call was made")
+  SocketId sock = 0;        // socket accepting the connection
+  SocketId new_sock = 0;    // connection socket created by the accept
+  std::string sock_name;    // name bound to the accepting socket
+  std::string peer_name;    // name bound to the connecting socket
+};
+
+struct MeterConnect {
+  Pid pid = 0;
+  std::uint32_t pc = 0;
+  SocketId sock = 0;        // socket requesting the connection
+  std::string sock_name;    // name bound to the connecting socket
+  std::string peer_name;    // name bound to the accepting socket
+};
+
+struct MeterSend {
+  Pid pid = 0;
+  std::uint32_t pc = 0;
+  SocketId sock = 0;         // socket the message was sent through
+  std::uint32_t msg_length = 0;
+  std::string dest_name;     // empty when unknown (e.g. connected stream)
+};
+
+struct MeterRecvCall {
+  Pid pid = 0;
+  std::uint32_t pc = 0;
+  SocketId sock = 0;
+};
+
+struct MeterRecv {
+  Pid pid = 0;
+  std::uint32_t pc = 0;
+  SocketId sock = 0;
+  std::uint32_t msg_length = 0;
+  std::string source_name;   // empty when unknown
+};
+
+struct MeterSockCrt {
+  Pid pid = 0;
+  std::uint32_t pc = 0;
+  SocketId sock = 0;
+  std::uint32_t domain = 0;
+  std::uint32_t type = 0;
+  std::uint32_t protocol = 0;
+};
+
+struct MeterDup {
+  Pid pid = 0;
+  std::uint32_t pc = 0;
+  SocketId sock = 0;
+  SocketId new_sock = 0;
+};
+
+struct MeterDestSock {
+  Pid pid = 0;
+  std::uint32_t pc = 0;
+  SocketId sock = 0;
+};
+
+struct MeterFork {
+  Pid pid = 0;   // parent
+  std::uint32_t pc = 0;
+  Pid new_pid = 0;  // child
+};
+
+struct MeterTermProc {
+  Pid pid = 0;
+  std::uint32_t pc = 0;
+  std::int32_t status = 0;  // 0 = normal termination
+};
+
+using MeterBody =
+    std::variant<MeterSend, MeterRecv, MeterRecvCall, MeterSockCrt, MeterDup,
+                 MeterDestSock, MeterFork, MeterAccept, MeterConnect,
+                 MeterTermProc>;
+
+/// One meter message (paper: struct MeterMsg). The header's size and
+/// trace_type fields are filled in by serialize().
+struct MeterMsg {
+  MeterHeader header;
+  MeterBody body;
+
+  EventType type() const;
+  Pid pid() const;
+
+  /// Serializes to the fixed wire layout; sets header.size / trace_type.
+  util::Bytes serialize() const;
+
+  /// Parses one message; nullopt on malformed input.
+  static std::optional<MeterMsg> parse(const util::Bytes& wire);
+
+  /// Parses one message from `wire` starting at `pos` if a complete message
+  /// is present; advances `pos` past it. Used by filters draining a stream.
+  static std::optional<MeterMsg> parse_stream(const util::Bytes& wire,
+                                              std::size_t& pos);
+
+  /// One-line human-readable rendering, e.g.
+  /// "send machine=0 cpuTime=12000 pid=7 sock=3 len=64 dest=328140".
+  std::string pretty() const;
+};
+
+/// Convenience builders set the body and leave the header for the meter.
+MeterMsg make_msg(EventType t);
+
+}  // namespace dpm::meter

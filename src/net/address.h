@@ -1,0 +1,60 @@
+// Socket names (addresses).
+//
+// The paper (§4.1) presents socket names in three forms: an Internet-domain
+// name, a UNIX path name, or an internally generated unique name (for
+// socketpairs). A socket name is composed of a host address and a port
+// (§3.5.4); a host can have different addresses on different networks, so
+// literal host names — not addresses — are what processes exchange.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace dpm::net {
+
+/// Address families, numbered as in 4.2BSD <sys/socket.h>.
+enum class Family : std::uint8_t {
+  unspec = 0,
+  unix_path = 1,  // AF_UNIX
+  internet = 2,   // AF_INET
+  internal = 3,   // internally generated unique names (socketpairs)
+};
+
+using NetworkId = std::uint16_t;  // which physical network a host address is on
+using HostAddr = std::uint32_t;   // host address, unique within one network
+using Port = std::uint16_t;
+using MachineId = std::uint32_t;  // identifies a machine within a World
+
+/// A socket name. Internet names carry (network, host, port); UNIX and
+/// internal names carry a path / unique string (scoped to one machine).
+struct SockAddr {
+  Family family = Family::unspec;
+  NetworkId network = 0;
+  HostAddr host = 0;
+  Port port = 0;
+  std::string path;  // unix_path: filesystem path; internal: unique token
+
+  static SockAddr inet(NetworkId network, HostAddr host, Port port);
+  static SockAddr unix_name(std::string path);
+  static SockAddr internal(std::uint64_t unique);
+
+  bool is_unspec() const { return family == Family::unspec; }
+
+  /// Canonical text rendering. Internet names render as the paper's single
+  /// decimal number (host*65536 + port; cf. "destName=228320140" in Fig
+  /// 3.3), so filter templates can match them numerically. UNIX names
+  /// render as the path; internal names as "#<n>".
+  std::string text() const;
+
+  /// Numeric key for internet names (host*65536 + port); nullopt otherwise.
+  std::optional<std::int64_t> numeric() const;
+
+  /// Verbose human-readable rendering for reports, e.g. "inet(net0,5:1234)".
+  std::string debug() const;
+
+  friend auto operator<=>(const SockAddr&, const SockAddr&) = default;
+};
+
+}  // namespace dpm::net

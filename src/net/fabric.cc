@@ -1,0 +1,53 @@
+#include "net/fabric.h"
+
+#include <utility>
+
+namespace dpm::net {
+
+Fabric::Fabric(sim::Executive& exec, std::uint64_t seed)
+    : exec_(exec), rng_(seed) {}
+
+void Fabric::configure_network(NetworkId net, NetworkConfig cfg) {
+  nets_[net] = cfg;
+}
+
+const NetworkConfig& Fabric::config_for(NetworkId net) const {
+  auto it = nets_.find(net);
+  return it == nets_.end() ? default_net_ : it->second;
+}
+
+void Fabric::send(NetworkId net, bool local, std::uint64_t channel,
+                  bool droppable, std::size_t size_bytes,
+                  std::function<void()> deliver) {
+  ++stats_.packets_sent;
+  stats_.bytes_sent += size_bytes;
+
+  util::Duration delay;
+  if (local) {
+    delay = local_.base_latency +
+            util::usec(local_.per_kb.count() * static_cast<std::int64_t>(size_bytes) / 1024);
+  } else {
+    const NetworkConfig& cfg = config_for(net);
+    if (droppable && rng_.bernoulli(cfg.dgram_loss)) {
+      ++stats_.packets_dropped;
+      return;
+    }
+    delay = cfg.base_latency +
+            util::usec(cfg.per_kb.count() * static_cast<std::int64_t>(size_bytes) / 1024);
+    if (cfg.jitter_max.count() > 0) {
+      delay += util::usec(rng_.uniform(0, cfg.jitter_max.count() - 1));
+    }
+  }
+
+  util::TimePoint arrive = exec_.now() + delay;
+  if (channel != 0) {
+    // In-order channels never deliver before an earlier packet on the same
+    // channel: push the arrival time past the channel horizon.
+    auto& horizon = channel_horizon_[channel];
+    if (arrive < horizon) arrive = horizon;
+    horizon = arrive;
+  }
+  exec_.schedule_at(arrive, std::move(deliver));
+}
+
+}  // namespace dpm::net

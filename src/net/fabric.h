@@ -1,0 +1,78 @@
+// The network fabric: delayed delivery of packets between machines.
+//
+// The fabric models the paper's communication substrate at the level the
+// monitor observes it (§2.1): message delivery with finite, non-
+// deterministic delay. Stream traffic is delivered reliably and in order
+// per channel (the underlying protocol's acks/retransmits are below the
+// abstraction, as the paper argues they should be); datagram traffic may
+// be dropped or reordered according to the network's configuration —
+// "delivery ... is not guaranteed, though it is likely" (§3.1) — except
+// within a single machine, where datagrams are reliable (§3.5.2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "net/address.h"
+#include "sim/executive.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace dpm::net {
+
+struct NetworkConfig {
+  util::Duration base_latency = util::usec(1000);  // per-packet propagation
+  util::Duration per_kb = util::usec(100);         // transmission time per KiB
+  util::Duration jitter_max = util::usec(200);     // uniform [0, jitter_max)
+  double dgram_loss = 0.0;                         // datagram drop probability
+};
+
+struct LocalConfig {
+  util::Duration base_latency = util::usec(50);  // same-machine IPC hop
+  util::Duration per_kb = util::usec(10);
+};
+
+/// Statistics the fabric keeps for experiments (E5).
+struct FabricStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class Fabric {
+ public:
+  explicit Fabric(sim::Executive& exec, std::uint64_t seed);
+
+  /// Configures a network; unknown networks use the default config.
+  void configure_network(NetworkId net, NetworkConfig cfg);
+  void configure_local(LocalConfig cfg) { local_ = cfg; }
+
+  /// Delivers `deliver` after the latency for `size_bytes` over `net`.
+  /// `channel` != 0 requests in-order delivery relative to other packets on
+  /// the same channel (streams). `droppable` packets are subject to the
+  /// network's datagram loss (dropped packets never deliver).
+  /// `local` hops (same machine) use the local config: no loss, low delay.
+  void send(NetworkId net, bool local, std::uint64_t channel, bool droppable,
+            std::size_t size_bytes, std::function<void()> deliver);
+
+  /// Allocates a fresh ordered-channel id.
+  std::uint64_t new_channel() { return next_channel_++; }
+
+  const FabricStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  const NetworkConfig& config_for(NetworkId net) const;
+
+  sim::Executive& exec_;
+  util::Rng rng_;
+  NetworkConfig default_net_{};
+  LocalConfig local_{};
+  std::map<NetworkId, NetworkConfig> nets_;
+  std::map<std::uint64_t, util::TimePoint> channel_horizon_;
+  std::uint64_t next_channel_ = 1;
+  FabricStats stats_;
+};
+
+}  // namespace dpm::net

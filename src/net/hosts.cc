@@ -1,0 +1,69 @@
+#include "net/hosts.h"
+
+namespace dpm::net {
+
+bool HostTable::add_host(const std::string& name, MachineId machine,
+                         std::vector<Interface> interfaces) {
+  if (by_name_.count(name) || names_.count(machine)) return false;
+  for (const auto& itf : interfaces) {
+    if (by_addr_.count({itf.network, itf.addr})) return false;
+  }
+  for (const auto& itf : interfaces) {
+    by_addr_[{itf.network, itf.addr}] = machine;
+  }
+  by_name_[name] = Entry{machine, std::move(interfaces)};
+  names_[machine] = name;
+  return true;
+}
+
+std::optional<MachineId> HostTable::machine_of(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second.machine;
+}
+
+std::optional<std::string> HostTable::name_of(MachineId machine) const {
+  auto it = names_.find(machine);
+  if (it == names_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<Interface>* HostTable::interfaces_of(
+    const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return nullptr;
+  return &it->second.interfaces;
+}
+
+std::optional<SockAddr> HostTable::resolve_from(const std::string& from,
+                                                const std::string& target,
+                                                Port port) const {
+  const auto* from_ifs = interfaces_of(from);
+  const auto* tgt_ifs = interfaces_of(target);
+  if (!from_ifs || !tgt_ifs) return std::nullopt;
+  // Pick the first network (in target-interface order) both hosts share.
+  for (const auto& t : *tgt_ifs) {
+    for (const auto& f : *from_ifs) {
+      if (f.network == t.network) {
+        return SockAddr::inet(t.network, t.addr, port);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<MachineId> HostTable::machine_at(const SockAddr& addr) const {
+  if (addr.family != Family::internet) return std::nullopt;
+  auto it = by_addr_.find({addr.network, addr.host});
+  if (it == by_addr_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> HostTable::host_names() const {
+  std::vector<std::string> out;
+  out.reserve(by_name_.size());
+  for (const auto& [name, e] : by_name_) out.push_back(name);
+  return out;
+}
+
+}  // namespace dpm::net

@@ -1,0 +1,63 @@
+// The host table: literal host names and their per-network addresses.
+//
+// §3.5.4: "A given host may be a member of two or more networks and thus
+// two or more different addresses may be used to access it ... when
+// communicating an address, the literal name of the host and the number of
+// the port are exchanged. The receiving process then constructs the socket
+// name using its own host address for the specified machine."
+//
+// HostTable implements exactly that: name→addresses registration and the
+// receiver-side reconstruction (resolve a name from the point of view of a
+// particular host, picking a network both hosts share).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/address.h"
+
+namespace dpm::net {
+
+struct Interface {
+  NetworkId network = 0;
+  HostAddr addr = 0;
+};
+
+class HostTable {
+ public:
+  /// Registers a host; addresses must be unique per network.
+  /// Returns false if the name is taken or an address collides.
+  bool add_host(const std::string& name, MachineId machine,
+                std::vector<Interface> interfaces);
+
+  std::optional<MachineId> machine_of(const std::string& name) const;
+  std::optional<std::string> name_of(MachineId machine) const;
+
+  const std::vector<Interface>* interfaces_of(const std::string& name) const;
+
+  /// Receiver-side reconstruction: the socket name that host `from` should
+  /// use to reach `target:port`, i.e. target's address on a network `from`
+  /// is also attached to. Returns nullopt if no shared network exists.
+  std::optional<SockAddr> resolve_from(const std::string& from,
+                                       const std::string& target,
+                                       Port port) const;
+
+  /// Reverse lookup: which host owns `addr` on `addr.network`?
+  std::optional<MachineId> machine_at(const SockAddr& addr) const;
+
+  std::vector<std::string> host_names() const;
+
+ private:
+  struct Entry {
+    MachineId machine;
+    std::vector<Interface> interfaces;
+  };
+  std::map<std::string, Entry> by_name_;
+  std::map<std::pair<NetworkId, HostAddr>, MachineId> by_addr_;
+  std::map<MachineId, std::string> names_;
+};
+
+}  // namespace dpm::net

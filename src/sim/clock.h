@@ -1,0 +1,40 @@
+// Per-machine clock model.
+//
+// The paper (§1.1) stresses that machine clocks cannot be fully
+// synchronized: each machine's clock has an offset and a rate error, and
+// readings are quantized. Meter-message headers carry these *local*
+// readings, so analysis code must tolerate skew. The model:
+//
+//   local(t) = quantize((t - epoch) * (1 + drift) + offset, tick)
+//
+// where t is true simulated time.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.h"
+
+namespace dpm::sim {
+
+class MachineClock {
+ public:
+  struct Config {
+    util::Duration offset{0};   // constant skew from true time
+    double drift_ppm = 0.0;     // rate error in parts per million
+    util::Duration tick{100};   // reading granularity (4.2BSD line clock ~10ms;
+                                // default finer so tests can see ordering)
+  };
+
+  MachineClock() = default;
+  explicit MachineClock(Config cfg) : cfg_(cfg) {}
+
+  /// Local wall-clock reading, in microseconds since the machine's epoch.
+  std::int64_t read_us(util::TimePoint true_now) const;
+
+  const Config& config() const { return cfg_; }
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace dpm::sim

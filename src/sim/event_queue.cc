@@ -1,0 +1,26 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace dpm::sim {
+
+void EventQueue::schedule(util::TimePoint at, Fn fn) {
+  heap_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+util::TimePoint EventQueue::next_time() const {
+  assert(!heap_.empty());
+  return heap_.top().at;
+}
+
+EventQueue::Fn EventQueue::pop() {
+  assert(!heap_.empty());
+  // priority_queue::top() is const; the event is moved out via const_cast,
+  // which is safe because the element is popped immediately after.
+  Fn fn = std::move(const_cast<Event&>(heap_.top()).fn);
+  heap_.pop();
+  return fn;
+}
+
+}  // namespace dpm::sim

@@ -1,0 +1,48 @@
+// Discrete-event queue: the single source of time in the simulation.
+//
+// Events at equal times fire in insertion order (a monotone sequence number
+// breaks ties), which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.h"
+
+namespace dpm::sim {
+
+class EventQueue {
+ public:
+  using Fn = std::function<void()>;
+
+  /// Schedules `fn` at absolute simulated time `at`.
+  void schedule(util::TimePoint at, Fn fn);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event; queue must not be empty.
+  util::TimePoint next_time() const;
+
+  /// Removes and returns the earliest event's action.
+  Fn pop();
+
+ private:
+  struct Event {
+    util::TimePoint at;
+    std::uint64_t seq;
+    Fn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace dpm::sim

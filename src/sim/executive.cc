@@ -1,0 +1,152 @@
+#include "sim/executive.h"
+
+#include <cassert>
+
+#include "util/logging.h"
+
+namespace dpm::sim {
+
+Executive::Executive() = default;
+
+Executive::~Executive() {
+  // Abort every live task and drain it so threads exit cleanly.
+  for (auto& [id, st] : tasks_) {
+    if (st.task->started() && !st.task->finished()) {
+      st.task->request_abort();
+      while (!st.task->finished()) st.task->resume();
+    }
+  }
+}
+
+void Executive::schedule_at(util::TimePoint t, std::function<void()> fn) {
+  assert(t >= now_);
+  events_.schedule(t, std::move(fn));
+}
+
+void Executive::schedule_after(util::Duration d, std::function<void()> fn) {
+  schedule_at(now_ + d, std::move(fn));
+}
+
+TaskId Executive::spawn(std::string name, Task::Body body) {
+  const TaskId id = next_id_++;
+  auto& st = tasks_[id];
+  st.task = std::make_unique<Task>(std::move(name));
+  st.task->start(std::move(body));
+  st.runnable = true;
+  runnable_.push_back(id);
+  return id;
+}
+
+Executive::TaskState* Executive::find(TaskId id) {
+  auto it = tasks_.find(id);
+  return it == tasks_.end() ? nullptr : &it->second;
+}
+
+void Executive::make_runnable(TaskId id) {
+  TaskState* st = find(id);
+  if (!st || st->task->finished()) return;
+  if (id == current_) {
+    st->wake_pending = true;
+    return;
+  }
+  if (st->runnable) return;
+  st->runnable = true;
+  runnable_.push_back(id);
+}
+
+void Executive::park_current() {
+  assert(current_ != kNoTask && "park_current() outside a task");
+  TaskState* st = find(current_);
+  assert(st);
+  if (st->wake_pending) {
+    st->wake_pending = false;
+    return;
+  }
+  st->task->park();
+  // After park() returns the executive has resumed us; a wake consumed the
+  // runnable slot already.
+}
+
+void Executive::sleep_until(util::TimePoint t) {
+  const TaskId id = current_;
+  assert(id != kNoTask);
+  if (t <= now_) return;
+  schedule_at(t, [this, id] { make_runnable(id); });
+  park_current();
+}
+
+void Executive::sleep_for(util::Duration d) { sleep_until(now_ + d); }
+
+void Executive::abort_task(TaskId id) {
+  TaskState* st = find(id);
+  if (!st || st->task->finished()) return;
+  st->task->request_abort();
+  assert(id != current_ && "a task cannot abort itself; call exit instead");
+  make_runnable(id);
+}
+
+void Executive::resume_task(TaskId id) {
+  TaskState* st = find(id);
+  if (!st || st->task->finished()) return;
+  st->runnable = false;
+  current_ = id;
+  ++switches_;
+  st->task->resume();
+  current_ = kNoTask;
+  // If a wake arrived while the task was running and it then parked, the
+  // park consumed it synchronously (see park_current). If the task parked
+  // without a pending wake it stays off the runnable queue until woken.
+}
+
+void Executive::run_one_step(bool& progressed) {
+  progressed = false;
+  if (!runnable_.empty()) {
+    const TaskId id = runnable_.front();
+    runnable_.pop_front();
+    resume_task(id);
+    progressed = true;
+    return;
+  }
+  if (!events_.empty()) {
+    now_ = events_.next_time();
+    auto fn = events_.pop();
+    fn();
+    progressed = true;
+  }
+}
+
+void Executive::run() {
+  bool progressed = true;
+  while (progressed && (!runnable_.empty() || !events_.empty())) {
+    run_one_step(progressed);
+  }
+}
+
+void Executive::run_until(util::TimePoint t) {
+  for (;;) {
+    if (!runnable_.empty()) {
+      bool progressed;
+      run_one_step(progressed);
+      continue;
+    }
+    if (events_.empty() || events_.next_time() > t) break;
+    bool progressed;
+    run_one_step(progressed);
+  }
+  if (now_ < t) now_ = t;
+}
+
+bool Executive::task_finished(TaskId id) const {
+  auto it = tasks_.find(id);
+  return it == tasks_.end() || it->second.task->finished();
+}
+
+std::size_t Executive::live_tasks() const {
+  std::size_t n = 0;
+  for (const auto& [id, st] : tasks_) {
+    if (st.task->started() && !st.task->finished()) ++n;
+  }
+  return n;
+}
+
+}  // namespace dpm::sim

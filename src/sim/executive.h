@@ -1,0 +1,93 @@
+// The simulation executive: owns simulated time, the event queue, and all
+// tasks. One instance per simulated world.
+//
+// Scheduling discipline: the run loop drains the runnable task queue (FIFO,
+// all at the current instant), then advances time to the next event. Events
+// and tasks may schedule further events and wake further tasks.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/task.h"
+#include "util/time.h"
+
+namespace dpm::sim {
+
+using TaskId = std::uint64_t;
+constexpr TaskId kNoTask = 0;
+
+class Executive {
+ public:
+  Executive();
+  ~Executive();
+
+  Executive(const Executive&) = delete;
+  Executive& operator=(const Executive&) = delete;
+
+  util::TimePoint now() const { return now_; }
+
+  /// Schedules an event on the executive (runs outside any task).
+  void schedule_at(util::TimePoint t, std::function<void()> fn);
+  void schedule_after(util::Duration d, std::function<void()> fn);
+
+  /// Creates a task; it becomes runnable immediately.
+  TaskId spawn(std::string name, Task::Body body);
+
+  /// Wakes a parked task (idempotent; a pending wake is remembered if the
+  /// task is currently running or already runnable). No-op for finished ids.
+  void make_runnable(TaskId id);
+
+  /// Called from inside a task: suspends until made runnable.
+  void park_current();
+
+  /// Called from inside a task: suspends until the given simulated time.
+  void sleep_until(util::TimePoint t);
+  void sleep_for(util::Duration d);
+
+  /// Aborts a task: the next time it would run it unwinds via TaskAborted.
+  /// If it is parked it is woken so the unwind happens promptly.
+  void abort_task(TaskId id);
+
+  /// Id of the currently running task (kNoTask when in an event handler).
+  TaskId current_task() const { return current_; }
+
+  /// Runs until the event queue is empty and no task is runnable.
+  void run();
+
+  /// Runs until simulated time would exceed `t` (events at exactly `t` run).
+  void run_until(util::TimePoint t);
+
+  /// True while `run()` is live-locked guard: number of task switches done.
+  std::uint64_t switches() const { return switches_; }
+
+  bool task_finished(TaskId id) const;
+  std::size_t live_tasks() const;
+
+ private:
+  struct TaskState {
+    std::unique_ptr<Task> task;
+    bool runnable = false;       // in runnable_ queue
+    bool wake_pending = false;   // wake arrived while running
+  };
+
+  void run_one_step(bool& progressed);
+  void resume_task(TaskId id);
+  TaskState* find(TaskId id);
+
+  util::TimePoint now_{};
+  EventQueue events_;
+  std::deque<TaskId> runnable_;
+  std::unordered_map<TaskId, TaskState> tasks_;
+  TaskId next_id_ = 1;
+  TaskId current_ = kNoTask;
+  std::uint64_t switches_ = 0;
+};
+
+}  // namespace dpm::sim

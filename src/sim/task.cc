@@ -1,0 +1,68 @@
+#include "sim/task.h"
+
+#include <cassert>
+
+#include "util/logging.h"
+
+namespace dpm::sim {
+
+Task::Task(std::string name) : name_(std::move(name)) {}
+
+Task::~Task() {
+  // The executive is responsible for aborting and draining tasks before
+  // destruction; this is a backstop for abnormal teardown.
+  if (thread_.joinable()) {
+    if (!finished_) {
+      request_abort();
+      while (!finished_) resume();
+    }
+    thread_.join();
+  }
+}
+
+void Task::start(Body body) {
+  assert(!started_);
+  started_ = true;
+  body_ = std::move(body);
+  thread_ = std::thread([this] {
+    task_side_wait_for_turn();
+    if (!abort_) {
+      try {
+        body_();
+      } catch (const TaskAborted&) {
+        // Normal forced-unwind path.
+      }
+    }
+    std::unique_lock lk(mu_);
+    finished_ = true;
+    turn_ = Turn::executive;
+    cv_.notify_all();
+  });
+}
+
+void Task::resume() {
+  assert(started_ && !finished_);
+  std::unique_lock lk(mu_);
+  turn_ = Turn::task;
+  cv_.notify_all();
+  cv_.wait(lk, [this] { return turn_ == Turn::executive; });
+}
+
+void Task::park() {
+  {
+    std::unique_lock lk(mu_);
+    turn_ = Turn::executive;
+    cv_.notify_all();
+    cv_.wait(lk, [this] { return turn_ == Turn::task; });
+  }
+  if (abort_) throw TaskAborted{};
+}
+
+void Task::request_abort() { abort_ = true; }
+
+void Task::task_side_wait_for_turn() {
+  std::unique_lock lk(mu_);
+  cv_.wait(lk, [this] { return turn_ == Turn::task; });
+}
+
+}  // namespace dpm::sim

@@ -1,0 +1,69 @@
+// Cooperative tasks: simulated processes as suspendable activities.
+//
+// Each task runs its body on a dedicated OS thread, but exactly one thread
+// (either the executive or one task) is ever running: control is handed
+// over explicitly through resume()/park(). This gives natural blocking
+// syscalls inside process bodies while keeping the simulation
+// single-threaded in effect — and therefore deterministic.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace dpm::sim {
+
+/// Thrown inside a task body when the task is aborted (process killed while
+/// blocked, or simulation teardown). Process bodies must let it propagate;
+/// the task wrapper catches it.
+struct TaskAborted {};
+
+class Task {
+ public:
+  using Body = std::function<void()>;
+
+  explicit Task(std::string name);
+  ~Task();
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  /// Launches the body; the task stays suspended until the first resume().
+  void start(Body body);
+
+  /// Executive side: runs the task until it parks or finishes.
+  /// Precondition: started, not finished, not currently running.
+  void resume();
+
+  /// Task side: yields control back to the executive; returns when resumed.
+  /// Throws TaskAborted if an abort was requested.
+  void park();
+
+  /// Marks the task for abortion; the next park()/resume boundary throws
+  /// TaskAborted inside the body. Safe to call multiple times.
+  void request_abort();
+
+  bool started() const { return started_; }
+  bool finished() const { return finished_; }
+  bool abort_requested() const { return abort_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  enum class Turn { executive, task };
+
+  void task_side_wait_for_turn();
+
+  std::string name_;
+  Body body_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  Turn turn_ = Turn::executive;
+  bool started_ = false;
+  bool finished_ = false;
+  bool abort_ = false;
+};
+
+}  // namespace dpm::sim

@@ -1,0 +1,154 @@
+#include "util/bytes.h"
+
+#include <cstdio>
+
+namespace dpm::util {
+
+void BinaryWriter::u8(std::uint8_t v) { out_.push_back(v); }
+
+void BinaryWriter::u16(std::uint16_t v) {
+  out_.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void BinaryWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out_.push_back(static_cast<std::uint8_t>(v & 0xff));
+    v >>= 8;
+  }
+}
+
+void BinaryWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out_.push_back(static_cast<std::uint8_t>(v & 0xff));
+    v >>= 8;
+  }
+}
+
+void BinaryWriter::i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+void BinaryWriter::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+void BinaryWriter::raw(const std::uint8_t* data, std::size_t n) {
+  out_.insert(out_.end(), data, data + n);
+}
+
+void BinaryWriter::raw(const Bytes& b) { raw(b.data(), b.size()); }
+
+void BinaryWriter::lstring(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  raw(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+void BinaryWriter::fixed_string(std::string_view s, std::size_t width) {
+  const std::size_t n = s.size() < width ? s.size() : width;
+  raw(reinterpret_cast<const std::uint8_t*>(s.data()), n);
+  for (std::size_t i = n; i < width; ++i) out_.push_back(0);
+}
+
+void BinaryWriter::patch_u32(std::size_t at, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out_.at(at + i) = static_cast<std::uint8_t>(v & 0xff);
+    v >>= 8;
+  }
+}
+
+bool BinaryReader::need(std::size_t n) {
+  if (failed_ || size_ - pos_ < n) {
+    failed_ = true;
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::uint8_t> BinaryReader::u8() {
+  if (!need(1)) return std::nullopt;
+  return data_[pos_++];
+}
+
+std::optional<std::uint16_t> BinaryReader::u16() {
+  if (!need(2)) return std::nullopt;
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
+                    static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+std::optional<std::uint32_t> BinaryReader::u32() {
+  if (!need(4)) return std::nullopt;
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 4;
+  return v;
+}
+
+std::optional<std::uint64_t> BinaryReader::u64() {
+  if (!need(8)) return std::nullopt;
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 8;
+  return v;
+}
+
+std::optional<std::int32_t> BinaryReader::i32() {
+  auto v = u32();
+  if (!v) return std::nullopt;
+  return static_cast<std::int32_t>(*v);
+}
+
+std::optional<std::int64_t> BinaryReader::i64() {
+  auto v = u64();
+  if (!v) return std::nullopt;
+  return static_cast<std::int64_t>(*v);
+}
+
+std::optional<Bytes> BinaryReader::raw(std::size_t n) {
+  if (!need(n)) return std::nullopt;
+  Bytes b(data_ + pos_, data_ + pos_ + n);
+  pos_ += n;
+  return b;
+}
+
+std::optional<std::string> BinaryReader::lstring() {
+  auto n = u32();
+  if (!n || !need(*n)) return std::nullopt;
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), *n);
+  pos_ += *n;
+  return s;
+}
+
+std::optional<std::string> BinaryReader::fixed_string(std::size_t width) {
+  if (!need(width)) return std::nullopt;
+  std::size_t len = width;
+  while (len > 0 && data_[pos_ + len - 1] == 0) --len;
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += width;
+  return s;
+}
+
+void BinaryReader::skip(std::size_t n) {
+  if (need(n)) pos_ += n;
+}
+
+std::string hex_dump(const Bytes& b, std::size_t max_bytes) {
+  std::string out;
+  const std::size_t n = b.size() < max_bytes ? b.size() : max_bytes;
+  char buf[4];
+  for (std::size_t i = 0; i < n; ++i) {
+    std::snprintf(buf, sizeof buf, "%02x", b[i]);
+    if (i) out.push_back(' ');
+    out += buf;
+  }
+  if (n < b.size()) out += " ...";
+  return out;
+}
+
+Bytes to_bytes(std::string_view s) {
+  return Bytes(reinterpret_cast<const std::uint8_t*>(s.data()),
+               reinterpret_cast<const std::uint8_t*>(s.data()) + s.size());
+}
+
+std::string to_string(const Bytes& b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+}  // namespace dpm::util

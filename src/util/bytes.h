@@ -1,0 +1,88 @@
+// Byte buffers and fixed-layout binary serialization.
+//
+// Meter messages and daemon protocol messages are defined by *byte layout*
+// (the filter locates fields by offset/length, exactly as the paper's
+// description files do), so serialization is explicit little-endian with
+// fixed widths — never memcpy of structs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dpm::util {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends fixed-width little-endian values to a byte vector.
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v);
+  void i64(std::int64_t v);
+  /// Raw bytes, no length prefix.
+  void raw(const std::uint8_t* data, std::size_t n);
+  void raw(const Bytes& b);
+  /// u32 length prefix followed by the bytes of `s`.
+  void lstring(std::string_view s);
+  /// Exactly `width` bytes: `s` truncated or zero-padded (fixed-layout field).
+  void fixed_string(std::string_view s, std::size_t width);
+
+  /// Overwrites a previously written u32 at `at` (for back-patched sizes).
+  void patch_u32(std::size_t at, std::uint32_t v);
+
+  std::size_t size() const { return out_.size(); }
+  const Bytes& bytes() const& { return out_; }
+  Bytes take() { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+/// Bounds-checked reader over a byte span. All getters return nullopt past
+/// the end; once a read fails the reader stays failed (`ok()` is false).
+class BinaryReader {
+ public:
+  explicit BinaryReader(const Bytes& b) : data_(b.data()), size_(b.size()) {}
+  BinaryReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::optional<std::uint8_t> u8();
+  std::optional<std::uint16_t> u16();
+  std::optional<std::uint32_t> u32();
+  std::optional<std::uint64_t> u64();
+  std::optional<std::int32_t> i32();
+  std::optional<std::int64_t> i64();
+  std::optional<Bytes> raw(std::size_t n);
+  std::optional<std::string> lstring();
+  /// Reads `width` bytes and strips trailing NULs (fixed-layout field).
+  std::optional<std::string> fixed_string(std::size_t width);
+
+  bool ok() const { return !failed_; }
+  std::size_t remaining() const { return size_ - pos_; }
+  std::size_t pos() const { return pos_; }
+  void skip(std::size_t n);
+
+ private:
+  bool need(std::size_t n);
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+/// Hex dump ("de ad be ef") of at most `max_bytes` bytes, for diagnostics.
+std::string hex_dump(const Bytes& b, std::size_t max_bytes = 64);
+
+Bytes to_bytes(std::string_view s);
+std::string to_string(const Bytes& b);
+
+}  // namespace dpm::util

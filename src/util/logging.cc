@@ -1,0 +1,35 @@
+#include "util/logging.h"
+
+#include <iostream>
+
+
+namespace dpm::util {
+namespace {
+
+LogLevel g_level = LogLevel::warn;
+std::ostream* g_sink = nullptr;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO ";
+    case LogLevel::warn: return "WARN ";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+void set_log_sink(std::ostream* sink) { g_sink = sink; }
+
+void log_line(LogLevel level, const std::string& tag, const std::string& msg) {
+  if (level < g_level || msg.empty()) return;
+  std::ostream& out = g_sink ? *g_sink : std::cerr;
+  out << "[" << level_name(level) << "] " << tag << ": " << msg << "\n";
+}
+
+}  // namespace dpm::util

@@ -1,0 +1,43 @@
+// Minimal leveled logging for the simulator.
+//
+// Logging defaults to `warn` so tests and benchmarks stay quiet; examples
+// turn on `info` to narrate sessions. The sink is a global because the
+// simulation executive is single-threaded by construction (one runnable
+// task at a time), so no synchronization is required.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dpm::util {
+
+enum class LogLevel { debug = 0, info, warn, error, off };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Redirects log output; pass nullptr to restore stderr.
+void set_log_sink(std::ostream* sink);
+
+void log_line(LogLevel level, const std::string& tag, const std::string& msg);
+
+/// Stream-style logging: LOG(info, "net") << "packet " << n;
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string tag) : level_(level), tag_(std::move(tag)) {}
+  ~LogStream() { log_line(level_, tag_, ss_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    if (level_ >= log_level()) ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string tag_;
+  std::ostringstream ss_;
+};
+
+}  // namespace dpm::util
+
+#define DPM_LOG(level, tag) ::dpm::util::LogStream(::dpm::util::LogLevel::level, (tag))

@@ -1,0 +1,65 @@
+#include "util/result.h"
+
+namespace dpm::util {
+
+std::string_view err_name(Err e) {
+  switch (e) {
+    case Err::ok: return "ok";
+    case Err::eperm: return "eperm";
+    case Err::esrch: return "esrch";
+    case Err::ebadf: return "ebadf";
+    case Err::einval: return "einval";
+    case Err::eacces: return "eacces";
+    case Err::enoent: return "enoent";
+    case Err::emfile: return "emfile";
+    case Err::enotsock: return "enotsock";
+    case Err::eopnotsupp: return "eopnotsupp";
+    case Err::eaddrinuse: return "eaddrinuse";
+    case Err::eaddrnotavail: return "eaddrnotavail";
+    case Err::eisconn: return "eisconn";
+    case Err::enotconn: return "enotconn";
+    case Err::econnrefused: return "econnrefused";
+    case Err::econnreset: return "econnreset";
+    case Err::epipe: return "epipe";
+    case Err::ewouldblock: return "ewouldblock";
+    case Err::eintr: return "eintr";
+    case Err::etimedout: return "etimedout";
+    case Err::emsgsize: return "emsgsize";
+    case Err::echild: return "echild";
+    case Err::eagain: return "eagain";
+    case Err::enomem: return "enomem";
+  }
+  return "unknown";
+}
+
+std::string_view err_message(Err e) {
+  switch (e) {
+    case Err::ok: return "success";
+    case Err::eperm: return "operation not permitted";
+    case Err::esrch: return "no such process";
+    case Err::ebadf: return "bad file descriptor";
+    case Err::einval: return "invalid argument";
+    case Err::eacces: return "permission denied";
+    case Err::enoent: return "no such file or directory";
+    case Err::emfile: return "too many open files";
+    case Err::enotsock: return "socket operation on non-socket";
+    case Err::eopnotsupp: return "operation not supported";
+    case Err::eaddrinuse: return "address already in use";
+    case Err::eaddrnotavail: return "can't assign requested address";
+    case Err::eisconn: return "socket is already connected";
+    case Err::enotconn: return "socket is not connected";
+    case Err::econnrefused: return "connection refused";
+    case Err::econnreset: return "connection reset by peer";
+    case Err::epipe: return "broken pipe";
+    case Err::ewouldblock: return "operation would block";
+    case Err::eintr: return "interrupted system call";
+    case Err::etimedout: return "connection timed out";
+    case Err::emsgsize: return "message too long";
+    case Err::echild: return "no children";
+    case Err::eagain: return "resource temporarily unavailable";
+    case Err::enomem: return "out of memory";
+  }
+  return "unknown error";
+}
+
+}  // namespace dpm::util

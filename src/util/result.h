@@ -1,0 +1,103 @@
+// errno-style error codes and a lightweight expected-like result type.
+//
+// The simulated kernel's system calls return `SysResult<T>`: either a value
+// or an `Err`. This mirrors the UNIX convention (return value or errno)
+// while staying type-safe.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace dpm::util {
+
+/// Subset of 4.2BSD errno values used by the simulated kernel.
+enum class Err : std::uint8_t {
+  ok = 0,
+  eperm,         // operation not permitted (setmeter on foreign process)
+  esrch,         // no such process / socket (setmeter man page)
+  ebadf,         // bad descriptor
+  einval,        // invalid argument
+  eacces,        // permission denied (file access)
+  enoent,        // no such file
+  emfile,        // descriptor table full
+  enotsock,      // descriptor is not a socket
+  eopnotsupp,    // operation not supported on this socket type
+  eaddrinuse,    // address already in use
+  eaddrnotavail, // cannot assign requested address
+  eisconn,       // socket is already connected
+  enotconn,      // socket is not connected
+  econnrefused,  // nobody listening on the remote address
+  econnreset,    // connection reset by peer
+  epipe,         // write to a closed stream
+  ewouldblock,   // non-blocking operation would block
+  eintr,         // interrupted (process killed while blocked)
+  etimedout,     // connection attempt timed out
+  emsgsize,      // datagram too large
+  echild,        // no children to wait for
+  eagain,        // resource temporarily unavailable (process table full)
+  enomem,        // out of simulated memory/buffers
+};
+
+/// Stable lower-case name, e.g. "econnrefused".
+std::string_view err_name(Err e);
+
+/// Human-readable description for diagnostics.
+std::string_view err_message(Err e);
+
+/// Value-or-error result. `Err::ok` is not a valid error payload.
+template <typename T>
+class [[nodiscard]] SysResult {
+ public:
+  SysResult(T value) : rep_(std::in_place_index<0>, std::move(value)) {}
+  SysResult(Err e) : rep_(std::in_place_index<1>, e) { assert(e != Err::ok); }
+
+  bool ok() const { return rep_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  /// Error code; Err::ok when the result holds a value.
+  Err error() const { return ok() ? Err::ok : std::get<1>(rep_); }
+
+  T& value() & {
+    assert(ok());
+    return std::get<0>(rep_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<0>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<0>(std::move(rep_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Value if present, otherwise `fallback`.
+  T value_or(T fallback) const { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Err> rep_;
+};
+
+/// Void specialization: success or error.
+template <>
+class [[nodiscard]] SysResult<void> {
+ public:
+  SysResult() : err_(Err::ok) {}
+  SysResult(Err e) : err_(e) {}
+
+  bool ok() const { return err_ == Err::ok; }
+  explicit operator bool() const { return ok(); }
+  Err error() const { return err_; }
+
+ private:
+  Err err_;
+};
+
+}  // namespace dpm::util

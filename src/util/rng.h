@@ -1,0 +1,37 @@
+// Deterministic random number generation (xoshiro256**).
+//
+// Every source of randomness in the simulation (network jitter, datagram
+// loss, workload generators) draws from an explicitly seeded Rng so that a
+// run is a pure function of its seed.
+#pragma once
+
+#include <cstdint>
+
+namespace dpm::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform in [0, 1).
+  double uniform01();
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Exponentially distributed with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Derives an independent stream (for per-link / per-process RNGs).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace dpm::util

@@ -1,0 +1,105 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdarg>
+#include <cstdio>
+
+namespace dpm::util {
+
+std::vector<std::string> split(std::string_view s, std::string_view seps) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || seps.find(s[i]) != std::string_view::npos) {
+      if (i > start) out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_keep_empty(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::optional<std::int64_t> parse_int(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  std::int64_t v = 0;
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || p != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<std::int64_t> parse_int_base(std::string_view s, int base) {
+  if (s.empty() || base < 2 || base > 16) return std::nullopt;
+  bool neg = false;
+  if (s.front() == '-') {
+    neg = true;
+    s.remove_prefix(1);
+    if (s.empty()) return std::nullopt;
+  }
+  std::int64_t v = 0;
+  auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v, base);
+  if (ec != std::errc{} || p != s.data() + s.size()) return std::nullopt;
+  return neg ? -v : v;
+}
+
+std::string strprintf(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<std::size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  }
+  va_end(ap2);
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool is_word(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '/' && c != '.' &&
+        c != '-' && c != '_' && c != ':') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dpm::util

@@ -1,0 +1,27 @@
+#include "util/time.h"
+
+#include <cstdio>
+
+namespace dpm::util {
+
+std::string format_time(TimePoint t) {
+  const std::int64_t us = count_us(t);
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%lld.%06llds",
+                static_cast<long long>(us / 1000000),
+                static_cast<long long>(us < 0 ? -(us % 1000000) : us % 1000000));
+  return buf;
+}
+
+std::string format_duration(Duration d) {
+  const std::int64_t us = d.count();
+  char buf[48];
+  if (us % 1000 == 0 && us != 0) {
+    std::snprintf(buf, sizeof buf, "%lldms", static_cast<long long>(us / 1000));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldus", static_cast<long long>(us));
+  }
+  return buf;
+}
+
+}  // namespace dpm::util

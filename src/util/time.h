@@ -1,0 +1,39 @@
+// Simulated-time types used throughout the simulator.
+//
+// All simulation timekeeping is done in integral microseconds on a
+// dedicated chrono clock (`SimClock`) so that simulated time can never be
+// confused with wall-clock time at a type level.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace dpm::util {
+
+/// Chrono clock for simulated time. Never reads the host clock; `now()` is
+/// intentionally absent — the simulation executive is the only time source.
+struct SimClock {
+  using rep = std::int64_t;
+  using period = std::micro;
+  using duration = std::chrono::duration<rep, period>;
+  using time_point = std::chrono::time_point<SimClock>;
+  static constexpr bool is_steady = true;
+};
+
+using Duration = SimClock::duration;
+using TimePoint = SimClock::time_point;
+
+constexpr Duration usec(std::int64_t n) { return Duration{n}; }
+constexpr Duration msec(std::int64_t n) { return Duration{n * 1000}; }
+constexpr Duration sec(std::int64_t n) { return Duration{n * 1000000}; }
+
+/// Microsecond count of a duration (convenience for logs and headers).
+constexpr std::int64_t count_us(Duration d) { return d.count(); }
+constexpr std::int64_t count_us(TimePoint t) { return t.time_since_epoch().count(); }
+
+/// Renders a time point as seconds with microsecond precision, e.g. "1.250000s".
+std::string format_time(TimePoint t);
+std::string format_duration(Duration d);
+
+}  // namespace dpm::util

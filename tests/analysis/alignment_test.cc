@@ -1,0 +1,117 @@
+// Clock alignment estimated from the trace's own message pairs.
+#include <gtest/gtest.h>
+
+#include "analysis/ordering.h"
+#include "analysis_testing.h"
+
+namespace dpm::analysis {
+namespace {
+
+using analysis_testing::Stamp;
+using meter::MeterAccept;
+using meter::MeterConnect;
+using meter::MeterRecv;
+using meter::MeterSend;
+
+/// Two machines, symmetric traffic, machine 1's clock 40ms ahead,
+/// one-way latency 500us in true time.
+std::vector<std::pair<Stamp, meter::MeterBody>> skewed_exchange() {
+  const std::int64_t skew = 40000;
+  std::vector<std::pair<Stamp, meter::MeterBody>> ev = {
+      {Stamp{0, 100, 0}, MeterConnect{1, 0, 5, "n1", "n2"}},
+      {Stamp{1, 120 + skew, 0}, MeterAccept{2, 0, 7, 9, "n2", "n1"}},
+  };
+  std::int64_t t = 1000;
+  for (int i = 0; i < 5; ++i) {
+    // m0 sends at t (m0 clock), m1 receives at t+500 true = t+500+skew local.
+    ev.push_back({Stamp{0, t, 0}, MeterSend{1, 0, 5, 16, ""}});
+    ev.push_back({Stamp{1, t + 500 + skew, 0}, MeterRecv{2, 0, 9, 16, ""}});
+    // m1 replies at t+1000 true; m0 receives at t+1500 true = local.
+    ev.push_back({Stamp{1, t + 1000 + skew, 0}, MeterSend{2, 0, 9, 16, ""}});
+    ev.push_back({Stamp{0, t + 1500, 0}, MeterRecv{1, 0, 5, 16, ""}});
+    t += 2000;
+  }
+  return ev;
+}
+
+TEST(ClockAlignment, RecoversSymmetricSkew) {
+  auto trace = analysis_testing::make_trace(skewed_exchange());
+  Ordering o = order_events(trace);
+  ASSERT_EQ(o.message_pairs, 10u);
+  ClockAlignment a = estimate_clock_alignment(trace, o);
+  ASSERT_TRUE(a.offset_us.count(0));
+  ASSERT_TRUE(a.offset_us.count(1));
+  EXPECT_EQ(a.offset_us.at(0), 0);
+  // With symmetric latency the midpoint construction recovers the skew
+  // exactly (min fwd = lat+skew, min back = lat-skew).
+  EXPECT_EQ(a.offset_us.at(1), 40000);
+}
+
+TEST(ClockAlignment, AlignedTimesRestoreCausality) {
+  auto trace = analysis_testing::make_trace(skewed_exchange());
+  Ordering o = order_events(trace);
+  ClockAlignment a = estimate_clock_alignment(trace, o);
+  for (const auto& oe : o.events) {
+    if (!oe.matched_send) continue;
+    const Event& recv = trace.events[oe.index];
+    const Event& send = trace.events[*oe.matched_send];
+    EXPECT_GE(a.aligned(recv), a.aligned(send));
+  }
+}
+
+TEST(ClockAlignment, OneDirectionalTrafficBoundsOffset) {
+  // Only m0 -> m1 traffic: the offset cannot be separated from latency,
+  // but the estimate (min delta) still yields aligned recv >= send.
+  std::vector<std::pair<Stamp, meter::MeterBody>> ev = {
+      {Stamp{0, 100, 0}, MeterConnect{1, 0, 5, "n1", "n2"}},
+      {Stamp{1, 90200, 0}, MeterAccept{2, 0, 7, 9, "n2", "n1"}},
+      {Stamp{0, 1000, 0}, MeterSend{1, 0, 5, 16, ""}},
+      {Stamp{1, 91500, 0}, MeterRecv{2, 0, 9, 16, ""}},
+  };
+  auto trace = analysis_testing::make_trace(ev);
+  Ordering o = order_events(trace);
+  ClockAlignment a = estimate_clock_alignment(trace, o);
+  EXPECT_EQ(a.offset_us.at(1), 90500);  // the single observed delta
+}
+
+TEST(ClockAlignment, DisconnectedMachinesKeepZero) {
+  auto trace = analysis_testing::make_trace({
+      {Stamp{0, 100, 0}, MeterSend{1, 0, 5, 1, ""}},
+      {Stamp{7, 999, 0}, MeterSend{2, 0, 6, 1, ""}},
+  });
+  Ordering o = order_events(trace);
+  ClockAlignment a = estimate_clock_alignment(trace, o);
+  EXPECT_EQ(a.offset_us.at(0), 0);
+  EXPECT_EQ(a.offset_us.at(7), 0);
+}
+
+TEST(ClockAlignment, TransitiveAcrossThreeMachines) {
+  // m0 <-> m1 and m1 <-> m2 traffic; m2's offset composes through m1.
+  const std::int64_t s1 = 10000, s2 = 25000;  // absolute skews
+  std::vector<std::pair<Stamp, meter::MeterBody>> ev = {
+      {Stamp{0, 100, 0}, MeterConnect{1, 0, 5, "a1", "a2"}},
+      {Stamp{1, 120 + s1, 0}, MeterAccept{2, 0, 7, 9, "a2", "a1"}},
+      {Stamp{1, 200 + s1, 0}, MeterConnect{2, 0, 8, "b1", "b2"}},
+      {Stamp{2, 220 + s2, 0}, MeterAccept{3, 0, 10, 11, "b2", "b1"}},
+  };
+  auto add_pair = [&](std::uint16_t ma, std::int32_t pa, std::uint64_t sa,
+                      std::uint16_t mb, std::int32_t pb, std::uint64_t sb,
+                      std::int64_t offa, std::int64_t offb, std::int64_t t) {
+    ev.push_back({Stamp{ma, t + offa, 0}, MeterSend{pa, 0, sa, 8, ""}});
+    ev.push_back({Stamp{mb, t + 500 + offb, 0}, MeterRecv{pb, 0, sb, 8, ""}});
+    ev.push_back({Stamp{mb, t + 1000 + offb, 0}, MeterSend{pb, 0, sb, 8, ""}});
+    ev.push_back({Stamp{ma, t + 1500 + offa, 0}, MeterRecv{pa, 0, sa, 8, ""}});
+  };
+  add_pair(0, 1, 5, 1, 2, 9, 0, s1, 2000);
+  add_pair(1, 2, 8, 2, 3, 11, s1, s2, 8000);
+
+  auto trace = analysis_testing::make_trace(ev);
+  Ordering o = order_events(trace);
+  ClockAlignment a = estimate_clock_alignment(trace, o);
+  EXPECT_EQ(a.offset_us.at(0), 0);
+  EXPECT_EQ(a.offset_us.at(1), s1);
+  EXPECT_EQ(a.offset_us.at(2), s2);
+}
+
+}  // namespace
+}  // namespace dpm::analysis

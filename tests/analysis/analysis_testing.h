@@ -1,0 +1,45 @@
+// Helpers to build synthetic traces for the analysis tests: serialize
+// meter messages, decode them with the standard descriptions, render
+// trace lines — the same path a real filter takes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/trace_reader.h"
+#include "filter/descriptions.h"
+#include "filter/trace.h"
+#include "meter/metermsgs.h"
+
+namespace dpm::analysis_testing {
+
+struct Stamp {
+  std::uint16_t machine = 0;
+  std::int64_t cpu_time = 0;
+  std::int64_t proc_time = 0;
+};
+
+inline std::string trace_text(
+    const std::vector<std::pair<Stamp, meter::MeterBody>>& events) {
+  static const filter::Descriptions desc =
+      *filter::Descriptions::parse(filter::default_descriptions_text());
+  std::string out;
+  for (const auto& [stamp, body] : events) {
+    meter::MeterMsg m;
+    m.body = body;
+    m.header.machine = stamp.machine;
+    m.header.cpu_time = stamp.cpu_time;
+    m.header.proc_time = stamp.proc_time;
+    auto rec = desc.decode(m.serialize());
+    EXPECT_TRUE(rec.has_value());
+    out += filter::trace_line(*rec, {});
+  }
+  return out;
+}
+
+inline analysis::Trace make_trace(
+    const std::vector<std::pair<Stamp, meter::MeterBody>>& events) {
+  return analysis::read_trace(trace_text(events));
+}
+
+}  // namespace dpm::analysis_testing

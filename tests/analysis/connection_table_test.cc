@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "analysis/structure.h"
+#include "analysis_testing.h"
+
+namespace dpm::analysis {
+namespace {
+
+using analysis_testing::Stamp;
+using meter::MeterAccept;
+using meter::MeterConnect;
+using meter::MeterSend;
+
+TEST(ConnectionTable, BidirectionalTraffic) {
+  auto trace = analysis_testing::make_trace({
+      {Stamp{0, 100, 0}, MeterConnect{1, 0, 5, "n1", "n2"}},
+      {Stamp{1, 150, 0}, MeterAccept{2, 0, 7, 9, "n2", "n1"}},
+      {Stamp{0, 200, 0}, MeterSend{1, 0, 5, 64, ""}},
+      {Stamp{0, 300, 0}, MeterSend{1, 0, 5, 64, ""}},
+      {Stamp{1, 400, 0}, MeterSend{2, 0, 9, 32, ""}},
+  });
+  auto table = connection_table(trace);
+  ASSERT_EQ(table.size(), 1u);
+  const ConnStat& c = table[0];
+  EXPECT_EQ(c.a.proc, (ProcKey{0, 1}));
+  EXPECT_EQ(c.b.proc, (ProcKey{1, 2}));
+  EXPECT_EQ(c.msgs_ab, 2u);
+  EXPECT_EQ(c.bytes_ab, 128u);
+  EXPECT_EQ(c.msgs_ba, 1u);
+  EXPECT_EQ(c.bytes_ba, 32u);
+}
+
+TEST(ConnectionTable, MultipleConnections) {
+  auto trace = analysis_testing::make_trace({
+      {Stamp{0, 100, 0}, MeterConnect{1, 0, 5, "n1", "n2"}},
+      {Stamp{1, 150, 0}, MeterAccept{2, 0, 7, 9, "n2", "n1"}},
+      {Stamp{0, 200, 0}, MeterConnect{1, 0, 6, "n3", "n4"}},
+      {Stamp{2, 250, 0}, MeterAccept{3, 0, 10, 11, "n4", "n3"}},
+      {Stamp{0, 300, 0}, MeterSend{1, 0, 6, 10, ""}},
+  });
+  auto table = connection_table(trace);
+  ASSERT_EQ(table.size(), 2u);
+  // Traffic lands on the right connection.
+  std::uint64_t total_ab = 0;
+  for (const auto& c : table) total_ab += c.msgs_ab;
+  EXPECT_EQ(total_ab, 1u);
+}
+
+TEST(ConnectionTable, UnmatchedConnectionsOmitted) {
+  auto trace = analysis_testing::make_trace({
+      {Stamp{0, 100, 0}, MeterConnect{1, 0, 5, "n1", "n2"}},  // no accept
+      {Stamp{0, 300, 0}, MeterSend{1, 0, 5, 10, ""}},
+  });
+  EXPECT_TRUE(connection_table(trace).empty());
+}
+
+}  // namespace
+}  // namespace dpm::analysis

@@ -1,0 +1,134 @@
+// Event ordering (§4.1): send-before-receive constraints, Lamport clocks,
+// clock-anomaly detection under skew.
+#include "analysis/ordering.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis_testing.h"
+
+namespace dpm::analysis {
+namespace {
+
+using analysis_testing::Stamp;
+using meter::MeterAccept;
+using meter::MeterConnect;
+using meter::MeterRecv;
+using meter::MeterSend;
+
+// A connected pair: client (m0,p1,sock5) <-> server conn (m1,p2,sock9).
+std::vector<std::pair<Stamp, meter::MeterBody>> connected_prefix() {
+  return {
+      {Stamp{0, 100, 0}, MeterConnect{1, 0, 5, "196612", "131073"}},
+      {Stamp{1, 120, 0}, MeterAccept{2, 0, 7, 9, "131073", "196612"}},
+  };
+}
+
+TEST(Ordering, MatchesStreamSendToReceive) {
+  auto events = connected_prefix();
+  events.push_back({Stamp{0, 200, 0}, MeterSend{1, 0, 5, 64, ""}});
+  events.push_back({Stamp{1, 260, 0}, MeterRecv{2, 0, 9, 64, ""}});
+  auto trace = analysis_testing::make_trace(events);
+  Ordering o = order_events(trace);
+  EXPECT_EQ(o.message_pairs, 1u);
+  EXPECT_EQ(o.cross_machine_pairs, 1u);
+  ASSERT_TRUE(o.events[3].matched_send.has_value());
+  EXPECT_EQ(*o.events[3].matched_send, 2u);
+  // The receive is ordered after the send.
+  EXPECT_GT(o.lamport_of(3), o.lamport_of(2));
+}
+
+TEST(Ordering, KthSendPairsWithKthReceive) {
+  auto events = connected_prefix();
+  for (int i = 0; i < 3; ++i) {
+    events.push_back({Stamp{0, 200 + i, 0}, MeterSend{1, 0, 5, 10, ""}});
+  }
+  for (int i = 0; i < 3; ++i) {
+    events.push_back({Stamp{1, 300 + i, 0}, MeterRecv{2, 0, 9, 10, ""}});
+  }
+  auto trace = analysis_testing::make_trace(events);
+  Ordering o = order_events(trace);
+  EXPECT_EQ(o.message_pairs, 3u);
+  EXPECT_EQ(*o.events[5].matched_send, 2u);
+  EXPECT_EQ(*o.events[6].matched_send, 3u);
+  EXPECT_EQ(*o.events[7].matched_send, 4u);
+  EXPECT_FALSE(o.had_cycle);
+}
+
+TEST(Ordering, ProgramOrderWithinProcess) {
+  auto trace = analysis_testing::make_trace({
+      {Stamp{0, 1, 0}, MeterSend{1, 0, 5, 1, ""}},
+      {Stamp{0, 2, 0}, MeterSend{1, 0, 5, 1, ""}},
+      {Stamp{0, 3, 0}, MeterSend{1, 0, 5, 1, ""}},
+  });
+  Ordering o = order_events(trace);
+  EXPECT_LT(o.lamport_of(0), o.lamport_of(1));
+  EXPECT_LT(o.lamport_of(1), o.lamport_of(2));
+}
+
+TEST(Ordering, DetectsClockAnomalyFromSkew) {
+  // The receive is stamped *earlier* (receiver's clock runs behind):
+  // physically impossible, so it must be counted as a clock anomaly.
+  auto events = connected_prefix();
+  events.push_back({Stamp{0, 5000, 0}, MeterSend{1, 0, 5, 64, ""}});
+  events.push_back({Stamp{1, 3000, 0}, MeterRecv{2, 0, 9, 64, ""}});
+  auto trace = analysis_testing::make_trace(events);
+  Ordering o = order_events(trace);
+  EXPECT_EQ(o.clock_anomalies, 1u);
+  EXPECT_EQ(o.max_anomaly_us, 2000);
+  // The deduced order still places the send first, against the clocks.
+  EXPECT_GT(o.lamport_of(3), o.lamport_of(2));
+}
+
+TEST(Ordering, SameMachinePairsAreNotAnomalies) {
+  auto events = std::vector<std::pair<Stamp, meter::MeterBody>>{
+      {Stamp{0, 100, 0}, MeterConnect{1, 0, 5, "196612", "131073"}},
+      {Stamp{0, 120, 0}, MeterAccept{2, 0, 7, 9, "131073", "196612"}},
+      {Stamp{0, 200, 0}, MeterSend{1, 0, 5, 64, ""}},
+      {Stamp{0, 210, 0}, MeterRecv{2, 0, 9, 64, ""}},
+  };
+  auto trace = analysis_testing::make_trace(events);
+  Ordering o = order_events(trace);
+  EXPECT_EQ(o.message_pairs, 1u);
+  EXPECT_EQ(o.cross_machine_pairs, 0u);
+  EXPECT_EQ(o.clock_anomalies, 0u);
+}
+
+TEST(Ordering, TransitiveOrderAcrossMessages) {
+  // p1 sends to p2; p2 then sends to p3 (via a second connection): p3's
+  // receive must be ordered after p1's send transitively.
+  auto trace = analysis_testing::make_trace({
+      {Stamp{0, 100, 0}, MeterConnect{1, 0, 5, "n1", "n2"}},
+      {Stamp{1, 110, 0}, MeterAccept{2, 0, 7, 9, "n2", "n1"}},
+      {Stamp{1, 120, 0}, MeterConnect{2, 0, 8, "n3", "n4"}},
+      {Stamp{2, 130, 0}, MeterAccept{3, 0, 10, 11, "n4", "n3"}},
+      {Stamp{0, 200, 0}, MeterSend{1, 0, 5, 8, ""}},     // p1 -> p2
+      {Stamp{1, 260, 0}, MeterRecv{2, 0, 9, 8, ""}},     // p2 recv
+      {Stamp{1, 270, 0}, MeterSend{2, 0, 8, 8, ""}},     // p2 -> p3
+      {Stamp{2, 330, 0}, MeterRecv{3, 0, 11, 8, ""}},    // p3 recv
+  });
+  Ordering o = order_events(trace);
+  EXPECT_EQ(o.message_pairs, 2u);
+  EXPECT_GT(o.lamport_of(7), o.lamport_of(4));
+  EXPECT_GT(o.lamport_of(7), o.lamport_of(6));
+}
+
+TEST(Ordering, UnmatchedTrafficLeavesNoPairs) {
+  auto trace = analysis_testing::make_trace({
+      {Stamp{0, 1, 0}, MeterSend{1, 0, 5, 10, ""}},
+      {Stamp{1, 2, 0}, MeterRecv{2, 0, 9, 10, ""}},
+  });
+  Ordering o = order_events(trace);
+  EXPECT_EQ(o.message_pairs, 0u);  // no connection evidence
+  EXPECT_FALSE(o.events[1].matched_send.has_value());
+}
+
+TEST(Ordering, EmptyTrace) {
+  Trace t;
+  Ordering o = order_events(t);
+  EXPECT_TRUE(o.events.empty());
+  EXPECT_EQ(o.message_pairs, 0u);
+  EXPECT_FALSE(o.had_cycle);
+}
+
+}  // namespace
+}  // namespace dpm::analysis

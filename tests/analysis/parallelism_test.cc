@@ -1,0 +1,99 @@
+#include "analysis/parallelism.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis_testing.h"
+
+namespace dpm::analysis {
+namespace {
+
+using analysis_testing::Stamp;
+using meter::MeterRecv;
+using meter::MeterRecvCall;
+using meter::MeterSend;
+using meter::MeterTermProc;
+
+TEST(Parallelism, TwoFullyOverlappingProcesses) {
+  auto trace = analysis_testing::make_trace({
+      {Stamp{0, 0, 0}, MeterSend{1, 0, 5, 1, ""}},
+      {Stamp{1, 0, 0}, MeterSend{2, 0, 6, 1, ""}},
+      {Stamp{0, 1000, 0}, MeterTermProc{1, 0, 0}},
+      {Stamp{1, 1000, 0}, MeterTermProc{2, 0, 0}},
+  });
+  ParallelismProfile p = measure_parallelism(trace);
+  EXPECT_EQ(p.processes, 2u);
+  EXPECT_EQ(p.total_us, 1000);
+  EXPECT_DOUBLE_EQ(p.fraction_at(2), 1.0);
+  EXPECT_NEAR(p.average, 2.0, 1e-9);
+}
+
+TEST(Parallelism, DisjointProcessesNeverOverlap) {
+  auto trace = analysis_testing::make_trace({
+      {Stamp{0, 0, 0}, MeterSend{1, 0, 5, 1, ""}},
+      {Stamp{0, 400, 0}, MeterTermProc{1, 0, 0}},
+      {Stamp{1, 600, 0}, MeterSend{2, 0, 6, 1, ""}},
+      {Stamp{1, 1000, 0}, MeterTermProc{2, 0, 0}},
+  });
+  ParallelismProfile p = measure_parallelism(trace);
+  EXPECT_EQ(p.total_us, 1000);
+  EXPECT_DOUBLE_EQ(p.fraction_at(1), 0.8);  // 0-400 and 600-1000
+  EXPECT_DOUBLE_EQ(p.fraction_at(0), 0.2);  // the 200us gap
+  EXPECT_NEAR(p.average, 0.8, 1e-9);
+}
+
+TEST(Parallelism, ReceiveWaitDoesNotCountAsActive) {
+  // One process active 0..1000 but waiting for a message 200..700: the
+  // recvcall/receive pair carves the wait out of its activity.
+  auto trace = analysis_testing::make_trace({
+      {Stamp{0, 0, 0}, MeterSend{1, 0, 5, 1, ""}},
+      {Stamp{0, 200, 0}, MeterRecvCall{1, 0, 5}},
+      {Stamp{0, 700, 0}, MeterRecv{1, 0, 5, 8, ""}},
+      {Stamp{0, 1000, 0}, MeterTermProc{1, 0, 0}},
+  });
+  ParallelismProfile p = measure_parallelism(trace);
+  EXPECT_EQ(p.total_us, 1000);
+  EXPECT_DOUBLE_EQ(p.fraction_at(1), 0.5);
+  EXPECT_DOUBLE_EQ(p.fraction_at(0), 0.5);
+}
+
+TEST(Parallelism, WaitMatchingIsPerSocket) {
+  // A recvcall on sock 5 must not be closed by a receive on sock 6.
+  auto trace = analysis_testing::make_trace({
+      {Stamp{0, 0, 0}, MeterSend{1, 0, 5, 1, ""}},
+      {Stamp{0, 100, 0}, MeterRecvCall{1, 0, 5}},
+      {Stamp{0, 300, 0}, MeterRecv{1, 0, 6, 8, ""}},  // different socket
+      {Stamp{0, 400, 0}, MeterRecv{1, 0, 5, 8, ""}},  // closes the wait
+      {Stamp{0, 500, 0}, MeterTermProc{1, 0, 0}},
+  });
+  ParallelismProfile p = measure_parallelism(trace);
+  // Wait was 100..400 (300us of 500us window).
+  EXPECT_DOUBLE_EQ(p.fraction_at(0), 0.6);
+  EXPECT_DOUBLE_EQ(p.fraction_at(1), 0.4);
+}
+
+TEST(Parallelism, EmptyTrace) {
+  Trace t;
+  ParallelismProfile p = measure_parallelism(t);
+  EXPECT_EQ(p.processes, 0u);
+  EXPECT_EQ(p.total_us, 0);
+}
+
+TEST(Parallelism, AverageWeighting) {
+  // Three processes: one covers [0,900], two more cover [0,300].
+  auto trace = analysis_testing::make_trace({
+      {Stamp{0, 0, 0}, MeterSend{1, 0, 5, 1, ""}},
+      {Stamp{1, 0, 0}, MeterSend{2, 0, 6, 1, ""}},
+      {Stamp{2, 0, 0}, MeterSend{3, 0, 7, 1, ""}},
+      {Stamp{1, 300, 0}, MeterTermProc{2, 0, 0}},
+      {Stamp{2, 300, 0}, MeterTermProc{3, 0, 0}},
+      {Stamp{0, 900, 0}, MeterTermProc{1, 0, 0}},
+  });
+  ParallelismProfile p = measure_parallelism(trace);
+  EXPECT_EQ(p.total_us, 900);
+  EXPECT_NEAR(p.fraction_at(3), 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(p.fraction_at(1), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(p.average, (3 * 300 + 1 * 600) / 900.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dpm::analysis

@@ -1,0 +1,69 @@
+#include "analysis/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis_testing.h"
+
+namespace dpm::analysis {
+namespace {
+
+using analysis_testing::Stamp;
+using meter::MeterRecv;
+using meter::MeterRecvCall;
+using meter::MeterSend;
+using meter::MeterTermProc;
+
+TEST(Timeline, EmptyTrace) {
+  Trace t;
+  EXPECT_EQ(render_timeline(t), "(empty trace)\n");
+}
+
+TEST(Timeline, OneRowPerProcess) {
+  auto trace = analysis_testing::make_trace({
+      {Stamp{0, 0, 0}, MeterSend{1, 0, 5, 1, ""}},
+      {Stamp{0, 1000, 0}, MeterTermProc{1, 0, 0}},
+      {Stamp{1, 0, 0}, MeterSend{2, 0, 6, 1, ""}},
+      {Stamp{1, 1000, 0}, MeterTermProc{2, 0, 0}},
+  });
+  const std::string out = render_timeline(trace);
+  EXPECT_NE(out.find("m0/p1"), std::string::npos);
+  EXPECT_NE(out.find("m1/p2"), std::string::npos);
+  EXPECT_NE(out.find("window: 1000 us"), std::string::npos);
+}
+
+TEST(Timeline, WaitIntervalsRenderAsDots) {
+  auto trace = analysis_testing::make_trace({
+      {Stamp{0, 0, 0}, MeterSend{1, 0, 5, 1, ""}},
+      {Stamp{0, 250, 0}, MeterRecvCall{1, 0, 5}},
+      {Stamp{0, 750, 0}, MeterRecv{1, 0, 5, 8, ""}},
+      {Stamp{0, 1000, 0}, MeterTermProc{1, 0, 0}},
+  });
+  TimelineOptions opts;
+  opts.width = 16;
+  opts.show_legend = false;
+  const std::string out = render_timeline(trace, opts);
+  // The middle half of the row is dots; the edges are '#'.
+  const auto bar = out.find('|');
+  ASSERT_NE(bar, std::string::npos);
+  const std::string row = out.substr(bar + 1, 16);
+  EXPECT_EQ(row.front(), '#');
+  EXPECT_EQ(row.back(), '#');
+  EXPECT_NE(row.find('.'), std::string::npos);
+  EXPECT_GT(std::count(row.begin(), row.end(), '.'), 6);
+}
+
+TEST(Timeline, WidthRespected) {
+  auto trace = analysis_testing::make_trace({
+      {Stamp{0, 0, 0}, MeterSend{1, 0, 5, 1, ""}},
+      {Stamp{0, 500, 0}, MeterTermProc{1, 0, 0}},
+  });
+  TimelineOptions opts;
+  opts.width = 20;
+  const std::string out = render_timeline(trace, opts);
+  const auto open = out.find('|');
+  const auto close = out.find('|', open + 1);
+  EXPECT_EQ(close - open - 1, 20u);
+}
+
+}  // namespace
+}  // namespace dpm::analysis

@@ -1,0 +1,145 @@
+// Controller/daemon message formats — Fig 3.6.
+#include "daemon/protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace dpm::daemon {
+namespace {
+
+template <typename T>
+T round_trip(const DaemonMsg& m) {
+  auto wire = serialize(m);
+  auto parsed = parse(wire);
+  EXPECT_TRUE(parsed.has_value());
+  return std::get<T>(*parsed);
+}
+
+TEST(Protocol, Fig36TypeNumbers) {
+  EXPECT_EQ(static_cast<std::uint32_t>(MsgType::create_request), 11u);
+  EXPECT_EQ(static_cast<std::uint32_t>(MsgType::create_reply), 18u);
+}
+
+TEST(Protocol, CreateRequestCarriesFig36Fields) {
+  // Fig 3.6: filename, parameter count, parameter list, filter port,
+  // filter host, meter flags, control port, control host.
+  CreateRequest req;
+  req.uid = 100;
+  req.filename = "A";
+  req.params = {"arg1", "arg2", "arg3"};
+  req.filter_port = 1234;
+  req.filter_host = "blue";
+  req.meter_flags = 0x1ff;
+  req.control_port = 5678;
+  req.control_host = "yellow";
+  req.stdin_file = "input.dat";
+  auto got = round_trip<CreateRequest>(req);
+  EXPECT_EQ(got.uid, 100);
+  EXPECT_EQ(got.filename, "A");
+  EXPECT_EQ(got.params, req.params);
+  EXPECT_EQ(got.filter_port, 1234);
+  EXPECT_EQ(got.filter_host, "blue");
+  EXPECT_EQ(got.meter_flags, 0x1ffu);
+  EXPECT_EQ(got.control_port, 5678);
+  EXPECT_EQ(got.control_host, "yellow");
+  EXPECT_EQ(got.stdin_file, "input.dat");
+}
+
+TEST(Protocol, CreateReplyPidStatus) {
+  auto got = round_trip<CreateReply>(CreateReply{2120, 0});
+  EXPECT_EQ(got.pid, 2120);
+  EXPECT_EQ(got.status, 0);
+}
+
+TEST(Protocol, FilterRequestReply) {
+  FilterRequest req;
+  req.uid = 1;
+  req.filterfile = "filter";
+  req.logfile = "/usr/tmp/f1.log";
+  req.descriptions = "descriptions";
+  req.templates = "templates";
+  req.control_port = 9;
+  req.control_host = "red";
+  auto got = round_trip<FilterRequest>(req);
+  EXPECT_EQ(got.logfile, "/usr/tmp/f1.log");
+  EXPECT_EQ(got.templates, "templates");
+
+  auto reply = round_trip<FilterReply>(FilterReply{2117, 0, 1050});
+  EXPECT_EQ(reply.pid, 2117);
+  EXPECT_EQ(reply.meter_port, 1050);
+}
+
+TEST(Protocol, ProcRequestPreservesSubtype) {
+  for (MsgType t : {MsgType::start_request, MsgType::stop_request,
+                    MsgType::kill_request, MsgType::release_request}) {
+    ProcRequest req;
+    req.what = t;
+    req.uid = 7;
+    req.pid = 42;
+    auto wire = serialize(DaemonMsg{req});
+    auto parsed = parse(wire);
+    ASSERT_TRUE(parsed.has_value());
+    auto got = std::get<ProcRequest>(*parsed);
+    EXPECT_EQ(got.what, t);
+    EXPECT_EQ(got.pid, 42);
+  }
+}
+
+TEST(Protocol, SetFlagsAcquireNotes) {
+  auto sf = round_trip<SetFlagsRequest>(SetFlagsRequest{5, 10, 0xff});
+  EXPECT_EQ(sf.flags, 0xffu);
+
+  AcquireRequest aq;
+  aq.uid = 2;
+  aq.pid = 99;
+  aq.filter_port = 700;
+  aq.filter_host = "blue";
+  aq.meter_flags = 3;
+  auto aq2 = round_trip<AcquireRequest>(aq);
+  EXPECT_EQ(aq2.pid, 99);
+  EXPECT_EQ(aq2.filter_host, "blue");
+
+  StateNote note;
+  note.machine = "green";
+  note.pid = 2122;
+  note.event = 2;
+  note.status = 0;
+  auto note2 = round_trip<StateNote>(note);
+  EXPECT_EQ(note2.machine, "green");
+  EXPECT_EQ(note2.pid, 2122);
+
+  IoNote io;
+  io.machine = "red";
+  io.pid = 1;
+  io.data = "some output\n";
+  EXPECT_EQ(round_trip<IoNote>(io).data, "some output\n");
+
+  IoSend is;
+  is.uid = 1;
+  is.pid = 2;
+  is.data = "stdin data";
+  EXPECT_EQ(round_trip<IoSend>(is).data, "stdin data");
+
+  EXPECT_EQ(round_trip<SimpleReply>(SimpleReply{13}).status, 13);
+}
+
+TEST(Protocol, ParseRejectsCorruptInput) {
+  auto wire = serialize(DaemonMsg{CreateReply{1, 0}});
+  wire[4] = 0xEE;  // unknown type
+  EXPECT_FALSE(parse(wire).has_value());
+
+  auto wire2 = serialize(DaemonMsg{CreateReply{1, 0}});
+  wire2.pop_back();  // size mismatch
+  EXPECT_FALSE(parse(wire2).has_value());
+
+  EXPECT_FALSE(parse(util::Bytes{}).has_value());
+}
+
+TEST(Protocol, SerializedSizeIsFramed) {
+  auto wire = serialize(DaemonMsg{SimpleReply{0}});
+  const std::uint32_t size = wire[0] | wire[1] << 8 | wire[2] << 16 |
+                             static_cast<std::uint32_t>(wire[3]) << 24;
+  EXPECT_EQ(size, wire.size());
+}
+
+}  // namespace
+}  // namespace dpm::daemon

@@ -1,0 +1,150 @@
+// Event record description files — Fig 3.2.
+#include "filter/descriptions.h"
+
+#include <gtest/gtest.h>
+
+#include "meter/metermsgs.h"
+
+namespace dpm::filter {
+namespace {
+
+TEST(Descriptions, ParsesPaperStyleSendLine) {
+  // The shape of Fig 3.2, with this kernel's offsets.
+  const std::string text =
+      "HEADER size machine cpuTime procTime traceType\n"
+      "SEND 1, pid,0,4,10 pc,4,4,10 sock,8,8,10 msgLength,16,4,10 "
+      "destNameLen,20,4,10 destName,24,0,0\n";
+  std::string err;
+  auto d = Descriptions::parse(text, &err);
+  ASSERT_TRUE(d.has_value()) << err;
+  const EventDesc* send = d->by_type(1);
+  ASSERT_NE(send, nullptr);
+  EXPECT_EQ(send->name, "SEND");
+  ASSERT_EQ(send->fields.size(), 6u);
+  EXPECT_EQ(send->fields[2].name, "sock");
+  EXPECT_EQ(send->fields[2].offset, 8u);
+  EXPECT_EQ(send->fields[2].length, 8u);
+  EXPECT_EQ(send->fields[5].length, 0u);  // counted string
+}
+
+TEST(Descriptions, DefaultFileDescribesAllTenEvents) {
+  std::string err;
+  auto d = Descriptions::parse(default_descriptions_text(), &err);
+  ASSERT_TRUE(d.has_value()) << err;
+  EXPECT_EQ(d->size(), 10u);
+  for (std::uint32_t t = 1; t <= 10; ++t) {
+    EXPECT_NE(d->by_type(t), nullptr) << "missing type " << t;
+  }
+  EXPECT_NE(d->by_name("ACCEPT"), nullptr);
+  EXPECT_EQ(d->by_name("NOPE"), nullptr);
+}
+
+TEST(Descriptions, RejectsMalformedInput) {
+  std::string err;
+  EXPECT_FALSE(Descriptions::parse("", &err).has_value());
+  EXPECT_FALSE(Descriptions::parse("SEND\n", &err).has_value());
+  EXPECT_FALSE(Descriptions::parse("SEND x, pid,0,4,10\n", &err).has_value());
+  EXPECT_FALSE(
+      Descriptions::parse("SEND 1, pid,0,nope,10\n", &err).has_value());
+  EXPECT_FALSE(Descriptions::parse("SEND 1, pid,0,3,10\n", &err).has_value());
+  EXPECT_FALSE(err.empty());
+}
+
+class DecodeTest : public ::testing::Test {
+ protected:
+  DecodeTest() {
+    auto d = Descriptions::parse(default_descriptions_text());
+    EXPECT_TRUE(d.has_value());
+    desc_ = std::move(*d);
+  }
+
+  static meter::MeterMsg stamped(meter::MeterBody body) {
+    meter::MeterMsg m;
+    m.body = std::move(body);
+    m.header.machine = 5;
+    m.header.cpu_time = 7777;
+    m.header.proc_time = 20000;
+    return m;
+  }
+
+  Descriptions desc_{*Descriptions::parse(default_descriptions_text())};
+};
+
+TEST_F(DecodeTest, DecodesSendRecord) {
+  auto wire = stamped(meter::MeterSend{42, 3, 9, 128, "228320140"}).serialize();
+  auto rec = desc_.decode(wire);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->event_name, "SEND");
+  EXPECT_EQ(rec->num("machine").value(), 5);
+  EXPECT_EQ(rec->num("cpuTime").value(), 7777);
+  EXPECT_EQ(rec->num("procTime").value(), 20000);
+  EXPECT_EQ(rec->num("pid").value(), 42);
+  EXPECT_EQ(rec->num("sock").value(), 9);
+  EXPECT_EQ(rec->num("msgLength").value(), 128);
+  EXPECT_EQ(rec->text("destName").value(), "228320140");
+  // A numeric-looking name compares numerically too.
+  EXPECT_EQ(rec->num("destName").value(), 228320140);
+}
+
+TEST_F(DecodeTest, DecodesAcceptWithTwoCountedStrings) {
+  auto wire = stamped(meter::MeterAccept{1, 0, 11, 12, "listener", "client"})
+                  .serialize();
+  auto rec = desc_.decode(wire);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->text("sockName").value(), "listener");
+  EXPECT_EQ(rec->text("peerName").value(), "client");
+  EXPECT_EQ(rec->num("sock").value(), 11);
+  EXPECT_EQ(rec->num("newSock").value(), 12);
+}
+
+TEST_F(DecodeTest, DecodesEmptyNames) {
+  auto wire = stamped(meter::MeterSend{1, 0, 2, 64, ""}).serialize();
+  auto rec = desc_.decode(wire);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->text("destName").value(), "");
+  EXPECT_EQ(rec->num("destNameLen").value(), 0);
+}
+
+TEST_F(DecodeTest, RejectsTruncatedRecord) {
+  auto wire = stamped(meter::MeterSend{1, 0, 2, 64, "abc"}).serialize();
+  util::Bytes cut(wire.begin(), wire.end() - 2);
+  EXPECT_FALSE(desc_.decode(cut).has_value());
+}
+
+TEST_F(DecodeTest, RejectsUnknownType) {
+  auto wire = stamped(meter::MeterSend{1, 0, 2, 64, ""}).serialize();
+  wire[22] = 77;
+  EXPECT_FALSE(desc_.decode(wire).has_value());
+}
+
+TEST_F(DecodeTest, EveryEventTypeDecodes) {
+  using namespace meter;
+  const MeterBody bodies[] = {
+      MeterBody{MeterSend{1, 2, 3, 4, "d"}},
+      MeterBody{MeterRecv{1, 2, 3, 4, "s"}},
+      MeterBody{MeterRecvCall{1, 2, 3}},
+      MeterBody{MeterSockCrt{1, 2, 3, 2, 1, 0}},
+      MeterBody{MeterDup{1, 2, 3, 4}},
+      MeterBody{MeterDestSock{1, 2, 3}},
+      MeterBody{MeterFork{1, 2, 9}},
+      MeterBody{MeterAccept{1, 2, 3, 4, "a", "b"}},
+      MeterBody{MeterConnect{1, 2, 3, "a", "b"}},
+      MeterBody{MeterTermProc{1, 2, 0}},
+  };
+  for (const auto& b : bodies) {
+    auto wire = stamped(b).serialize();
+    auto rec = desc_.decode(wire);
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_EQ(rec->num("pid").value(), 1);
+  }
+}
+
+TEST(FieldValue, NumericAndText) {
+  EXPECT_EQ(field_value_text(FieldValue{std::int64_t{42}}), "42");
+  EXPECT_EQ(field_value_text(FieldValue{std::string{"x"}}), "x");
+  EXPECT_EQ(field_value_num(FieldValue{std::string{"17"}}).value(), 17);
+  EXPECT_FALSE(field_value_num(FieldValue{std::string{"ab"}}).has_value());
+}
+
+}  // namespace
+}  // namespace dpm::filter

@@ -1,0 +1,116 @@
+// FilterEngine: framing, selection, reduction, statistics.
+#include "filter/filter_program.h"
+
+#include <gtest/gtest.h>
+
+#include "filter/trace.h"
+#include "meter/metermsgs.h"
+
+namespace dpm::filter {
+namespace {
+
+meter::MeterMsg stamped(meter::MeterBody body, std::uint16_t machine = 0) {
+  meter::MeterMsg m;
+  m.body = std::move(body);
+  m.header.machine = machine;
+  m.header.cpu_time = 1000;
+  m.header.proc_time = 0;
+  return m;
+}
+
+FilterEngine make_engine(const std::string& rules) {
+  auto d = Descriptions::parse(default_descriptions_text());
+  auto t = Templates::parse(rules);
+  EXPECT_TRUE(d.has_value());
+  EXPECT_TRUE(t.has_value());
+  return FilterEngine(std::move(*d), std::move(*t));
+}
+
+TEST(FilterEngine, AcceptsAllWithoutRules) {
+  FilterEngine e = make_engine("");
+  util::Bytes wire = stamped(meter::MeterSend{1, 0, 2, 10, "d"}).serialize();
+  const std::string out = e.feed(1, wire);
+  auto records = parse_trace(out).records;
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].event_name, "SEND");
+  EXPECT_EQ(e.stats().accepted, 1u);
+}
+
+TEST(FilterEngine, SelectsByRule) {
+  FilterEngine e = make_engine("machine=5\n");
+  util::Bytes wire;
+  auto add = [&wire](std::uint16_t m) {
+    auto one = stamped(meter::MeterSend{1, 0, 2, 10, ""}, m).serialize();
+    wire.insert(wire.end(), one.begin(), one.end());
+  };
+  add(5);
+  add(4);
+  add(5);
+  const std::string out = e.feed(1, wire);
+  EXPECT_EQ(parse_trace(out).records.size(), 2u);
+  EXPECT_EQ(e.stats().records_in, 3u);
+  EXPECT_EQ(e.stats().accepted, 2u);
+  EXPECT_EQ(e.stats().rejected, 1u);
+}
+
+TEST(FilterEngine, HandlesSplitRecordsAcrossFeeds) {
+  FilterEngine e = make_engine("");
+  util::Bytes wire = stamped(meter::MeterSend{1, 0, 2, 10, "name"}).serialize();
+  // Deliver byte by byte, as a stream may.
+  std::string out;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    out += e.feed(7, util::Bytes{wire[i]});
+  }
+  EXPECT_EQ(parse_trace(out).records.size(), 1u);
+}
+
+TEST(FilterEngine, KeepsConnectionsSeparate) {
+  FilterEngine e = make_engine("");
+  util::Bytes wire = stamped(meter::MeterSend{1, 0, 2, 10, ""}).serialize();
+  util::Bytes half1(wire.begin(), wire.begin() + 10);
+  util::Bytes half2(wire.begin() + 10, wire.end());
+  // Interleave two connections' partial records.
+  std::string out;
+  out += e.feed(1, half1);
+  out += e.feed(2, half1);
+  out += e.feed(1, half2);
+  out += e.feed(2, half2);
+  EXPECT_EQ(parse_trace(out).records.size(), 2u);
+}
+
+TEST(FilterEngine, DiscardReducesBytesOut) {
+  FilterEngine keep = make_engine("machine=*\n");
+  FilterEngine drop = make_engine("machine=#*, pid=#*, cpuTime=#*\n");
+  util::Bytes wire;
+  for (int i = 0; i < 20; ++i) {
+    auto one = stamped(meter::MeterSend{1, 0, 2, 10, "x"}).serialize();
+    wire.insert(wire.end(), one.begin(), one.end());
+  }
+  (void)keep.feed(1, wire);
+  (void)drop.feed(1, wire);
+  EXPECT_EQ(keep.stats().accepted, 20u);
+  EXPECT_EQ(drop.stats().accepted, 20u);
+  EXPECT_LT(drop.stats().bytes_out, keep.stats().bytes_out);
+}
+
+TEST(FilterEngine, GarbageDesyncIsContained) {
+  FilterEngine e = make_engine("");
+  util::Bytes junk(64, 0xff);  // size field will be absurd
+  EXPECT_EQ(e.feed(1, junk), "");
+  EXPECT_EQ(e.stats().malformed, 1u);
+  // The engine recovers for subsequent well-formed input.
+  util::Bytes wire = stamped(meter::MeterSend{1, 0, 2, 10, ""}).serialize();
+  EXPECT_EQ(parse_trace(e.feed(1, wire)).records.size(), 1u);
+}
+
+TEST(FilterEngine, EndConnectionDropsPartialState) {
+  FilterEngine e = make_engine("");
+  util::Bytes wire = stamped(meter::MeterSend{1, 0, 2, 10, ""}).serialize();
+  (void)e.feed(1, util::Bytes(wire.begin(), wire.begin() + 8));
+  e.end_connection(1);
+  // Feeding the rest alone cannot form a record.
+  EXPECT_EQ(e.feed(1, util::Bytes(wire.begin() + 8, wire.end())), "");
+}
+
+}  // namespace
+}  // namespace dpm::filter

@@ -1,0 +1,173 @@
+// Selection rules / templates — Figs 3.3 and 3.4, using the paper's own
+// example rules.
+#include "filter/templates.h"
+
+#include <gtest/gtest.h>
+
+#include "meter/metermsgs.h"
+
+namespace dpm::filter {
+namespace {
+
+Record make_record(std::initializer_list<std::pair<std::string, FieldValue>> fields,
+                   const std::string& name = "SEND") {
+  Record r;
+  r.event_name = name;
+  for (auto& [k, v] : fields) r.fields.emplace_back(k, v);
+  return r;
+}
+
+TEST(Templates, EmptyFileAcceptsEverything) {
+  auto t = Templates::parse(default_templates_text());
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->rule_count(), 0u);
+  auto d = t->evaluate(make_record({{"machine", std::int64_t{1}}}));
+  EXPECT_TRUE(d.accept);
+  EXPECT_TRUE(d.discard.empty());
+}
+
+TEST(Templates, PaperFig33FirstRule) {
+  // "machine=5, cpuTime<10000" matches records from machine 5 stamped
+  // with cpuTime under 10000.
+  auto t = Templates::parse("machine=5, cpuTime<10000\n");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_TRUE(t->evaluate(make_record({{"machine", std::int64_t{5}},
+                                       {"cpuTime", std::int64_t{9000}}}))
+                  .accept);
+  EXPECT_FALSE(t->evaluate(make_record({{"machine", std::int64_t{5}},
+                                        {"cpuTime", std::int64_t{10000}}}))
+                   .accept);
+  EXPECT_FALSE(t->evaluate(make_record({{"machine", std::int64_t{4}},
+                                        {"cpuTime", std::int64_t{1}}}))
+                   .accept);
+}
+
+TEST(Templates, PaperFig33SecondRule) {
+  // "machine=0, type=1, sock=4, destName=228320140"
+  auto t =
+      Templates::parse("machine=0, type=1, sock=4, destName=228320140\n");
+  ASSERT_TRUE(t.has_value());
+  auto hit = make_record({{"machine", std::int64_t{0}},
+                          {"type", std::int64_t{1}},
+                          {"sock", std::int64_t{4}},
+                          {"destName", std::string{"228320140"}}});
+  EXPECT_TRUE(t->evaluate(hit).accept);
+  auto miss = make_record({{"machine", std::int64_t{0}},
+                           {"type", std::int64_t{1}},
+                           {"sock", std::int64_t{5}},
+                           {"destName", std::string{"228320140"}}});
+  EXPECT_FALSE(t->evaluate(miss).accept);
+}
+
+TEST(Templates, PaperFig34WildcardAndDiscard) {
+  // "machine=#*, type=1, pid=#*, size>=512": match any machine/pid, only
+  // sends of 512+ bytes, and discard the machine and pid fields.
+  auto t = Templates::parse("machine=#*, type=1, pid=#*, size>=512\n");
+  ASSERT_TRUE(t.has_value());
+  auto big = make_record({{"machine", std::int64_t{3}},
+                          {"type", std::int64_t{1}},
+                          {"pid", std::int64_t{42}},
+                          {"size", std::int64_t{600}}});
+  auto d = t->evaluate(big);
+  EXPECT_TRUE(d.accept);
+  EXPECT_EQ(d.discard.size(), 2u);
+  EXPECT_TRUE(d.discard.count("machine"));
+  EXPECT_TRUE(d.discard.count("pid"));
+
+  auto small = make_record({{"machine", std::int64_t{3}},
+                            {"type", std::int64_t{1}},
+                            {"pid", std::int64_t{42}},
+                            {"size", std::int64_t{100}}});
+  EXPECT_FALSE(t->evaluate(small).accept);
+}
+
+TEST(Templates, PaperFig34FieldToField) {
+  // "type=8, sockName=peerName": accepts whose two names coincide.
+  auto t = Templates::parse("type=8, sockName=peerName\n");
+  ASSERT_TRUE(t.has_value());
+  auto same = make_record({{"type", std::int64_t{8}},
+                           {"sockName", std::string{"#5"}},
+                           {"peerName", std::string{"#5"}}},
+                          "ACCEPT");
+  EXPECT_TRUE(t->evaluate(same).accept);
+  auto diff = make_record({{"type", std::int64_t{8}},
+                           {"sockName", std::string{"#5"}},
+                           {"peerName", std::string{"#6"}}},
+                          "ACCEPT");
+  EXPECT_FALSE(t->evaluate(diff).accept);
+}
+
+TEST(Templates, RulesAreAlternatives) {
+  auto t = Templates::parse("machine=1\nmachine=2\n");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->rule_count(), 2u);
+  EXPECT_TRUE(t->evaluate(make_record({{"machine", std::int64_t{1}}})).accept);
+  EXPECT_TRUE(t->evaluate(make_record({{"machine", std::int64_t{2}}})).accept);
+  EXPECT_FALSE(t->evaluate(make_record({{"machine", std::int64_t{3}}})).accept);
+}
+
+TEST(Templates, FirstMatchingRuleDecidesDiscards) {
+  auto t = Templates::parse("machine=1, pid=#*\nmachine=*, pid=*\n");
+  ASSERT_TRUE(t.has_value());
+  auto d1 = t->evaluate(make_record(
+      {{"machine", std::int64_t{1}}, {"pid", std::int64_t{9}}}));
+  EXPECT_TRUE(d1.accept);
+  EXPECT_EQ(d1.discard.size(), 1u);
+  auto d2 = t->evaluate(make_record(
+      {{"machine", std::int64_t{2}}, {"pid", std::int64_t{9}}}));
+  EXPECT_TRUE(d2.accept);
+  EXPECT_TRUE(d2.discard.empty());
+}
+
+TEST(Templates, AllComparisonOperators) {
+  auto run = [](const std::string& rule, std::int64_t v) {
+    auto t = Templates::parse(rule + "\n");
+    EXPECT_TRUE(t.has_value());
+    return t->evaluate(make_record({{"x", v}})).accept;
+  };
+  EXPECT_TRUE(run("x=5", 5));
+  EXPECT_FALSE(run("x=5", 6));
+  EXPECT_TRUE(run("x!=5", 6));
+  EXPECT_FALSE(run("x!=5", 5));
+  EXPECT_TRUE(run("x<5", 4));
+  EXPECT_FALSE(run("x<5", 5));
+  EXPECT_TRUE(run("x>5", 6));
+  EXPECT_FALSE(run("x>5", 5));
+  EXPECT_TRUE(run("x<=5", 5));
+  EXPECT_FALSE(run("x<=5", 6));
+  EXPECT_TRUE(run("x>=5", 5));
+  EXPECT_FALSE(run("x>=5", 4));
+}
+
+TEST(Templates, MissingFieldFailsClause) {
+  auto t = Templates::parse("ghost=*\n");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_FALSE(t->evaluate(make_record({{"machine", std::int64_t{1}}})).accept);
+}
+
+TEST(Templates, StringComparisonWhenNotNumeric) {
+  auto t = Templates::parse("destName=/tmp/sock\n");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_TRUE(t->evaluate(make_record({{"destName", std::string{"/tmp/sock"}}}))
+                  .accept);
+  EXPECT_FALSE(
+      t->evaluate(make_record({{"destName", std::string{"/tmp/other"}}}))
+          .accept);
+}
+
+TEST(Templates, ParseErrors) {
+  std::string err;
+  EXPECT_FALSE(Templates::parse("machine 5\n", &err).has_value());
+  EXPECT_FALSE(Templates::parse("=5\n", &err).has_value());
+  EXPECT_FALSE(Templates::parse("machine=#\n", &err).has_value());
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(Templates, CommentsAndBlanksIgnored) {
+  auto t = Templates::parse("# only comments\n\n   \n");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->rule_count(), 0u);
+}
+
+}  // namespace
+}  // namespace dpm::filter

@@ -1,0 +1,135 @@
+// The acquire path (§4.3): metering an already-running system server
+// without touching its execution environment; release on removal.
+#include <gtest/gtest.h>
+
+#include "analysis/trace_reader.h"
+#include "apps/apps.h"
+#include "control/session.h"
+#include "testing.h"
+#include "util/strings.h"
+
+namespace dpm {
+namespace {
+
+class AcquireTest : public ::testing::Test {
+ protected:
+  AcquireTest() : world_(dpm::testing::quick_config(17)) {
+    machines_ = dpm::testing::add_machines(world_, {"yellow", "red", "green"});
+    control::install_monitor(world_);
+    apps::install_everywhere(world_);
+    control::spawn_meterdaemons(world_);
+    world_.add_account_everywhere(100);
+    // A long-running "system server" already executing on red, owned by
+    // the same user (acquire requires access rights).
+    auto r = world_.spawn(machines_[1], "echo_server", 100,
+                          apps::make_echo_server({"echo_server", "7", "0"}));
+    EXPECT_TRUE(r.ok());
+    server_pid_ = r.value_or(0);
+    session_ = std::make_unique<control::MonitorSession>(
+        world_, control::MonitorSession::Options{.host = "yellow", .uid = 100});
+    world_.run();
+    (void)session_->drain_output();
+  }
+
+  kernel::World world_;
+  std::vector<kernel::MachineId> machines_;
+  kernel::Pid server_pid_ = 0;
+  std::unique_ptr<control::MonitorSession> session_;
+};
+
+TEST_F(AcquireTest, AcquireMeterReleaseServerSurvives) {
+  (void)session_->command("filter f1");
+  (void)session_->command("newjob watch");
+  (void)session_->command("setflags watch send receive");
+  std::string out = session_->command(util::strprintf(
+      "acquire watch red %d", server_pid_));
+  EXPECT_NE(out.find("acquired"), std::string::npos) << out;
+
+  // Traffic to the acquired server from an unmetered client.
+  (void)world_.spawn(machines_[2], "client", 100,
+                     apps::make_echo_client({"echo_client", "red", "7", "4",
+                                             "16"}));
+  world_.run();
+
+  // jobs shows the acquired state.
+  out = session_->command("jobs watch");
+  EXPECT_NE(out.find("acquired"), std::string::npos) << out;
+
+  // Remove the job: the meter connection comes down but the server keeps
+  // executing (§4.3 removejob).
+  out = session_->command("removejob watch");
+  EXPECT_NE(out.find("removed"), std::string::npos) << out;
+  kernel::Process* server = world_.find_process(machines_[1], server_pid_);
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(server->status, kernel::ProcStatus::alive);
+  EXPECT_EQ(server->meter_sock, 0u);  // metering taken down
+  EXPECT_EQ(server->meter_flags, 0u);
+
+  // The trace captured the server's sends and receives.
+  (void)session_->command("getlog f1 t");
+  auto text = world_.machine(machines_[0]).fs.read_text("t");
+  ASSERT_TRUE(text.has_value());
+  analysis::Trace trace = analysis::read_trace(*text);
+  int recvs = 0, sends = 0;
+  for (const auto& e : trace.events) {
+    if (e.pid != server_pid_) continue;
+    if (e.type == meter::EventType::recv) ++recvs;
+    if (e.type == meter::EventType::send) ++sends;
+  }
+  EXPECT_EQ(recvs, 4);
+  EXPECT_EQ(sends, 4);
+}
+
+TEST_F(AcquireTest, AcquireCannotBeStartedOrStopped) {
+  (void)session_->command("filter f1");
+  (void)session_->command("newjob watch");
+  (void)session_->command(util::strprintf("acquire watch red %d", server_pid_));
+  std::string out = session_->command("startjob watch");
+  EXPECT_NE(out.find("cannot be started"), std::string::npos) << out;
+  // stopjob ignores acquired processes entirely.
+  out = session_->command("stopjob watch");
+  EXPECT_EQ(out.find("stopped."), std::string::npos) << out;
+  kernel::Process* server = world_.find_process(machines_[1], server_pid_);
+  EXPECT_EQ(server->status, kernel::ProcStatus::alive);
+  EXPECT_FALSE(server->stop_requested);
+}
+
+TEST_F(AcquireTest, RemoveprocessReleasesAcquired) {
+  (void)session_->command("filter f1");
+  (void)session_->command("newjob watch");
+  (void)session_->command("setflags watch send");
+  (void)session_->command(util::strprintf("acquire watch red %d", server_pid_));
+  kernel::Process* server = world_.find_process(machines_[1], server_pid_);
+  ASSERT_NE(server, nullptr);
+  EXPECT_NE(server->meter_sock, 0u);
+  std::string out = session_->command(
+      util::strprintf("removeprocess watch pid%d", server_pid_));
+  EXPECT_NE(out.find("removed"), std::string::npos) << out;
+  // Metering is gone, the server is not.
+  EXPECT_EQ(server->meter_sock, 0u);
+  EXPECT_EQ(server->meter_flags, 0u);
+  EXPECT_EQ(server->status, kernel::ProcStatus::alive);
+}
+
+TEST_F(AcquireTest, AcquireUnknownPidFails) {
+  (void)session_->command("filter f1");
+  (void)session_->command("newjob watch");
+  std::string out = session_->command("acquire watch red 9999");
+  EXPECT_NE(out.find("not acquired"), std::string::npos) << out;
+}
+
+TEST_F(AcquireTest, AcquireForeignProcessDenied) {
+  // A server owned by another user cannot be acquired by uid 100.
+  auto other = world_.spawn(machines_[1], "other_server", 0,
+                            apps::make_echo_server({"echo_server", "9", "0"}));
+  ASSERT_TRUE(other.ok());
+  world_.run();
+  (void)session_->command("filter f1");
+  (void)session_->command("newjob watch");
+  std::string out =
+      session_->command(util::strprintf("acquire watch red %d", *other));
+  EXPECT_NE(out.find("not acquired"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace dpm

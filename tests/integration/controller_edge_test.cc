@@ -1,0 +1,147 @@
+// Controller command edge cases beyond the happy session path.
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "control/session.h"
+#include "testing.h"
+#include "util/strings.h"
+
+namespace dpm {
+namespace {
+
+class ControllerEdgeTest : public ::testing::Test {
+ protected:
+  ControllerEdgeTest() : world_(dpm::testing::quick_config(71)) {
+    machines_ = dpm::testing::add_machines(world_, {"yellow", "red", "green"});
+    control::install_monitor(world_);
+    apps::install_everywhere(world_);
+    control::spawn_meterdaemons(world_);
+    session_ = std::make_unique<control::MonitorSession>(
+        world_, control::MonitorSession::Options{.host = "yellow", .uid = 100});
+    world_.run();
+    (void)session_->drain_output();
+  }
+
+  kernel::World world_;
+  std::vector<kernel::MachineId> machines_;
+  std::unique_ptr<control::MonitorSession> session_;
+};
+
+TEST_F(ControllerEdgeTest, RemoveprocessSingleProcess) {
+  (void)session_->command("filter f1");
+  (void)session_->command("newjob j");
+  (void)session_->command("addprocess j red hello a");
+  (void)session_->command("addprocess j green hello b");
+  // A new process cannot be removed (Fig 4.2 forbids new -> killed).
+  std::string out = session_->command("removeprocess j hello");
+  EXPECT_NE(out.find("is new; not removed"), std::string::npos) << out;
+  (void)session_->command("stopjob j");
+  out = session_->command("removeprocess j hello");
+  EXPECT_NE(out.find("'hello' removed"), std::string::npos) << out;
+  // The other one remains listed.
+  out = session_->command("jobs j");
+  EXPECT_NE(out.find("hello"), std::string::npos) << out;
+}
+
+TEST_F(ControllerEdgeTest, SetflagsPropagatesToLiveProcesses) {
+  (void)session_->command("filter f1");
+  (void)session_->command("newjob j");
+  (void)session_->command("addprocess j red pingpong_server 4950 2");
+  kernel::Pid pid = 0;
+  for (auto& [p, proc] : world_.machine(machines_[1]).procs) {
+    if (proc->name == "pingpong_server") pid = p;
+  }
+  ASSERT_NE(pid, 0);
+  kernel::Process* proc = world_.find_process(machines_[1], pid);
+  EXPECT_EQ(proc->meter_flags, 0u);  // job had no flags at creation
+
+  (void)session_->command("setflags j send receive");
+  EXPECT_EQ(proc->meter_flags, meter::M_SEND | meter::M_RECEIVE);
+  // Union semantics reach the kernel too.
+  (void)session_->command("setflags j fork");
+  EXPECT_EQ(proc->meter_flags, meter::M_SEND | meter::M_RECEIVE | meter::M_FORK);
+  // Explicit reset.
+  (void)session_->command("setflags j -send");
+  EXPECT_EQ(proc->meter_flags, meter::M_RECEIVE | meter::M_FORK);
+}
+
+TEST_F(ControllerEdgeTest, FlagsInheritedByProcessesAddedLater) {
+  (void)session_->command("filter f1");
+  (void)session_->command("newjob j");
+  (void)session_->command("setflags j send");
+  (void)session_->command("addprocess j red hello late");
+  kernel::Pid pid = 0;
+  for (auto& [p, proc] : world_.machine(machines_[1]).procs) {
+    if (proc->name == "hello") pid = p;
+  }
+  ASSERT_NE(pid, 0);
+  EXPECT_EQ(world_.find_process(machines_[1], pid)->meter_flags, meter::M_SEND);
+}
+
+TEST_F(ControllerEdgeTest, StartjobReportsUnstartableStates) {
+  (void)session_->command("filter f1");
+  (void)session_->command("newjob j");
+  (void)session_->command("addprocess j red hello");
+  (void)session_->command("startjob j");
+  world_.run();
+  // Completed (killed) processes cannot be started again.
+  std::string out = session_->command("startjob j");
+  EXPECT_NE(out.find("cannot be started (killed)"), std::string::npos) << out;
+}
+
+TEST_F(ControllerEdgeTest, JobsUnknownNameReported) {
+  std::string out = session_->command("jobs ghost");
+  EXPECT_NE(out.find("no such job 'ghost'"), std::string::npos) << out;
+}
+
+TEST_F(ControllerEdgeTest, SetflagsImmediateAcceptedFromUser) {
+  (void)session_->command("filter f1");
+  (void)session_->command("newjob j");
+  std::string out = session_->command("setflags j send immediate");
+  EXPECT_NE(out.find("new job flags = send immediate"), std::string::npos)
+      << out;
+}
+
+TEST_F(ControllerEdgeTest, ProcessOutputForwardedWhileJobRuns) {
+  (void)session_->command("filter f1");
+  (void)session_->command("newjob j");
+  (void)session_->command("addprocess j red hello from-red");
+  std::string out = session_->command("startjob j");
+  world_.run();
+  out += session_->drain_output();
+  // §3.5.2: stdout travels process -> meterdaemon -> controller -> user.
+  EXPECT_NE(out.find("[hello] from-red"), std::string::npos) << out;
+}
+
+TEST_F(ControllerEdgeTest, GetlogOverwritesDestination) {
+  (void)session_->command("filter f1");
+  world_.machine(machines_[0]).fs.put_text("dest", "old content", 100);
+  (void)session_->command("getlog f1 dest");
+  auto text = world_.machine(machines_[0]).fs.read_text("dest");
+  ASSERT_TRUE(text.has_value());
+  EXPECT_EQ(text->find("old content"), std::string::npos);
+}
+
+TEST_F(ControllerEdgeTest, TwoJobsOneFilter) {
+  // §3.4: "it is possible to have one filter collect data from several
+  // computations."
+  (void)session_->command("filter f1");
+  (void)session_->command("newjob a");
+  (void)session_->command("newjob b");
+  (void)session_->command("addprocess a red hello one");
+  (void)session_->command("addprocess b green hello two");
+  (void)session_->command("setflags a all");
+  (void)session_->command("setflags b all");
+  (void)session_->command("startjob a");
+  (void)session_->command("startjob b");
+  world_.run();
+  (void)session_->command("getlog f1 t");
+  auto text = world_.machine(machines_[0]).fs.read_text("t");
+  ASSERT_TRUE(text.has_value());
+  // Both machines' termproc records landed in the one log.
+  EXPECT_NE(text->find("machine=1"), std::string::npos) << *text;
+  EXPECT_NE(text->find("machine=2"), std::string::npos) << *text;
+}
+
+}  // namespace
+}  // namespace dpm

@@ -1,0 +1,159 @@
+// Failure injection: the monitor must degrade gracefully — a dying
+// filter must not break the computation (transparency, §2.2), dead
+// machines surface as controller errors, killed processes report
+// "reason: killed".
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "control/session.h"
+#include "testing.h"
+#include "util/strings.h"
+
+namespace dpm {
+namespace {
+
+class FailureTest : public ::testing::Test {
+ protected:
+  FailureTest() : world_(dpm::testing::quick_config(61)) {
+    machines_ = dpm::testing::add_machines(world_, {"yellow", "red", "green"});
+    control::install_monitor(world_);
+    apps::install_everywhere(world_);
+    control::spawn_meterdaemons(world_);
+    session_ = std::make_unique<control::MonitorSession>(
+        world_, control::MonitorSession::Options{.host = "yellow", .uid = 100});
+    world_.run();
+    (void)session_->drain_output();
+  }
+
+  kernel::Pid find_proc(kernel::MachineId m, const std::string& name) {
+    for (auto& [pid, p] : world_.machine(m).procs) {
+      if (p->name == name && p->status != kernel::ProcStatus::dead) return pid;
+    }
+    return 0;
+  }
+
+  kernel::World world_;
+  std::vector<kernel::MachineId> machines_;
+  std::unique_ptr<control::MonitorSession> session_;
+};
+
+TEST_F(FailureTest, FilterDeathDoesNotPerturbTheComputation) {
+  (void)session_->command("filter f1 yellow");
+  (void)session_->command("newjob j");
+  (void)session_->command("addprocess j red pingpong_server 4880 50");
+  (void)session_->command("addprocess j green pingpong_client red 4880 50 64");
+  (void)session_->command("setflags j all");
+
+  // Kill the filter while the job runs: meter messages land on a dead
+  // socket and are lost, but the computation itself completes normally.
+  const kernel::Pid filter_pid = find_proc(machines_[0], "filter");
+  ASSERT_NE(filter_pid, 0);
+  session_->send_line("startjob j");
+  world_.run_for(util::msec(30));
+  ASSERT_TRUE(world_.proc_kill(machines_[0], filter_pid, 0).ok());
+  std::string out = session_->command("");  // drain
+  world_.run();
+  out += session_->drain_output();
+  EXPECT_NE(out.find("terminated: reason: normal"), std::string::npos) << out;
+  EXPECT_NE(out.find("filter 'f1' terminated"), std::string::npos) << out;
+}
+
+TEST_F(FailureTest, UnknownMachineIsACleanError) {
+  (void)session_->command("filter f1");
+  (void)session_->command("newjob j");
+  std::string out = session_->command("addprocess j mauve hello");
+  EXPECT_NE(out.find("unknown machine 'mauve'"), std::string::npos) << out;
+  out = session_->command("filter f2 mauve");
+  EXPECT_NE(out.find("unknown machine 'mauve'"), std::string::npos) << out;
+}
+
+TEST_F(FailureTest, MachineWithoutDaemonIsAnRpcError) {
+  // A machine exists but runs no meterdaemon: connection refused surfaces
+  // as a clean controller message, not a hang.
+  const auto bare = world_.add_machine("bare");
+  (void)bare;
+  (void)session_->command("filter f1");
+  (void)session_->command("newjob j");
+  std::string out = session_->command("addprocess j bare hello");
+  EXPECT_NE(out.find("not created"), std::string::npos) << out;
+  EXPECT_NE(out.find("connection refused"), std::string::npos) << out;
+}
+
+TEST_F(FailureTest, KilledProcessReportsReasonKilled) {
+  (void)session_->command("filter f1");
+  (void)session_->command("newjob j");
+  (void)session_->command("addprocess j red pingpong_server 4881 1");
+  (void)session_->command("setflags j all");
+  (void)session_->command("startjob j");  // blocks in accept forever
+
+  // Kill it out from under the controller (as a crash would).
+  const kernel::Pid pid = find_proc(machines_[1], "pingpong_server");
+  ASSERT_NE(pid, 0);
+  ASSERT_TRUE(world_.proc_kill(machines_[1], pid, 100).ok());
+  world_.run();
+  std::string out = session_->drain_output();
+  EXPECT_NE(out.find("terminated: reason: killed"), std::string::npos) << out;
+
+  // Its termproc record carries the killed status (-1).
+  (void)session_->command("removejob j");
+  (void)session_->command("getlog f1 t");
+  auto text = world_.machine(machines_[0]).fs.read_text("t");
+  ASSERT_TRUE(text.has_value());
+  EXPECT_NE(text->find("status=-1"), std::string::npos) << *text;
+}
+
+TEST_F(FailureTest, MeteredProcessSurvivesFilterReplacedMidRun) {
+  // setmeter with a new socket closes the old one (Appendix C); here the
+  // daemon re-wires an acquired process from f1 to f2 mid-stream.
+  (void)session_->command("filter f1 yellow");
+  (void)session_->command("filter f2 yellow");
+  auto server = world_.spawn(machines_[1], "echo_server", 100,
+                             apps::make_echo_server({"echo_server", "9", "0"}));
+  ASSERT_TRUE(server.ok());
+  world_.run();
+  (void)session_->command("newjob w1");
+  (void)session_->command("setflags w1 send receive");
+  (void)session_->command(util::strprintf("acquire w1 red %d", *server));
+  (void)world_.spawn(machines_[2], "c1", 100,
+                     apps::make_echo_client({"echo_client", "red", "9", "3", "8"}));
+  world_.run();
+
+  // Re-acquire into a job on the other filter: the kernel swaps sockets.
+  (void)session_->command("newjob w2 f2");
+  (void)session_->command("setflags w2 send receive");
+  (void)session_->command(util::strprintf("acquire w2 red %d", *server));
+  // Enough echoes that the server's buffered meter records cross the
+  // flush threshold (it never exits, so only thresholds flush).
+  (void)world_.spawn(machines_[2], "c2", 100,
+                     apps::make_echo_client({"echo_client", "red", "9", "8", "8"}));
+  world_.run();
+
+  (void)session_->command("getlog f1 t1");
+  (void)session_->command("getlog f2 t2");
+  auto t1 = world_.machine(machines_[0]).fs.read_text("t1");
+  auto t2 = world_.machine(machines_[0]).fs.read_text("t2");
+  ASSERT_TRUE(t1.has_value());
+  ASSERT_TRUE(t2.has_value());
+  // Both logs captured traffic; the server never noticed the swap.
+  EXPECT_NE(t1->find("event=SEND"), std::string::npos);
+  EXPECT_NE(t2->find("event=SEND"), std::string::npos);
+  kernel::Process* p = world_.find_process(machines_[1], *server);
+  EXPECT_EQ(p->status, kernel::ProcStatus::alive);
+}
+
+TEST_F(FailureTest, GetlogOfMissingFilterFails) {
+  std::string out = session_->command("getlog ghost somewhere");
+  EXPECT_NE(out.find("no such filter 'ghost'"), std::string::npos) << out;
+}
+
+TEST_F(FailureTest, DuplicateJobAndFilterNamesRejected) {
+  (void)session_->command("filter f1");
+  std::string out = session_->command("filter f1");
+  EXPECT_NE(out.find("already exists"), std::string::npos) << out;
+  (void)session_->command("newjob j");
+  out = session_->command("newjob j");
+  EXPECT_NE(out.find("already exists"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace dpm

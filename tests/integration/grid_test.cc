@@ -1,0 +1,100 @@
+// The distributed grid relaxation: the decomposition must not change the
+// numerics (boundary exchange is exact), and its trace shows the
+// neighbour-chain structure.
+#include <gtest/gtest.h>
+
+#include "analysis/comm_stats.h"
+#include "apps/apps.h"
+#include "control/session.h"
+#include "testing.h"
+#include "util/strings.h"
+
+namespace dpm {
+namespace {
+
+/// Runs grid_node on `n` machines; returns the global sum parsed from the
+/// nodes' output lines.
+double run_grid(int n, int iters, int rows, int cols, std::string* transcript,
+                kernel::World** world_out = nullptr,
+                analysis::Trace* trace_out = nullptr) {
+  static std::unique_ptr<kernel::World> world;  // keep alive for world_out
+  world = std::make_unique<kernel::World>(dpm::testing::quick_config(91));
+  std::vector<std::string> names{"hub"};
+  for (int i = 0; i < n; ++i) names.push_back("g" + std::to_string(i));
+  auto machines = dpm::testing::add_machines(*world, names);
+  control::install_monitor(*world);
+  apps::install_everywhere(*world);
+  control::spawn_meterdaemons(*world);
+  control::MonitorSession session(
+      *world, control::MonitorSession::Options{.host = "hub", .uid = 100});
+  world->run();
+  (void)session.drain_output();
+
+  (void)session.command("filter f1 hub");
+  (void)session.command("newjob grid");
+  std::string hosts;
+  for (int i = 0; i < n; ++i) hosts += " g" + std::to_string(i);
+  for (int i = 0; i < n; ++i) {
+    (void)session.command(util::strprintf(
+        "addprocess grid g%d grid_node %d %d %d %d %d 8400%s", i, i, n, iters,
+        rows, cols, hosts.c_str()));
+  }
+  (void)session.command("setflags grid all");
+  std::string out = session.command("startjob grid");
+  world->run();
+  out += session.drain_output();
+  if (transcript) *transcript = out;
+
+  if (trace_out) {
+    (void)session.command("removejob grid");
+    (void)session.command("getlog f1 t");
+    auto text = world->machine(machines[0]).fs.read_text("t");
+    EXPECT_TRUE(text.has_value());
+    *trace_out = analysis::read_trace(text.value_or(""));
+  }
+  if (world_out) *world_out = world.get();
+
+  // Sum the per-node sums from "grid_node i: sum X" lines.
+  double total = 0;
+  std::size_t pos = 0;
+  int found = 0;
+  while ((pos = out.find(": sum ", pos)) != std::string::npos) {
+    pos += 6;
+    total += std::strtod(out.c_str() + pos, nullptr);
+    ++found;
+  }
+  EXPECT_EQ(found, n) << out;
+  return total;
+}
+
+TEST(GridTest, DecompositionDoesNotChangeTheNumerics) {
+  std::string t1, t3, t4;
+  const double serial = run_grid(1, 5, 12, 6, &t1);
+  const double three = run_grid(3, 5, 12, 6, &t3);
+  const double four = run_grid(4, 5, 12, 6, &t4);
+  // Tolerance covers only the %.6f rounding of each node's printed sum;
+  // the underlying arithmetic is exact across decompositions.
+  EXPECT_NEAR(serial, three, 1e-5) << t3;
+  EXPECT_NEAR(serial, four, 1e-5) << t4;
+  EXPECT_GT(serial, 0.0);
+}
+
+TEST(GridTest, TraceShowsNeighbourChain) {
+  std::string transcript;
+  analysis::Trace trace;
+  (void)run_grid(3, 4, 12, 6, &transcript, nullptr, &trace);
+  EXPECT_EQ(trace.malformed, 0u);
+
+  analysis::CommStats stats = analysis::communication_statistics(trace);
+  EXPECT_EQ(stats.per_process.size(), 3u);
+  // A 3-node chain: 0<->1 and 1<->2, both directions = 4 directed edges;
+  // each carries one boundary row per iteration.
+  ASSERT_EQ(stats.graph.edges.size(), 4u);
+  for (const auto& e : stats.graph.edges) {
+    EXPECT_EQ(e.messages, 4u);          // iterations
+    EXPECT_EQ(e.bytes, 4u * 6u * 8u);   // iters * cols * sizeof(double)
+  }
+}
+
+}  // namespace
+}  // namespace dpm

@@ -1,0 +1,83 @@
+// Scale: many machines, many metered processes, one filter — the monitor
+// keeps up and the trace stays complete and well-formed.
+#include <gtest/gtest.h>
+
+#include "analysis/comm_stats.h"
+#include "analysis/ordering.h"
+#include "apps/apps.h"
+#include "control/session.h"
+#include "testing.h"
+#include "util/strings.h"
+
+namespace dpm {
+namespace {
+
+TEST(ScaleTest, ManyPairsThroughOneFilter) {
+  constexpr int kPairs = 12;  // 24 metered processes on 8 machines
+  kernel::World world(dpm::testing::quick_config(81));
+  std::vector<std::string> names{"hub"};
+  for (int i = 0; i < 8; ++i) names.push_back("node" + std::to_string(i));
+  auto machines = dpm::testing::add_machines(world, names);
+  control::install_monitor(world);
+  apps::install_everywhere(world);
+  control::spawn_meterdaemons(world);
+  control::MonitorSession session(
+      world, control::MonitorSession::Options{.host = "hub", .uid = 100});
+  world.run();
+  (void)session.drain_output();
+
+  (void)session.command("filter f1 hub");
+  (void)session.command("newjob big");
+  for (int i = 0; i < kPairs; ++i) {
+    const std::string srv = names[1 + static_cast<std::size_t>(i % 8)];
+    const std::string cli = names[1 + static_cast<std::size_t>((i + 3) % 8)];
+    const int port = 5200 + i;
+    (void)session.command(util::strprintf(
+        "addprocess big %s pingpong_server %d 4", srv.c_str(), port));
+    (void)session.command(util::strprintf(
+        "addprocess big %s pingpong_client %s %d 4 32", cli.c_str(),
+        srv.c_str(), port));
+  }
+  (void)session.command("setflags big send receive accept connect");
+  std::string out = session.command("startjob big");
+  world.run();
+  out += session.drain_output();
+
+  // Every process terminated normally.
+  EXPECT_EQ(static_cast<int>(
+                [&] {
+                  int n = 0;
+                  std::size_t pos = 0;
+                  while ((pos = out.find("reason: normal", pos)) !=
+                         std::string::npos) {
+                    ++n;
+                    pos += 10;
+                  }
+                  return n;
+                }()),
+            2 * kPairs)
+      << out;
+
+  (void)session.command("removejob big");
+  (void)session.command("getlog f1 t");
+  auto text = world.machine(machines[0]).fs.read_text("t");
+  ASSERT_TRUE(text.has_value());
+  analysis::Trace trace = analysis::read_trace(*text);
+  EXPECT_EQ(trace.malformed, 0u);
+
+  analysis::CommStats stats = analysis::communication_statistics(trace);
+  EXPECT_EQ(stats.per_process.size(), 2u * kPairs);
+  // Every pair contributes a bidirectional edge of 4 x 32-byte messages.
+  ASSERT_EQ(stats.graph.edges.size(), 2u * kPairs);
+  for (const auto& e : stats.graph.edges) {
+    EXPECT_EQ(e.messages, 4u);
+    EXPECT_EQ(e.bytes, 128u);
+  }
+
+  analysis::Ordering ordering = analysis::order_events(trace);
+  EXPECT_EQ(ordering.message_pairs, 8u * kPairs);
+  EXPECT_FALSE(ordering.had_cycle);
+}
+
+}  // namespace
+}  // namespace dpm

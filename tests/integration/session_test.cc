@@ -1,0 +1,250 @@
+// The Appendix B session, end to end: controller commands drive filters,
+// daemons, metered processes; the transcript has the paper's shape and
+// the retrieved log holds the expected events.
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "analysis/trace_reader.h"
+#include "control/session.h"
+#include "filter/trace.h"
+#include "testing.h"
+
+namespace dpm::control {
+namespace {
+
+class SessionTest : public ::testing::Test {
+ protected:
+  SessionTest() : world_(dpm::testing::quick_config()) {
+    machines_ = dpm::testing::add_machines(
+        world_, {"yellow", "red", "green", "blue"});
+    install_monitor(world_);
+    apps::install_everywhere(world_);
+    spawn_meterdaemons(world_);
+    session_ = std::make_unique<MonitorSession>(
+        world_, MonitorSession::Options{.host = "yellow", .uid = 100});
+    world_.run();  // daemons + controller boot
+    (void)session_->drain_output();  // initial prompt
+  }
+
+  kernel::World world_;
+  std::vector<kernel::MachineId> machines_;
+  std::unique_ptr<MonitorSession> session_;
+};
+
+TEST_F(SessionTest, AppendixBSession) {
+  // <Control> filter f1 blue
+  std::string out = session_->command("filter f1 blue");
+  EXPECT_NE(out.find("filter 'f1' ... created: identifier ="),
+            std::string::npos)
+      << out;
+
+  // <Control> newjob foo
+  out = session_->command("newjob foo");
+  EXPECT_EQ(out.find("no filter"), std::string::npos) << out;
+
+  // <Control> addprocess foo red A   (A = pingpong server on red)
+  out = session_->command("addprocess foo red pingpong_server 4810 3");
+  EXPECT_NE(out.find("process 'pingpong_server' ... created: identifier ="),
+            std::string::npos)
+      << out;
+
+  // <Control> addprocess foo green B   (B = pingpong client on green)
+  out = session_->command("addprocess foo green pingpong_client red 4810 3 64");
+  EXPECT_NE(out.find("created: identifier ="), std::string::npos) << out;
+
+  // <Control> setflags foo send receive fork accept connect
+  out = session_->command("setflags foo send receive fork accept connect");
+  EXPECT_NE(out.find("new job flags = send receive fork accept connect"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("Flags set"), std::string::npos) << out;
+
+  // <Control> startjob foo
+  out = session_->command("startjob foo");
+  EXPECT_NE(out.find("'pingpong_server' started."), std::string::npos) << out;
+  EXPECT_NE(out.find("'pingpong_client' started."), std::string::npos) << out;
+
+  // DONE: process ... terminated: reason: normal   (both processes)
+  EXPECT_NE(out.find("in job 'foo' terminated: reason: normal"),
+            std::string::npos)
+      << out;
+
+  // <Control> rmjob foo
+  out = session_->command("rmjob foo");
+  EXPECT_NE(out.find("'pingpong_server' removed"), std::string::npos) << out;
+  EXPECT_NE(out.find("'pingpong_client' removed"), std::string::npos) << out;
+
+  // <Control> getlog f1 trace
+  out = session_->command("getlog f1 trace");
+  EXPECT_EQ(out.find("failed"), std::string::npos) << out;
+
+  // The retrieved trace is on the controller's machine and contains the
+  // flagged events (and only those): connects/accepts/sends/receives.
+  auto text = world_.machine(machines_[0]).fs.read_text("trace");
+  ASSERT_TRUE(text.has_value());
+  analysis::Trace trace = analysis::read_trace(*text);
+  EXPECT_EQ(trace.malformed, 0u);
+  ASSERT_GT(trace.events.size(), 0u);
+  int sends = 0, recvs = 0, accepts = 0, connects = 0;
+  for (const auto& e : trace.events) {
+    switch (e.type) {
+      case meter::EventType::send: ++sends; break;
+      case meter::EventType::recv: ++recvs; break;
+      case meter::EventType::accept: ++accepts; break;
+      case meter::EventType::connect: ++connects; break;
+      case meter::EventType::sockcrt:
+      case meter::EventType::destsock:
+      case meter::EventType::recvcall:
+      case meter::EventType::dup:
+      case meter::EventType::termproc:
+        ADD_FAILURE() << "unflagged event in trace: "
+                      << meter::event_name(e.type);
+        break;
+      default:
+        break;
+    }
+  }
+  // 3 ping-pong rounds: 3 sends each way plus the connection handshake.
+  // (The client's final report line to its redirected stdout is itself a
+  // metered send on the gateway socket — stdio redirection is IPC.)
+  EXPECT_EQ(connects, 1);
+  EXPECT_EQ(accepts, 1);
+  EXPECT_GE(sends, 6);
+  EXPECT_LE(sends, 8);
+  EXPECT_GE(recvs, 6);
+
+  // <Control> bye
+  session_->send_line("bye");
+  world_.run();
+  EXPECT_FALSE(session_->controller_alive());
+}
+
+TEST_F(SessionTest, HelpListsEveryCommand) {
+  const std::string out = session_->command("help");
+  for (const char* cmd :
+       {"filter", "newjob", "addprocess", "acquire", "setflags", "startjob",
+        "stopjob", "removejob", "removeprocess", "jobs", "getlog", "source",
+        "sink", "die"}) {
+    EXPECT_NE(out.find(cmd), std::string::npos) << "missing " << cmd;
+  }
+}
+
+TEST_F(SessionTest, NewjobRequiresFilter) {
+  const std::string out = session_->command("newjob foo");
+  EXPECT_NE(out.find("no filter"), std::string::npos) << out;
+}
+
+TEST_F(SessionTest, StopjobFreezesNewProcesses) {
+  (void)session_->command("filter f1");
+  (void)session_->command("newjob j");
+  (void)session_->command("addprocess j red hello");
+  std::string out = session_->command("stopjob j");
+  EXPECT_NE(out.find("'hello' stopped."), std::string::npos) << out;
+  out = session_->command("jobs j");
+  EXPECT_NE(out.find("stopped"), std::string::npos) << out;
+  // Stopped processes can be started again.
+  out = session_->command("startjob j");
+  EXPECT_NE(out.find("'hello' started."), std::string::npos) << out;
+  world_.run();
+}
+
+TEST_F(SessionTest, RemovejobRefusesWhileNewOrRunning) {
+  (void)session_->command("filter f1");
+  (void)session_->command("newjob j");
+  (void)session_->command("addprocess j red hello");
+  std::string out = session_->command("removejob j");
+  EXPECT_NE(out.find("not removed"), std::string::npos) << out;
+  // Stop it, then removal kills and removes.
+  (void)session_->command("stopjob j");
+  out = session_->command("removejob j");
+  EXPECT_NE(out.find("'hello' removed"), std::string::npos) << out;
+}
+
+TEST_F(SessionTest, JobsListsJobsAndProcesses) {
+  (void)session_->command("filter f1");
+  (void)session_->command("newjob alpha");
+  (void)session_->command("newjob beta");
+  std::string out = session_->command("jobs");
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+  (void)session_->command("addprocess alpha red hello");
+  out = session_->command("jobs alpha");
+  EXPECT_NE(out.find("new"), std::string::npos) << out;
+  EXPECT_NE(out.find("hello"), std::string::npos) << out;
+  EXPECT_NE(out.find("red"), std::string::npos) << out;
+}
+
+TEST_F(SessionTest, DieWarnsWithActiveProcesses) {
+  (void)session_->command("filter f1");
+  (void)session_->command("newjob j");
+  (void)session_->command("addprocess j red hello");
+  std::string out = session_->command("die");
+  EXPECT_NE(out.find("repeat to exit"), std::string::npos) << out;
+  EXPECT_TRUE(session_->controller_alive());
+  (void)session_->command("die");
+  world_.run();
+  EXPECT_FALSE(session_->controller_alive());
+}
+
+TEST_F(SessionTest, DieKillsFilters) {
+  (void)session_->command("filter f1 blue");
+  kernel::Pid filter_pid = 0;
+  {
+    // Find the filter process on blue.
+    auto& m = world_.machine(machines_[3]);
+    for (auto& [pid, p] : m.procs) {
+      if (p->name == "filter") filter_pid = pid;
+    }
+  }
+  ASSERT_NE(filter_pid, 0);
+  (void)session_->command("bye");
+  world_.run();
+  kernel::Process* fp = world_.find_process(machines_[3], filter_pid);
+  ASSERT_NE(fp, nullptr);
+  EXPECT_EQ(fp->status, kernel::ProcStatus::dead);
+}
+
+TEST_F(SessionTest, SourceAndSinkScripting) {
+  // Build a command script on the controller's machine and source it;
+  // output goes to a sink file (§4.3).
+  world_.machine(machines_[0]).fs.put_text(
+      "script",
+      "sink transcript\n"
+      "filter f1\n"
+      "newjob foo\n"
+      "jobs\n"
+      "sink\n",
+      100);
+  std::string out = session_->command("source script");
+  // With the sink active, the jobs listing went to the file, not the tty.
+  auto transcript = world_.machine(machines_[0]).fs.read_text("transcript");
+  ASSERT_TRUE(transcript.has_value());
+  EXPECT_NE(transcript->find("foo"), std::string::npos) << *transcript;
+}
+
+TEST_F(SessionTest, SourceDepthLimited) {
+  // A self-sourcing script must stop at the nesting limit (16) instead of
+  // looping forever.
+  world_.machine(machines_[0]).fs.put_text("loop", "source loop\n", 100);
+  std::string out = session_->command("source loop");
+  EXPECT_NE(out.find("nesting too deep"), std::string::npos) << out;
+  EXPECT_TRUE(session_->controller_alive());
+}
+
+TEST_F(SessionTest, UnknownCommandAndBadParameters) {
+  std::string out = session_->command("frobnicate");
+  EXPECT_NE(out.find("unknown command"), std::string::npos);
+  out = session_->command("newjob bad*name");
+  EXPECT_NE(out.find("bad parameter"), std::string::npos);
+}
+
+TEST_F(SessionTest, FilterListing) {
+  (void)session_->command("filter f1 blue");
+  (void)session_->command("filter f2 red");
+  std::string out = session_->command("filter");
+  EXPECT_NE(out.find("f1 blue"), std::string::npos) << out;
+  EXPECT_NE(out.find("f2 red"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace dpm::control

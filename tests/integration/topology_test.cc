@@ -1,0 +1,130 @@
+// F3.1 / Figs 4.3-4.6 topology: controller on yellow, filter on blue,
+// processes on red and green, daemons everywhere — plus the §3.5.4
+// internetwork naming scenario with a multi-network host.
+#include <gtest/gtest.h>
+
+#include "analysis/comm_stats.h"
+#include "apps/apps.h"
+#include "control/session.h"
+#include "daemon/protocol.h"
+#include "testing.h"
+
+namespace dpm {
+namespace {
+
+TEST(TopologyTest, FourMachineMeteringSession) {
+  kernel::World world(dpm::testing::quick_config(3));
+  auto machines =
+      dpm::testing::add_machines(world, {"yellow", "red", "green", "blue"});
+  control::install_monitor(world);
+  apps::install_everywhere(world);
+  control::spawn_meterdaemons(world);
+  control::MonitorSession session(
+      world, control::MonitorSession::Options{.host = "yellow", .uid = 100});
+  world.run();
+  (void)session.drain_output();
+
+  // Filter on blue; computation spread over red and green (Fig 4.5).
+  (void)session.command("filter f1 blue");
+  (void)session.command("newjob foo");
+  (void)session.command("addprocess foo red pingpong_server 4840 4");
+  (void)session.command("addprocess foo green pingpong_client red 4840 4 32");
+  (void)session.command("setflags foo all");
+  std::string out = session.command("startjob foo");
+  EXPECT_NE(out.find("terminated: reason: normal"), std::string::npos) << out;
+  (void)session.command("removejob foo");
+  (void)session.command("getlog f1 trace");
+
+  auto text = world.machine(machines[0]).fs.read_text("trace");
+  ASSERT_TRUE(text.has_value());
+  analysis::Trace trace = analysis::read_trace(*text);
+  analysis::CommStats stats = analysis::communication_statistics(trace);
+  EXPECT_EQ(stats.per_process.size(), 2u);
+  EXPECT_EQ(stats.graph.edges.size(), 2u);
+}
+
+TEST(TopologyTest, MultiNetworkHostAddressReconstruction) {
+  // gateway sits on networks 0 and 1; red only on 0, blue only on 1.
+  // Both reach the same listening socket on gateway through *different*
+  // addresses — possible only because literal host names are resolved
+  // by each sender (§3.5.4).
+  kernel::World world(dpm::testing::quick_config(5));
+  const auto gw = world.add_machine(
+      "gateway", {net::Interface{0, 100}, net::Interface{1, 200}}, {});
+  const auto red = world.add_machine("red", {net::Interface{0, 101}}, {});
+  const auto blue = world.add_machine("blue", {net::Interface{1, 201}}, {});
+  world.add_account_everywhere(100);
+
+  int served = 0;
+  (void)world.spawn(gw, "server", 100, [&](kernel::Sys& sys) {
+    auto ls = sys.socket(kernel::SockDomain::internet,
+                         kernel::SockType::stream);
+    ASSERT_TRUE(sys.bind_port(*ls, 4850).ok());
+    ASSERT_TRUE(sys.listen(*ls, 4).ok());
+    for (int i = 0; i < 2; ++i) {
+      auto conn = sys.accept(*ls);
+      ASSERT_TRUE(conn.ok());
+      auto data = sys.recv_exact(*conn, 4);
+      ASSERT_TRUE(data.ok());
+      ++served;
+      (void)sys.close(*conn);
+    }
+  });
+  auto client = [&](kernel::MachineId m) {
+    (void)world.spawn(m, "client", 100, [&](kernel::Sys& sys) {
+      sys.sleep(util::msec(5));
+      auto addr = sys.resolve("gateway", 4850);
+      ASSERT_TRUE(addr.has_value());
+      auto fd = sys.socket(kernel::SockDomain::internet,
+                           kernel::SockType::stream);
+      ASSERT_TRUE(sys.connect(*fd, *addr).ok());
+      ASSERT_TRUE(sys.send(*fd, "ping").ok());
+    });
+  };
+  client(red);
+  client(blue);
+  world.run();
+  EXPECT_EQ(served, 2);
+
+  // The two clients used different addresses for the same host.
+  auto from_red = world.hosts().resolve_from("red", "gateway", 4850);
+  auto from_blue = world.hosts().resolve_from("blue", "gateway", 4850);
+  ASSERT_TRUE(from_red.has_value());
+  ASSERT_TRUE(from_blue.has_value());
+  EXPECT_NE(from_red->host, from_blue->host);
+}
+
+TEST(TopologyTest, FilterDisjointFromComputationAndController) {
+  // §3.4: "A filter process may execute on a machine that is disjoint
+  // from the set of machines on which the processes of the computation
+  // are executing." Here nothing at all runs on the filter's machine
+  // except the filter and its daemon.
+  kernel::World world(dpm::testing::quick_config(9));
+  auto machines = dpm::testing::add_machines(world, {"yellow", "red", "blue"});
+  control::install_monitor(world);
+  apps::install_everywhere(world);
+  control::spawn_meterdaemons(world);
+  control::MonitorSession session(
+      world, control::MonitorSession::Options{.host = "yellow", .uid = 100});
+  world.run();
+  (void)session.drain_output();
+
+  (void)session.command("filter lonely blue");
+  (void)session.command("newjob j");
+  (void)session.command("addprocess j red hello solo");
+  (void)session.command("setflags j all");
+  (void)session.command("startjob j");
+  (void)session.command("removejob j");
+  (void)session.command("getlog lonely t");
+  auto text = world.machine(machines[0]).fs.read_text("t");
+  ASSERT_TRUE(text.has_value());
+  analysis::Trace trace = analysis::read_trace(*text);
+  bool saw_termproc = false;
+  for (const auto& e : trace.events) {
+    if (e.type == meter::EventType::termproc) saw_termproc = true;
+  }
+  EXPECT_TRUE(saw_termproc);
+}
+
+}  // namespace
+}  // namespace dpm

@@ -1,0 +1,293 @@
+// Process lifecycle: fork inheritance, suspended creation (the
+// controller's "new" state), stop/continue/kill signals, SIGCHLD-style
+// child change notifications, exec from files, permissions (§3.5.5).
+#include "kernel/process.h"
+
+#include <gtest/gtest.h>
+
+#include "kernel/syscalls.h"
+#include "kernel/world.h"
+#include "testing.h"
+#include "util/strings.h"
+
+namespace dpm::kernel {
+namespace {
+
+using util::Err;
+
+class ProcessTest : public ::testing::Test {
+ protected:
+  ProcessTest() : world_(dpm::testing::quick_config()) {
+    machines_ = dpm::testing::add_machines(world_, {"red", "green"});
+    world_.add_account_everywhere(100);
+    world_.add_account(machines_[0], 200);
+  }
+
+  World world_;
+  std::vector<MachineId> machines_;
+};
+
+TEST_F(ProcessTest, SpawnRequiresAccount) {
+  auto ok = world_.spawn(machines_[0], "p", 100, [](Sys&) {});
+  EXPECT_TRUE(ok.ok());
+  // uid 200 has an account only on red (§3.5.5: "to create a process on a
+  // machine, a user must have an account on that machine").
+  auto denied = world_.spawn(machines_[1], "p", 200, [](Sys&) {});
+  EXPECT_EQ(denied.error(), Err::eacces);
+  auto root = world_.spawn(machines_[1], "p", 0, [](Sys&) {});
+  EXPECT_TRUE(root.ok());
+}
+
+TEST_F(ProcessTest, ForkInheritsDescriptors) {
+  std::string child_got;
+  (void)world_.spawn(machines_[0], "parent", 100, [&](Sys& sys) {
+    auto pair = sys.socketpair();
+    ASSERT_TRUE(pair.ok());
+    const Fd a = pair->first;
+    const Fd b = pair->second;
+    auto child = sys.fork([a, b, &child_got](Sys& csys) {
+      // The child sees the same descriptors (§3.1: "If a process forks,
+      // its child gains access to the parent's sockets").
+      auto data = csys.recv_exact(b, 2);
+      ASSERT_TRUE(data.ok());
+      child_got = util::to_string(*data);
+      (void)a;
+    });
+    ASSERT_TRUE(child.ok());
+    ASSERT_TRUE(sys.send(a, "hi").ok());
+  });
+  world_.run();
+  EXPECT_EQ(child_got, "hi");
+}
+
+TEST_F(ProcessTest, ForkReturnsChildPidAndParentGetsExitNotice) {
+  Pid child_pid = 0;
+  std::vector<ChildChange> changes;
+  (void)world_.spawn(machines_[0], "parent", 100, [&](Sys& sys) {
+    auto child = sys.fork([](Sys& csys) { csys.exit(7); });
+    ASSERT_TRUE(child.ok());
+    child_pid = *child;
+    auto c = sys.waitchange(true);
+    ASSERT_TRUE(c.ok());
+    changes.push_back(*c);
+  });
+  world_.run();
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0].pid, child_pid);
+  EXPECT_EQ(changes[0].event, ChildEvent::exited);
+  EXPECT_EQ(changes[0].status, 7);
+}
+
+TEST_F(ProcessTest, SuspendedSpawnWaitsForContinue) {
+  bool body_ran = false;
+  SpawnOpts opts;
+  opts.suspended = true;
+  auto pid = world_.spawn(machines_[0], "susp", 100,
+                          [&](Sys&) { body_ran = true; }, opts);
+  ASSERT_TRUE(pid.ok());
+  world_.run();
+  EXPECT_FALSE(body_ran);  // parked at the stop gate ("new" state)
+  ASSERT_TRUE(world_.proc_continue(machines_[0], *pid, 100).ok());
+  world_.run();
+  EXPECT_TRUE(body_ran);
+}
+
+TEST_F(ProcessTest, StopAndContinueRunningProcess) {
+  int progress = 0;
+  auto pid = world_.spawn(machines_[0], "loop", 100, [&](Sys& sys) {
+    for (int i = 0; i < 10; ++i) {
+      sys.sleep(util::msec(10));
+      ++progress;
+    }
+  });
+  ASSERT_TRUE(pid.ok());
+  world_.run_for(util::msec(35));
+  const int at_stop = progress;
+  EXPECT_GT(at_stop, 0);
+  EXPECT_LT(at_stop, 10);
+  ASSERT_TRUE(world_.proc_stop(machines_[0], *pid, 100).ok());
+  world_.run_for(util::msec(100));
+  EXPECT_LE(progress, at_stop + 1);  // at most one step to the checkpoint
+  const int frozen = progress;
+  world_.run_for(util::msec(100));
+  EXPECT_EQ(progress, frozen);  // fully stopped
+  ASSERT_TRUE(world_.proc_continue(machines_[0], *pid, 100).ok());
+  world_.run();
+  EXPECT_EQ(progress, 10);
+}
+
+TEST_F(ProcessTest, KillUnwindsBlockedProcess) {
+  bool cleaned = false;
+  struct Guard {
+    bool* flag;
+    ~Guard() { *flag = true; }
+  };
+  auto pid = world_.spawn(machines_[0], "blocked", 100, [&](Sys& sys) {
+    Guard g{&cleaned};
+    auto fd = sys.socket(SockDomain::internet, SockType::dgram);
+    (void)sys.bind_port(*fd, 6000);
+    (void)sys.recvfrom(*fd);  // blocks forever
+  });
+  ASSERT_TRUE(pid.ok());
+  world_.run();
+  EXPECT_FALSE(cleaned);
+  ASSERT_TRUE(world_.proc_kill(machines_[0], *pid, 100).ok());
+  world_.run();
+  EXPECT_TRUE(cleaned);
+  Process* p = world_.find_process(machines_[0], *pid);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->status, ProcStatus::dead);
+  EXPECT_TRUE(p->killed);
+}
+
+TEST_F(ProcessTest, SignalPermissions) {
+  auto pid = world_.spawn(machines_[0], "victim", 100, [](Sys& sys) {
+    sys.sleep(util::sec(10));
+  });
+  ASSERT_TRUE(pid.ok());
+  world_.run_for(util::msec(1));
+  // uid 200 may not signal uid 100's process; root may.
+  EXPECT_EQ(world_.proc_stop(machines_[0], *pid, 200).error(), Err::eperm);
+  EXPECT_EQ(world_.proc_kill(machines_[0], *pid, 200).error(), Err::eperm);
+  EXPECT_TRUE(world_.proc_kill(machines_[0], *pid, 0).ok());
+  world_.run();
+}
+
+TEST_F(ProcessTest, UnknownPidIsEsrch) {
+  EXPECT_EQ(world_.proc_stop(machines_[0], 9999, 0).error(), Err::esrch);
+  EXPECT_EQ(world_.proc_continue(machines_[0], 9999, 0).error(), Err::esrch);
+}
+
+TEST_F(ProcessTest, ExitClosesStreamsSoPeersSeeEof) {
+  bool got_eof = false;
+  (void)world_.spawn(machines_[0], "server", 100, [&](Sys& sys) {
+    auto ls = sys.socket(SockDomain::internet, SockType::stream);
+    (void)sys.bind_port(*ls, 4100);
+    (void)sys.listen(*ls, 1);
+    auto conn = sys.accept(*ls);
+    auto data = sys.recv(*conn, 100);
+    got_eof = data.ok() && data->empty();
+  });
+  (void)world_.spawn(machines_[1], "dier", 100, [&](Sys& sys) {
+    sys.sleep(util::msec(5));
+    auto addr = sys.resolve("red", 4100);
+    auto fd = sys.socket(SockDomain::internet, SockType::stream);
+    ASSERT_TRUE(sys.connect(*fd, *addr).ok());
+    sys.exit(0);  // never sends; exit must close the connection
+  });
+  world_.run();
+  EXPECT_TRUE(got_eof);
+}
+
+TEST_F(ProcessTest, SpawnFromFileRunsRegisteredProgram) {
+  world_.programs().register_program(
+      "greeter", [](const std::vector<std::string>& argv) -> ProcessMain {
+        return [argv](Sys& sys) {
+          (void)sys.print("greetings " + (argv.size() > 1 ? argv[1] : "?") +
+                          "\n");
+        };
+      });
+  world_.machine(machines_[0]).fs.put_executable("bin/greet", "greeter");
+
+  auto out = std::make_shared<HostPipe>();
+  SpawnOpts opts;
+  opts.stdout_fd = Descriptor::for_pipe(out);
+  auto pid = world_.spawn_file(machines_[0], "bin/greet", 100, {"world"},
+                               opts);
+  ASSERT_TRUE(pid.ok());
+  world_.run();
+  EXPECT_EQ(out->host_drain(), "greetings world\n");
+}
+
+TEST_F(ProcessTest, SpawnFileErrors) {
+  EXPECT_EQ(world_.spawn_file(machines_[0], "no/such", 100, {}).error(),
+            Err::enoent);
+  world_.machine(machines_[0]).fs.put_text("plain.txt", "data");
+  EXPECT_EQ(world_.spawn_file(machines_[0], "plain.txt", 100, {}).error(),
+            Err::eacces);  // not executable
+  world_.machine(machines_[0]).fs.put_executable("ghost", "unregistered");
+  EXPECT_EQ(world_.spawn_file(machines_[0], "ghost", 100, {}).error(),
+            Err::enoent);  // no such program
+}
+
+TEST_F(ProcessTest, SpawnSyscallMakesCallerParent) {
+  world_.programs().register_program(
+      "worker", [](const std::vector<std::string>&) -> ProcessMain {
+        return [](Sys& sys) { sys.exit(3); };
+      });
+  world_.machine(machines_[0]).fs.put_executable("worker", "worker");
+
+  bool notified = false;
+  (void)world_.spawn(machines_[0], "spawner", 100, [&](Sys& sys) {
+    Sys::SpawnArgs sa;
+    sa.path = "worker";
+    auto pid = sys.spawn(sa);
+    ASSERT_TRUE(pid.ok());
+    auto c = sys.waitchange(true);
+    ASSERT_TRUE(c.ok());
+    notified = c->pid == *pid && c->event == ChildEvent::exited &&
+               c->status == 3;
+  });
+  world_.run();
+  EXPECT_TRUE(notified);
+}
+
+TEST_F(ProcessTest, SeteuidRootOnly) {
+  Err user_result = Err::ok;
+  Uid effective = -1;
+  (void)world_.spawn(machines_[0], "user", 100, [&](Sys& sys) {
+    user_result = sys.seteuid(0).error();
+  });
+  (void)world_.spawn(machines_[0], "root", 0, [&](Sys& sys) {
+    ASSERT_TRUE(sys.seteuid(100).ok());
+    effective = sys.getuid();
+    ASSERT_TRUE(sys.seteuid(0).ok());
+  });
+  world_.run();
+  EXPECT_EQ(user_result, Err::eperm);
+  EXPECT_EQ(effective, 100);
+}
+
+TEST_F(ProcessTest, StoppedChildReportsToParent) {
+  std::vector<ChildEvent> events;
+  Pid child_pid = 0;
+  (void)world_.spawn(machines_[0], "parent", 100, [&](Sys& sys) {
+    auto child = sys.fork([](Sys& csys) {
+      for (int i = 0; i < 100; ++i) csys.sleep(util::msec(5));
+    });
+    ASSERT_TRUE(child.ok());
+    child_pid = *child;
+    sys.sleep(util::msec(20));
+    ASSERT_TRUE(sys.kill_stop(child_pid).ok());
+    auto c1 = sys.waitchange(true);
+    ASSERT_TRUE(c1.ok());
+    events.push_back(c1->event);
+    ASSERT_TRUE(sys.kill_continue(child_pid).ok());
+    auto c2 = sys.waitchange(true);
+    ASSERT_TRUE(c2.ok());
+    events.push_back(c2->event);
+    ASSERT_TRUE(sys.kill_kill(child_pid).ok());
+    auto c3 = sys.waitchange(true);
+    ASSERT_TRUE(c3.ok());
+    events.push_back(c3->event);
+  });
+  world_.run();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0], ChildEvent::stopped);
+  EXPECT_EQ(events[1], ChildEvent::continued);
+  EXPECT_EQ(events[2], ChildEvent::killed);
+}
+
+TEST_F(ProcessTest, CpuTimeReportedAtTenMsGrain) {
+  std::int64_t reported = -1;
+  (void)world_.spawn(machines_[0], "burner", 100, [&](Sys& sys) {
+    sys.compute(util::msec(34));
+    reported = sys.proctime_us();
+  });
+  world_.run();
+  // 34ms of CPU reads as 30ms at the 10ms accounting grain (§4.1).
+  EXPECT_EQ(reported, 30000);
+}
+
+}  // namespace
+}  // namespace dpm::kernel

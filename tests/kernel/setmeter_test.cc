@@ -1,0 +1,321 @@
+// setmeter(2) conformance — Appendix C of the paper.
+#include <gtest/gtest.h>
+
+#include "kernel/syscalls.h"
+#include "kernel/world.h"
+#include "meter/meterflags.h"
+#include "meter/metermsgs.h"
+#include "testing.h"
+
+namespace dpm::kernel {
+namespace {
+
+using util::Err;
+
+class SetmeterTest : public ::testing::Test {
+ protected:
+  SetmeterTest() : world_(dpm::testing::quick_config()) {
+    machines_ = dpm::testing::add_machines(world_, {"red", "green"});
+    world_.add_account_everywhere(100);
+    world_.add_account_everywhere(200);
+  }
+
+  /// Spawns a filter-like sink on green:4500 that collects raw meter bytes.
+  void spawn_meter_sink(util::Bytes* collected) {
+    (void)world_.spawn(machines_[1], "sink", 100, [collected](Sys& sys) {
+      auto ls = sys.socket(SockDomain::internet, SockType::stream);
+      (void)sys.bind_port(*ls, 4500);
+      (void)sys.listen(*ls, 8);
+      auto conn = sys.accept(*ls);
+      for (;;) {
+        auto data = sys.recv(*conn, 65536);
+        if (!data.ok() || data->empty()) break;
+        collected->insert(collected->end(), data->begin(), data->end());
+      }
+    });
+  }
+
+  /// Connects a stream socket to the sink; returns the fd.
+  static Fd connect_sink(Sys& sys) {
+    auto addr = sys.resolve("green", 4500);
+    EXPECT_TRUE(addr.has_value());
+    auto fd = sys.socket(SockDomain::internet, SockType::stream);
+    EXPECT_TRUE(fd.ok());
+    EXPECT_TRUE(sys.connect(*fd, *addr).ok());
+    return *fd;
+  }
+
+  static std::vector<meter::MeterMsg> parse_all(const util::Bytes& wire) {
+    std::vector<meter::MeterMsg> out;
+    std::size_t pos = 0;
+    while (auto m = meter::MeterMsg::parse_stream(wire, pos)) {
+      out.push_back(std::move(*m));
+    }
+    return out;
+  }
+
+  World world_;
+  std::vector<MachineId> machines_;
+};
+
+TEST_F(SetmeterTest, SelfMeteringProducesEvents) {
+  util::Bytes collected;
+  spawn_meter_sink(&collected);
+  (void)world_.spawn(machines_[0], "app", 100, [&](Sys& sys) {
+    sys.sleep(util::msec(5));
+    const Fd ms = connect_sink(sys);
+    ASSERT_TRUE(sys.setmeter(meter::SETMETER_SELF,
+                             static_cast<std::int32_t>(meter::M_ALL), ms)
+                    .ok());
+    ASSERT_TRUE(sys.close(ms).ok());  // kernel keeps its own reference
+
+    auto fd = sys.socket(SockDomain::internet, SockType::dgram);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(sys.close(*fd).ok());
+    // exit flushes pending messages (§3.2)
+  });
+  world_.run();
+
+  auto msgs = parse_all(collected);
+  // destsock for closing the registered meter descriptor, then the
+  // datagram socket's create/close, then the exit record.
+  ASSERT_GE(msgs.size(), 4u);
+  EXPECT_EQ(msgs[0].type(), meter::EventType::destsock);
+  EXPECT_EQ(msgs[1].type(), meter::EventType::sockcrt);
+  EXPECT_EQ(msgs[2].type(), meter::EventType::destsock);
+  EXPECT_EQ(msgs.back().type(), meter::EventType::termproc);
+}
+
+TEST_F(SetmeterTest, PermissionChecks) {
+  Pid other = 0;
+  {
+    auto r = world_.spawn(machines_[0], "other-user", 200, [](Sys& sys) {
+      sys.sleep(util::sec(1));
+    });
+    ASSERT_TRUE(r.ok());
+    other = *r;
+  }
+  Err foreign = Err::ok;
+  Err missing = Err::ok;
+  Err as_root = Err::ok;
+  (void)world_.spawn(machines_[0], "user", 100, [&](Sys& sys) {
+    foreign = sys.setmeter(other, static_cast<std::int32_t>(meter::M_ALL),
+                           meter::SETMETER_NO_CHANGE)
+                  .error();
+    missing = sys.setmeter(4242, static_cast<std::int32_t>(meter::M_ALL),
+                           meter::SETMETER_NO_CHANGE)
+                  .error();
+  });
+  (void)world_.spawn(machines_[0], "root", 0, [&](Sys& sys) {
+    as_root = sys.setmeter(other, static_cast<std::int32_t>(meter::M_ALL),
+                           meter::SETMETER_NO_CHANGE)
+                  .error();
+  });
+  world_.run_for(util::msec(500));
+  EXPECT_EQ(foreign, Err::eperm);   // "EPERM: process does not belong to caller"
+  EXPECT_EQ(missing, Err::esrch);
+  EXPECT_EQ(as_root, Err::ok);      // "A superuser process can set metering
+                                    //  for any process."
+}
+
+TEST_F(SetmeterTest, SocketMustBeInternetStream) {
+  Err dgram_err = Err::ok;
+  Err unix_err = Err::ok;
+  Err file_err = Err::ok;
+  (void)world_.spawn(machines_[0], "app", 100, [&](Sys& sys) {
+    auto d = sys.socket(SockDomain::internet, SockType::dgram);
+    dgram_err = sys.setmeter(meter::SETMETER_SELF,
+                             static_cast<std::int32_t>(meter::M_ALL), *d)
+                    .error();
+    auto u = sys.socket(SockDomain::unix_path, SockType::stream);
+    unix_err = sys.setmeter(meter::SETMETER_SELF,
+                            static_cast<std::int32_t>(meter::M_ALL), *u)
+                   .error();
+    auto f = sys.open("templates", Sys::OpenMode::write_trunc);
+    file_err = sys.setmeter(meter::SETMETER_SELF,
+                            static_cast<std::int32_t>(meter::M_ALL), *f)
+                   .error();
+  });
+  world_.run();
+  EXPECT_EQ(dgram_err, Err::einval);
+  EXPECT_EQ(unix_err, Err::einval);
+  EXPECT_EQ(file_err, Err::enotsock);
+}
+
+TEST_F(SetmeterTest, UnconnectedSocketAcceptedButMessagesLost) {
+  // "The socket must be connected to be used, though this is not checked.
+  // Meter messages are lost if they are sent on an unconnected socket."
+  bool accepted = false;
+  (void)world_.spawn(machines_[0], "app", 100, [&](Sys& sys) {
+    auto s = sys.socket(SockDomain::internet, SockType::stream);
+    accepted = sys.setmeter(meter::SETMETER_SELF,
+                            static_cast<std::int32_t>(meter::M_ALL) |
+                                static_cast<std::int32_t>(meter::M_IMMEDIATE),
+                            *s)
+                   .ok();
+    auto fd = sys.socket(SockDomain::internet, SockType::dgram);
+    (void)sys.close(*fd);
+  });
+  world_.run();
+  EXPECT_TRUE(accepted);
+  EXPECT_GT(world_.meter_stats().events, 0u);  // generated but lost
+}
+
+TEST_F(SetmeterTest, MeterSocketHiddenFromDescriptorTable) {
+  util::Bytes collected;
+  spawn_meter_sink(&collected);
+  std::size_t before = 0, after = 0;
+  (void)world_.spawn(machines_[0], "app", 100, [&](Sys& sys) {
+    sys.sleep(util::msec(5));
+    const Fd ms = connect_sink(sys);
+    ASSERT_TRUE(sys.setmeter(meter::SETMETER_SELF,
+                             static_cast<std::int32_t>(meter::M_ALL), ms)
+                    .ok());
+    before = sys.process().fds.in_use();
+    ASSERT_TRUE(sys.close(ms).ok());
+    after = sys.process().fds.in_use();
+    // Metering still works after the daemon-side descriptor is closed:
+    auto fd = sys.socket(SockDomain::internet, SockType::dgram);
+    (void)sys.close(*fd);
+  });
+  world_.run();
+  // The meter connection does not occupy any descriptor slot after close.
+  EXPECT_EQ(after, before - 1);
+  auto msgs = parse_all(collected);
+  EXPECT_GE(msgs.size(), 2u);  // events flowed through the hidden socket
+}
+
+TEST_F(SetmeterTest, ChildInheritsMeterState) {
+  util::Bytes collected;
+  spawn_meter_sink(&collected);
+  Pid child_pid = 0;
+  (void)world_.spawn(machines_[0], "parent", 100, [&](Sys& sys) {
+    sys.sleep(util::msec(5));
+    const Fd ms = connect_sink(sys);
+    ASSERT_TRUE(sys.setmeter(meter::SETMETER_SELF,
+                             static_cast<std::int32_t>(meter::M_ALL), ms)
+                    .ok());
+    (void)sys.close(ms);
+    auto child = sys.fork([](Sys& csys) {
+      auto fd = csys.socket(SockDomain::internet, SockType::dgram);
+      (void)csys.close(*fd);
+    });
+    ASSERT_TRUE(child.ok());
+    child_pid = *child;
+    (void)sys.waitchange(true);
+  });
+  world_.run();
+  auto msgs = parse_all(collected);
+  // The fork event from the parent plus child events on the same
+  // connection (§3.2: "all of the children of a metered process will also
+  // have the same events monitored").
+  bool saw_fork = false;
+  bool saw_child_event = false;
+  for (const auto& m : msgs) {
+    if (m.type() == meter::EventType::fork) saw_fork = true;
+    if (m.pid() == child_pid) saw_child_event = true;
+  }
+  EXPECT_TRUE(saw_fork);
+  EXPECT_TRUE(saw_child_event);
+}
+
+TEST_F(SetmeterTest, SpawnedChildInheritsMeteringLikeRexec) {
+  // §3.2: "If an outside agent is used to create a process, such as the
+  // system rexec server, the new process will be monitored only if the
+  // server is being monitored."
+  world_.programs().register_program(
+      "worklet", [](const std::vector<std::string>&) -> ProcessMain {
+        return [](Sys& sys) {
+          auto fd = sys.socket(SockDomain::internet, SockType::dgram);
+          (void)sys.close(*fd);
+        };
+      });
+  world_.machine(machines_[0]).fs.put_executable("worklet", "worklet");
+
+  util::Bytes collected;
+  spawn_meter_sink(&collected);
+  Pid child_pid = 0;
+  (void)world_.spawn(machines_[0], "server", 100, [&](Sys& sys) {
+    sys.sleep(util::msec(5));
+    const Fd ms = connect_sink(sys);
+    ASSERT_TRUE(sys.setmeter(meter::SETMETER_SELF,
+                             static_cast<std::int32_t>(meter::M_SOCKET |
+                                                       meter::M_TERMPROC),
+                             ms)
+                    .ok());
+    Sys::SpawnArgs sa;
+    sa.path = "worklet";
+    auto pid = sys.spawn(sa);
+    ASSERT_TRUE(pid.ok());
+    child_pid = *pid;
+    (void)sys.waitchange(true);
+  });
+  world_.run();
+  bool child_metered = false;
+  std::size_t pos = 0;
+  while (auto m = meter::MeterMsg::parse_stream(collected, pos)) {
+    if (m->pid() == child_pid && m->type() == meter::EventType::sockcrt) {
+      child_metered = true;
+    }
+  }
+  EXPECT_TRUE(child_metered);
+}
+
+TEST_F(SetmeterTest, NoneClearsAndFlagsReplace) {
+  util::Bytes collected;
+  spawn_meter_sink(&collected);
+  (void)world_.spawn(machines_[0], "app", 100, [&](Sys& sys) {
+    sys.sleep(util::msec(5));
+    const Fd ms = connect_sink(sys);
+    ASSERT_TRUE(sys.setmeter(meter::SETMETER_SELF,
+                             static_cast<std::int32_t>(meter::M_SOCKET |
+                                                       meter::M_IMMEDIATE),
+                             ms)
+                    .ok());
+    (void)sys.close(ms);
+    auto a = sys.socket(SockDomain::internet, SockType::dgram);  // metered
+    (void)sys.close(*a);  // destsock NOT metered (mask replaced fork/none)
+    // Clear everything: subsequent events are not metered.
+    ASSERT_TRUE(sys.setmeter(meter::SETMETER_SELF, meter::SETMETER_NONE,
+                             meter::SETMETER_NONE)
+                    .ok());
+    auto b = sys.socket(SockDomain::internet, SockType::dgram);
+    (void)sys.close(*b);
+  });
+  world_.run();
+  auto msgs = parse_all(collected);
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].type(), meter::EventType::sockcrt);
+}
+
+TEST_F(SetmeterTest, MeterConnectionDoesNotConsumeDescriptorBudget) {
+  // §3.2: "The meter does not reduce the number of open files and sockets
+  // available to the metered process."
+  util::Bytes collected;
+  spawn_meter_sink(&collected);
+  bool filled_table = false;
+  (void)world_.spawn(machines_[0], "hog", 100, [&](Sys& sys) {
+    sys.sleep(util::msec(5));
+    const Fd ms = connect_sink(sys);
+    ASSERT_TRUE(sys.setmeter(meter::SETMETER_SELF,
+                             static_cast<std::int32_t>(meter::M_ALL), ms)
+                    .ok());
+    (void)sys.close(ms);
+    // Fill the whole descriptor table; the hidden meter socket must not
+    // take a slot.
+    const std::size_t cap = sys.process().fds.capacity();
+    std::size_t opened = 0;
+    for (;;) {
+      auto fd = sys.socket(SockDomain::internet, SockType::dgram);
+      if (!fd.ok()) break;
+      ++opened;
+    }
+    filled_table = (opened + sys.process().fds.in_use() - opened) <= cap &&
+                   opened == cap - 3;  // 3 stdio slots are pre-wired
+  });
+  world_.run();
+  EXPECT_TRUE(filled_table);
+}
+
+}  // namespace
+}  // namespace dpm::kernel

@@ -1,0 +1,109 @@
+// §3.2: "the many versions of write() all correspond to the same meter
+// event, as do the varieties of read()." Every send/recv variant produces
+// the identical event type and identical record content.
+#include <gtest/gtest.h>
+
+#include "kernel/syscalls.h"
+#include "kernel/world.h"
+#include "meter/metermsgs.h"
+#include "testing.h"
+
+namespace dpm::kernel {
+namespace {
+
+class VariantsTest : public ::testing::Test {
+ protected:
+  VariantsTest() : world_(dpm::testing::quick_config()) {
+    machines_ = dpm::testing::add_machines(world_, {"red", "green"});
+    world_.add_account_everywhere(100);
+  }
+
+  /// Runs a metered body and returns the parsed meter messages.
+  std::vector<meter::MeterMsg> metered(std::function<void(Sys&)> body) {
+    auto collected = std::make_shared<util::Bytes>();
+    (void)world_.spawn(machines_[1], "sink", 100, [collected](Sys& sys) {
+      auto ls = sys.socket(SockDomain::internet, SockType::stream);
+      (void)sys.bind_port(*ls, 4500);
+      (void)sys.listen(*ls, 2);
+      auto conn = sys.accept(*ls);
+      for (;;) {
+        auto data = sys.recv(*conn, 65536);
+        if (!data.ok() || data->empty()) break;
+        collected->insert(collected->end(), data->begin(), data->end());
+      }
+    });
+    (void)world_.spawn(machines_[0], "app", 100, [&, body](Sys& sys) {
+      sys.sleep(util::msec(5));
+      auto addr = sys.resolve("green", 4500);
+      auto ms = sys.socket(SockDomain::internet, SockType::stream);
+      ASSERT_TRUE(sys.connect(*ms, *addr).ok());
+      ASSERT_TRUE(sys.setmeter(meter::SETMETER_SELF,
+                               static_cast<std::int32_t>(meter::M_SEND |
+                                                         meter::M_RECEIVE |
+                                                         meter::M_RECEIVECALL),
+                               *ms)
+                      .ok());
+      body(sys);
+    });
+    world_.run();
+    std::vector<meter::MeterMsg> out;
+    std::size_t pos = 0;
+    while (auto m = meter::MeterMsg::parse_stream(*collected, pos)) {
+      out.push_back(std::move(*m));
+    }
+    return out;
+  }
+
+  World world_;
+  std::vector<MachineId> machines_;
+};
+
+TEST_F(VariantsTest, AllWriteVariantsProduceTheSameSendEvent) {
+  auto msgs = metered([](Sys& sys) {
+    auto pair = sys.socketpair();
+    ASSERT_TRUE(pair.ok());
+    const util::Bytes data = util::to_bytes("payload!");
+    ASSERT_TRUE(sys.send(pair->first, data).ok());
+    ASSERT_TRUE(sys.write(pair->first, data).ok());
+    ASSERT_TRUE(sys.sendmsg(pair->first, data).ok());
+    ASSERT_TRUE(sys.writev(pair->first, {util::to_bytes("payl"),
+                                         util::to_bytes("oad!")}).ok());
+  });
+  std::vector<const meter::MeterSend*> sends;
+  for (const auto& m : msgs) {
+    if (const auto* s = std::get_if<meter::MeterSend>(&m.body)) sends.push_back(s);
+  }
+  ASSERT_EQ(sends.size(), 4u);
+  for (const auto* s : sends) {
+    EXPECT_EQ(s->msg_length, 8u);
+    EXPECT_EQ(s->sock, sends[0]->sock);
+    EXPECT_TRUE(s->dest_name.empty());
+  }
+}
+
+TEST_F(VariantsTest, AllReadVariantsProduceTheSameReceiveEvents) {
+  auto msgs = metered([](Sys& sys) {
+    auto pair = sys.socketpair();
+    ASSERT_TRUE(pair.ok());
+    ASSERT_TRUE(sys.send(pair->first, "abcdabcdabcd").ok());
+    ASSERT_TRUE(sys.recv(pair->second, 4).ok());
+    ASSERT_TRUE(sys.read(pair->second, 4).ok());
+    ASSERT_TRUE(sys.readv(pair->second, 2).ok());
+    ASSERT_TRUE(sys.recvmsg(pair->second, 2).ok());
+  });
+  int recvcalls = 0, recvs = 0;
+  std::uint32_t total = 0;
+  for (const auto& m : msgs) {
+    if (m.type() == meter::EventType::recvcall) ++recvcalls;
+    if (const auto* r = std::get_if<meter::MeterRecv>(&m.body)) {
+      ++recvs;
+      total += r->msg_length;
+    }
+  }
+  EXPECT_EQ(recvcalls, 4);
+  EXPECT_EQ(recvs, 4);
+  EXPECT_EQ(total, 12u);
+}
+
+}  // namespace
+}  // namespace dpm::kernel

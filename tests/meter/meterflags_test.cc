@@ -1,0 +1,61 @@
+#include "meter/meterflags.h"
+
+#include <gtest/gtest.h>
+
+namespace dpm::meter {
+namespace {
+
+TEST(MeterFlags, AllCoversEveryEventFlag) {
+  EXPECT_EQ(M_ALL, M_SEND | M_RECEIVECALL | M_RECEIVE | M_SOCKET | M_DUP |
+                       M_DESTSOCKET | M_FORK | M_ACCEPT | M_CONNECT |
+                       M_TERMPROC);
+  EXPECT_EQ(M_ALL & M_IMMEDIATE, 0u);  // M_IMMEDIATE is not an event
+}
+
+TEST(MeterFlags, FlagsAreDistinctBits) {
+  const Flags all[] = {M_SEND, M_RECEIVECALL, M_RECEIVE, M_SOCKET, M_DUP,
+                       M_DESTSOCKET, M_FORK, M_ACCEPT, M_CONNECT, M_TERMPROC,
+                       M_IMMEDIATE};
+  for (std::size_t i = 0; i < std::size(all); ++i) {
+    EXPECT_NE(all[i], 0u);
+    for (std::size_t j = i + 1; j < std::size(all); ++j) {
+      EXPECT_EQ(all[i] & all[j], 0u);
+    }
+  }
+}
+
+TEST(MeterFlags, ByNameMatchesSetflagsVocabulary) {
+  // §4.3's flag list: fork termproc send receivecall receive socket dup
+  // destsocket accept connect.
+  EXPECT_EQ(flag_by_name("fork").value(), M_FORK);
+  EXPECT_EQ(flag_by_name("termproc").value(), M_TERMPROC);
+  EXPECT_EQ(flag_by_name("send").value(), M_SEND);
+  EXPECT_EQ(flag_by_name("receivecall").value(), M_RECEIVECALL);
+  EXPECT_EQ(flag_by_name("receive").value(), M_RECEIVE);
+  EXPECT_EQ(flag_by_name("socket").value(), M_SOCKET);
+  EXPECT_EQ(flag_by_name("dup").value(), M_DUP);
+  EXPECT_EQ(flag_by_name("destsocket").value(), M_DESTSOCKET);
+  EXPECT_EQ(flag_by_name("accept").value(), M_ACCEPT);
+  EXPECT_EQ(flag_by_name("connect").value(), M_CONNECT);
+  EXPECT_EQ(flag_by_name("all").value(), M_ALL);
+  EXPECT_EQ(flag_by_name("immediate").value(), M_IMMEDIATE);
+  EXPECT_EQ(flag_by_name("ACCEPT").value(), M_ACCEPT);  // case-insensitive
+  EXPECT_FALSE(flag_by_name("bogus").has_value());
+}
+
+TEST(MeterFlags, ToStringRoundTrips) {
+  const Flags mask = M_SEND | M_RECEIVE | M_FORK;
+  EXPECT_EQ(flags_to_string(mask), "send receive fork");
+  EXPECT_EQ(flags_to_string(0), "none");
+}
+
+TEST(MeterFlags, SentinelsDoNotCollideWithMasks) {
+  // setmeter takes flags as int32: -1 (NO_CHANGE) and -2 (NONE) must not
+  // be producible from any legal flag combination.
+  const auto all_imm = static_cast<std::int32_t>(M_ALL | M_IMMEDIATE);
+  EXPECT_NE(all_imm, SETMETER_NO_CHANGE);
+  EXPECT_NE(all_imm, SETMETER_NONE);
+}
+
+}  // namespace
+}  // namespace dpm::meter

@@ -1,0 +1,196 @@
+// Meter message formats — Appendix A and Fig 4.1.
+#include "meter/metermsgs.h"
+
+#include <gtest/gtest.h>
+
+#include "meter/meterflags.h"
+
+namespace dpm::meter {
+namespace {
+
+MeterMsg stamped(MeterBody body) {
+  MeterMsg m;
+  m.body = std::move(body);
+  m.header.machine = 3;
+  m.header.cpu_time = 123456789;
+  m.header.proc_time = 40000;
+  return m;
+}
+
+TEST(MeterMsgs, TypeNumbersMatchPaperExamples) {
+  // Fig 3.3 second rule matches a send with "type=1"; Fig 3.4 matches
+  // accepts with "type=8".
+  EXPECT_EQ(static_cast<std::uint32_t>(EventType::send), 1u);
+  EXPECT_EQ(static_cast<std::uint32_t>(EventType::accept), 8u);
+}
+
+TEST(MeterMsgs, EventNames) {
+  EXPECT_EQ(event_name(EventType::send), "send");
+  EXPECT_EQ(event_name(EventType::termproc), "termproc");
+  EXPECT_EQ(event_by_name("accept").value(), EventType::accept);
+  EXPECT_FALSE(event_by_name("nope").has_value());
+}
+
+TEST(MeterMsgs, HeaderLayoutIsFixed) {
+  MeterMsg m = stamped(MeterSend{7, 9, 42, 100, "destination"});
+  const util::Bytes wire = m.serialize();
+  ASSERT_GE(wire.size(), kHeaderSize);
+  // size u32 @0
+  const std::uint32_t size = wire[0] | wire[1] << 8 | wire[2] << 16 |
+                             static_cast<std::uint32_t>(wire[3]) << 24;
+  EXPECT_EQ(size, wire.size());
+  // machine u16 @4
+  EXPECT_EQ(wire[4] | wire[5] << 8, 3);
+  // traceType u32 @22
+  EXPECT_EQ(wire[22], 1u);  // send
+}
+
+template <typename T>
+T round_trip(MeterBody body) {
+  MeterMsg m = stamped(std::move(body));
+  auto wire = m.serialize();
+  auto parsed = MeterMsg::parse(wire);
+  EXPECT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header.machine, 3);
+  EXPECT_EQ(parsed->header.cpu_time, 123456789);
+  EXPECT_EQ(parsed->header.proc_time, 40000);
+  return std::get<T>(parsed->body);
+}
+
+TEST(MeterMsgs, SendRoundTrip) {
+  auto b = round_trip<MeterSend>(MeterSend{7, 9, 42, 100, "328140"});
+  EXPECT_EQ(b.pid, 7);
+  EXPECT_EQ(b.pc, 9u);
+  EXPECT_EQ(b.sock, 42u);
+  EXPECT_EQ(b.msg_length, 100u);
+  EXPECT_EQ(b.dest_name, "328140");
+}
+
+TEST(MeterMsgs, SendWithUnknownDestHasZeroLengthName) {
+  // §4.1: when one writes across a connection, the recipient's name is
+  // unavailable and "the length of the name is specified as zero".
+  auto b = round_trip<MeterSend>(MeterSend{7, 0, 42, 100, ""});
+  EXPECT_TRUE(b.dest_name.empty());
+}
+
+TEST(MeterMsgs, RecvRoundTrip) {
+  auto b = round_trip<MeterRecv>(MeterRecv{1, 2, 3, 4, "source"});
+  EXPECT_EQ(b.source_name, "source");
+  EXPECT_EQ(b.msg_length, 4u);
+}
+
+TEST(MeterMsgs, RecvCallRoundTrip) {
+  auto b = round_trip<MeterRecvCall>(MeterRecvCall{5, 6, 7});
+  EXPECT_EQ(b.pid, 5);
+  EXPECT_EQ(b.sock, 7u);
+}
+
+TEST(MeterMsgs, SockCrtRoundTrip) {
+  auto b = round_trip<MeterSockCrt>(MeterSockCrt{1, 2, 3, 2, 1, 0});
+  EXPECT_EQ(b.domain, 2u);  // AF_INET
+  EXPECT_EQ(b.type, 1u);    // SOCK_STREAM
+}
+
+TEST(MeterMsgs, DupRoundTrip) {
+  auto b = round_trip<MeterDup>(MeterDup{1, 2, 30, 31});
+  EXPECT_EQ(b.sock, 30u);
+  EXPECT_EQ(b.new_sock, 31u);
+}
+
+TEST(MeterMsgs, DestSockRoundTrip) {
+  auto b = round_trip<MeterDestSock>(MeterDestSock{1, 2, 3});
+  EXPECT_EQ(b.sock, 3u);
+}
+
+TEST(MeterMsgs, ForkRoundTrip) {
+  auto b = round_trip<MeterFork>(MeterFork{100, 0, 101});
+  EXPECT_EQ(b.pid, 100);
+  EXPECT_EQ(b.new_pid, 101);
+}
+
+TEST(MeterMsgs, AcceptRoundTripWithBothNames) {
+  // Fig 4.1: accept carries sock, newSocket, and both bound names.
+  auto b = round_trip<MeterAccept>(
+      MeterAccept{9, 8, 7, 6, "listener-name", "client-name"});
+  EXPECT_EQ(b.sock, 7u);
+  EXPECT_EQ(b.new_sock, 6u);
+  EXPECT_EQ(b.sock_name, "listener-name");
+  EXPECT_EQ(b.peer_name, "client-name");
+}
+
+TEST(MeterMsgs, ConnectRoundTrip) {
+  auto b = round_trip<MeterConnect>(MeterConnect{9, 8, 7, "me", "them"});
+  EXPECT_EQ(b.sock_name, "me");
+  EXPECT_EQ(b.peer_name, "them");
+}
+
+TEST(MeterMsgs, TermProcRoundTrip) {
+  auto b = round_trip<MeterTermProc>(MeterTermProc{9, 0, -1});
+  EXPECT_EQ(b.status, -1);
+}
+
+TEST(MeterMsgs, StreamParsingSplitsConcatenatedMessages) {
+  util::Bytes wire;
+  for (int i = 0; i < 5; ++i) {
+    MeterMsg m = stamped(MeterSend{i, 0, 1, 10, ""});
+    auto one = m.serialize();
+    wire.insert(wire.end(), one.begin(), one.end());
+  }
+  std::size_t pos = 0;
+  int count = 0;
+  while (auto m = MeterMsg::parse_stream(wire, pos)) {
+    EXPECT_EQ(m->pid(), count);
+    ++count;
+  }
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(pos, wire.size());
+}
+
+TEST(MeterMsgs, StreamParsingWaitsForCompleteMessage) {
+  MeterMsg m = stamped(MeterSend{1, 0, 1, 10, "name"});
+  auto wire = m.serialize();
+  util::Bytes partial(wire.begin(), wire.end() - 3);
+  std::size_t pos = 0;
+  EXPECT_FALSE(MeterMsg::parse_stream(partial, pos).has_value());
+  EXPECT_EQ(pos, 0u);  // nothing consumed
+}
+
+TEST(MeterMsgs, ParseRejectsGarbage) {
+  util::Bytes junk(40, 0xff);
+  EXPECT_FALSE(MeterMsg::parse(junk).has_value());
+  util::Bytes empty;
+  EXPECT_FALSE(MeterMsg::parse(empty).has_value());
+}
+
+TEST(MeterMsgs, ParseRejectsBadType) {
+  MeterMsg m = stamped(MeterSend{1, 0, 1, 10, ""});
+  auto wire = m.serialize();
+  wire[22] = 99;  // invalid traceType
+  EXPECT_FALSE(MeterMsg::parse(wire).has_value());
+}
+
+TEST(MeterMsgs, PrettyIsOneLine) {
+  MeterMsg m = stamped(MeterAccept{9, 8, 7, 6, "l", "c"});
+  const std::string p = m.pretty();
+  EXPECT_NE(p.find("accept"), std::string::npos);
+  EXPECT_NE(p.find("machine=3"), std::string::npos);
+  EXPECT_EQ(p.find('\n'), std::string::npos);
+}
+
+class AllEventTypes : public ::testing::TestWithParam<std::uint32_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Range, AllEventTypes, ::testing::Range(1u, 11u));
+
+TEST_P(AllEventTypes, MakeMsgSerializeParseAgree) {
+  const auto t = static_cast<EventType>(GetParam());
+  MeterMsg m = make_msg(t);
+  EXPECT_EQ(m.type(), t);
+  auto wire = m.serialize();
+  auto parsed = MeterMsg::parse(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type(), t);
+  EXPECT_EQ(parsed->serialize(), wire);  // canonical form is stable
+}
+
+}  // namespace
+}  // namespace dpm::meter

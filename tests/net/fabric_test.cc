@@ -1,0 +1,141 @@
+#include "net/fabric.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dpm::net {
+namespace {
+
+TEST(Fabric, DeliversAfterLatency) {
+  sim::Executive exec;
+  Fabric fabric(exec, 1);
+  NetworkConfig cfg;
+  cfg.base_latency = util::usec(500);
+  cfg.jitter_max = util::usec(0);
+  cfg.per_kb = util::usec(0);
+  fabric.configure_network(0, cfg);
+
+  std::int64_t arrived_at = -1;
+  fabric.send(0, false, 0, false, 100,
+              [&] { arrived_at = util::count_us(exec.now()); });
+  exec.run();
+  EXPECT_EQ(arrived_at, 500);
+}
+
+TEST(Fabric, SizeProportionalDelay) {
+  sim::Executive exec;
+  Fabric fabric(exec, 1);
+  NetworkConfig cfg;
+  cfg.base_latency = util::usec(0);
+  cfg.jitter_max = util::usec(0);
+  cfg.per_kb = util::usec(1000);
+  fabric.configure_network(0, cfg);
+  std::int64_t arrived_at = -1;
+  fabric.send(0, false, 0, false, 4096,
+              [&] { arrived_at = util::count_us(exec.now()); });
+  exec.run();
+  EXPECT_EQ(arrived_at, 4000);
+}
+
+TEST(Fabric, OrderedChannelNeverReorders) {
+  sim::Executive exec;
+  Fabric fabric(exec, 99);
+  NetworkConfig cfg;
+  cfg.base_latency = util::usec(100);
+  cfg.jitter_max = util::usec(500);  // heavy jitter
+  fabric.configure_network(0, cfg);
+
+  const std::uint64_t chan = fabric.new_channel();
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    fabric.send(0, false, chan, false, 10, [&order, i] { order.push_back(i); });
+  }
+  exec.run();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Fabric, UnorderedPacketsCanReorder) {
+  sim::Executive exec;
+  Fabric fabric(exec, 12345);
+  NetworkConfig cfg;
+  cfg.base_latency = util::usec(100);
+  cfg.jitter_max = util::usec(1000);
+  fabric.configure_network(0, cfg);
+
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    // Fresh channel 0 = unordered.
+    fabric.send(0, false, 0, false, 10, [&order, i] { order.push_back(i); });
+  }
+  exec.run();
+  ASSERT_EQ(order.size(), 100u);
+  bool reordered = false;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (order[i] < order[i - 1]) reordered = true;
+  }
+  EXPECT_TRUE(reordered);
+}
+
+TEST(Fabric, DroppablePacketsAreLostAtConfiguredRate) {
+  sim::Executive exec;
+  Fabric fabric(exec, 7);
+  NetworkConfig cfg;
+  cfg.dgram_loss = 0.3;
+  fabric.configure_network(0, cfg);
+
+  int delivered = 0;
+  for (int i = 0; i < 1000; ++i) {
+    fabric.send(0, false, 0, /*droppable=*/true, 10, [&] { ++delivered; });
+  }
+  exec.run();
+  EXPECT_GT(delivered, 600);
+  EXPECT_LT(delivered, 800);
+  EXPECT_EQ(fabric.stats().packets_dropped,
+            1000u - static_cast<std::uint64_t>(delivered));
+}
+
+TEST(Fabric, LocalHopsNeverDropAndAreFast) {
+  sim::Executive exec;
+  Fabric fabric(exec, 7);
+  NetworkConfig cfg;
+  cfg.dgram_loss = 1.0;  // would drop everything remotely
+  fabric.configure_network(0, cfg);
+
+  int delivered = 0;
+  for (int i = 0; i < 100; ++i) {
+    fabric.send(0, /*local=*/true, 0, /*droppable=*/true, 10,
+                [&] { ++delivered; });
+  }
+  exec.run();
+  EXPECT_EQ(delivered, 100);  // §3.5.2: local IPC is reliable
+  EXPECT_LT(util::count_us(exec.now()), 1000);
+}
+
+TEST(Fabric, NonDroppableIgnoresLoss) {
+  sim::Executive exec;
+  Fabric fabric(exec, 7);
+  NetworkConfig cfg;
+  cfg.dgram_loss = 1.0;
+  fabric.configure_network(0, cfg);
+  int delivered = 0;
+  fabric.send(0, false, 0, /*droppable=*/false, 10, [&] { ++delivered; });
+  exec.run();
+  EXPECT_EQ(delivered, 1);  // stream traffic is reliable by contract
+}
+
+TEST(Fabric, StatsAccumulate) {
+  sim::Executive exec;
+  Fabric fabric(exec, 1);
+  fabric.send(0, true, 0, false, 100, [] {});
+  fabric.send(0, true, 0, false, 200, [] {});
+  exec.run();
+  EXPECT_EQ(fabric.stats().packets_sent, 2u);
+  EXPECT_EQ(fabric.stats().bytes_sent, 300u);
+  fabric.reset_stats();
+  EXPECT_EQ(fabric.stats().packets_sent, 0u);
+}
+
+}  // namespace
+}  // namespace dpm::net

@@ -1,0 +1,74 @@
+#include "net/hosts.h"
+
+#include <gtest/gtest.h>
+
+namespace dpm::net {
+namespace {
+
+TEST(HostTable, RegistrationAndLookup) {
+  HostTable t;
+  ASSERT_TRUE(t.add_host("red", 1, {{0, 10}}));
+  ASSERT_TRUE(t.add_host("green", 2, {{0, 11}}));
+  EXPECT_EQ(t.machine_of("red").value(), 1u);
+  EXPECT_EQ(t.name_of(2).value(), "green");
+  EXPECT_FALSE(t.machine_of("blue").has_value());
+}
+
+TEST(HostTable, RejectsDuplicates) {
+  HostTable t;
+  ASSERT_TRUE(t.add_host("red", 1, {{0, 10}}));
+  EXPECT_FALSE(t.add_host("red", 2, {{0, 11}}));     // name taken
+  EXPECT_FALSE(t.add_host("blue", 3, {{0, 10}}));    // address taken
+  EXPECT_FALSE(t.add_host("green", 1, {{0, 12}}));   // machine id taken
+}
+
+TEST(HostTable, ResolveFromPicksSharedNetwork) {
+  // §3.5.4: a host on two networks has two addresses; the receiver
+  // reconstructs the name using *its own* view of the target.
+  HostTable t;
+  ASSERT_TRUE(t.add_host("gateway", 1, {{0, 10}, {1, 20}}));
+  ASSERT_TRUE(t.add_host("red", 2, {{0, 11}}));      // only network 0
+  ASSERT_TRUE(t.add_host("blue", 3, {{1, 21}}));     // only network 1
+
+  auto from_red = t.resolve_from("red", "gateway", 500);
+  ASSERT_TRUE(from_red.has_value());
+  EXPECT_EQ(from_red->network, 0);
+  EXPECT_EQ(from_red->host, 10u);
+
+  auto from_blue = t.resolve_from("blue", "gateway", 500);
+  ASSERT_TRUE(from_blue.has_value());
+  EXPECT_EQ(from_blue->network, 1);
+  EXPECT_EQ(from_blue->host, 20u);
+
+  // The same (host, port) pair thus resolves to *different* socket names
+  // from different machines — why literal names must be exchanged.
+  EXPECT_NE(from_red->text(), from_blue->text());
+}
+
+TEST(HostTable, NoSharedNetworkIsUnresolvable) {
+  HostTable t;
+  ASSERT_TRUE(t.add_host("red", 1, {{0, 10}}));
+  ASSERT_TRUE(t.add_host("blue", 2, {{1, 20}}));
+  EXPECT_FALSE(t.resolve_from("red", "blue", 5).has_value());
+}
+
+TEST(HostTable, MachineAtReverseLookup) {
+  HostTable t;
+  ASSERT_TRUE(t.add_host("red", 1, {{0, 10}}));
+  EXPECT_EQ(t.machine_at(SockAddr::inet(0, 10, 999)).value(), 1u);
+  EXPECT_FALSE(t.machine_at(SockAddr::inet(0, 99, 1)).has_value());
+  EXPECT_FALSE(t.machine_at(SockAddr::unix_name("/x")).has_value());
+}
+
+TEST(HostTable, HostNamesSorted) {
+  HostTable t;
+  ASSERT_TRUE(t.add_host("zeta", 1, {{0, 1}}));
+  ASSERT_TRUE(t.add_host("alpha", 2, {{0, 2}}));
+  auto names = t.host_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+}  // namespace
+}  // namespace dpm::net

@@ -1,0 +1,129 @@
+// Chaos: randomized workloads with randomized control interference
+// (stops, continues, kills at arbitrary moments). Whatever happens, the
+// world must quiesce, the controller must survive, and whatever trace
+// was collected must be well-formed.
+#include <gtest/gtest.h>
+
+#include "analysis/ordering.h"
+#include "analysis/trace_reader.h"
+#include "apps/apps.h"
+#include "control/session.h"
+#include "testing.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace dpm {
+namespace {
+
+class ChaosTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
+                         ::testing::Values(3, 17, 101, 4242, 31337));
+
+TEST_P(ChaosTest, MonitorSurvivesRandomInterference) {
+  util::Rng rng(GetParam());
+  kernel::World world(dpm::testing::quick_config(GetParam()));
+  auto machines =
+      dpm::testing::add_machines(world, {"hub", "a", "b", "c"});
+  control::install_monitor(world);
+  apps::install_everywhere(world);
+  control::spawn_meterdaemons(world);
+  control::MonitorSession session(
+      world, control::MonitorSession::Options{.host = "hub", .uid = 100});
+  world.run();
+  (void)session.drain_output();
+
+  (void)session.command("filter f1 hub");
+  (void)session.command("newjob chaos");
+
+  // Random mix of workloads.
+  const int npairs = static_cast<int>(rng.uniform(1, 4));
+  const char* hosts[] = {"a", "b", "c"};
+  for (int i = 0; i < npairs; ++i) {
+    const int port = 5600 + i;
+    const char* srv = hosts[rng.uniform(0, 2)];
+    const char* cli = hosts[rng.uniform(0, 2)];
+    const auto rounds = rng.uniform(2, 30);
+    if (rng.bernoulli(0.5)) {
+      (void)session.command(util::strprintf(
+          "addprocess chaos %s pingpong_server %d %lld", srv, port,
+          static_cast<long long>(rounds)));
+      (void)session.command(util::strprintf(
+          "addprocess chaos %s pingpong_client %s %d %lld 48", cli, srv, port,
+          static_cast<long long>(rounds)));
+    } else {
+      (void)session.command(util::strprintf(
+          "addprocess chaos %s dgram_sink %d 50", srv, port));
+      (void)session.command(util::strprintf(
+          "addprocess chaos %s dgram_sender %s %d %lld 48", cli, srv, port,
+          static_cast<long long>(rounds)));
+    }
+  }
+  (void)session.command("setflags chaos all");
+  session.send_line("startjob chaos");
+
+  // Random interference while it runs: stop/continue/kill random job
+  // processes at random moments.
+  for (int step = 0; step < 8; ++step) {
+    world.run_for(util::msec(rng.uniform(1, 25)));
+    const kernel::MachineId m = machines[static_cast<std::size_t>(
+        1 + rng.uniform(0, 2))];
+    // Pick a random live non-daemon process owned by uid 100.
+    std::vector<kernel::Pid> candidates;
+    for (auto& [pid, p] : world.machine(m).procs) {
+      if (p->status == kernel::ProcStatus::alive && p->uid == 100) {
+        candidates.push_back(pid);
+      }
+    }
+    if (candidates.empty()) continue;
+    const kernel::Pid victim = candidates[static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(candidates.size()) - 1))];
+    switch (rng.uniform(0, 2)) {
+      case 0:
+        (void)world.proc_stop(m, victim, 100);
+        break;
+      case 1:
+        (void)world.proc_continue(m, victim, 100);
+        break;
+      default:
+        (void)world.proc_kill(m, victim, 100);
+        break;
+    }
+  }
+
+  // Un-stick anything left stopped so the run can quiesce, then drain.
+  for (kernel::MachineId m : machines) {
+    for (auto& [pid, p] : world.machine(m).procs) {
+      if (p->status == kernel::ProcStatus::alive && p->uid == 100) {
+        (void)world.proc_continue(m, pid, 100);
+      }
+    }
+  }
+  world.run();
+  (void)session.drain_output();
+
+  // The controller is alive and coherent.
+  ASSERT_TRUE(session.controller_alive());
+  std::string out = session.command("jobs chaos");
+  EXPECT_NE(out.find("job 'chaos'"), std::string::npos) << out;
+
+  // Whatever trace exists is parseable and internally consistent.
+  (void)session.command("getlog f1 t");
+  auto text = world.machine(machines[0]).fs.read_text("t");
+  ASSERT_TRUE(text.has_value());
+  analysis::Trace trace = analysis::read_trace(*text);
+  EXPECT_EQ(trace.malformed, 0u);
+  analysis::Ordering ordering = analysis::order_events(trace);
+  EXPECT_FALSE(ordering.had_cycle);
+
+  // Cleanup path still works: stop everything, remove, exit.
+  (void)session.command("stopjob chaos");
+  (void)session.command("removejob chaos");
+  (void)session.command("die");
+  std::string out2 = session.command("die");
+  world.run();
+  EXPECT_FALSE(session.controller_alive());
+}
+
+}  // namespace
+}  // namespace dpm

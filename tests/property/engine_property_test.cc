@@ -1,0 +1,129 @@
+// FilterEngine framing independence: no matter how the byte stream is cut
+// into deliveries, the engine produces exactly the lines the reference
+// path (decode + evaluate + render per record) produces.
+#include <gtest/gtest.h>
+
+#include "filter/filter_program.h"
+#include "filter/trace.h"
+#include "meter/metermsgs.h"
+#include "util/rng.h"
+
+namespace dpm::filter {
+namespace {
+
+meter::MeterMsg random_msg(util::Rng& rng) {
+  meter::MeterMsg m;
+  switch (rng.uniform(0, 2)) {
+    case 0:
+      m.body = meter::MeterSend{
+          static_cast<meter::Pid>(rng.uniform(1, 50)), 0,
+          static_cast<meter::SocketId>(rng.uniform(1, 9)),
+          static_cast<std::uint32_t>(rng.uniform(0, 2048)),
+          rng.bernoulli(0.5) ? std::to_string(rng.uniform(0, 1 << 20)) : ""};
+      break;
+    case 1:
+      m.body = meter::MeterRecvCall{
+          static_cast<meter::Pid>(rng.uniform(1, 50)), 0,
+          static_cast<meter::SocketId>(rng.uniform(1, 9))};
+      break;
+    default:
+      m.body = meter::MeterAccept{
+          static_cast<meter::Pid>(rng.uniform(1, 50)), 0,
+          static_cast<meter::SocketId>(rng.uniform(1, 9)),
+          static_cast<meter::SocketId>(rng.uniform(10, 19)),
+          "n" + std::to_string(rng.uniform(0, 9)),
+          "m" + std::to_string(rng.uniform(0, 9))};
+      break;
+  }
+  m.header.machine = static_cast<std::uint16_t>(rng.uniform(0, 6));
+  m.header.cpu_time = rng.uniform(0, 1000000);
+  m.header.proc_time = rng.uniform(0, 100) * 10000;
+  return m;
+}
+
+class EngineProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST_P(EngineProperty, ChunkingNeverChangesTheOutput) {
+  util::Rng rng(GetParam());
+  const std::string rules = "machine<4, pid=#*\ntype=3\n";
+  auto desc = Descriptions::parse(default_descriptions_text());
+  auto templ = Templates::parse(rules);
+  ASSERT_TRUE(desc.has_value());
+  ASSERT_TRUE(templ.has_value());
+
+  // Build the reference output record by record.
+  util::Bytes wire;
+  std::string expected;
+  for (int i = 0; i < 100; ++i) {
+    meter::MeterMsg m = random_msg(rng);
+    auto one = m.serialize();
+    wire.insert(wire.end(), one.begin(), one.end());
+    auto rec = desc->decode(one);
+    ASSERT_TRUE(rec.has_value());
+    auto decision = templ->evaluate(*rec);
+    if (decision.accept) expected += trace_line(*rec, decision.discard);
+  }
+
+  // Feed the same stream in random-sized chunks, several times.
+  for (int trial = 0; trial < 10; ++trial) {
+    FilterEngine engine(*Descriptions::parse(default_descriptions_text()),
+                        *Templates::parse(rules));
+    std::string got;
+    std::size_t pos = 0;
+    while (pos < wire.size()) {
+      const std::size_t n = std::min<std::size_t>(
+          static_cast<std::size_t>(rng.uniform(1, 97)), wire.size() - pos);
+      util::Bytes chunk(wire.begin() + static_cast<std::ptrdiff_t>(pos),
+                        wire.begin() + static_cast<std::ptrdiff_t>(pos + n));
+      got += engine.feed(7, chunk);
+      pos += n;
+    }
+    EXPECT_EQ(got, expected);
+    EXPECT_EQ(engine.stats().records_in, 100u);
+    EXPECT_EQ(engine.stats().malformed, 0u);
+  }
+}
+
+TEST_P(EngineProperty, InterleavedConnectionsIndependent) {
+  util::Rng rng(GetParam() + 10);
+  auto make_engine = [] {
+    return FilterEngine(*Descriptions::parse(default_descriptions_text()),
+                        Templates{});
+  };
+
+  // Two independent streams; interleave deliveries arbitrarily.
+  util::Bytes wa, wb;
+  int count_a = 0, count_b = 0;
+  for (int i = 0; i < 40; ++i) {
+    auto one = random_msg(rng).serialize();
+    if (rng.bernoulli(0.5)) {
+      wa.insert(wa.end(), one.begin(), one.end());
+      ++count_a;
+    } else {
+      wb.insert(wb.end(), one.begin(), one.end());
+      ++count_b;
+    }
+  }
+  FilterEngine engine = make_engine();
+  std::size_t pa = 0, pb = 0;
+  while (pa < wa.size() || pb < wb.size()) {
+    const bool pick_a = pb >= wb.size() || (pa < wa.size() && rng.bernoulli(0.5));
+    util::Bytes& w = pick_a ? wa : wb;
+    std::size_t& p = pick_a ? pa : pb;
+    const std::size_t n = std::min<std::size_t>(
+        static_cast<std::size_t>(rng.uniform(1, 31)), w.size() - p);
+    util::Bytes chunk(w.begin() + static_cast<std::ptrdiff_t>(p),
+                      w.begin() + static_cast<std::ptrdiff_t>(p + n));
+    (void)engine.feed(pick_a ? 1 : 2, chunk);
+    p += n;
+  }
+  EXPECT_EQ(engine.stats().records_in,
+            static_cast<std::uint64_t>(count_a + count_b));
+  EXPECT_EQ(engine.stats().malformed, 0u);
+}
+
+}  // namespace
+}  // namespace dpm::filter

@@ -1,0 +1,130 @@
+// Property tests for template evaluation: the parsed-rule evaluator
+// agrees with a straightforward reference implementation on random rules
+// and records.
+#include <gtest/gtest.h>
+
+#include "filter/templates.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace dpm::filter {
+namespace {
+
+const char* kFields[] = {"machine", "type", "pid", "sock", "msgLength",
+                         "cpuTime"};
+
+struct RefClause {
+  std::string field;
+  std::string op;
+  bool wildcard;
+  std::int64_t value;
+};
+
+bool ref_clause(const RefClause& c, const Record& rec) {
+  auto lhs = rec.num(c.field);
+  if (!rec.find(c.field)) return false;
+  if (c.wildcard) return true;
+  if (!lhs) return false;
+  if (c.op == "=") return *lhs == c.value;
+  if (c.op == "!=") return *lhs != c.value;
+  if (c.op == "<") return *lhs < c.value;
+  if (c.op == ">") return *lhs > c.value;
+  if (c.op == "<=") return *lhs <= c.value;
+  return *lhs >= c.value;
+}
+
+Record random_record(util::Rng& rng) {
+  Record r;
+  r.event_name = "SEND";
+  for (const char* f : kFields) {
+    if (rng.bernoulli(0.85)) {
+      r.fields.emplace_back(f, rng.uniform(0, 20));
+    }
+  }
+  return r;
+}
+
+class TemplateProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TemplateProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST_P(TemplateProperty, MatchesReferenceEvaluator) {
+  util::Rng rng(GetParam());
+  const char* ops[] = {"=", "!=", "<", ">", "<=", ">="};
+
+  for (int trial = 0; trial < 40; ++trial) {
+    // Build 1..4 random rules of 1..3 clauses.
+    std::vector<std::vector<RefClause>> ref_rules;
+    std::string text;
+    const int nrules = static_cast<int>(rng.uniform(1, 4));
+    for (int r = 0; r < nrules; ++r) {
+      std::vector<RefClause> rule;
+      const int nclauses = static_cast<int>(rng.uniform(1, 3));
+      std::string line;
+      for (int c = 0; c < nclauses; ++c) {
+        RefClause rc;
+        rc.field = kFields[rng.uniform(0, 5)];
+        rc.wildcard = rng.bernoulli(0.2);
+        rc.op = ops[rng.uniform(0, 5)];
+        rc.value = rng.uniform(0, 20);
+        if (!line.empty()) line += ", ";
+        if (rc.wildcard) {
+          line += rc.field + "=*";
+          rc.op = "=";
+        } else {
+          line += rc.field + rc.op + std::to_string(rc.value);
+        }
+        rule.push_back(rc);
+      }
+      text += line + "\n";
+      ref_rules.push_back(std::move(rule));
+    }
+
+    auto templates = Templates::parse(text);
+    ASSERT_TRUE(templates.has_value()) << text;
+
+    for (int i = 0; i < 50; ++i) {
+      Record rec = random_record(rng);
+      bool expect = false;
+      for (const auto& rule : ref_rules) {
+        bool all = true;
+        for (const auto& c : rule) {
+          if (!ref_clause(c, rec)) {
+            all = false;
+            break;
+          }
+        }
+        if (all) {
+          expect = true;
+          break;
+        }
+      }
+      EXPECT_EQ(templates->evaluate(rec).accept, expect)
+          << "rules:\n" << text;
+    }
+  }
+}
+
+TEST_P(TemplateProperty, DiscardOnlyFromFirstMatchingRule) {
+  util::Rng rng(GetParam() + 50);
+  for (int trial = 0; trial < 30; ++trial) {
+    // Rule 1 discards fieldA when machine<10; rule 2 matches anything.
+    const std::string field = kFields[rng.uniform(0, 5)];
+    auto templates = Templates::parse(field + "<10, pid=#*\nmachine=*\n");
+    ASSERT_TRUE(templates.has_value());
+    Record rec = random_record(rng);
+    auto d = templates->evaluate(rec);
+    const auto fv = rec.num(field);
+    const bool first_matches = fv && *fv < 10 && rec.find("pid");
+    if (!rec.find("machine") && !first_matches) {
+      EXPECT_FALSE(d.accept);
+      continue;
+    }
+    EXPECT_TRUE(d.accept);
+    EXPECT_EQ(d.discard.count("pid") == 1, first_matches);
+  }
+}
+
+}  // namespace
+}  // namespace dpm::filter

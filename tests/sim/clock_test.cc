@@ -1,0 +1,63 @@
+#include "sim/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace dpm::sim {
+namespace {
+
+using util::TimePoint;
+using util::usec;
+
+TEST(MachineClock, DefaultReadsTrueTimeQuantized) {
+  MachineClock c;
+  // default tick 100us
+  EXPECT_EQ(c.read_us(TimePoint{} + usec(1234567)), 1234500);
+}
+
+TEST(MachineClock, OffsetShiftsReadings) {
+  MachineClock::Config cfg;
+  cfg.offset = usec(5000);
+  cfg.tick = usec(1);
+  MachineClock c(cfg);
+  EXPECT_EQ(c.read_us(TimePoint{} + usec(1000)), 6000);
+}
+
+TEST(MachineClock, NegativeOffsetCanReadBehind) {
+  MachineClock::Config cfg;
+  cfg.offset = usec(-3000);
+  cfg.tick = usec(1);
+  MachineClock c(cfg);
+  EXPECT_EQ(c.read_us(TimePoint{} + usec(1000)), -2000);
+}
+
+TEST(MachineClock, DriftAccumulates) {
+  MachineClock::Config cfg;
+  cfg.drift_ppm = 100.0;  // 100 us per second fast
+  cfg.tick = usec(1);
+  MachineClock c(cfg);
+  EXPECT_EQ(c.read_us(TimePoint{} + usec(10000000)), 10001000);
+}
+
+TEST(MachineClock, TickQuantizes) {
+  MachineClock::Config cfg;
+  cfg.tick = usec(10000);  // 10ms line clock
+  MachineClock c(cfg);
+  EXPECT_EQ(c.read_us(TimePoint{} + usec(19999)), 10000);
+  EXPECT_EQ(c.read_us(TimePoint{} + usec(20000)), 20000);
+}
+
+TEST(MachineClock, TwoSkewedClocksDisagree) {
+  MachineClock::Config a;
+  a.offset = usec(2000);
+  a.tick = usec(1);
+  MachineClock::Config b;
+  b.offset = usec(-2000);
+  b.tick = usec(1);
+  const TimePoint t = TimePoint{} + usec(500000);
+  // The same true instant reads 4ms apart — the paper's "no universal
+  // time base" problem.
+  EXPECT_EQ(MachineClock(a).read_us(t) - MachineClock(b).read_us(t), 4000);
+}
+
+}  // namespace
+}  // namespace dpm::sim

@@ -1,0 +1,54 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dpm::sim {
+namespace {
+
+using util::TimePoint;
+using util::usec;
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(TimePoint{} + usec(30), [&] { fired.push_back(3); });
+  q.schedule(TimePoint{} + usec(10), [&] { fired.push_back(1); });
+  q.schedule(TimePoint{} + usec(20), [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  const TimePoint t = TimePoint{} + usec(5);
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(t, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop()();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTimeReportsEarliest) {
+  EventQueue q;
+  q.schedule(TimePoint{} + usec(50), [] {});
+  q.schedule(TimePoint{} + usec(20), [] {});
+  EXPECT_EQ(q.next_time(), TimePoint{} + usec(20));
+  q.pop();
+  EXPECT_EQ(q.next_time(), TimePoint{} + usec(50));
+}
+
+TEST(EventQueue, SizeTracksContents) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  q.schedule(TimePoint{}, [] {});
+  q.schedule(TimePoint{}, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.pop();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dpm::sim

@@ -1,0 +1,29 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kernel/syscalls.h"
+#include "kernel/world.h"
+
+namespace dpm::testing {
+
+/// Adds machines named after the paper's figures ("red", "green", "blue",
+/// "yellow", ...) to the world.
+inline std::vector<kernel::MachineId> add_machines(
+    kernel::World& world, const std::vector<std::string>& names) {
+  std::vector<kernel::MachineId> out;
+  out.reserve(names.size());
+  for (const auto& n : names) out.push_back(world.add_machine(n));
+  return out;
+}
+
+/// A default world config with quiet, deterministic settings.
+inline kernel::WorldConfig quick_config(std::uint64_t seed = 1) {
+  kernel::WorldConfig cfg;
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace dpm::testing

@@ -1,0 +1,23 @@
+// The umbrella header must compile standalone and expose the whole API.
+#include "dpm.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, EverySubsystemIsReachable) {
+  dpm::kernel::World world;
+  world.add_machine("solo");
+  dpm::control::install_monitor(world);
+  dpm::apps::install_everywhere(world);
+  EXPECT_TRUE(world.programs().has(dpm::filter::kStdFilterProgram));
+  EXPECT_TRUE(world.programs().has(dpm::filter::kCountFilterProgram));
+  EXPECT_TRUE(world.programs().has(dpm::daemon::kMeterdaemonProgram));
+  EXPECT_TRUE(world.programs().has(dpm::control::kControllerProgram));
+  EXPECT_TRUE(world.programs().has("tsp_master"));
+  EXPECT_EQ(dpm::meter::flags_to_string(dpm::meter::M_SEND), "send");
+  dpm::analysis::Trace empty;
+  EXPECT_TRUE(dpm::analysis::diagnose(empty).findings.empty());
+}
+
+}  // namespace

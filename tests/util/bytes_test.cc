@@ -1,0 +1,95 @@
+#include "util/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace dpm::util {
+namespace {
+
+TEST(BinaryWriter, LittleEndianLayout) {
+  BinaryWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  const Bytes& b = w.bytes();
+  ASSERT_EQ(b.size(), 7u);
+  EXPECT_EQ(b[0], 0xab);
+  EXPECT_EQ(b[1], 0x34);
+  EXPECT_EQ(b[2], 0x12);
+  EXPECT_EQ(b[3], 0xef);
+  EXPECT_EQ(b[4], 0xbe);
+  EXPECT_EQ(b[5], 0xad);
+  EXPECT_EQ(b[6], 0xde);
+}
+
+TEST(BinaryRoundTrip, AllWidths) {
+  BinaryWriter w;
+  w.u8(7);
+  w.u16(65535);
+  w.u32(4000000000u);
+  w.u64(0x0123456789abcdefULL);
+  w.i32(-42);
+  w.i64(-1234567890123LL);
+  w.lstring("hello");
+  w.fixed_string("ab", 4);
+
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.u8().value(), 7);
+  EXPECT_EQ(r.u16().value(), 65535);
+  EXPECT_EQ(r.u32().value(), 4000000000u);
+  EXPECT_EQ(r.u64().value(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i32().value(), -42);
+  EXPECT_EQ(r.i64().value(), -1234567890123LL);
+  EXPECT_EQ(r.lstring().value(), "hello");
+  EXPECT_EQ(r.fixed_string(4).value(), "ab");
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(BinaryReader, FailsPastEndAndStaysFailed) {
+  BinaryWriter w;
+  w.u16(9);
+  BinaryReader r(w.bytes());
+  EXPECT_TRUE(r.u8().has_value());
+  EXPECT_FALSE(r.u32().has_value());
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.u8().has_value());  // stays failed
+}
+
+TEST(BinaryReader, LstringLengthBeyondBufferFails) {
+  BinaryWriter w;
+  w.u32(1000);  // claims 1000 bytes follow
+  w.u8('x');
+  BinaryReader r(w.bytes());
+  EXPECT_FALSE(r.lstring().has_value());
+}
+
+TEST(BinaryWriter, PatchU32) {
+  BinaryWriter w;
+  w.u32(0);
+  w.lstring("payload");
+  w.patch_u32(0, static_cast<std::uint32_t>(w.size()));
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.u32().value(), w.size());
+}
+
+TEST(BinaryWriter, FixedStringTruncates) {
+  BinaryWriter w;
+  w.fixed_string("abcdef", 3);
+  EXPECT_EQ(w.size(), 3u);
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.fixed_string(3).value(), "abc");
+}
+
+TEST(Bytes, StringConversionRoundTrip) {
+  const std::string s = "some\0binary\ndata";
+  EXPECT_EQ(to_string(to_bytes(s)), s);
+}
+
+TEST(HexDump, TruncatesLongBuffers) {
+  Bytes b(100, 0xaa);
+  const std::string d = hex_dump(b, 4);
+  EXPECT_EQ(d, "aa aa aa aa ...");
+}
+
+}  // namespace
+}  // namespace dpm::util

@@ -1,0 +1,86 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dpm::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformSingleton) {
+  Rng r(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniform(5, 5), 5);
+}
+
+TEST(Rng, Uniform01InHalfOpenRange) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng r(3);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRoughlyFair) {
+  Rng r(5);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += r.bernoulli(0.5);
+  EXPECT_GT(heads, 4500);
+  EXPECT_LT(heads, 5500);
+}
+
+TEST(Rng, ExponentialPositiveWithRoughMean) {
+  Rng r(9);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = r.exponential(10.0);
+    EXPECT_GT(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000.0, 10.0, 0.5);
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  Rng a(13);
+  Rng b = a.fork();
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 50; ++i) {
+    seen.insert(a.next_u64());
+    seen.insert(b.next_u64());
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+}  // namespace
+}  // namespace dpm::util

@@ -1,0 +1,68 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace dpm::util {
+namespace {
+
+TEST(Split, DropsEmptyFields) {
+  auto v = split("  a\tb  c ", " \t");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[1], "b");
+  EXPECT_EQ(v[2], "c");
+}
+
+TEST(SplitKeepEmpty, PreservesPositions) {
+  auto v = split_keep_empty("a,,b,", ',');
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[1], "");
+  EXPECT_EQ(v[2], "b");
+  EXPECT_EQ(v[3], "");
+}
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(ParseInt, StrictWholeString) {
+  EXPECT_EQ(parse_int("123").value(), 123);
+  EXPECT_EQ(parse_int("-5").value(), -5);
+  EXPECT_FALSE(parse_int("12x").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int(" 12").has_value());
+}
+
+TEST(ParseIntBase, Hex) {
+  EXPECT_EQ(parse_int_base("ff", 16).value(), 255);
+  EXPECT_EQ(parse_int_base("-10", 16).value(), -16);
+  EXPECT_FALSE(parse_int_base("fg", 16).has_value());
+}
+
+TEST(Strprintf, Formats) {
+  EXPECT_EQ(strprintf("%d-%s", 4, "x"), "4-x");
+  EXPECT_EQ(strprintf("%s", ""), "");
+}
+
+TEST(IsWord, PaperParameterCharacters) {
+  EXPECT_TRUE(is_word("foo"));
+  EXPECT_TRUE(is_word("a/b.c"));
+  EXPECT_TRUE(is_word("-send"));
+  EXPECT_TRUE(is_word("proc_1"));
+  EXPECT_FALSE(is_word(""));
+  EXPECT_FALSE(is_word("a b"));
+  EXPECT_FALSE(is_word("a*b"));
+}
+
+TEST(Join, WithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(ToLower, Basic) { EXPECT_EQ(to_lower("AbC"), "abc"); }
+
+}  // namespace
+}  // namespace dpm::util

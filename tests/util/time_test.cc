@@ -1,0 +1,54 @@
+#include "util/time.h"
+
+#include <gtest/gtest.h>
+
+#include "util/result.h"
+
+namespace dpm::util {
+namespace {
+
+TEST(Time, DurationHelpers) {
+  EXPECT_EQ(usec(5).count(), 5);
+  EXPECT_EQ(msec(5).count(), 5000);
+  EXPECT_EQ(sec(2).count(), 2000000);
+}
+
+TEST(Time, FormatTime) {
+  EXPECT_EQ(format_time(TimePoint{} + usec(1250000)), "1.250000s");
+  EXPECT_EQ(format_time(TimePoint{}), "0.000000s");
+}
+
+TEST(Time, FormatDuration) {
+  EXPECT_EQ(format_duration(msec(3)), "3ms");
+  EXPECT_EQ(format_duration(usec(1500)), "1500us");
+  EXPECT_EQ(format_duration(usec(0)), "0us");
+}
+
+TEST(SysResult, ValueAndError) {
+  SysResult<int> ok(5);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 5);
+  EXPECT_EQ(ok.error(), Err::ok);
+
+  SysResult<int> bad(Err::epipe);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), Err::epipe);
+  EXPECT_EQ(bad.value_or(9), 9);
+}
+
+TEST(SysResult, VoidSpecialization) {
+  SysResult<void> ok;
+  EXPECT_TRUE(ok.ok());
+  SysResult<void> bad(Err::eperm);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), Err::eperm);
+}
+
+TEST(Err, NamesAndMessages) {
+  EXPECT_EQ(err_name(Err::econnrefused), "econnrefused");
+  EXPECT_EQ(err_message(Err::eperm), "operation not permitted");
+  EXPECT_EQ(err_name(Err::ok), "ok");
+}
+
+}  // namespace
+}  // namespace dpm::util
