@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_controller"
+  "../bench/bench_controller.pdb"
+  "CMakeFiles/bench_controller.dir/bench_controller.cc.o"
+  "CMakeFiles/bench_controller.dir/bench_controller.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

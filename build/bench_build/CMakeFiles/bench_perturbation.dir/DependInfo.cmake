@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_perturbation.cc" "bench_build/CMakeFiles/bench_perturbation.dir/bench_perturbation.cc.o" "gcc" "bench_build/CMakeFiles/bench_perturbation.dir/bench_perturbation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dpm_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_daemon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_meter.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

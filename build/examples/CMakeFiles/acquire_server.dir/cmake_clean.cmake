@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acquire_server.dir/acquire_server.cpp.o"
+  "CMakeFiles/acquire_server.dir/acquire_server.cpp.o.d"
+  "acquire_server"
+  "acquire_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acquire_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

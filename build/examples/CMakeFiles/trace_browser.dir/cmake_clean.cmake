@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_browser.dir/trace_browser.cpp.o"
+  "CMakeFiles/trace_browser.dir/trace_browser.cpp.o.d"
+  "trace_browser"
+  "trace_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

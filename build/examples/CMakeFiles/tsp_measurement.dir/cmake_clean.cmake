@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsp_measurement.dir/tsp_measurement.cpp.o"
+  "CMakeFiles/tsp_measurement.dir/tsp_measurement.cpp.o.d"
+  "tsp_measurement"
+  "tsp_measurement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsp_measurement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

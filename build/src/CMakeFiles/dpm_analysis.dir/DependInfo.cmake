@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/comm_stats.cc" "src/CMakeFiles/dpm_analysis.dir/analysis/comm_stats.cc.o" "gcc" "src/CMakeFiles/dpm_analysis.dir/analysis/comm_stats.cc.o.d"
+  "/root/repo/src/analysis/diagnose.cc" "src/CMakeFiles/dpm_analysis.dir/analysis/diagnose.cc.o" "gcc" "src/CMakeFiles/dpm_analysis.dir/analysis/diagnose.cc.o.d"
+  "/root/repo/src/analysis/ordering.cc" "src/CMakeFiles/dpm_analysis.dir/analysis/ordering.cc.o" "gcc" "src/CMakeFiles/dpm_analysis.dir/analysis/ordering.cc.o.d"
+  "/root/repo/src/analysis/parallelism.cc" "src/CMakeFiles/dpm_analysis.dir/analysis/parallelism.cc.o" "gcc" "src/CMakeFiles/dpm_analysis.dir/analysis/parallelism.cc.o.d"
+  "/root/repo/src/analysis/report.cc" "src/CMakeFiles/dpm_analysis.dir/analysis/report.cc.o" "gcc" "src/CMakeFiles/dpm_analysis.dir/analysis/report.cc.o.d"
+  "/root/repo/src/analysis/structure.cc" "src/CMakeFiles/dpm_analysis.dir/analysis/structure.cc.o" "gcc" "src/CMakeFiles/dpm_analysis.dir/analysis/structure.cc.o.d"
+  "/root/repo/src/analysis/timeline.cc" "src/CMakeFiles/dpm_analysis.dir/analysis/timeline.cc.o" "gcc" "src/CMakeFiles/dpm_analysis.dir/analysis/timeline.cc.o.d"
+  "/root/repo/src/analysis/trace_reader.cc" "src/CMakeFiles/dpm_analysis.dir/analysis/trace_reader.cc.o" "gcc" "src/CMakeFiles/dpm_analysis.dir/analysis/trace_reader.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dpm_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_meter.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpm_analysis.dir/analysis/comm_stats.cc.o"
+  "CMakeFiles/dpm_analysis.dir/analysis/comm_stats.cc.o.d"
+  "CMakeFiles/dpm_analysis.dir/analysis/diagnose.cc.o"
+  "CMakeFiles/dpm_analysis.dir/analysis/diagnose.cc.o.d"
+  "CMakeFiles/dpm_analysis.dir/analysis/ordering.cc.o"
+  "CMakeFiles/dpm_analysis.dir/analysis/ordering.cc.o.d"
+  "CMakeFiles/dpm_analysis.dir/analysis/parallelism.cc.o"
+  "CMakeFiles/dpm_analysis.dir/analysis/parallelism.cc.o.d"
+  "CMakeFiles/dpm_analysis.dir/analysis/report.cc.o"
+  "CMakeFiles/dpm_analysis.dir/analysis/report.cc.o.d"
+  "CMakeFiles/dpm_analysis.dir/analysis/structure.cc.o"
+  "CMakeFiles/dpm_analysis.dir/analysis/structure.cc.o.d"
+  "CMakeFiles/dpm_analysis.dir/analysis/timeline.cc.o"
+  "CMakeFiles/dpm_analysis.dir/analysis/timeline.cc.o.d"
+  "CMakeFiles/dpm_analysis.dir/analysis/trace_reader.cc.o"
+  "CMakeFiles/dpm_analysis.dir/analysis/trace_reader.cc.o.d"
+  "libdpm_analysis.a"
+  "libdpm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

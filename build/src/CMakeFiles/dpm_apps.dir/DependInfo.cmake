@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/apps.cc" "src/CMakeFiles/dpm_apps.dir/apps/apps.cc.o" "gcc" "src/CMakeFiles/dpm_apps.dir/apps/apps.cc.o.d"
+  "/root/repo/src/apps/datagram_chat.cc" "src/CMakeFiles/dpm_apps.dir/apps/datagram_chat.cc.o" "gcc" "src/CMakeFiles/dpm_apps.dir/apps/datagram_chat.cc.o.d"
+  "/root/repo/src/apps/echo_server.cc" "src/CMakeFiles/dpm_apps.dir/apps/echo_server.cc.o" "gcc" "src/CMakeFiles/dpm_apps.dir/apps/echo_server.cc.o.d"
+  "/root/repo/src/apps/grid.cc" "src/CMakeFiles/dpm_apps.dir/apps/grid.cc.o" "gcc" "src/CMakeFiles/dpm_apps.dir/apps/grid.cc.o.d"
+  "/root/repo/src/apps/pingpong.cc" "src/CMakeFiles/dpm_apps.dir/apps/pingpong.cc.o" "gcc" "src/CMakeFiles/dpm_apps.dir/apps/pingpong.cc.o.d"
+  "/root/repo/src/apps/pipeline.cc" "src/CMakeFiles/dpm_apps.dir/apps/pipeline.cc.o" "gcc" "src/CMakeFiles/dpm_apps.dir/apps/pipeline.cc.o.d"
+  "/root/repo/src/apps/ring.cc" "src/CMakeFiles/dpm_apps.dir/apps/ring.cc.o" "gcc" "src/CMakeFiles/dpm_apps.dir/apps/ring.cc.o.d"
+  "/root/repo/src/apps/tsp.cc" "src/CMakeFiles/dpm_apps.dir/apps/tsp.cc.o" "gcc" "src/CMakeFiles/dpm_apps.dir/apps/tsp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dpm_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_meter.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpm_apps.dir/apps/apps.cc.o"
+  "CMakeFiles/dpm_apps.dir/apps/apps.cc.o.d"
+  "CMakeFiles/dpm_apps.dir/apps/datagram_chat.cc.o"
+  "CMakeFiles/dpm_apps.dir/apps/datagram_chat.cc.o.d"
+  "CMakeFiles/dpm_apps.dir/apps/echo_server.cc.o"
+  "CMakeFiles/dpm_apps.dir/apps/echo_server.cc.o.d"
+  "CMakeFiles/dpm_apps.dir/apps/grid.cc.o"
+  "CMakeFiles/dpm_apps.dir/apps/grid.cc.o.d"
+  "CMakeFiles/dpm_apps.dir/apps/pingpong.cc.o"
+  "CMakeFiles/dpm_apps.dir/apps/pingpong.cc.o.d"
+  "CMakeFiles/dpm_apps.dir/apps/pipeline.cc.o"
+  "CMakeFiles/dpm_apps.dir/apps/pipeline.cc.o.d"
+  "CMakeFiles/dpm_apps.dir/apps/ring.cc.o"
+  "CMakeFiles/dpm_apps.dir/apps/ring.cc.o.d"
+  "CMakeFiles/dpm_apps.dir/apps/tsp.cc.o"
+  "CMakeFiles/dpm_apps.dir/apps/tsp.cc.o.d"
+  "libdpm_apps.a"
+  "libdpm_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpm_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

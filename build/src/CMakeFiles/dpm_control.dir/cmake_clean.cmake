@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpm_control.dir/control/controller.cc.o"
+  "CMakeFiles/dpm_control.dir/control/controller.cc.o.d"
+  "CMakeFiles/dpm_control.dir/control/job.cc.o"
+  "CMakeFiles/dpm_control.dir/control/job.cc.o.d"
+  "CMakeFiles/dpm_control.dir/control/session.cc.o"
+  "CMakeFiles/dpm_control.dir/control/session.cc.o.d"
+  "libdpm_control.a"
+  "libdpm_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpm_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpm_daemon.dir/daemon/meterdaemon.cc.o"
+  "CMakeFiles/dpm_daemon.dir/daemon/meterdaemon.cc.o.d"
+  "CMakeFiles/dpm_daemon.dir/daemon/protocol.cc.o"
+  "CMakeFiles/dpm_daemon.dir/daemon/protocol.cc.o.d"
+  "libdpm_daemon.a"
+  "libdpm_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpm_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

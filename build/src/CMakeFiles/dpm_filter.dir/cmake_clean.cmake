@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpm_filter.dir/filter/count_filter.cc.o"
+  "CMakeFiles/dpm_filter.dir/filter/count_filter.cc.o.d"
+  "CMakeFiles/dpm_filter.dir/filter/descriptions.cc.o"
+  "CMakeFiles/dpm_filter.dir/filter/descriptions.cc.o.d"
+  "CMakeFiles/dpm_filter.dir/filter/filter_program.cc.o"
+  "CMakeFiles/dpm_filter.dir/filter/filter_program.cc.o.d"
+  "CMakeFiles/dpm_filter.dir/filter/templates.cc.o"
+  "CMakeFiles/dpm_filter.dir/filter/templates.cc.o.d"
+  "CMakeFiles/dpm_filter.dir/filter/trace.cc.o"
+  "CMakeFiles/dpm_filter.dir/filter/trace.cc.o.d"
+  "libdpm_filter.a"
+  "libdpm_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpm_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

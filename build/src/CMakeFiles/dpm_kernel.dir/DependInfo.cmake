@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/descriptor.cc" "src/CMakeFiles/dpm_kernel.dir/kernel/descriptor.cc.o" "gcc" "src/CMakeFiles/dpm_kernel.dir/kernel/descriptor.cc.o.d"
+  "/root/repo/src/kernel/exec_registry.cc" "src/CMakeFiles/dpm_kernel.dir/kernel/exec_registry.cc.o" "gcc" "src/CMakeFiles/dpm_kernel.dir/kernel/exec_registry.cc.o.d"
+  "/root/repo/src/kernel/file_system.cc" "src/CMakeFiles/dpm_kernel.dir/kernel/file_system.cc.o" "gcc" "src/CMakeFiles/dpm_kernel.dir/kernel/file_system.cc.o.d"
+  "/root/repo/src/kernel/meter_hooks.cc" "src/CMakeFiles/dpm_kernel.dir/kernel/meter_hooks.cc.o" "gcc" "src/CMakeFiles/dpm_kernel.dir/kernel/meter_hooks.cc.o.d"
+  "/root/repo/src/kernel/process.cc" "src/CMakeFiles/dpm_kernel.dir/kernel/process.cc.o" "gcc" "src/CMakeFiles/dpm_kernel.dir/kernel/process.cc.o.d"
+  "/root/repo/src/kernel/socket.cc" "src/CMakeFiles/dpm_kernel.dir/kernel/socket.cc.o" "gcc" "src/CMakeFiles/dpm_kernel.dir/kernel/socket.cc.o.d"
+  "/root/repo/src/kernel/syscalls.cc" "src/CMakeFiles/dpm_kernel.dir/kernel/syscalls.cc.o" "gcc" "src/CMakeFiles/dpm_kernel.dir/kernel/syscalls.cc.o.d"
+  "/root/repo/src/kernel/world.cc" "src/CMakeFiles/dpm_kernel.dir/kernel/world.cc.o" "gcc" "src/CMakeFiles/dpm_kernel.dir/kernel/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dpm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_meter.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

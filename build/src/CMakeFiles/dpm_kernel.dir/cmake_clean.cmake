@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpm_kernel.dir/kernel/descriptor.cc.o"
+  "CMakeFiles/dpm_kernel.dir/kernel/descriptor.cc.o.d"
+  "CMakeFiles/dpm_kernel.dir/kernel/exec_registry.cc.o"
+  "CMakeFiles/dpm_kernel.dir/kernel/exec_registry.cc.o.d"
+  "CMakeFiles/dpm_kernel.dir/kernel/file_system.cc.o"
+  "CMakeFiles/dpm_kernel.dir/kernel/file_system.cc.o.d"
+  "CMakeFiles/dpm_kernel.dir/kernel/meter_hooks.cc.o"
+  "CMakeFiles/dpm_kernel.dir/kernel/meter_hooks.cc.o.d"
+  "CMakeFiles/dpm_kernel.dir/kernel/process.cc.o"
+  "CMakeFiles/dpm_kernel.dir/kernel/process.cc.o.d"
+  "CMakeFiles/dpm_kernel.dir/kernel/socket.cc.o"
+  "CMakeFiles/dpm_kernel.dir/kernel/socket.cc.o.d"
+  "CMakeFiles/dpm_kernel.dir/kernel/syscalls.cc.o"
+  "CMakeFiles/dpm_kernel.dir/kernel/syscalls.cc.o.d"
+  "CMakeFiles/dpm_kernel.dir/kernel/world.cc.o"
+  "CMakeFiles/dpm_kernel.dir/kernel/world.cc.o.d"
+  "libdpm_kernel.a"
+  "libdpm_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpm_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

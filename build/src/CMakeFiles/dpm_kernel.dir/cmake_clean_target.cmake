@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdpm_kernel.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpm_meter.dir/meter/metermsgs.cc.o"
+  "CMakeFiles/dpm_meter.dir/meter/metermsgs.cc.o.d"
+  "libdpm_meter.a"
+  "libdpm_meter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpm_meter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/address.cc" "src/CMakeFiles/dpm_net.dir/net/address.cc.o" "gcc" "src/CMakeFiles/dpm_net.dir/net/address.cc.o.d"
+  "/root/repo/src/net/fabric.cc" "src/CMakeFiles/dpm_net.dir/net/fabric.cc.o" "gcc" "src/CMakeFiles/dpm_net.dir/net/fabric.cc.o.d"
+  "/root/repo/src/net/hosts.cc" "src/CMakeFiles/dpm_net.dir/net/hosts.cc.o" "gcc" "src/CMakeFiles/dpm_net.dir/net/hosts.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dpm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

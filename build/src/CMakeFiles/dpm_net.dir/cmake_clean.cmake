@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpm_net.dir/net/address.cc.o"
+  "CMakeFiles/dpm_net.dir/net/address.cc.o.d"
+  "CMakeFiles/dpm_net.dir/net/fabric.cc.o"
+  "CMakeFiles/dpm_net.dir/net/fabric.cc.o.d"
+  "CMakeFiles/dpm_net.dir/net/hosts.cc.o"
+  "CMakeFiles/dpm_net.dir/net/hosts.cc.o.d"
+  "libdpm_net.a"
+  "libdpm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpm_sim.dir/sim/clock.cc.o"
+  "CMakeFiles/dpm_sim.dir/sim/clock.cc.o.d"
+  "CMakeFiles/dpm_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/dpm_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/dpm_sim.dir/sim/executive.cc.o"
+  "CMakeFiles/dpm_sim.dir/sim/executive.cc.o.d"
+  "CMakeFiles/dpm_sim.dir/sim/task.cc.o"
+  "CMakeFiles/dpm_sim.dir/sim/task.cc.o.d"
+  "libdpm_sim.a"
+  "libdpm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

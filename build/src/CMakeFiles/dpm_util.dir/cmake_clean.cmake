@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dpm_util.dir/util/bytes.cc.o"
+  "CMakeFiles/dpm_util.dir/util/bytes.cc.o.d"
+  "CMakeFiles/dpm_util.dir/util/logging.cc.o"
+  "CMakeFiles/dpm_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/dpm_util.dir/util/result.cc.o"
+  "CMakeFiles/dpm_util.dir/util/result.cc.o.d"
+  "CMakeFiles/dpm_util.dir/util/rng.cc.o"
+  "CMakeFiles/dpm_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/dpm_util.dir/util/strings.cc.o"
+  "CMakeFiles/dpm_util.dir/util/strings.cc.o.d"
+  "CMakeFiles/dpm_util.dir/util/time.cc.o"
+  "CMakeFiles/dpm_util.dir/util/time.cc.o.d"
+  "libdpm_util.a"
+  "libdpm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dpm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/alignment_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis/alignment_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/alignment_test.cc.o.d"
+  "/root/repo/tests/analysis/comm_stats_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis/comm_stats_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/comm_stats_test.cc.o.d"
+  "/root/repo/tests/analysis/connection_table_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis/connection_table_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/connection_table_test.cc.o.d"
+  "/root/repo/tests/analysis/diagnose_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis/diagnose_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/diagnose_test.cc.o.d"
+  "/root/repo/tests/analysis/ordering_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis/ordering_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/ordering_test.cc.o.d"
+  "/root/repo/tests/analysis/parallelism_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis/parallelism_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/parallelism_test.cc.o.d"
+  "/root/repo/tests/analysis/structure_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis/structure_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/structure_test.cc.o.d"
+  "/root/repo/tests/analysis/timeline_test.cc" "tests/CMakeFiles/analysis_test.dir/analysis/timeline_test.cc.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/timeline_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dpm_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_daemon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_meter.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

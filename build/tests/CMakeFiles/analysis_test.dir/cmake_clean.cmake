@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_test.dir/analysis/alignment_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/alignment_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/comm_stats_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/comm_stats_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/connection_table_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/connection_table_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/diagnose_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/diagnose_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/ordering_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/ordering_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/parallelism_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/parallelism_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/structure_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/structure_test.cc.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/timeline_test.cc.o"
+  "CMakeFiles/analysis_test.dir/analysis/timeline_test.cc.o.d"
+  "analysis_test"
+  "analysis_test.pdb"
+  "analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

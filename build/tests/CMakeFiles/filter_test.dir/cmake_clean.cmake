@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_test.dir/filter/descriptions_test.cc.o"
+  "CMakeFiles/filter_test.dir/filter/descriptions_test.cc.o.d"
+  "CMakeFiles/filter_test.dir/filter/engine_test.cc.o"
+  "CMakeFiles/filter_test.dir/filter/engine_test.cc.o.d"
+  "CMakeFiles/filter_test.dir/filter/templates_test.cc.o"
+  "CMakeFiles/filter_test.dir/filter/templates_test.cc.o.d"
+  "CMakeFiles/filter_test.dir/filter/trace_test.cc.o"
+  "CMakeFiles/filter_test.dir/filter/trace_test.cc.o.d"
+  "filter_test"
+  "filter_test.pdb"
+  "filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

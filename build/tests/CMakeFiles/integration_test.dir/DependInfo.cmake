@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/acquire_test.cc" "tests/CMakeFiles/integration_test.dir/integration/acquire_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/acquire_test.cc.o.d"
+  "/root/repo/tests/integration/apps_test.cc" "tests/CMakeFiles/integration_test.dir/integration/apps_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/apps_test.cc.o.d"
+  "/root/repo/tests/integration/controller_edge_test.cc" "tests/CMakeFiles/integration_test.dir/integration/controller_edge_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/controller_edge_test.cc.o.d"
+  "/root/repo/tests/integration/count_filter_test.cc" "tests/CMakeFiles/integration_test.dir/integration/count_filter_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/count_filter_test.cc.o.d"
+  "/root/repo/tests/integration/daemon_rpc_test.cc" "tests/CMakeFiles/integration_test.dir/integration/daemon_rpc_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/daemon_rpc_test.cc.o.d"
+  "/root/repo/tests/integration/failure_test.cc" "tests/CMakeFiles/integration_test.dir/integration/failure_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/failure_test.cc.o.d"
+  "/root/repo/tests/integration/grid_test.cc" "tests/CMakeFiles/integration_test.dir/integration/grid_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/grid_test.cc.o.d"
+  "/root/repo/tests/integration/pipeline_test.cc" "tests/CMakeFiles/integration_test.dir/integration/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/pipeline_test.cc.o.d"
+  "/root/repo/tests/integration/scale_test.cc" "tests/CMakeFiles/integration_test.dir/integration/scale_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/scale_test.cc.o.d"
+  "/root/repo/tests/integration/session_test.cc" "tests/CMakeFiles/integration_test.dir/integration/session_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/session_test.cc.o.d"
+  "/root/repo/tests/integration/topology_test.cc" "tests/CMakeFiles/integration_test.dir/integration/topology_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration/topology_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dpm_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_daemon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_meter.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

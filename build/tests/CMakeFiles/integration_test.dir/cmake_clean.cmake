@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_test.dir/integration/acquire_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/acquire_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/apps_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/apps_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/controller_edge_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/controller_edge_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/count_filter_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/count_filter_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/daemon_rpc_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/daemon_rpc_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/failure_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/failure_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/grid_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/grid_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/pipeline_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/pipeline_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/scale_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/scale_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/session_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/session_test.cc.o.d"
+  "CMakeFiles/integration_test.dir/integration/topology_test.cc.o"
+  "CMakeFiles/integration_test.dir/integration/topology_test.cc.o.d"
+  "integration_test"
+  "integration_test.pdb"
+  "integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

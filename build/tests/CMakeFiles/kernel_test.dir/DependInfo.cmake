@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kernel/cpu_test.cc" "tests/CMakeFiles/kernel_test.dir/kernel/cpu_test.cc.o" "gcc" "tests/CMakeFiles/kernel_test.dir/kernel/cpu_test.cc.o.d"
+  "/root/repo/tests/kernel/file_test.cc" "tests/CMakeFiles/kernel_test.dir/kernel/file_test.cc.o" "gcc" "tests/CMakeFiles/kernel_test.dir/kernel/file_test.cc.o.d"
+  "/root/repo/tests/kernel/limits_test.cc" "tests/CMakeFiles/kernel_test.dir/kernel/limits_test.cc.o" "gcc" "tests/CMakeFiles/kernel_test.dir/kernel/limits_test.cc.o.d"
+  "/root/repo/tests/kernel/process_test.cc" "tests/CMakeFiles/kernel_test.dir/kernel/process_test.cc.o" "gcc" "tests/CMakeFiles/kernel_test.dir/kernel/process_test.cc.o.d"
+  "/root/repo/tests/kernel/select_test.cc" "tests/CMakeFiles/kernel_test.dir/kernel/select_test.cc.o" "gcc" "tests/CMakeFiles/kernel_test.dir/kernel/select_test.cc.o.d"
+  "/root/repo/tests/kernel/setmeter_test.cc" "tests/CMakeFiles/kernel_test.dir/kernel/setmeter_test.cc.o" "gcc" "tests/CMakeFiles/kernel_test.dir/kernel/setmeter_test.cc.o.d"
+  "/root/repo/tests/kernel/socket_test.cc" "tests/CMakeFiles/kernel_test.dir/kernel/socket_test.cc.o" "gcc" "tests/CMakeFiles/kernel_test.dir/kernel/socket_test.cc.o.d"
+  "/root/repo/tests/kernel/variants_test.cc" "tests/CMakeFiles/kernel_test.dir/kernel/variants_test.cc.o" "gcc" "tests/CMakeFiles/kernel_test.dir/kernel/variants_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dpm_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_daemon.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_meter.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dpm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

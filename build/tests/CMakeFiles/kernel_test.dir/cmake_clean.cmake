@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_test.dir/kernel/cpu_test.cc.o"
+  "CMakeFiles/kernel_test.dir/kernel/cpu_test.cc.o.d"
+  "CMakeFiles/kernel_test.dir/kernel/file_test.cc.o"
+  "CMakeFiles/kernel_test.dir/kernel/file_test.cc.o.d"
+  "CMakeFiles/kernel_test.dir/kernel/limits_test.cc.o"
+  "CMakeFiles/kernel_test.dir/kernel/limits_test.cc.o.d"
+  "CMakeFiles/kernel_test.dir/kernel/process_test.cc.o"
+  "CMakeFiles/kernel_test.dir/kernel/process_test.cc.o.d"
+  "CMakeFiles/kernel_test.dir/kernel/select_test.cc.o"
+  "CMakeFiles/kernel_test.dir/kernel/select_test.cc.o.d"
+  "CMakeFiles/kernel_test.dir/kernel/setmeter_test.cc.o"
+  "CMakeFiles/kernel_test.dir/kernel/setmeter_test.cc.o.d"
+  "CMakeFiles/kernel_test.dir/kernel/socket_test.cc.o"
+  "CMakeFiles/kernel_test.dir/kernel/socket_test.cc.o.d"
+  "CMakeFiles/kernel_test.dir/kernel/variants_test.cc.o"
+  "CMakeFiles/kernel_test.dir/kernel/variants_test.cc.o.d"
+  "kernel_test"
+  "kernel_test.pdb"
+  "kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

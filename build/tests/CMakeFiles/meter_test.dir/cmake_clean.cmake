@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meter_test.dir/meter/hooks_test.cc.o"
+  "CMakeFiles/meter_test.dir/meter/hooks_test.cc.o.d"
+  "CMakeFiles/meter_test.dir/meter/meterflags_test.cc.o"
+  "CMakeFiles/meter_test.dir/meter/meterflags_test.cc.o.d"
+  "CMakeFiles/meter_test.dir/meter/metermsgs_test.cc.o"
+  "CMakeFiles/meter_test.dir/meter/metermsgs_test.cc.o.d"
+  "meter_test"
+  "meter_test.pdb"
+  "meter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_test.dir/property/chaos_test.cc.o"
+  "CMakeFiles/property_test.dir/property/chaos_test.cc.o.d"
+  "CMakeFiles/property_test.dir/property/determinism_test.cc.o"
+  "CMakeFiles/property_test.dir/property/determinism_test.cc.o.d"
+  "CMakeFiles/property_test.dir/property/engine_property_test.cc.o"
+  "CMakeFiles/property_test.dir/property/engine_property_test.cc.o.d"
+  "CMakeFiles/property_test.dir/property/metermsgs_fuzz_test.cc.o"
+  "CMakeFiles/property_test.dir/property/metermsgs_fuzz_test.cc.o.d"
+  "CMakeFiles/property_test.dir/property/ordering_property_test.cc.o"
+  "CMakeFiles/property_test.dir/property/ordering_property_test.cc.o.d"
+  "CMakeFiles/property_test.dir/property/templates_property_test.cc.o"
+  "CMakeFiles/property_test.dir/property/templates_property_test.cc.o.d"
+  "property_test"
+  "property_test.pdb"
+  "property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
