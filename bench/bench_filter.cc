@@ -3,14 +3,28 @@
 // Measures the FilterEngine directly (real-time throughput, since the
 // filter's own speed is what bounds how much metering a filter machine
 // can absorb), across rule-set sizes and selectivities, plus the
-// trace-size reduction from '#' discard editing.
+// trace-size reduction from '#' discard editing, plus the template-
+// matching microbench comparing the interpreted Templates evaluator
+// against the CompiledTemplates engine.
 //
 // Counters:
 //   records_per_s   decode+select+render throughput (real time)
 //   accept_rate     fraction of records kept
 //   bytes_out_per_record  log bytes per accepted record (discard effect)
+//
+// Every run also writes BENCH_filter.json (records/sec interpreted vs
+// compiled on the matching microbench) so the bench trajectory is
+// machine-readable; `bench_filter --smoke` runs only that microbench,
+// validates the JSON it wrote, and exits — it is registered under ctest.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "filter/compiled_templates.h"
 #include "filter/filter_program.h"
 #include "filter/trace.h"
 #include "meter/metermsgs.h"
@@ -118,7 +132,211 @@ BENCHMARK(BM_Filter_ManyRules)->Arg(4)->Arg(16)->Arg(64);
 BENCHMARK(BM_Filter_DiscardEditing);
 BENCHMARK(BM_Filter_HighlySelective);
 
+// ---- template-matching microbench: interpreted vs compiled ----
+//
+// Decode the batch once, then time evaluate() alone — this is the per-
+// record work the compiled engine removes (field-name probes, RHS
+// re-resolution, literal re-parsing).
+
+const char* kMatchRules =
+    "machine=5, cpuTime<10000\n"
+    "machine=0, type=1, sock=4, destName=228320140\n"
+    "type=8, sockName=peerName\n"
+    "machine=#*, pid=#*, type=1, msgLength>512\n";
+
+std::vector<filter::Record> decode_batch(const filter::Descriptions& desc,
+                                         int records) {
+  const util::Bytes wire = make_batch(records);
+  std::vector<filter::Record> out;
+  std::size_t pos = 0;
+  while (pos < wire.size()) {
+    const std::uint32_t size = static_cast<std::uint32_t>(wire[pos]) |
+                               static_cast<std::uint32_t>(wire[pos + 1]) << 8 |
+                               static_cast<std::uint32_t>(wire[pos + 2]) << 16 |
+                               static_cast<std::uint32_t>(wire[pos + 3]) << 24;
+    util::Bytes raw(wire.begin() + static_cast<std::ptrdiff_t>(pos),
+                    wire.begin() + static_cast<std::ptrdiff_t>(pos + size));
+    pos += size;
+    auto rec = desc.decode(raw);
+    if (rec) out.push_back(std::move(*rec));
+  }
+  return out;
+}
+
+void BM_TemplateMatch_Interpreted(benchmark::State& state) {
+  auto desc = filter::Descriptions::parse(filter::default_descriptions_text());
+  auto templ = filter::Templates::parse(kMatchRules);
+  const auto records = decode_batch(*desc, kRecords);
+  std::uint64_t evaluated = 0;
+  for (auto _ : state) {
+    for (const auto& rec : records) {
+      benchmark::DoNotOptimize(templ->evaluate(rec).accept);
+    }
+    evaluated += records.size();
+  }
+  state.counters["records_per_s"] = benchmark::Counter(
+      static_cast<double>(evaluated), benchmark::Counter::kIsRate);
+}
+
+void BM_TemplateMatch_Compiled(benchmark::State& state) {
+  auto desc = filter::Descriptions::parse(filter::default_descriptions_text());
+  auto templ = filter::Templates::parse(kMatchRules);
+  const auto compiled = filter::CompiledTemplates::compile(*templ, *desc);
+  const auto records = decode_batch(*desc, kRecords);
+  std::uint64_t evaluated = 0;
+  for (auto _ : state) {
+    for (const auto& rec : records) {
+      benchmark::DoNotOptimize(compiled.evaluate(rec)->accept);
+    }
+    evaluated += records.size();
+  }
+  state.counters["records_per_s"] = benchmark::Counter(
+      static_cast<double>(evaluated), benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_TemplateMatch_Interpreted);
+BENCHMARK(BM_TemplateMatch_Compiled);
+
+// ---- BENCH_filter.json ----
+
+struct MatchBenchResult {
+  double interpreted_rps = 0;
+  double compiled_rps = 0;
+  double speedup = 0;
+  bool decisions_equal = false;
+  int records = 0;
+};
+
+/// Times `n` evaluate passes over `records`, repeating until at least
+/// `min_seconds` of wall time has accumulated; returns records/second.
+template <typename Eval>
+double measure_rps(const std::vector<filter::Record>& records, Eval&& eval,
+                   double min_seconds) {
+  using clock = std::chrono::steady_clock;
+  std::uint64_t evaluated = 0;
+  std::uint64_t sink = 0;
+  const auto start = clock::now();
+  double elapsed = 0;
+  do {
+    for (const auto& rec : records) sink += eval(rec) ? 1 : 0;
+    evaluated += records.size();
+    elapsed = std::chrono::duration<double>(clock::now() - start).count();
+  } while (elapsed < min_seconds);
+  benchmark::DoNotOptimize(sink);
+  return static_cast<double>(evaluated) / elapsed;
+}
+
+MatchBenchResult run_match_bench(int nrecords, double min_seconds) {
+  auto desc = filter::Descriptions::parse(filter::default_descriptions_text());
+  auto templ = filter::Templates::parse(kMatchRules);
+  const auto compiled = filter::CompiledTemplates::compile(*templ, *desc);
+  const auto records = decode_batch(*desc, nrecords);
+
+  MatchBenchResult r;
+  r.records = static_cast<int>(records.size());
+
+  // Equivalence first: identical accept decisions AND identical rendered
+  // trace lines (the discard edits) on every record.
+  r.decisions_equal = true;
+  for (const auto& rec : records) {
+    const auto d = templ->evaluate(rec);
+    const auto cd = compiled.evaluate(rec);
+    if (!cd || cd->accept != d.accept ||
+        (d.accept &&
+         filter::trace_line(rec, cd->discard) != filter::trace_line(rec, d.discard))) {
+      r.decisions_equal = false;
+      break;
+    }
+  }
+
+  r.interpreted_rps = measure_rps(
+      records,
+      [&](const filter::Record& rec) { return templ->evaluate(rec).accept; },
+      min_seconds);
+  r.compiled_rps = measure_rps(
+      records,
+      [&](const filter::Record& rec) { return compiled.evaluate(rec)->accept; },
+      min_seconds);
+  r.speedup = r.interpreted_rps > 0 ? r.compiled_rps / r.interpreted_rps : 0;
+  return r;
+}
+
+bool write_bench_json(const MatchBenchResult& r, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << util::strprintf(
+      "{\n"
+      "  \"bench\": \"filter_template_match\",\n"
+      "  \"records\": %d,\n"
+      "  \"rules\": 4,\n"
+      "  \"interpreted_records_per_s\": %.0f,\n"
+      "  \"compiled_records_per_s\": %.0f,\n"
+      "  \"speedup\": %.2f,\n"
+      "  \"decisions_equal\": %s\n"
+      "}\n",
+      r.records, r.interpreted_rps, r.compiled_rps, r.speedup,
+      r.decisions_equal ? "true" : "false");
+  return out.good();
+}
+
+/// Minimal well-formedness check of the file just written: it must exist,
+/// be a single JSON object, and carry every expected key.
+bool validate_bench_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  const std::string trimmed{util::trim(text)};
+  if (trimmed.empty() || trimmed.front() != '{' || trimmed.back() != '}') {
+    return false;
+  }
+  for (const char* key :
+       {"\"bench\"", "\"records\"", "\"interpreted_records_per_s\"",
+        "\"compiled_records_per_s\"", "\"speedup\"", "\"decisions_equal\""}) {
+    if (text.find(key) == std::string::npos) return false;
+  }
+  return text.find("\"decisions_equal\": true") != std::string::npos;
+}
+
+constexpr const char* kJsonPath = "BENCH_filter.json";
+
+/// --smoke: the fast ctest entry point. Runs only the matching microbench,
+/// writes and validates BENCH_filter.json, and fails (non-zero) if the
+/// file is malformed or the two engines ever disagree.
+int run_smoke() {
+  const MatchBenchResult r = run_match_bench(512, 0.05);
+  if (!write_bench_json(r, kJsonPath)) {
+    std::fprintf(stderr, "bench_filter: cannot write %s\n", kJsonPath);
+    return 1;
+  }
+  if (!validate_bench_json(kJsonPath)) {
+    std::fprintf(stderr, "bench_filter: %s is malformed\n", kJsonPath);
+    return 1;
+  }
+  std::printf(
+      "bench_filter --smoke: interpreted=%.0f rec/s compiled=%.0f rec/s "
+      "speedup=%.2fx decisions_equal=%s -> %s\n",
+      r.interpreted_rps, r.compiled_rps, r.speedup,
+      r.decisions_equal ? "true" : "false", kJsonPath);
+  return r.decisions_equal ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace dpm::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return dpm::bench::run_smoke();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  // The full run also refreshes the machine-readable result file, with a
+  // longer measurement window than --smoke.
+  const auto r = dpm::bench::run_match_bench(2000, 0.5);
+  if (!dpm::bench::write_bench_json(r, dpm::bench::kJsonPath)) return 1;
+  std::printf("wrote %s (speedup %.2fx)\n", dpm::bench::kJsonPath, r.speedup);
+  return 0;
+}

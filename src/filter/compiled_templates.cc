@@ -1,0 +1,152 @@
+#include "filter/compiled_templates.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace dpm::filter {
+
+namespace {
+
+/// Index of `name` in `layout`, or npos.
+std::size_t layout_index(const std::vector<std::string>& layout,
+                         const std::string& name) {
+  for (std::size_t i = 0; i < layout.size(); ++i) {
+    if (layout[i] == name) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+int sign(int cmp) { return cmp < 0 ? -1 : cmp > 0 ? 1 : 0; }
+
+bool apply_op(CmpOp op, int cmp) {
+  switch (op) {
+    case CmpOp::eq: return cmp == 0;
+    case CmpOp::ne: return cmp != 0;
+    case CmpOp::lt: return cmp < 0;
+    case CmpOp::gt: return cmp > 0;
+    case CmpOp::le: return cmp <= 0;
+    case CmpOp::ge: return cmp >= 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+CompiledTemplates CompiledTemplates::compile(const Templates& templates,
+                                             const Descriptions& descriptions) {
+  CompiledTemplates out;
+  out.accept_all_ = templates.rule_count() == 0;
+
+  for (std::uint32_t type : descriptions.types()) {
+    if (type > kMaxDirectType) continue;  // interpreted fallback
+    const std::vector<std::string> layout = descriptions.record_layout(type);
+    if (out.plans_.size() <= type) out.plans_.resize(type + 1);
+    EventPlan& plan = out.plans_[type];
+    plan.valid = true;
+    plan.field_count = layout.size();
+
+    for (const Rule& rule : templates.rules()) {
+      RulePlan rp;
+      std::vector<bool> discard(layout.size(), false);
+      bool any_discard = false;
+      bool feasible = true;
+      for (const Clause& c : rule.clauses) {
+        const std::size_t lhs = layout_index(layout, c.field);
+        if (lhs == kNpos) {
+          // The event type never carries this field, so the clause (and
+          // with it the whole rule) can never hold for this type.
+          feasible = false;
+          break;
+        }
+        ClausePlan cc;
+        cc.lhs = lhs;
+        cc.op = c.op;
+        cc.wildcard = c.wildcard;
+        if (c.discard) {
+          discard[lhs] = true;
+          any_discard = true;
+        }
+        if (!c.wildcard) {
+          const std::size_t rhs = layout_index(layout, c.value);
+          if (rhs != kNpos) {
+            cc.rhs_is_field = true;
+            cc.rhs_field = rhs;
+          } else if (auto n = util::parse_int(c.value)) {
+            cc.rhs_num = *n;
+            // Textual view for the string-compare fallback must match the
+            // interpreted path, which renders the *parsed* value.
+            cc.rhs_text = field_value_text(FieldValue{*n});
+          } else {
+            cc.rhs_text = c.value;
+          }
+        }
+        rp.clauses.push_back(std::move(cc));
+      }
+      if (!feasible) continue;
+      if (any_discard) rp.discard = std::move(discard);
+      plan.rules.push_back(std::move(rp));
+    }
+  }
+  return out;
+}
+
+bool CompiledTemplates::clause_holds(const ClausePlan& c, const Record& rec) {
+  const FieldValue& lhs = rec.fields[c.lhs].second;
+  if (c.wildcard) return true;
+
+  int cmp;
+  if (c.rhs_is_field) {
+    const FieldValue& rhs = rec.fields[c.rhs_field].second;
+    const auto ln = field_value_num(lhs);
+    const auto rn = field_value_num(rhs);
+    if (ln && rn) {
+      cmp = (*ln < *rn) ? -1 : (*ln > *rn) ? 1 : 0;
+    } else {
+      cmp = sign(field_value_text(lhs).compare(field_value_text(rhs)));
+    }
+  } else {
+    // field_value_num does no parsing for integer fields, only for
+    // counted-string fields (whose contents may still compare numerically
+    // — internet names, Fig 3.3).
+    const auto ln = field_value_num(lhs);
+    if (ln && c.rhs_num) {
+      cmp = (*ln < *c.rhs_num) ? -1 : (*ln > *c.rhs_num) ? 1 : 0;
+    } else {
+      cmp = sign(field_value_text(lhs).compare(c.rhs_text));
+    }
+  }
+  return apply_op(c.op, cmp);
+}
+
+std::optional<CompiledTemplates::Decision> CompiledTemplates::evaluate(
+    const Record& rec) const {
+  if (accept_all_) return Decision{true, nullptr};
+  if (rec.type >= plans_.size() || !plans_[rec.type].valid) return std::nullopt;
+  const EventPlan& plan = plans_[rec.type];
+  if (rec.fields.size() != plan.field_count) return std::nullopt;
+
+  for (const RulePlan& rule : plan.rules) {
+    bool all = true;
+    for (const ClausePlan& c : rule.clauses) {
+      if (!clause_holds(c, rec)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      return Decision{true, rule.discard.empty() ? nullptr : &rule.discard};
+    }
+  }
+  return Decision{false, nullptr};
+}
+
+std::size_t CompiledTemplates::plan_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(plans_.begin(), plans_.end(),
+                    [](const EventPlan& p) { return p.valid; }));
+}
+
+}  // namespace dpm::filter

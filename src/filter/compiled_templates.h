@@ -1,0 +1,95 @@
+// Compiled selection rules: the meter→filter hot path (§3.3–3.4).
+//
+// Templates::evaluate re-resolves every clause per record: it probes the
+// record for the LHS field by name, re-decides whether the RHS token is a
+// field reference or a literal, and re-parses numeric literals. A filter
+// saturates on exactly this loop, so CompiledTemplates performs all of
+// that resolution ONCE per (rule, event type) against the record
+// description (Fig 3.2):
+//
+//   * the LHS field name becomes an index into Record::fields (decode
+//     order is fixed per event type);
+//   * the RHS is classified once as field-reference / integer literal /
+//     string literal — the field-reference tie-break (see templates.h) is
+//     applied against the event's described layout, not per record;
+//   * numeric literals are pre-parsed, and the literal's textual view is
+//     pre-rendered for the string-comparison fallback;
+//   * rules that name a field the event type does not carry can never
+//     match and are dropped from that type's plan (first-match order of
+//     the surviving rules is preserved);
+//   * each rule's '#' discards are pre-baked into a per-type field-index
+//     mask, so an accepted record's edit needs no name lookups either.
+//
+// Evaluation is then pure index arithmetic for every described event
+// type; records of unknown types (or hand-built records whose field count
+// does not match the description) report "not compiled" and the caller
+// falls back to the interpreted Templates path. Compiled and interpreted
+// evaluation produce identical accept/discard decisions for any record
+// decoded via Descriptions::decode.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "filter/descriptions.h"
+#include "filter/templates.h"
+
+namespace dpm::filter {
+
+class CompiledTemplates {
+ public:
+  /// An empty engine: nothing is compiled, every evaluate() falls back.
+  CompiledTemplates() = default;
+
+  /// Resolves every rule of `templates` against every event type that
+  /// `descriptions` describes.
+  static CompiledTemplates compile(const Templates& templates,
+                                   const Descriptions& descriptions);
+
+  struct Decision {
+    bool accept = false;
+    /// Discard mask of the matching rule, indexed like Record::fields;
+    /// nullptr when the rule discards nothing (or accept is false).
+    const std::vector<bool>* discard = nullptr;
+  };
+
+  /// Evaluates a decoded record via index lookups only. Returns nullopt
+  /// when the record's type has no compiled plan or its field count does
+  /// not match the description — callers fall back to the interpreted
+  /// Templates::evaluate.
+  std::optional<Decision> evaluate(const Record& rec) const;
+
+  /// Number of event types with a compiled plan.
+  std::size_t plan_count() const;
+
+ private:
+  struct ClausePlan {
+    std::size_t lhs = 0;  // index into Record::fields
+    CmpOp op = CmpOp::eq;
+    bool wildcard = false;
+    bool rhs_is_field = false;
+    std::size_t rhs_field = 0;             // when rhs_is_field
+    std::optional<std::int64_t> rhs_num;   // pre-parsed numeric literal
+    std::string rhs_text;                  // literal's textual view
+  };
+  struct RulePlan {
+    std::vector<ClausePlan> clauses;
+    std::vector<bool> discard;  // per-field mask; empty = no discards
+  };
+  struct EventPlan {
+    bool valid = false;
+    std::size_t field_count = 0;
+    std::vector<RulePlan> rules;
+  };
+
+  static bool clause_holds(const ClausePlan& c, const Record& rec);
+
+  /// Plans indexed by traceType. Types beyond kMaxDirectType are left
+  /// uncompiled (interpreted fallback) to bound the table size.
+  static constexpr std::uint32_t kMaxDirectType = 1024;
+  std::vector<EventPlan> plans_;
+  bool accept_all_ = false;  // empty rule set: accept, discard nothing
+};
+
+}  // namespace dpm::filter

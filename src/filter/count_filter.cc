@@ -94,8 +94,9 @@ kernel::ProcessMain make_count_filter_main(
       (void)sys.print("countfilter: bad support files\n");
       sys.exit(1);
     }
-    const Descriptions descriptions = std::move(*desc);
-    const Templates templates = std::move(*templ);
+    // The engine does framing, decode, and (compiled) selection; this
+    // filter only aggregates the accepted records.
+    FilterEngine engine(std::move(*desc), std::move(*templ));
 
     auto lsock = sys.socket(SockDomain::internet, SockType::stream);
     if (!lsock || !sys.bind_port(*lsock, static_cast<net::Port>(port)) ||
@@ -104,7 +105,6 @@ kernel::ProcessMain make_count_filter_main(
     }
 
     Counters counters;
-    std::map<std::uint64_t, util::Bytes> partial;
 
     auto rewrite_log = [&] {
       auto fd = sys.open(logfile, Sys::OpenMode::write_trunc);
@@ -130,36 +130,16 @@ kernel::ProcessMain make_count_filter_main(
         }
         auto data = sys.recv(fd, 8192);
         if (!data || data->empty()) {
-          partial.erase(static_cast<std::uint64_t>(fd));
+          engine.end_connection(static_cast<std::uint64_t>(fd));
           (void)sys.close(fd);
           conns.erase(std::remove(conns.begin(), conns.end(), fd), conns.end());
           continue;
         }
-        util::Bytes& buf = partial[static_cast<std::uint64_t>(fd)];
-        buf.insert(buf.end(), data->begin(), data->end());
-        std::size_t pos = 0;
-        while (buf.size() - pos >= 4) {
-          const std::uint32_t size =
-              static_cast<std::uint32_t>(buf[pos]) |
-              static_cast<std::uint32_t>(buf[pos + 1]) << 8 |
-              static_cast<std::uint32_t>(buf[pos + 2]) << 16 |
-              static_cast<std::uint32_t>(buf[pos + 3]) << 24;
-          if (size < 26 || size > (1u << 20)) {
-            buf.clear();
-            pos = 0;
-            break;
-          }
-          if (buf.size() - pos < size) break;
-          util::Bytes raw(buf.begin() + static_cast<std::ptrdiff_t>(pos),
-                          buf.begin() + static_cast<std::ptrdiff_t>(pos + size));
-          pos += size;
-          auto rec = descriptions.decode(raw);
-          if (!rec) continue;
-          if (!templates.evaluate(*rec).accept) continue;
-          counters.add(*rec);
-          changed = true;
-        }
-        buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(pos));
+        engine.feed_each(static_cast<std::uint64_t>(fd), *data,
+                         [&](const Record& rec) {
+                           counters.add(rec);
+                           changed = true;
+                         });
       }
       if (changed) rewrite_log();
     }

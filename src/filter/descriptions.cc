@@ -119,6 +119,25 @@ const EventDesc* Descriptions::by_type(std::uint32_t type) const {
   return it == by_type_.end() ? nullptr : &it->second;
 }
 
+std::vector<std::uint32_t> Descriptions::types() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(by_type_.size());
+  for (const auto& [t, d] : by_type_) out.push_back(t);
+  return out;
+}
+
+std::vector<std::string> Descriptions::record_layout(std::uint32_t type) const {
+  const EventDesc* desc = by_type(type);
+  if (!desc) return {};
+  // Must mirror decode(): it emplaces these five header fields before the
+  // described body fields.
+  std::vector<std::string> out = {"size", "machine", "cpuTime", "procTime",
+                                  "type"};
+  out.reserve(out.size() + desc->fields.size());
+  for (const FieldDesc& f : desc->fields) out.push_back(f.name);
+  return out;
+}
+
 const EventDesc* Descriptions::by_name(const std::string& name) const {
   for (const auto& [t, d] : by_type_) {
     if (d.name == name) return &d;

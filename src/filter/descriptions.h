@@ -77,6 +77,15 @@ class Descriptions {
   const EventDesc* by_name(const std::string& name) const;
   std::size_t size() const { return by_type_.size(); }
 
+  /// All described traceType values, ascending.
+  std::vector<std::uint32_t> types() const;
+
+  /// Field names of a decoded record of `type`, in Record::fields order:
+  /// the fixed header fields first, then the described body fields. Empty
+  /// when the type is not described. This is the layout the template
+  /// compiler resolves field indices against.
+  std::vector<std::string> record_layout(std::uint32_t type) const;
+
   /// Decodes one complete raw meter message (header + body). Returns
   /// nullopt if the record is malformed or its type is not described.
   std::optional<Record> decode(const util::Bytes& raw) const;

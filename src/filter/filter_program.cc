@@ -10,12 +10,14 @@
 
 namespace dpm::filter {
 
-std::string FilterEngine::feed(std::uint64_t conn, const util::Bytes& data) {
+void FilterEngine::drain(
+    std::uint64_t conn, const util::Bytes& data,
+    const std::function<void(const Record&, const std::vector<bool>*,
+                             const std::set<std::string>*)>& on_accept) {
   stats_.bytes_in += data.size();
   util::Bytes& buf = partial_[conn];
   buf.insert(buf.end(), data.begin(), data.end());
 
-  std::string out;
   std::size_t pos = 0;
   while (buf.size() - pos >= 4) {
     const std::uint32_t size = static_cast<std::uint32_t>(buf[pos]) |
@@ -40,18 +42,49 @@ std::string FilterEngine::feed(std::uint64_t conn, const util::Bytes& data) {
       ++stats_.malformed;
       continue;
     }
-    const Templates::Decision d = templ_.evaluate(*rec);
-    if (!d.accept) {
-      ++stats_.rejected;
-      continue;
+    // Hot path: the clause plan compiled against the record description.
+    // Records of types the compiler did not cover fall back to the
+    // interpreted evaluator.
+    if (auto cd = compiled_.evaluate(*rec)) {
+      ++stats_.eval_compiled;
+      if (!cd->accept) {
+        ++stats_.rejected;
+        continue;
+      }
+      ++stats_.accepted;
+      on_accept(*rec, cd->discard, nullptr);
+    } else {
+      ++stats_.eval_interpreted;
+      const Templates::Decision d = templ_.evaluate(*rec);
+      if (!d.accept) {
+        ++stats_.rejected;
+        continue;
+      }
+      ++stats_.accepted;
+      on_accept(*rec, nullptr, d.discard.empty() ? nullptr : &d.discard);
     }
-    ++stats_.accepted;
-    std::string line = trace_line(*rec, d.discard);
-    stats_.bytes_out += line.size();
-    out += line;
   }
   buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(pos));
+}
+
+std::string FilterEngine::feed(std::uint64_t conn, const util::Bytes& data) {
+  std::string out;
+  drain(conn, data,
+        [&](const Record& rec, const std::vector<bool>* mask,
+            const std::set<std::string>* names) {
+          std::string line = names ? trace_line(rec, *names)
+                                   : trace_line(rec, mask);
+          stats_.bytes_out += line.size();
+          out += line;
+        });
   return out;
+}
+
+void FilterEngine::feed_each(std::uint64_t conn, const util::Bytes& data,
+                             const std::function<void(const Record&)>& fn) {
+  drain(conn, data,
+        [&](const Record& rec, const std::vector<bool>*,
+            const std::set<std::string>*) { fn(rec); });
 }
 
 kernel::ProcessMain make_filter_main(const std::vector<std::string>& argv) {

@@ -83,6 +83,17 @@ std::optional<Templates> Templates::parse(const std::string& text,
         }
       }
       if (value == "*") {
+        // '*' only asserts the field's presence, so a comparison other
+        // than '=' has no meaning — reject it instead of silently
+        // accepting every record ("field != *" used to do exactly that).
+        if (c.op != CmpOp::eq) {
+          if (error) {
+            *error = util::strprintf(
+                "line %d: wildcard '*' requires '=' (got '%s')", lineno,
+                std::string(cmp_op_text(c.op)).c_str());
+          }
+          return std::nullopt;
+        }
         c.wildcard = true;
       } else {
         c.value = value;

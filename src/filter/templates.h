@@ -12,11 +12,20 @@
 // its clauses hold); an empty template file accepts everything. The first
 // matching rule decides which fields are discarded. A value may be:
 //   * a number            machine=5, cpuTime<10000
-//   * a wildcard          pid=*        (field must be present)
+//   * a wildcard          pid=*        (field must be present; '*' is only
+//                         meaningful with '=' — any other operator is a
+//                         parse error)
 //   * another field name  sockName=peerName
 //   * a literal string    destName=/tmp/sock
-// Values resolve to a field reference when the record carries a field of
-// that name, and to a literal otherwise.
+//
+// Field-reference tie-break: a value token that names a field of the
+// record being matched is a field reference, and a literal otherwise —
+// field references win. The compiled engine (compiled_templates.h)
+// resolves this once per event type against the record description, so
+// the decision is deterministic per type rather than per record; the
+// interpreted path applies the same tie-break against the record itself
+// (equivalent for description-decoded records, which always carry every
+// described field).
 #pragma once
 
 #include <cstdint>

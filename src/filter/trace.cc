@@ -52,6 +52,20 @@ std::string trace_line(const Record& rec, const std::set<std::string>& discard) 
   return out;
 }
 
+std::string trace_line(const Record& rec, const std::vector<bool>* discard_mask) {
+  std::string out = "event=" + rec.event_name;
+  for (std::size_t i = 0; i < rec.fields.size(); ++i) {
+    if (discard_mask && i < discard_mask->size() && (*discard_mask)[i]) continue;
+    const auto& [name, value] = rec.fields[i];
+    out += ' ';
+    out += name;
+    out += '=';
+    out += escape(field_value_text(value));
+  }
+  out += '\n';
+  return out;
+}
+
 std::optional<Record> parse_trace_line(const std::string& line) {
   const std::string trimmed{util::trim(line)};
   if (trimmed.empty() || trimmed[0] == '#') return std::nullopt;

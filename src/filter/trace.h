@@ -24,6 +24,11 @@ namespace dpm::filter {
 /// Renders an accepted record, omitting discarded fields. Ends with '\n'.
 std::string trace_line(const Record& rec, const std::set<std::string>& discard);
 
+/// Same, with the discards given as the compiled engine's field-index
+/// mask (indexed like Record::fields; nullptr = discard nothing). Avoids
+/// a name lookup per field on the hot path.
+std::string trace_line(const Record& rec, const std::vector<bool>* discard_mask);
+
 /// Parses one trace line back into a Record (numbers become ints, other
 /// values strings). Returns nullopt for blank/comment lines.
 std::optional<Record> parse_trace_line(const std::string& line);

@@ -55,6 +55,18 @@ void meter_flush(World& world, Process& p) {
   batch.swap(p.meter_pending);
   p.meter_pending_count = 0;
 
+  auto& stats = world.mutable_meter_stats();
+  if (p.meter_sock == 0) {
+    // Without a meter socket the batch is simply lost (Appendix C): no
+    // send happens, so no CPU is charged and nothing is counted as
+    // delivered — the loss lands in the dropped counters instead.
+    ++p.meter_dropped_batches;
+    p.meter_dropped_bytes += batch.size();
+    ++stats.dropped_batches;
+    stats.dropped_bytes += batch.size();
+    return;
+  }
+
   Machine& m = world.machine(p.machine);
   const auto& costs = world.config().costs;
   book_cpu(world, m, p,
@@ -64,14 +76,10 @@ void meter_flush(World& world, Process& p) {
 
   ++p.meter_flushes;
   p.meter_bytes += batch.size();
-  auto& stats = world.mutable_meter_stats();
   ++stats.flushes;
   stats.bytes += batch.size();
 
-  if (p.meter_sock != 0) {
-    world.kernel_stream_send(p.meter_sock, std::move(batch));
-  }
-  // Without a meter socket the batch is simply lost (Appendix C).
+  world.kernel_stream_send(p.meter_sock, std::move(batch));
 }
 
 }  // namespace dpm::kernel

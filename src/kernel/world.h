@@ -28,10 +28,15 @@ namespace dpm::kernel {
 class Sys;
 
 /// Aggregate metering counters across all processes (experiment E1).
+/// `flushes`/`bytes` count batches actually delivered to a meter
+/// connection; batches lost because the process has no meter socket
+/// (Appendix C) are accounted separately so loss stays visible.
 struct MeterStats {
   std::uint64_t events = 0;
   std::uint64_t flushes = 0;
   std::uint64_t bytes = 0;
+  std::uint64_t dropped_batches = 0;
+  std::uint64_t dropped_bytes = 0;
 };
 
 /// Options for World::spawn / World::spawn_file.

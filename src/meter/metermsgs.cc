@@ -56,27 +56,37 @@ const std::vector<std::string>& flag_names() {
   return names;
 }
 
+namespace {
+
+/// The single source of truth for event-type names: both event_name and
+/// event_by_name derive from it, so adding an event type cannot leave the
+/// reverse lookup silently truncated.
+struct EventTypeName {
+  EventType type;
+  const char* name;
+};
+
+constexpr EventTypeName kEventTypeNames[] = {
+    {EventType::send, "send"},         {EventType::recv, "recv"},
+    {EventType::recvcall, "recvcall"}, {EventType::sockcrt, "sockcrt"},
+    {EventType::dup, "dup"},           {EventType::destsock, "destsock"},
+    {EventType::fork, "fork"},         {EventType::accept, "accept"},
+    {EventType::connect, "connect"},   {EventType::termproc, "termproc"},
+};
+
+}  // namespace
+
 std::string_view event_name(EventType t) {
-  switch (t) {
-    case EventType::send: return "send";
-    case EventType::recv: return "recv";
-    case EventType::recvcall: return "recvcall";
-    case EventType::sockcrt: return "sockcrt";
-    case EventType::dup: return "dup";
-    case EventType::destsock: return "destsock";
-    case EventType::fork: return "fork";
-    case EventType::accept: return "accept";
-    case EventType::connect: return "connect";
-    case EventType::termproc: return "termproc";
+  for (const auto& e : kEventTypeNames) {
+    if (e.type == t) return e.name;
   }
   return "unknown";
 }
 
 std::optional<EventType> event_by_name(std::string_view name) {
   const std::string lower = util::to_lower(name);
-  for (std::uint32_t v = 1; v <= 10; ++v) {
-    const auto t = static_cast<EventType>(v);
-    if (lower == event_name(t)) return t;
+  for (const auto& e : kEventTypeNames) {
+    if (lower == e.name) return e.type;
   }
   return std::nullopt;
 }

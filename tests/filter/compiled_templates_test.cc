@@ -1,0 +1,187 @@
+// CompiledTemplates: the clause plans resolved against the record
+// descriptions must decide exactly like the interpreted evaluator, via
+// index lookups only, and fall back cleanly for records it cannot place.
+#include "filter/compiled_templates.h"
+
+#include <gtest/gtest.h>
+
+#include "filter/trace.h"
+#include "meter/metermsgs.h"
+
+namespace dpm::filter {
+namespace {
+
+Descriptions standard_descriptions() {
+  auto d = Descriptions::parse(default_descriptions_text());
+  EXPECT_TRUE(d.has_value());
+  return std::move(*d);
+}
+
+Record decoded(const Descriptions& desc, const meter::MeterMsg& msg) {
+  auto rec = desc.decode(msg.serialize());
+  EXPECT_TRUE(rec.has_value());
+  return std::move(*rec);
+}
+
+meter::MeterMsg send_msg(std::uint16_t machine, meter::SocketId sock,
+                         std::uint32_t len, const std::string& dest) {
+  meter::MeterMsg m;
+  m.body = meter::MeterSend{7, 0, sock, len, dest};
+  m.header.machine = machine;
+  m.header.cpu_time = 5000;
+  return m;
+}
+
+TEST(CompiledTemplates, EmptyRuleSetAcceptsEverything) {
+  const Descriptions desc = standard_descriptions();
+  const auto compiled = CompiledTemplates::compile(Templates{}, desc);
+  const Record rec = decoded(desc, send_msg(1, 3, 10, "x"));
+  auto d = compiled.evaluate(rec);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->accept);
+  EXPECT_EQ(d->discard, nullptr);
+}
+
+TEST(CompiledTemplates, PaperRulesMatchInterpreted) {
+  const Descriptions desc = standard_descriptions();
+  const std::string rules =
+      "machine=5, cpuTime<10000\n"
+      "machine=0, type=1, sock=4, destName=228320140\n";
+  auto templ = Templates::parse(rules);
+  ASSERT_TRUE(templ.has_value());
+  const auto compiled = CompiledTemplates::compile(*templ, desc);
+  EXPECT_EQ(compiled.plan_count(), desc.size());
+
+  const Record hit = decoded(desc, send_msg(0, 4, 100, "228320140"));
+  const Record miss = decoded(desc, send_msg(0, 5, 100, "228320140"));
+  auto dh = compiled.evaluate(hit);
+  auto dm = compiled.evaluate(miss);
+  ASSERT_TRUE(dh.has_value());
+  ASSERT_TRUE(dm.has_value());
+  EXPECT_TRUE(dh->accept);
+  EXPECT_FALSE(dm->accept);
+  EXPECT_EQ(dh->accept, templ->evaluate(hit).accept);
+  EXPECT_EQ(dm->accept, templ->evaluate(miss).accept);
+}
+
+TEST(CompiledTemplates, DiscardMaskRendersLikeDiscardSet) {
+  const Descriptions desc = standard_descriptions();
+  auto templ = Templates::parse("machine=#*, pid=#*, type=1, msgLength>=64\n");
+  ASSERT_TRUE(templ.has_value());
+  const auto compiled = CompiledTemplates::compile(*templ, desc);
+
+  const Record rec = decoded(desc, send_msg(3, 2, 64, "name"));
+  auto cd = compiled.evaluate(rec);
+  ASSERT_TRUE(cd.has_value());
+  ASSERT_TRUE(cd->accept);
+  ASSERT_NE(cd->discard, nullptr);
+  const Templates::Decision id = templ->evaluate(rec);
+  ASSERT_TRUE(id.accept);
+  EXPECT_EQ(trace_line(rec, cd->discard), trace_line(rec, id.discard));
+  // The mask really drops the fields.
+  const std::string line = trace_line(rec, cd->discard);
+  EXPECT_EQ(line.find("machine="), std::string::npos);
+  EXPECT_EQ(line.find(" pid="), std::string::npos);
+  EXPECT_NE(line.find("msgLength="), std::string::npos);
+}
+
+TEST(CompiledTemplates, FieldReferenceResolvedAgainstDescription) {
+  const Descriptions desc = standard_descriptions();
+  auto templ = Templates::parse("type=8, sockName=peerName\n");
+  ASSERT_TRUE(templ.has_value());
+  const auto compiled = CompiledTemplates::compile(*templ, desc);
+
+  meter::MeterMsg same;
+  same.body = meter::MeterAccept{1, 0, 4, 5, "131073", "131073"};
+  meter::MeterMsg diff;
+  diff.body = meter::MeterAccept{1, 0, 4, 5, "131073", "196612"};
+  auto ds = compiled.evaluate(decoded(desc, same));
+  auto dd = compiled.evaluate(decoded(desc, diff));
+  ASSERT_TRUE(ds.has_value());
+  ASSERT_TRUE(dd.has_value());
+  EXPECT_TRUE(ds->accept);
+  EXPECT_FALSE(dd->accept);
+}
+
+TEST(CompiledTemplates, LiteralEqualToFieldNameIsAFieldRef) {
+  // The documented tie-break: a value token naming a field of the event's
+  // record is a field reference — deterministically, per event type. On
+  // SEND, "destName=pid" compares the destName string against the pid
+  // field, not against the literal "pid".
+  const Descriptions desc = standard_descriptions();
+  auto templ = Templates::parse("type=1, destName=pid\n");
+  ASSERT_TRUE(templ.has_value());
+  const auto compiled = CompiledTemplates::compile(*templ, desc);
+
+  meter::MeterMsg m;
+  m.body = meter::MeterSend{7, 0, 3, 10, "7"};  // destName "7" == pid 7
+  const Record ref_match = decoded(desc, m);
+  m.body = meter::MeterSend{7, 0, 3, 10, "pid"};  // the literal string
+  const Record lit = decoded(desc, m);
+
+  auto dm = compiled.evaluate(ref_match);
+  auto dl = compiled.evaluate(lit);
+  ASSERT_TRUE(dm.has_value());
+  ASSERT_TRUE(dl.has_value());
+  EXPECT_TRUE(dm->accept);
+  EXPECT_FALSE(dl->accept);
+  // Interpreted path agrees on decoded records.
+  EXPECT_TRUE(templ->evaluate(ref_match).accept);
+  EXPECT_FALSE(templ->evaluate(lit).accept);
+}
+
+TEST(CompiledTemplates, InfeasibleRuleOnlySkippedForThatType) {
+  // "newPid=8" can never hold for SEND (no such field) but selects FORKs.
+  const Descriptions desc = standard_descriptions();
+  auto templ = Templates::parse("newPid=8\n");
+  ASSERT_TRUE(templ.has_value());
+  const auto compiled = CompiledTemplates::compile(*templ, desc);
+
+  meter::MeterMsg fork;
+  fork.body = meter::MeterFork{1, 0, 8};
+  auto df = compiled.evaluate(decoded(desc, fork));
+  ASSERT_TRUE(df.has_value());
+  EXPECT_TRUE(df->accept);
+
+  auto dsend = compiled.evaluate(decoded(desc, send_msg(0, 3, 10, "x")));
+  ASSERT_TRUE(dsend.has_value());
+  EXPECT_FALSE(dsend->accept);
+}
+
+TEST(CompiledTemplates, UnknownTypeFallsBack) {
+  const Descriptions desc = standard_descriptions();
+  auto templ = Templates::parse("machine=1\n");
+  ASSERT_TRUE(templ.has_value());
+  const auto compiled = CompiledTemplates::compile(*templ, desc);
+
+  Record odd;
+  odd.type = 99;  // not described
+  odd.event_name = "ODD";
+  odd.fields.emplace_back("machine", std::int64_t{1});
+  EXPECT_FALSE(compiled.evaluate(odd).has_value());
+
+  // A known type whose field count does not match the description (a
+  // hand-built record) is also not decided by the compiled plan.
+  Record short_rec;
+  short_rec.type = 1;
+  short_rec.event_name = "SEND";
+  short_rec.fields.emplace_back("machine", std::int64_t{1});
+  EXPECT_FALSE(compiled.evaluate(short_rec).has_value());
+}
+
+TEST(CompiledTemplates, RecordLayoutMatchesDecodeOrder) {
+  const Descriptions desc = standard_descriptions();
+  for (std::uint32_t type : desc.types()) {
+    const auto layout = desc.record_layout(type);
+    meter::MeterMsg m = meter::make_msg(static_cast<meter::EventType>(type));
+    const Record rec = decoded(desc, m);
+    ASSERT_EQ(rec.fields.size(), layout.size()) << "type " << type;
+    for (std::size_t i = 0; i < layout.size(); ++i) {
+      EXPECT_EQ(rec.fields[i].first, layout[i]) << "type " << type;
+    }
+  }
+  EXPECT_TRUE(desc.record_layout(99).empty());
+}
+
+}  // namespace
+}  // namespace dpm::filter

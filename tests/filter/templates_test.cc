@@ -157,10 +157,30 @@ TEST(Templates, StringComparisonWhenNotNumeric) {
 
 TEST(Templates, ParseErrors) {
   std::string err;
-  EXPECT_FALSE(Templates::parse("machine 5\n", &err).has_value());
+  EXPECT_FALSE(Templates::parse("machine 5\n", &err).has_value());  // no op
+  EXPECT_FALSE(Templates::parse("machine\n", &err).has_value());    // no op
   EXPECT_FALSE(Templates::parse("=5\n", &err).has_value());
-  EXPECT_FALSE(Templates::parse("machine=#\n", &err).has_value());
+  EXPECT_FALSE(Templates::parse("machine=#\n", &err).has_value());  // '#' alone
+  EXPECT_FALSE(Templates::parse("pid=1, cpuTime<#\n", &err).has_value());
   EXPECT_FALSE(err.empty());
+}
+
+TEST(Templates, WildcardRequiresEquality) {
+  // '*' only asserts presence; "field != *" used to accept every record.
+  std::string err;
+  EXPECT_FALSE(Templates::parse("machine!=*\n", &err).has_value());
+  EXPECT_NE(err.find("line 1"), std::string::npos) << err;
+  EXPECT_NE(err.find("'*'"), std::string::npos) << err;
+  EXPECT_FALSE(Templates::parse("pid<*\n", &err).has_value());
+  EXPECT_FALSE(Templates::parse("pid>*\n", &err).has_value());
+  EXPECT_FALSE(Templates::parse("pid<=*\n", &err).has_value());
+  EXPECT_FALSE(Templates::parse("pid>=#*\n", &err).has_value());  // with '#'
+  // The error names the offending line.
+  EXPECT_FALSE(Templates::parse("pid=5\ncpuTime!=*\n", &err).has_value());
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+  // '=' with '*' (and '#*') stays legal.
+  EXPECT_TRUE(Templates::parse("machine=*\n").has_value());
+  EXPECT_TRUE(Templates::parse("machine=#*\n").has_value());
 }
 
 TEST(Templates, CommentsAndBlanksIgnored) {

@@ -277,6 +277,39 @@ TEST_F(HooksTest, AcceptRecordMatchesFig41) {
   EXPECT_NE(accept->new_sock, accept->sock);
 }
 
+TEST_F(HooksTest, DroppedBatchesAreCountedSeparately) {
+  // A flush with no meter socket loses the batch (Appendix C): nothing is
+  // sent, so no CPU is booked and nothing is counted as delivered — the
+  // loss must land in the dropped_* counters, not in flushes/bytes.
+  auto pid = world_->spawn(machines_[0], "idle", 100,
+                           [](Sys& sys) { sys.sleep(util::sec(1)); });
+  ASSERT_TRUE(pid.ok());
+  world_->run_for(util::msec(100));
+  Process* p = world_->find_process(machines_[0], *pid);
+  ASSERT_NE(p, nullptr);
+  ASSERT_EQ(p->meter_sock, 0u);
+
+  // Pending bytes with no socket: possible when the socket is torn down
+  // out from under the process (Appendix C loss scenarios).
+  p->meter_pending.assign(64, 0x5a);
+  p->meter_pending_count = 2;
+  const util::Duration cpu_before = p->cpu_used;
+  meter_flush(*world_, *p);
+
+  const MeterStats stats = world_->meter_stats();
+  EXPECT_EQ(stats.flushes, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_EQ(stats.dropped_batches, 1u);
+  EXPECT_EQ(stats.dropped_bytes, 64u);
+  EXPECT_EQ(p->meter_flushes, 0u);
+  EXPECT_EQ(p->meter_bytes, 0u);
+  EXPECT_EQ(p->meter_dropped_batches, 1u);
+  EXPECT_EQ(p->meter_dropped_bytes, 64u);
+  EXPECT_EQ(p->cpu_used, cpu_before);  // the lost batch costs nothing
+  EXPECT_TRUE(p->meter_pending.empty());
+  world_->run();
+}
+
 TEST_F(HooksTest, MeteringCostsCpuTime) {
   // Monitoring is cheap but not free (§2.2): the metered run charges more
   // CPU to the machine than the unmetered run.

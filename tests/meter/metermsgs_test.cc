@@ -31,6 +31,23 @@ TEST(MeterMsgs, EventNames) {
   EXPECT_FALSE(event_by_name("nope").has_value());
 }
 
+TEST(MeterMsgs, EventNamesRoundTripForEveryType) {
+  // event_name and event_by_name are generated from one shared table, so
+  // every type must survive the round trip (no hard-coded loop bounds).
+  for (std::uint32_t t = 1; t <= 10; ++t) {
+    const EventType type = static_cast<EventType>(t);
+    const std::string_view name = event_name(type);
+    EXPECT_NE(name, "unknown") << "type " << t;
+    auto back = event_by_name(name);
+    ASSERT_TRUE(back.has_value()) << "type " << t;
+    EXPECT_EQ(*back, type);
+  }
+  EXPECT_EQ(event_name(static_cast<EventType>(0)), "unknown");
+  EXPECT_EQ(event_name(static_cast<EventType>(11)), "unknown");
+  EXPECT_FALSE(event_by_name("").has_value());
+  EXPECT_FALSE(event_by_name("unknown").has_value());
+}
+
 TEST(MeterMsgs, HeaderLayoutIsFixed) {
   MeterMsg m = stamped(MeterSend{7, 9, 42, 100, "destination"});
   const util::Bytes wire = m.serialize();

@@ -1,0 +1,157 @@
+// Property test for the compiled template engine: on records decoded via
+// the standard descriptions, CompiledTemplates must produce byte-identical
+// accept/discard decisions to the interpreted Templates evaluator, for
+// random rule sets over random meter messages.
+#include <gtest/gtest.h>
+
+#include "filter/compiled_templates.h"
+#include "filter/trace.h"
+#include "meter/metermsgs.h"
+#include "util/rng.h"
+
+namespace dpm::filter {
+namespace {
+
+// Field pool mixing fields common to every record (header), fields of
+// some types only (destName, newPid, sockName...), and one bogus name so
+// rules can be infeasible everywhere.
+const char* kFields[] = {"machine",  "type",   "pid",      "sock",
+                         "msgLength", "cpuTime", "destName", "sockName",
+                         "peerName",  "newPid",  "size",     "ghost"};
+const char* kOps[] = {"=", "!=", "<", ">", "<=", ">="};
+
+std::string random_name(util::Rng& rng) {
+  // Socket names in this kernel render as decimal numbers (internet
+  // names, Fig 3.3), but throw in the odd non-numeric string too.
+  if (rng.bernoulli(0.2)) return "addr-" + std::to_string(rng.uniform(0, 4));
+  return std::to_string(rng.uniform(0, 300000));
+}
+
+meter::MeterMsg random_msg(util::Rng& rng) {
+  meter::MeterMsg m;
+  const meter::Pid pid = static_cast<meter::Pid>(rng.uniform(1, 30));
+  const meter::SocketId sock = rng.uniform(0, 8);
+  switch (rng.uniform(0, 5)) {
+    case 0:
+      m.body = meter::MeterSend{pid, 0, sock,
+                                static_cast<std::uint32_t>(rng.uniform(0, 2048)),
+                                random_name(rng)};
+      break;
+    case 1:
+      m.body = meter::MeterRecv{pid, 0, sock,
+                                static_cast<std::uint32_t>(rng.uniform(0, 2048)),
+                                random_name(rng)};
+      break;
+    case 2:
+      m.body = meter::MeterFork{pid, 0, static_cast<meter::Pid>(pid + 1)};
+      break;
+    case 3:
+      m.body = meter::MeterAccept{pid, 0, sock, sock + 1, random_name(rng),
+                                  random_name(rng)};
+      break;
+    case 4:
+      m.body = meter::MeterConnect{pid, 0, sock, random_name(rng),
+                                   random_name(rng)};
+      break;
+    default:
+      m.body = meter::MeterTermProc{pid, 0, 0};
+      break;
+  }
+  m.header.machine = static_cast<std::uint16_t>(rng.uniform(0, 6));
+  m.header.cpu_time = rng.uniform(0, 20000);
+  m.header.proc_time = rng.uniform(0, 1000);
+  return m;
+}
+
+std::string random_rules(util::Rng& rng) {
+  std::string text;
+  const int nrules = static_cast<int>(rng.uniform(1, 4));
+  for (int r = 0; r < nrules; ++r) {
+    std::string line;
+    const int nclauses = static_cast<int>(rng.uniform(1, 3));
+    for (int c = 0; c < nclauses; ++c) {
+      if (!line.empty()) line += ", ";
+      line += kFields[rng.uniform(0, 11)];
+      const bool wildcard = rng.bernoulli(0.2);
+      // '*' is only legal with '='; '#' discard works with any value.
+      line += wildcard ? "=" : kOps[rng.uniform(0, 5)];
+      if (rng.bernoulli(0.25)) line += "#";
+      if (wildcard) {
+        line += "*";
+      } else {
+        switch (rng.uniform(0, 3)) {
+          case 0:  // integer literal, sometimes with leading zeros
+            line += (rng.bernoulli(0.1) ? "00" : "") +
+                    std::to_string(rng.uniform(0, 2048));
+            break;
+          case 1:  // a name that may or may not be a field of the type
+            line += kFields[rng.uniform(0, 11)];
+            break;
+          case 2:  // socket-name-like literal
+            line += std::to_string(rng.uniform(0, 300000));
+            break;
+          default:  // non-numeric string literal
+            line += "addr-" + std::to_string(rng.uniform(0, 4));
+            break;
+        }
+      }
+    }
+    text += line + "\n";
+  }
+  return text;
+}
+
+class CompiledEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompiledEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST_P(CompiledEquivalence, MatchesInterpretedOnDecodedRecords) {
+  util::Rng rng(GetParam() * 977);
+  auto desc = Descriptions::parse(default_descriptions_text());
+  ASSERT_TRUE(desc.has_value());
+
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::string text = random_rules(rng);
+    auto templ = Templates::parse(text);
+    ASSERT_TRUE(templ.has_value()) << text;
+    const auto compiled = CompiledTemplates::compile(*templ, *desc);
+
+    for (int i = 0; i < 40; ++i) {
+      auto rec = desc->decode(random_msg(rng).serialize());
+      ASSERT_TRUE(rec.has_value());
+      const auto cd = compiled.evaluate(*rec);
+      ASSERT_TRUE(cd.has_value()) << "decoded record must be compiled\n"
+                                  << text;
+      const Templates::Decision id = templ->evaluate(*rec);
+      ASSERT_EQ(cd->accept, id.accept)
+          << "rules:\n" << text << "record: " << trace_line(*rec, nullptr);
+      if (cd->accept) {
+        // The discard mask must edit the trace line exactly like the
+        // interpreted name set.
+        ASSERT_EQ(trace_line(*rec, cd->discard), trace_line(*rec, id.discard))
+            << "rules:\n" << text;
+      }
+    }
+  }
+}
+
+TEST_P(CompiledEquivalence, EmptyRuleSetAgrees) {
+  util::Rng rng(GetParam() * 31 + 7);
+  auto desc = Descriptions::parse(default_descriptions_text());
+  ASSERT_TRUE(desc.has_value());
+  const auto compiled = CompiledTemplates::compile(Templates{}, *desc);
+  Templates empty;
+  for (int i = 0; i < 50; ++i) {
+    auto rec = desc->decode(random_msg(rng).serialize());
+    ASSERT_TRUE(rec.has_value());
+    const auto cd = compiled.evaluate(*rec);
+    ASSERT_TRUE(cd.has_value());
+    EXPECT_TRUE(cd->accept);
+    EXPECT_EQ(cd->accept, empty.evaluate(*rec).accept);
+    EXPECT_EQ(trace_line(*rec, cd->discard), trace_line(*rec, empty.evaluate(*rec).discard));
+  }
+}
+
+}  // namespace
+}  // namespace dpm::filter
