@@ -40,19 +40,155 @@ std::optional<Event> event_from_record(const filter::Record& rec) {
   return e;
 }
 
+namespace {
+
+/// Case-insensitive match of `s` against an all-lowercase literal.
+bool iequals(std::string_view s, std::string_view lower_lit) {
+  if (s.size() != lower_lit.size()) return false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+    if (c != lower_lit[i]) return false;
+  }
+  return true;
+}
+
+/// Event type for a trace line's event name. Description files use caps
+/// ("SEND") and a few long forms; matched without allocating.
+std::optional<meter::EventType> type_for_name(std::string_view name) {
+  using meter::EventType;
+  struct Alias {
+    const char* name;
+    EventType type;
+  };
+  static constexpr Alias kNames[] = {
+      {"send", EventType::send},         {"recv", EventType::recv},
+      {"receive", EventType::recv},      {"recvcall", EventType::recvcall},
+      {"sockcrt", EventType::sockcrt},   {"socket", EventType::sockcrt},
+      {"dup", EventType::dup},           {"destsock", EventType::destsock},
+      {"fork", EventType::fork},         {"accept", EventType::accept},
+      {"connect", EventType::connect},   {"termproc", EventType::termproc},
+  };
+  for (const auto& a : kNames) {
+    if (iequals(name, a.name)) return a.type;
+  }
+  return std::nullopt;
+}
+
+std::string unescape_value(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      auto hi = util::parse_int_base(s.substr(i + 1, 2), 16);
+      if (hi) {
+        out.push_back(static_cast<char>(*hi));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(s[i]);
+  }
+  return out;
+}
+
+/// The Event's copy of a string field. Numeric tokens are canonicalized
+/// through their parsed value, matching what the Record-based path
+/// produced (parse_trace_line + field_value_text).
+std::string text_of(std::string_view value) {
+  if (auto n = util::parse_int(value)) return std::to_string(*n);
+  return std::string(value);
+}
+
+void apply_field(Event& e, std::string_view name, std::string_view value) {
+  const auto num = util::parse_int(value);
+  if (name == "machine") {
+    if (num) e.machine = static_cast<std::uint16_t>(*num);
+  } else if (name == "cpuTime") {
+    if (num) e.cpu_time = *num;
+  } else if (name == "procTime") {
+    if (num) e.proc_time = *num;
+  } else if (name == "pid") {
+    if (num) e.pid = static_cast<std::int32_t>(*num);
+  } else if (name == "pc") {
+    if (num) e.pc = static_cast<std::uint32_t>(*num);
+  } else if (name == "sock") {
+    if (num) e.sock = static_cast<std::uint64_t>(*num);
+  } else if (name == "newSock") {
+    if (num) e.new_sock = static_cast<std::uint64_t>(*num);
+  } else if (name == "msgLength") {
+    if (num) e.msg_length = static_cast<std::uint32_t>(*num);
+  } else if (name == "newPid") {
+    if (num) e.new_pid = static_cast<std::int32_t>(*num);
+  } else if (name == "status") {
+    if (num) e.status = static_cast<std::int32_t>(*num);
+  } else if (name == "destName") {
+    e.dest_name = text_of(value);
+  } else if (name == "sourceName") {
+    e.source_name = text_of(value);
+  } else if (name == "sockName") {
+    e.sock_name = text_of(value);
+  } else if (name == "peerName") {
+    e.peer_name = text_of(value);
+  }
+  // Other names (size, traceType, ...) carry nothing the Event keeps.
+}
+
+/// Parses one trimmed, non-comment trace line straight into `e`. Tokens
+/// are scanned as views; the only allocations are the Event's own string
+/// fields (and an unescape scratch, for the rare '%'-escaped value).
+/// False on a malformed token or an unknown/missing event name.
+bool event_from_line(std::string_view line, Event& e) {
+  bool saw_event = false;
+  std::size_t pos = 0;
+  while (pos < line.size()) {
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+    if (pos >= line.size()) break;
+    std::size_t end = line.find_first_of(" \t", pos);
+    if (end == std::string_view::npos) end = line.size();
+    const std::string_view tok = line.substr(pos, end - pos);
+    pos = end;
+
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string_view::npos || eq == 0) return false;
+    const std::string_view name = tok.substr(0, eq);
+    std::string_view value = tok.substr(eq + 1);
+    std::string scratch;
+    if (value.find('%') != std::string_view::npos) {
+      scratch = unescape_value(value);
+      value = scratch;
+    }
+    if (name == "event") {
+      const auto t = type_for_name(value);
+      if (!t) return false;
+      e.type = *t;
+      saw_event = true;
+      continue;
+    }
+    apply_field(e, name, value);
+  }
+  return saw_event;
+}
+
+}  // namespace
+
 Trace read_trace(const std::string& text) {
   Trace out;
-  filter::ParsedTrace parsed = filter::parse_trace(text);
-  out.malformed = parsed.malformed;
-  out.events.reserve(parsed.records.size());
-  for (const auto& rec : parsed.records) {
-    auto e = event_from_record(rec);
-    if (!e) {
+  const std::string_view sv{text};
+  std::size_t start = 0;
+  while (start < sv.size()) {
+    const std::size_t nl = sv.find('\n', start);
+    const std::size_t end = (nl == std::string_view::npos) ? sv.size() : nl;
+    const std::string_view line = util::trim(sv.substr(start, end - start));
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    Event e;
+    if (!event_from_line(line, e)) {
       ++out.malformed;
       continue;
     }
-    e->index = out.events.size();
-    out.events.push_back(std::move(*e));
+    e.index = out.events.size();
+    out.events.push_back(std::move(e));
   }
   return out;
 }

@@ -47,6 +47,7 @@ CompiledTemplates CompiledTemplates::compile(const Templates& templates,
     EventPlan& plan = out.plans_[type];
     plan.valid = true;
     plan.field_count = layout.size();
+    if (const WirePlan* wp = descriptions.wire_plan(type)) plan.wire = *wp;
 
     for (const Rule& rule : templates.rules()) {
       RulePlan rp;
@@ -119,6 +120,50 @@ bool CompiledTemplates::clause_holds(const ClausePlan& c, const Record& rec) {
     }
   }
   return apply_op(c.op, cmp);
+}
+
+bool CompiledTemplates::clause_holds(const ClausePlan& c, const RecordView& v,
+                                     const WirePlan& wire) {
+  if (c.wildcard) return true;
+  const auto lhs = wire.field(v, c.lhs);
+  if (!lhs) return false;  // unreachable on validated records
+
+  int cmp;
+  if (c.rhs_is_field) {
+    const auto rhs = wire.field(v, c.rhs_field);
+    if (!rhs) return false;
+    cmp = field_view_cmp(*lhs, *rhs);
+  } else {
+    const auto ln = field_view_num(*lhs);
+    if (ln && c.rhs_num) {
+      cmp = (*ln < *c.rhs_num) ? -1 : (*ln > *c.rhs_num) ? 1 : 0;
+    } else {
+      cmp = field_view_text_cmp(*lhs, c.rhs_text);
+    }
+  }
+  return apply_op(c.op, cmp);
+}
+
+std::optional<CompiledTemplates::Decision> CompiledTemplates::evaluate(
+    const RecordView& v) const {
+  if (accept_all_) return Decision{true, nullptr};
+  if (v.type >= plans_.size() || !plans_[v.type].valid) return std::nullopt;
+  const EventPlan& plan = plans_[v.type];
+  if (!plan.wire.viewable()) return std::nullopt;
+
+  for (const RulePlan& rule : plan.rules) {
+    bool all = true;
+    for (const ClausePlan& c : rule.clauses) {
+      if (!clause_holds(c, v, plan.wire)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      return Decision{true, rule.discard.empty() ? nullptr : &rule.discard};
+    }
+  }
+  return Decision{false, nullptr};
 }
 
 std::optional<CompiledTemplates::Decision> CompiledTemplates::evaluate(

@@ -60,6 +60,15 @@ class CompiledTemplates {
   /// Templates::evaluate.
   std::optional<Decision> evaluate(const Record& rec) const;
 
+  /// Evaluates a wire record in place: clause operands are read straight
+  /// off the record's bytes through the type's WirePlan, so nothing is
+  /// decoded or allocated. Callers should bounds-validate the record
+  /// first (WirePlan::validate); the caller falls back to the interpreted
+  /// path when this returns nullopt (no compiled plan, or a description
+  /// the view decoder cannot handle). Decision-identical to evaluate() on
+  /// the decoded record.
+  std::optional<Decision> evaluate(const RecordView& v) const;
+
   /// Number of event types with a compiled plan.
   std::size_t plan_count() const;
 
@@ -81,9 +90,14 @@ class CompiledTemplates {
     bool valid = false;
     std::size_t field_count = 0;
     std::vector<RulePlan> rules;
+    /// Field locators for the zero-copy path (copied from the
+    /// Descriptions at compile time, so plans own everything they need).
+    WirePlan wire;
   };
 
   static bool clause_holds(const ClausePlan& c, const Record& rec);
+  static bool clause_holds(const ClausePlan& c, const RecordView& v,
+                           const WirePlan& wire);
 
   /// Plans indexed by traceType. Types beyond kMaxDirectType are left
   /// uncompiled (interpreted fallback) to bound the table size.

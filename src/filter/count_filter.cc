@@ -143,6 +143,17 @@ kernel::ProcessMain make_count_filter_main(
       }
       if (changed) rewrite_log();
     }
+
+    const FilterStats& st = engine.stats();
+    (void)sys.write(
+        2, util::strprintf(
+               "countfilter: records=%llu accepted=%llu rejected=%llu "
+               "malformed=%llu truncated=%llu\n",
+               static_cast<unsigned long long>(st.records_in),
+               static_cast<unsigned long long>(st.accepted),
+               static_cast<unsigned long long>(st.rejected),
+               static_cast<unsigned long long>(st.malformed),
+               static_cast<unsigned long long>(st.truncated)));
     sys.exit(0);
   };
 }

@@ -1,6 +1,7 @@
 #include "filter/descriptions.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "meter/metermsgs.h"
 #include "util/strings.h"
@@ -17,6 +18,42 @@ std::string field_value_text(const FieldValue& v) {
 std::optional<std::int64_t> field_value_num(const FieldValue& v) {
   if (const auto* n = std::get_if<std::int64_t>(&v)) return *n;
   return util::parse_int(std::get<std::string>(v));
+}
+
+std::optional<std::int64_t> field_view_num(const FieldView& v) {
+  if (const auto* n = std::get_if<std::int64_t>(&v)) return *n;
+  return util::parse_int(std::get<std::string_view>(v));
+}
+
+namespace {
+
+/// Renders an integer FieldView into `buf` (sized for any int64) and
+/// returns the resulting text view; string views pass through. Rendering
+/// matches field_value_text ("%lld").
+std::string_view view_text(const FieldView& v, char (&buf)[24]) {
+  if (const auto* n = std::get_if<std::int64_t>(&v)) {
+    const int len =
+        std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(*n));
+    return std::string_view(buf, static_cast<std::size_t>(len));
+  }
+  return std::get<std::string_view>(v);
+}
+
+int sign_of(int cmp) { return cmp < 0 ? -1 : cmp > 0 ? 1 : 0; }
+
+}  // namespace
+
+int field_view_text_cmp(const FieldView& lhs, std::string_view rhs_text) {
+  char buf[24];
+  return sign_of(view_text(lhs, buf).compare(rhs_text));
+}
+
+int field_view_cmp(const FieldView& lhs, const FieldView& rhs) {
+  const auto ln = field_view_num(lhs);
+  const auto rn = field_view_num(rhs);
+  if (ln && rn) return *ln < *rn ? -1 : *ln > *rn ? 1 : 0;
+  char buf[24];
+  return field_view_text_cmp(lhs, view_text(rhs, buf));
 }
 
 const FieldValue* Record::find(const std::string& name) const {
@@ -111,6 +148,9 @@ std::optional<Descriptions> Descriptions::parse(const std::string& text,
     if (error) *error = "no event descriptions found";
     return std::nullopt;
   }
+  // Resolve every type's wire plan once, so filters can match records
+  // without decoding them.
+  for (const auto& [t, d] : out.by_type_) out.plans_.emplace(t, WirePlan::build(d));
   return out;
 }
 
@@ -147,9 +187,9 @@ const EventDesc* Descriptions::by_name(const std::string& name) const {
 
 namespace {
 
-std::optional<std::int64_t> read_le(const util::Bytes& raw, std::size_t at,
-                                    std::size_t len) {
-  if (at + len > raw.size()) return std::nullopt;
+std::optional<std::int64_t> read_le(const std::uint8_t* raw, std::size_t size,
+                                    std::size_t at, std::size_t len) {
+  if (at > size || size - at < len) return std::nullopt;
   std::uint64_t v = 0;
   for (std::size_t i = len; i-- > 0;) v = (v << 8) | raw[at + i];
   // Fields are signed, as in the paper's C structs (a killed process's
@@ -160,26 +200,52 @@ std::optional<std::int64_t> read_le(const util::Bytes& raw, std::size_t at,
   return static_cast<std::int64_t>(v);
 }
 
+/// True when `len` more bytes fit at `cursor` (overflow-safe: a counted
+/// string's length can be any non-negative int64).
+bool string_fits(std::size_t cursor, std::int64_t len, std::size_t size) {
+  return cursor <= size &&
+         static_cast<std::uint64_t>(len) <= static_cast<std::uint64_t>(size - cursor);
+}
+
 }  // namespace
 
+std::optional<RecordView> make_record_view(const std::uint8_t* data,
+                                           std::size_t size) {
+  if (size < meter::kHeaderSize) return std::nullopt;
+  const auto wire_size = read_le(data, size, 0, 4);
+  if (static_cast<std::size_t>(*wire_size) != size) return std::nullopt;
+  RecordView v;
+  v.data = data;
+  v.size = size;
+  v.type = static_cast<std::uint32_t>(*read_le(data, size, 22, 4));
+  return v;
+}
+
 std::optional<Record> Descriptions::decode(const util::Bytes& raw) const {
-  if (raw.size() < meter::kHeaderSize) return std::nullopt;
+  return decode(raw.data(), raw.size());
+}
+
+std::optional<Record> Descriptions::decode(const std::uint8_t* raw,
+                                           std::size_t size) const {
+  if (size < meter::kHeaderSize) return std::nullopt;
   Record rec;
 
   // Fixed header layout: size u32 @0, machine u16 @4, cpuTime i64 @6,
   // procTime i64 @14, traceType u32 @22.
-  auto size = read_le(raw, 0, 4);
-  auto machine = read_le(raw, 4, 2);
-  auto cpu = read_le(raw, 6, 8);
-  auto proc = read_le(raw, 14, 8);
-  auto type = read_le(raw, 22, 4);
-  if (!size || static_cast<std::size_t>(*size) != raw.size()) return std::nullopt;
+  auto wire_size = read_le(raw, size, 0, 4);
+  auto machine = read_le(raw, size, 4, 2);
+  auto cpu = read_le(raw, size, 6, 8);
+  auto proc = read_le(raw, size, 14, 8);
+  auto type = read_le(raw, size, 22, 4);
+  if (!wire_size || static_cast<std::size_t>(*wire_size) != size) {
+    return std::nullopt;
+  }
   rec.type = static_cast<std::uint32_t>(*type);
 
   const EventDesc* desc = by_type(rec.type);
   if (!desc) return std::nullopt;
   rec.event_name = desc->name;
-  rec.fields.emplace_back("size", *size);
+  rec.fields.emplace_back("size", *wire_size);
   rec.fields.emplace_back("machine", *machine);
   rec.fields.emplace_back("cpuTime", *cpu);
   rec.fields.emplace_back("procTime", *proc);
@@ -192,7 +258,7 @@ std::optional<Record> Descriptions::decode(const util::Bytes& raw) const {
   bool cursor_set = false;
   for (const FieldDesc& f : desc->fields) {
     if (f.length > 0) {
-      auto v = read_le(raw, body + f.offset, f.length);
+      auto v = read_le(raw, size, body + f.offset, f.length);
       if (!v) return std::nullopt;
       rec.fields.emplace_back(f.name, *v);
       continue;
@@ -203,13 +269,138 @@ std::optional<Record> Descriptions::decode(const util::Bytes& raw) const {
       cursor = body + f.offset;
       cursor_set = true;
     }
-    if (cursor + static_cast<std::size_t>(*len) > raw.size()) return std::nullopt;
-    std::string s(reinterpret_cast<const char*>(raw.data() + cursor),
+    if (!string_fits(cursor, *len, size)) return std::nullopt;
+    std::string s(reinterpret_cast<const char*>(raw + cursor),
                   static_cast<std::size_t>(*len));
     cursor += static_cast<std::size_t>(*len);
     rec.fields.emplace_back(f.name, std::move(s));
   }
   return rec;
+}
+
+// ---- WirePlan ----
+
+WirePlan WirePlan::build(const EventDesc& desc) {
+  WirePlan plan;
+  plan.viewable_ = true;
+  // The five fixed header fields, mirroring record_layout()/decode().
+  const struct { const char* name; std::size_t off, len; } kHeader[] = {
+      {"size", 0, 4},     {"machine", 4, 2}, {"cpuTime", 6, 8},
+      {"procTime", 14, 8}, {"type", 22, 4},
+  };
+  for (const auto& h : kHeader) {
+    plan.names_.emplace_back(h.name);
+    plan.fields_.push_back(Loc{h.off, h.len, -1, 0});
+  }
+  for (const FieldDesc& f : desc.fields) {
+    Loc loc;
+    if (f.length > 0) {
+      loc.offset = meter::kHeaderSize + f.offset;
+      loc.length = f.length;
+    } else {
+      loc.ordinal = static_cast<int>(plan.strings_.size());
+      if (plan.strings_.empty()) {
+        plan.string_base_ = meter::kHeaderSize + f.offset;
+      }
+      // decode() resolves the byte count from the first *already decoded*
+      // field named "<name>Len" — i.e. the first earlier layout field.
+      const std::string len_name = f.name + "Len";
+      std::size_t len_field = static_cast<std::size_t>(-1);
+      for (std::size_t j = 0; j < plan.names_.size(); ++j) {
+        if (plan.names_[j] == len_name) {
+          len_field = j;
+          break;
+        }
+      }
+      if (len_field == static_cast<std::size_t>(-1) ||
+          plan.strings_.size() >= kMaxStringFields) {
+        // decode() would fail every record of this type (no length field),
+        // or the type has more strings than the extraction scratchpad —
+        // either way the owned path must handle it.
+        plan.viewable_ = false;
+      }
+      loc.len_field = len_field;
+      plan.strings_.push_back(plan.fields_.size());
+    }
+    plan.names_.push_back(f.name);
+    plan.fields_.push_back(loc);
+  }
+  return plan;
+}
+
+std::size_t WirePlan::index_of(std::string_view name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+bool WirePlan::string_views(const RecordView& v, int k,
+                            std::string_view* out) const {
+  std::size_t cursor = string_base_;
+  for (int j = 0; j <= k; ++j) {
+    const Loc& lf = fields_[fields_[strings_[static_cast<std::size_t>(j)]].len_field];
+    std::int64_t len;
+    if (lf.length > 0) {
+      auto val = read_le(v.data, v.size, lf.offset, lf.length);
+      if (!val) return false;
+      len = *val;
+    } else {
+      // The length field is itself an earlier counted string; its text
+      // must parse as an integer (field_value_num semantics in decode()).
+      auto n = util::parse_int(out[lf.ordinal]);
+      if (!n) return false;
+      len = *n;
+    }
+    if (len < 0 || !string_fits(cursor, len, v.size)) return false;
+    out[j] = std::string_view(reinterpret_cast<const char*>(v.data) + cursor,
+                              static_cast<std::size_t>(len));
+    cursor += static_cast<std::size_t>(len);
+  }
+  return true;
+}
+
+std::optional<FieldView> WirePlan::field(const RecordView& v,
+                                         std::size_t i) const {
+  if (!viewable_ || i >= fields_.size()) return std::nullopt;
+  const Loc& f = fields_[i];
+  if (f.length > 0) {
+    auto val = read_le(v.data, v.size, f.offset, f.length);
+    if (!val) return std::nullopt;
+    return FieldView{*val};
+  }
+  std::string_view scratch[kMaxStringFields];
+  if (!string_views(v, f.ordinal, scratch)) return std::nullopt;
+  return FieldView{scratch[f.ordinal]};
+}
+
+bool WirePlan::validate(const RecordView& v) const {
+  if (!viewable_ || v.size < meter::kHeaderSize) return false;
+  const auto wire_size = read_le(v.data, v.size, 0, 4);
+  if (static_cast<std::size_t>(*wire_size) != v.size) return false;
+  for (const Loc& f : fields_) {
+    if (f.length > 0 &&
+        (f.offset > v.size || v.size - f.offset < f.length)) {
+      return false;
+    }
+  }
+  if (strings_.empty()) return true;
+  std::string_view scratch[kMaxStringFields];
+  return string_views(v, static_cast<int>(strings_.size()) - 1, scratch);
+}
+
+const WirePlan* Descriptions::wire_plan(std::uint32_t type) const {
+  auto it = plans_.find(type);
+  return it == plans_.end() ? nullptr : &it->second;
+}
+
+std::optional<FieldView> Descriptions::wire_field(const RecordView& v,
+                                                  std::string_view name) const {
+  const WirePlan* plan = wire_plan(v.type);
+  if (!plan || !plan->viewable()) return std::nullopt;
+  const std::size_t i = plan->index_of(name);
+  if (i == static_cast<std::size_t>(-1)) return std::nullopt;
+  return plan->field(v, i);
 }
 
 const std::string& default_descriptions_text() {

@@ -41,6 +41,38 @@ std::string field_value_text(const FieldValue& v);
 /// integers count, so internet names compare numerically — Fig 3.3).
 std::optional<std::int64_t> field_value_num(const FieldValue& v);
 
+/// Non-owning view of one framed wire record (header + body). The view
+/// borrows the batch buffer it was framed from: it is valid only until
+/// that buffer is next modified (the wire-view invariant, DESIGN.md §5).
+struct RecordView {
+  const std::uint8_t* data = nullptr;
+  std::size_t size = 0;
+  std::uint32_t type = 0;  // traceType, decoded from the fixed header
+};
+
+/// Frames a view over `size` bytes of one record; nullopt if the bytes are
+/// too short for a header or the size word disagrees with `size`.
+std::optional<RecordView> make_record_view(const std::uint8_t* data,
+                                           std::size_t size);
+
+/// One field extracted from a RecordView without copying: integers decode
+/// to int64 (sign-extended, like Descriptions::decode), counted strings
+/// become views into the record's bytes.
+using FieldView = std::variant<std::int64_t, std::string_view>;
+
+/// Mirrors field_value_num: ints are numeric; strings are numeric when
+/// they parse as decimal integers.
+std::optional<std::int64_t> field_view_num(const FieldView& v);
+
+/// Three-way textual comparison against `rhs_text`, rendering an integer
+/// lhs into a stack buffer (no allocation). Matches the rendering of
+/// field_value_text. Returns -1/0/1.
+int field_view_text_cmp(const FieldView& lhs, std::string_view rhs_text);
+
+/// Three-way comparison with the template-matching semantics: numeric when
+/// both sides have a numeric view, textual otherwise. Returns -1/0/1.
+int field_view_cmp(const FieldView& lhs, const FieldView& rhs);
+
 struct FieldDesc {
   std::string name;
   std::size_t offset = 0;  // within the record body
@@ -52,6 +84,55 @@ struct EventDesc {
   std::string name;          // "SEND"
   std::uint32_t type = 0;    // traceType value
   std::vector<FieldDesc> fields;
+};
+
+/// Field locators for one event type, resolved once from its description:
+/// lets the filter read individual fields straight off the wire (and
+/// bounds-validate a whole record) without materializing a Record. Field
+/// indices match Descriptions::record_layout / Record::fields order.
+class WirePlan {
+ public:
+  /// False when the description cannot be view-decoded (a counted string
+  /// with no earlier "<name>Len" field, or more string fields than
+  /// kMaxStringFields); callers must fall back to the owned decode path.
+  bool viewable() const { return viewable_; }
+  std::size_t field_count() const { return fields_.size(); }
+  const std::vector<std::string>& field_names() const { return names_; }
+
+  /// Index of `name` in the layout, or npos. Mirrors Record::find: the
+  /// first field with that name wins.
+  std::size_t index_of(std::string_view name) const;
+
+  /// Extracts layout field `i`; nullopt when the record is too short or a
+  /// string length is inconsistent (exactly when decode() would fail).
+  std::optional<FieldView> field(const RecordView& v, std::size_t i) const;
+
+  /// Bounds-validates every described field of `v` without extracting
+  /// strings; true exactly when Descriptions::decode would succeed.
+  bool validate(const RecordView& v) const;
+
+ private:
+  friend class Descriptions;
+  static WirePlan build(const EventDesc& desc);
+
+  /// Counted strings are resolved with a bounded stack scratchpad; plans
+  /// with more string fields fall back to owned decoding.
+  static constexpr std::size_t kMaxStringFields = 16;
+
+  struct Loc {
+    std::size_t offset = 0;    // absolute within the record (ints only)
+    std::size_t length = 0;    // integer width; 0 = counted string
+    int ordinal = -1;          // position among the type's string fields
+    std::size_t len_field = 0; // layout index of the "<name>Len" field
+  };
+  /// Computes the views of string ordinals [0, k]; false on bounds errors.
+  bool string_views(const RecordView& v, int k, std::string_view* out) const;
+
+  bool viewable_ = false;
+  std::vector<Loc> fields_;           // layout order: 5 header fields + body
+  std::vector<std::string> names_;    // layout order, same indexing
+  std::size_t string_base_ = 0;       // absolute offset of the first string byte
+  std::vector<std::size_t> strings_;  // layout indices of string fields, in order
 };
 
 /// A decoded event record: ordered (name, value) pairs, header fields
@@ -89,9 +170,21 @@ class Descriptions {
   /// Decodes one complete raw meter message (header + body). Returns
   /// nullopt if the record is malformed or its type is not described.
   std::optional<Record> decode(const util::Bytes& raw) const;
+  std::optional<Record> decode(const std::uint8_t* raw, std::size_t size) const;
+
+  /// The resolved wire plan for `type`; nullptr when undescribed.
+  const WirePlan* wire_plan(std::uint32_t type) const;
+
+  /// Extracts the named field from a wire record via the type's plan;
+  /// nullopt when the type is undescribed / not viewable, the field is
+  /// absent, or the record is malformed. The interpreted template fallback
+  /// matches through this.
+  std::optional<FieldView> wire_field(const RecordView& v,
+                                      std::string_view name) const;
 
  private:
   std::map<std::uint32_t, EventDesc> by_type_;
+  std::map<std::uint32_t, WirePlan> plans_;
   std::vector<std::string> header_fields_;
 };
 

@@ -10,10 +10,47 @@
 
 namespace dpm::filter {
 
-void FilterEngine::drain(
-    std::uint64_t conn, const util::Bytes& data,
-    const std::function<void(const Record&, const std::vector<bool>*,
-                             const std::set<std::string>*)>& on_accept) {
+bool FilterEngine::select_view(const std::uint8_t* raw, std::size_t size,
+                               const OnAccept& on_accept) {
+  const auto v = make_record_view(raw, size);
+  if (!v) return false;
+  const WirePlan* wp = desc_.wire_plan(v->type);
+  if (!wp || !wp->viewable()) return false;  // owned path decides
+
+  if (!wp->validate(*v)) {
+    ++stats_.malformed;
+    return true;
+  }
+  // Match straight on the wire bytes; an owned Record is materialized only
+  // for records that survive selection and must be handed downstream.
+  const std::vector<bool>* mask = nullptr;
+  const std::set<std::string>* names = nullptr;
+  Templates::Decision d;
+  if (auto cd = compiled_.evaluate(*v)) {
+    ++stats_.eval_compiled;
+    if (!cd->accept) {
+      ++stats_.rejected;
+      return true;
+    }
+    mask = cd->discard;
+  } else {
+    ++stats_.eval_interpreted;
+    d = templ_.evaluate_view(*v, desc_);
+    if (!d.accept) {
+      ++stats_.rejected;
+      return true;
+    }
+    if (!d.discard.empty()) names = &d.discard;
+  }
+  ++stats_.accepted;
+  // validate() passed, so the decode cannot fail.
+  auto rec = desc_.decode(raw, size);
+  on_accept(*rec, mask, names);
+  return true;
+}
+
+void FilterEngine::drain(std::uint64_t conn, const util::Bytes& data,
+                         const OnAccept& on_accept) {
   stats_.bytes_in += data.size();
   util::Bytes& buf = partial_[conn];
   buf.insert(buf.end(), data.begin(), data.end());
@@ -32,19 +69,23 @@ void FilterEngine::drain(
       break;
     }
     if (buf.size() - pos < size) break;  // record incomplete
-    util::Bytes raw(buf.begin() + static_cast<std::ptrdiff_t>(pos),
-                    buf.begin() + static_cast<std::ptrdiff_t>(pos + size));
+    const std::uint8_t* raw = buf.data() + pos;
     pos += size;
     ++stats_.records_in;
 
-    auto rec = desc_.decode(raw);
+    // Hot path: evaluate in place over the wire bytes (the view borrows
+    // `buf`, which is not touched until the loop ends). Types the view
+    // decoder cannot handle fall through to the owned decode below.
+    if (path_ == EvalPath::view && select_view(raw, size, on_accept)) continue;
+
+    auto rec = desc_.decode(raw, size);
     if (!rec) {
       ++stats_.malformed;
       continue;
     }
-    // Hot path: the clause plan compiled against the record description.
-    // Records of types the compiler did not cover fall back to the
-    // interpreted evaluator.
+    // Clause plan compiled against the record description; records of
+    // types the compiler did not cover fall back to the interpreted
+    // evaluator.
     if (auto cd = compiled_.evaluate(*rec)) {
       ++stats_.eval_compiled;
       if (!cd->accept) {
@@ -67,8 +108,26 @@ void FilterEngine::drain(
   buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(pos));
 }
 
+void FilterEngine::end_connection(std::uint64_t conn) {
+  auto it = partial_.find(conn);
+  if (it == partial_.end()) return;
+  if (!it->second.empty()) {
+    // The connection ended mid-record: the cut-short tail is a counted
+    // loss, not a silent one.
+    ++stats_.malformed;
+    ++stats_.truncated;
+  }
+  partial_.erase(it);
+}
+
 std::string FilterEngine::feed(std::uint64_t conn, const util::Bytes& data) {
   std::string out;
+  feed(conn, data, out);
+  return out;
+}
+
+void FilterEngine::feed(std::uint64_t conn, const util::Bytes& data,
+                        std::string& out) {
   drain(conn, data,
         [&](const Record& rec, const std::vector<bool>* mask,
             const std::set<std::string>* names) {
@@ -77,7 +136,6 @@ std::string FilterEngine::feed(std::uint64_t conn, const util::Bytes& data) {
           stats_.bytes_out += line.size();
           out += line;
         });
-  return out;
 }
 
 void FilterEngine::feed_each(std::uint64_t conn, const util::Bytes& data,
@@ -144,6 +202,18 @@ kernel::ProcessMain make_filter_main(const std::vector<std::string>& argv) {
     }
     if (!sys.listen(*lsock, 32)) sys.exit(1);
 
+    // Trace lines are batched per select round instead of written per
+    // record; kHighWater bounds the buffer within a round. Every round
+    // flushes at its end so the log file stays current for concurrent
+    // readers (getlog copies it while the filter is live).
+    constexpr std::size_t kHighWater = 16 * 1024;
+    std::string pending;
+    auto flush_log = [&] {
+      if (pending.empty()) return;
+      (void)sys.write(*log_fd, pending);
+      pending.clear();
+    };
+
     std::vector<kernel::Fd> conns;
     for (;;) {
       std::vector<kernel::Fd> fds = conns;
@@ -164,11 +234,23 @@ kernel::ProcessMain make_filter_main(const std::vector<std::string>& argv) {
           conns.erase(std::remove(conns.begin(), conns.end(), fd), conns.end());
           continue;
         }
-        const std::string lines =
-            engine.feed(static_cast<std::uint64_t>(fd), *data);
-        if (!lines.empty()) (void)sys.write(*log_fd, lines);
+        engine.feed(static_cast<std::uint64_t>(fd), *data, pending);
+        if (pending.size() >= kHighWater) flush_log();
       }
+      flush_log();
     }
+    flush_log();
+
+    const FilterStats& st = engine.stats();
+    (void)sys.write(
+        2, util::strprintf(
+               "filter: records=%llu accepted=%llu rejected=%llu "
+               "malformed=%llu truncated=%llu\n",
+               static_cast<unsigned long long>(st.records_in),
+               static_cast<unsigned long long>(st.accepted),
+               static_cast<unsigned long long>(st.rejected),
+               static_cast<unsigned long long>(st.malformed),
+               static_cast<unsigned long long>(st.truncated)));
     sys.exit(0);
   };
 }

@@ -70,11 +70,19 @@ class Templates {
 
   Decision evaluate(const Record& rec) const;
 
+  /// Evaluates a wire record in place, resolving field names through
+  /// `desc`'s wire plans (no Record materialization). Produces the same
+  /// decision as evaluate() on the decoded record for any record that
+  /// Descriptions::decode accepts.
+  Decision evaluate_view(const RecordView& v, const Descriptions& desc) const;
+
   std::size_t rule_count() const { return rules_.size(); }
   const std::vector<Rule>& rules() const { return rules_; }
 
  private:
   static bool clause_matches(const Clause& c, const Record& rec);
+  static bool clause_matches_view(const Clause& c, const RecordView& v,
+                                  const Descriptions& desc);
   std::vector<Rule> rules_;
 };
 

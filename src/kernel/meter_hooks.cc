@@ -19,6 +19,11 @@ void book_cpu(World& world, Machine& m, Process& p, util::Duration d) {
   p.cpu_used += d;
 }
 
+/// Headroom reserved beyond the flush threshold: the byte threshold is
+/// checked only after a message is appended, so the pending buffer can
+/// overshoot it by one message before the flush empties it.
+constexpr std::size_t kPendingSlack = 256;
+
 }  // namespace
 
 void meter_emit(World& world, Process& p, MeterEventDraft&& draft) {
@@ -34,8 +39,13 @@ void meter_emit(World& world, Process& p, MeterEventDraft&& draft) {
   const std::int64_t grain = cfg.cpu_grain.count();
   msg.header.proc_time = (p.cpu_used.count() / grain) * grain;
 
-  const util::Bytes wire = msg.serialize();
-  p.meter_pending.insert(p.meter_pending.end(), wire.begin(), wire.end());
+  // Encode straight into the pending batch. The reservation covers a full
+  // batch (re-established after meter_flush's swap hands the capacity
+  // away), so steady-state emission appends without reallocating.
+  if (p.meter_pending.capacity() < cfg.meter_buffer_bytes + kPendingSlack) {
+    p.meter_pending.reserve(cfg.meter_buffer_bytes + kPendingSlack);
+  }
+  msg.serialize_into(p.meter_pending);
   ++p.meter_pending_count;
   ++p.meter_events;
   ++world.mutable_meter_stats().events;

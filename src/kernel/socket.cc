@@ -80,6 +80,23 @@ void World::destroy_socket(SocketId id) {
 
   if (s.sstate == Socket::StreamState::connected) close_stream(s);
   s.sstate = Socket::StreamState::closed;
+  if (s.is_meter_conn && !s.rbuf.empty()) {
+    // Undelivered meter bytes die with the socket. Frame them the way the
+    // filter would have: a partial record at the tail is a truncated
+    // record the monitor lost, and the loss is counted, not silent.
+    std::size_t pos = 0;
+    const std::size_t n = s.rbuf.size();
+    while (n - pos >= 4) {
+      const std::uint32_t size =
+          static_cast<std::uint32_t>(s.rbuf[pos]) |
+          static_cast<std::uint32_t>(s.rbuf[pos + 1]) << 8 |
+          static_cast<std::uint32_t>(s.rbuf[pos + 2]) << 16 |
+          static_cast<std::uint32_t>(s.rbuf[pos + 3]) << 24;
+      if (size < 4 || n - pos < size) break;  // cut-short (or garbage) tail
+      pos += size;
+    }
+    if (pos < n) ++mutable_meter_stats().malformed_records;
+  }
   s.rbuf.clear();
   s.dgrams.clear();
   s.readers.wake_all(exec_);

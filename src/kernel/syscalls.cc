@@ -995,7 +995,14 @@ util::SysResult<void> Sys::setmeter(std::int32_t proc, std::int32_t flags,
       // placed in its descriptor table (§3.2) — just take a reference.
       world_.socket_ref(new_sock);
       target->meter_sock = new_sock;
-      world_.socket(new_sock).is_meter_conn = true;
+      Socket& ms = world_.socket(new_sock);
+      ms.is_meter_conn = true;
+      // Mark the filter-side end too: its receive buffer carries meter
+      // records, so a teardown with a partial record pending is a counted
+      // loss (MeterStats::malformed_records).
+      if (Socket* peer = world_.find_socket(ms.peer)) {
+        peer->is_meter_conn = true;
+      }
     }
   }
 

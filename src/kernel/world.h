@@ -37,6 +37,10 @@ struct MeterStats {
   std::uint64_t bytes = 0;
   std::uint64_t dropped_batches = 0;
   std::uint64_t dropped_bytes = 0;
+  /// Meter records destroyed cut short: a meter connection's receive
+  /// buffer was torn down while its last record was still partial (the
+  /// filter-side counterpart is FilterStats::truncated).
+  std::uint64_t malformed_records = 0;
 };
 
 /// Options for World::spawn / World::spawn_file.

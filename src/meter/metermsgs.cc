@@ -198,11 +198,16 @@ struct BodyWriter {
 }  // namespace
 
 util::Bytes MeterMsg::serialize() const {
-  util::BinaryWriter w;
+  util::Bytes out;
+  serialize_into(out);
+  return out;
+}
+
+void MeterMsg::serialize_into(util::Bytes& out) const {
+  util::BinaryWriter w(out);
   write_header(w, header, type());
   std::visit(BodyWriter{w}, body);
   w.patch_u32(0, static_cast<std::uint32_t>(w.size()));
-  return w.take();
 }
 
 namespace {

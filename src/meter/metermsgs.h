@@ -144,8 +144,15 @@ struct MeterMsg {
   EventType type() const;
   Pid pid() const;
 
-  /// Serializes to the fixed wire layout; sets header.size / trace_type.
+  /// Serializes to the fixed wire layout; the wire's size and traceType
+  /// words are derived from the body during encoding.
   util::Bytes serialize() const;
+
+  /// Appends the wire encoding to `out` in place — no intermediate buffer;
+  /// the size word is back-patched after the body is written. This is the
+  /// meter's hot path (meter_emit encodes straight into the process's
+  /// pending batch). Byte-identical to serialize().
+  void serialize_into(util::Bytes& out) const;
 
   /// Parses one message; nullopt on malformed input.
   static std::optional<MeterMsg> parse(const util::Bytes& wire);

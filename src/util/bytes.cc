@@ -1,26 +1,37 @@
 #include "util/bytes.h"
 
+#include <cassert>
 #include <cstdio>
+#include <cstring>
 
 namespace dpm::util {
 
-void BinaryWriter::u8(std::uint8_t v) { out_.push_back(v); }
+std::uint8_t* BinaryWriter::grow(std::size_t n) {
+  const std::size_t at = out_->size();
+  out_->resize(at + n);
+  return out_->data() + at;
+}
+
+void BinaryWriter::u8(std::uint8_t v) { out_->push_back(v); }
 
 void BinaryWriter::u16(std::uint16_t v) {
-  out_.push_back(static_cast<std::uint8_t>(v & 0xff));
-  out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  std::uint8_t* p = grow(2);
+  p[0] = static_cast<std::uint8_t>(v & 0xff);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
 }
 
 void BinaryWriter::u32(std::uint32_t v) {
+  std::uint8_t* p = grow(4);
   for (int i = 0; i < 4; ++i) {
-    out_.push_back(static_cast<std::uint8_t>(v & 0xff));
+    p[i] = static_cast<std::uint8_t>(v & 0xff);
     v >>= 8;
   }
 }
 
 void BinaryWriter::u64(std::uint64_t v) {
+  std::uint8_t* p = grow(8);
   for (int i = 0; i < 8; ++i) {
-    out_.push_back(static_cast<std::uint8_t>(v & 0xff));
+    p[i] = static_cast<std::uint8_t>(v & 0xff);
     v >>= 8;
   }
 }
@@ -29,27 +40,38 @@ void BinaryWriter::i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
 void BinaryWriter::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
 
 void BinaryWriter::raw(const std::uint8_t* data, std::size_t n) {
-  out_.insert(out_.end(), data, data + n);
+  if (n != 0) std::memcpy(grow(n), data, n);
 }
 
 void BinaryWriter::raw(const Bytes& b) { raw(b.data(), b.size()); }
 
 void BinaryWriter::lstring(std::string_view s) {
-  u32(static_cast<std::uint32_t>(s.size()));
-  raw(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  std::uint8_t* p = grow(4 + s.size());
+  std::uint32_t len = static_cast<std::uint32_t>(s.size());
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<std::uint8_t>(len & 0xff);
+    len >>= 8;
+  }
+  if (!s.empty()) std::memcpy(p + 4, s.data(), s.size());
 }
 
 void BinaryWriter::fixed_string(std::string_view s, std::size_t width) {
   const std::size_t n = s.size() < width ? s.size() : width;
-  raw(reinterpret_cast<const std::uint8_t*>(s.data()), n);
-  for (std::size_t i = n; i < width; ++i) out_.push_back(0);
+  std::uint8_t* p = grow(width);
+  if (n != 0) std::memcpy(p, s.data(), n);
+  std::memset(p + n, 0, width - n);
 }
 
 void BinaryWriter::patch_u32(std::size_t at, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) {
-    out_.at(at + i) = static_cast<std::uint8_t>(v & 0xff);
+    out_->at(base_ + at + i) = static_cast<std::uint8_t>(v & 0xff);
     v >>= 8;
   }
+}
+
+Bytes BinaryWriter::take() {
+  assert(out_ == &own_ && "take() is only valid for an owned buffer");
+  return std::move(own_);
 }
 
 bool BinaryReader::need(std::size_t n) {

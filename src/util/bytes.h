@@ -17,10 +17,17 @@ namespace dpm::util {
 
 using Bytes = std::vector<std::uint8_t>;
 
-/// Appends fixed-width little-endian values to a byte vector.
+/// Appends fixed-width little-endian values to a byte vector. Two modes:
+/// the default constructor writes into an internal buffer (take() moves it
+/// out); the Bytes& constructor appends to a caller-owned buffer in place
+/// (zero-copy serialization into an existing batch). In the second mode
+/// size() and patch_u32() are relative to where this writer started, so
+/// back-patched size words work identically in both modes.
 class BinaryWriter {
  public:
-  BinaryWriter() = default;
+  BinaryWriter() : out_(&own_) {}
+  /// Appends to `out` (which must outlive the writer); take() is invalid.
+  explicit BinaryWriter(Bytes& out) : out_(&out), base_(out.size()) {}
 
   void u8(std::uint8_t v);
   void u16(std::uint16_t v);
@@ -37,14 +44,23 @@ class BinaryWriter {
   void fixed_string(std::string_view s, std::size_t width);
 
   /// Overwrites a previously written u32 at `at` (for back-patched sizes).
+  /// `at` counts from where this writer started appending.
   void patch_u32(std::size_t at, std::uint32_t v);
 
-  std::size_t size() const { return out_.size(); }
-  const Bytes& bytes() const& { return out_; }
-  Bytes take() { return std::move(out_); }
+  /// Bytes written by this writer (not the whole target buffer).
+  std::size_t size() const { return out_->size() - base_; }
+  const Bytes& bytes() const& { return *out_; }
+  Bytes take();
 
  private:
-  Bytes out_;
+  /// Extends the buffer by `n` bytes and returns a pointer to the new
+  /// region: one capacity check per value/span instead of one per byte
+  /// (this writer sits on the meter's per-event encode path).
+  std::uint8_t* grow(std::size_t n);
+
+  Bytes own_;
+  Bytes* out_;
+  std::size_t base_ = 0;
 };
 
 /// Bounds-checked reader over a byte span. All getters return nullopt past

@@ -112,5 +112,30 @@ TEST(FilterEngine, EndConnectionDropsPartialState) {
   EXPECT_EQ(e.feed(1, util::Bytes(wire.begin() + 8, wire.end())), "");
 }
 
+TEST(FilterEngine, TruncatedTailIsCountedNotSilent) {
+  // A connection that dies mid-record leaves a cut-short tail; ending the
+  // connection must account for it (malformed + truncated), and complete
+  // records before the cut must still be selected.
+  FilterEngine e = make_engine("");
+  util::Bytes wire = stamped(meter::MeterSend{1, 0, 2, 10, "x"}).serialize();
+  util::Bytes batch = wire;
+  batch.insert(batch.end(), wire.begin(), wire.end() - 5);  // cut the 2nd
+  (void)e.feed(1, batch);
+  EXPECT_EQ(e.stats().records_in, 1u);
+  EXPECT_EQ(e.stats().accepted, 1u);
+  e.end_connection(1);
+  EXPECT_EQ(e.stats().malformed, 1u);
+  EXPECT_EQ(e.stats().truncated, 1u);
+
+  // A connection that ends exactly on a record boundary counts nothing.
+  (void)e.feed(2, wire);
+  e.end_connection(2);
+  EXPECT_EQ(e.stats().malformed, 1u);
+  EXPECT_EQ(e.stats().truncated, 1u);
+  // Ending an unknown connection is a no-op.
+  e.end_connection(99);
+  EXPECT_EQ(e.stats().truncated, 1u);
+}
+
 }  // namespace
 }  // namespace dpm::filter

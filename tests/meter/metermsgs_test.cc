@@ -209,5 +209,73 @@ TEST_P(AllEventTypes, MakeMsgSerializeParseAgree) {
   EXPECT_EQ(parsed->serialize(), wire);  // canonical form is stable
 }
 
+// ---- serialize_into: the zero-copy encode path ----
+
+/// A message of type `t` with `name` planted in every string field the
+/// type carries (types without string fields ignore it).
+MeterMsg typed_with_name(std::uint32_t t, const std::string& name) {
+  switch (static_cast<EventType>(t)) {
+    case EventType::send: return stamped(MeterSend{1, 2, 3, 4, name});
+    case EventType::recv: return stamped(MeterRecv{1, 2, 3, 4, name});
+    case EventType::recvcall: return stamped(MeterRecvCall{1, 2, 3});
+    case EventType::sockcrt: return stamped(MeterSockCrt{1, 2, 3, 2, 1, 0});
+    case EventType::dup: return stamped(MeterDup{1, 2, 3, 4});
+    case EventType::destsock: return stamped(MeterDestSock{1, 2, 3});
+    case EventType::fork: return stamped(MeterFork{1, 2, 3});
+    case EventType::accept: return stamped(MeterAccept{1, 2, 3, 4, name, name});
+    case EventType::connect: return stamped(MeterConnect{1, 2, 3, name, name});
+    case EventType::termproc: return stamped(MeterTermProc{1, 2, -1});
+  }
+  return stamped(MeterSend{});
+}
+
+TEST_P(AllEventTypes, SerializeIntoIsByteIdenticalToSerialize) {
+  // Empty, ordinary, and long socket names (the wire carries a u32 count,
+  // so "max length" is bounded only by the record-size sanity cap; 255
+  // exercises multi-byte counts without tripping it).
+  for (const std::string& name :
+       {std::string(), std::string("228320140"), std::string(255, 'n')}) {
+    MeterMsg m = typed_with_name(GetParam(), name);
+    const util::Bytes wire = m.serialize();
+    util::Bytes out;
+    m.serialize_into(out);
+    EXPECT_EQ(out, wire) << "name length " << name.size();
+
+    auto parsed = MeterMsg::parse(out);
+    ASSERT_TRUE(parsed.has_value()) << "name length " << name.size();
+    EXPECT_EQ(parsed->serialize(), wire);
+  }
+}
+
+TEST_P(AllEventTypes, SerializeIntoAppendsWithoutDisturbingPrefix) {
+  MeterMsg m = typed_with_name(GetParam(), "peer-name");
+  const util::Bytes wire = m.serialize();
+  util::Bytes out{0xde, 0xad, 0xbe, 0xef};
+  m.serialize_into(out);
+  ASSERT_EQ(out.size(), 4u + wire.size());
+  EXPECT_EQ((util::Bytes{out[0], out[1], out[2], out[3]}),
+            (util::Bytes{0xde, 0xad, 0xbe, 0xef}));
+  // The size word must be patched relative to this record's start, not
+  // the buffer's.
+  EXPECT_EQ(util::Bytes(out.begin() + 4, out.end()), wire);
+}
+
+TEST(MeterMsgs, SerializeIntoBuildsParseableBatches) {
+  // Encode all ten types back to back into one buffer — exactly what
+  // meter_emit does to the pending batch — and parse the stream back.
+  util::Bytes batch;
+  for (std::uint32_t t = 1; t <= 10; ++t) {
+    typed_with_name(t, "n").serialize_into(batch);
+  }
+  std::size_t pos = 0;
+  std::uint32_t expect = 1;
+  while (auto m = MeterMsg::parse_stream(batch, pos)) {
+    EXPECT_EQ(static_cast<std::uint32_t>(m->type()), expect);
+    ++expect;
+  }
+  EXPECT_EQ(expect, 11u);
+  EXPECT_EQ(pos, batch.size());
+}
+
 }  // namespace
 }  // namespace dpm::meter
