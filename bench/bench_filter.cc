@@ -28,6 +28,7 @@
 #include "filter/filter_program.h"
 #include "filter/trace.h"
 #include "meter/metermsgs.h"
+#include "obs/snapshot.h"
 #include "util/strings.h"
 
 namespace dpm::bench {
@@ -205,6 +206,7 @@ struct MatchBenchResult {
   double speedup = 0;
   bool decisions_equal = false;
   int records = 0;
+  std::string obs_snapshot_jsonl;  // filter engine's registry for this batch
 };
 
 /// Times `n` evaluate passes over `records`, repeating until at least
@@ -249,6 +251,17 @@ MatchBenchResult run_match_bench(int nrecords, double min_seconds) {
     }
   }
 
+  // A full engine pass over the same batch, so the result file carries the
+  // filter.* accounting (records in/accepted/bytes) for its workload.
+  {
+    auto d2 = filter::Descriptions::parse(filter::default_descriptions_text());
+    auto t2 = filter::Templates::parse(kMatchRules);
+    filter::FilterEngine engine(std::move(*d2), std::move(*t2));
+    std::string log = engine.feed(1, make_batch(nrecords));
+    benchmark::DoNotOptimize(log);
+    r.obs_snapshot_jsonl = engine.obs().snapshot_jsonl();
+  }
+
   r.interpreted_rps = measure_rps(
       records,
       [&](const filter::Record& rec) { return templ->evaluate(rec).accept; },
@@ -272,10 +285,12 @@ bool write_bench_json(const MatchBenchResult& r, const std::string& path) {
       "  \"interpreted_records_per_s\": %.0f,\n"
       "  \"compiled_records_per_s\": %.0f,\n"
       "  \"speedup\": %.2f,\n"
-      "  \"decisions_equal\": %s\n"
+      "  \"decisions_equal\": %s,\n"
+      "  \"obs_snapshot\": %s\n"
       "}\n",
       r.records, r.interpreted_rps, r.compiled_rps, r.speedup,
-      r.decisions_equal ? "true" : "false");
+      r.decisions_equal ? "true" : "false",
+      obs::jsonl_to_json_array(r.obs_snapshot_jsonl, 4).c_str());
   return out.good();
 }
 
@@ -293,7 +308,8 @@ bool validate_bench_json(const std::string& path) {
   }
   for (const char* key :
        {"\"bench\"", "\"records\"", "\"interpreted_records_per_s\"",
-        "\"compiled_records_per_s\"", "\"speedup\"", "\"decisions_equal\""}) {
+        "\"compiled_records_per_s\"", "\"speedup\"", "\"decisions_equal\"",
+        "\"obs_snapshot\""}) {
     if (text.find(key) == std::string::npos) return false;
   }
   return text.find("\"decisions_equal\": true") != std::string::npos;
@@ -306,6 +322,12 @@ constexpr const char* kJsonPath = "BENCH_filter.json";
 /// file is malformed or the two engines ever disagree.
 int run_smoke() {
   const MatchBenchResult r = run_match_bench(512, 0.05);
+  const std::string snap_err = obs::validate_snapshot(r.obs_snapshot_jsonl);
+  if (!snap_err.empty()) {
+    std::fprintf(stderr, "bench_filter: bad embedded snapshot: %s\n",
+                 snap_err.c_str());
+    return 1;
+  }
   if (!write_bench_json(r, kJsonPath)) {
     std::fprintf(stderr, "bench_filter: cannot write %s\n", kJsonPath);
     return 1;

@@ -31,6 +31,7 @@
 #include "filter/filter_program.h"
 #include "filter/trace.h"
 #include "meter/metermsgs.h"
+#include "obs/snapshot.h"
 #include "util/strings.h"
 
 namespace dpm::bench {
@@ -336,6 +337,7 @@ struct PipelineBenchResult {
   double filter_speedup = 0;
   bool output_identical = false;
   int events = 0;
+  std::string obs_snapshot_jsonl;  // view engine's registry after the runs
 };
 
 template <typename Fn>
@@ -454,6 +456,9 @@ PipelineBenchResult run_pipeline_bench(int events, double min_seconds,
           benchmark::DoNotOptimize(log);
         },
         min_seconds);
+    // The registry the measured engine accounted through, embedded in the
+    // JSON so a result file carries its own ground-truth counters.
+    r.obs_snapshot_jsonl = engine.obs().snapshot_jsonl();
   }
   r.filter_speedup =
       r.filter_owned_rps > 0 ? r.filter_view_rps / r.filter_owned_rps : 0;
@@ -478,13 +483,15 @@ bool write_bench_json(const PipelineBenchResult& r, const std::string& path) {
       "  \"filter_owned_records_per_s\": %.0f,\n"
       "  \"filter_view_records_per_s\": %.0f,\n"
       "  \"filter_speedup\": %.2f,\n"
-      "  \"output_identical\": %s\n"
+      "  \"output_identical\": %s,\n"
+      "  \"obs_snapshot\": %s\n"
       "}\n",
       workload_name(Workload::mixed), r.events, r.encode_owned_eps,
       r.encode_zero_copy_eps, r.encode_owned_bps,
       r.encode_zero_copy_bps, r.encode_speedup, r.filter_owned_rps,
       r.filter_view_rps, r.filter_speedup,
-      r.output_identical ? "true" : "false");
+      r.output_identical ? "true" : "false",
+      obs::jsonl_to_json_array(r.obs_snapshot_jsonl, 4).c_str());
   return out.good();
 }
 
@@ -502,7 +509,7 @@ bool validate_bench_json(const std::string& path) {
        {"\"bench\"", "\"events\"", "\"encode_owned_events_per_s\"",
         "\"encode_zero_copy_events_per_s\"", "\"encode_speedup\"",
         "\"filter_owned_records_per_s\"", "\"filter_view_records_per_s\"",
-        "\"filter_speedup\"", "\"output_identical\""}) {
+        "\"filter_speedup\"", "\"output_identical\"", "\"obs_snapshot\""}) {
     if (text.find(key) == std::string::npos) return false;
   }
   return text.find("\"output_identical\": true") != std::string::npos;
@@ -516,6 +523,12 @@ int run_smoke() {
   // representative (tiny windows are dominated by warmup noise), short
   // enough for ctest and the sanitizer configuration.
   const PipelineBenchResult r = run_pipeline_bench(512, 0.3, 3);
+  const std::string snap_err = obs::validate_snapshot(r.obs_snapshot_jsonl);
+  if (!snap_err.empty()) {
+    std::fprintf(stderr, "bench_pipeline: bad embedded snapshot: %s\n",
+                 snap_err.c_str());
+    return 1;
+  }
   if (!write_bench_json(r, kJsonPath)) {
     std::fprintf(stderr, "bench_pipeline: cannot write %s\n", kJsonPath);
     return 1;

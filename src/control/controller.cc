@@ -4,6 +4,7 @@
 
 #include "daemon/protocol.h"
 #include "filter/trace.h"
+#include "obs/span.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -240,6 +241,8 @@ bool Controller::execute(const std::string& raw_line) {
 
   if (cmd != "die" && cmd != "exit" && cmd != "bye") warned_die_ = false;
 
+  sys_.world().obs().counter("control.commands").add(1);
+
   if (cmd == "help") {
     cmd_help();
   } else if (cmd == "filter") {
@@ -468,7 +471,13 @@ void Controller::cmd_acquire(const std::vector<std::string>& args) {
   req.filter_port = filt.meter_port;
   req.filter_host = filt.machine;
   req.meter_flags = job.flags;
-  auto reply = daemon::rpc_call(sys_, *addr, req);
+  // The full acquire round trip (connect → request → reply), in sim time.
+  obs::Registry& reg = sys_.world().obs();
+  auto reply = [&] {
+    obs::ObsSpan span(reg, "control.acquire",
+                      &reg.histogram("control.acquire_rtt_us"));
+    return daemon::rpc_call(sys_, *addr, req);
+  }();
   const std::int32_t status = reply ? reply_status(*reply)
                                     : static_cast<std::int32_t>(reply.error());
   if (status != 0) {
@@ -554,7 +563,12 @@ void Controller::cmd_startjob(const std::vector<std::string>& args) {
     req.what = MsgType::start_request;
     req.uid = sys_.getuid();
     req.pid = p.pid;
-    auto reply = daemon::rpc_call(sys_, *addr, req);
+    obs::Registry& reg = sys_.world().obs();
+    auto reply = [&] {
+      obs::ObsSpan span(reg, "control.start",
+                        &reg.histogram("control.start_rtt_us"));
+      return daemon::rpc_call(sys_, *addr, req);
+    }();
     const std::int32_t status =
         reply ? reply_status(*reply) : static_cast<std::int32_t>(reply.error());
     if (status == 0) {
@@ -608,7 +622,12 @@ bool Controller::remove_proc(Job& job, ProcEntry& p) {
     req.what = MsgType::kill_request;
     req.uid = sys_.getuid();
     req.pid = p.pid;
-    (void)daemon::rpc_call(sys_, *addr, req);
+    obs::Registry& reg = sys_.world().obs();
+    {
+      obs::ObsSpan span(reg, "control.kill",
+                        &reg.histogram("control.kill_rtt_us"));
+      (void)daemon::rpc_call(sys_, *addr, req);
+    }
     p.state = ProcState::killed;
   } else if (p.state == ProcState::acquired) {
     // "the control program insures that the filter connection of that

@@ -138,6 +138,7 @@ class Meterdaemon {
     if (!conn) return;
     auto req = recv_msg(sys_, *conn);
     if (req) {
+      sys_.world().obs().counter("daemon.requests_served").add(1);
       DaemonMsg reply = dispatch(*req);
       (void)send_msg(sys_, *conn, reply);
     }

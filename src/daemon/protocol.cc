@@ -1,5 +1,7 @@
 #include "daemon/protocol.h"
 
+#include "kernel/world.h"
+#include "obs/span.h"
 #include "util/bytes.h"
 
 namespace dpm::daemon {
@@ -306,22 +308,52 @@ util::SysResult<DaemonMsg> recv_msg(kernel::Sys& sys, kernel::Fd fd) {
   return *msg;
 }
 
+namespace {
+
+/// Metric-key fragment for a request type ("daemon.rpc_<name>_us").
+const char* rpc_name(MsgType t) {
+  switch (t) {
+    case MsgType::create_request: return "create";
+    case MsgType::filter_request: return "filter";
+    case MsgType::setflags_request: return "setflags";
+    case MsgType::start_request: return "start";
+    case MsgType::stop_request: return "stop";
+    case MsgType::kill_request: return "kill";
+    case MsgType::acquire_request: return "acquire";
+    case MsgType::release_request: return "release";
+    default: return "other";
+  }
+}
+
+}  // namespace
+
 util::SysResult<DaemonMsg> rpc_call(kernel::Sys& sys, const net::SockAddr& to,
                                     const DaemonMsg& request) {
+  // Client-side request→reply latency, one histogram per request type.
+  // RPCs are control-plane rare, so the by-name histogram lookup is fine.
+  obs::Registry& reg = sys.world().obs();
+  const std::string name = rpc_name(msg_type(request));
+  reg.counter("daemon.rpc_calls").add(1);
+  obs::ObsSpan span(reg, "daemon.rpc_" + name,
+                    &reg.histogram("daemon.rpc_" + name + "_us"));
+
   auto fd = sys.socket(kernel::SockDomain::internet, kernel::SockType::stream);
   if (!fd) return fd.error();
   auto conn = sys.connect(*fd, to);
   if (!conn) {
     (void)sys.close(*fd);
+    reg.counter("daemon.rpc_failures").add(1);
     return conn.error();
   }
   auto sent = send_msg(sys, *fd, request);
   if (!sent) {
     (void)sys.close(*fd);
+    reg.counter("daemon.rpc_failures").add(1);
     return sent.error();
   }
   auto reply = recv_msg(sys, *fd);
   (void)sys.close(*fd);
+  if (!reply) reg.counter("daemon.rpc_failures").add(1);
   return reply;
 }
 

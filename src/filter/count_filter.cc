@@ -95,8 +95,10 @@ kernel::ProcessMain make_count_filter_main(
       sys.exit(1);
     }
     // The engine does framing, decode, and (compiled) selection; this
-    // filter only aggregates the accepted records.
-    FilterEngine engine(std::move(*desc), std::move(*templ));
+    // filter only aggregates the accepted records. It accounts into the
+    // world's registry like the standard filter.
+    FilterEngine engine(std::move(*desc), std::move(*templ), EvalPath::view,
+                        &sys.world().obs());
 
     auto lsock = sys.socket(SockDomain::internet, SockType::stream);
     if (!lsock || !sys.bind_port(*lsock, static_cast<net::Port>(port)) ||
@@ -144,16 +146,7 @@ kernel::ProcessMain make_count_filter_main(
       if (changed) rewrite_log();
     }
 
-    const FilterStats& st = engine.stats();
-    (void)sys.write(
-        2, util::strprintf(
-               "countfilter: records=%llu accepted=%llu rejected=%llu "
-               "malformed=%llu truncated=%llu\n",
-               static_cast<unsigned long long>(st.records_in),
-               static_cast<unsigned long long>(st.accepted),
-               static_cast<unsigned long long>(st.rejected),
-               static_cast<unsigned long long>(st.malformed),
-               static_cast<unsigned long long>(st.truncated)));
+    (void)sys.write(2, filter_summary_line("countfilter", engine.stats()));
     sys.exit(0);
   };
 }

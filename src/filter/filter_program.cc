@@ -5,10 +5,61 @@
 #include "filter/trace.h"
 #include "kernel/syscalls.h"
 #include "meter/metermsgs.h"
+#include "obs/span.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
 namespace dpm::filter {
+
+FilterEngine::FilterEngine(Descriptions descriptions, Templates templates,
+                           EvalPath path, obs::Registry* obs)
+    : desc_(std::move(descriptions)),
+      templ_(std::move(templates)),
+      compiled_(CompiledTemplates::compile(templ_, desc_)),
+      path_(path) {
+  if (!obs) {
+    own_obs_ = std::make_unique<obs::Registry>();
+    obs = own_obs_.get();
+  }
+  obs_ = obs;
+  records_in_ = &obs_->counter("filter.records_in");
+  accepted_ = &obs_->counter("filter.accepted");
+  rejected_ = &obs_->counter("filter.rejected");
+  malformed_ = &obs_->counter("filter.malformed");
+  truncated_ = &obs_->counter("filter.truncated");
+  bytes_in_ = &obs_->counter("filter.bytes_in");
+  bytes_out_ = &obs_->counter("filter.bytes_out");
+  eval_compiled_ = &obs_->counter("filter.eval_compiled");
+  eval_interpreted_ = &obs_->counter("filter.eval_interpreted");
+  accept_view_ = &obs_->counter("filter.accept_view");
+  accept_owned_ = &obs_->counter("filter.accept_owned");
+}
+
+FilterStats FilterEngine::stats() const {
+  FilterStats s;
+  s.records_in = records_in_->value();
+  s.accepted = accepted_->value();
+  s.rejected = rejected_->value();
+  s.malformed = malformed_->value();
+  s.truncated = truncated_->value();
+  s.bytes_in = bytes_in_->value();
+  s.bytes_out = bytes_out_->value();
+  s.eval_compiled = eval_compiled_->value();
+  s.eval_interpreted = eval_interpreted_->value();
+  return s;
+}
+
+std::string filter_summary_line(const std::string& prog,
+                                const FilterStats& st) {
+  return util::strprintf(
+      "%s: records=%llu accepted=%llu rejected=%llu "
+      "malformed=%llu truncated=%llu\n",
+      prog.c_str(), static_cast<unsigned long long>(st.records_in),
+      static_cast<unsigned long long>(st.accepted),
+      static_cast<unsigned long long>(st.rejected),
+      static_cast<unsigned long long>(st.malformed),
+      static_cast<unsigned long long>(st.truncated));
+}
 
 bool FilterEngine::select_view(const std::uint8_t* raw, std::size_t size,
                                const OnAccept& on_accept) {
@@ -18,7 +69,7 @@ bool FilterEngine::select_view(const std::uint8_t* raw, std::size_t size,
   if (!wp || !wp->viewable()) return false;  // owned path decides
 
   if (!wp->validate(*v)) {
-    ++stats_.malformed;
+    malformed_->add(1);
     return true;
   }
   // Match straight on the wire bytes; an owned Record is materialized only
@@ -27,22 +78,23 @@ bool FilterEngine::select_view(const std::uint8_t* raw, std::size_t size,
   const std::set<std::string>* names = nullptr;
   Templates::Decision d;
   if (auto cd = compiled_.evaluate(*v)) {
-    ++stats_.eval_compiled;
+    eval_compiled_->add(1);
     if (!cd->accept) {
-      ++stats_.rejected;
+      rejected_->add(1);
       return true;
     }
     mask = cd->discard;
   } else {
-    ++stats_.eval_interpreted;
+    eval_interpreted_->add(1);
     d = templ_.evaluate_view(*v, desc_);
     if (!d.accept) {
-      ++stats_.rejected;
+      rejected_->add(1);
       return true;
     }
     if (!d.discard.empty()) names = &d.discard;
   }
-  ++stats_.accepted;
+  accepted_->add(1);
+  accept_view_->add(1);
   // validate() passed, so the decode cannot fail.
   auto rec = desc_.decode(raw, size);
   on_accept(*rec, mask, names);
@@ -51,7 +103,7 @@ bool FilterEngine::select_view(const std::uint8_t* raw, std::size_t size,
 
 void FilterEngine::drain(std::uint64_t conn, const util::Bytes& data,
                          const OnAccept& on_accept) {
-  stats_.bytes_in += data.size();
+  bytes_in_->add(data.size());
   util::Bytes& buf = partial_[conn];
   buf.insert(buf.end(), data.begin(), data.end());
 
@@ -63,7 +115,7 @@ void FilterEngine::drain(std::uint64_t conn, const util::Bytes& data,
                                static_cast<std::uint32_t>(buf[pos + 3]) << 24;
     if (size < meter::kHeaderSize || size > (1u << 20)) {
       // Desynchronized stream: drop the connection's buffer.
-      ++stats_.malformed;
+      malformed_->add(1);
       buf.clear();
       pos = 0;
       break;
@@ -71,7 +123,7 @@ void FilterEngine::drain(std::uint64_t conn, const util::Bytes& data,
     if (buf.size() - pos < size) break;  // record incomplete
     const std::uint8_t* raw = buf.data() + pos;
     pos += size;
-    ++stats_.records_in;
+    records_in_->add(1);
 
     // Hot path: evaluate in place over the wire bytes (the view borrows
     // `buf`, which is not touched until the loop ends). Types the view
@@ -80,28 +132,30 @@ void FilterEngine::drain(std::uint64_t conn, const util::Bytes& data,
 
     auto rec = desc_.decode(raw, size);
     if (!rec) {
-      ++stats_.malformed;
+      malformed_->add(1);
       continue;
     }
     // Clause plan compiled against the record description; records of
     // types the compiler did not cover fall back to the interpreted
     // evaluator.
     if (auto cd = compiled_.evaluate(*rec)) {
-      ++stats_.eval_compiled;
+      eval_compiled_->add(1);
       if (!cd->accept) {
-        ++stats_.rejected;
+        rejected_->add(1);
         continue;
       }
-      ++stats_.accepted;
+      accepted_->add(1);
+      accept_owned_->add(1);
       on_accept(*rec, cd->discard, nullptr);
     } else {
-      ++stats_.eval_interpreted;
+      eval_interpreted_->add(1);
       const Templates::Decision d = templ_.evaluate(*rec);
       if (!d.accept) {
-        ++stats_.rejected;
+        rejected_->add(1);
         continue;
       }
-      ++stats_.accepted;
+      accepted_->add(1);
+      accept_owned_->add(1);
       on_accept(*rec, nullptr, d.discard.empty() ? nullptr : &d.discard);
     }
   }
@@ -114,8 +168,8 @@ void FilterEngine::end_connection(std::uint64_t conn) {
   if (!it->second.empty()) {
     // The connection ended mid-record: the cut-short tail is a counted
     // loss, not a silent one.
-    ++stats_.malformed;
-    ++stats_.truncated;
+    malformed_->add(1);
+    truncated_->add(1);
   }
   partial_.erase(it);
 }
@@ -133,7 +187,7 @@ void FilterEngine::feed(std::uint64_t conn, const util::Bytes& data,
             const std::set<std::string>* names) {
           std::string line = names ? trace_line(rec, *names)
                                    : trace_line(rec, mask);
-          stats_.bytes_out += line.size();
+          bytes_out_->add(line.size());
           out += line;
         });
 }
@@ -184,7 +238,14 @@ kernel::ProcessMain make_filter_main(const std::vector<std::string>& argv) {
       (void)sys.print("filter: bad templates: " + err + "\n");
       sys.exit(1);
     }
-    FilterEngine engine(std::move(*desc), std::move(*templ));
+    // Account into the world's registry so the filter shows up in
+    // world.obs_snapshot() alongside the kernel and fabric.
+    obs::Registry& reg = sys.world().obs();
+    FilterEngine engine(std::move(*desc), std::move(*templ), EvalPath::view,
+                        &reg);
+    obs::Histogram& records_per_round =
+        reg.histogram("filter.records_per_round");
+    obs::Histogram& log_append_bytes = reg.histogram("filter.log_append_bytes");
 
     auto log_fd = sys.open(logfile, kernel::Sys::OpenMode::write_trunc);
     if (!log_fd) {
@@ -210,6 +271,7 @@ kernel::ProcessMain make_filter_main(const std::vector<std::string>& argv) {
     std::string pending;
     auto flush_log = [&] {
       if (pending.empty()) return;
+      log_append_bytes.record(static_cast<std::int64_t>(pending.size()));
       (void)sys.write(*log_fd, pending);
       pending.clear();
     };
@@ -220,6 +282,8 @@ kernel::ProcessMain make_filter_main(const std::vector<std::string>& argv) {
       fds.push_back(*lsock);
       auto sel = sys.select(fds, /*child_events=*/false, std::nullopt);
       if (!sel) break;
+      obs::ObsSpan round(reg, "filter.select_round");
+      const std::uint64_t records_before = engine.stats().records_in;
       for (kernel::Fd fd : sel->readable) {
         if (fd == *lsock) {
           auto conn = sys.accept(*lsock);
@@ -238,19 +302,12 @@ kernel::ProcessMain make_filter_main(const std::vector<std::string>& argv) {
         if (pending.size() >= kHighWater) flush_log();
       }
       flush_log();
+      records_per_round.record(
+          static_cast<std::int64_t>(engine.stats().records_in - records_before));
     }
     flush_log();
 
-    const FilterStats& st = engine.stats();
-    (void)sys.write(
-        2, util::strprintf(
-               "filter: records=%llu accepted=%llu rejected=%llu "
-               "malformed=%llu truncated=%llu\n",
-               static_cast<unsigned long long>(st.records_in),
-               static_cast<unsigned long long>(st.accepted),
-               static_cast<unsigned long long>(st.rejected),
-               static_cast<unsigned long long>(st.malformed),
-               static_cast<unsigned long long>(st.truncated)));
+    (void)sys.write(2, filter_summary_line("filter", engine.stats()));
     sys.exit(0);
   };
 }

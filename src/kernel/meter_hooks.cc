@@ -45,10 +45,13 @@ void meter_emit(World& world, Process& p, MeterEventDraft&& draft) {
   if (p.meter_pending.capacity() < cfg.meter_buffer_bytes + kPendingSlack) {
     p.meter_pending.reserve(cfg.meter_buffer_bytes + kPendingSlack);
   }
+  const std::size_t before = p.meter_pending.size();
   msg.serialize_into(p.meter_pending);
   ++p.meter_pending_count;
   ++p.meter_events;
-  ++world.mutable_meter_stats().events;
+  world.mobs_.events->add(1);
+  world.mobs_.pending_bytes->add(
+      static_cast<std::int64_t>(p.meter_pending.size() - before));
 
   book_cpu(world, m, p, cfg.costs.meter_event);
 
@@ -63,17 +66,21 @@ void meter_flush(World& world, Process& p) {
   if (p.meter_pending.empty()) return;
   util::Bytes batch;
   batch.swap(p.meter_pending);
+  const std::uint32_t batch_msgs = p.meter_pending_count;
   p.meter_pending_count = 0;
+  // The occupancy gauge drops on *every* flush outcome — the dropped-batch
+  // path empties the buffer just as surely as a delivered one (leaving the
+  // gauge high after a drop once overstated occupancy forever).
+  world.mobs_.pending_bytes->sub(static_cast<std::int64_t>(batch.size()));
 
-  auto& stats = world.mutable_meter_stats();
   if (p.meter_sock == 0) {
     // Without a meter socket the batch is simply lost (Appendix C): no
     // send happens, so no CPU is charged and nothing is counted as
     // delivered — the loss lands in the dropped counters instead.
     ++p.meter_dropped_batches;
     p.meter_dropped_bytes += batch.size();
-    ++stats.dropped_batches;
-    stats.dropped_bytes += batch.size();
+    world.mobs_.dropped_batches->add(1);
+    world.mobs_.dropped_bytes->add(batch.size());
     return;
   }
 
@@ -86,8 +93,10 @@ void meter_flush(World& world, Process& p) {
 
   ++p.meter_flushes;
   p.meter_bytes += batch.size();
-  ++stats.flushes;
-  stats.bytes += batch.size();
+  world.mobs_.flushes->add(1);
+  world.mobs_.bytes->add(batch.size());
+  world.mobs_.batch_bytes->record(static_cast<std::int64_t>(batch.size()));
+  world.mobs_.batch_msgs->record(batch_msgs);
 
   world.kernel_stream_send(p.meter_sock, std::move(batch));
 }

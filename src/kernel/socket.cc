@@ -95,8 +95,9 @@ void World::destroy_socket(SocketId id) {
       if (size < 4 || n - pos < size) break;  // cut-short (or garbage) tail
       pos += size;
     }
-    if (pos < n) ++mutable_meter_stats().malformed_records;
+    if (pos < n) mobs_.malformed_records->add(1);
   }
+  mobs_.rbuf_bytes->sub(static_cast<std::int64_t>(s.rbuf.size()));
   s.rbuf.clear();
   s.dgrams.clear();
   s.readers.wake_all(exec_);
@@ -144,6 +145,7 @@ void World::deliver_stream(SocketId to, util::Bytes data, bool accounted) {
   }
   if (s.sstate == Socket::StreamState::closed && s.refs == 0) return;
   s.rbuf.insert(s.rbuf.end(), data.begin(), data.end());
+  mobs_.rbuf_bytes->add(static_cast<std::int64_t>(data.size()));
   s.readers.wake_all(exec_);
 }
 

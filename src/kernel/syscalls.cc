@@ -657,6 +657,7 @@ util::SysResult<util::Bytes> Sys::recv(Fd fd, std::size_t max) {
                   sock->rbuf.begin() + static_cast<std::ptrdiff_t>(n));
   sock->rbuf.erase(sock->rbuf.begin(),
                    sock->rbuf.begin() + static_cast<std::ptrdiff_t>(n));
+  world_.mobs_.rbuf_bytes->sub(static_cast<std::int64_t>(n));
   if (n > 0) sock->writers.wake_all(world_.exec());  // window opened
 
   meter_emit(world_, *proc_,

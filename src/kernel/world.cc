@@ -9,9 +9,50 @@
 namespace dpm::kernel {
 
 World::World(WorldConfig cfg)
-    : cfg_(cfg), rng_(cfg.seed), fabric_(exec_, cfg.seed ^ 0x9e3779b97f4a7c15ULL) {
+    : cfg_(cfg),
+      rng_(cfg.seed),
+      fabric_(exec_, cfg.seed ^ 0x9e3779b97f4a7c15ULL, &obs_) {
+  exec_.set_obs(&obs_);  // also installs the sim clock as the registry's
   fabric_.configure_network(0, cfg_.default_net);
   fabric_.configure_local(cfg_.local_net);
+
+  mobs_.events = &obs_.counter("kernel.meter_events");
+  mobs_.flushes = &obs_.counter("kernel.meter_flushes");
+  mobs_.bytes = &obs_.counter("kernel.meter_bytes");
+  mobs_.dropped_batches = &obs_.counter("kernel.meter_dropped_batches");
+  mobs_.dropped_bytes = &obs_.counter("kernel.meter_dropped_bytes");
+  mobs_.malformed_records = &obs_.counter("kernel.meter_malformed_records");
+  mobs_.pending_bytes = &obs_.gauge("kernel.meter_pending_bytes");
+  mobs_.rbuf_bytes = &obs_.gauge("kernel.rbuf_bytes");
+  mobs_.batch_bytes = &obs_.histogram("kernel.meter_batch_bytes");
+  mobs_.batch_msgs = &obs_.histogram("kernel.meter_batch_msgs");
+}
+
+MeterStats World::meter_stats() const {
+  return MeterStats{mobs_.events->value(),
+                    mobs_.flushes->value(),
+                    mobs_.bytes->value(),
+                    mobs_.dropped_batches->value(),
+                    mobs_.dropped_bytes->value(),
+                    mobs_.malformed_records->value()};
+}
+
+void World::start_obs_snapshots(util::Duration period, std::string* sink) {
+  const std::uint64_t gen = ++obs_timer_gen_;
+  // Self-rescheduling event; a bumped generation (stop, or a restart)
+  // orphans the pending tick.
+  struct Timer {
+    World* w;
+    util::Duration period;
+    std::string* sink;
+    std::uint64_t gen;
+    void operator()() const {
+      if (w->obs_timer_gen_ != gen) return;
+      w->obs_.snapshot_jsonl(*sink);
+      w->exec_.schedule_after(period, *this);
+    }
+  };
+  exec_.schedule_after(period, Timer{this, period, sink, gen});
 }
 
 World::~World() {

@@ -19,6 +19,7 @@
 #include "kernel/types.h"
 #include "net/fabric.h"
 #include "net/hosts.h"
+#include "obs/registry.h"
 #include "sim/executive.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -31,6 +32,10 @@ class Sys;
 /// `flushes`/`bytes` count batches actually delivered to a meter
 /// connection; batches lost because the process has no meter socket
 /// (Appendix C) are accounted separately so loss stays visible.
+///
+/// This struct is a *view* over the world's metrics registry (the
+/// kernel.meter_* counters) — the registry is the one accounting path;
+/// World::meter_stats() materializes it on demand.
 struct MeterStats {
   std::uint64_t events = 0;
   std::uint64_t flushes = 0;
@@ -135,9 +140,26 @@ class World {
   void run_for(util::Duration d) { exec_.run_until(exec_.now() + d); }
   util::TimePoint now() const { return exec_.now(); }
 
+  // ---- observability ----
+  /// The world's unified metrics registry (timestamps in sim time; the
+  /// executive's clock is installed at construction). All subsystem stats
+  /// structs are views over it.
+  obs::Registry& obs() { return obs_; }
+  const obs::Registry& obs() const { return obs_; }
+
+  /// One JSONL snapshot of every instrument plus the span ring (see
+  /// obs/snapshot.h for the schema).
+  std::string obs_snapshot() const { return obs_.snapshot_jsonl(); }
+
+  /// Appends a snapshot to `*sink` every `period` of sim time, starting
+  /// one period from now. The timer keeps the event queue non-empty, so
+  /// drive the world with run_until/run_for (run() would never return)
+  /// and call stop_obs_snapshots() when done.
+  void start_obs_snapshots(util::Duration period, std::string* sink);
+  void stop_obs_snapshots() { ++obs_timer_gen_; }
+
   // ---- experiment hooks ----
-  MeterStats meter_stats() const { return meter_stats_; }
-  MeterStats& mutable_meter_stats() { return meter_stats_; }
+  MeterStats meter_stats() const;
 
   /// Called by the exit path; the harness may watch process completion.
   using ExitListener = std::function<void(MachineId, Pid, int status, bool killed)>;
@@ -163,6 +185,7 @@ class World {
 
   WorldConfig cfg_;
   sim::Executive exec_;
+  obs::Registry obs_;  // before fabric_: the fabric resolves handles in it
   util::Rng rng_;
   net::Fabric fabric_;
   net::HostTable hosts_;
@@ -173,8 +196,25 @@ class World {
   std::map<SocketId, std::unique_ptr<Socket>> sockets_;
   SocketId next_socket_ = 1;
   std::uint64_t next_internal_name_ = 1;
-  MeterStats meter_stats_;
   std::vector<ExitListener> exit_listeners_;
+
+  /// Cached instrument handles for the meter hot path (resolved once in
+  /// the constructor; the registry's references are stable).
+  struct MeterObs {
+    obs::Counter* events = nullptr;
+    obs::Counter* flushes = nullptr;
+    obs::Counter* bytes = nullptr;
+    obs::Counter* dropped_batches = nullptr;
+    obs::Counter* dropped_bytes = nullptr;
+    obs::Counter* malformed_records = nullptr;
+    obs::Gauge* pending_bytes = nullptr;   // sum of per-process batches
+    obs::Gauge* rbuf_bytes = nullptr;      // sum of socket receive buffers
+    obs::Histogram* batch_bytes = nullptr; // per delivered flush
+    obs::Histogram* batch_msgs = nullptr;
+  };
+  MeterObs mobs_;
+
+  std::uint64_t obs_timer_gen_ = 0;  // bumping it cancels the pending tick
 };
 
 }  // namespace dpm::kernel

@@ -4,8 +4,32 @@
 
 namespace dpm::net {
 
-Fabric::Fabric(sim::Executive& exec, std::uint64_t seed)
-    : exec_(exec), rng_(seed) {}
+Fabric::Fabric(sim::Executive& exec, std::uint64_t seed, obs::Registry* obs)
+    : exec_(exec), rng_(seed) {
+  if (!obs) {
+    own_obs_ = std::make_unique<obs::Registry>();
+    obs = own_obs_.get();
+    obs->set_clock([this] { return exec_.now(); });
+  }
+  obs_ = obs;
+  packets_sent_ = &obs_->counter("net.packets_sent");
+  packets_dropped_ = &obs_->counter("net.packets_dropped");
+  bytes_sent_ = &obs_->counter("net.bytes_sent");
+  in_flight_ = &obs_->gauge("net.in_flight");
+  delivery_us_ = &obs_->histogram("net.delivery_us");
+}
+
+FabricStats Fabric::raw_stats() const {
+  return FabricStats{packets_sent_->value(), packets_dropped_->value(),
+                     bytes_sent_->value()};
+}
+
+FabricStats Fabric::stats() const {
+  const FabricStats raw = raw_stats();
+  return FabricStats{raw.packets_sent - base_.packets_sent,
+                     raw.packets_dropped - base_.packets_dropped,
+                     raw.bytes_sent - base_.bytes_sent};
+}
 
 void Fabric::configure_network(NetworkId net, NetworkConfig cfg) {
   nets_[net] = cfg;
@@ -19,8 +43,8 @@ const NetworkConfig& Fabric::config_for(NetworkId net) const {
 void Fabric::send(NetworkId net, bool local, std::uint64_t channel,
                   bool droppable, std::size_t size_bytes,
                   std::function<void()> deliver) {
-  ++stats_.packets_sent;
-  stats_.bytes_sent += size_bytes;
+  packets_sent_->add(1);
+  bytes_sent_->add(size_bytes);
 
   util::Duration delay;
   if (local) {
@@ -29,7 +53,7 @@ void Fabric::send(NetworkId net, bool local, std::uint64_t channel,
   } else {
     const NetworkConfig& cfg = config_for(net);
     if (droppable && rng_.bernoulli(cfg.dgram_loss)) {
-      ++stats_.packets_dropped;
+      packets_dropped_->add(1);
       return;
     }
     delay = cfg.base_latency +
@@ -47,7 +71,12 @@ void Fabric::send(NetworkId net, bool local, std::uint64_t channel,
     if (arrive < horizon) arrive = horizon;
     horizon = arrive;
   }
-  exec_.schedule_at(arrive, std::move(deliver));
+  delivery_us_->record(util::count_us(arrive - exec_.now()));
+  in_flight_->add(1);
+  exec_.schedule_at(arrive, [this, d = std::move(deliver)] {
+    in_flight_->sub(1);
+    d();
+  });
 }
 
 }  // namespace dpm::net

@@ -13,8 +13,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 
 #include "net/address.h"
+#include "obs/registry.h"
 #include "sim/executive.h"
 #include "util/rng.h"
 #include "util/time.h"
@@ -33,7 +35,9 @@ struct LocalConfig {
   util::Duration per_kb = util::usec(10);
 };
 
-/// Statistics the fabric keeps for experiments (E5).
+/// Statistics the fabric keeps for experiments (E5). This is a *view*
+/// computed from registry counters (net.packets_sent, net.packets_dropped,
+/// net.bytes_sent) — the registry is the one accounting path.
 struct FabricStats {
   std::uint64_t packets_sent = 0;
   std::uint64_t packets_dropped = 0;
@@ -42,7 +46,11 @@ struct FabricStats {
 
 class Fabric {
  public:
-  explicit Fabric(sim::Executive& exec, std::uint64_t seed);
+  /// `obs` is the metrics registry the fabric accounts through; when null
+  /// (standalone tests, benchmarks) the fabric owns a private one, so the
+  /// accounting path is identical either way.
+  explicit Fabric(sim::Executive& exec, std::uint64_t seed,
+                  obs::Registry* obs = nullptr);
 
   /// Configures a network; unknown networks use the default config.
   void configure_network(NetworkId net, NetworkConfig cfg);
@@ -59,11 +67,17 @@ class Fabric {
   /// Allocates a fresh ordered-channel id.
   std::uint64_t new_channel() { return next_channel_++; }
 
-  const FabricStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = {}; }
+  /// Current stats view (registry counters minus the reset baseline).
+  FabricStats stats() const;
+  /// Rebases the view at the current counter values; the registry's
+  /// counters stay monotonic.
+  void reset_stats() { base_ = raw_stats(); }
+
+  obs::Registry& obs() { return *obs_; }
 
  private:
   const NetworkConfig& config_for(NetworkId net) const;
+  FabricStats raw_stats() const;
 
   sim::Executive& exec_;
   util::Rng rng_;
@@ -72,7 +86,15 @@ class Fabric {
   std::map<NetworkId, NetworkConfig> nets_;
   std::map<std::uint64_t, util::TimePoint> channel_horizon_;
   std::uint64_t next_channel_ = 1;
-  FabricStats stats_;
+
+  std::unique_ptr<obs::Registry> own_obs_;  // set when constructed without one
+  obs::Registry* obs_ = nullptr;
+  obs::Counter* packets_sent_ = nullptr;
+  obs::Counter* packets_dropped_ = nullptr;
+  obs::Counter* bytes_sent_ = nullptr;
+  obs::Gauge* in_flight_ = nullptr;
+  obs::Histogram* delivery_us_ = nullptr;
+  FabricStats base_;  // reset_stats() baseline
 };
 
 }  // namespace dpm::net

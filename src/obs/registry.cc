@@ -1,0 +1,99 @@
+#include "obs/registry.h"
+
+#include <cmath>
+
+#include "obs/snapshot.h"
+#include "util/strings.h"
+
+namespace dpm::obs {
+
+std::int64_t Histogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  const double target = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cum += buckets_[i];
+    if (static_cast<double>(cum) >= target && cum > 0) {
+      const std::int64_t bound = bucket_bound(i);
+      return bound < max_ ? bound : max_;
+    }
+  }
+  return max_;
+}
+
+Counter& Registry::counter(std::string_view key) {
+  auto it = counters_.find(key);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(key), Counter{}).first;
+  }
+  return it->second;
+}
+
+Gauge& Registry::gauge(std::string_view key) {
+  auto it = gauges_.find(key);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(key), Gauge{}).first;
+  }
+  return it->second;
+}
+
+Histogram& Registry::histogram(std::string_view key) {
+  auto it = histograms_.find(key);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(key), Histogram{}).first;
+  }
+  return it->second;
+}
+
+void Registry::push_span_event(SpanEvent ev) {
+  if (span_ring_.size() >= span_capacity_) {
+    span_ring_.pop_front();
+    ++spans_dropped_;
+  }
+  span_ring_.push_back(std::move(ev));
+}
+
+std::uint64_t Registry::span_begin(std::string name) {
+  const std::uint64_t id = next_span_++;
+  SpanEvent ev;
+  ev.span = id;
+  ev.parent = current_span();
+  ev.name = name;
+  ev.begin = true;
+  ev.t_us = util::count_us(now());
+  push_span_event(ev);
+  open_spans_.push_back(OpenSpan{id, std::move(name)});
+  return id;
+}
+
+void Registry::span_end(std::uint64_t id) {
+  SpanEvent ev;
+  ev.span = id;
+  ev.begin = false;
+  ev.t_us = util::count_us(now());
+  // Spans are RAII so ends arrive innermost-first; tolerate a stray id by
+  // searching from the back (it can only happen if a span outlives a
+  // sibling, which ObsSpan's scoping forbids).
+  for (auto it = open_spans_.rbegin(); it != open_spans_.rend(); ++it) {
+    if (it->span == id) {
+      ev.name = it->name;  // parent linkage is carried by the begin event
+      open_spans_.erase(std::next(it).base());
+      break;
+    }
+  }
+  push_span_event(std::move(ev));
+}
+
+void Registry::snapshot_jsonl(std::string& out) const {
+  write_snapshot_jsonl(*this, ++snapshot_seq_, out);
+}
+
+std::string Registry::snapshot_jsonl() const {
+  std::string out;
+  snapshot_jsonl(out);
+  return out;
+}
+
+}  // namespace dpm::obs

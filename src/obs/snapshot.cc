@@ -1,0 +1,492 @@
+#include "obs/snapshot.h"
+
+#include <cctype>
+#include <cinttypes>
+
+#include "obs/registry.h"
+#include "util/strings.h"
+
+namespace dpm::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += util::strprintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+// ---- a minimal JSON value parser (just enough for the schema) -------------
+
+struct JsonValue {
+  enum class Kind { null, boolean, number, string, array, object } kind =
+      Kind::null;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::map<std::string, JsonValue> obj;
+
+  std::int64_t as_i64() const { return static_cast<std::int64_t>(num); }
+  std::uint64_t as_u64() const {
+    return num < 0 ? 0 : static_cast<std::uint64_t>(num);
+  }
+};
+
+class JsonParser {
+ public:
+  JsonParser(const std::string& text, std::string* err)
+      : s_(text), err_(err) {}
+
+  std::optional<JsonValue> parse() {
+    skip_ws();
+    auto v = value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != s_.size()) return fail("trailing characters");
+    return v;
+  }
+
+ private:
+  std::optional<JsonValue> fail(const char* what) {
+    if (err_ && err_->empty()) {
+      *err_ = util::strprintf("%s at offset %zu", what, pos_);
+    }
+    return std::nullopt;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> value() {
+    skip_ws();
+    if (pos_ >= s_.size()) return fail("unexpected end");
+    const char c = s_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') {
+      if (s_.compare(pos_, 4, "null") == 0) {
+        pos_ += 4;
+        return JsonValue{};
+      }
+      return fail("bad literal");
+    }
+    return number();
+  }
+
+  std::optional<JsonValue> boolean() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::boolean;
+    if (s_.compare(pos_, 4, "true") == 0) {
+      v.b = true;
+      pos_ += 4;
+      return v;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      v.b = false;
+      pos_ += 5;
+      return v;
+    }
+    return fail("bad literal");
+  }
+
+  std::optional<JsonValue> number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("bad number");
+    JsonValue v;
+    v.kind = JsonValue::Kind::number;
+    try {
+      v.num = std::stod(s_.substr(start, pos_ - start));
+    } catch (...) {
+      return fail("bad number");
+    }
+    return v;
+  }
+
+  std::optional<std::string> raw_string() {
+    if (!consume('"')) {
+      fail("expected string");
+      return std::nullopt;
+    }
+    std::string out;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) break;
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u':
+            // The writer only escapes control characters; decode to '?'.
+            if (pos_ + 4 <= s_.size()) pos_ += 4;
+            out += '?';
+            break;
+          default: out += e;
+        }
+      } else {
+        out += c;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> string_value() {
+    auto s = raw_string();
+    if (!s) return std::nullopt;
+    JsonValue v;
+    v.kind = JsonValue::Kind::string;
+    v.str = std::move(*s);
+    return v;
+  }
+
+  std::optional<JsonValue> array() {
+    consume('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::array;
+    skip_ws();
+    if (consume(']')) return v;
+    for (;;) {
+      auto elem = value();
+      if (!elem) return std::nullopt;
+      v.arr.push_back(std::move(*elem));
+      skip_ws();
+      if (consume(']')) return v;
+      if (!consume(',')) return fail("expected ',' in array");
+    }
+  }
+
+  std::optional<JsonValue> object() {
+    consume('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::object;
+    skip_ws();
+    if (consume('}')) return v;
+    for (;;) {
+      skip_ws();
+      auto key = raw_string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) return fail("expected ':'");
+      auto val = value();
+      if (!val) return std::nullopt;
+      v.obj.emplace(std::move(*key), std::move(*val));
+      skip_ws();
+      if (consume('}')) return v;
+      if (!consume(',')) return fail("expected ',' in object");
+    }
+  }
+
+  const std::string& s_;
+  std::string* err_;
+  std::size_t pos_ = 0;
+};
+
+const JsonValue* field(const JsonValue& obj, const char* key,
+                       JsonValue::Kind kind) {
+  auto it = obj.obj.find(key);
+  if (it == obj.obj.end() || it->second.kind != kind) return nullptr;
+  return &it->second;
+}
+
+}  // namespace
+
+void write_snapshot_jsonl(const Registry& reg, std::uint64_t seq,
+                          std::string& out) {
+  const std::int64_t t_us = util::count_us(reg.now());
+  out += util::strprintf(
+      "{\"kind\":\"snapshot\",\"seq\":%" PRIu64 ",\"t_us\":%" PRId64
+      ",\"metrics\":%zu,\"spans\":%zu}\n",
+      seq, t_us, reg.metric_count(), reg.span_ring().size());
+
+  for (const auto& [key, c] : reg.counters()) {
+    out += "{\"kind\":\"counter\",\"key\":";
+    append_escaped(out, key);
+    out += util::strprintf(",\"value\":%" PRIu64 "}\n", c.value());
+  }
+  for (const auto& [key, g] : reg.gauges()) {
+    out += "{\"kind\":\"gauge\",\"key\":";
+    append_escaped(out, key);
+    out += util::strprintf(",\"value\":%" PRId64 ",\"high_water\":%" PRId64
+                           "}\n",
+                           g.value(), g.high_water());
+  }
+  for (const auto& [key, h] : reg.histograms()) {
+    out += "{\"kind\":\"histogram\",\"key\":";
+    append_escaped(out, key);
+    out += util::strprintf(
+        ",\"count\":%" PRIu64 ",\"sum\":%" PRId64 ",\"min\":%" PRId64
+        ",\"max\":%" PRId64 ",\"p50\":%" PRId64 ",\"p90\":%" PRId64
+        ",\"p99\":%" PRId64 ",\"buckets\":[",
+        h.count(), h.sum(), h.min(), h.max(), h.percentile(50),
+        h.percentile(90), h.percentile(99));
+    bool first = true;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      if (h.buckets()[i] == 0) continue;
+      if (!first) out += ',';
+      first = false;
+      out += util::strprintf("[%d,%" PRIu64 "]", i, h.buckets()[i]);
+    }
+    out += "]}\n";
+  }
+  for (const auto& ev : reg.span_ring()) {
+    out += util::strprintf("{\"kind\":\"span\",\"id\":%" PRIu64
+                           ",\"parent\":%" PRIu64 ",\"name\":",
+                           ev.span, ev.parent);
+    append_escaped(out, ev.name);
+    out += util::strprintf(",\"phase\":\"%s\",\"t_us\":%" PRId64 "}\n",
+                           ev.begin ? "begin" : "end", ev.t_us);
+  }
+}
+
+std::string jsonl_to_json_array(const std::string& jsonl, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::string out = "[";
+  bool first = true;
+  for (const auto& line : util::split(jsonl, "\n")) {
+    if (util::trim(line).empty()) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += pad;
+    out += util::trim(line);
+  }
+  if (!first) out += '\n';
+  out += ']';
+  return out;
+}
+
+std::vector<std::string> Snapshot::subsystems() const {
+  std::map<std::string, bool> seen;
+  auto note = [&seen](const std::string& key) {
+    seen[key.substr(0, key.find('.'))] = true;
+  };
+  for (const auto& [k, v] : counters) note(k);
+  for (const auto& [k, v] : gauges) note(k);
+  for (const auto& [k, v] : histograms) note(k);
+  std::vector<std::string> out;
+  out.reserve(seen.size());
+  for (const auto& [k, v] : seen) out.push_back(k);
+  return out;
+}
+
+std::optional<Snapshot> parse_snapshot(const std::string& text,
+                                       std::string* err) {
+  auto bad = [err](std::size_t line_no, const std::string& why) {
+    if (err) *err = util::strprintf("line %zu: %s", line_no, why.c_str());
+    return std::nullopt;
+  };
+
+  Snapshot snap;
+  bool saw_header = false;
+  std::size_t line_no = 0;
+  for (const auto& line : util::split_keep_empty(text, '\n')) {
+    ++line_no;
+    if (util::trim(line).empty()) continue;
+    std::string perr;
+    JsonParser parser(line, &perr);
+    auto v = parser.parse();
+    if (!v || v->kind != JsonValue::Kind::object) {
+      return bad(line_no, perr.empty() ? "not a JSON object" : perr);
+    }
+    const JsonValue* kind = field(*v, "kind", JsonValue::Kind::string);
+    if (!kind) return bad(line_no, "missing \"kind\"");
+
+    if (kind->str == "snapshot") {
+      const JsonValue* seq = field(*v, "seq", JsonValue::Kind::number);
+      const JsonValue* t = field(*v, "t_us", JsonValue::Kind::number);
+      if (!seq || !t) return bad(line_no, "snapshot header missing seq/t_us");
+      // A later snapshot restarts the accumulation: last one wins.
+      snap = Snapshot{};
+      snap.seq = seq->as_u64();
+      snap.t_us = t->as_i64();
+      saw_header = true;
+      continue;
+    }
+    if (!saw_header) return bad(line_no, "metric line before snapshot header");
+
+    if (kind->str == "counter") {
+      const JsonValue* key = field(*v, "key", JsonValue::Kind::string);
+      const JsonValue* val = field(*v, "value", JsonValue::Kind::number);
+      if (!key || !val) return bad(line_no, "counter missing key/value");
+      snap.counters[key->str] = val->as_u64();
+    } else if (kind->str == "gauge") {
+      const JsonValue* key = field(*v, "key", JsonValue::Kind::string);
+      const JsonValue* val = field(*v, "value", JsonValue::Kind::number);
+      const JsonValue* hw = field(*v, "high_water", JsonValue::Kind::number);
+      if (!key || !val || !hw) {
+        return bad(line_no, "gauge missing key/value/high_water");
+      }
+      snap.gauges[key->str] = GaugeSample{val->as_i64(), hw->as_i64()};
+    } else if (kind->str == "histogram") {
+      const JsonValue* key = field(*v, "key", JsonValue::Kind::string);
+      const JsonValue* buckets = field(*v, "buckets", JsonValue::Kind::array);
+      if (!key || !buckets) return bad(line_no, "histogram missing key/buckets");
+      HistogramSample h;
+      struct NumField { const char* name; std::int64_t* dst; };
+      std::int64_t count_tmp = 0;
+      const NumField nums[] = {{"count", &count_tmp}, {"sum", &h.sum},
+                               {"min", &h.min},       {"max", &h.max},
+                               {"p50", &h.p50},       {"p90", &h.p90},
+                               {"p99", &h.p99}};
+      for (const auto& nf : nums) {
+        const JsonValue* f = field(*v, nf.name, JsonValue::Kind::number);
+        if (!f) return bad(line_no, std::string("histogram missing ") + nf.name);
+        *nf.dst = f->as_i64();
+      }
+      h.count = static_cast<std::uint64_t>(count_tmp);
+      for (const auto& pair : buckets->arr) {
+        if (pair.kind != JsonValue::Kind::array || pair.arr.size() != 2 ||
+            pair.arr[0].kind != JsonValue::Kind::number ||
+            pair.arr[1].kind != JsonValue::Kind::number) {
+          return bad(line_no, "histogram bucket is not [index,count]");
+        }
+        h.buckets.emplace_back(static_cast<int>(pair.arr[0].num),
+                               pair.arr[1].as_u64());
+      }
+      snap.histograms[key->str] = std::move(h);
+    } else if (kind->str == "span") {
+      const JsonValue* id = field(*v, "id", JsonValue::Kind::number);
+      const JsonValue* parent = field(*v, "parent", JsonValue::Kind::number);
+      const JsonValue* name = field(*v, "name", JsonValue::Kind::string);
+      const JsonValue* phase = field(*v, "phase", JsonValue::Kind::string);
+      const JsonValue* t = field(*v, "t_us", JsonValue::Kind::number);
+      if (!id || !parent || !name || !phase ||
+          (phase->str != "begin" && phase->str != "end") || !t) {
+        return bad(line_no, "span missing id/parent/name/phase/t_us");
+      }
+      SpanSample s;
+      s.id = id->as_u64();
+      s.parent = parent->as_u64();
+      s.name = name->str;
+      s.begin = phase->str == "begin";
+      s.t_us = t->as_i64();
+      snap.spans.push_back(std::move(s));
+    } else {
+      return bad(line_no, "unknown kind \"" + kind->str + "\"");
+    }
+  }
+  if (!saw_header) return bad(line_no, "no snapshot header line");
+  return snap;
+}
+
+std::string validate_snapshot(const std::string& text) {
+  std::string err;
+  auto snap = parse_snapshot(text, &err);
+  if (!snap) return err;
+  for (const auto& [key, g] : snap->gauges) {
+    if (g.value >= 0 && g.high_water < g.value) {
+      return "gauge " + key + ": high_water below value";
+    }
+  }
+  for (const auto& [key, h] : snap->histograms) {
+    std::uint64_t total = 0;
+    for (const auto& [idx, n] : h.buckets) {
+      if (idx < 0 || idx >= Histogram::kBuckets) {
+        return "histogram " + key + ": bucket index out of range";
+      }
+      total += n;
+    }
+    if (total != h.count) {
+      return "histogram " + key + ": bucket counts do not sum to count";
+    }
+    if (h.count > 0 && h.min > h.max) {
+      return "histogram " + key + ": min above max";
+    }
+  }
+  return {};
+}
+
+std::string diff_snapshots(const Snapshot& a, const Snapshot& b) {
+  std::string out;
+  out += util::strprintf("snapshot diff: seq %" PRIu64 " (t=%" PRId64
+                         "us) -> seq %" PRIu64 " (t=%" PRId64 "us)\n",
+                         a.seq, a.t_us, b.seq, b.t_us);
+
+  out += "counters:\n";
+  for (const auto& [key, bv] : b.counters) {
+    auto it = a.counters.find(key);
+    if (it == a.counters.end()) {
+      out += util::strprintf("  %-40s + %" PRIu64 " (new)\n", key.c_str(), bv);
+    } else if (bv != it->second) {
+      out += util::strprintf("  %-40s %+lld (%" PRIu64 " -> %" PRIu64 ")\n",
+                             key.c_str(),
+                             static_cast<long long>(bv) -
+                                 static_cast<long long>(it->second),
+                             it->second, bv);
+    }
+  }
+  for (const auto& [key, av] : a.counters) {
+    if (!b.counters.count(key)) {
+      out += util::strprintf("  %-40s (gone)\n", key.c_str());
+    }
+  }
+
+  out += "gauges:\n";
+  for (const auto& [key, bg] : b.gauges) {
+    auto it = a.gauges.find(key);
+    const std::int64_t old_v = it == a.gauges.end() ? 0 : it->second.value;
+    if (it == a.gauges.end() || bg.value != old_v ||
+        bg.high_water != it->second.high_water) {
+      out += util::strprintf("  %-40s %" PRId64 " -> %" PRId64
+                             " (high-water %" PRId64 ")\n",
+                             key.c_str(), old_v, bg.value, bg.high_water);
+    }
+  }
+
+  out += "histograms:\n";
+  for (const auto& [key, bh] : b.histograms) {
+    auto it = a.histograms.find(key);
+    const std::uint64_t old_n = it == a.histograms.end() ? 0 : it->second.count;
+    if (bh.count != old_n) {
+      out += util::strprintf("  %-40s +%" PRIu64 " samples (p50 %" PRId64
+                             ", p99 %" PRId64 ", max %" PRId64 ")\n",
+                             key.c_str(), bh.count - old_n, bh.p50, bh.p99,
+                             bh.max);
+    }
+  }
+  return out;
+}
+
+}  // namespace dpm::obs

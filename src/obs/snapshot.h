@@ -1,0 +1,97 @@
+// Snapshot schema: the registry serialized as JSONL, one object per line.
+//
+//   {"kind":"snapshot","seq":1,"t_us":12345,"metrics":42,"spans":7}
+//   {"kind":"counter","key":"kernel.meter_events","value":128}
+//   {"kind":"gauge","key":"kernel.meter_pending_bytes","value":0,"high_water":1040}
+//   {"kind":"histogram","key":"net.delivery_us","count":9,"sum":9921,
+//    "min":54,"max":2047,"p50":1023,"p90":2047,"p99":2047,
+//    "buckets":[[6,1],[10,4],[11,4]]}
+//   {"kind":"span","id":3,"parent":2,"name":"filter.select_round",
+//    "phase":"begin","t_us":5000}
+//
+// The header line comes first; instrument lines are sorted by key (maps
+// iterate in order), span lines follow in ring order. "buckets" lists
+// only non-empty log2 buckets as [index, count] pairs.
+//
+// This header also carries the parser/validator (used by the dpmstat tool
+// and the ctest schema smoke) and a structural diff between two
+// snapshots (what `dpmstat diff` prints).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dpm::obs {
+
+class Registry;
+
+/// Appends one full snapshot of `reg` to `out` as JSONL.
+void write_snapshot_jsonl(const Registry& reg, std::uint64_t seq,
+                          std::string& out);
+
+/// Wraps the JSONL lines of one snapshot as a JSON array ("[\n {...},\n
+/// ...]\n") so benchmark JSON files can embed a snapshot as a value.
+std::string jsonl_to_json_array(const std::string& jsonl, int indent = 2);
+
+// ---- parsed form ----------------------------------------------------------
+
+struct GaugeSample {
+  std::int64_t value = 0;
+  std::int64_t high_water = 0;
+};
+
+struct HistogramSample {
+  std::uint64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+  std::int64_t p50 = 0;
+  std::int64_t p90 = 0;
+  std::int64_t p99 = 0;
+  std::vector<std::pair<int, std::uint64_t>> buckets;  // [index, count]
+};
+
+struct SpanSample {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  std::string name;
+  bool begin = false;
+  std::int64_t t_us = 0;
+};
+
+/// One parsed snapshot (the last one in the text, for multi-snapshot
+/// streams appended by the periodic timer).
+struct Snapshot {
+  std::uint64_t seq = 0;
+  std::int64_t t_us = 0;
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, GaugeSample> gauges;
+  std::map<std::string, HistogramSample> histograms;
+  std::vector<SpanSample> spans;
+
+  /// Distinct "subsystem" prefixes (the part of each key before the first
+  /// '.') across all instruments.
+  std::vector<std::string> subsystems() const;
+};
+
+/// Parses snapshot JSONL; every line must match the schema above. On a
+/// stream holding several snapshots the *last* one wins (counters are
+/// cumulative, so the last snapshot is the current state). Returns
+/// nullopt and fills `err` (if given) on any malformed line.
+std::optional<Snapshot> parse_snapshot(const std::string& text,
+                                       std::string* err = nullptr);
+
+/// Schema check used by the ctest smoke: parseable and internally
+/// consistent (header present, gauge high-water >= value when value >= 0,
+/// histogram bucket counts summing to "count"). Empty string = valid.
+std::string validate_snapshot(const std::string& text);
+
+/// Human-readable diff of b relative to a: counter deltas, gauge moves,
+/// histogram count/sum growth. Keys present in only one snapshot are
+/// marked. (What `dpmstat diff` prints.)
+std::string diff_snapshots(const Snapshot& a, const Snapshot& b);
+
+}  // namespace dpm::obs

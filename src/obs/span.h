@@ -1,0 +1,51 @@
+// ObsSpan — RAII trace span over the executive's (simulated) clock.
+//
+//   {
+//     obs::ObsSpan span(reg, "control.acquire", &reg.histogram("control.acquire_rtt_us"));
+//     ... do the round trip ...
+//   }  // end event recorded; duration fed to the histogram
+//
+// Construction records a begin event (parented to the innermost open
+// span), destruction records the end event; both land in the registry's
+// bounded ring. An optional histogram receives the span's duration in
+// simulated microseconds. A null registry makes the span a no-op, so
+// instrumented code paths need no conditional at the call site.
+#pragma once
+
+#include "obs/registry.h"
+
+namespace dpm::obs {
+
+class ObsSpan {
+ public:
+  ObsSpan(Registry* reg, std::string name, Histogram* latency_us = nullptr)
+      : reg_(reg), latency_(latency_us) {
+    if (!reg_) return;
+    begin_ = reg_->now();
+    id_ = reg_->span_begin(std::move(name));
+  }
+  ObsSpan(Registry& reg, std::string name, Histogram* latency_us = nullptr)
+      : ObsSpan(&reg, std::move(name), latency_us) {}
+
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+  ~ObsSpan() {
+    if (!reg_) return;
+    reg_->span_end(id_);
+    if (latency_) latency_->record(util::count_us(reg_->now() - begin_));
+  }
+
+  /// Sim-time elapsed since the span began (zero without a registry).
+  util::Duration elapsed() const {
+    return reg_ ? reg_->now() - begin_ : util::Duration{0};
+  }
+
+ private:
+  Registry* reg_ = nullptr;
+  Histogram* latency_ = nullptr;
+  std::uint64_t id_ = 0;
+  util::TimePoint begin_{};
+};
+
+}  // namespace dpm::obs

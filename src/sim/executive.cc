@@ -27,6 +27,23 @@ void Executive::schedule_after(util::Duration d, std::function<void()> fn) {
   schedule_at(now_ + d, std::move(fn));
 }
 
+void Executive::set_obs(obs::Registry* reg) {
+  obs_ = reg;
+  if (!reg) {
+    runnable_gauge_ = nullptr;
+    events_counter_ = nullptr;
+    switches_counter_ = nullptr;
+    events_per_tick_ = nullptr;
+    return;
+  }
+  reg->set_clock([this] { return now_; });
+  runnable_gauge_ = &reg->gauge("sim.runnable");
+  events_counter_ = &reg->counter("sim.events_dispatched");
+  switches_counter_ = &reg->counter("sim.task_switches");
+  events_per_tick_ = &reg->histogram("sim.events_per_tick");
+  runnable_gauge_->set(static_cast<std::int64_t>(runnable_.size()));
+}
+
 TaskId Executive::spawn(std::string name, Task::Body body) {
   const TaskId id = next_id_++;
   auto& st = tasks_[id];
@@ -34,6 +51,7 @@ TaskId Executive::spawn(std::string name, Task::Body body) {
   st.task->start(std::move(body));
   st.runnable = true;
   runnable_.push_back(id);
+  if (runnable_gauge_) runnable_gauge_->add(1);
   return id;
 }
 
@@ -52,6 +70,7 @@ void Executive::make_runnable(TaskId id) {
   if (st->runnable) return;
   st->runnable = true;
   runnable_.push_back(id);
+  if (runnable_gauge_) runnable_gauge_->add(1);
 }
 
 void Executive::park_current() {
@@ -91,6 +110,7 @@ void Executive::resume_task(TaskId id) {
   st->runnable = false;
   current_ = id;
   ++switches_;
+  if (switches_counter_) switches_counter_->add(1);
   st->task->resume();
   current_ = kNoTask;
   // If a wake arrived while the task was running and it then parked, the
@@ -103,14 +123,22 @@ void Executive::run_one_step(bool& progressed) {
   if (!runnable_.empty()) {
     const TaskId id = runnable_.front();
     runnable_.pop_front();
+    if (runnable_gauge_) runnable_gauge_->sub(1);
     resume_task(id);
     progressed = true;
     return;
   }
   if (!events_.empty()) {
-    now_ = events_.next_time();
+    const util::TimePoint next = events_.next_time();
+    if (events_per_tick_ && next > now_ && events_this_tick_ > 0) {
+      events_per_tick_->record(static_cast<std::int64_t>(events_this_tick_));
+      events_this_tick_ = 0;
+    }
+    now_ = next;
     auto fn = events_.pop();
     fn();
+    if (events_counter_) events_counter_->add(1);
+    ++events_this_tick_;
     progressed = true;
   }
 }

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/registry.h"
 #include "sim/event_queue.h"
 #include "sim/task.h"
 #include "util/time.h"
@@ -70,6 +71,12 @@ class Executive {
   bool task_finished(TaskId id) const;
   std::size_t live_tasks() const;
 
+  /// Points the executive at a metrics registry; also installs this
+  /// executive's clock as the registry's time source. The executive then
+  /// tracks runnable-queue depth (sim.runnable), dispatched events,
+  /// task switches, and events handled per simulated instant.
+  void set_obs(obs::Registry* reg);
+
  private:
   struct TaskState {
     std::unique_ptr<Task> task;
@@ -88,6 +95,14 @@ class Executive {
   TaskId next_id_ = 1;
   TaskId current_ = kNoTask;
   std::uint64_t switches_ = 0;
+
+  // Observability handles (null until set_obs; see obs/registry.h).
+  obs::Registry* obs_ = nullptr;
+  obs::Gauge* runnable_gauge_ = nullptr;
+  obs::Counter* events_counter_ = nullptr;
+  obs::Counter* switches_counter_ = nullptr;
+  obs::Histogram* events_per_tick_ = nullptr;
+  std::uint64_t events_this_tick_ = 0;
 };
 
 }  // namespace dpm::sim

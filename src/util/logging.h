@@ -25,7 +25,13 @@ void log_line(LogLevel level, const std::string& tag, const std::string& msg);
 class LogStream {
  public:
   LogStream(LogLevel level, std::string tag) : level_(level), tag_(std::move(tag)) {}
-  ~LogStream() { log_line(level_, tag_, ss_.str()); }
+  // Suppressed levels skip log_line entirely: operator<< already dropped
+  // the payload, so without the guard every suppressed statement would
+  // still materialize an empty string and re-check the level inside
+  // log_line on the hot path.
+  ~LogStream() {
+    if (level_ >= log_level()) log_line(level_, tag_, ss_.str());
+  }
   template <typename T>
   LogStream& operator<<(const T& v) {
     if (level_ >= log_level()) ss_ << v;

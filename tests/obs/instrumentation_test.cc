@@ -1,0 +1,312 @@
+// End-to-end instrumentation: the registry's counters, gauges, and
+// histograms must match hand-computed values for scripted workloads —
+// kernel meter emits, fabric deliveries, a daemon RPC, and a truncated
+// meter connection — plus the periodic snapshot timer and the
+// dropped-batch gauge regression (the pending-bytes gauge must return to
+// zero even when a flush drops its batch).
+#include <gtest/gtest.h>
+
+#include "control/session.h"
+#include "apps/apps.h"
+#include "filter/filter_program.h"
+#include "kernel/meter_hooks.h"
+#include "kernel/syscalls.h"
+#include "kernel/world.h"
+#include "meter/meterflags.h"
+#include "meter/metermsgs.h"
+#include "net/fabric.h"
+#include "obs/snapshot.h"
+#include "testing.h"
+
+namespace dpm {
+namespace {
+
+class InstrumentationTest : public ::testing::Test {
+ protected:
+  InstrumentationTest() { reset({}); }
+
+  void reset(kernel::WorldConfig cfg) {
+    world_ = std::make_unique<kernel::World>(cfg);
+    machines_ = dpm::testing::add_machines(*world_, {"red", "green"});
+    world_->add_account_everywhere(100);
+  }
+
+  /// Byte sink on green:4500 (where metered batches land).
+  void spawn_sink() {
+    (void)world_->spawn(machines_[1], "sink", 100, [](kernel::Sys& sys) {
+      auto ls = sys.socket(kernel::SockDomain::internet,
+                           kernel::SockType::stream);
+      (void)sys.bind_port(*ls, 4500);
+      (void)sys.listen(*ls, 8);
+      std::vector<kernel::Fd> conns;
+      for (;;) {
+        std::vector<kernel::Fd> fds = conns;
+        fds.push_back(*ls);
+        auto sel = sys.select(fds, false, util::sec(30));
+        if (!sel.ok() || sel->timed_out) break;
+        for (kernel::Fd fd : sel->readable) {
+          if (fd == *ls) {
+            auto c = sys.accept(*ls);
+            if (c.ok()) conns.push_back(*c);
+            continue;
+          }
+          auto data = sys.recv(fd, 65536);
+          if (!data.ok() || data->empty()) (void)sys.close(fd);
+        }
+      }
+    });
+  }
+
+  std::uint64_t counter(const std::string& key) {
+    return world_->obs().counter(key).value();
+  }
+
+  std::unique_ptr<kernel::World> world_;
+  std::vector<kernel::MachineId> machines_;
+};
+
+TEST_F(InstrumentationTest, MeterCountersMatchBatchArithmetic) {
+  kernel::WorldConfig cfg;
+  cfg.meter_buffer_msgs = 8;
+  cfg.meter_buffer_bytes = 1 << 20;
+  reset(cfg);
+  spawn_sink();
+  (void)world_->spawn(machines_[0], "app", 100, [](kernel::Sys& sys) {
+    sys.sleep(util::msec(5));
+    auto addr = sys.resolve("green", 4500);
+    auto ms = sys.socket(kernel::SockDomain::internet,
+                         kernel::SockType::stream);
+    ASSERT_TRUE(sys.connect(*ms, *addr).ok());
+    ASSERT_TRUE(sys.setmeter(meter::SETMETER_SELF,
+                             static_cast<std::int32_t>(meter::M_SEND), *ms)
+                    .ok());
+    ASSERT_TRUE(sys.close(*ms).ok());
+    auto pair = sys.socketpair();
+    for (int i = 0; i < 32; ++i) (void)sys.send(pair->first, "x");
+  });
+  world_->run();
+
+  // 32 metered sends in batches of exactly 8: 4 full flushes, no drops.
+  // (termproc is not flagged, so no partial batch remains at exit.)
+  EXPECT_EQ(counter("kernel.meter_events"), 32u);
+  EXPECT_EQ(counter("kernel.meter_flushes"), 4u);
+  EXPECT_EQ(counter("kernel.meter_dropped_batches"), 0u);
+  EXPECT_EQ(counter("kernel.meter_dropped_bytes"), 0u);
+
+  const obs::Histogram& msgs =
+      world_->obs().histogram("kernel.meter_batch_msgs");
+  EXPECT_EQ(msgs.count(), 4u);
+  EXPECT_EQ(msgs.sum(), 32);
+  EXPECT_EQ(msgs.min(), 8);
+  EXPECT_EQ(msgs.max(), 8);
+
+  // Every flushed byte was accounted: batch-bytes histogram sums to the
+  // delivered byte counter, and the pending gauge drained back to zero.
+  const obs::Histogram& bytes =
+      world_->obs().histogram("kernel.meter_batch_bytes");
+  EXPECT_EQ(bytes.count(), 4u);
+  EXPECT_EQ(static_cast<std::uint64_t>(bytes.sum()),
+            counter("kernel.meter_bytes"));
+  const obs::Gauge& pending =
+      world_->obs().gauge("kernel.meter_pending_bytes");
+  EXPECT_EQ(pending.value(), 0);
+  EXPECT_EQ(static_cast<std::uint64_t>(pending.high_water()),
+            counter("kernel.meter_bytes") / 4);  // one batch's bytes
+
+  // The registry view and the legacy struct view are the same numbers.
+  const kernel::MeterStats stats = world_->meter_stats();
+  EXPECT_EQ(stats.events, counter("kernel.meter_events"));
+  EXPECT_EQ(stats.flushes, counter("kernel.meter_flushes"));
+  EXPECT_EQ(stats.bytes, counter("kernel.meter_bytes"));
+}
+
+TEST(FabricInstrumentation, DeliveryCountersMatchHandComputedValues) {
+  sim::Executive exec;
+  obs::Registry reg;
+  exec.set_obs(&reg);
+  net::Fabric fabric(exec, 7, &reg);
+  net::NetworkConfig cfg;
+  cfg.base_latency = util::usec(500);
+  cfg.per_kb = util::usec(0);
+  cfg.jitter_max = util::usec(0);
+  fabric.configure_network(0, cfg);
+
+  int delivered = 0;
+  for (std::size_t size : {100u, 200u, 300u}) {
+    fabric.send(0, false, 0, false, size, [&] { ++delivered; });
+  }
+  // All three are in flight before the executive runs.
+  EXPECT_EQ(reg.gauge("net.in_flight").value(), 3);
+  exec.run();
+
+  EXPECT_EQ(delivered, 3);
+  EXPECT_EQ(reg.counter("net.packets_sent").value(), 3u);
+  EXPECT_EQ(reg.counter("net.bytes_sent").value(), 600u);
+  EXPECT_EQ(reg.counter("net.packets_dropped").value(), 0u);
+  EXPECT_EQ(reg.gauge("net.in_flight").value(), 0);
+  EXPECT_EQ(reg.gauge("net.in_flight").high_water(), 3);
+  // Zero jitter, zero per-kb: every delivery takes exactly base latency.
+  const obs::Histogram& h = reg.histogram("net.delivery_us");
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 1500);
+  EXPECT_EQ(h.min(), 500);
+  EXPECT_EQ(h.max(), 500);
+
+  // A guaranteed datagram drop: sent and dropped count, nothing flies.
+  cfg.dgram_loss = 1.0;
+  fabric.configure_network(0, cfg);
+  fabric.send(0, false, 0, true, 50, [&] { ++delivered; });
+  exec.run();
+  EXPECT_EQ(delivered, 3);
+  EXPECT_EQ(reg.counter("net.packets_sent").value(), 4u);
+  EXPECT_EQ(reg.counter("net.packets_dropped").value(), 1u);
+  EXPECT_EQ(reg.histogram("net.delivery_us").count(), 3u);
+}
+
+TEST(DaemonInstrumentation, OneControllerCommandIsOneRpc) {
+  kernel::World world(dpm::testing::quick_config());
+  dpm::testing::add_machines(world, {"red", "green"});
+  control::install_monitor(world);
+  apps::install_everywhere(world);
+  control::spawn_meterdaemons(world);
+  control::MonitorSession session(
+      world, control::MonitorSession::Options{.host = "red", .uid = 100});
+  world.run();
+  (void)session.drain_output();
+
+  obs::Registry& reg = world.obs();
+  const std::uint64_t calls0 = reg.counter("daemon.rpc_calls").value();
+  const std::uint64_t served0 = reg.counter("daemon.requests_served").value();
+  const std::uint64_t cmds0 = reg.counter("control.commands").value();
+  const std::uint64_t filter0 = reg.histogram("daemon.rpc_filter_us").count();
+
+  const std::string out = session.command("filter f1 green");
+  EXPECT_NE(out.find("created"), std::string::npos) << out;
+
+  // One command, one create RPC, served once, no failures; the RPC's
+  // request->reply latency landed in its per-type histogram.
+  EXPECT_EQ(reg.counter("control.commands").value(), cmds0 + 1);
+  EXPECT_EQ(reg.counter("daemon.rpc_calls").value(), calls0 + 1);
+  EXPECT_EQ(reg.counter("daemon.requests_served").value(), served0 + 1);
+  EXPECT_EQ(reg.counter("daemon.rpc_failures").value(), 0u);
+  const obs::Histogram& h = reg.histogram("daemon.rpc_filter_us");
+  EXPECT_EQ(h.count(), filter0 + 1);
+  EXPECT_GT(h.sum(), 0);  // the round trip takes simulated time
+
+  session.send_line("bye");
+  world.run();
+}
+
+TEST(FilterInstrumentation, TruncatedConnectionIsCountedOnce) {
+  auto d = filter::Descriptions::parse(filter::default_descriptions_text());
+  auto t = filter::Templates::parse("");
+  ASSERT_TRUE(d.has_value() && t.has_value());
+  filter::FilterEngine engine(std::move(*d), std::move(*t));
+
+  meter::MeterMsg m;
+  m.body = meter::MeterRecv{1, 0, 3, 64, "228320140"};
+  const util::Bytes wire = m.serialize();
+
+  // One whole record plus a second cut short by the connection ending.
+  util::Bytes data = wire;
+  data.insert(data.end(), wire.begin(), wire.end() - 1);
+  (void)engine.feed(7, data);
+  engine.end_connection(7);
+
+  obs::Registry& reg = engine.obs();
+  EXPECT_EQ(reg.counter("filter.records_in").value(), 1u);
+  EXPECT_EQ(reg.counter("filter.accepted").value(), 1u);
+  EXPECT_EQ(reg.counter("filter.truncated").value(), 1u);
+  EXPECT_EQ(reg.counter("filter.malformed").value(), 1u);
+  EXPECT_EQ(reg.counter("filter.bytes_in").value(), data.size());
+  const filter::FilterStats st = engine.stats();
+  EXPECT_EQ(st.truncated, 1u);
+  EXPECT_EQ(st.malformed, 1u);
+}
+
+TEST_F(InstrumentationTest, DroppedBatchDrainsPendingGauge) {
+  // Regression: meter_flush must decrement the pending-bytes gauge on the
+  // dropped-batch path too, not only on delivery — otherwise a process
+  // whose meter socket is torn down leaks pending bytes in the gauge
+  // forever.
+  kernel::WorldConfig cfg;
+  cfg.meter_buffer_msgs = 1000;  // no threshold flush
+  cfg.meter_buffer_bytes = 1 << 20;
+  reset(cfg);
+  spawn_sink();
+  kernel::Pid pid = 0;
+  (void)world_->spawn(machines_[0], "app", 100, [&](kernel::Sys& sys) {
+    sys.sleep(util::msec(5));
+    auto addr = sys.resolve("green", 4500);
+    auto ms = sys.socket(kernel::SockDomain::internet,
+                         kernel::SockType::stream);
+    ASSERT_TRUE(sys.connect(*ms, *addr).ok());
+    ASSERT_TRUE(sys.setmeter(meter::SETMETER_SELF,
+                             static_cast<std::int32_t>(meter::M_SEND), *ms)
+                    .ok());
+    ASSERT_TRUE(sys.close(*ms).ok());
+    auto pair = sys.socketpair();
+    for (int i = 0; i < 5; ++i) (void)sys.send(pair->first, "x");
+    pid = sys.getpid();
+    sys.sleep(util::sec(1));
+  });
+  world_->run_for(util::msec(100));
+
+  kernel::Process* p = world_->find_process(machines_[0], pid);
+  ASSERT_NE(p, nullptr);
+  const obs::Gauge& pending =
+      world_->obs().gauge("kernel.meter_pending_bytes");
+  ASSERT_GT(pending.value(), 0);  // real emits filled the buffer
+  EXPECT_EQ(pending.value(), static_cast<std::int64_t>(p->meter_pending.size()));
+  const std::int64_t buffered = pending.value();
+
+  // The meter socket vanishes out from under the process (Appendix C);
+  // the flush drops the batch.
+  p->meter_sock = 0;
+  kernel::meter_flush(*world_, *p);
+
+  EXPECT_EQ(pending.value(), 0);
+  EXPECT_EQ(counter("kernel.meter_dropped_batches"), 1u);
+  EXPECT_EQ(counter("kernel.meter_dropped_bytes"),
+            static_cast<std::uint64_t>(buffered));
+  EXPECT_EQ(counter("kernel.meter_flushes"), 0u);
+  world_->run();
+  EXPECT_EQ(pending.value(), 0);  // exit flush finds nothing pending
+}
+
+TEST_F(InstrumentationTest, PeriodicSnapshotsAccumulateUntilStopped) {
+  auto headers = [](const std::string& s) {
+    std::size_t n = 0;
+    for (std::size_t pos = 0;
+         (pos = s.find("{\"kind\":\"snapshot\"", pos)) != std::string::npos;
+         ++pos) {
+      ++n;
+    }
+    return n;
+  };
+
+  std::string sink;
+  world_->start_obs_snapshots(util::msec(10), &sink);
+  world_->run_for(util::msec(35));
+  EXPECT_EQ(headers(sink), 3u);  // fired at 10, 20, 30 ms
+
+  world_->stop_obs_snapshots();
+  world_->run_for(util::msec(50));
+  EXPECT_EQ(headers(sink), 3u);  // the stopped timer never fires again
+
+  // The accumulated stream is schema-valid and parses to the last
+  // snapshot.
+  EXPECT_EQ(obs::validate_snapshot(sink), "");
+  auto snap = obs::parse_snapshot(sink);
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->seq, 3u);
+  EXPECT_EQ(snap->t_us, 30000);
+
+  // On-demand snapshots keep the sequence monotonic.
+  auto on_demand = obs::parse_snapshot(world_->obs_snapshot());
+  ASSERT_TRUE(on_demand.has_value());
+  EXPECT_EQ(on_demand->seq, 4u);
+}
+
+}  // namespace
+}  // namespace dpm

@@ -1,0 +1,159 @@
+// Registry instruments: counter/gauge/histogram semantics, the sim-time
+// clock callback, and the bounded span ring with parent linkage.
+#include "obs/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/span.h"
+
+namespace dpm::obs {
+namespace {
+
+TEST(CounterTest, MonotonicAccumulation) {
+  Registry reg;
+  Counter& c = reg.counter("kernel.meter_events");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same key resolves to the same instrument.
+  EXPECT_EQ(&reg.counter("kernel.meter_events"), &c);
+  EXPECT_EQ(reg.counters().size(), 1u);
+}
+
+TEST(GaugeTest, HighWaterTracksPeakNotCurrent) {
+  Registry reg;
+  Gauge& g = reg.gauge("net.in_flight");
+  g.add(3);
+  g.add(4);
+  g.sub(5);
+  EXPECT_EQ(g.value(), 2);
+  EXPECT_EQ(g.high_water(), 7);
+  g.set(1);
+  EXPECT_EQ(g.value(), 1);
+  EXPECT_EQ(g.high_water(), 7);  // set below the peak keeps the mark
+}
+
+TEST(GaugeTest, MismatchedSubGoesNegativeInsteadOfWrapping) {
+  Gauge g;
+  g.add(1);
+  g.sub(3);
+  EXPECT_EQ(g.value(), -2);  // signed: the accounting bug is visible
+  EXPECT_EQ(g.high_water(), 1);
+}
+
+TEST(HistogramTest, Log2BucketBoundaries) {
+  EXPECT_EQ(Histogram::bucket_of(-5), 0);
+  EXPECT_EQ(Histogram::bucket_of(0), 0);
+  EXPECT_EQ(Histogram::bucket_of(1), 1);
+  EXPECT_EQ(Histogram::bucket_of(2), 2);
+  EXPECT_EQ(Histogram::bucket_of(3), 2);
+  EXPECT_EQ(Histogram::bucket_of(4), 3);
+  EXPECT_EQ(Histogram::bucket_of(1023), 10);
+  EXPECT_EQ(Histogram::bucket_of(1024), 11);
+  EXPECT_EQ(Histogram::bucket_of(INT64_MAX), Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::bucket_bound(0), 0);
+  EXPECT_EQ(Histogram::bucket_bound(10), 1023);
+  EXPECT_EQ(Histogram::bucket_bound(63), INT64_MAX);
+}
+
+TEST(HistogramTest, CountSumMinMax) {
+  Histogram h;
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.percentile(50), 0);  // empty
+  h.record(10);
+  h.record(3);
+  h.record(500);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 513);
+  EXPECT_EQ(h.min(), 3);
+  EXPECT_EQ(h.max(), 500);
+}
+
+TEST(HistogramTest, PercentileIsBucketBoundClampedToMax) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(1000);  // all in bucket 10
+  // The bucket bound (1023) exceeds the observed max, so the estimate is
+  // clamped to the true maximum.
+  EXPECT_EQ(h.percentile(50), 1000);
+  EXPECT_EQ(h.percentile(99), 1000);
+
+  Histogram mix;
+  for (int i = 0; i < 90; ++i) mix.record(4);     // bucket 3, bound 7
+  for (int i = 0; i < 10; ++i) mix.record(6000);  // bucket 13, bound 8191
+  EXPECT_EQ(mix.percentile(50), 7);
+  EXPECT_EQ(mix.percentile(90), 7);
+  EXPECT_EQ(mix.percentile(99), 6000);
+}
+
+TEST(RegistryTest, ClockDefaultsToEpochUntilInstalled) {
+  Registry reg;
+  EXPECT_EQ(util::count_us(reg.now()), 0);
+  util::TimePoint t{util::msec(5)};
+  reg.set_clock([&] { return t; });
+  EXPECT_EQ(util::count_us(reg.now()), 5000);
+  t += util::msec(1);
+  EXPECT_EQ(util::count_us(reg.now()), 6000);
+}
+
+TEST(RegistryTest, SpansNestWithParentLinkage) {
+  Registry reg;
+  util::TimePoint t{};
+  reg.set_clock([&] { return t; });
+  {
+    ObsSpan outer(reg, "daemon.rpc_create");
+    t += util::msec(2);
+    {
+      ObsSpan inner(reg, "filter.select_round");
+      t += util::msec(1);
+    }
+  }
+  const auto& ring = reg.span_ring();
+  ASSERT_EQ(ring.size(), 4u);
+  EXPECT_TRUE(ring[0].begin);
+  EXPECT_EQ(ring[0].name, "daemon.rpc_create");
+  EXPECT_EQ(ring[0].parent, 0u);  // root
+  EXPECT_EQ(ring[0].t_us, 0);
+  EXPECT_TRUE(ring[1].begin);
+  EXPECT_EQ(ring[1].name, "filter.select_round");
+  EXPECT_EQ(ring[1].parent, ring[0].span);  // nested under the open span
+  EXPECT_EQ(ring[1].t_us, 2000);
+  EXPECT_FALSE(ring[2].begin);
+  EXPECT_EQ(ring[2].span, ring[1].span);  // innermost ends first
+  EXPECT_EQ(ring[2].t_us, 3000);
+  EXPECT_FALSE(ring[3].begin);
+  EXPECT_EQ(ring[3].span, ring[0].span);
+  EXPECT_EQ(reg.current_span(), 0u);  // stack fully unwound
+}
+
+TEST(RegistryTest, SpanDurationFeedsLatencyHistogram) {
+  Registry reg;
+  util::TimePoint t{};
+  reg.set_clock([&] { return t; });
+  Histogram& lat = reg.histogram("daemon.rpc_create_us");
+  {
+    ObsSpan span(reg, "daemon.rpc_create", &lat);
+    t += util::usec(750);
+  }
+  EXPECT_EQ(lat.count(), 1u);
+  EXPECT_EQ(lat.sum(), 750);
+}
+
+TEST(RegistryTest, SpanRingIsBounded) {
+  Registry reg;
+  reg.set_span_ring_capacity(4);
+  for (int i = 0; i < 5; ++i) {
+    ObsSpan span(reg, "sim.tick");  // 2 events each
+  }
+  EXPECT_EQ(reg.span_ring().size(), 4u);
+  EXPECT_EQ(reg.spans_dropped(), 6u);  // 10 events, 4 kept
+}
+
+TEST(RegistryTest, NullRegistrySpanIsANoOp) {
+  ObsSpan span(nullptr, "net.send");
+  EXPECT_EQ(span.elapsed(), util::Duration{0});
+}
+
+}  // namespace
+}  // namespace dpm::obs

@@ -1,0 +1,149 @@
+// Snapshot pipeline: JSONL serialization, the parser/validator used by
+// dpmstat and the ctest schema smoke, the JSON-array embedding for bench
+// result files, and the structural diff.
+#include "obs/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/registry.h"
+#include "obs/span.h"
+
+namespace dpm::obs {
+namespace {
+
+Registry& populated(Registry& reg) {
+  reg.counter("kernel.meter_events").add(128);
+  reg.counter("net.packets_sent").add(9);
+  Gauge& g = reg.gauge("kernel.meter_pending_bytes");
+  g.add(1040);
+  g.sub(1040);
+  Histogram& h = reg.histogram("net.delivery_us");
+  h.record(54);
+  for (int i = 0; i < 4; ++i) h.record(600);
+  for (int i = 0; i < 4; ++i) h.record(1500);
+  { ObsSpan span(reg, "filter.select_round"); }
+  return reg;
+}
+
+TEST(SnapshotTest, WriteParseRoundTrip) {
+  Registry reg;
+  const std::string text = populated(reg).snapshot_jsonl();
+
+  std::string err;
+  auto snap = parse_snapshot(text, &err);
+  ASSERT_TRUE(snap.has_value()) << err;
+  EXPECT_EQ(snap->seq, 1u);
+  EXPECT_EQ(snap->t_us, 0);
+
+  EXPECT_EQ(snap->counters.at("kernel.meter_events"), 128u);
+  EXPECT_EQ(snap->counters.at("net.packets_sent"), 9u);
+
+  const GaugeSample& g = snap->gauges.at("kernel.meter_pending_bytes");
+  EXPECT_EQ(g.value, 0);
+  EXPECT_EQ(g.high_water, 1040);
+
+  const HistogramSample& h = snap->histograms.at("net.delivery_us");
+  EXPECT_EQ(h.count, 9u);
+  EXPECT_EQ(h.sum, 54 + 4 * 600 + 4 * 1500);
+  EXPECT_EQ(h.min, 54);
+  EXPECT_EQ(h.max, 1500);
+  EXPECT_EQ(h.p50, 1023);  // bound of bucket 10 (600s), under the max
+  // Sparse buckets: 54 -> bucket 6, 600 -> bucket 10, 1500 -> bucket 11.
+  ASSERT_EQ(h.buckets.size(), 3u);
+  EXPECT_EQ(h.buckets[0], (std::pair<int, std::uint64_t>{6, 1}));
+  EXPECT_EQ(h.buckets[1], (std::pair<int, std::uint64_t>{10, 4}));
+  EXPECT_EQ(h.buckets[2], (std::pair<int, std::uint64_t>{11, 4}));
+
+  ASSERT_EQ(snap->spans.size(), 2u);
+  EXPECT_EQ(snap->spans[0].name, "filter.select_round");
+  EXPECT_TRUE(snap->spans[0].begin);
+  EXPECT_FALSE(snap->spans[1].begin);
+}
+
+TEST(SnapshotTest, SequenceNumbersIncrement) {
+  Registry reg;
+  populated(reg);
+  std::string stream = reg.snapshot_jsonl();
+  reg.counter("kernel.meter_events").add(1);
+  reg.snapshot_jsonl(stream);  // appends the second snapshot
+
+  auto snap = parse_snapshot(stream);
+  ASSERT_TRUE(snap.has_value());
+  // Last snapshot wins on a multi-snapshot stream.
+  EXPECT_EQ(snap->seq, 2u);
+  EXPECT_EQ(snap->counters.at("kernel.meter_events"), 129u);
+}
+
+TEST(SnapshotTest, ValidateAcceptsWellFormedSnapshots) {
+  Registry reg;
+  EXPECT_EQ(validate_snapshot(populated(reg).snapshot_jsonl()), "");
+  EXPECT_NE(validate_snapshot(""), "");  // a snapshot needs its header
+}
+
+TEST(SnapshotTest, ValidateRejectsMalformedText) {
+  EXPECT_NE(validate_snapshot("not json at all"), "");
+  // A counter line with no header is parseable JSON but not a snapshot.
+  EXPECT_NE(validate_snapshot(
+                R"({"kind":"counter","key":"a.b","value":1})"),
+            "");
+  // Histogram whose buckets do not sum to its count.
+  Registry reg;
+  reg.histogram("net.delivery_us").record(5);
+  std::string text = reg.snapshot_jsonl();
+  const auto pos = text.find("\"count\":1");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 9, "\"count\":2");
+  EXPECT_NE(validate_snapshot(text), "");
+}
+
+TEST(SnapshotTest, SubsystemsAreDistinctKeyPrefixes) {
+  Registry reg;
+  reg.counter("kernel.meter_events");
+  reg.counter("kernel.meter_flushes");
+  reg.gauge("net.in_flight");
+  reg.histogram("daemon.rpc_create_us");
+  auto snap = parse_snapshot(reg.snapshot_jsonl());
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_EQ(snap->subsystems(),
+            (std::vector<std::string>{"daemon", "kernel", "net"}));
+}
+
+TEST(SnapshotTest, JsonArrayEmbedding) {
+  Registry reg;
+  const std::string arr = jsonl_to_json_array(populated(reg).snapshot_jsonl());
+  EXPECT_EQ(arr.front(), '[');
+  EXPECT_EQ(arr.back(), ']');
+  // One element per JSONL line, comma-separated.
+  std::size_t objects = 0;
+  for (std::size_t pos = 0; (pos = arr.find("{\"kind\":", pos)) !=
+                            std::string::npos;
+       ++pos) {
+    ++objects;
+  }
+  EXPECT_EQ(objects, 1 /*header*/ + reg.metric_count() + reg.span_ring().size());
+  EXPECT_EQ(jsonl_to_json_array(""), "[]");
+}
+
+TEST(SnapshotTest, DiffReportsDeltasAndNewKeys) {
+  Registry reg;
+  populated(reg);
+  auto a = parse_snapshot(reg.snapshot_jsonl());
+  ASSERT_TRUE(a.has_value());
+
+  reg.counter("kernel.meter_events").add(72);
+  reg.counter("control.commands").add(3);  // new key
+  reg.histogram("net.delivery_us").record(40);
+  auto b = parse_snapshot(reg.snapshot_jsonl());
+  ASSERT_TRUE(b.has_value());
+
+  const std::string d = diff_snapshots(*a, *b);
+  EXPECT_NE(d.find("kernel.meter_events"), std::string::npos);
+  EXPECT_NE(d.find("+72"), std::string::npos);
+  EXPECT_NE(d.find("control.commands"), std::string::npos);
+  EXPECT_NE(d.find("net.delivery_us"), std::string::npos);
+  // Unchanged instruments stay out of the diff.
+  EXPECT_EQ(d.find("net.packets_sent"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dpm::obs
