@@ -33,102 +33,10 @@
 #include "meter/metermsgs.h"
 #include "obs/snapshot.h"
 #include "util/strings.h"
+#include "workloads.h"
 
 namespace dpm::bench {
 namespace {
-
-// ---- synthetic workloads --------------------------------------------------
-
-enum class Workload { sendrecv, acceptconnect, mixed };
-
-const char* workload_name(Workload w) {
-  switch (w) {
-    case Workload::sendrecv: return "sendrecv";
-    case Workload::acceptconnect: return "acceptconnect";
-    case Workload::mixed: return "mixed";
-  }
-  return "?";
-}
-
-/// Messages of one workload, header fields varied the way a live meter
-/// varies them. Socket names reuse the paper's single-decimal internet
-/// rendering; a few are empty (unknown peer) and a few long.
-std::vector<meter::MeterMsg> make_messages(Workload w, int n) {
-  using namespace meter;
-  std::vector<MeterMsg> out;
-  out.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    MeterMsg m;
-    switch (w) {
-      case Workload::sendrecv:
-        switch (i % 3) {
-          case 0:
-            m.body = MeterSend{i % 7, 0, static_cast<SocketId>(3 + i % 4),
-                               static_cast<std::uint32_t>(32 + i % 1024),
-                               i % 8 == 0 ? "228320140" : ""};
-            break;
-          case 1:
-            m.body = MeterRecv{i % 7, 0, 3, 64, "228320140"};
-            break;
-          default:
-            m.body = MeterRecvCall{i % 7, 0, 3};
-            break;
-        }
-        break;
-      case Workload::acceptconnect:
-        if (i % 2 == 0) {
-          m.body = MeterAccept{i % 7, 0, 4, static_cast<SocketId>(100 + i),
-                               "131073", i % 16 == 0 ? "131073" : "196612"};
-        } else {
-          m.body = MeterConnect{i % 7, 0, 5, "196612", "131073"};
-        }
-        break;
-      case Workload::mixed:
-        switch (i % 10) {
-          case 0: m.body = MeterSend{i % 7, 0, 4, 256, "228320140"}; break;
-          case 1: m.body = MeterRecv{i % 7, 0, 3, 64, ""}; break;
-          case 2: m.body = MeterRecvCall{i % 7, 0, 3}; break;
-          case 3: m.body = MeterSockCrt{i % 7, 0, 9, 2, 1, 0}; break;
-          case 4: m.body = MeterDup{i % 7, 0, 9, 10}; break;
-          case 5: m.body = MeterDestSock{i % 7, 0, 9}; break;
-          case 6: m.body = MeterFork{i % 7, 0, 1000 + i}; break;
-          case 7: m.body = MeterAccept{i % 7, 0, 4, 11, "131073", "196612"}; break;
-          case 8: m.body = MeterConnect{i % 7, 0, 5, "196612", "131073"}; break;
-          default: m.body = MeterTermProc{i % 7, 0, 0}; break;
-        }
-        break;
-    }
-    m.header.machine = static_cast<std::uint16_t>(i % 8 == 0 ? 0 : 1 + i % 5);
-    m.header.cpu_time = 1000 * i;
-    m.header.proc_time = 10000 * (i / 16);
-    out.push_back(std::move(m));
-  }
-  return out;
-}
-
-util::Bytes make_batch(Workload w, int n) {
-  util::Bytes out;
-  for (const auto& m : make_messages(w, n)) m.serialize_into(out);
-  return out;
-}
-
-/// Rules exercising both engines: numeric clauses, a field-to-field
-/// comparison (interpreted only for types missing a field), string
-/// literals, and discards. Selectivity is partial so both accepted and
-/// rejected records flow.
-const char* kRules =
-    "machine=5, cpuTime<10000\n"
-    "machine=0, type=1, sock=4, destName=228320140\n"
-    "type=8, sockName=peerName\n"
-    "machine=#*, pid=#*, type=1, msgLength>128\n"
-    "type=2, sourceName=228320140\n";
-
-filter::FilterEngine make_engine(filter::EvalPath path,
-                                 const char* rules = kRules) {
-  auto d = filter::Descriptions::parse(filter::default_descriptions_text());
-  auto t = filter::Templates::parse(rules);
-  return filter::FilterEngine(std::move(*d), std::move(*t), path);
-}
 
 // ---- encode path: serialize+copy vs serialize_into ------------------------
 
@@ -339,35 +247,6 @@ struct PipelineBenchResult {
   int events = 0;
   std::string obs_snapshot_jsonl;  // view engine's registry after the runs
 };
-
-template <typename Fn>
-double measure_rate(std::uint64_t per_pass, Fn&& pass, double min_seconds) {
-  using clock = std::chrono::steady_clock;
-  std::uint64_t done = 0;
-  const auto start = clock::now();
-  double elapsed = 0;
-  do {
-    pass();
-    done += per_pass;
-    elapsed = std::chrono::duration<double>(clock::now() - start).count();
-  } while (elapsed < min_seconds);
-  return static_cast<double>(done) / elapsed;
-}
-
-/// Best of `reps` timed windows. The stages are measured sequentially on
-/// one core, so a transient (another process, a frequency dip) skews
-/// whichever side it lands on; the per-rep maximum is the stable
-/// estimate of each path's actual rate.
-template <typename Fn>
-double best_rate(int reps, std::uint64_t per_pass, Fn&& pass,
-                 double min_seconds) {
-  double best = 0;
-  for (int i = 0; i < reps; ++i) {
-    const double r = measure_rate(per_pass, pass, min_seconds);
-    if (r > best) best = r;
-  }
-  return best;
-}
 
 /// Byte-identical selected output, whole-batch and chunked (chunk
 /// boundaries landing mid-record exercise the partial buffer), plus

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Builds the whole tree (library, tests, benches, example smokes) under
+# AddressSanitizer + UndefinedBehaviorSanitizer and runs the full ctest
+# suite. The streaming-analysis paths are pointer-heavy (wire views,
+# parked-event queues, incremental relaxation), so this is the config that
+# catches lifetime mistakes the plain build never trips over.
+#
+#   scripts/check_asan.sh [-j N]
+set -eu
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+if [ "${1:-}" = "-j" ] && [ -n "${2:-}" ]; then
+  jobs="$2"
+fi
+
+cd "$(dirname "$0")/.."
+cmake --preset asan
+cmake --build --preset asan -j "$jobs"
+ctest --preset asan -j "$jobs"

@@ -1,0 +1,265 @@
+// Streaming causal analysis: the paper's off-line stage three, online.
+//
+// The paper analyzes traces only "after the measured computation has
+// ended" (§4). LiveAnalysis consumes the same records one at a time —
+// pushed by a filter sink while the computation runs, or tailed from a
+// growing log — and maintains incrementally what order_events() computes
+// in batch, plus what batch never could: a view of *now*.
+//
+//   * happens-before: send/receive pairing through the shared PairingCore
+//     (identical pairs to order_events), program order, and Lamport
+//     clocks by monotone relaxation — every new edge can only raise a
+//     clock, so propagating increases along the (at most two) successors
+//     of each raised node reaches the same fixpoint Kahn's algorithm
+//     computes on the final DAG;
+//   * critical path: alongside each Lamport clock, the maximum-cost path
+//     cost into every event (program edges weighted by local elapsed
+//     time, message edges by send→receive latency, both clamped at 0)
+//     with a predecessor pointer; walking back from the costliest event
+//     yields the path with its time attributed per process and per
+//     channel;
+//   * rolling-window stats: per-process and per-channel rates over the
+//     last window_us of trace time (RollingWindow), latencies into
+//     obs::Registry log2 histograms.
+//
+// A cyclic constraint set (only possible from mis-matched pairs) is
+// detected when a Lamport clock exceeds the event count — the longest
+// path in a DAG of n events is at most n — and freezes further
+// relaxation; stats().had_cycle mirrors Ordering::had_cycle.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/live/pairing.h"
+#include "analysis/live/window.h"
+#include "analysis/trace_reader.h"
+#include "filter/filter_program.h"
+#include "obs/registry.h"
+
+namespace dpm::analysis::live {
+
+struct LiveConfig {
+  /// Rolling-stats window, in trace-time microseconds.
+  std::int64_t window_us = 1'000'000;
+  /// Also keep one registry latency histogram per directed channel
+  /// ("live.chan_latency_us.<from>-><to>") besides the aggregate.
+  bool per_channel_histograms = true;
+};
+
+/// How one happens-before edge was induced.
+enum class EdgeKind : std::uint8_t { none, program, message };
+
+class LiveAnalysis {
+ public:
+  /// `reg` is the registry the aggregator accounts through (the world's,
+  /// when attached to a running session — its live.* instruments then
+  /// appear in world.obs_snapshot()). Null keeps a private registry.
+  explicit LiveAnalysis(LiveConfig cfg = {}, obs::Registry* reg = nullptr);
+
+  /// Consumes one event. Indices are assigned by arrival order; the
+  /// event's own `index` field is ignored.
+  void add_event(const Event& e);
+
+  // ---- happens-before state (mirrors Ordering for equivalence) ----------
+  std::size_t events() const { return nodes_.size(); }
+  std::uint64_t lamport_of(std::size_t i) const { return nodes_[i].lamport; }
+  std::optional<std::size_t> matched_send_of(std::size_t i) const;
+
+  // Per-event views (the Chrome exporter renders lanes from these).
+  ProcKey proc_of(std::size_t i) const { return nodes_[i].proc; }
+  meter::EventType type_of(std::size_t i) const { return nodes_[i].type; }
+  std::int64_t time_of(std::size_t i) const { return nodes_[i].t_us; }
+  std::int64_t cost_of(std::size_t i) const { return nodes_[i].cost; }
+
+  struct Stats {
+    std::size_t events = 0;
+    std::size_t message_pairs = 0;
+    std::size_t cross_machine_pairs = 0;
+    std::size_t clock_anomalies = 0;  // recv local time < send local time
+    std::int64_t max_anomaly_us = 0;
+    bool had_cycle = false;
+    bool pairing_disorder = false;  // PairingCore::disorder()
+    std::size_t parked = 0;         // events awaiting routing evidence
+    std::uint64_t max_lamport = 0;
+    std::uint64_t relax_steps = 0;  // total relaxation edge visits
+    std::int64_t now_us = 0;        // largest local timestamp seen
+  };
+  Stats stats() const;
+
+  // ---- rolling-window rates ---------------------------------------------
+  struct ProcRates {
+    ProcKey proc;
+    std::uint64_t total_events = 0;
+    std::uint64_t total_sends = 0;
+    std::uint64_t total_recvs = 0;
+    std::uint64_t total_bytes = 0;  // sent + received payload bytes
+    double events_per_s = 0;        // over the rolling window
+    double bytes_per_s = 0;
+    bool terminated = false;  // saw TERMPROC
+  };
+  /// Sorted by ProcKey. Advances every window to the newest trace time.
+  std::vector<ProcRates> process_rates();
+
+  struct ChannelRates {
+    ProcKey from;
+    ProcKey to;
+    std::uint64_t total_msgs = 0;
+    std::uint64_t total_bytes = 0;
+    double msgs_per_s = 0;  // over the rolling window
+    double bytes_per_s = 0;
+    double avg_latency_us = 0;        // over the window (clamped at 0)
+    std::int64_t last_latency_us = 0;  // raw, may be negative under skew
+  };
+  std::vector<ChannelRates> channel_rates();
+
+  // ---- critical path ------------------------------------------------------
+  struct CritStep {
+    std::size_t from = 0;  // event indices
+    std::size_t to = 0;
+    EdgeKind kind = EdgeKind::none;
+    std::int64_t elapsed_us = 0;
+    ProcKey from_proc;
+    ProcKey to_proc;
+  };
+  struct CriticalPath {
+    bool valid = false;         // false until any event arrived
+    std::int64_t total_us = 0;  // cost of the costliest event
+    std::size_t end_event = 0;
+    std::vector<CritStep> steps;  // start → end
+    std::map<ProcKey, std::int64_t> proc_us;  // program-edge attribution
+    std::map<std::pair<ProcKey, ProcKey>, std::int64_t> channel_us;
+  };
+  /// Walks the predecessor chain back from the costliest event. O(path).
+  CriticalPath critical_path() const;
+
+  const LiveConfig& config() const { return cfg_; }
+  obs::Registry& obs() { return *reg_; }
+
+ private:
+  static constexpr std::uint32_t kNone = UINT32_MAX;
+
+  struct Node {
+    ProcKey proc;
+    meter::EventType type = meter::EventType::send;
+    std::int64_t t_us = 0;
+    std::uint32_t bytes = 0;
+    std::uint64_t lamport = 1;
+    std::int64_t cost = 0;  // max-cost path into this event, microseconds
+    std::uint32_t pred = kNone;          // cost's argmax predecessor
+    EdgeKind pred_kind = EdgeKind::none;
+    std::uint32_t prog_next = kNone;     // program-order successor
+    std::uint32_t pair_peer = kNone;     // send: its recv; recv: its send
+  };
+
+  struct ProcStats {
+    explicit ProcStats(std::int64_t span)
+        : wnd_events(span), wnd_bytes(span) {}
+    RollingWindow wnd_events;
+    RollingWindow wnd_bytes;
+    std::uint64_t total_events = 0;
+    std::uint64_t total_sends = 0;
+    std::uint64_t total_recvs = 0;
+    std::uint64_t total_bytes = 0;
+    bool terminated = false;
+  };
+  struct ChanStats {
+    explicit ChanStats(std::int64_t span)
+        : wnd_msgs(span), wnd_bytes(span), wnd_latency(span) {}
+    RollingWindow wnd_msgs;
+    RollingWindow wnd_bytes;
+    RollingWindow wnd_latency;  // weight = clamped latency
+    std::uint64_t total_msgs = 0;
+    std::uint64_t total_bytes = 0;
+    std::int64_t last_latency_us = 0;
+    obs::Histogram* latency_hist = nullptr;  // per-channel, optional
+  };
+
+  void on_pair(const PairingCore::Pair& p);
+  bool relax(std::uint32_t u, std::uint32_t v, EdgeKind kind);
+  void propagate(std::uint32_t from);
+  std::int64_t edge_weight(std::uint32_t u, std::uint32_t v) const;
+
+  LiveConfig cfg_;
+  std::unique_ptr<obs::Registry> own_reg_;
+  obs::Registry* reg_ = nullptr;
+
+  std::vector<Node> nodes_;
+  PairingCore pairing_;
+  std::map<ProcKey, std::uint32_t> last_of_;  // per-process last event
+  std::map<ProcKey, ProcStats> procs_;
+  std::map<std::pair<ProcKey, ProcKey>, ChanStats> chans_;
+
+  std::size_t message_pairs_ = 0;
+  std::size_t cross_machine_pairs_ = 0;
+  std::size_t clock_anomalies_ = 0;
+  std::int64_t max_anomaly_us_ = 0;
+  bool had_cycle_ = false;
+  std::uint64_t max_lamport_ = 0;
+  std::uint64_t relax_steps_ = 0;
+  std::int64_t now_us_ = 0;
+  std::uint32_t best_cost_node_ = kNone;
+
+  std::vector<std::uint32_t> worklist_;
+
+  // Registry instruments (resolved once; null registry → private one).
+  obs::Counter* c_events_ = nullptr;
+  obs::Counter* c_pairs_ = nullptr;
+  obs::Counter* c_cross_ = nullptr;
+  obs::Counter* c_anomalies_ = nullptr;
+  obs::Counter* c_relax_ = nullptr;
+  obs::Gauge* g_parked_ = nullptr;
+  obs::Gauge* g_max_lamport_ = nullptr;
+  obs::Gauge* g_crit_us_ = nullptr;
+  obs::Gauge* g_procs_ = nullptr;
+  obs::Histogram* h_latency_ = nullptr;
+};
+
+/// Incremental splitter for a growing trace file: feed() any chunking of
+/// the text (a live stream, tail-read blocks); complete lines are parsed
+/// with parse_trace_event_line and pushed into the aggregator. finish()
+/// flushes a trailing line that lacks its newline.
+class TraceTailer {
+ public:
+  explicit TraceTailer(LiveAnalysis& live) : live_(&live) {}
+
+  void feed(std::string_view chunk);
+  void finish();
+
+  std::size_t lines() const { return lines_; }
+  std::size_t malformed() const { return malformed_; }
+
+ private:
+  void take_line(std::string_view line);
+
+  LiveAnalysis* live_;
+  std::string partial_;
+  std::size_t lines_ = 0;
+  std::size_t malformed_ = 0;
+};
+
+/// The filter push sink (filter::RecordSink) feeding a LiveAnalysis:
+/// accepted records are converted with event_from_record and aggregated
+/// with no log round-trip. Install on a World with
+/// filter::install_live_sink so every filter started in a session feeds
+/// it.
+class LiveRecordSink : public filter::RecordSink {
+ public:
+  explicit LiveRecordSink(LiveAnalysis& live) : live_(&live) {}
+
+  void on_record(const filter::Record& rec) override;
+
+  /// Accepted records that did not convert to an Event (unknown name or
+  /// missing identity fields).
+  std::size_t dropped() const { return dropped_; }
+
+ private:
+  LiveAnalysis* live_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace dpm::analysis::live

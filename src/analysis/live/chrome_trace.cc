@@ -1,0 +1,287 @@
+#include "analysis/live/chrome_trace.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "meter/metermsgs.h"
+#include "obs/json.h"
+#include "util/strings.h"
+
+namespace dpm::analysis::live {
+
+namespace {
+
+// The synthetic critical-path lane must not collide with a machine id
+// (machines are uint16).
+constexpr std::int64_t kCritPid = 1 << 16;
+
+void append_kv(std::string& out, const char* key, std::int64_t v) {
+  out += '"';
+  out += key;
+  out += "\":";
+  out += std::to_string(v);
+}
+
+void append_kv(std::string& out, const char* key, const std::string& v) {
+  out += '"';
+  out += key;
+  out += "\":";
+  obs::json_append_escaped(out, v);
+}
+
+class EventList {
+ public:
+  explicit EventList(std::string& out) : out_(&out) {}
+
+  /// Starts one traceEvents entry; returns the buffer with "{" appended.
+  std::string& item() {
+    if (!first_) *out_ += ',';
+    first_ = false;
+    *out_ += "\n{";
+    return *out_;
+  }
+
+ private:
+  std::string* out_;
+  bool first_ = true;
+};
+
+void emit_metadata(std::string& out, EventList& list, const char* what,
+                   std::int64_t pid, std::int64_t tid,
+                   const std::string& name) {
+  std::string& o = list.item();
+  append_kv(o, "ph", std::string("M"));
+  o += ',';
+  append_kv(o, "name", std::string(what));
+  o += ',';
+  append_kv(o, "pid", pid);
+  o += ',';
+  append_kv(o, "tid", tid);
+  o += ",\"args\":{";
+  append_kv(o, "name", name);
+  o += "}}";
+  (void)out;
+}
+
+void emit_slice(EventList& list, const std::string& name, const char* cat,
+                std::int64_t pid, std::int64_t tid, std::int64_t ts,
+                std::int64_t dur) {
+  std::string& o = list.item();
+  append_kv(o, "ph", std::string("X"));
+  o += ',';
+  append_kv(o, "name", name);
+  o += ',';
+  append_kv(o, "cat", std::string(cat));
+  o += ',';
+  append_kv(o, "pid", pid);
+  o += ',';
+  append_kv(o, "tid", tid);
+  o += ',';
+  append_kv(o, "ts", ts);
+  o += ',';
+  append_kv(o, "dur", dur);
+  o += '}';
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const LiveAnalysis& live,
+                              const ChromeTraceOptions& opts) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  EventList list(out);
+
+  const std::size_t n = live.events();
+  std::map<ProcKey, std::vector<std::size_t>> per_proc;
+  for (std::size_t i = 0; i < n; ++i) per_proc[live.proc_of(i)].push_back(i);
+
+  // Lane names: one Chrome "process" per machine, one "thread" per
+  // monitored process.
+  std::set<std::uint16_t> machines;
+  for (const auto& [proc, idxs] : per_proc) machines.insert(proc.machine);
+  for (std::uint16_t m : machines) {
+    emit_metadata(out, list, "process_name", m, 0,
+                  "machine " + std::to_string(m));
+  }
+  for (const auto& [proc, idxs] : per_proc) {
+    emit_metadata(out, list, "thread_name", proc.machine, proc.pid,
+                  "pid " + std::to_string(proc.pid));
+  }
+
+  // One slice per event, spanning to the process's next event (the last
+  // event of each process gets a zero-length slice).
+  for (const auto& [proc, idxs] : per_proc) {
+    for (std::size_t k = 0; k < idxs.size(); ++k) {
+      const std::int64_t ts = live.time_of(idxs[k]);
+      const std::int64_t dur =
+          k + 1 < idxs.size()
+              ? std::max<std::int64_t>(0, live.time_of(idxs[k + 1]) - ts)
+              : 0;
+      emit_slice(list, std::string(meter::event_name(live.type_of(idxs[k]))),
+                 "event", proc.machine, proc.pid, ts, dur);
+    }
+  }
+
+  // Flow events: an "s"/"f" pair per matched message, drawn as an arrow
+  // from the send slice to the receive slice.
+  if (opts.flows) {
+    std::int64_t flow_id = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto send = live.matched_send_of(i);
+      if (!send) continue;
+      ++flow_id;
+      const ProcKey sp = live.proc_of(*send);
+      const ProcKey rp = live.proc_of(i);
+      {
+        std::string& o = list.item();
+        append_kv(o, "ph", std::string("s"));
+        o += ',';
+        append_kv(o, "id", flow_id);
+        o += ',';
+        append_kv(o, "name", std::string("msg"));
+        o += ',';
+        append_kv(o, "cat", std::string("msg"));
+        o += ',';
+        append_kv(o, "pid", sp.machine);
+        o += ',';
+        append_kv(o, "tid", sp.pid);
+        o += ',';
+        append_kv(o, "ts", live.time_of(*send));
+        o += '}';
+      }
+      {
+        std::string& o = list.item();
+        append_kv(o, "ph", std::string("f"));
+        o += ',';
+        append_kv(o, "bp", std::string("e"));
+        o += ',';
+        append_kv(o, "id", flow_id);
+        o += ',';
+        append_kv(o, "name", std::string("msg"));
+        o += ',';
+        append_kv(o, "cat", std::string("msg"));
+        o += ',';
+        append_kv(o, "pid", rp.machine);
+        o += ',';
+        append_kv(o, "tid", rp.pid);
+        o += ',';
+        append_kv(o, "ts", live.time_of(i));
+        o += '}';
+      }
+    }
+  }
+
+  // The critical path, plotted in cost coordinates: slice k spans
+  // [cost-so-far, cost-so-far + edge contribution], so the lane's total
+  // width is the path cost and each slice's share is its attribution.
+  if (opts.critical_path) {
+    const LiveAnalysis::CriticalPath cp = live.critical_path();
+    if (cp.valid && !cp.steps.empty()) {
+      emit_metadata(out, list, "process_name", kCritPid, 0, "critical path");
+      std::int64_t acc = 0;
+      for (const LiveAnalysis::CritStep& step : cp.steps) {
+        const std::string name =
+            step.kind == EdgeKind::message
+                ? proc_key_text(step.from_proc) + " -> " +
+                      proc_key_text(step.to_proc)
+                : "compute " + proc_key_text(step.to_proc);
+        emit_slice(list, name, "critical", kCritPid, 0, acc, step.elapsed_us);
+        acc += step.elapsed_us;
+      }
+    }
+  }
+
+  out += "\n]}\n";
+  return out;
+}
+
+ChromeTraceCheck check_chrome_trace(const std::string& json_text) {
+  ChromeTraceCheck out;
+  std::string err;
+  obs::JsonParser parser(json_text, &err);
+  std::optional<obs::JsonValue> doc = parser.parse();
+  if (!doc) {
+    out.error = "parse error: " + err;
+    return out;
+  }
+  if (doc->kind != obs::JsonValue::Kind::object) {
+    out.error = "top level is not an object";
+    return out;
+  }
+  const obs::JsonValue* events =
+      obs::json_field(*doc, "traceEvents", obs::JsonValue::Kind::array);
+  if (!events) {
+    out.error = "missing traceEvents array";
+    return out;
+  }
+
+  std::map<std::int64_t, std::int64_t> s_pid;  // flow id -> sending pid
+  std::map<std::int64_t, std::int64_t> f_pid;
+  for (const obs::JsonValue& ev : events->arr) {
+    if (ev.kind != obs::JsonValue::Kind::object) {
+      out.error = "traceEvents entry is not an object";
+      return out;
+    }
+    const obs::JsonValue* ph =
+        obs::json_field(ev, "ph", obs::JsonValue::Kind::string);
+    if (!ph) {
+      out.error = "entry lacks ph";
+      return out;
+    }
+    ++out.events;
+    const obs::JsonValue* pid =
+        obs::json_field(ev, "pid", obs::JsonValue::Kind::number);
+    if (!pid) {
+      out.error = "entry lacks pid";
+      return out;
+    }
+    if (ph->str == "X") {
+      for (const char* key : {"tid", "ts", "dur"}) {
+        if (!obs::json_field(ev, key, obs::JsonValue::Kind::number)) {
+          out.error = std::string("X entry lacks ") + key;
+          return out;
+        }
+      }
+      if (!obs::json_field(ev, "name", obs::JsonValue::Kind::string)) {
+        out.error = "X entry lacks name";
+        return out;
+      }
+      ++out.slices;
+    } else if (ph->str == "s" || ph->str == "f") {
+      const obs::JsonValue* id =
+          obs::json_field(ev, "id", obs::JsonValue::Kind::number);
+      const obs::JsonValue* ts =
+          obs::json_field(ev, "ts", obs::JsonValue::Kind::number);
+      if (!id || !ts) {
+        out.error = "flow entry lacks id/ts";
+        return out;
+      }
+      (ph->str == "s" ? s_pid : f_pid)[id->as_i64()] = pid->as_i64();
+    } else if (ph->str == "M") {
+      const obs::JsonValue* name =
+          obs::json_field(ev, "name", obs::JsonValue::Kind::string);
+      const obs::JsonValue* args =
+          obs::json_field(ev, "args", obs::JsonValue::Kind::object);
+      if (name && name->str == "process_name" && args) {
+        const obs::JsonValue* lane =
+            obs::json_field(*args, "name", obs::JsonValue::Kind::string);
+        if (lane && lane->str == "critical path") out.has_critical_path = true;
+      }
+    }
+  }
+  for (const auto& [id, spid] : s_pid) {
+    auto it = f_pid.find(id);
+    if (it == f_pid.end()) continue;
+    ++out.flow_pairs;
+    if (it->second != spid) ++out.cross_machine_flow_pairs;
+  }
+  if (out.flow_pairs != s_pid.size() || out.flow_pairs != f_pid.size()) {
+    out.error = "unmatched flow events";
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
+}  // namespace dpm::analysis::live

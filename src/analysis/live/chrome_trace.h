@@ -1,0 +1,54 @@
+// Chrome trace_event export of a causally-analyzed trace.
+//
+// The paper renders its analyses as printed reports (§4); this module
+// renders them for chrome://tracing / Perfetto instead. The exporter
+// works off a LiveAnalysis (batch traces are replayed through one, so
+// file conversion and live streaming share one code path) and emits the
+// trace_event JSON format:
+//
+//   * one process lane per machine (pid = machine id), one thread lane
+//     per process (tid = pid), "M" metadata naming both;
+//   * one "X" slice per event, lasting until the process's next event —
+//     the idle/busy texture of each process over trace time;
+//   * one "s"/"f" flow-event pair per matched send/receive, so message
+//     arrows connect the lanes;
+//   * a synthetic "critical path" process lane plotting the costliest
+//     happens-before path in *cost* coordinates (each slice's span is its
+//     edge's contribution), program steps labelled by process, message
+//     steps by channel.
+//
+// Timestamps are the trace's local-clock microseconds (Chrome's native
+// unit); cross-machine skew shows up as it does in the data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/live/aggregator.h"
+
+namespace dpm::analysis::live {
+
+struct ChromeTraceOptions {
+  bool flows = true;          // emit flow events for matched pairs
+  bool critical_path = true;  // emit the synthetic critical-path lane
+};
+
+/// Renders the whole analysis as one trace_event JSON document:
+/// {"displayTimeUnit":"ms","traceEvents":[...]}.
+std::string chrome_trace_json(const LiveAnalysis& live,
+                              const ChromeTraceOptions& opts = {});
+
+/// Schema check for exported documents (the trace2chrome --smoke test and
+/// equivalence tests run every export through this).
+struct ChromeTraceCheck {
+  bool ok = false;
+  std::string error;
+  std::size_t events = 0;  // traceEvents entries of any phase
+  std::size_t slices = 0;  // "X" entries
+  std::size_t flow_pairs = 0;  // "s" ids with a matching "f"
+  std::size_t cross_machine_flow_pairs = 0;  // ... spanning two pids
+  bool has_critical_path = false;  // the synthetic lane is present
+};
+ChromeTraceCheck check_chrome_trace(const std::string& json_text);
+
+}  // namespace dpm::analysis::live

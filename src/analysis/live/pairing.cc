@@ -1,0 +1,157 @@
+#include "analysis/live/pairing.h"
+
+#include <algorithm>
+
+namespace dpm::analysis::live {
+
+void PairingCore::push_side(Side& s, std::size_t index) {
+  if (s.any_popped && index < s.max_popped) disorder_ = true;
+  auto it = s.q.end();
+  while (it != s.q.begin() && *(it - 1) > index) --it;
+  s.q.insert(it, index);
+}
+
+void PairingCore::try_pair(Chan& c) {
+  while (!c.sends.q.empty() && !c.recvs.q.empty()) {
+    const std::size_t s = c.sends.q.front();
+    const std::size_t r = c.recvs.q.front();
+    c.sends.q.pop_front();
+    c.recvs.q.pop_front();
+    c.sends.max_popped = std::max(c.sends.max_popped, s);
+    c.recvs.max_popped = std::max(c.recvs.max_popped, r);
+    c.sends.any_popped = c.recvs.any_popped = true;
+    pending_.push_back(Pair{s, r});
+  }
+}
+
+void PairingCore::learn_name(const std::string& name, Endpoint ep) {
+  if (name.empty()) return;
+  auto it = names_.find(name);
+  if (it != names_.end() && it->second.sock != 0) return;  // first winner keeps
+  names_[name] = ep;
+  if (ep.sock == 0) return;
+
+  // The name just became resolvable: route everything parked on it, in
+  // index order (the vector preserves arrival = index order per name).
+  auto pit = parked_by_name_.find(name);
+  if (pit == parked_by_name_.end()) return;
+  for (const ParkedDgram& w : pit->second) {
+    --parked_;
+    if (w.is_send) {
+      Chan& c = dgram_[{Endpoint{w.proc, w.sock}, ep.proc}];
+      push_side(c.sends, w.index);
+      try_pair(c);
+    } else {
+      Chan& c = dgram_[{ep, w.proc}];
+      push_side(c.recvs, w.index);
+      try_pair(c);
+    }
+  }
+  parked_by_name_.erase(pit);
+}
+
+void PairingCore::set_peer(Endpoint ep, Endpoint other) {
+  auto [it, fresh] = peers_.try_emplace({ep.proc, ep.sock}, other);
+  if (!fresh) {
+    // An endpoint re-pairing (socket-id reuse) would let the batch
+    // algorithm route earlier receives with this *later* mapping.
+    if (!(it->second == other)) disorder_ = true;
+    it->second = other;
+  }
+  // Stream receives at `ep` route to the channel keyed by the remote.
+  auto pit = parked_stream_recvs_.find({ep.proc, ep.sock});
+  if (pit == parked_stream_recvs_.end()) return;
+  Chan& c = stream_[{other.proc, other.sock}];
+  for (std::size_t index : pit->second) {
+    --parked_;
+    push_side(c.recvs, index);
+  }
+  parked_stream_recvs_.erase(pit);
+  try_pair(c);
+}
+
+void PairingCore::join_connections(
+    const std::pair<std::string, std::string>& key) {
+  auto cit = connects_.find(key);
+  auto ait = accepts_.find(key);
+  if (cit == connects_.end() || ait == accepts_.end()) return;
+  auto& cq = cit->second;
+  auto& aq = ait->second;
+  while (!cq.empty() && !aq.empty()) {
+    const Endpoint c = cq.front();
+    const Endpoint a = aq.front();
+    cq.pop_front();
+    aq.pop_front();
+    ++matched_;
+    set_peer(c, a);
+    set_peer(a, c);
+  }
+}
+
+void PairingCore::observe(const Event& e, std::size_t index) {
+  switch (e.type) {
+    case meter::EventType::connect: {
+      const Endpoint ep{e.proc(), e.sock};
+      connects_[{e.sock_name, e.peer_name}].push_back(ep);
+      learn_name(e.sock_name, ep);
+      join_connections({e.sock_name, e.peer_name});
+      break;
+    }
+    case meter::EventType::accept: {
+      accepts_[{e.peer_name, e.sock_name}].push_back(
+          Endpoint{e.proc(), e.new_sock});
+      learn_name(e.sock_name, Endpoint{e.proc(), e.sock});
+      join_connections({e.peer_name, e.sock_name});
+      break;
+    }
+    case meter::EventType::send: {
+      if (e.dest_name.empty()) {
+        Chan& c = stream_[{e.proc(), e.sock}];
+        push_side(c.sends, index);
+        try_pair(c);
+      } else if (auto it = names_.find(e.dest_name);
+                 it != names_.end() && it->second.sock != 0) {
+        Chan& c = dgram_[{Endpoint{e.proc(), e.sock}, it->second.proc}];
+        push_side(c.sends, index);
+        try_pair(c);
+      } else {
+        parked_by_name_[e.dest_name].push_back(
+            ParkedDgram{index, e.proc(), e.sock, /*is_send=*/true});
+        ++parked_;
+      }
+      break;
+    }
+    case meter::EventType::recv: {
+      if (e.source_name.empty()) {
+        if (auto it = peers_.find({e.proc(), e.sock}); it != peers_.end()) {
+          Chan& c = stream_[{it->second.proc, it->second.sock}];
+          push_side(c.recvs, index);
+          try_pair(c);
+        } else {
+          parked_stream_recvs_[{e.proc(), e.sock}].push_back(index);
+          ++parked_;
+        }
+      } else if (auto it = names_.find(e.source_name);
+                 it != names_.end() && it->second.sock != 0) {
+        Chan& c = dgram_[{it->second, e.proc()}];
+        push_side(c.recvs, index);
+        try_pair(c);
+      } else {
+        parked_by_name_[e.source_name].push_back(
+            ParkedDgram{index, e.proc(), e.sock, /*is_send=*/false});
+        ++parked_;
+      }
+      break;
+    }
+    default:
+      break;  // other event types carry no pairing evidence
+  }
+}
+
+std::vector<PairingCore::Pair> PairingCore::take_pairs() {
+  std::vector<Pair> out;
+  out.swap(pending_);
+  return out;
+}
+
+}  // namespace dpm::analysis::live

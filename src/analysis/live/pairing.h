@@ -1,0 +1,116 @@
+// Incremental send/receive pairing — the shared core of the batch
+// order_events() and the streaming LiveAnalysis aggregator.
+//
+// The pairing semantics are exactly §4.1's channel matching: the k-th
+// SEND on a directed channel pairs with the k-th RECEIVE at its far end.
+// Stream channels are keyed by the sending endpoint (proc, sock), found
+// by joining CONNECT records with their mirrored ACCEPT records by name
+// pair; datagram traffic is keyed by (source-name owner endpoint,
+// receiving process), found by socket-name ownership.
+//
+// The batch algorithm routes every receive with the *final* connection
+// table. To produce the identical pairing one event at a time, the core
+// parks events whose routing evidence has not arrived yet:
+//
+//   * a stream RECEIVE waits on its endpoint's connect/accept join;
+//   * a datagram SEND/RECEIVE waits on a non-zero-sock owner for its
+//     destName/sourceName.
+//
+// Both kinds of evidence are *stable* once established (a name's owner is
+// never replaced once resolved; an endpoint pairs at most once in traces
+// from this simulator, whose socket ids are globally unique), so parking
+// until the evidence arrives and then flushing in index order reproduces
+// the batch queues. The one theoretical divergence — two names resolving
+// at different times interleaving one channel's queue — is handled by
+// index-sorted insertion and surfaced via disorder() instead of silently
+// producing different pairs. Events whose evidence never arrives stay
+// parked (the batch algorithm drops them; neither pairs them).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/structure.h"
+#include "analysis/trace_reader.h"
+
+namespace dpm::analysis::live {
+
+class PairingCore {
+ public:
+  struct Pair {
+    std::size_t send = 0;  // trace index of the SEND
+    std::size_t recv = 0;  // trace index of the RECEIVE
+  };
+
+  /// Observes one event at trace position `index`. Indices must be fed in
+  /// increasing order (the trace's own order). Newly completed pairs
+  /// accumulate until take_pairs().
+  void observe(const Event& e, std::size_t index);
+
+  /// Drains the pairs completed since the last call.
+  std::vector<Pair> take_pairs();
+
+  /// Matched connect/accept joins so far.
+  std::size_t matched_connections() const { return matched_; }
+
+  /// Events parked awaiting routing evidence (stream receives with no
+  /// connection join yet, datagram traffic with unresolved names).
+  std::size_t parked() const { return parked_; }
+
+  /// True when an insertion order arose that the batch algorithm could
+  /// have resolved differently (see the header comment); pairs remain
+  /// index-sorted best-effort but exact batch equivalence is no longer
+  /// guaranteed.
+  bool disorder() const { return disorder_; }
+
+ private:
+  /// One side of a channel: unpaired indices, kept sorted (pushes are
+  /// index-ordered except across late name resolutions).
+  struct Side {
+    std::deque<std::size_t> q;
+    std::size_t max_popped = 0;
+    bool any_popped = false;
+  };
+  struct Chan {
+    Side sends;
+    Side recvs;
+  };
+
+  struct ParkedDgram {
+    std::size_t index = 0;
+    ProcKey proc;
+    std::uint64_t sock = 0;
+    bool is_send = false;
+  };
+
+  void push_side(Side& s, std::size_t index);
+  void try_pair(Chan& c);
+  void learn_name(const std::string& name, Endpoint ep);
+  void join_connections(const std::pair<std::string, std::string>& key);
+  void set_peer(Endpoint ep, Endpoint other);
+
+  // Connection joining (the incremental ConnectionMatcher).
+  std::map<std::pair<std::string, std::string>, std::deque<Endpoint>> connects_;
+  std::map<std::pair<std::string, std::string>, std::deque<Endpoint>> accepts_;
+  std::map<std::pair<ProcKey, std::uint64_t>, Endpoint> peers_;
+  std::map<std::string, Endpoint> names_;
+  std::size_t matched_ = 0;
+
+  // Channels, keyed exactly as in order_events().
+  std::map<std::pair<ProcKey, std::uint64_t>, Chan> stream_;
+  std::map<std::pair<Endpoint, ProcKey>, Chan> dgram_;
+
+  // Parked events awaiting evidence.
+  std::map<std::pair<ProcKey, std::uint64_t>, std::vector<std::size_t>>
+      parked_stream_recvs_;
+  std::map<std::string, std::vector<ParkedDgram>> parked_by_name_;
+  std::size_t parked_ = 0;
+
+  std::vector<Pair> pending_;
+  bool disorder_ = false;
+};
+
+}  // namespace dpm::analysis::live

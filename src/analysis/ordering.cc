@@ -5,18 +5,9 @@
 #include <map>
 #include <set>
 
+#include "analysis/live/pairing.h"
+
 namespace dpm::analysis {
-
-namespace {
-
-/// A directed channel for message matching: sends at one endpoint, the
-/// receives they produce at the other.
-struct ChannelQueues {
-  std::deque<std::size_t> sends;
-  std::deque<std::size_t> recvs;
-};
-
-}  // namespace
 
 Ordering order_events(const Trace& trace) {
   Ordering out;
@@ -24,48 +15,14 @@ Ordering order_events(const Trace& trace) {
   out.events.resize(n);
   for (std::size_t i = 0; i < n; ++i) out.events[i].index = i;
 
-  ConnectionMatcher matcher(trace);
-
   // ---- Match sends to receives per directed channel ----
-  // Stream channels are keyed by the *sending* endpoint (proc, sock);
-  // datagram traffic by the (source-name owner endpoint, receiver
-  // endpoint) pair.
-  std::map<std::pair<ProcKey, std::uint64_t>, ChannelQueues> stream_chans;
-  std::map<std::pair<Endpoint, ProcKey>, ChannelQueues> dgram_chans;
+  // The channel semantics (k-th send with k-th receive, stream channels
+  // keyed by the sending endpoint, datagram traffic by name ownership)
+  // live in the incremental PairingCore shared with the streaming
+  // aggregator — the batch path just feeds it the whole trace.
+  live::PairingCore pairing;
+  for (std::size_t i = 0; i < n; ++i) pairing.observe(trace.events[i], i);
 
-  for (std::size_t i = 0; i < n; ++i) {
-    const Event& e = trace.events[i];
-    if (e.type == meter::EventType::send) {
-      if (e.dest_name.empty()) {
-        stream_chans[{e.proc(), e.sock}].sends.push_back(i);
-      }
-      // Datagram sends are routed below, once every name is learned.
-    } else if (e.type == meter::EventType::recv) {
-      if (e.source_name.empty()) {
-        // Stream receive: find the remote (sending) endpoint.
-        if (auto remote = matcher.remote_of(e.proc(), e.sock)) {
-          stream_chans[{remote->proc, remote->sock}].recvs.push_back(i);
-        }
-      } else if (auto owner = matcher.owner_of_name(e.source_name)) {
-        dgram_chans[{*owner, e.proc()}].recvs.push_back(i);
-      }
-    }
-  }
-  // Datagram sends: route to the channel of (own endpoint, dest owner).
-  for (std::size_t i = 0; i < n; ++i) {
-    const Event& e = trace.events[i];
-    if (e.type != meter::EventType::send || e.dest_name.empty()) continue;
-    if (auto owner = matcher.owner_of_name(e.dest_name)) {
-      // The sender's own endpoint may be known by its bound name via a
-      // connect record; otherwise identify it by (proc, sock).
-      dgram_chans[{Endpoint{e.proc(), e.sock}, owner->proc}].sends.push_back(i);
-    }
-  }
-  // A datagram channel only pairs when the receive records' sourceName
-  // resolves to the same endpoint (proc, sock) the sends came from —
-  // which the trace guarantees when the sender connect()ed its socket.
-
-  // Pair k-th send with k-th receive.
   std::vector<std::vector<std::size_t>> succ(n);
   std::vector<std::size_t> indeg(n, 0);
   auto add_edge = [&](std::size_t a, std::size_t b) {
@@ -73,28 +30,21 @@ Ordering order_events(const Trace& trace) {
     ++indeg[b];
   };
 
-  auto pair_queues = [&](ChannelQueues& q) {
-    const std::size_t k = std::min(q.sends.size(), q.recvs.size());
-    for (std::size_t i = 0; i < k; ++i) {
-      const std::size_t s = q.sends[i];
-      const std::size_t r = q.recvs[i];
-      out.events[r].matched_send = s;
-      add_edge(s, r);
-      ++out.message_pairs;
-      const Event& se = trace.events[s];
-      const Event& re = trace.events[r];
-      if (se.machine != re.machine) {
-        ++out.cross_machine_pairs;
-        if (re.cpu_time < se.cpu_time) {
-          ++out.clock_anomalies;
-          out.max_anomaly_us =
-              std::max(out.max_anomaly_us, se.cpu_time - re.cpu_time);
-        }
+  for (const auto& p : pairing.take_pairs()) {
+    out.events[p.recv].matched_send = p.send;
+    add_edge(p.send, p.recv);
+    ++out.message_pairs;
+    const Event& se = trace.events[p.send];
+    const Event& re = trace.events[p.recv];
+    if (se.machine != re.machine) {
+      ++out.cross_machine_pairs;
+      if (re.cpu_time < se.cpu_time) {
+        ++out.clock_anomalies;
+        out.max_anomaly_us =
+            std::max(out.max_anomaly_us, se.cpu_time - re.cpu_time);
       }
     }
-  };
-  for (auto& [key, q] : stream_chans) pair_queues(q);
-  for (auto& [key, q] : dgram_chans) pair_queues(q);
+  }
 
   // ---- Program order within each process ----
   std::map<ProcKey, std::size_t> last_of;

@@ -134,11 +134,12 @@ void apply_field(Event& e, std::string_view name, std::string_view value) {
   // Other names (size, traceType, ...) carry nothing the Event keeps.
 }
 
-/// Parses one trimmed, non-comment trace line straight into `e`. Tokens
-/// are scanned as views; the only allocations are the Event's own string
-/// fields (and an unescape scratch, for the rare '%'-escaped value).
-/// False on a malformed token or an unknown/missing event name.
-bool event_from_line(std::string_view line, Event& e) {
+}  // namespace
+
+/// Tokens are scanned as views; the only allocations are the Event's own
+/// string fields (and an unescape scratch, for the rare '%'-escaped
+/// value).
+bool parse_trace_event_line(std::string_view line, Event& e) {
   bool saw_event = false;
   std::size_t pos = 0;
   while (pos < line.size()) {
@@ -170,8 +171,6 @@ bool event_from_line(std::string_view line, Event& e) {
   return saw_event;
 }
 
-}  // namespace
-
 Trace read_trace(const std::string& text) {
   Trace out;
   const std::string_view sv{text};
@@ -183,7 +182,7 @@ Trace read_trace(const std::string& text) {
     start = end + 1;
     if (line.empty() || line[0] == '#') continue;
     Event e;
-    if (!event_from_line(line, e)) {
+    if (!parse_trace_event_line(line, e)) {
       ++out.malformed;
       continue;
     }

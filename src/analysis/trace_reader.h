@@ -67,4 +67,11 @@ struct Trace {
 /// and malformed count as converting parse_trace's records one by one.
 Trace read_trace(const std::string& text);
 
+/// Parses one trimmed, non-comment trace line into `e` — the per-line
+/// primitive read_trace is built on, exposed so streaming consumers
+/// (analysis/live/ TraceTailer) parse identically to the batch reader.
+/// False on a malformed token or an unknown/missing event name; the
+/// caller owns skipping blank/'#' lines and assigning `e.index`.
+bool parse_trace_event_line(std::string_view line, Event& e);
+
 }  // namespace dpm::analysis

@@ -4,6 +4,7 @@
 
 #include "filter/trace.h"
 #include "kernel/syscalls.h"
+#include "kernel/world.h"
 #include "meter/metermsgs.h"
 #include "obs/span.h"
 #include "util/logging.h"
@@ -33,6 +34,10 @@ FilterEngine::FilterEngine(Descriptions descriptions, Templates templates,
   eval_interpreted_ = &obs_->counter("filter.eval_interpreted");
   accept_view_ = &obs_->counter("filter.accept_view");
   accept_owned_ = &obs_->counter("filter.accept_owned");
+}
+
+void FilterEngine::add_sink(RecordSink* sink) {
+  if (sink != nullptr) sinks_.push_back(sink);
 }
 
 FilterStats FilterEngine::stats() const {
@@ -102,7 +107,22 @@ bool FilterEngine::select_view(const std::uint8_t* raw, std::size_t size,
 }
 
 void FilterEngine::drain(std::uint64_t conn, const util::Bytes& data,
-                         const OnAccept& on_accept) {
+                         const OnAccept& user_accept) {
+  // One wrap point covers every accept site (the view path and both owned
+  // paths below): registered sinks see each accepted record before the
+  // caller's consumer renders or aggregates it.
+  const OnAccept* on_ptr = &user_accept;
+  OnAccept wrapped;
+  if (!sinks_.empty()) {
+    wrapped = [&](const Record& rec, const std::vector<bool>* mask,
+                  const std::set<std::string>* names) {
+      for (RecordSink* sink : sinks_) sink->on_record(rec);
+      user_accept(rec, mask, names);
+    };
+    on_ptr = &wrapped;
+  }
+  const OnAccept& on_accept = *on_ptr;
+
   bytes_in_->add(data.size());
   util::Bytes& buf = partial_[conn];
   buf.insert(buf.end(), data.begin(), data.end());
@@ -243,6 +263,11 @@ kernel::ProcessMain make_filter_main(const std::vector<std::string>& argv) {
     obs::Registry& reg = sys.world().obs();
     FilterEngine engine(std::move(*desc), std::move(*templ), EvalPath::view,
                         &reg);
+    // A live sink installed on the world (install_live_sink) taps this
+    // filter's accepted records as they stream in. Held here so the sink
+    // outlives the engine even if the harness drops its reference.
+    std::shared_ptr<RecordSink> tap = live_sink(sys.world());
+    if (tap) engine.add_sink(tap.get());
     obs::Histogram& records_per_round =
         reg.histogram("filter.records_per_round");
     obs::Histogram& log_append_bytes = reg.histogram("filter.log_append_bytes");
@@ -314,6 +339,14 @@ kernel::ProcessMain make_filter_main(const std::vector<std::string>& argv) {
 
 void register_filter_program(kernel::ExecRegistry& registry) {
   registry.register_program(kStdFilterProgram, make_filter_main);
+}
+
+void install_live_sink(kernel::World& world, std::shared_ptr<RecordSink> sink) {
+  world.set_service(kLiveSinkService, std::move(sink));
+}
+
+std::shared_ptr<RecordSink> live_sink(kernel::World& world) {
+  return std::static_pointer_cast<RecordSink>(world.service(kLiveSinkService));
 }
 
 }  // namespace dpm::filter

@@ -28,6 +28,20 @@ World::World(WorldConfig cfg)
   mobs_.batch_msgs = &obs_.histogram("kernel.meter_batch_msgs");
 }
 
+void World::set_service(const std::string& name,
+                        std::shared_ptr<void> service) {
+  if (!service) {
+    services_.erase(name);
+    return;
+  }
+  services_[name] = std::move(service);
+}
+
+std::shared_ptr<void> World::service(const std::string& name) const {
+  auto it = services_.find(name);
+  return it == services_.end() ? nullptr : it->second;
+}
+
 MeterStats World::meter_stats() const {
   return MeterStats{mobs_.events->value(),
                     mobs_.flushes->value(),

@@ -158,6 +158,15 @@ class World {
   void start_obs_snapshots(util::Duration period, std::string* sink);
   void stop_obs_snapshots() { ++obs_timer_gen_; }
 
+  // ---- services -----------------------------------------------------------
+  /// A type-erased slot for harness objects that higher layers hang on the
+  /// world (the kernel cannot name their types without inverting the layer
+  /// order — e.g. the filter layer's live record sink, filter_program.h).
+  /// An empty pointer clears the slot. Layer-owned typed accessors wrap
+  /// these; nothing in the kernel interprets the values.
+  void set_service(const std::string& name, std::shared_ptr<void> service);
+  std::shared_ptr<void> service(const std::string& name) const;
+
   // ---- experiment hooks ----
   MeterStats meter_stats() const;
 
@@ -197,6 +206,7 @@ class World {
   SocketId next_socket_ = 1;
   std::uint64_t next_internal_name_ = 1;
   std::vector<ExitListener> exit_listeners_;
+  std::map<std::string, std::shared_ptr<void>> services_;
 
   /// Cached instrument handles for the meter hot path (resolved once in
   /// the constructor; the registry's references are stable).

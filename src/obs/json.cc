@@ -1,0 +1,203 @@
+#include "obs/json.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace dpm::obs {
+
+std::optional<JsonValue> JsonParser::parse() {
+  skip_ws();
+  auto v = value();
+  if (!v) return std::nullopt;
+  skip_ws();
+  if (pos_ != s_.size()) return fail("trailing characters");
+  return v;
+}
+
+std::optional<JsonValue> JsonParser::fail(const char* what) {
+  if (err_ && err_->empty()) {
+    *err_ = util::strprintf("%s at offset %zu", what, pos_);
+  }
+  return std::nullopt;
+}
+
+void JsonParser::skip_ws() {
+  while (pos_ < s_.size() &&
+         std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+    ++pos_;
+  }
+}
+
+bool JsonParser::consume(char c) {
+  if (pos_ < s_.size() && s_[pos_] == c) {
+    ++pos_;
+    return true;
+  }
+  return false;
+}
+
+std::optional<JsonValue> JsonParser::value() {
+  skip_ws();
+  if (pos_ >= s_.size()) return fail("unexpected end");
+  const char c = s_[pos_];
+  if (c == '{') return object();
+  if (c == '[') return array();
+  if (c == '"') return string_value();
+  if (c == 't' || c == 'f') return boolean();
+  if (c == 'n') {
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return JsonValue{};
+    }
+    return fail("bad literal");
+  }
+  return number();
+}
+
+std::optional<JsonValue> JsonParser::boolean() {
+  JsonValue v;
+  v.kind = JsonValue::Kind::boolean;
+  if (s_.compare(pos_, 4, "true") == 0) {
+    v.b = true;
+    pos_ += 4;
+    return v;
+  }
+  if (s_.compare(pos_, 5, "false") == 0) {
+    v.b = false;
+    pos_ += 5;
+    return v;
+  }
+  return fail("bad literal");
+}
+
+std::optional<JsonValue> JsonParser::number() {
+  const std::size_t start = pos_;
+  if (consume('-')) {}
+  while (pos_ < s_.size() &&
+         (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+          s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+          s_[pos_] == '+' || s_[pos_] == '-')) {
+    ++pos_;
+  }
+  if (pos_ == start) return fail("bad number");
+  JsonValue v;
+  v.kind = JsonValue::Kind::number;
+  try {
+    v.num = std::stod(s_.substr(start, pos_ - start));
+  } catch (...) {
+    return fail("bad number");
+  }
+  return v;
+}
+
+std::optional<std::string> JsonParser::raw_string() {
+  if (!consume('"')) {
+    fail("expected string");
+    return std::nullopt;
+  }
+  std::string out;
+  while (pos_ < s_.size()) {
+    const char c = s_[pos_++];
+    if (c == '"') return out;
+    if (c == '\\') {
+      if (pos_ >= s_.size()) break;
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u':
+          // The monitor's writers only escape control characters; decode
+          // to '?'.
+          if (pos_ + 4 <= s_.size()) pos_ += 4;
+          out += '?';
+          break;
+        default: out += e;
+      }
+    } else {
+      out += c;
+    }
+  }
+  fail("unterminated string");
+  return std::nullopt;
+}
+
+std::optional<JsonValue> JsonParser::string_value() {
+  auto s = raw_string();
+  if (!s) return std::nullopt;
+  JsonValue v;
+  v.kind = JsonValue::Kind::string;
+  v.str = std::move(*s);
+  return v;
+}
+
+std::optional<JsonValue> JsonParser::array() {
+  consume('[');
+  JsonValue v;
+  v.kind = JsonValue::Kind::array;
+  skip_ws();
+  if (consume(']')) return v;
+  for (;;) {
+    auto elem = value();
+    if (!elem) return std::nullopt;
+    v.arr.push_back(std::move(*elem));
+    skip_ws();
+    if (consume(']')) return v;
+    if (!consume(',')) return fail("expected ',' in array");
+  }
+}
+
+std::optional<JsonValue> JsonParser::object() {
+  consume('{');
+  JsonValue v;
+  v.kind = JsonValue::Kind::object;
+  skip_ws();
+  if (consume('}')) return v;
+  for (;;) {
+    skip_ws();
+    auto key = raw_string();
+    if (!key) return std::nullopt;
+    skip_ws();
+    if (!consume(':')) return fail("expected ':'");
+    auto val = value();
+    if (!val) return std::nullopt;
+    v.obj.emplace(std::move(*key), std::move(*val));
+    skip_ws();
+    if (consume('}')) return v;
+    if (!consume(',')) return fail("expected ',' in object");
+  }
+}
+
+const JsonValue* json_field(const JsonValue& obj, const char* key,
+                            JsonValue::Kind kind) {
+  auto it = obj.obj.find(key);
+  if (it == obj.obj.end() || it->second.kind != kind) return nullptr;
+  return &it->second;
+}
+
+void json_append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += util::strprintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace dpm::obs

@@ -1,0 +1,64 @@
+// A minimal JSON value parser — just enough for the monitor's own
+// artifacts: obs snapshots (snapshot.h), benchmark JSON files, and the
+// Chrome trace_event exports (analysis/live/chrome_trace.h). Accepts the
+// subset of JSON those writers emit; not a general-purpose parser (\uXXXX
+// escapes decode to '?', numbers go through double).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dpm::obs {
+
+struct JsonValue {
+  enum class Kind { null, boolean, number, string, array, object } kind =
+      Kind::null;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::map<std::string, JsonValue> obj;
+
+  std::int64_t as_i64() const { return static_cast<std::int64_t>(num); }
+  std::uint64_t as_u64() const {
+    return num < 0 ? 0 : static_cast<std::uint64_t>(num);
+  }
+};
+
+class JsonParser {
+ public:
+  /// `text` must outlive the parser. `err` (optional) receives the first
+  /// failure with its byte offset.
+  JsonParser(const std::string& text, std::string* err)
+      : s_(text), err_(err) {}
+
+  std::optional<JsonValue> parse();
+
+ private:
+  std::optional<JsonValue> fail(const char* what);
+  void skip_ws();
+  bool consume(char c);
+  std::optional<JsonValue> value();
+  std::optional<JsonValue> boolean();
+  std::optional<JsonValue> number();
+  std::optional<std::string> raw_string();
+  std::optional<JsonValue> string_value();
+  std::optional<JsonValue> array();
+  std::optional<JsonValue> object();
+
+  const std::string& s_;
+  std::string* err_;
+  std::size_t pos_ = 0;
+};
+
+/// Member lookup constrained by kind; nullptr when absent or mistyped.
+const JsonValue* json_field(const JsonValue& obj, const char* key,
+                            JsonValue::Kind kind);
+
+/// Appends `s` as a JSON string literal (quotes + escapes) to `out`.
+void json_append_escaped(std::string& out, const std::string& s);
+
+}  // namespace dpm::obs

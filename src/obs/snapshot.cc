@@ -1,8 +1,8 @@
 #include "obs/snapshot.h"
 
-#include <cctype>
 #include <cinttypes>
 
+#include "obs/json.h"
 #include "obs/registry.h"
 #include "util/strings.h"
 
@@ -11,224 +11,12 @@ namespace dpm::obs {
 namespace {
 
 void append_escaped(std::string& out, const std::string& s) {
-  out += '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += util::strprintf("\\u%04x", c);
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
+  json_append_escaped(out, s);
 }
-
-// ---- a minimal JSON value parser (just enough for the schema) -------------
-
-struct JsonValue {
-  enum class Kind { null, boolean, number, string, array, object } kind =
-      Kind::null;
-  bool b = false;
-  double num = 0;
-  std::string str;
-  std::vector<JsonValue> arr;
-  std::map<std::string, JsonValue> obj;
-
-  std::int64_t as_i64() const { return static_cast<std::int64_t>(num); }
-  std::uint64_t as_u64() const {
-    return num < 0 ? 0 : static_cast<std::uint64_t>(num);
-  }
-};
-
-class JsonParser {
- public:
-  JsonParser(const std::string& text, std::string* err)
-      : s_(text), err_(err) {}
-
-  std::optional<JsonValue> parse() {
-    skip_ws();
-    auto v = value();
-    if (!v) return std::nullopt;
-    skip_ws();
-    if (pos_ != s_.size()) return fail("trailing characters");
-    return v;
-  }
-
- private:
-  std::optional<JsonValue> fail(const char* what) {
-    if (err_ && err_->empty()) {
-      *err_ = util::strprintf("%s at offset %zu", what, pos_);
-    }
-    return std::nullopt;
-  }
-
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  bool consume(char c) {
-    if (pos_ < s_.size() && s_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  std::optional<JsonValue> value() {
-    skip_ws();
-    if (pos_ >= s_.size()) return fail("unexpected end");
-    const char c = s_[pos_];
-    if (c == '{') return object();
-    if (c == '[') return array();
-    if (c == '"') return string_value();
-    if (c == 't' || c == 'f') return boolean();
-    if (c == 'n') {
-      if (s_.compare(pos_, 4, "null") == 0) {
-        pos_ += 4;
-        return JsonValue{};
-      }
-      return fail("bad literal");
-    }
-    return number();
-  }
-
-  std::optional<JsonValue> boolean() {
-    JsonValue v;
-    v.kind = JsonValue::Kind::boolean;
-    if (s_.compare(pos_, 4, "true") == 0) {
-      v.b = true;
-      pos_ += 4;
-      return v;
-    }
-    if (s_.compare(pos_, 5, "false") == 0) {
-      v.b = false;
-      pos_ += 5;
-      return v;
-    }
-    return fail("bad literal");
-  }
-
-  std::optional<JsonValue> number() {
-    const std::size_t start = pos_;
-    if (consume('-')) {}
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
-            s_[pos_] == '+' || s_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) return fail("bad number");
-    JsonValue v;
-    v.kind = JsonValue::Kind::number;
-    try {
-      v.num = std::stod(s_.substr(start, pos_ - start));
-    } catch (...) {
-      return fail("bad number");
-    }
-    return v;
-  }
-
-  std::optional<std::string> raw_string() {
-    if (!consume('"')) {
-      fail("expected string");
-      return std::nullopt;
-    }
-    std::string out;
-    while (pos_ < s_.size()) {
-      const char c = s_[pos_++];
-      if (c == '"') return out;
-      if (c == '\\') {
-        if (pos_ >= s_.size()) break;
-        const char e = s_[pos_++];
-        switch (e) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          case 'r': out += '\r'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'u':
-            // The writer only escapes control characters; decode to '?'.
-            if (pos_ + 4 <= s_.size()) pos_ += 4;
-            out += '?';
-            break;
-          default: out += e;
-        }
-      } else {
-        out += c;
-      }
-    }
-    fail("unterminated string");
-    return std::nullopt;
-  }
-
-  std::optional<JsonValue> string_value() {
-    auto s = raw_string();
-    if (!s) return std::nullopt;
-    JsonValue v;
-    v.kind = JsonValue::Kind::string;
-    v.str = std::move(*s);
-    return v;
-  }
-
-  std::optional<JsonValue> array() {
-    consume('[');
-    JsonValue v;
-    v.kind = JsonValue::Kind::array;
-    skip_ws();
-    if (consume(']')) return v;
-    for (;;) {
-      auto elem = value();
-      if (!elem) return std::nullopt;
-      v.arr.push_back(std::move(*elem));
-      skip_ws();
-      if (consume(']')) return v;
-      if (!consume(',')) return fail("expected ',' in array");
-    }
-  }
-
-  std::optional<JsonValue> object() {
-    consume('{');
-    JsonValue v;
-    v.kind = JsonValue::Kind::object;
-    skip_ws();
-    if (consume('}')) return v;
-    for (;;) {
-      skip_ws();
-      auto key = raw_string();
-      if (!key) return std::nullopt;
-      skip_ws();
-      if (!consume(':')) return fail("expected ':'");
-      auto val = value();
-      if (!val) return std::nullopt;
-      v.obj.emplace(std::move(*key), std::move(*val));
-      skip_ws();
-      if (consume('}')) return v;
-      if (!consume(',')) return fail("expected ',' in object");
-    }
-  }
-
-  const std::string& s_;
-  std::string* err_;
-  std::size_t pos_ = 0;
-};
 
 const JsonValue* field(const JsonValue& obj, const char* key,
                        JsonValue::Kind kind) {
-  auto it = obj.obj.find(key);
-  if (it == obj.obj.end() || it->second.kind != kind) return nullptr;
-  return &it->second;
+  return json_field(obj, key, kind);
 }
 
 }  // namespace
@@ -466,24 +254,41 @@ std::string diff_snapshots(const Snapshot& a, const Snapshot& b) {
   out += "gauges:\n";
   for (const auto& [key, bg] : b.gauges) {
     auto it = a.gauges.find(key);
-    const std::int64_t old_v = it == a.gauges.end() ? 0 : it->second.value;
-    if (it == a.gauges.end() || bg.value != old_v ||
-        bg.high_water != it->second.high_water) {
+    if (it == a.gauges.end()) {
+      out += util::strprintf("  %-40s %" PRId64 " (high-water %" PRId64
+                             ") (new)\n",
+                             key.c_str(), bg.value, bg.high_water);
+    } else if (bg.value != it->second.value ||
+               bg.high_water != it->second.high_water) {
       out += util::strprintf("  %-40s %" PRId64 " -> %" PRId64
                              " (high-water %" PRId64 ")\n",
-                             key.c_str(), old_v, bg.value, bg.high_water);
+                             key.c_str(), it->second.value, bg.value,
+                             bg.high_water);
+    }
+  }
+  for (const auto& [key, ag] : a.gauges) {
+    if (!b.gauges.count(key)) {
+      out += util::strprintf("  %-40s (gone)\n", key.c_str());
     }
   }
 
   out += "histograms:\n";
   for (const auto& [key, bh] : b.histograms) {
     auto it = a.histograms.find(key);
-    const std::uint64_t old_n = it == a.histograms.end() ? 0 : it->second.count;
-    if (bh.count != old_n) {
+    if (it == a.histograms.end()) {
+      out += util::strprintf("  %-40s +%" PRIu64 " samples (p50 %" PRId64
+                             ", p99 %" PRId64 ", max %" PRId64 ") (new)\n",
+                             key.c_str(), bh.count, bh.p50, bh.p99, bh.max);
+    } else if (bh.count != it->second.count) {
       out += util::strprintf("  %-40s +%" PRIu64 " samples (p50 %" PRId64
                              ", p99 %" PRId64 ", max %" PRId64 ")\n",
-                             key.c_str(), bh.count - old_n, bh.p50, bh.p99,
-                             bh.max);
+                             key.c_str(), bh.count - it->second.count, bh.p50,
+                             bh.p99, bh.max);
+    }
+  }
+  for (const auto& [key, ah] : a.histograms) {
+    if (!b.histograms.count(key)) {
+      out += util::strprintf("  %-40s (gone)\n", key.c_str());
     }
   }
   return out;

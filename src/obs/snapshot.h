@@ -90,8 +90,11 @@ std::optional<Snapshot> parse_snapshot(const std::string& text,
 std::string validate_snapshot(const std::string& text);
 
 /// Human-readable diff of b relative to a: counter deltas, gauge moves,
-/// histogram count/sum growth. Keys present in only one snapshot are
-/// marked. (What `dpmstat diff` prints.)
+/// histogram count/sum growth. Instruments present in only one snapshot
+/// are reported explicitly — "(new)" for keys only in b, "(gone)" for
+/// keys only in a — never skipped silently, so a diff across registries
+/// of different shapes (e.g. before/after a live-analysis sink attaches)
+/// stays truthful. (What `dpmstat diff` prints.)
 std::string diff_snapshots(const Snapshot& a, const Snapshot& b);
 
 }  // namespace dpm::obs

@@ -1,0 +1,70 @@
+// RollingWindow: sliding sim-time sum/count with exact eviction at the
+// window boundary.
+#include <gtest/gtest.h>
+
+#include "analysis/live/window.h"
+
+namespace dpm::analysis::live {
+namespace {
+
+TEST(RollingWindow, CountsAndSumsWithinSpan) {
+  RollingWindow w(1000);
+  w.add(0);
+  w.add(500);
+  w.add(999);
+  EXPECT_EQ(w.count(), 3u);
+  EXPECT_EQ(w.sum(), 3);
+}
+
+TEST(RollingWindow, EvictsAtExactBoundary) {
+  RollingWindow w(1000);
+  w.add(0);
+  w.add(500);
+  w.add(1000);  // cutoff is now 0: the t=0 entry falls out (t <= cutoff)
+  EXPECT_EQ(w.count(), 2u);
+  w.advance(1500);  // cutoff 500: t=500 falls out
+  EXPECT_EQ(w.count(), 1u);
+  EXPECT_EQ(w.sum(), 1);
+  w.advance(2001);  // cutoff 1001: empty
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_EQ(w.sum(), 0);
+}
+
+TEST(RollingWindow, WeightsAccumulateAndEvict) {
+  RollingWindow w(100);
+  w.add(10, 64);
+  w.add(50, 128);
+  EXPECT_EQ(w.sum(), 192);
+  w.advance(120);  // cutoff 20: the 64-byte entry leaves
+  EXPECT_EQ(w.sum(), 128);
+  EXPECT_EQ(w.count(), 1u);
+}
+
+TEST(RollingWindow, AdvanceNeverMovesBackwards) {
+  RollingWindow w(100);
+  w.add(1000, 5);
+  w.advance(500);  // regression: ignored, nothing un-evicted or re-evicted
+  EXPECT_EQ(w.count(), 1u);
+  EXPECT_EQ(w.sum(), 5);
+  w.advance(1101);
+  EXPECT_EQ(w.count(), 0u);
+}
+
+TEST(RollingWindow, PerSecondScalesBySpan) {
+  RollingWindow w(500'000);  // half a second
+  w.add(0, 10);
+  EXPECT_DOUBLE_EQ(w.per_second(), 20.0);
+  w.advance(600'000);
+  EXPECT_DOUBLE_EQ(w.per_second(), 0.0);
+}
+
+TEST(RollingWindow, NonPositiveSpanClampsToOne) {
+  RollingWindow w(0);
+  w.add(100);
+  EXPECT_EQ(w.count(), 1u);
+  w.advance(102);
+  EXPECT_EQ(w.count(), 0u);
+}
+
+}  // namespace
+}  // namespace dpm::analysis::live

@@ -145,5 +145,59 @@ TEST(SnapshotTest, DiffReportsDeltasAndNewKeys) {
   EXPECT_EQ(d.find("net.packets_sent"), std::string::npos);
 }
 
+TEST(SnapshotTest, DiffHandlesOneSidedInstruments) {
+  // Two snapshots from *different* registries (a restarted daemon, a
+  // different filter): every kind of instrument may exist on only one
+  // side, and the diff must say so instead of mispairing or crashing.
+  Registry ra;
+  ra.counter("kernel.meter_events").add(10);
+  ra.gauge("net.in_flight").add(3);
+  ra.histogram("net.delivery_us").record(100);
+  auto a = parse_snapshot(ra.snapshot_jsonl());
+  ASSERT_TRUE(a.has_value());
+
+  Registry rb;
+  rb.counter("filter.records_matched").add(4);
+  rb.gauge("live.parked").add(2);
+  rb.histogram("live.pair_latency_us").record(250);
+  auto b = parse_snapshot(rb.snapshot_jsonl());
+  ASSERT_TRUE(b.has_value());
+
+  const std::string d = diff_snapshots(*a, *b);
+  // Instruments only in the newer snapshot are flagged as new...
+  for (const char* added : {"filter.records_matched", "live.parked",
+                            "live.pair_latency_us"}) {
+    const auto pos = d.find(added);
+    ASSERT_NE(pos, std::string::npos) << added;
+    EXPECT_NE(d.find("(new)", pos), std::string::npos) << added;
+  }
+  // ...and instruments only in the older one as gone.
+  for (const char* removed : {"kernel.meter_events", "net.in_flight",
+                              "net.delivery_us"}) {
+    const auto pos = d.find(removed);
+    ASSERT_NE(pos, std::string::npos) << removed;
+    EXPECT_NE(d.find("(gone)", pos), std::string::npos) << removed;
+  }
+}
+
+TEST(SnapshotTest, DiffAgainstEmptySnapshots) {
+  Registry reg;
+  populated(reg);
+  auto full = parse_snapshot(reg.snapshot_jsonl());
+  ASSERT_TRUE(full.has_value());
+  Registry empty_reg;
+  auto empty = parse_snapshot(empty_reg.snapshot_jsonl());
+  ASSERT_TRUE(empty.has_value());
+
+  // empty -> full: everything is new, nothing is gone.
+  const std::string up = diff_snapshots(*empty, *full);
+  EXPECT_NE(up.find("(new)"), std::string::npos);
+  EXPECT_EQ(up.find("(gone)"), std::string::npos);
+  // full -> empty: the reverse.
+  const std::string down = diff_snapshots(*full, *empty);
+  EXPECT_NE(down.find("(gone)"), std::string::npos);
+  EXPECT_EQ(down.find("(new)"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace dpm::obs
