@@ -1,0 +1,21 @@
+#!/bin/sh
+# Replay the fault-chaos suite under AddressSanitizer + UBSan.
+#
+# Builds the asan preset and runs every test carrying the `chaos` ctest
+# label -- the fault_chaos_test fixed seeds (11, 74, 1903, 29041, 57005:
+# full monitoring sessions under randomized FaultPlans) -- plus the
+# scripted chaos_smoke example (partition + machine crash mid-session).
+# Usage: scripts/check_chaos.sh [-j N]
+set -eu
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+if [ "${1:-}" = "-j" ] && [ -n "${2:-}" ]; then
+  jobs="$2"
+fi
+
+cd "$(dirname "$0")/.."
+
+cmake --preset asan
+cmake --build --preset asan -j "$jobs"
+ctest --preset asan -j "$jobs" -L chaos
+ctest --preset asan -R '^chaos_smoke$'

@@ -17,11 +17,13 @@ LiveAnalysis::LiveAnalysis(LiveConfig cfg, obs::Registry* reg) : cfg_(cfg) {
   c_cross_ = &reg_->counter("live.cross_machine_pairs");
   c_anomalies_ = &reg_->counter("live.clock_anomalies");
   c_relax_ = &reg_->counter("live.relax_steps");
+  c_gaps_ = &reg_->counter("live.gaps");
   g_parked_ = &reg_->gauge("live.parked");
   g_max_lamport_ = &reg_->gauge("live.max_lamport");
   g_crit_us_ = &reg_->gauge("live.critical_path_us");
   g_procs_ = &reg_->gauge("live.processes");
   h_latency_ = &reg_->histogram("live.pair_latency_us");
+  pairing_.set_park_ttl(cfg_.park_ttl);
 }
 
 std::optional<std::size_t> LiveAnalysis::matched_send_of(std::size_t i) const {
@@ -193,6 +195,16 @@ void LiveAnalysis::add_event(const Event& e) {
   // Pairing: this event may complete any number of parked pairs.
   pairing_.observe(e, idx);
   for (const PairingCore::Pair& p : pairing_.take_pairs()) on_pair(p);
+
+  // Park-TTL sweep, keyed on Lamport progress: entries whose evidence is
+  // presumed lost to a fault become per-channel gaps instead of growing
+  // the park queues forever (batch order_events never advances progress,
+  // so batch pairing stays exact).
+  pairing_.advance_progress(max_lamport_);
+  for (const PairingCore::Gap& g : pairing_.take_gaps()) {
+    c_gaps_->add(1);
+    reg_->counter("live.gap." + g.channel).add(1);
+  }
   g_parked_->set(static_cast<std::int64_t>(pairing_.parked()));
 }
 
@@ -206,6 +218,7 @@ LiveAnalysis::Stats LiveAnalysis::stats() const {
   s.had_cycle = had_cycle_;
   s.pairing_disorder = pairing_.disorder();
   s.parked = pairing_.parked();
+  s.gaps = pairing_.gaps();
   s.max_lamport = max_lamport_;
   s.relax_steps = relax_steps_;
   s.now_us = now_us_;

@@ -49,6 +49,13 @@ struct LiveConfig {
   /// Also keep one registry latency histogram per directed channel
   /// ("live.chan_latency_us.<from>-><to>") besides the aggregate.
   bool per_channel_histograms = true;
+  /// Park TTL in units of Lamport progress: an event parked awaiting
+  /// routing evidence for more than this much progress is expelled as a
+  /// per-channel *gap* (its evidence is presumed lost to a fault) instead
+  /// of holding memory forever. The longest path in an n-event DAG is n,
+  /// so the default never fires on a healthy trace shorter than 64k
+  /// events — batch equivalence is exact there. 0 disables expulsion.
+  std::uint64_t park_ttl = 65536;
 };
 
 /// How one happens-before edge was induced.
@@ -85,6 +92,7 @@ class LiveAnalysis {
     bool had_cycle = false;
     bool pairing_disorder = false;  // PairingCore::disorder()
     std::size_t parked = 0;         // events awaiting routing evidence
+    std::size_t gaps = 0;           // parked events expelled by the TTL
     std::uint64_t max_lamport = 0;
     std::uint64_t relax_steps = 0;  // total relaxation edge visits
     std::int64_t now_us = 0;        // largest local timestamp seen
@@ -212,6 +220,7 @@ class LiveAnalysis {
   obs::Counter* c_cross_ = nullptr;
   obs::Counter* c_anomalies_ = nullptr;
   obs::Counter* c_relax_ = nullptr;
+  obs::Counter* c_gaps_ = nullptr;
   obs::Gauge* g_parked_ = nullptr;
   obs::Gauge* g_max_lamport_ = nullptr;
   obs::Gauge* g_crit_us_ = nullptr;

@@ -62,9 +62,9 @@ void PairingCore::set_peer(Endpoint ep, Endpoint other) {
   auto pit = parked_stream_recvs_.find({ep.proc, ep.sock});
   if (pit == parked_stream_recvs_.end()) return;
   Chan& c = stream_[{other.proc, other.sock}];
-  for (std::size_t index : pit->second) {
+  for (const ParkedStreamRecv& w : pit->second) {
     --parked_;
-    push_side(c.recvs, index);
+    push_side(c.recvs, w.index);
   }
   parked_stream_recvs_.erase(pit);
   try_pair(c);
@@ -116,7 +116,7 @@ void PairingCore::observe(const Event& e, std::size_t index) {
         try_pair(c);
       } else {
         parked_by_name_[e.dest_name].push_back(
-            ParkedDgram{index, e.proc(), e.sock, /*is_send=*/true});
+            ParkedDgram{index, e.proc(), e.sock, /*is_send=*/true, progress_});
         ++parked_;
       }
       break;
@@ -128,7 +128,8 @@ void PairingCore::observe(const Event& e, std::size_t index) {
           push_side(c.recvs, index);
           try_pair(c);
         } else {
-          parked_stream_recvs_[{e.proc(), e.sock}].push_back(index);
+          parked_stream_recvs_[{e.proc(), e.sock}].push_back(
+              ParkedStreamRecv{index, progress_});
           ++parked_;
         }
       } else if (auto it = names_.find(e.source_name);
@@ -138,7 +139,7 @@ void PairingCore::observe(const Event& e, std::size_t index) {
         try_pair(c);
       } else {
         parked_by_name_[e.source_name].push_back(
-            ParkedDgram{index, e.proc(), e.sock, /*is_send=*/false});
+            ParkedDgram{index, e.proc(), e.sock, /*is_send=*/false, progress_});
         ++parked_;
       }
       break;
@@ -151,6 +152,54 @@ void PairingCore::observe(const Event& e, std::size_t index) {
 std::vector<PairingCore::Pair> PairingCore::take_pairs() {
   std::vector<Pair> out;
   out.swap(pending_);
+  return out;
+}
+
+void PairingCore::advance_progress(std::uint64_t lamport) {
+  if (lamport <= progress_) return;
+  progress_ = lamport;
+  if (park_ttl_ != 0 && parked_ != 0) sweep();
+}
+
+void PairingCore::sweep() {
+  if (progress_ <= park_ttl_) return;
+  const std::uint64_t cutoff = progress_ - park_ttl_;  // expel stamp < cutoff
+
+  for (auto it = parked_stream_recvs_.begin();
+       it != parked_stream_recvs_.end();) {
+    auto& v = it->second;
+    const std::string channel = "stream:" + proc_key_text(it->first.first) +
+                                "#" + std::to_string(it->first.second);
+    auto keep = std::remove_if(
+        v.begin(), v.end(), [&](const ParkedStreamRecv& w) {
+          if (w.stamp >= cutoff) return false;
+          --parked_;
+          ++gaps_total_;
+          gaps_.push_back(Gap{w.index, channel, /*is_send=*/false});
+          return true;
+        });
+    v.erase(keep, v.end());
+    it = v.empty() ? parked_stream_recvs_.erase(it) : std::next(it);
+  }
+
+  for (auto it = parked_by_name_.begin(); it != parked_by_name_.end();) {
+    auto& v = it->second;
+    const std::string channel = "name:" + it->first;
+    auto keep = std::remove_if(v.begin(), v.end(), [&](const ParkedDgram& w) {
+      if (w.stamp >= cutoff) return false;
+      --parked_;
+      ++gaps_total_;
+      gaps_.push_back(Gap{w.index, channel, w.is_send});
+      return true;
+    });
+    v.erase(keep, v.end());
+    it = v.empty() ? parked_by_name_.erase(it) : std::next(it);
+  }
+}
+
+std::vector<PairingCore::Gap> PairingCore::take_gaps() {
+  std::vector<Gap> out;
+  out.swap(gaps_);
   return out;
 }
 

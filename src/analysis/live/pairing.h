@@ -66,6 +66,37 @@ class PairingCore {
   /// guaranteed.
   bool disorder() const { return disorder_; }
 
+  // ---- fault tolerance: bounded parking ----------------------------------
+  //
+  // Under failures the evidence a parked event waits for may never arrive
+  // (the far end crashed before its CONNECT was metered, the name record
+  // was dropped with a dead meter socket). Left alone the park queues grow
+  // without bound and the events silently never pair. With a TTL set, the
+  // caller reports its Lamport progress and entries parked for more than
+  // `ttl` units of progress are expelled as explicit *gaps*: they will
+  // never pair (matching batch analysis, which also drops them) and are
+  // surfaced per channel instead of corrupting clocks. Batch order_events
+  // never calls advance_progress, so batch pairing is untouched.
+
+  /// Sets the park TTL in units of Lamport progress. 0 disables sweeping.
+  void set_park_ttl(std::uint64_t ttl) { park_ttl_ = ttl; }
+
+  /// Reports monotone Lamport progress; with a TTL set, stale parked
+  /// entries are expelled into the gap list.
+  void advance_progress(std::uint64_t lamport);
+
+  /// One expelled parked event: it waited longer than the TTL for routing
+  /// evidence that never came.
+  struct Gap {
+    std::size_t index = 0;  // trace index of the expelled event
+    std::string channel;    // "stream:<proc>#<sock>" or "name:<name>"
+    bool is_send = false;
+  };
+  /// Drains the gaps expelled since the last call.
+  std::vector<Gap> take_gaps();
+  /// Total events expelled as gaps so far.
+  std::size_t gaps() const { return gaps_total_; }
+
  private:
   /// One side of a channel: unpaired indices, kept sorted (pushes are
   /// index-ordered except across late name resolutions).
@@ -84,6 +115,11 @@ class PairingCore {
     ProcKey proc;
     std::uint64_t sock = 0;
     bool is_send = false;
+    std::uint64_t stamp = 0;  // progress_ at park time
+  };
+  struct ParkedStreamRecv {
+    std::size_t index = 0;
+    std::uint64_t stamp = 0;  // progress_ at park time
   };
 
   void push_side(Side& s, std::size_t index);
@@ -91,6 +127,7 @@ class PairingCore {
   void learn_name(const std::string& name, Endpoint ep);
   void join_connections(const std::pair<std::string, std::string>& key);
   void set_peer(Endpoint ep, Endpoint other);
+  void sweep();
 
   // Connection joining (the incremental ConnectionMatcher).
   std::map<std::pair<std::string, std::string>, std::deque<Endpoint>> connects_;
@@ -104,10 +141,16 @@ class PairingCore {
   std::map<std::pair<Endpoint, ProcKey>, Chan> dgram_;
 
   // Parked events awaiting evidence.
-  std::map<std::pair<ProcKey, std::uint64_t>, std::vector<std::size_t>>
+  std::map<std::pair<ProcKey, std::uint64_t>, std::vector<ParkedStreamRecv>>
       parked_stream_recvs_;
   std::map<std::string, std::vector<ParkedDgram>> parked_by_name_;
   std::size_t parked_ = 0;
+
+  // Park TTL state (inert until set_park_ttl + advance_progress).
+  std::uint64_t park_ttl_ = 0;
+  std::uint64_t progress_ = 0;
+  std::vector<Gap> gaps_;
+  std::size_t gaps_total_ = 0;
 
   std::vector<Pair> pending_;
   bool disorder_ = false;

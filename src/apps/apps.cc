@@ -4,18 +4,24 @@
 
 namespace dpm::apps {
 
-kernel::Fd connect_retry(kernel::Sys& sys, const std::string& host,
-                         net::Port port, int attempts) {
+util::SysResult<kernel::Fd> connect_retry(kernel::Sys& sys,
+                                          const std::string& host,
+                                          net::Port port,
+                                          ConnectRetryOpts opts) {
+  util::Err last = util::Err::etimedout;
+  const int attempts = opts.attempts < 1 ? 1 : opts.attempts;
   for (int i = 0; i < attempts; ++i) {
     auto addr = sys.resolve(host, port);
-    if (!addr) return -1;
+    if (!addr) return util::Err::eaddrnotavail;
     auto fd = sys.socket(kernel::SockDomain::internet, kernel::SockType::stream);
-    if (!fd) return -1;
-    if (sys.connect(*fd, *addr)) return *fd;
+    if (!fd) return fd.error();
+    auto conn = sys.connect(*fd, *addr, opts.deadline);
+    if (conn) return *fd;
+    last = conn.error();
     (void)sys.close(*fd);
-    sys.sleep(util::msec(10));
+    if (i + 1 < attempts) sys.sleep(opts.pause);
   }
-  return -1;
+  return last;
 }
 
 util::Bytes payload(std::size_t n, std::uint8_t tag) {

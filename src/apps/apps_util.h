@@ -22,11 +22,23 @@ inline std::string arg_str(const std::vector<std::string>& argv, std::size_t i,
   return i < argv.size() ? argv[i] : dflt;
 }
 
+/// Bounds for connect_retry: every attempt carries its own connect
+/// deadline and the loop is capped, so an unreachable peer yields an
+/// error instead of spinning the sim indefinitely.
+struct ConnectRetryOpts {
+  int attempts = 50;
+  util::Duration pause = util::msec(10);     // between attempts
+  util::Duration deadline = util::msec(250);  // per-attempt connect bound
+};
+
 /// Connects a fresh stream socket to host:port, retrying while the peer
 /// is not listening yet (processes of a job start in arbitrary order).
-/// Returns the connected fd or -1.
-kernel::Fd connect_retry(kernel::Sys& sys, const std::string& host,
-                         net::Port port, int attempts = 50);
+/// Returns the connected fd, or the final attempt's error (etimedout,
+/// econnrefused, ...) once the attempt cap is exhausted.
+util::SysResult<kernel::Fd> connect_retry(kernel::Sys& sys,
+                                          const std::string& host,
+                                          net::Port port,
+                                          ConnectRetryOpts opts = {});
 
 /// A deterministic payload of `n` bytes.
 util::Bytes payload(std::size_t n, std::uint8_t tag = 0x5a);

@@ -98,9 +98,10 @@ kernel::ProcessMain make_grid_node(const std::vector<std::string>& argv) {
       ls = *l;
     }
     if (index < n - 1) {
-      right = connect_retry(sys, hosts[static_cast<std::size_t>(index + 1)],
-                            static_cast<net::Port>(base_port + index + 1));
-      if (right < 0) sys.exit(1);
+      auto r = connect_retry(sys, hosts[static_cast<std::size_t>(index + 1)],
+                             static_cast<net::Port>(base_port + index + 1));
+      if (!r) sys.exit(1);
+      right = *r;
     }
     if (index > 0) {
       auto conn = sys.accept(ls);

@@ -40,11 +40,12 @@ kernel::ProcessMain make_pingpong_client(const std::vector<std::string>& argv) {
     const auto bytes = static_cast<std::size_t>(arg_int(argv, 4, 64));
     const auto compute_us = arg_int(argv, 5, 0);
 
-    kernel::Fd fd = connect_retry(sys, host, port);
-    if (fd < 0) {
+    auto fdr = connect_retry(sys, host, port);
+    if (!fdr) {
       (void)sys.print("pingpong_client: cannot connect\n");
       sys.exit(1);
     }
+    kernel::Fd fd = *fdr;
 
     const util::Bytes msg = payload(bytes);
     const std::int64_t t0 = sys.clock_us();

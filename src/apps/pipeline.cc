@@ -29,8 +29,9 @@ kernel::ProcessMain make_pipe_source(const std::vector<std::string>& argv) {
     const auto items = arg_int(argv, 3, 20);
     const auto bytes = static_cast<std::size_t>(arg_int(argv, 4, 256));
 
-    kernel::Fd out = connect_retry(sys, host, port);
-    if (out < 0) sys.exit(1);
+    auto outr = connect_retry(sys, host, port);
+    if (!outr) sys.exit(1);
+    kernel::Fd out = *outr;
     const util::Bytes item = payload(bytes, 0x44);
     for (std::int64_t i = 0; i < items; ++i) {
       sys.compute(util::usec(300));  // producing an item costs CPU
@@ -48,8 +49,9 @@ kernel::ProcessMain make_pipe_stage(const std::vector<std::string>& argv) {
     const auto out_port = static_cast<net::Port>(arg_int(argv, 3, 8101));
     const auto compute_us = arg_int(argv, 4, 500);
 
-    kernel::Fd out = connect_retry(sys, out_host, out_port);
-    if (out < 0) sys.exit(1);
+    auto outr = connect_retry(sys, out_host, out_port);
+    if (!outr) sys.exit(1);
+    kernel::Fd out = *outr;
     kernel::Fd in = listen_accept(sys, in_port);
     if (in < 0) sys.exit(1);
 

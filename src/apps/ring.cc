@@ -31,9 +31,10 @@ kernel::ProcessMain make_ring_node(const std::vector<std::string>& argv) {
       sys.exit(1);
     }
     const auto succ = (index + 1) % n;
-    kernel::Fd out = connect_retry(sys, hosts[static_cast<std::size_t>(succ)],
-                                   static_cast<net::Port>(base_port + succ));
-    if (out < 0) sys.exit(1);
+    auto outr = connect_retry(sys, hosts[static_cast<std::size_t>(succ)],
+                              static_cast<net::Port>(base_port + succ));
+    if (!outr) sys.exit(1);
+    kernel::Fd out = *outr;
     auto in = sys.accept(*ls);
     if (!in) sys.exit(1);
 

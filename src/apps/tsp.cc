@@ -192,8 +192,9 @@ kernel::ProcessMain make_tsp_worker(const std::vector<std::string>& argv) {
     const auto port = static_cast<net::Port>(arg_int(argv, 2, 9000));
     const auto ns_per_node = arg_int(argv, 3, 2000);
 
-    Fd fd = connect_retry(sys, host, port);
-    if (fd < 0) sys.exit(1);
+    auto fdr = connect_retry(sys, host, port);
+    if (!fdr) sys.exit(1);
+    Fd fd = *fdr;
 
     std::int64_t n = 0;
     std::vector<std::int64_t> dist;

@@ -49,6 +49,36 @@ std::string err_text(std::int32_t status) {
 
 Controller::Controller(Sys& sys) : sys_(sys) {}
 
+std::uint64_t Controller::next_nonce() {
+  return (static_cast<std::uint64_t>(sys_.getpid()) << 32) | ++nonce_seq_;
+}
+
+util::SysResult<daemon::DaemonMsg> Controller::daemon_rpc(
+    const std::string& machine, const net::SockAddr& addr,
+    const daemon::DaemonMsg& req) {
+  auto hit = machine_health_.find(machine);
+  if (hit != machine_health_.end() && hit->second.down) {
+    // Fail fast: no point burning a full deadline+retry budget per
+    // command against a machine already known down. `reconcile` re-probes.
+    return Err::etimedout;
+  }
+  auto reply = daemon::rpc_call(sys_, addr, req, daemon::RpcOptions{});
+  if (!reply) {
+    const Err e = reply.error();
+    if (e == Err::etimedout || e == Err::econnrefused ||
+        e == Err::econnreset || e == Err::epipe) {
+      MachineHealth& h = machine_health_[machine];
+      if (!h.down) {
+        h.down = true;
+        h.reason = std::string(util::err_name(e));
+        emit(util::strprintf("machine '%s' marked down: %s\n",
+                             machine.c_str(), h.reason.c_str()));
+      }
+    }
+  }
+  return reply;
+}
+
 void Controller::emit(const std::string& text) {
   if (sink_fd_ >= 0) {
     (void)sys_.write(sink_fd_, text);
@@ -168,7 +198,9 @@ void Controller::poll_notifications(bool block_until_input) {
 }
 
 void Controller::handle_notification(Fd conn) {
-  auto msg = daemon::recv_msg(sys_, conn);
+  // Bounded read: a daemon that died after connecting (crash mid-note)
+  // must not park the controller's command loop forever.
+  auto msg = daemon::recv_msg(sys_, conn, util::msec(500));
   if (!msg) return;
 
   if (const auto* note = std::get_if<StateNote>(&*msg)) {
@@ -194,6 +226,17 @@ void Controller::handle_notification(Fd conn) {
         case kernel::ChildEvent::continued:
           if (p->state == ProcState::stopped) p->state = ProcState::running;
           break;
+        case kernel::ChildEvent::meter_lost:
+          // The process runs on, unmetered: its meter connection died and
+          // the kernel flipped it to accounted drop mode.
+          if (p->note.empty()) {
+            p->note = "[meter lost]";
+            emit(util::strprintf(
+                "WARNING: process %s in job '%s' lost its meter connection; "
+                "its events are being dropped (counted)\n",
+                p->name.c_str(), jname.c_str()));
+          }
+          break;
       }
       return;
     }
@@ -202,6 +245,8 @@ void Controller::handle_notification(Fd conn) {
       if (it->second.machine == note->machine && it->second.pid == note->pid) {
         if (event == kernel::ChildEvent::exited ||
             event == kernel::ChildEvent::killed) {
+          // (meter_lost never applies: filters consume meter conns,
+          // they do not own one.)
           emit(util::strprintf("filter '%s' terminated\n",
                                it->first.c_str()));
           if (default_filter_ == it->first) default_filter_.clear();
@@ -265,6 +310,8 @@ bool Controller::execute(const std::string& raw_line) {
     cmd_removeprocess(args);
   } else if (cmd == "jobs") {
     cmd_jobs(args);
+  } else if (cmd == "reconcile") {
+    cmd_reconcile(args);
   } else if (cmd == "getlog") {
     cmd_getlog(args);
   } else if (cmd == "source") {
@@ -293,6 +340,7 @@ void Controller::cmd_help() {
       "  removejob <jobname>\n"
       "  removeprocess <jobname> <processname>\n"
       "  jobs [<jobname1 jobname2 ...>]\n"
+      "  reconcile\n"
       "  getlog <filtername> <destination filename>\n"
       "  source <filename>\n"
       "  sink [<filename>]\n"
@@ -342,7 +390,8 @@ void Controller::cmd_filter(const std::vector<std::string>& args) {
   req.templates = templates;
   req.control_port = control_port_;
   req.control_host = sys_.hostname();
-  auto reply = daemon::rpc_call(sys_, *addr, req);
+  req.nonce = next_nonce();
+  auto reply = daemon_rpc(machine, *addr, req);
   if (!reply) {
     emit(util::strprintf("filter '%s' not created: %s\n", name.c_str(),
                          std::string(util::err_message(reply.error())).c_str()));
@@ -418,7 +467,8 @@ void Controller::cmd_addprocess(const std::vector<std::string>& args) {
   req.meter_flags = job.flags;
   req.control_port = control_port_;
   req.control_host = sys_.hostname();
-  auto reply = daemon::rpc_call(sys_, *addr, req);
+  req.nonce = next_nonce();
+  auto reply = daemon_rpc(machine, *addr, req);
   const std::string display = basename_of(processfile);
   if (!reply) {
     emit(util::strprintf("process '%s' not created: %s\n", display.c_str(),
@@ -476,7 +526,7 @@ void Controller::cmd_acquire(const std::vector<std::string>& args) {
   auto reply = [&] {
     obs::ObsSpan span(reg, "control.acquire",
                       &reg.histogram("control.acquire_rtt_us"));
-    return daemon::rpc_call(sys_, *addr, req);
+    return daemon_rpc(machine, *addr, req);
   }();
   const std::int32_t status = reply ? reply_status(*reply)
                                     : static_cast<std::int32_t>(reply.error());
@@ -528,7 +578,7 @@ void Controller::cmd_setflags(const std::vector<std::string>& args) {
     req.uid = sys_.getuid();
     req.pid = p.pid;
     req.flags = job.flags;
-    auto reply = daemon::rpc_call(sys_, *addr, req);
+    auto reply = daemon_rpc(p.machine, *addr, req);
     const std::int32_t status =
         reply ? reply_status(*reply) : static_cast<std::int32_t>(reply.error());
     if (status == 0) {
@@ -567,7 +617,7 @@ void Controller::cmd_startjob(const std::vector<std::string>& args) {
     auto reply = [&] {
       obs::ObsSpan span(reg, "control.start",
                         &reg.histogram("control.start_rtt_us"));
-      return daemon::rpc_call(sys_, *addr, req);
+      return daemon_rpc(p.machine, *addr, req);
     }();
     const std::int32_t status =
         reply ? reply_status(*reply) : static_cast<std::int32_t>(reply.error());
@@ -600,7 +650,7 @@ void Controller::cmd_stopjob(const std::vector<std::string>& args) {
     req.what = MsgType::stop_request;
     req.uid = sys_.getuid();
     req.pid = p.pid;
-    auto reply = daemon::rpc_call(sys_, *addr, req);
+    auto reply = daemon_rpc(p.machine, *addr, req);
     const std::int32_t status =
         reply ? reply_status(*reply) : static_cast<std::int32_t>(reply.error());
     if (status == 0) {
@@ -626,7 +676,7 @@ bool Controller::remove_proc(Job& job, ProcEntry& p) {
     {
       obs::ObsSpan span(reg, "control.kill",
                         &reg.histogram("control.kill_rtt_us"));
-      (void)daemon::rpc_call(sys_, *addr, req);
+      (void)daemon_rpc(p.machine, *addr, req);
     }
     p.state = ProcState::killed;
   } else if (p.state == ProcState::acquired) {
@@ -636,7 +686,7 @@ bool Controller::remove_proc(Job& job, ProcEntry& p) {
     req.what = MsgType::release_request;
     req.uid = sys_.getuid();
     req.pid = p.pid;
-    (void)daemon::rpc_call(sys_, *addr, req);
+    (void)daemon_rpc(p.machine, *addr, req);
   }
   return true;
 }
@@ -694,6 +744,12 @@ void Controller::cmd_removeprocess(const std::vector<std::string>& args) {
 }
 
 void Controller::cmd_jobs(const std::vector<std::string>& args) {
+  for (const auto& [machine, h] : machine_health_) {
+    if (h.down) {
+      emit(util::strprintf("machine '%s' DOWN (%s) -- try reconcile\n",
+                           machine.c_str(), h.reason.c_str()));
+    }
+  }
   if (args.empty()) {
     if (jobs_.empty()) {
       emit("no jobs\n");
@@ -715,12 +771,63 @@ void Controller::cmd_jobs(const std::vector<std::string>& args) {
     emit(util::strprintf("job '%s' (filter %s):\n", name.c_str(),
                          jit->second.filter_name.c_str()));
     for (const auto& p : jit->second.procs) {
-      emit(util::strprintf("  %d %s %s %s flags: %s\n", p.pid,
+      emit(util::strprintf("  %d %s %s %s flags: %s%s%s\n", p.pid,
                            proc_state_name(p.state), p.name.c_str(),
                            p.machine.c_str(),
-                           meter::flags_to_string(p.flags).c_str()));
+                           meter::flags_to_string(p.flags).c_str(),
+                           p.note.empty() ? "" : " ", p.note.c_str()));
     }
   }
+}
+
+void Controller::cmd_reconcile(const std::vector<std::string>& args) {
+  (void)args;
+  bool any_down = false;
+  for (auto& [machine, h] : machine_health_) {
+    if (!h.down) continue;
+    any_down = true;
+    auto addr = daemon_addr(machine);
+    if (!addr) continue;
+    // Liveness ping, deliberately NOT via daemon_rpc (which fails fast on
+    // down machines — probing them is the whole point here).
+    ProcRequest ping;
+    ping.what = MsgType::status_request;
+    ping.uid = sys_.getuid();
+    ping.pid = 0;
+    daemon::RpcOptions probe;
+    probe.max_attempts = 2;
+    auto reply = daemon::rpc_call(sys_, *addr, ping, probe);
+    if (!reply || reply_status(*reply) != 0) {
+      emit(util::strprintf("machine '%s' still down\n", machine.c_str()));
+      continue;
+    }
+    h.down = false;
+    h.reason.clear();
+    emit(util::strprintf("machine '%s' reconciled\n", machine.c_str()));
+
+    // The daemon is back, but what happened while we could not talk to
+    // it? Re-probe every process we believe is alive there.
+    for (auto& [jname, job] : jobs_) {
+      for (auto& p : job.procs) {
+        if (p.machine != machine || p.state == ProcState::killed) continue;
+        ProcRequest probe_proc;
+        probe_proc.what = MsgType::status_request;
+        probe_proc.uid = sys_.getuid();
+        probe_proc.pid = p.pid;
+        auto st = daemon::rpc_call(sys_, *addr, probe_proc, probe);
+        const std::int32_t status =
+            st ? reply_status(*st) : static_cast<std::int32_t>(st.error());
+        if (status != 0) {
+          p.state = ProcState::killed;
+          if (p.note.empty()) p.note = "[presumed dead]";
+          emit(util::strprintf(
+              "DONE: process %s in job '%s' presumed dead after outage\n",
+              p.name.c_str(), jname.c_str()));
+        }
+      }
+    }
+  }
+  if (!any_down) emit("no machines marked down\n");
 }
 
 void Controller::cmd_getlog(const std::vector<std::string>& args) {
@@ -791,7 +898,7 @@ void Controller::remove_filters() {
     req.what = MsgType::kill_request;
     req.uid = sys_.getuid();
     req.pid = f.pid;
-    (void)daemon::rpc_call(sys_, *addr, req);
+    (void)daemon_rpc(f.machine, *addr, req);
   }
   filters_.clear();
 }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "control/job.h"
+#include "daemon/protocol.h"
 #include "kernel/exec_registry.h"
 #include "kernel/syscalls.h"
 #include "net/address.h"
@@ -30,6 +31,15 @@ struct FilterRec {
   kernel::Pid pid = 0;
   net::Port meter_port = 0;
   std::string logfile;
+};
+
+/// Per-machine RPC health as the controller sees it. A machine is marked
+/// down when an RPC to its daemon exhausts its deadline/retry budget; the
+/// `reconcile` command probes down machines and clears the mark when the
+/// daemon answers again.
+struct MachineHealth {
+  bool down = false;
+  std::string reason;  // err_name of the failure that marked it down
 };
 
 class Controller {
@@ -48,6 +58,9 @@ class Controller {
   const std::map<std::string, FilterRec>& filters() const { return filters_; }
   const std::map<std::string, Job>& jobs() const { return jobs_; }
   net::Port control_port() const { return control_port_; }
+  const std::map<std::string, MachineHealth>& machine_health() const {
+    return machine_health_;
+  }
 
  private:
   // ---- command handlers (§4.3) ----
@@ -62,6 +75,7 @@ class Controller {
   void cmd_removejob(const std::vector<std::string>& args);
   void cmd_removeprocess(const std::vector<std::string>& args);
   void cmd_jobs(const std::vector<std::string>& args);
+  void cmd_reconcile(const std::vector<std::string>& args);
   void cmd_getlog(const std::vector<std::string>& args);
   void cmd_source(const std::vector<std::string>& args);
   void cmd_sink(const std::vector<std::string>& args);
@@ -82,6 +96,16 @@ class Controller {
   /// Kills every filter process (on die).
   void remove_filters();
 
+  /// All daemon RPCs go through here: fail-fast while the machine is
+  /// marked down, hardened deadline/retry call otherwise, mark-down on a
+  /// terminal transport failure.
+  util::SysResult<daemon::DaemonMsg> daemon_rpc(const std::string& machine,
+                                                const net::SockAddr& addr,
+                                                const daemon::DaemonMsg& req);
+  /// Fresh at-most-once request identity (pid in the high half keeps
+  /// nonces distinct across controller instances).
+  std::uint64_t next_nonce();
+
   kernel::Sys& sys_;
   net::Port control_port_ = 0;
   kernel::Fd notif_sock_ = -1;
@@ -89,6 +113,8 @@ class Controller {
   std::map<std::string, FilterRec> filters_;
   std::string default_filter_;
   std::map<std::string, Job> jobs_;
+  std::map<std::string, MachineHealth> machine_health_;
+  std::uint64_t nonce_seq_ = 0;
 
   // source/sink state (§4.3)
   std::vector<std::deque<std::string>> source_stack_;

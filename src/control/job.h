@@ -37,6 +37,9 @@ struct ProcEntry {
   kernel::Pid pid = 0;
   ProcState state = ProcState::fresh;
   meter::Flags flags = 0;
+  /// Degradation annotation shown by `jobs` ("[meter lost]",
+  /// "[presumed dead]"); empty for a healthy process.
+  std::string note;
 };
 
 /// A job: a named computation plus the filter collecting its traces.

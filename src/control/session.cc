@@ -34,6 +34,12 @@ void spawn_meterdaemons(kernel::World& world) {
                          daemon::make_meterdaemon_main({}));
     assert(r.ok() && "meterdaemon spawn failed");
     (void)r;
+    // Boot program: a crashed-then-restarted machine comes back with a
+    // fresh meterdaemon (its old state is gone, as after a real reboot).
+    world.add_boot_program(m, [m](kernel::World& w) {
+      (void)w.spawn(m, "meterdaemon", kernel::kSuperUser,
+                    daemon::make_meterdaemon_main({}));
+    });
   }
 }
 

@@ -1,7 +1,10 @@
 #include "daemon/meterdaemon.h"
 
 #include <algorithm>
+#include <deque>
 #include <map>
+#include <optional>
+#include <utility>
 
 #include "daemon/protocol.h"
 #include "kernel/syscalls.h"
@@ -136,13 +139,32 @@ class Meterdaemon {
   void serve_one_rpc() {
     auto conn = sys_.accept(lsock_);
     if (!conn) return;
-    auto req = recv_msg(sys_, *conn);
+    // Bounded read: a client that connected and then died (or whose
+    // machine was partitioned away) must not wedge the daemon's serve
+    // loop on a half-delivered request.
+    auto req = recv_msg(sys_, *conn, util::msec(500));
     if (req) {
       sys_.world().obs().counter("daemon.requests_served").add(1);
       DaemonMsg reply = dispatch(*req);
       (void)send_msg(sys_, *conn, reply);
     }
     (void)sys_.close(*conn);
+  }
+
+  /// At-most-once guard: a retried create/filter request (same nonce)
+  /// replays the cached reply instead of spawning a second process.
+  std::optional<DaemonMsg> replay_lookup(std::uint64_t nonce) const {
+    if (nonce == 0) return std::nullopt;
+    for (const auto& [n, reply] : replay_) {
+      if (n == nonce) return reply;
+    }
+    return std::nullopt;
+  }
+
+  void replay_store(std::uint64_t nonce, const DaemonMsg& reply) {
+    if (nonce == 0) return;
+    replay_.emplace_back(nonce, reply);
+    if (replay_.size() > kReplayCap) replay_.pop_front();
   }
 
   DaemonMsg dispatch(const DaemonMsg& req) {
@@ -186,7 +208,7 @@ class Meterdaemon {
     if (!addr) return Err::enoent;
     auto ms = sys_.socket(SockDomain::internet, SockType::stream);
     if (!ms) return ms.error();
-    auto conn = sys_.connect(*ms, *addr);
+    auto conn = sys_.connect(*ms, *addr, util::msec(250));
     if (!conn) {
       (void)sys_.close(*ms);
       return conn.error();
@@ -199,7 +221,8 @@ class Meterdaemon {
   }
 
   DaemonMsg do_create(const CreateRequest& r) {
-    return as_user(r.uid, [&]() -> DaemonMsg {
+    if (auto cached = replay_lookup(r.nonce)) return *cached;
+    DaemonMsg out = as_user(r.uid, [&]() -> DaemonMsg {
       CreateReply reply;
 
       Fd child_stdin = -1;
@@ -266,10 +289,13 @@ class Meterdaemon {
       reply.status = 0;
       return reply;
     });
+    replay_store(r.nonce, out);
+    return out;
   }
 
   DaemonMsg do_filter(const FilterRequest& r) {
-    return as_user(r.uid, [&]() -> DaemonMsg {
+    if (auto cached = replay_lookup(r.nonce)) return *cached;
+    DaemonMsg out = as_user(r.uid, [&]() -> DaemonMsg {
       FilterReply reply;
 
       // Reserve a port for the filter's meter socket: bind an ephemeral
@@ -322,6 +348,8 @@ class Meterdaemon {
       reply.meter_port = meter_port;
       return reply;
     });
+    replay_store(r.nonce, out);
+    return out;
   }
 
   DaemonMsg do_setflags(const SetFlagsRequest& r) {
@@ -351,6 +379,20 @@ class Meterdaemon {
           res = sys_.setmeter(r.pid, meter::SETMETER_NONE,
                               meter::SETMETER_NONE);
           break;
+        case MsgType::status_request: {
+          // Liveness probe: pid 0 asks "is the daemon alive" (reaching
+          // this code answers that); otherwise "is this process alive".
+          if (r.pid == 0) {
+            res = {};
+          } else {
+            kernel::Process* p =
+                sys_.world().find_process(sys_.machine_id(), r.pid);
+            res = (p && p->status != kernel::ProcStatus::dead)
+                      ? util::SysResult<void>{}
+                      : util::SysResult<void>{Err::esrch};
+          }
+          break;
+        }
         default:
           res = Err::einval;
       }
@@ -376,9 +418,12 @@ class Meterdaemon {
     return SimpleReply{static_cast<std::int32_t>(res.error())};
   }
 
+  static constexpr std::size_t kReplayCap = 64;
+
   Sys& sys_;
   Fd lsock_ = -1;
   std::map<Pid, ProcRec> procs_;
+  std::deque<std::pair<std::uint64_t, DaemonMsg>> replay_;
 };
 
 }  // namespace

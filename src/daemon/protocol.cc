@@ -1,5 +1,7 @@
 #include "daemon/protocol.h"
 
+#include <algorithm>
+
 #include "kernel/world.h"
 #include "obs/span.h"
 #include "util/bytes.h"
@@ -44,6 +46,7 @@ struct BodyWriter {
     w.u16(b.control_port);
     w.lstring(b.control_host);
     w.lstring(b.stdin_file);
+    w.u64(b.nonce);
   }
   void operator()(const CreateReply& b) {
     w.i32(b.pid);
@@ -57,6 +60,7 @@ struct BodyWriter {
     w.lstring(b.templates);
     w.u16(b.control_port);
     w.lstring(b.control_host);
+    w.u64(b.nonce);
   }
   void operator()(const FilterReply& b) {
     w.i32(b.pid);
@@ -136,13 +140,15 @@ std::optional<CreateRequest> parse_create(BinaryReader& r) {
   auto cp = r.u16();
   auto ch = r.lstring();
   auto sf = r.lstring();
-  if (!fp || !fh || !mf || !cp || !ch || !sf) return std::nullopt;
+  auto nn = r.u64();
+  if (!fp || !fh || !mf || !cp || !ch || !sf || !nn) return std::nullopt;
   b.filter_port = *fp;
   b.filter_host = *fh;
   b.meter_flags = *mf;
   b.control_port = *cp;
   b.control_host = *ch;
   b.stdin_file = *sf;
+  b.nonce = *nn;
   return b;
 }
 
@@ -155,7 +161,8 @@ std::optional<FilterRequest> parse_filter(BinaryReader& r) {
   auto te = r.lstring();
   auto cp = r.u16();
   auto ch = r.lstring();
-  if (!uid || !ff || !lf || !de || !te || !cp || !ch) return std::nullopt;
+  auto nn = r.u64();
+  if (!uid || !ff || !lf || !de || !te || !cp || !ch || !nn) return std::nullopt;
   b.uid = *uid;
   b.filterfile = *ff;
   b.logfile = *lf;
@@ -163,6 +170,7 @@ std::optional<FilterRequest> parse_filter(BinaryReader& r) {
   b.templates = *te;
   b.control_port = *cp;
   b.control_host = *ch;
+  b.nonce = *nn;
   return b;
 }
 
@@ -213,7 +221,8 @@ std::optional<DaemonMsg> parse(const Bytes& wire) {
     case MsgType::start_request:
     case MsgType::stop_request:
     case MsgType::kill_request:
-    case MsgType::release_request: {
+    case MsgType::release_request:
+    case MsgType::status_request: {
       ProcRequest b;
       b.what = static_cast<MsgType>(*type);
       auto uid = r.i32();
@@ -310,6 +319,49 @@ util::SysResult<DaemonMsg> recv_msg(kernel::Sys& sys, kernel::Fd fd) {
 
 namespace {
 
+/// recv_exact with an absolute deadline: selects before each recv so a
+/// stalled peer yields etimedout instead of parking the reader forever.
+/// EOF mid-message is still econnreset, as for the unbounded variant.
+util::SysResult<Bytes> recv_exact_by(kernel::Sys& sys, kernel::Fd fd,
+                                     std::size_t n, util::TimePoint deadline) {
+  Bytes out;
+  while (out.size() < n) {
+    const util::TimePoint now = sys.world().now();
+    if (now >= deadline) return Err::etimedout;
+    auto sel = sys.select({fd}, /*child_events=*/false, deadline - now);
+    if (!sel) return sel.error();
+    if (sel->timed_out) return Err::etimedout;
+    auto chunk = sys.recv(fd, n - out.size());
+    if (!chunk) return chunk.error();
+    if (chunk->empty()) return Err::econnreset;  // EOF mid-message
+    out.insert(out.end(), chunk->begin(), chunk->end());
+  }
+  return out;
+}
+
+}  // namespace
+
+util::SysResult<DaemonMsg> recv_msg(kernel::Sys& sys, kernel::Fd fd,
+                                    util::Duration deadline) {
+  const util::TimePoint by = sys.world().now() + deadline;
+  auto head = recv_exact_by(sys, fd, 4, by);
+  if (!head) return head.error();
+  const std::uint32_t size = static_cast<std::uint32_t>((*head)[0]) |
+                             static_cast<std::uint32_t>((*head)[1]) << 8 |
+                             static_cast<std::uint32_t>((*head)[2]) << 16 |
+                             static_cast<std::uint32_t>((*head)[3]) << 24;
+  if (size < 8 || size > (1u << 20)) return Err::einval;
+  auto rest = recv_exact_by(sys, fd, size - 4, by);
+  if (!rest) return rest.error();
+  Bytes wire = std::move(*head);
+  wire.insert(wire.end(), rest->begin(), rest->end());
+  auto msg = parse(wire);
+  if (!msg) return Err::einval;
+  return *msg;
+}
+
+namespace {
+
 /// Metric-key fragment for a request type ("daemon.rpc_<name>_us").
 const char* rpc_name(MsgType t) {
   switch (t) {
@@ -321,6 +373,7 @@ const char* rpc_name(MsgType t) {
     case MsgType::kill_request: return "kill";
     case MsgType::acquire_request: return "acquire";
     case MsgType::release_request: return "release";
+    case MsgType::status_request: return "status";
     default: return "other";
   }
 }
@@ -357,11 +410,75 @@ util::SysResult<DaemonMsg> rpc_call(kernel::Sys& sys, const net::SockAddr& to,
   return reply;
 }
 
+namespace {
+
+/// Whether one failed attempt is worth another try on a fresh connection.
+bool retryable(Err e) {
+  return e == Err::etimedout || e == Err::econnrefused ||
+         e == Err::econnreset || e == Err::epipe;
+}
+
+/// One bounded attempt: connect (deadline), send, await the reply
+/// (same deadline), close. Always tears the connection down.
+util::SysResult<DaemonMsg> rpc_attempt(kernel::Sys& sys,
+                                       const net::SockAddr& to,
+                                       const DaemonMsg& request,
+                                       util::Duration deadline) {
+  auto fd = sys.socket(kernel::SockDomain::internet, kernel::SockType::stream);
+  if (!fd) return fd.error();
+  auto conn = sys.connect(*fd, to, deadline);
+  if (!conn) {
+    (void)sys.close(*fd);
+    return conn.error();
+  }
+  auto sent = send_msg(sys, *fd, request);
+  if (!sent) {
+    (void)sys.close(*fd);
+    return sent.error();
+  }
+  auto reply = recv_msg(sys, *fd, deadline);
+  (void)sys.close(*fd);
+  return reply;
+}
+
+}  // namespace
+
+util::SysResult<DaemonMsg> rpc_call(kernel::Sys& sys, const net::SockAddr& to,
+                                    const DaemonMsg& request,
+                                    const RpcOptions& opts) {
+  obs::Registry& reg = sys.world().obs();
+  const std::string name = rpc_name(msg_type(request));
+  reg.counter("daemon.rpc_calls").add(1);
+  obs::ObsSpan span(reg, "daemon.rpc_" + name,
+                    &reg.histogram("daemon.rpc_" + name + "_us"));
+
+  util::Duration pause = opts.backoff;
+  util::SysResult<DaemonMsg> last = Err::etimedout;
+  const int attempts = opts.max_attempts < 1 ? 1 : opts.max_attempts;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      reg.counter("daemon.rpc_retries").add(1);
+      sys.sleep(pause);
+      pause = std::min(pause + pause, opts.backoff_max);
+    }
+    last = rpc_attempt(sys, to, request, opts.deadline);
+    if (last) return last;
+    if (last.error() == Err::etimedout) {
+      reg.counter("daemon.rpc_timeouts").add(1);
+    }
+    if (!retryable(last.error())) break;
+  }
+  reg.counter("daemon.rpc_failures").add(1);
+  return last;
+}
+
 util::SysResult<void> notify(kernel::Sys& sys, const net::SockAddr& to,
                              const DaemonMsg& note) {
   auto fd = sys.socket(kernel::SockDomain::internet, kernel::SockType::stream);
   if (!fd) return fd.error();
-  auto conn = sys.connect(*fd, to);
+  // Bounded connect: a dead or partitioned controller must not wedge the
+  // daemon's notification path; the note is simply lost.
+  auto conn = sys.connect(*fd, to, util::msec(250));
   if (!conn) {
     (void)sys.close(*fd);
     return conn.error();

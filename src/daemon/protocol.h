@@ -42,6 +42,7 @@ enum class MsgType : std::uint32_t {
   acquire_request = 17,
   release_request = 20,
   simple_reply = 21,     // status-only reply (setflags/start/stop/kill/...)
+  status_request = 22,   // liveness probe: pid=0 pings the daemon itself
   state_note = 30,       // daemon → controller: child state change
   io_note = 31,          // daemon → controller: process stdout data
   io_send = 32,          // controller → daemon: data for process stdin
@@ -62,6 +63,10 @@ struct CreateRequest {
   std::uint16_t control_port = 0;
   std::string control_host;
   std::string stdin_file;  // empty: gateway stdio
+  /// Request identity for at-most-once semantics: a retried create carrying
+  /// the same nonce returns the daemon's cached reply instead of spawning a
+  /// second process. 0 disables the replay cache.
+  std::uint64_t nonce = 0;
 };
 
 struct CreateReply {
@@ -79,6 +84,8 @@ struct FilterRequest {
   std::string templates;
   std::uint16_t control_port = 0;
   std::string control_host;
+  /// At-most-once identity, as for CreateRequest.
+  std::uint64_t nonce = 0;
 };
 
 struct FilterReply {
@@ -93,7 +100,10 @@ struct SetFlagsRequest {
   std::uint32_t flags = 0;
 };
 
-/// start / stop / kill / release share a body; the MsgType disambiguates.
+/// start / stop / kill / release / status share a body; the MsgType
+/// disambiguates. status_request with pid=0 is a pure liveness ping (the
+/// controller's reconciliation probe); with a pid it asks whether that
+/// created process is still alive (0 ok, esrch gone).
 struct ProcRequest {
   MsgType what = MsgType::start_request;
   std::int32_t uid = 0;
@@ -150,12 +160,36 @@ util::SysResult<void> send_msg(kernel::Sys& sys, kernel::Fd fd,
 /// Receives one framed message (blocking). econnreset on truncation.
 util::SysResult<DaemonMsg> recv_msg(kernel::Sys& sys, kernel::Fd fd);
 
+/// Bounded-wait variant: etimedout if a whole message has not arrived
+/// within `deadline`. A truncated message (peer died mid-frame) still
+/// fails fast with econnreset — the reader never blocks on a short read.
+util::SysResult<DaemonMsg> recv_msg(kernel::Sys& sys, kernel::Fd fd,
+                                    util::Duration deadline);
+
+/// Deadline/retry policy for hardened RPC (the controller's default).
+/// Every attempt runs on a fresh connection; attempts after the first are
+/// counted as daemon.rpc_retries, expired waits as daemon.rpc_timeouts.
+struct RpcOptions {
+  util::Duration deadline = util::msec(250);  // per attempt: connect + reply
+  int max_attempts = 4;
+  util::Duration backoff = util::msec(50);    // doubles per retry
+  util::Duration backoff_max = util::msec(800);
+};
+
 /// One full RPC exchange over a temporary connection (§3.5.1): connect to
-/// `to`, send `request`, await the reply, close.
+/// `to`, send `request`, await the reply, close. Blocks indefinitely.
 util::SysResult<DaemonMsg> rpc_call(kernel::Sys& sys, const net::SockAddr& to,
                                     const DaemonMsg& request);
 
-/// One-shot notification (no reply expected): connect, send, close.
+/// Hardened variant: per-attempt deadline, bounded exponential backoff,
+/// retry on etimedout/econnrefused/econnreset/epipe. Requests that create
+/// state must carry a nonce so a retry cannot double-apply.
+util::SysResult<DaemonMsg> rpc_call(kernel::Sys& sys, const net::SockAddr& to,
+                                    const DaemonMsg& request,
+                                    const RpcOptions& opts);
+
+/// One-shot notification (no reply expected): connect, send, close. The
+/// connect is bounded (~250ms) so a dead controller cannot wedge a daemon.
 util::SysResult<void> notify(kernel::Sys& sys, const net::SockAddr& to,
                              const DaemonMsg& note);
 

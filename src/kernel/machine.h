@@ -29,6 +29,10 @@ class Machine {
   sim::MachineClock clock;
   std::vector<net::Interface> interfaces;
 
+  /// False while crashed (World::crash_machine): every process is dead,
+  /// inbound SYNs and datagrams are lost, spawns fail.
+  bool up = true;
+
   FileSystem fs;
 
   /// Name bindings for sockets on this machine.

@@ -27,7 +27,19 @@ constexpr std::size_t kPendingSlack = 256;
 }  // namespace
 
 void meter_emit(World& world, Process& p, MeterEventDraft&& draft) {
-  if ((p.meter_flags & draft.guard) == 0 || p.meter_sock == 0) return;
+  if ((p.meter_flags & draft.guard) == 0) return;
+  if (p.meter_sock == 0) {
+    if (p.meter_degraded) {
+      // Accounted drop mode: the meter connection died under the process
+      // (dead filter, reset socket). Events are counted — emitted and
+      // dropped in the same breath — instead of buffered, so conservation
+      // stays exact without unbounded pending growth.
+      ++p.meter_events;
+      world.mobs_.events->add(1);
+      world.mobs_.dropped_records->add(1);
+    }
+    return;
+  }
 
   Machine& m = world.machine(p.machine);
   const WorldConfig& cfg = world.config();
@@ -73,14 +85,30 @@ void meter_flush(World& world, Process& p) {
   // gauge high after a drop once overstated occupancy forever).
   world.mobs_.pending_bytes->sub(static_cast<std::int64_t>(batch.size()));
 
-  if (p.meter_sock == 0) {
-    // Without a meter socket the batch is simply lost (Appendix C): no
-    // send happens, so no CPU is charged and nothing is counted as
+  // A meter socket that has died underneath the process (peer reset, EOF,
+  // connection torn down by a fault) is as useless as no socket at all.
+  Socket* ms = p.meter_sock == 0 ? nullptr : world.find_socket(p.meter_sock);
+  const bool healthy = ms && ms->sstate == Socket::StreamState::connected &&
+                       ms->peer != 0 && !ms->eof && world.find_socket(ms->peer);
+  if (!healthy) {
+    // Without a usable meter socket the batch is simply lost (Appendix C):
+    // no send happens, so no CPU is charged and nothing is counted as
     // delivered — the loss lands in the dropped counters instead.
     ++p.meter_dropped_batches;
     p.meter_dropped_bytes += batch.size();
     world.mobs_.dropped_batches->add(1);
     world.mobs_.dropped_bytes->add(batch.size());
+    world.mobs_.dropped_records->add(batch_msgs);
+    if (p.meter_sock != 0) {
+      // First detection: flip to accounted drop mode and tell the parent
+      // (the meterdaemon forwards this upstream as a state note).
+      world.socket_unref(p.meter_sock);
+      p.meter_sock = 0;
+      p.meter_degraded = true;
+      Machine& mm = world.machine(p.machine);
+      world.push_child_change(mm, p.parent,
+                              ChildChange{p.pid, ChildEvent::meter_lost, 0});
+    }
     return;
   }
 
@@ -98,7 +126,7 @@ void meter_flush(World& world, Process& p) {
   world.mobs_.batch_bytes->record(static_cast<std::int64_t>(batch.size()));
   world.mobs_.batch_msgs->record(batch_msgs);
 
-  world.kernel_stream_send(p.meter_sock, std::move(batch));
+  world.kernel_stream_send(p.meter_sock, std::move(batch), batch_msgs);
 }
 
 }  // namespace dpm::kernel

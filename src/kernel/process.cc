@@ -8,6 +8,7 @@ const char* child_event_name(ChildEvent e) {
     case ChildEvent::continued: return "continued";
     case ChildEvent::exited: return "exited";
     case ChildEvent::killed: return "killed";
+    case ChildEvent::meter_lost: return "meter_lost";
   }
   return "?";
 }

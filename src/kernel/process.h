@@ -25,7 +25,10 @@ namespace dpm::kernel {
 enum class ProcStatus { embryo, alive, dead };
 
 /// What a child did; delivered to the parent like SIGCHLD + wait status.
-enum class ChildEvent { stopped, continued, exited, killed };
+/// `meter_lost` is the degradation signal: the child's meter connection
+/// died and its events are now accounted drops (the daemon forwards it to
+/// the controller as a state note).
+enum class ChildEvent { stopped, continued, exited, killed, meter_lost };
 
 struct ChildChange {
   Pid pid = 0;
@@ -61,6 +64,10 @@ class Process {
   meter::Flags meter_flags = 0;
   util::Bytes meter_pending;         // serialized, unsent meter messages
   std::uint32_t meter_pending_count = 0;
+  /// Set when the meter connection died under the process (dead filter,
+  /// reset socket): metered events are then counted as accounted drops
+  /// instead of buffered, and the parent got a meter_lost child change.
+  bool meter_degraded = false;
 
   // ---- accounting ----
   util::Duration cpu_used{0};        // microsecond-precise internal total

@@ -12,6 +12,56 @@
 #include "util/logging.h"
 
 namespace dpm::kernel {
+namespace {
+
+/// Framed records remaining in a meter conn's rbuf past the read cursor:
+/// `head` = 1 if a frame was partially consumed at the cursor (its
+/// remainder — possibly the whole buffer — is skipped), `complete` = full
+/// frames after it, `tail` = 1 if trailing bytes do not form a whole
+/// frame.
+struct FrameRemainder {
+  std::uint64_t head = 0;
+  std::uint64_t complete = 0;
+  std::uint64_t tail = 0;
+};
+
+FrameRemainder count_remaining_frames(const Socket& s) {
+  FrameRemainder out;
+  std::size_t pos = 0;
+  const std::size_t n = s.rbuf.size();
+  std::uint8_t hdr[4] = {s.frame_hdr[0], s.frame_hdr[1], s.frame_hdr[2],
+                         s.frame_hdr[3]};
+  std::uint8_t hdr_have = s.frame_hdr_have;
+  std::uint32_t need = s.frame_need;
+  if (hdr_have > 0 || need > 0) {
+    out.head = 1;
+    if (need == 0) {
+      while (hdr_have < 4 && pos < n) hdr[hdr_have++] = s.rbuf[pos++];
+      if (hdr_have < 4) return out;  // remainder all belongs to the head
+      const std::uint32_t size = static_cast<std::uint32_t>(hdr[0]) |
+                                 static_cast<std::uint32_t>(hdr[1]) << 8 |
+                                 static_cast<std::uint32_t>(hdr[2]) << 16 |
+                                 static_cast<std::uint32_t>(hdr[3]) << 24;
+      need = size > 4 ? size - 4 : 0;
+    }
+    if (n - pos < need) return out;  // head frame swallows the rest
+    pos += need;
+  }
+  while (n - pos >= 4) {
+    const std::uint32_t size =
+        static_cast<std::uint32_t>(s.rbuf[pos]) |
+        static_cast<std::uint32_t>(s.rbuf[pos + 1]) << 8 |
+        static_cast<std::uint32_t>(s.rbuf[pos + 2]) << 16 |
+        static_cast<std::uint32_t>(s.rbuf[pos + 3]) << 24;
+    if (size < 4 || n - pos < size) break;  // cut-short (or garbage) tail
+    pos += size;
+    ++out.complete;
+  }
+  if (pos < n) out.tail = 1;
+  return out;
+}
+
+}  // namespace
 
 SocketId World::create_socket(MachineId m, SockDomain domain, SockType type) {
   const SocketId id = next_socket_++;
@@ -80,22 +130,17 @@ void World::destroy_socket(SocketId id) {
 
   if (s.sstate == Socket::StreamState::connected) close_stream(s);
   s.sstate = Socket::StreamState::closed;
-  if (s.is_meter_conn && !s.rbuf.empty()) {
+  if (s.is_meter_conn &&
+      (!s.rbuf.empty() || s.frame_hdr_have > 0 || s.frame_need > 0)) {
     // Undelivered meter bytes die with the socket. Frame them the way the
-    // filter would have: a partial record at the tail is a truncated
-    // record the monitor lost, and the loss is counted, not silent.
-    std::size_t pos = 0;
-    const std::size_t n = s.rbuf.size();
-    while (n - pos >= 4) {
-      const std::uint32_t size =
-          static_cast<std::uint32_t>(s.rbuf[pos]) |
-          static_cast<std::uint32_t>(s.rbuf[pos + 1]) << 8 |
-          static_cast<std::uint32_t>(s.rbuf[pos + 2]) << 16 |
-          static_cast<std::uint32_t>(s.rbuf[pos + 3]) << 24;
-      if (size < 4 || n - pos < size) break;  // cut-short (or garbage) tail
-      pos += size;
-    }
-    if (pos < n) mobs_.malformed_records->add(1);
+    // filter would have: complete unread records are stranded, records cut
+    // short (a partially-consumed head, a partial tail) are malformed —
+    // the loss is counted record by record, not silent.
+    const FrameRemainder rem = count_remaining_frames(s);
+    if (rem.complete) mobs_.stranded_records->add(rem.complete);
+    if (rem.head + rem.tail) mobs_.malformed_records->add(rem.head + rem.tail);
+    s.frame_hdr_have = 0;
+    s.frame_need = 0;
   }
   mobs_.rbuf_bytes->sub(static_cast<std::int64_t>(s.rbuf.size()));
   s.rbuf.clear();
@@ -114,25 +159,88 @@ void World::close_stream(Socket& s) {
   if (!peer) return;
   // EOF must arrive after any data still in flight: ship it on the same
   // ordered channel.
-  const bool local = peer->machine == s.machine;
-  fabric_.send(s.net_hint, local, s.tx_channel, /*droppable=*/false, 1,
-               [this, peer_id] { deliver_eof(peer_id); });
+  fabric_.send(s.net_hint, s.machine, peer->machine, s.tx_channel,
+               /*droppable=*/false, 1, [this, peer_id] { deliver_eof(peer_id); });
 }
 
-void World::kernel_stream_send(SocketId from, util::Bytes data) {
+void World::kernel_stream_send(SocketId from, util::Bytes data,
+                               std::uint32_t meter_msgs) {
   Socket* s = find_socket(from);
   // Appendix C: "Meter messages are lost if they are sent on an
-  // unconnected socket."
-  if (!s || s->sstate != Socket::StreamState::connected || s->peer == 0) return;
+  // unconnected socket." For meter batches the loss is accounted, not
+  // silent.
+  if (!s || s->sstate != Socket::StreamState::connected || s->peer == 0) {
+    if (meter_msgs) mobs_.lost_records->add(meter_msgs);
+    return;
+  }
   Socket* peer = find_socket(s->peer);
-  if (!peer) return;
+  if (!peer) {
+    if (meter_msgs) mobs_.lost_records->add(meter_msgs);
+    return;
+  }
   const SocketId peer_id = peer->id;
-  const bool local = peer->machine == s->machine;
   const std::size_t n = data.size();
-  fabric_.send(s->net_hint, local, s->tx_channel, /*droppable=*/false, n,
-               [this, peer_id, data = std::move(data)]() mutable {
+  fabric_.send(s->net_hint, s->machine, peer->machine, s->tx_channel,
+               /*droppable=*/false, n,
+               [this, peer_id, meter_msgs, data = std::move(data)]() mutable {
+                 auto it = sockets_.find(peer_id);
+                 Socket* p = it == sockets_.end() ? nullptr : it->second.get();
+                 if (!p || (p->sstate == Socket::StreamState::closed &&
+                            p->refs == 0)) {
+                   // The connection died while the batch was in flight.
+                   if (meter_msgs) mobs_.lost_records->add(meter_msgs);
+                   return;
+                 }
                  deliver_stream(peer_id, std::move(data), /*accounted=*/false);
                });
+}
+
+void World::meter_consume(Socket& s, const std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+    if (s.frame_need == 0) {
+      while (s.frame_hdr_have < 4 && n > 0) {
+        s.frame_hdr[s.frame_hdr_have++] = *data++;
+        --n;
+      }
+      if (s.frame_hdr_have < 4) return;
+      const std::uint32_t size = static_cast<std::uint32_t>(s.frame_hdr[0]) |
+                                 static_cast<std::uint32_t>(s.frame_hdr[1]) << 8 |
+                                 static_cast<std::uint32_t>(s.frame_hdr[2]) << 16 |
+                                 static_cast<std::uint32_t>(s.frame_hdr[3]) << 24;
+      s.frame_hdr_have = 0;
+      if (size <= 4) {  // degenerate frame: complete at its header
+        mobs_.consumed_records->add(1);
+        continue;
+      }
+      s.frame_need = size - 4;
+    }
+    const std::size_t take = n < s.frame_need ? n : s.frame_need;
+    s.frame_need -= static_cast<std::uint32_t>(take);
+    data += take;
+    n -= take;
+    if (s.frame_need == 0) mobs_.consumed_records->add(1);
+  }
+}
+
+MeterConservation World::meter_conservation() const {
+  MeterConservation c;
+  c.emitted = mobs_.events->value();
+  c.consumed = mobs_.consumed_records->value();
+  c.dropped = mobs_.dropped_records->value();
+  c.lost = mobs_.lost_records->value();
+  c.stranded = mobs_.stranded_records->value();
+  c.malformed = mobs_.malformed_records->value();
+  for (const auto& [mid, m] : machines_) {
+    for (const auto& [pid, p] : m->procs) c.pending += p->meter_pending_count;
+  }
+  for (const auto& [id, sp] : sockets_) {
+    const Socket& s = *sp;
+    if (!s.is_meter_conn) continue;
+    if (s.sstate == Socket::StreamState::closed && s.refs == 0) continue;
+    const FrameRemainder rem = count_remaining_frames(s);
+    c.buffered += rem.head + rem.complete + rem.tail;
+  }
+  return c;
 }
 
 void World::deliver_stream(SocketId to, util::Bytes data, bool accounted) {

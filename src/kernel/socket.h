@@ -71,6 +71,16 @@ class Socket {
   /// Marks sockets created by setmeter plumbing (kept out of app stats).
   bool is_meter_conn = false;
 
+  // Incremental frame cursor over *consumed* bytes (meter conns only):
+  // tracks how far the reader has advanced through the framed record
+  // stream, so record consumption is counted exactly and teardown can
+  // split the remainder into complete (stranded) vs cut-short (malformed)
+  // records. frame_hdr accumulates a partially-read size word;
+  // frame_need is the body remainder of the frame being read.
+  std::uint32_t frame_need = 0;
+  std::uint8_t frame_hdr[4] = {};
+  std::uint8_t frame_hdr_have = 0;
+
   bool stream_readable() const {
     return !rbuf.empty() || eof ||
            (sstate == StreamState::listening && !accept_queue.empty());

@@ -228,9 +228,12 @@ namespace {
 
 /// Runs on the server machine when a connection request arrives.
 void syn_arrives(World& w, MachineId server_machine, net::SockAddr dest,
-                 SocketId client_id, net::SockAddr client_name,
-                 net::NetworkId over_net, bool local) {
+                 SocketId client_id, MachineId client_machine,
+                 net::SockAddr client_name, net::NetworkId over_net) {
   Machine& m = w.machine(server_machine);
+  // A crashed machine swallows SYNs silently: the caller sees no reply and
+  // times out (connect with a deadline) rather than an instant refusal.
+  if (!m.up) return;
   SocketId listener_id = 0;
   if (dest.family == net::Family::internet) {
     auto it = m.inet_bound.find(dest.port);
@@ -247,13 +250,17 @@ void syn_arrives(World& w, MachineId server_machine, net::SockAddr dest,
       listener->accept_queue.size() <
           static_cast<std::size_t>(listener->backlog);
 
-  auto reply = [&w, client_id, over_net, local](
+  auto reply = [&w, client_id, server_machine, client_machine, over_net](
                    util::Err result, SocketId conn_id,
                    net::SockAddr listener_name) {
-    w.fabric().send(over_net, local, /*channel=*/0, /*droppable=*/false, 8,
+    w.fabric().send(over_net, server_machine, client_machine, /*channel=*/0,
+                    /*droppable=*/false, 8,
                     [&w, client_id, result, conn_id, listener_name] {
                       Socket* c = w.find_socket(client_id);
                       if (!c) return;
+                      // The client may have given up (connect deadline) or
+                      // been reused; a stale SYN-ack must not resurrect it.
+                      if (c->sstate != Socket::StreamState::connecting) return;
                       if (result == util::Err::ok) {
                         c->sstate = Socket::StreamState::connected;
                         c->peer = conn_id;
@@ -295,6 +302,16 @@ void syn_arrives(World& w, MachineId server_machine, net::SockAddr dest,
 }  // namespace
 
 util::SysResult<void> Sys::connect(Fd fd, const net::SockAddr& name) {
+  return connect_impl(fd, name, std::nullopt);
+}
+
+util::SysResult<void> Sys::connect(Fd fd, const net::SockAddr& name,
+                                   util::Duration deadline) {
+  return connect_impl(fd, name, deadline);
+}
+
+util::SysResult<void> Sys::connect_impl(Fd fd, const net::SockAddr& name,
+                                        std::optional<util::Duration> deadline) {
   enter(world_.config().costs.connect_cost);
   auto sr = sock_of(fd);
   if (!sr) return sr.error();
@@ -320,17 +337,14 @@ util::SysResult<void> Sys::connect(Fd fd, const net::SockAddr& name) {
   // Locate the destination machine.
   MachineId target = 0;
   net::NetworkId over_net = 0;
-  bool local = false;
   if (name.family == net::Family::internet) {
     auto tm = world_.hosts().machine_at(name);
     if (!tm) return Err::econnrefused;
     target = *tm;
     over_net = name.network;
-    local = (target == proc_->machine);
   } else if (name.family == net::Family::unix_path) {
     if (s.domain != SockDomain::unix_path) return Err::einval;
     target = proc_->machine;  // UNIX-domain names are machine-local
-    local = true;
   } else {
     return Err::einval;
   }
@@ -341,17 +355,47 @@ util::SysResult<void> Sys::connect(Fd fd, const net::SockAddr& name) {
 
   const SocketId sid = s.id;
   const net::SockAddr client_name = s.name;
+  const MachineId client_machine = proc_->machine;
   World* w = &world_;
-  world_.fabric().send(over_net, local, /*channel=*/0, /*droppable=*/false, 8,
-                       [w, target, name, sid, client_name, over_net, local] {
-                         syn_arrives(*w, target, name, sid, client_name,
-                                     over_net, local);
+  world_.fabric().send(over_net, proc_->machine, target, /*channel=*/0,
+                       /*droppable=*/false, 8,
+                       [w, target, name, sid, client_machine, client_name,
+                        over_net] {
+                         syn_arrives(*w, target, name, sid, client_machine,
+                                     client_name, over_net);
                        });
 
-  wait_on(s.connectors, [this, sid] {
-    Socket* sock = world_.find_socket(sid);
-    return !sock || sock->connect_result.has_value();
-  });
+  if (deadline) {
+    // Bounded wait: a down machine never answers a SYN, so callers that
+    // cannot afford to hang forever pass a deadline and get etimedout.
+    auto& exec = world_.exec();
+    const util::TimePoint dl = exec.now() + *deadline;
+    bool timer_armed = false;
+    for (;;) {
+      Socket* sock2 = world_.find_socket(sid);
+      if (!sock2 || sock2->connect_result.has_value()) break;
+      if (exec.now() >= dl) {
+        // Give up: back to idle so a stale SYN-ack cannot resurrect the
+        // socket into a connection nobody is waiting for.
+        sock2->sstate = Socket::StreamState::idle;
+        sock2->connect_result = Err::etimedout;
+        break;
+      }
+      const sim::TaskId me = exec.current_task();
+      sock2->connectors.add(me);
+      if (!timer_armed) {
+        exec.schedule_at(dl, [&exec, me] { exec.make_runnable(me); });
+        timer_armed = true;
+      }
+      exec.park_current();
+      stop_checkpoint();
+    }
+  } else {
+    wait_on(s.connectors, [this, sid] {
+      Socket* sock2 = world_.find_socket(sid);
+      return !sock2 || sock2->connect_result.has_value();
+    });
+  }
 
   Socket* sock = world_.find_socket(sid);
   if (!sock) return Err::ebadf;
@@ -535,10 +579,9 @@ util::SysResult<std::size_t> Sys::stream_send(Socket& s,
                         data.begin() + static_cast<std::ptrdiff_t>(sent + chunk));
     peer->in_flight += chunk;
     const SocketId peer_id = peer->id;
-    const bool local = peer->machine == self->machine;
     World* w = &world_;
-    world_.fabric().send(self->net_hint, local, self->tx_channel,
-                         /*droppable=*/false, chunk,
+    world_.fabric().send(self->net_hint, self->machine, peer->machine,
+                         self->tx_channel, /*droppable=*/false, chunk,
                          [w, peer_id, payload = std::move(payload)]() mutable {
                            w->deliver_stream(peer_id, std::move(payload),
                                              /*accounted=*/true);
@@ -587,9 +630,11 @@ util::SysResult<std::size_t> Sys::dgram_send(Socket& s, const util::Bytes& data,
     const std::size_t max_queue = world_.config().dgram_queue_max;
     util::Bytes payload = data;
     world_.fabric().send(
-        over_net, local, /*channel=*/0, /*droppable=*/!local, data.size(),
+        over_net, proc_->machine, target, /*channel=*/0, /*droppable=*/!local,
+        data.size(),
         [w, target, to, source, payload = std::move(payload), max_queue]() mutable {
           Machine& m = w->machine(target);
+          if (!m.up) return;  // a crashed machine loses arriving datagrams
           SocketId sid = 0;
           if (to.family == net::Family::internet) {
             auto it = m.inet_bound.find(to.port);
@@ -658,6 +703,11 @@ util::SysResult<util::Bytes> Sys::recv(Fd fd, std::size_t max) {
   sock->rbuf.erase(sock->rbuf.begin(),
                    sock->rbuf.begin() + static_cast<std::ptrdiff_t>(n));
   world_.mobs_.rbuf_bytes->sub(static_cast<std::int64_t>(n));
+  if (n > 0 && sock->is_meter_conn) {
+    // Advance the conservation frame cursor: these bytes are now the
+    // reader's problem; whole records crossing the cursor count consumed.
+    world_.meter_consume(*sock, out.data(), n);
+  }
   if (n > 0) sock->writers.wake_all(world_.exec());  // window opened
 
   meter_emit(world_, *proc_,

@@ -26,6 +26,7 @@
 #include "net/address.h"
 #include "util/bytes.h"
 #include "util/result.h"
+#include "util/time.h"
 
 namespace dpm::kernel {
 
@@ -78,6 +79,11 @@ class Sys {
   util::SysResult<void> listen(Fd fd, int backlog);
   util::SysResult<Fd> accept(Fd fd);
   util::SysResult<void> connect(Fd fd, const net::SockAddr& name);
+  /// connect with a bounded wait: a target that never answers (crashed
+  /// machine, partitioned link) yields etimedout after `deadline`. The
+  /// socket is returned to idle; close the fd and retry on a fresh one.
+  util::SysResult<void> connect(Fd fd, const net::SockAddr& name,
+                                util::Duration deadline);
   /// Stream write: blocks until all bytes are queued. Returns byte count.
   util::SysResult<std::size_t> send(Fd fd, const util::Bytes& data);
   util::SysResult<std::size_t> send(Fd fd, std::string_view data);
@@ -196,6 +202,8 @@ class Sys {
   util::SysResult<void> auto_bind(Socket& s);
   Machine& mach() const { return world_.machine(proc_->machine); }
 
+  util::SysResult<void> connect_impl(Fd fd, const net::SockAddr& name,
+                                     std::optional<util::Duration> deadline);
   util::SysResult<std::size_t> send_impl(Fd fd, const util::Bytes& data,
                                          const net::SockAddr* dest);
   util::SysResult<std::size_t> stream_send(Socket& s, const util::Bytes& data);

@@ -4,6 +4,7 @@
 
 #include "kernel/meter_hooks.h"
 #include "kernel/syscalls.h"
+#include "net/faults.h"
 #include "util/logging.h"
 
 namespace dpm::kernel {
@@ -22,10 +23,15 @@ World::World(WorldConfig cfg)
   mobs_.dropped_batches = &obs_.counter("kernel.meter_dropped_batches");
   mobs_.dropped_bytes = &obs_.counter("kernel.meter_dropped_bytes");
   mobs_.malformed_records = &obs_.counter("kernel.meter_malformed_records");
+  mobs_.consumed_records = &obs_.counter("kernel.meter_records_consumed");
+  mobs_.dropped_records = &obs_.counter("kernel.meter_dropped_records");
+  mobs_.lost_records = &obs_.counter("kernel.meter_lost_records");
+  mobs_.stranded_records = &obs_.counter("kernel.meter_stranded_records");
   mobs_.pending_bytes = &obs_.gauge("kernel.meter_pending_bytes");
   mobs_.rbuf_bytes = &obs_.gauge("kernel.rbuf_bytes");
   mobs_.batch_bytes = &obs_.histogram("kernel.meter_batch_bytes");
   mobs_.batch_msgs = &obs_.histogram("kernel.meter_batch_msgs");
+  machines_down_ = &obs_.gauge("kernel.machines_down");
 }
 
 void World::set_service(const std::string& name,
@@ -141,6 +147,7 @@ std::vector<MachineId> World::machines() const {
 util::SysResult<Pid> World::spawn(MachineId mid, const std::string& proc_name,
                                   Uid uid, ProcessMain main, SpawnOpts opts) {
   Machine& m = machine(mid);
+  if (!m.up) return util::Err::eagain;  // crashed machine
   if (!m.accounts.count(uid) && uid != kSuperUser) return util::Err::eacces;
 
   const Pid pid = m.next_pid++;
@@ -235,6 +242,83 @@ util::SysResult<void> World::proc_kill(MachineId mid, Pid pid, Uid caller) {
   p->stop_requested = false;  // a stopped process must unwind, not sleep
   exec_.abort_task(p->task);
   return {};
+}
+
+void World::install_faults(const net::FaultPlan& plan) {
+  if (plan.empty()) return;
+  net::FaultHooks hooks;
+  hooks.machine_id = [this](const std::string& name) {
+    return hosts_.machine_of(name);
+  };
+  hooks.crash_machine = [this](const std::string& name) {
+    if (auto id = hosts_.machine_of(name)) crash_machine(*id);
+  };
+  hooks.restart_machine = [this](const std::string& name) {
+    if (auto id = hosts_.machine_of(name)) restart_machine(*id);
+  };
+  hooks.kill_process = [this](const std::string& name, std::int32_t pid) {
+    if (auto id = hosts_.machine_of(name)) (void)proc_kill(*id, pid, kSuperUser);
+  };
+  hooks.reset_streams = [this](const std::string& a, const std::string& b) {
+    auto ma = hosts_.machine_of(a), mb = hosts_.machine_of(b);
+    if (ma && mb) (void)reset_streams_between(*ma, *mb);
+  };
+  injector_ = std::make_unique<net::FaultInjector>(exec_, fabric_, plan,
+                                                   std::move(hooks), &obs_);
+  injector_->arm();
+}
+
+void World::crash_machine(MachineId id) {
+  Machine& m = machine(id);
+  if (!m.up) return;
+  m.up = false;
+  machines_down_->add(1);
+  // Kill every live process. The abort unwinds through finalize_exit, so
+  // each one flushes its pending meter batch on the way out — the fabric
+  // carries whatever it still can. Descriptor teardown releases every
+  // socket (and with them the machine's port bindings).
+  for (auto& [pid, p] : m.procs) {
+    if (p->status != ProcStatus::dead && p->task != sim::kNoTask &&
+        !exec_.task_finished(p->task)) {
+      p->stop_requested = false;
+      exec_.abort_task(p->task);
+    }
+  }
+}
+
+void World::restart_machine(MachineId id) {
+  Machine& m = machine(id);
+  if (m.up) return;
+  m.up = true;
+  machines_down_->sub(1);
+  for (auto& [mid, fn] : boot_programs_) {
+    if (mid == id) fn(*this);
+  }
+}
+
+void World::add_boot_program(MachineId m, std::function<void(World&)> fn) {
+  boot_programs_.emplace_back(m, std::move(fn));
+}
+
+std::size_t World::reset_streams_between(MachineId a, MachineId b) {
+  std::vector<std::pair<SocketId, SocketId>> conns;
+  for (auto& [id, sp] : sockets_) {
+    Socket& s = *sp;
+    if (s.sstate != Socket::StreamState::connected || s.peer == 0) continue;
+    if (id > s.peer) continue;  // handle each connection once
+    Socket* peer = find_socket(s.peer);
+    if (!peer) continue;
+    const bool spans = (s.machine == a && peer->machine == b) ||
+                       (s.machine == b && peer->machine == a);
+    if (spans) conns.emplace_back(id, s.peer);
+  }
+  for (auto [x, y] : conns) {
+    // Close both endpoints: each side sees EOF after any data already in
+    // flight; meter connections degrade at their next flush.
+    if (Socket* sy = find_socket(y)) close_stream(*sy);
+    if (Socket* sx = find_socket(x)) close_stream(*sx);
+  }
+  return conns.size();
 }
 
 void World::finalize_exit(std::shared_ptr<Process> p, int status,

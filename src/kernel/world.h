@@ -24,6 +24,11 @@
 #include "util/result.h"
 #include "util/rng.h"
 
+namespace dpm::net {
+struct FaultPlan;
+class FaultInjector;
+}  // namespace dpm::net
+
 namespace dpm::kernel {
 
 class Sys;
@@ -46,6 +51,29 @@ struct MeterStats {
   /// buffer was torn down while its last record was still partial (the
   /// filter-side counterpart is FilterStats::truncated).
   std::uint64_t malformed_records = 0;
+};
+
+/// Record-granular conservation of meter events: every record a process
+/// ever emitted is in exactly one bucket, so at any quiescent point
+///   emitted == consumed + dropped + lost + stranded + malformed
+///              + pending + buffered
+/// holds exactly — the chaos invariant "records emitted = records logged
+/// + accounted drops". World::meter_conservation() materializes it.
+struct MeterConservation {
+  std::uint64_t emitted = 0;    // kernel.meter_events
+  std::uint64_t consumed = 0;   // read out of a meter conn by its filter
+  std::uint64_t dropped = 0;    // flushed with no usable meter socket
+  std::uint64_t lost = 0;       // sent, but the peer was gone at delivery
+  std::uint64_t stranded = 0;   // complete frames in a torn-down rbuf
+  std::uint64_t malformed = 0;  // frames cut short by teardown
+  std::uint64_t pending = 0;    // buffered in live processes, unflushed
+  std::uint64_t buffered = 0;   // frames waiting in live meter-conn rbufs
+
+  std::uint64_t accounted() const {
+    return consumed + dropped + lost + stranded + malformed + pending +
+           buffered;
+  }
+  bool balanced() const { return emitted == accounted(); }
 };
 
 /// Options for World::spawn / World::spawn_file.
@@ -113,6 +141,28 @@ class World {
   util::SysResult<void> proc_continue(MachineId m, Pid pid, Uid caller);
   util::SysResult<void> proc_kill(MachineId m, Pid pid, Uid caller);
 
+  // ---- fault injection (net/faults.h driven through the kernel) ----
+  /// Builds a FaultInjector against this world's fabric, wires the
+  /// crash/restart/kill/reset hooks and host-name resolution, and arms it.
+  /// Call after the machines exist. No-op for an empty plan; the fault
+  /// paths stay zero-cost until the first event fires.
+  void install_faults(const net::FaultPlan& plan);
+
+  /// Machine failure: marks the machine down and kills every process on
+  /// it. The kill unwind runs the normal exit path, so pending meter
+  /// batches are flushed — the fabric carries whatever it still can.
+  /// SYNs and datagrams addressed to a down machine are silently lost.
+  void crash_machine(MachineId id);
+  /// Brings a crashed machine back up and respawns its boot programs.
+  void restart_machine(MachineId id);
+  /// Registers a program respawned whenever machine `m` restarts (the
+  /// session layer registers the meterdaemon here).
+  void add_boot_program(MachineId m, std::function<void(World&)> fn);
+  /// Abruptly closes every stream connection spanning machines a and b
+  /// (both endpoints; readers see EOF, meter conns degrade at next flush).
+  /// Returns the number of connections reset.
+  std::size_t reset_streams_between(MachineId a, MachineId b);
+
   // ---- sockets (kernel-internal; syscalls go through Sys) ----
   SocketId create_socket(MachineId m, SockDomain domain, SockType type);
   Socket* find_socket(SocketId id);
@@ -122,7 +172,11 @@ class World {
 
   /// Kernel-side non-blocking stream send (meter flush path): enqueues the
   /// bytes toward the peer regardless of window, no meter hooks.
-  void kernel_stream_send(SocketId from, util::Bytes data);
+  /// `meter_msgs` is the record count of a meter batch — records that
+  /// cannot be delivered (dead socket at send or at delivery time) are
+  /// then booked as kernel.meter_lost_records, keeping conservation exact.
+  void kernel_stream_send(SocketId from, util::Bytes data,
+                          std::uint32_t meter_msgs = 0);
 
   /// Closes one endpoint: marks closed, tells the peer (EOF after data).
   void close_stream(Socket& s);
@@ -169,6 +223,9 @@ class World {
 
   // ---- experiment hooks ----
   MeterStats meter_stats() const;
+  /// The record-conservation ledger (walks live meter sockets and process
+  /// pending buffers for the in-flight terms).
+  MeterConservation meter_conservation() const;
 
   /// Called by the exit path; the harness may watch process completion.
   using ExitListener = std::function<void(MachineId, Pid, int status, bool killed)>;
@@ -186,6 +243,10 @@ class World {
   void push_child_change(Machine& m, Pid parent, ChildChange change);
   void destroy_socket(SocketId id);
   void release_descriptor(Descriptor& d);
+
+  /// Advances a meter conn's frame cursor over `n` bytes the reader just
+  /// consumed; counts kernel.meter_records_consumed at frame boundaries.
+  void meter_consume(Socket& s, const std::uint8_t* data, std::size_t n);
 
   /// Delivery of one stream chunk into `to` (fabric callback). `accounted`
   /// marks chunks counted against the receive window by the sender.
@@ -217,12 +278,21 @@ class World {
     obs::Counter* dropped_batches = nullptr;
     obs::Counter* dropped_bytes = nullptr;
     obs::Counter* malformed_records = nullptr;
+    // Record-granular conservation buckets (MeterConservation).
+    obs::Counter* consumed_records = nullptr;
+    obs::Counter* dropped_records = nullptr;
+    obs::Counter* lost_records = nullptr;
+    obs::Counter* stranded_records = nullptr;
     obs::Gauge* pending_bytes = nullptr;   // sum of per-process batches
     obs::Gauge* rbuf_bytes = nullptr;      // sum of socket receive buffers
     obs::Histogram* batch_bytes = nullptr; // per delivered flush
     obs::Histogram* batch_msgs = nullptr;
   };
   MeterObs mobs_;
+
+  obs::Gauge* machines_down_ = nullptr;
+  std::vector<std::pair<MachineId, std::function<void(World&)>>> boot_programs_;
+  std::unique_ptr<net::FaultInjector> injector_;
 
   std::uint64_t obs_timer_gen_ = 0;  // bumping it cancels the pending tick
 };

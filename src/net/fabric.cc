@@ -1,8 +1,31 @@
 #include "net/fabric.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace dpm::net {
+namespace {
+
+std::pair<MachineId, MachineId> norm_pair(MachineId a, MachineId b) {
+  return a < b ? std::pair{a, b} : std::pair{b, a};
+}
+
+}  // namespace
+
+/// Active fault windows. Expired entries are pruned lazily on lookup.
+struct Fabric::FaultState {
+  struct Burst {
+    double loss = 0;
+    util::TimePoint until{};
+  };
+  struct Spike {
+    util::Duration extra{};
+    util::TimePoint until{};
+  };
+  std::map<NetworkId, Burst> bursts;
+  std::map<NetworkId, Spike> spikes;
+  std::map<std::pair<MachineId, MachineId>, util::TimePoint> partitions;
+};
 
 Fabric::Fabric(sim::Executive& exec, std::uint64_t seed, obs::Registry* obs)
     : exec_(exec), rng_(seed) {
@@ -15,20 +38,24 @@ Fabric::Fabric(sim::Executive& exec, std::uint64_t seed, obs::Registry* obs)
   packets_sent_ = &obs_->counter("net.packets_sent");
   packets_dropped_ = &obs_->counter("net.packets_dropped");
   bytes_sent_ = &obs_->counter("net.bytes_sent");
+  bytes_dropped_ = &obs_->counter("net.bytes_dropped");
   in_flight_ = &obs_->gauge("net.in_flight");
   delivery_us_ = &obs_->histogram("net.delivery_us");
 }
 
+Fabric::~Fabric() = default;
+
 FabricStats Fabric::raw_stats() const {
   return FabricStats{packets_sent_->value(), packets_dropped_->value(),
-                     bytes_sent_->value()};
+                     bytes_sent_->value(), bytes_dropped_->value()};
 }
 
 FabricStats Fabric::stats() const {
   const FabricStats raw = raw_stats();
   return FabricStats{raw.packets_sent - base_.packets_sent,
                      raw.packets_dropped - base_.packets_dropped,
-                     raw.bytes_sent - base_.bytes_sent};
+                     raw.bytes_sent - base_.bytes_sent,
+                     raw.bytes_dropped - base_.bytes_dropped};
 }
 
 void Fabric::configure_network(NetworkId net, NetworkConfig cfg) {
@@ -40,20 +67,67 @@ const NetworkConfig& Fabric::config_for(NetworkId net) const {
   return it == nets_.end() ? default_net_ : it->second;
 }
 
-void Fabric::send(NetworkId net, bool local, std::uint64_t channel,
-                  bool droppable, std::size_t size_bytes,
-                  std::function<void()> deliver) {
+Fabric::FaultState& Fabric::faults() {
+  if (!faults_) faults_ = std::make_unique<FaultState>();
+  return *faults_;
+}
+
+void Fabric::fault_drop_burst(NetworkId net, double loss,
+                              util::TimePoint until) {
+  faults().bursts[net] = FaultState::Burst{loss, until};
+}
+
+void Fabric::fault_latency_spike(NetworkId net, util::Duration extra,
+                                 util::TimePoint until) {
+  faults().spikes[net] = FaultState::Spike{extra, until};
+}
+
+void Fabric::fault_partition(MachineId a, MachineId b,
+                             util::TimePoint heal_at) {
+  auto& heal = faults().partitions[norm_pair(a, b)];
+  if (heal_at > heal) heal = heal_at;
+}
+
+bool Fabric::partitioned(MachineId a, MachineId b) const {
+  if (!faults_ || a == b) return false;
+  auto it = faults_->partitions.find(norm_pair(a, b));
+  return it != faults_->partitions.end() && exec_.now() < it->second;
+}
+
+void Fabric::send(NetworkId net, MachineId src, MachineId dst,
+                  std::uint64_t channel, bool droppable,
+                  std::size_t size_bytes, std::function<void()> deliver) {
   packets_sent_->add(1);
-  bytes_sent_->add(size_bytes);
+  const bool local = src == dst;
 
   util::Duration delay;
+  util::TimePoint floor{};  // partition heal time holds reliable traffic back
   if (local) {
     delay = local_.base_latency +
             util::usec(local_.per_kb.count() * static_cast<std::int64_t>(size_bytes) / 1024);
   } else {
     const NetworkConfig& cfg = config_for(net);
-    if (droppable && rng_.bernoulli(cfg.dgram_loss)) {
+    double loss = cfg.dgram_loss;
+    if (faults_) {
+      auto pit = faults_->partitions.find(norm_pair(src, dst));
+      if (pit != faults_->partitions.end()) {
+        if (exec_.now() < pit->second) {
+          if (droppable) loss = 1.0;
+          else floor = pit->second;
+        } else {
+          faults_->partitions.erase(pit);  // healed; prune
+        }
+      }
+      if (droppable) {
+        auto bit = faults_->bursts.find(net);
+        if (bit != faults_->bursts.end() && exec_.now() < bit->second.until) {
+          loss = std::max(loss, bit->second.loss);
+        }
+      }
+    }
+    if (droppable && rng_.bernoulli(loss)) {
       packets_dropped_->add(1);
+      bytes_dropped_->add(size_bytes);
       return;
     }
     delay = cfg.base_latency +
@@ -61,9 +135,17 @@ void Fabric::send(NetworkId net, bool local, std::uint64_t channel,
     if (cfg.jitter_max.count() > 0) {
       delay += util::usec(rng_.uniform(0, cfg.jitter_max.count() - 1));
     }
+    if (faults_) {
+      auto sit = faults_->spikes.find(net);
+      if (sit != faults_->spikes.end() && exec_.now() < sit->second.until) {
+        delay += sit->second.extra;
+      }
+    }
   }
+  bytes_sent_->add(size_bytes);
 
   util::TimePoint arrive = exec_.now() + delay;
+  if (arrive < floor + delay) arrive = floor + delay;  // resume after heal
   if (channel != 0) {
     // In-order channels never deliver before an earlier packet on the same
     // channel: push the arrival time past the channel horizon.

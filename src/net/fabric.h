@@ -37,11 +37,14 @@ struct LocalConfig {
 
 /// Statistics the fabric keeps for experiments (E5). This is a *view*
 /// computed from registry counters (net.packets_sent, net.packets_dropped,
-/// net.bytes_sent) — the registry is the one accounting path.
+/// net.bytes_sent, net.bytes_dropped) — the registry is the one
+/// accounting path. Dropped packets count under bytes_dropped, never
+/// bytes_sent.
 struct FabricStats {
   std::uint64_t packets_sent = 0;
   std::uint64_t packets_dropped = 0;
   std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_dropped = 0;
 };
 
 class Fabric {
@@ -51,6 +54,7 @@ class Fabric {
   /// accounting path is identical either way.
   explicit Fabric(sim::Executive& exec, std::uint64_t seed,
                   obs::Registry* obs = nullptr);
+  ~Fabric();
 
   /// Configures a network; unknown networks use the default config.
   void configure_network(NetworkId net, NetworkConfig cfg);
@@ -60,9 +64,25 @@ class Fabric {
   /// `channel` != 0 requests in-order delivery relative to other packets on
   /// the same channel (streams). `droppable` packets are subject to the
   /// network's datagram loss (dropped packets never deliver).
-  /// `local` hops (same machine) use the local config: no loss, low delay.
-  void send(NetworkId net, bool local, std::uint64_t channel, bool droppable,
-            std::size_t size_bytes, std::function<void()> deliver);
+  /// `src == dst` is a same-machine hop: local config, no loss, low delay.
+  void send(NetworkId net, MachineId src, MachineId dst, std::uint64_t channel,
+            bool droppable, std::size_t size_bytes,
+            std::function<void()> deliver);
+
+  // ---- fault injection (driven by net::FaultInjector) ---------------------
+  // Fault state lives behind one null-until-first-injection pointer, so the
+  // no-fault hot path pays a single branch.
+  /// Drops droppable packets on `net` with probability >= `loss` until `until`.
+  void fault_drop_burst(NetworkId net, double loss, util::TimePoint until);
+  /// Adds `extra` latency to every remote delivery on `net` until `until`.
+  void fault_latency_spike(NetworkId net, util::Duration extra,
+                           util::TimePoint until);
+  /// Partitions machines a<->b until `heal_at`: droppable packets between
+  /// them are lost; reliable traffic is held back until the heal time (the
+  /// stream protocol's retransmits are below the abstraction).
+  void fault_partition(MachineId a, MachineId b, util::TimePoint heal_at);
+  /// True while an un-healed partition separates a and b.
+  bool partitioned(MachineId a, MachineId b) const;
 
   /// Allocates a fresh ordered-channel id.
   std::uint64_t new_channel() { return next_channel_++; }
@@ -76,8 +96,11 @@ class Fabric {
   obs::Registry& obs() { return *obs_; }
 
  private:
+  struct FaultState;
+
   const NetworkConfig& config_for(NetworkId net) const;
   FabricStats raw_stats() const;
+  FaultState& faults();
 
   sim::Executive& exec_;
   util::Rng rng_;
@@ -92,9 +115,11 @@ class Fabric {
   obs::Counter* packets_sent_ = nullptr;
   obs::Counter* packets_dropped_ = nullptr;
   obs::Counter* bytes_sent_ = nullptr;
+  obs::Counter* bytes_dropped_ = nullptr;
   obs::Gauge* in_flight_ = nullptr;
   obs::Histogram* delivery_us_ = nullptr;
   FabricStats base_;  // reset_stats() baseline
+  std::unique_ptr<FaultState> faults_;  // null until the first injection
 };
 
 }  // namespace dpm::net

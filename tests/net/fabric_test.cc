@@ -17,7 +17,7 @@ TEST(Fabric, DeliversAfterLatency) {
   fabric.configure_network(0, cfg);
 
   std::int64_t arrived_at = -1;
-  fabric.send(0, false, 0, false, 100,
+  fabric.send(0, 1, 2,0, false, 100,
               [&] { arrived_at = util::count_us(exec.now()); });
   exec.run();
   EXPECT_EQ(arrived_at, 500);
@@ -32,7 +32,7 @@ TEST(Fabric, SizeProportionalDelay) {
   cfg.per_kb = util::usec(1000);
   fabric.configure_network(0, cfg);
   std::int64_t arrived_at = -1;
-  fabric.send(0, false, 0, false, 4096,
+  fabric.send(0, 1, 2,0, false, 4096,
               [&] { arrived_at = util::count_us(exec.now()); });
   exec.run();
   EXPECT_EQ(arrived_at, 4000);
@@ -49,7 +49,7 @@ TEST(Fabric, OrderedChannelNeverReorders) {
   const std::uint64_t chan = fabric.new_channel();
   std::vector<int> order;
   for (int i = 0; i < 50; ++i) {
-    fabric.send(0, false, chan, false, 10, [&order, i] { order.push_back(i); });
+    fabric.send(0, 1, 2,chan, false, 10, [&order, i] { order.push_back(i); });
   }
   exec.run();
   ASSERT_EQ(order.size(), 50u);
@@ -67,7 +67,7 @@ TEST(Fabric, UnorderedPacketsCanReorder) {
   std::vector<int> order;
   for (int i = 0; i < 100; ++i) {
     // Fresh channel 0 = unordered.
-    fabric.send(0, false, 0, false, 10, [&order, i] { order.push_back(i); });
+    fabric.send(0, 1, 2,0, false, 10, [&order, i] { order.push_back(i); });
   }
   exec.run();
   ASSERT_EQ(order.size(), 100u);
@@ -87,7 +87,7 @@ TEST(Fabric, DroppablePacketsAreLostAtConfiguredRate) {
 
   int delivered = 0;
   for (int i = 0; i < 1000; ++i) {
-    fabric.send(0, false, 0, /*droppable=*/true, 10, [&] { ++delivered; });
+    fabric.send(0, 1, 2,0, /*droppable=*/true, 10, [&] { ++delivered; });
   }
   exec.run();
   EXPECT_GT(delivered, 600);
@@ -105,7 +105,7 @@ TEST(Fabric, LocalHopsNeverDropAndAreFast) {
 
   int delivered = 0;
   for (int i = 0; i < 100; ++i) {
-    fabric.send(0, /*local=*/true, 0, /*droppable=*/true, 10,
+    fabric.send(0, /*src=*/1, /*dst=*/1,0, /*droppable=*/true, 10,
                 [&] { ++delivered; });
   }
   exec.run();
@@ -120,7 +120,7 @@ TEST(Fabric, NonDroppableIgnoresLoss) {
   cfg.dgram_loss = 1.0;
   fabric.configure_network(0, cfg);
   int delivered = 0;
-  fabric.send(0, false, 0, /*droppable=*/false, 10, [&] { ++delivered; });
+  fabric.send(0, 1, 2,0, /*droppable=*/false, 10, [&] { ++delivered; });
   exec.run();
   EXPECT_EQ(delivered, 1);  // stream traffic is reliable by contract
 }
@@ -128,8 +128,8 @@ TEST(Fabric, NonDroppableIgnoresLoss) {
 TEST(Fabric, StatsAccumulate) {
   sim::Executive exec;
   Fabric fabric(exec, 1);
-  fabric.send(0, true, 0, false, 100, [] {});
-  fabric.send(0, true, 0, false, 200, [] {});
+  fabric.send(0, 1, 1,0, false, 100, [] {});
+  fabric.send(0, 1, 1,0, false, 200, [] {});
   exec.run();
   EXPECT_EQ(fabric.stats().packets_sent, 2u);
   EXPECT_EQ(fabric.stats().bytes_sent, 300u);

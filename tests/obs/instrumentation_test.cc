@@ -133,7 +133,7 @@ TEST(FabricInstrumentation, DeliveryCountersMatchHandComputedValues) {
 
   int delivered = 0;
   for (std::size_t size : {100u, 200u, 300u}) {
-    fabric.send(0, false, 0, false, size, [&] { ++delivered; });
+    fabric.send(0, 1, 2, 0, false, size, [&] { ++delivered; });
   }
   // All three are in flight before the executive runs.
   EXPECT_EQ(reg.gauge("net.in_flight").value(), 3);
@@ -152,14 +152,18 @@ TEST(FabricInstrumentation, DeliveryCountersMatchHandComputedValues) {
   EXPECT_EQ(h.min(), 500);
   EXPECT_EQ(h.max(), 500);
 
-  // A guaranteed datagram drop: sent and dropped count, nothing flies.
+  // A guaranteed datagram drop: the attempt and the dropped bytes count,
+  // but nothing flies and bytes_sent is not charged (regression: drops
+  // used to inflate net.bytes_sent).
   cfg.dgram_loss = 1.0;
   fabric.configure_network(0, cfg);
-  fabric.send(0, false, 0, true, 50, [&] { ++delivered; });
+  fabric.send(0, 1, 2, 0, true, 50, [&] { ++delivered; });
   exec.run();
   EXPECT_EQ(delivered, 3);
   EXPECT_EQ(reg.counter("net.packets_sent").value(), 4u);
   EXPECT_EQ(reg.counter("net.packets_dropped").value(), 1u);
+  EXPECT_EQ(reg.counter("net.bytes_sent").value(), 600u);
+  EXPECT_EQ(reg.counter("net.bytes_dropped").value(), 50u);
   EXPECT_EQ(reg.histogram("net.delivery_us").count(), 3u);
 }
 

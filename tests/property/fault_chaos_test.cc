@@ -1,0 +1,145 @@
+// Fault chaos: full monitoring sessions under randomized FaultPlans —
+// loss bursts, latency spikes, partitions, stream resets, machine
+// crash/restart pairs — must still terminate, keep the controller
+// coherent, conserve every meter record exactly, and leave a surviving
+// trace whose streaming analysis agrees with batch.
+#include <gtest/gtest.h>
+
+#include "analysis/live/aggregator.h"
+#include "analysis/ordering.h"
+#include "analysis/trace_reader.h"
+#include "apps/apps.h"
+#include "control/session.h"
+#include "net/faults.h"
+#include "obs/snapshot.h"
+#include "testing.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace dpm {
+namespace {
+
+class FaultChaosTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// The three fixed seeds scripts/check_chaos.sh replays under sanitizers,
+// plus two more for the regular suite.
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultChaosTest,
+                         ::testing::Values(11, 74, 1903, 29041, 57005));
+
+TEST_P(FaultChaosTest, SessionSurvivesRandomFaultPlan) {
+  const std::uint64_t seed = GetParam();
+  util::Rng rng(seed);
+  kernel::World world(dpm::testing::quick_config(seed));
+  auto machines = dpm::testing::add_machines(world, {"hub", "a", "b", "c"});
+  control::install_monitor(world);
+  apps::install_everywhere(world);
+  control::spawn_meterdaemons(world);
+  control::MonitorSession session(
+      world, control::MonitorSession::Options{.host = "hub", .uid = 100});
+  world.run();
+  (void)session.drain_output();
+
+  (void)session.command("filter f1 hub");
+  (void)session.command("newjob storm");
+
+  // Random workload mix across the three non-hub machines.
+  const int npairs = static_cast<int>(rng.uniform(2, 4));
+  const char* hosts[] = {"a", "b", "c"};
+  for (int i = 0; i < npairs; ++i) {
+    const int port = 5800 + i;
+    const char* srv = hosts[rng.uniform(0, 2)];
+    const char* cli = hosts[rng.uniform(0, 2)];
+    const auto rounds = rng.uniform(5, 40);
+    if (rng.bernoulli(0.5)) {
+      (void)session.command(util::strprintf(
+          "addprocess storm %s pingpong_server %d %lld", srv, port,
+          static_cast<long long>(rounds)));
+      (void)session.command(util::strprintf(
+          "addprocess storm %s pingpong_client %s %d %lld 48", cli, srv, port,
+          static_cast<long long>(rounds)));
+    } else {
+      (void)session.command(util::strprintf(
+          "addprocess storm %s dgram_sink %d 50", srv, port));
+      (void)session.command(util::strprintf(
+          "addprocess storm %s dgram_sender %s %d %lld 48", cli, srv, port,
+          static_cast<long long>(rounds)));
+    }
+  }
+  (void)session.command("setflags storm all");
+
+  // Arm a reproducible random fault plan over the whole fleet (random()
+  // never crashes the hub and pairs every crash with a restart), then let
+  // the job run through it.
+  const net::FaultPlan plan =
+      net::FaultPlan::random(seed, {"hub", "a", "b", "c"}, util::msec(150));
+  ASSERT_FALSE(plan.empty());
+  world.install_faults(plan);
+  session.send_line("startjob storm");
+
+  // Termination: the world quiesces even with faults firing mid-flight.
+  world.run_for(util::msec(80));
+  const std::string mid_snapshot = world.obs_snapshot();
+  world.run();
+  (void)session.drain_output();
+
+  // The controller survived and answers commands; reconcile clears any
+  // machine marked down whose daemon (respawned by the restart boot
+  // program) answers again.
+  ASSERT_TRUE(session.controller_alive());
+  (void)session.command("reconcile");
+  std::string out = session.command("jobs storm");
+  EXPECT_NE(out.find("job 'storm'"), std::string::npos) << out;
+
+  // Exact record conservation at quiescence: every emitted record is
+  // consumed, dropped, lost, stranded, malformed, pending, or buffered.
+  const kernel::MeterConservation cons = world.meter_conservation();
+  EXPECT_TRUE(cons.balanced())
+      << "emitted=" << cons.emitted << " accounted=" << cons.accounted()
+      << " consumed=" << cons.consumed << " dropped=" << cons.dropped
+      << " lost=" << cons.lost << " stranded=" << cons.stranded
+      << " malformed=" << cons.malformed << " pending=" << cons.pending
+      << " buffered=" << cons.buffered;
+
+  // Whatever trace survived is parseable, and streaming analysis agrees
+  // with batch on it event for event.
+  (void)session.command("getlog f1 t");
+  auto text = world.machine(machines[0]).fs.read_text("t");
+  ASSERT_TRUE(text.has_value());
+  analysis::Trace trace = analysis::read_trace(*text);
+  EXPECT_EQ(trace.malformed, 0u);
+  analysis::Ordering ord = analysis::order_events(trace);
+
+  analysis::live::LiveAnalysis live;
+  for (const analysis::Event& e : trace.events) live.add_event(e);
+  ASSERT_EQ(live.events(), trace.events.size());
+  const auto st = live.stats();
+  EXPECT_EQ(st.message_pairs, ord.message_pairs);
+  EXPECT_EQ(st.had_cycle, ord.had_cycle);
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    ASSERT_EQ(live.lamport_of(i), ord.events[i].lamport) << "at " << i;
+  }
+
+  // Counters are monotone across the fault storm: nothing a fault does
+  // may make an accumulated count go backwards.
+  std::string err;
+  auto mid = obs::parse_snapshot(mid_snapshot, &err);
+  ASSERT_TRUE(mid.has_value()) << err;
+  auto end = obs::parse_snapshot(world.obs_snapshot(), &err);
+  ASSERT_TRUE(end.has_value()) << err;
+  for (const auto& [name, value] : mid->counters) {
+    auto it = end->counters.find(name);
+    ASSERT_NE(it, end->counters.end()) << name;
+    EXPECT_GE(it->second, value) << name;
+  }
+
+  // Cleanup still works.
+  (void)session.command("stopjob storm");
+  (void)session.command("removejob storm");
+  (void)session.command("die");
+  (void)session.command("die");
+  world.run();
+  EXPECT_FALSE(session.controller_alive());
+}
+
+}  // namespace
+}  // namespace dpm
