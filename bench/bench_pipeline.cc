@@ -10,15 +10,21 @@
 //   * filter ingestion: FilterEngine matching on wire views and decoding
 //     only accepted records (EvalPath::view) versus decoding every record
 //     first (EvalPath::owned);
-//   * end-to-end: a metered World workload (send/recv-heavy,
-//     accept/connect-heavy, mixed) whose meter batches are drained by a
-//     sink process into a FilterEngine, timed in real seconds.
+//   * filter dispatch: the compiled clause-plan walker versus the flat
+//     filter bytecode (MatchEngine::compiled vs ::bytecode), same rules,
+//     same wire views;
+//   * end-to-end: each workload (send/recv-heavy, accept/connect-heavy,
+//     mixed) replayed through kernel::meter_emit in a live World, carried
+//     by batched socket sends + compiled matching versus the shared meter
+//     ring + bytecode, timed in real seconds with the produced logs
+//     byte-compared across the two transports.
 //
-// Every run writes BENCH_pipeline.json (events/sec and bytes/sec for old
-// vs zero-copy on the mixed workload, plus the equivalence verdict).
+// Every run writes BENCH_pipeline.json (the mixed-workload encode/filter
+// rates, the per-workload e2e comparison, and the equivalence verdicts).
 // `bench_pipeline --smoke` checks that the owned-Record and RecordView
 // paths produce byte-identical selected log output (whole-batch and
-// chunked feeds) and identical stats, validates the JSON, and exits; it is
+// chunked feeds) and identical stats, that every workload's batch and
+// ring logs byte-compare equal, validates the JSON, and exits; it is
 // registered under ctest and also run under the sanitizer configuration.
 #include "bench_util.h"
 
@@ -30,6 +36,7 @@
 
 #include "filter/filter_program.h"
 #include "filter/trace.h"
+#include "kernel/meter_hooks.h"
 #include "meter/metermsgs.h"
 #include "obs/snapshot.h"
 #include "util/strings.h"
@@ -171,68 +178,155 @@ BENCHMARK(BM_Filter_View_AcceptConnect);
 BENCHMARK(BM_Filter_Owned_Mixed);
 BENCHMARK(BM_Filter_View_Mixed);
 
-// ---- end to end: meter_emit → flush → filter → log ------------------------
+// ---- filter dispatch: compiled plan walker vs flat bytecode ---------------
 
-/// Drives a metered socketpair workload in a World; a sink process drains
-/// the meter connection into a FilterEngine whose trace lines form the
-/// log. Reports real-time events/sec through the whole pipeline.
-void run_end_to_end(benchmark::State& state, filter::EvalPath path) {
+void run_match(benchmark::State& state, Workload w, filter::MatchEngine m) {
+  const util::Bytes batch = make_batch(w, kEvents);
+  auto engine = make_engine(filter::EvalPath::view, kRules, m);
+  std::uint64_t records = 0, conn = 0;
+  for (auto _ : state) {
+    std::string log = engine.feed(++conn, batch);
+    benchmark::DoNotOptimize(log);
+    records += kEvents;
+  }
+  state.counters["records_per_s"] = benchmark::Counter(
+      static_cast<double>(records), benchmark::Counter::kIsRate);
+}
+
+void BM_Match_Compiled_Mixed(benchmark::State& state) {
+  run_match(state, Workload::mixed, filter::MatchEngine::compiled);
+}
+void BM_Match_Bytecode_Mixed(benchmark::State& state) {
+  run_match(state, Workload::mixed, filter::MatchEngine::bytecode);
+}
+
+BENCHMARK(BM_Match_Compiled_Mixed);
+BENCHMARK(BM_Match_Bytecode_Mixed);
+
+// ---- end to end: meter_emit → transport → filter → log --------------------
+
+/// One full pipeline pass: an app process replays a workload's event
+/// bodies through kernel::meter_emit (yielding periodically so the
+/// consumer keeps up), the configured transport carries them — batched
+/// stream sends when ring_bytes == 0, the shared SPSC ring otherwise —
+/// and a sink process drains its meter connection into a FilterEngine.
+/// Metering CPU costs are zeroed so emission instants (and therefore the
+/// record headers) are identical across transports: the produced logs
+/// must byte-compare equal, which the caller checks.
+struct E2EPass {
+  std::string log;
+  std::uint64_t events = 0;
+  double seconds = 0;
+  std::uint64_t ring_wakeups = 0;
+  std::uint64_t ring_overflow_drops = 0;
+  std::uint64_t bytecode_ops = 0;
+};
+
+E2EPass run_e2e_pass(Workload w, int events, std::size_t ring_bytes,
+                     filter::MatchEngine match) {
+  kernel::WorldConfig cfg;
+  // meter_buffer_msgs stays at the shipped default: that is the batching
+  // the legacy transport actually runs with (the ring transport ignores
+  // it — records encode straight into the ring).
+  cfg.meter_ring_bytes = ring_bytes;
+  cfg.meter_ring_wakeup_bytes = 8 * 1024;
+  cfg.costs.meter_event = util::usec(0);
+  cfg.costs.meter_flush_base = util::usec(0);
+  cfg.costs.meter_flush_per_kb = util::usec(0);
+  auto world = make_world(2, cfg);
+
+  auto engine = make_engine(filter::EvalPath::view, kRules, match);
+  E2EPass pass;
+  (void)world->spawn(2, "sink", 100, [&](kernel::Sys& sys) {
+    auto ls = sys.socket(kernel::SockDomain::internet,
+                         kernel::SockType::stream);
+    (void)sys.bind_port(*ls, 4500);
+    (void)sys.listen(*ls, 4);
+    auto conn = sys.accept(*ls);
+    for (;;) {
+      auto data = sys.recv(*conn, 65536);
+      if (!data.ok() || data->empty()) break;
+      engine.feed(1, *data, pass.log);
+    }
+    engine.end_connection(1);
+  });
+
+  // Mutable: each body is emitted exactly once, so the replay loop moves
+  // it into the draft instead of copying — the app process hands the
+  // kernel its event body, it does not keep one.
+  auto msgs = make_messages(w, events);
+  (void)world->spawn(1, "app", 100, [&](kernel::Sys& sys) {
+    sys.sleep(util::msec(5));
+    auto addr = sys.resolve("m1", 4500);
+    auto ms = sys.socket(kernel::SockDomain::internet,
+                         kernel::SockType::stream);
+    (void)sys.connect(*ms, *addr);
+    (void)sys.setmeter(meter::SETMETER_SELF,
+                       static_cast<std::int32_t>(meter::M_ALL), *ms);
+    (void)sys.close(*ms);
+    kernel::Process* self = sys.world().find_process(1, sys.getpid());
+    for (std::size_t i = 0; i < msgs.size(); ++i) {
+      kernel::meter_emit(
+          sys.world(), *self,
+          kernel::MeterEventDraft{meter::M_ALL,
+                                  meter::MeterBody(std::move(msgs[i].body))});
+      // Yield every 256 events: the consumer drains, the ring never
+      // overflows, and the legacy stream window never fills.
+      if (i % 256 == 255) sys.sleep(util::usec(500));
+    }
+  });
+
+  const auto start = std::chrono::steady_clock::now();
+  world->run();
+  pass.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  benchmark::DoNotOptimize(pass.log);
+  pass.events = world->meter_stats().events;
+  pass.ring_wakeups = world->obs().counter("ring.wakeups").value();
+  pass.ring_overflow_drops =
+      world->obs().counter("ring.overflow_drops").value();
+  pass.bytecode_ops = engine.obs().counter("filter.bytecode_ops").value();
+  return pass;
+}
+
+void run_e2e_bm(benchmark::State& state, Workload w, std::size_t ring_bytes,
+                filter::MatchEngine match) {
   std::uint64_t events = 0;
   for (auto _ : state) {
-    kernel::WorldConfig cfg;
-    cfg.meter_buffer_msgs = 16;
-    auto world = make_world(2, cfg);
-
-    auto engine = make_engine(path);
-    std::string log;
-    (void)world->spawn(2, "sink", 100, [&](kernel::Sys& sys) {
-      auto ls = sys.socket(kernel::SockDomain::internet,
-                           kernel::SockType::stream);
-      (void)sys.bind_port(*ls, 4500);
-      (void)sys.listen(*ls, 4);
-      auto conn = sys.accept(*ls);
-      for (;;) {
-        auto data = sys.recv(*conn, 65536);
-        if (!data.ok() || data->empty()) break;
-        engine.feed(1, *data, log);
-      }
-      engine.end_connection(1);
-    });
-
-    (void)world->spawn(1, "app", 100, [&](kernel::Sys& sys) {
-      sys.sleep(util::msec(5));
-      auto addr = sys.resolve("m1", 4500);
-      auto ms = sys.socket(kernel::SockDomain::internet,
-                           kernel::SockType::stream);
-      (void)sys.connect(*ms, *addr);
-      (void)sys.setmeter(meter::SETMETER_SELF,
-                         static_cast<std::int32_t>(meter::M_ALL), *ms);
-      (void)sys.close(*ms);
-      auto pair = sys.socketpair();
-      for (int i = 0; i < 200; ++i) {
-        (void)sys.send(pair->first, "0123456789abcdef");
-        if (i % 8 == 0) (void)sys.recv(pair->second, 64);
-      }
-    });
-    world->run();
-    benchmark::DoNotOptimize(log);
-    events += world->meter_stats().events;
+    const E2EPass pass = run_e2e_pass(w, 4000, ring_bytes, match);
+    events += pass.events;
   }
   state.counters["events_per_s"] = benchmark::Counter(
       static_cast<double>(events), benchmark::Counter::kIsRate);
 }
 
-void BM_EndToEnd_Owned(benchmark::State& state) {
-  run_end_to_end(state, filter::EvalPath::owned);
+void BM_EndToEnd_BatchCompiled_Mixed(benchmark::State& state) {
+  run_e2e_bm(state, Workload::mixed, 0, filter::MatchEngine::compiled);
 }
-void BM_EndToEnd_View(benchmark::State& state) {
-  run_end_to_end(state, filter::EvalPath::view);
+void BM_EndToEnd_RingBytecode_Mixed(benchmark::State& state) {
+  run_e2e_bm(state, Workload::mixed, 256 * 1024,
+             filter::MatchEngine::bytecode);
 }
 
-BENCHMARK(BM_EndToEnd_Owned)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_EndToEnd_View)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EndToEnd_BatchCompiled_Mixed)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EndToEnd_RingBytecode_Mixed)->Unit(benchmark::kMillisecond);
 
 // ---- BENCH_pipeline.json --------------------------------------------------
+
+/// One workload's end-to-end comparison: batched socket sends + compiled
+/// template matching (the pre-PR configuration) versus the shared ring +
+/// flat bytecode (the fast path), same event bodies, logs byte-compared.
+struct E2EResult {
+  Workload workload = Workload::mixed;
+  double batch_compiled_eps = 0;   // events/sec through the whole pipeline
+  double ring_bytecode_eps = 0;
+  double speedup = 0;
+  bool logs_identical = false;
+  std::uint64_t ring_wakeups = 0;          // from the ring pass
+  std::uint64_t ring_overflow_drops = 0;
+  std::uint64_t bytecode_ops = 0;
+};
 
 struct PipelineBenchResult {
   double encode_owned_eps = 0;       // events/sec, serialize+copy
@@ -243,10 +337,52 @@ struct PipelineBenchResult {
   double filter_owned_rps = 0;       // records/sec, decode-first
   double filter_view_rps = 0;        // records/sec, wire views
   double filter_speedup = 0;
+  double filter_compiled_rps = 0;    // records/sec, compiled plan walker
+  double filter_bytecode_rps = 0;    // records/sec, flat bytecode
+  double match_speedup = 0;
+  std::vector<E2EResult> e2e;        // one entry per workload
   bool output_identical = false;
   int events = 0;
   std::string obs_snapshot_jsonl;  // view engine's registry after the runs
 };
+
+/// Measures one workload end-to-end under both configurations. The rate is
+/// the best over `reps` full passes (fresh World each pass, wall-clock
+/// around World::run only); the logs from the first pass of each side are
+/// byte-compared — the equivalence verdict the JSON carries.
+E2EResult run_e2e(Workload w, int events, int reps) {
+  E2EResult r;
+  r.workload = w;
+  std::string batch_log, ring_log;
+  for (int i = 0; i < reps; ++i) {
+    const E2EPass pass =
+        run_e2e_pass(w, events, 0, filter::MatchEngine::compiled);
+    if (i == 0) batch_log = pass.log;
+    const double eps = pass.seconds > 0
+                           ? static_cast<double>(pass.events) / pass.seconds
+                           : 0;
+    if (eps > r.batch_compiled_eps) r.batch_compiled_eps = eps;
+  }
+  for (int i = 0; i < reps; ++i) {
+    const E2EPass pass =
+        run_e2e_pass(w, events, 256 * 1024, filter::MatchEngine::bytecode);
+    if (i == 0) {
+      ring_log = pass.log;
+      r.ring_wakeups = pass.ring_wakeups;
+      r.ring_overflow_drops = pass.ring_overflow_drops;
+      r.bytecode_ops = pass.bytecode_ops;
+    }
+    const double eps = pass.seconds > 0
+                           ? static_cast<double>(pass.events) / pass.seconds
+                           : 0;
+    if (eps > r.ring_bytecode_eps) r.ring_bytecode_eps = eps;
+  }
+  r.speedup = r.batch_compiled_eps > 0
+                  ? r.ring_bytecode_eps / r.batch_compiled_eps
+                  : 0;
+  r.logs_identical = !batch_log.empty() && batch_log == ring_log;
+  return r;
+}
 
 /// Byte-identical selected output, whole-batch and chunked (chunk
 /// boundaries landing mid-record exercise the partial buffer), plus
@@ -275,7 +411,8 @@ bool outputs_identical(const util::Bytes& batch) {
 }
 
 PipelineBenchResult run_pipeline_bench(int events, double min_seconds,
-                                       int reps) {
+                                       int reps, int e2e_events,
+                                       int e2e_reps) {
   PipelineBenchResult r;
   r.events = events;
 
@@ -341,6 +478,38 @@ PipelineBenchResult run_pipeline_bench(int events, double min_seconds,
   }
   r.filter_speedup =
       r.filter_owned_rps > 0 ? r.filter_view_rps / r.filter_owned_rps : 0;
+
+  {
+    auto engine = make_engine(filter::EvalPath::view, kRules,
+                              filter::MatchEngine::compiled);
+    std::uint64_t conn = 0;
+    r.filter_compiled_rps = best_rate(
+        reps, per_pass,
+        [&] {
+          std::string log = engine.feed(++conn, batch);
+          benchmark::DoNotOptimize(log);
+        },
+        min_seconds);
+  }
+  {
+    auto engine = make_engine(filter::EvalPath::view, kRules,
+                              filter::MatchEngine::bytecode);
+    std::uint64_t conn = 0;
+    r.filter_bytecode_rps = best_rate(
+        reps, per_pass,
+        [&] {
+          std::string log = engine.feed(++conn, batch);
+          benchmark::DoNotOptimize(log);
+        },
+        min_seconds);
+  }
+  r.match_speedup = r.filter_compiled_rps > 0
+                        ? r.filter_bytecode_rps / r.filter_compiled_rps
+                        : 0;
+
+  for (Workload w : kWorkloads) {
+    r.e2e.push_back(run_e2e(w, e2e_events, e2e_reps));
+  }
   return r;
 }
 
@@ -362,13 +531,36 @@ bool write_bench_json(const PipelineBenchResult& r, const std::string& path) {
       "  \"filter_owned_records_per_s\": %.0f,\n"
       "  \"filter_view_records_per_s\": %.0f,\n"
       "  \"filter_speedup\": %.2f,\n"
-      "  \"output_identical\": %s,\n"
-      "  \"obs_snapshot\": %s\n"
-      "}\n",
+      "  \"filter_compiled_records_per_s\": %.0f,\n"
+      "  \"filter_bytecode_records_per_s\": %.0f,\n"
+      "  \"match_speedup\": %.2f,\n",
       workload_name(Workload::mixed), r.events, r.encode_owned_eps,
       r.encode_zero_copy_eps, r.encode_owned_bps,
       r.encode_zero_copy_bps, r.encode_speedup, r.filter_owned_rps,
-      r.filter_view_rps, r.filter_speedup,
+      r.filter_view_rps, r.filter_speedup, r.filter_compiled_rps,
+      r.filter_bytecode_rps, r.match_speedup);
+  out << "  \"e2e\": [\n";
+  for (std::size_t i = 0; i < r.e2e.size(); ++i) {
+    const E2EResult& e = r.e2e[i];
+    out << util::strprintf(
+        "    {\"workload\": \"%s\", "
+        "\"batch_compiled_events_per_s\": %.0f, "
+        "\"ring_bytecode_events_per_s\": %.0f, "
+        "\"speedup\": %.2f, \"logs_identical\": %s, "
+        "\"ring_wakeups\": %llu, \"ring_overflow_drops\": %llu, "
+        "\"bytecode_ops\": %llu}%s\n",
+        workload_name(e.workload), e.batch_compiled_eps, e.ring_bytecode_eps,
+        e.speedup, e.logs_identical ? "true" : "false",
+        static_cast<unsigned long long>(e.ring_wakeups),
+        static_cast<unsigned long long>(e.ring_overflow_drops),
+        static_cast<unsigned long long>(e.bytecode_ops),
+        i + 1 < r.e2e.size() ? "," : "");
+  }
+  out << "  ],\n";
+  out << util::strprintf(
+      "  \"output_identical\": %s,\n"
+      "  \"obs_snapshot\": %s\n"
+      "}\n",
       r.output_identical ? "true" : "false",
       obs::jsonl_to_json_array(r.obs_snapshot_jsonl, 4).c_str());
   return out.good();
@@ -388,20 +580,95 @@ bool validate_bench_json(const std::string& path) {
        {"\"bench\"", "\"events\"", "\"encode_owned_events_per_s\"",
         "\"encode_zero_copy_events_per_s\"", "\"encode_speedup\"",
         "\"filter_owned_records_per_s\"", "\"filter_view_records_per_s\"",
-        "\"filter_speedup\"", "\"output_identical\"", "\"obs_snapshot\""}) {
+        "\"filter_speedup\"", "\"filter_compiled_records_per_s\"",
+        "\"filter_bytecode_records_per_s\"", "\"match_speedup\"", "\"e2e\"",
+        "\"ring_bytecode_events_per_s\"", "\"output_identical\"",
+        "\"obs_snapshot\""}) {
     if (text.find(key) == std::string::npos) return false;
   }
-  return text.find("\"output_identical\": true") != std::string::npos;
+  // Equivalence is the pass signal: the owned/view comparison and every
+  // per-workload cross-transport log comparison must all hold.
+  return text.find("\"output_identical\": true") != std::string::npos &&
+         text.find("\"logs_identical\": false") == std::string::npos &&
+         text.find("\"logs_identical\": true") != std::string::npos;
 }
 
 /// --smoke: the fast ctest (and sanitizer) entry point. Equivalence is the
 /// pass/fail signal; the speedups are reported, not asserted, since
 /// sanitized or loaded machines make timing assertions flaky.
+bool all_e2e_logs_identical(const PipelineBenchResult& r) {
+  for (const E2EResult& e : r.e2e) {
+    if (!e.logs_identical) return false;
+  }
+  return !r.e2e.empty();
+}
+
+void print_result(const PipelineBenchResult& r, const char* tag) {
+  std::printf(
+      "bench_pipeline %s: encode %.0f -> %.0f ev/s (%.2fx), "
+      "filter %.0f -> %.0f rec/s (%.2fx), match %.0f -> %.0f rec/s (%.2fx), "
+      "output_identical=%s\n",
+      tag, r.encode_owned_eps, r.encode_zero_copy_eps, r.encode_speedup,
+      r.filter_owned_rps, r.filter_view_rps, r.filter_speedup,
+      r.filter_compiled_rps, r.filter_bytecode_rps, r.match_speedup,
+      r.output_identical ? "true" : "false");
+  for (const E2EResult& e : r.e2e) {
+    std::printf(
+        "  e2e %-13s batch+compiled %8.0f ev/s -> ring+bytecode %8.0f ev/s "
+        "(%.2fx) logs_identical=%s wakeups=%llu drops=%llu\n",
+        workload_name(e.workload), e.batch_compiled_eps, e.ring_bytecode_eps,
+        e.speedup, e.logs_identical ? "true" : "false",
+        static_cast<unsigned long long>(e.ring_wakeups),
+        static_cast<unsigned long long>(e.ring_overflow_drops));
+  }
+}
+
+/// --e2e: full-scale end-to-end comparison only (no google-benchmark
+/// micros), fast enough for the regression gate in scripts/check_bench.sh.
+/// Writes BENCH_e2e.json so the gate can jq-compare per-workload speedups
+/// against the committed BENCH_pipeline.json like-for-like: the smoke's
+/// smaller event count carries a higher fixed-cost share and reads
+/// systematically below the recorded full-scale ratios.
+int run_e2e_only() {
+  PipelineBenchResult r;
+  for (Workload w : kWorkloads) {
+    r.e2e.push_back(run_e2e(w, 20000, 3));
+  }
+  std::ofstream out("BENCH_e2e.json", std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bench_pipeline: cannot write BENCH_e2e.json\n");
+    return 1;
+  }
+  out << "{\n  \"e2e\": [\n";
+  for (std::size_t i = 0; i < r.e2e.size(); ++i) {
+    const E2EResult& e = r.e2e[i];
+    out << util::strprintf(
+        "    {\"workload\": \"%s\", \"speedup\": %.2f, "
+        "\"logs_identical\": %s}%s\n",
+        workload_name(e.workload), e.speedup,
+        e.logs_identical ? "true" : "false",
+        i + 1 < r.e2e.size() ? "," : "");
+  }
+  out << "  ]\n}\n";
+  for (const E2EResult& e : r.e2e) {
+    std::printf(
+        "  e2e %-13s batch+compiled %8.0f ev/s -> ring+bytecode %8.0f ev/s "
+        "(%.2fx) logs_identical=%s\n",
+        workload_name(e.workload), e.batch_compiled_eps, e.ring_bytecode_eps,
+        e.speedup, e.logs_identical ? "true" : "false");
+  }
+  return out.good() && all_e2e_logs_identical(r) ? 0 : 1;
+}
+
 int run_smoke() {
-  // 0.3s per measured stage: long enough that the reported speedups are
-  // representative (tiny windows are dominated by warmup noise), short
-  // enough for ctest and the sanitizer configuration.
-  const PipelineBenchResult r = run_pipeline_bench(512, 0.3, 3);
+  // 0.3s per measured micro stage and one e2e rep per side: long enough
+  // that the reported speedups are representative (tiny windows are
+  // dominated by warmup noise), short enough for ctest and the sanitizer
+  // configuration. Equivalence — owned==view output and batch==ring logs
+  // on every workload — is the pass/fail signal; speedups are reported,
+  // not asserted, since sanitized or loaded machines make timing
+  // assertions flaky.
+  const PipelineBenchResult r = run_pipeline_bench(512, 0.3, 3, 2000, 1);
   const std::string snap_err = obs::validate_snapshot(r.obs_snapshot_jsonl);
   if (!snap_err.empty()) {
     std::fprintf(stderr, "bench_pipeline: bad embedded snapshot: %s\n",
@@ -416,13 +683,9 @@ int run_smoke() {
     std::fprintf(stderr, "bench_pipeline: %s is malformed\n", kJsonPath);
     return 1;
   }
-  std::printf(
-      "bench_pipeline --smoke: encode %.0f -> %.0f ev/s (%.2fx), "
-      "filter %.0f -> %.0f rec/s (%.2fx), output_identical=%s -> %s\n",
-      r.encode_owned_eps, r.encode_zero_copy_eps, r.encode_speedup,
-      r.filter_owned_rps, r.filter_view_rps, r.filter_speedup,
-      r.output_identical ? "true" : "false", kJsonPath);
-  return r.output_identical ? 0 : 1;
+  print_result(r, "--smoke");
+  std::printf("wrote %s\n", kJsonPath);
+  return r.output_identical && all_e2e_logs_identical(r) ? 0 : 1;
 }
 
 }  // namespace
@@ -431,14 +694,15 @@ int run_smoke() {
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) return dpm::bench::run_smoke();
+    if (std::strcmp(argv[i], "--e2e") == 0) return dpm::bench::run_e2e_only();
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  const auto r = dpm::bench::run_pipeline_bench(2000, 0.5, 3);
+  const auto r = dpm::bench::run_pipeline_bench(2000, 0.5, 3, 20000, 3);
   if (!dpm::bench::write_bench_json(r, dpm::bench::kJsonPath)) return 1;
-  std::printf("wrote %s (encode %.2fx, filter %.2fx)\n", dpm::bench::kJsonPath,
-              r.encode_speedup, r.filter_speedup);
-  return 0;
+  dpm::bench::print_result(r, "full");
+  std::printf("wrote %s\n", dpm::bench::kJsonPath);
+  return dpm::bench::all_e2e_logs_identical(r) ? 0 : 1;
 }

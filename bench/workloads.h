@@ -108,11 +108,13 @@ inline constexpr const char* kRules =
     "machine=#*, pid=#*, type=1, msgLength>128\n"
     "type=2, sourceName=228320140\n";
 
-inline filter::FilterEngine make_engine(filter::EvalPath path,
-                                        const char* rules = kRules) {
+inline filter::FilterEngine make_engine(
+    filter::EvalPath path, const char* rules = kRules,
+    filter::MatchEngine match = filter::MatchEngine::bytecode) {
   auto d = filter::Descriptions::parse(filter::default_descriptions_text());
   auto t = filter::Templates::parse(rules);
-  return filter::FilterEngine(std::move(*d), std::move(*t), path);
+  return filter::FilterEngine(std::move(*d), std::move(*t), path, nullptr,
+                              match);
 }
 
 // ---- wall-clock rate measurement ------------------------------------------

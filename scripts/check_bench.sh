@@ -1,0 +1,66 @@
+#!/bin/sh
+# Regression gate for the ring-transport + filter-bytecode fast path.
+#
+# Runs the two bench smokes (equivalence is their pass signal: owned==view
+# output, batch==ring logs, compiled==interpreted decisions), then re-runs
+# the full-scale end-to-end comparison and fails if any workload's
+# ring+bytecode speedup fell more than 20% below the value recorded in the
+# committed BENCH_pipeline.json. Everything runs in a scratch directory:
+# both smokes write their JSON into the cwd, and the committed files must
+# not be clobbered by a gate run.
+# Usage: scripts/check_bench.sh [build-dir]   (default: build)
+set -eu
+
+cd "$(dirname "$0")/.."
+repo="$(pwd)"
+build="${1:-build}"
+bench="$repo/$build/bench"
+
+for bin in bench_pipeline bench_filter; do
+  if [ ! -x "$bench/$bin" ]; then
+    echo "check_bench: $bench/$bin not built" >&2
+    exit 1
+  fi
+done
+if [ ! -f "$repo/BENCH_pipeline.json" ]; then
+  echo "check_bench: no committed BENCH_pipeline.json to compare against" >&2
+  exit 1
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cd "$tmp"
+
+echo "== bench_filter --smoke (decision equivalence)"
+"$bench/bench_filter" --smoke
+
+echo "== bench_pipeline --smoke (output + log equivalence)"
+"$bench/bench_pipeline" --smoke
+
+echo "== bench_pipeline --e2e (full-scale regression gate)"
+"$bench/bench_pipeline" --e2e
+
+# Fresh speedup must be >= 0.8x the recorded one, per workload. The ratios
+# are machine-independent (both transports run on the same host in the same
+# process), so 20% headroom covers run-to-run noise without hiding a real
+# regression.
+fail=0
+for wl in $(jq -r '.e2e[].workload' "$repo/BENCH_pipeline.json"); do
+  rec="$(jq -r ".e2e[] | select(.workload == \"$wl\") | .speedup" \
+        "$repo/BENCH_pipeline.json")"
+  fresh="$(jq -r ".e2e[] | select(.workload == \"$wl\") | .speedup" \
+        BENCH_e2e.json)"
+  if [ -z "$fresh" ] || [ "$fresh" = "null" ]; then
+    echo "check_bench: workload $wl missing from fresh BENCH_e2e.json" >&2
+    fail=1
+    continue
+  fi
+  ok="$(echo "$fresh $rec" | awk '{print ($1 >= 0.8 * $2) ? "yes" : "no"}')"
+  echo "   $wl: recorded ${rec}x, fresh ${fresh}x -> $ok"
+  if [ "$ok" != "yes" ]; then
+    echo "check_bench: $wl regressed: ${fresh}x < 0.8 * ${rec}x" >&2
+    fail=1
+  fi
+done
+
+exit "$fail"

@@ -1,0 +1,226 @@
+#include "filter/bytecode.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dpm::filter {
+
+namespace {
+
+bool apply_op(CmpOp op, int cmp) {
+  switch (op) {
+    case CmpOp::eq: return cmp == 0;
+    case CmpOp::ne: return cmp != 0;
+    case CmpOp::lt: return cmp < 0;
+    case CmpOp::gt: return cmp > 0;
+    case CmpOp::le: return cmp <= 0;
+    case CmpOp::ge: return cmp >= 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+FilterBytecode FilterBytecode::lower(const CompiledTemplates& compiled) {
+  FilterBytecode out;
+  out.accept_all_ = compiled.accept_all_;
+  out.progs_.resize(compiled.plans_.size());
+  for (std::size_t t = 0; t < compiled.plans_.size(); ++t) {
+    const CompiledTemplates::EventPlan& ep = compiled.plans_[t];
+    Program& p = out.progs_[t];
+    if (!ep.valid) continue;
+    p.runnable = ep.wire.viewable();
+    if (!p.runnable) continue;
+    p.type = static_cast<std::uint32_t>(t);
+    p.wire = ep.wire;
+    p.rules.reserve(ep.rules.size());
+    for (const CompiledTemplates::RulePlan& rp : ep.rules) {
+      Program::RuleSrc src;
+      src.clauses = rp.clauses;
+      src.discard = rp.discard;
+      p.rules.push_back(std::move(src));
+    }
+    p.fail_counts.resize(p.rules.size());
+    for (std::size_t r = 0; r < p.rules.size(); ++r) {
+      p.fail_counts[r].assign(p.rules[r].clauses.size(), 0);
+    }
+    generate(p);
+  }
+  return out;
+}
+
+void FilterBytecode::generate(Program& p) {
+  p.code.clear();
+  p.lits.clear();
+  const std::vector<std::string>& names = p.wire.field_names();
+  for (std::size_t r = 0; r < p.rules.size(); ++r) {
+    const std::size_t rule_start = p.code.size();
+    bool dead = false;
+    for (std::size_t c = 0; c < p.rules[r].clauses.size(); ++c) {
+      const CompiledTemplates::ClausePlan& cp = p.rules[r].clauses[c];
+      if (cp.wildcard) continue;  // always holds; lowers to nothing
+      if (!cp.rhs_is_field && cp.rhs_num && cp.lhs < names.size() &&
+          names[cp.lhs] == "type") {
+        // Type clause against a numeric literal: this program only ever
+        // sees records of its own type, so the clause is decided here.
+        const auto t = static_cast<std::int64_t>(p.type);
+        const int cmp = (t < *cp.rhs_num) ? -1 : (t > *cp.rhs_num) ? 1 : 0;
+        if (apply_op(cp.op, cmp)) continue;  // always holds for this type
+        dead = true;  // the rule can never match this type
+        break;
+      }
+      Instr in;
+      in.cmp = cp.op;
+      in.a = static_cast<std::uint16_t>(cp.lhs);
+      in.src_rule = static_cast<std::uint16_t>(r);
+      in.src_clause = static_cast<std::uint16_t>(c);
+      if (cp.rhs_is_field) {
+        in.op = Op::cmp_field;
+        in.b = static_cast<std::uint16_t>(cp.rhs_field);
+      } else {
+        in.op = Op::cmp_imm;
+        if (cp.rhs_num) {
+          // An integer field against a numeric literal always compares
+          // numerically: burn the field's wire location into the op.
+          if (const auto loc = p.wire.int_loc(cp.lhs)) {
+            in.op = Op::cmp_imm_int;
+            in.off = static_cast<std::uint32_t>(loc->offset);
+            in.len = static_cast<std::uint8_t>(loc->length);
+          }
+        }
+        in.b = static_cast<std::uint16_t>(p.lits.size());
+        p.lits.push_back(Literal{cp.rhs_num, cp.rhs_text});
+      }
+      p.code.push_back(in);
+    }
+    if (dead) {
+      // Roll back the clauses emitted before the impossible type clause;
+      // they were never back-patched.
+      p.code.resize(rule_start);
+      continue;
+    }
+    Instr acc;
+    acc.op = Op::accept;
+    acc.a = static_cast<std::uint16_t>(r);
+    p.code.push_back(acc);
+    // Back-patch this rule's clause fails to the next rule's first op.
+    const std::uint32_t next = static_cast<std::uint32_t>(p.code.size());
+    for (std::size_t i = rule_start; i + 1 < p.code.size(); ++i) {
+      p.code[i].fail = next;
+    }
+  }
+  p.code.push_back(Instr{});  // Op::reject
+}
+
+void FilterBytecode::maybe_reorder(Program& p) {
+  if (++p.evals < kLearnWindow) return;
+  p.reordered = true;
+  bool changed = false;
+  for (std::size_t r = 0; r < p.rules.size(); ++r) {
+    auto& clauses = p.rules[r].clauses;
+    const auto& fails = p.fail_counts[r];
+    std::vector<std::size_t> order(clauses.size());
+    std::iota(order.begin(), order.end(), 0);
+    // Most-rejecting clause first; stable so ties keep source order.
+    std::stable_sort(order.begin(), order.end(),
+                     [&fails](std::size_t a, std::size_t b) {
+                       return fails[a] > fails[b];
+                     });
+    if (std::is_sorted(order.begin(), order.end())) continue;
+    std::vector<CompiledTemplates::ClausePlan> next;
+    next.reserve(clauses.size());
+    for (std::size_t i : order) next.push_back(std::move(clauses[i]));
+    clauses = std::move(next);
+    changed = true;
+  }
+  if (changed) {
+    generate(p);
+    ++reorders_;
+  }
+}
+
+std::optional<FilterBytecode::Decision> FilterBytecode::evaluate(
+    const RecordView& v, const std::string_view* strings) {
+  if (accept_all_) return Decision{true, nullptr};
+  if (v.type >= progs_.size()) return std::nullopt;
+  Program& p = progs_[v.type];
+  if (!p.runnable) return std::nullopt;
+
+  std::uint64_t ops = 0;
+  std::uint32_t pc = 0;
+  std::optional<Decision> result;
+  while (!result) {
+    const Instr& in = p.code[pc];
+    ++ops;
+    bool hold = false;
+    switch (in.op) {
+      case Op::accept: {
+        const std::vector<bool>& d = p.rules[in.a].discard;
+        result = Decision{true, d.empty() ? nullptr : &d};
+        continue;
+      }
+      case Op::reject:
+        result = Decision{false, nullptr};
+        continue;
+      case Op::cmp_imm_int: {
+        // Same bounds rule as field(): a too-short record yields no value
+        // and the clause fails. Reads and sign-extends like read_le.
+        if (in.off + in.len <= v.size) {
+          std::uint64_t raw = 0;
+          for (std::size_t i = in.len; i-- > 0;) {
+            raw = (raw << 8) | v.data[in.off + i];
+          }
+          if (in.len < 8 && (raw & (1ULL << (8 * in.len - 1)))) {
+            raw |= ~((1ULL << (8 * in.len)) - 1);
+          }
+          const auto lhs = static_cast<std::int64_t>(raw);
+          const std::int64_t rhs = *p.lits[in.b].num;
+          const int cmp = (lhs < rhs) ? -1 : (lhs > rhs) ? 1 : 0;
+          hold = apply_op(in.cmp, cmp);
+        }
+        break;
+      }
+      case Op::cmp_imm: {
+        const auto lhs = p.wire.field(v, in.a, strings);
+        if (lhs) {
+          const Literal& lit = p.lits[in.b];
+          const auto ln = field_view_num(*lhs);
+          int cmp;
+          if (ln && lit.num) {
+            cmp = (*ln < *lit.num) ? -1 : (*ln > *lit.num) ? 1 : 0;
+          } else {
+            cmp = field_view_text_cmp(*lhs, lit.text);
+          }
+          hold = apply_op(in.cmp, cmp);
+        }
+        break;
+      }
+      case Op::cmp_field: {
+        const auto lhs = p.wire.field(v, in.a, strings);
+        const auto rhs = p.wire.field(v, in.b, strings);
+        if (lhs && rhs) {
+          hold = apply_op(in.cmp, field_view_cmp(*lhs, *rhs));
+        }
+        break;
+      }
+    }
+    if (hold) {
+      ++pc;
+    } else {
+      if (!p.reordered) ++p.fail_counts[in.src_rule][in.src_clause];
+      pc = in.fail;
+    }
+  }
+  ops_ += ops;
+  if (ops_counter_ != nullptr) ops_counter_->add(ops);
+  if (!p.reordered) maybe_reorder(p);  // guard here: no call once learned
+  return result;
+}
+
+std::size_t FilterBytecode::program_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(progs_.begin(), progs_.end(),
+                    [](const Program& p) { return p.runnable; }));
+}
+
+}  // namespace dpm::filter

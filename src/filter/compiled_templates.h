@@ -104,6 +104,10 @@ class CompiledTemplates {
   static constexpr std::uint32_t kMaxDirectType = 1024;
   std::vector<EventPlan> plans_;
   bool accept_all_ = false;  // empty rule set: accept, discard nothing
+
+  /// The bytecode engine lowers these plans into its flat op array — one
+  /// source of truth for clause resolution.
+  friend class FilterBytecode;
 };
 
 }  // namespace dpm::filter

@@ -149,8 +149,19 @@ std::optional<Descriptions> Descriptions::parse(const std::string& text,
     return std::nullopt;
   }
   // Resolve every type's wire plan once, so filters can match records
-  // without decoding them.
-  for (const auto& [t, d] : out.by_type_) out.plans_.emplace(t, WirePlan::build(d));
+  // without decoding them. Small type numbers land in the dense cache.
+  std::uint32_t dense_max = 0;
+  for (const auto& [t, d] : out.by_type_) {
+    if (t < kPlanCacheMax && t >= dense_max) dense_max = t + 1;
+  }
+  out.plan_cache_.resize(dense_max);
+  for (const auto& [t, d] : out.by_type_) {
+    if (t < kPlanCacheMax) {
+      out.plan_cache_[t] = WirePlan::build(d);
+    } else {
+      out.plans_.emplace(t, WirePlan::build(d));
+    }
+  }
   return out;
 }
 
@@ -283,6 +294,7 @@ std::optional<Record> Descriptions::decode(const std::uint8_t* raw,
 WirePlan WirePlan::build(const EventDesc& desc) {
   WirePlan plan;
   plan.viewable_ = true;
+  plan.event_name_ = desc.name;
   // The five fixed header fields, mirroring record_layout()/decode().
   const struct { const char* name; std::size_t off, len; } kHeader[] = {
       {"size", 0, 4},     {"machine", 4, 2}, {"cpuTime", 6, 8},
@@ -325,6 +337,18 @@ WirePlan WirePlan::build(const EventDesc& desc) {
     plan.names_.push_back(f.name);
     plan.fields_.push_back(loc);
   }
+  // One bound covering every integer field: a record at least this long
+  // passes every fixed-field bounds check, so validate() compares once
+  // instead of walking the field list per record.
+  for (const Loc& f : plan.fields_) {
+    if (f.length > 0 && f.offset + f.length > plan.fixed_end_) {
+      plan.fixed_end_ = f.offset + f.length;
+    }
+  }
+  plan.name_eq_.reserve(plan.names_.size());
+  for (const std::string& n : plan.names_) {
+    plan.name_eq_.push_back(" " + n + "=");
+  }
   return plan;
 }
 
@@ -360,8 +384,8 @@ bool WirePlan::string_views(const RecordView& v, int k,
   return true;
 }
 
-std::optional<FieldView> WirePlan::field(const RecordView& v,
-                                         std::size_t i) const {
+std::optional<FieldView> WirePlan::field(const RecordView& v, std::size_t i,
+                                         const std::string_view* strings) const {
   if (!viewable_ || i >= fields_.size()) return std::nullopt;
   const Loc& f = fields_[i];
   if (f.length > 0) {
@@ -369,27 +393,63 @@ std::optional<FieldView> WirePlan::field(const RecordView& v,
     if (!val) return std::nullopt;
     return FieldView{*val};
   }
+  if (strings != nullptr) return FieldView{strings[f.ordinal]};
   std::string_view scratch[kMaxStringFields];
   if (!string_views(v, f.ordinal, scratch)) return std::nullopt;
   return FieldView{scratch[f.ordinal]};
 }
 
 bool WirePlan::validate(const RecordView& v) const {
+  std::string_view scratch[kMaxStringFields];
+  return validate(v, scratch);
+}
+
+bool WirePlan::validate(const RecordView& v, std::string_view* strings) const {
   if (!viewable_ || v.size < meter::kHeaderSize) return false;
   const auto wire_size = read_le(v.data, v.size, 0, 4);
   if (static_cast<std::size_t>(*wire_size) != v.size) return false;
-  for (const Loc& f : fields_) {
-    if (f.length > 0 &&
-        (f.offset > v.size || v.size - f.offset < f.length)) {
+  if (v.size < fixed_end_) return false;
+  if (strings_.empty()) return true;
+  return string_views(v, static_cast<int>(strings_.size()) - 1, strings);
+}
+
+bool WirePlan::extract(const RecordView& v, FieldView* out, std::size_t cap,
+                       const std::string_view* strings) const {
+  if (!viewable_ || fields_.size() > cap) return false;
+  if (v.size < fixed_end_) return false;
+  std::string_view scratch[kMaxStringFields];
+  if (strings == nullptr) {
+    if (!strings_.empty() &&
+        !string_views(v, static_cast<int>(strings_.size()) - 1, scratch)) {
       return false;
     }
+    strings = scratch;
   }
-  if (strings_.empty()) return true;
-  std::string_view scratch[kMaxStringFields];
-  return string_views(v, static_cast<int>(strings_.size()) - 1, scratch);
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    const Loc& f = fields_[i];
+    if (f.length > 0) {
+      // In bounds by the fixed_end_ check above.
+      std::uint64_t raw = 0;
+      for (std::size_t j = f.length; j-- > 0;) {
+        raw = (raw << 8) | v.data[f.offset + j];
+      }
+      if (f.length < 8 && (raw & (1ULL << (8 * f.length - 1)))) {
+        raw |= ~((1ULL << (8 * f.length)) - 1);
+      }
+      out[i] = FieldView{static_cast<std::int64_t>(raw)};
+    } else {
+      out[i] = FieldView{strings[f.ordinal]};
+    }
+  }
+  return true;
 }
 
 const WirePlan* Descriptions::wire_plan(std::uint32_t type) const {
+  if (type < plan_cache_.size()) {
+    // Undescribed slots hold a default (non-viewable) plan; callers check
+    // viewable(), so returning it is equivalent to nullptr for them.
+    return &plan_cache_[type];
+  }
   auto it = plans_.find(type);
   return it == plans_.end() ? nullptr : &it->second;
 }

@@ -98,26 +98,66 @@ class WirePlan {
   bool viewable() const { return viewable_; }
   std::size_t field_count() const { return fields_.size(); }
   const std::vector<std::string>& field_names() const { return names_; }
+  /// Pre-rendered " <name>=" fragment per layout field: the trace renderer
+  /// appends one string per field instead of three.
+  const std::vector<std::string>& name_eq() const { return name_eq_; }
+
+  /// Counted strings are resolved with a bounded stack scratchpad; plans
+  /// with more string fields fall back to owned decoding. Callers that
+  /// share a scratch across validate/evaluate/extract size it with this.
+  static constexpr std::size_t kMaxStringFields = 16;
+  /// The described event's name ("SEND"); empty for a default-constructed
+  /// plan (an undescribed type).
+  const std::string& event_name() const { return event_name_; }
 
   /// Index of `name` in the layout, or npos. Mirrors Record::find: the
   /// first field with that name wins.
   std::size_t index_of(std::string_view name) const;
 
+  /// Absolute wire offset/width of layout field `i` when it is a
+  /// fixed-width integer; nullopt for counted strings and out-of-range
+  /// indices. Lets the bytecode compiler burn offsets into instructions so
+  /// integer compares read the wire directly.
+  struct IntLoc {
+    std::size_t offset = 0;
+    std::size_t length = 0;
+  };
+  std::optional<IntLoc> int_loc(std::size_t i) const {
+    if (i >= fields_.size() || fields_[i].length == 0) return std::nullopt;
+    return IntLoc{fields_[i].offset, fields_[i].length};
+  }
+
   /// Extracts layout field `i`; nullopt when the record is too short or a
   /// string length is inconsistent (exactly when decode() would fail).
-  std::optional<FieldView> field(const RecordView& v, std::size_t i) const;
+  /// `strings` (when non-null) is a scratch previously filled by the
+  /// validating overload of validate() for this same record — string
+  /// fields then read straight from it instead of re-walking the record.
+  std::optional<FieldView> field(const RecordView& v, std::size_t i,
+                                 const std::string_view* strings = nullptr) const;
+
+  /// Extracts every layout field of `v` in one pass into `out` (at least
+  /// `cap` slots, indexed like field_names()). The single-pass form the
+  /// view-direct trace renderer uses: strings are resolved once instead of
+  /// once per field (or reused from `strings`, as in field()). False
+  /// (nothing written) when the plan is not viewable, `cap` is too small,
+  /// or the record is malformed — exactly when the caller must fall back
+  /// to the owned decode.
+  bool extract(const RecordView& v, FieldView* out, std::size_t cap,
+               const std::string_view* strings = nullptr) const;
 
   /// Bounds-validates every described field of `v` without extracting
   /// strings; true exactly when Descriptions::decode would succeed.
   bool validate(const RecordView& v) const;
 
+  /// Same verdict, and on success leaves the record's resolved string
+  /// views in `strings` (at least kMaxStringFields slots) for reuse by
+  /// field()/extract() on this same record — the strings are walked once
+  /// per record instead of once per consumer.
+  bool validate(const RecordView& v, std::string_view* strings) const;
+
  private:
   friend class Descriptions;
   static WirePlan build(const EventDesc& desc);
-
-  /// Counted strings are resolved with a bounded stack scratchpad; plans
-  /// with more string fields fall back to owned decoding.
-  static constexpr std::size_t kMaxStringFields = 16;
 
   struct Loc {
     std::size_t offset = 0;    // absolute within the record (ints only)
@@ -129,8 +169,11 @@ class WirePlan {
   bool string_views(const RecordView& v, int k, std::string_view* out) const;
 
   bool viewable_ = false;
+  std::string event_name_;            // description name, for trace rendering
   std::vector<Loc> fields_;           // layout order: 5 header fields + body
   std::vector<std::string> names_;    // layout order, same indexing
+  std::vector<std::string> name_eq_;  // " <name>=", same indexing
+  std::size_t fixed_end_ = 0;         // max offset+length over integer fields
   std::size_t string_base_ = 0;       // absolute offset of the first string byte
   std::vector<std::size_t> strings_;  // layout indices of string fields, in order
 };
@@ -183,8 +226,16 @@ class Descriptions {
                                       std::string_view name) const;
 
  private:
+  /// Plans for small type numbers live in a dense vector so the per-record
+  /// lookup on the filter hot path is one bounds check and an index, not a
+  /// map walk. Unreasonably large type numbers (nothing standard) overflow
+  /// into the map. An undescribed slot holds a default (non-viewable)
+  /// plan, which every caller treats the same as "no plan".
+  static constexpr std::uint32_t kPlanCacheMax = 4096;
+
   std::map<std::uint32_t, EventDesc> by_type_;
-  std::map<std::uint32_t, WirePlan> plans_;
+  std::vector<WirePlan> plan_cache_;      // indexed by type, types < kPlanCacheMax
+  std::map<std::uint32_t, WirePlan> plans_;  // types >= kPlanCacheMax
   std::vector<std::string> header_fields_;
 };
 

@@ -13,16 +13,20 @@
 namespace dpm::filter {
 
 FilterEngine::FilterEngine(Descriptions descriptions, Templates templates,
-                           EvalPath path, obs::Registry* obs)
+                           EvalPath path, obs::Registry* obs,
+                           MatchEngine match)
     : desc_(std::move(descriptions)),
       templ_(std::move(templates)),
       compiled_(CompiledTemplates::compile(templ_, desc_)),
-      path_(path) {
+      bytecode_(FilterBytecode::lower(compiled_)),
+      path_(path),
+      match_(match) {
   if (!obs) {
     own_obs_ = std::make_unique<obs::Registry>();
     obs = own_obs_.get();
   }
   obs_ = obs;
+  bytecode_.set_ops_counter(&obs->counter("filter.bytecode_ops"));
   records_in_ = &obs_->counter("filter.records_in");
   accepted_ = &obs_->counter("filter.accepted");
   rejected_ = &obs_->counter("filter.rejected");
@@ -67,13 +71,17 @@ std::string filter_summary_line(const std::string& prog,
 }
 
 bool FilterEngine::select_view(const std::uint8_t* raw, std::size_t size,
-                               const OnAccept& on_accept) {
+                               const OnAccept& on_accept,
+                               const OnAcceptView* fast) {
   const auto v = make_record_view(raw, size);
   if (!v) return false;
   const WirePlan* wp = desc_.wire_plan(v->type);
   if (!wp || !wp->viewable()) return false;  // owned path decides
 
-  if (!wp->validate(*v)) {
+  // The record's counted strings are resolved once, here, and reused by
+  // the matcher's string clauses and the accept fast path below.
+  std::string_view strings[WirePlan::kMaxStringFields];
+  if (!wp->validate(*v, strings)) {
     malformed_->add(1);
     return true;
   }
@@ -82,7 +90,10 @@ bool FilterEngine::select_view(const std::uint8_t* raw, std::size_t size,
   const std::vector<bool>* mask = nullptr;
   const std::set<std::string>* names = nullptr;
   Templates::Decision d;
-  if (auto cd = compiled_.evaluate(*v)) {
+  const auto cd = match_ == MatchEngine::bytecode
+                      ? bytecode_.evaluate(*v, strings)
+                      : compiled_.evaluate(*v);
+  if (cd) {
     eval_compiled_->add(1);
     if (!cd->accept) {
       rejected_->add(1);
@@ -100,6 +111,11 @@ bool FilterEngine::select_view(const std::uint8_t* raw, std::size_t size,
   }
   accepted_->add(1);
   accept_view_->add(1);
+  // Fast path: a view consumer renders straight off the wire bytes —
+  // byte-identical output with no owned Record. Interpreted-fallback
+  // accepts carry name-set discards, which the view renderer does not
+  // take; they use the owned path below.
+  if (fast && !names && (*fast)(*v, *wp, mask, strings)) return true;
   // validate() passed, so the decode cannot fail.
   auto rec = desc_.decode(raw, size);
   on_accept(*rec, mask, names);
@@ -107,13 +123,15 @@ bool FilterEngine::select_view(const std::uint8_t* raw, std::size_t size,
 }
 
 void FilterEngine::drain(std::uint64_t conn, const util::Bytes& data,
-                         const OnAccept& user_accept) {
+                         const OnAccept& user_accept, const OnAcceptView* fast) {
   // One wrap point covers every accept site (the view path and both owned
   // paths below): registered sinks see each accepted record before the
-  // caller's consumer renders or aggregates it.
+  // caller's consumer renders or aggregates it. Sinks need the owned
+  // Record, so they also disable the caller's view fast path.
   const OnAccept* on_ptr = &user_accept;
   OnAccept wrapped;
   if (!sinks_.empty()) {
+    fast = nullptr;
     wrapped = [&](const Record& rec, const std::vector<bool>* mask,
                   const std::set<std::string>* names) {
       for (RecordSink* sink : sinks_) sink->on_record(rec);
@@ -125,30 +143,45 @@ void FilterEngine::drain(std::uint64_t conn, const util::Bytes& data,
 
   bytes_in_->add(data.size());
   util::Bytes& buf = partial_[conn];
-  buf.insert(buf.end(), data.begin(), data.end());
+  // Fast path: with no partial remainder carried over, frame directly over
+  // the incoming bytes and stash only the trailing partial record — the
+  // steady state never copies the full payload through the staging buffer.
+  const bool direct = buf.empty();
+  const std::uint8_t* base;
+  std::size_t len;
+  if (direct) {
+    base = data.data();
+    len = data.size();
+  } else {
+    buf.insert(buf.end(), data.begin(), data.end());
+    base = buf.data();
+    len = buf.size();
+  }
 
   std::size_t pos = 0;
-  while (buf.size() - pos >= 4) {
-    const std::uint32_t size = static_cast<std::uint32_t>(buf[pos]) |
-                               static_cast<std::uint32_t>(buf[pos + 1]) << 8 |
-                               static_cast<std::uint32_t>(buf[pos + 2]) << 16 |
-                               static_cast<std::uint32_t>(buf[pos + 3]) << 24;
+  bool desync = false;
+  while (len - pos >= 4) {
+    const std::uint32_t size = static_cast<std::uint32_t>(base[pos]) |
+                               static_cast<std::uint32_t>(base[pos + 1]) << 8 |
+                               static_cast<std::uint32_t>(base[pos + 2]) << 16 |
+                               static_cast<std::uint32_t>(base[pos + 3]) << 24;
     if (size < meter::kHeaderSize || size > (1u << 20)) {
       // Desynchronized stream: drop the connection's buffer.
       malformed_->add(1);
-      buf.clear();
-      pos = 0;
+      desync = true;
       break;
     }
-    if (buf.size() - pos < size) break;  // record incomplete
-    const std::uint8_t* raw = buf.data() + pos;
+    if (len - pos < size) break;  // record incomplete
+    const std::uint8_t* raw = base + pos;
     pos += size;
     records_in_->add(1);
 
     // Hot path: evaluate in place over the wire bytes (the view borrows
     // `buf`, which is not touched until the loop ends). Types the view
     // decoder cannot handle fall through to the owned decode below.
-    if (path_ == EvalPath::view && select_view(raw, size, on_accept)) continue;
+    if (path_ == EvalPath::view && select_view(raw, size, on_accept, fast)) {
+      continue;
+    }
 
     auto rec = desc_.decode(raw, size);
     if (!rec) {
@@ -179,7 +212,13 @@ void FilterEngine::drain(std::uint64_t conn, const util::Bytes& data,
       on_accept(*rec, nullptr, d.discard.empty() ? nullptr : &d.discard);
     }
   }
-  buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(pos));
+  if (desync) {
+    buf.clear();  // everything after the bad size word is dropped
+  } else if (direct) {
+    if (pos < len) buf.assign(base + pos, base + len);
+  } else {
+    buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(pos));
+  }
 }
 
 void FilterEngine::end_connection(std::uint64_t conn) {
@@ -202,14 +241,30 @@ std::string FilterEngine::feed(std::uint64_t conn, const util::Bytes& data) {
 
 void FilterEngine::feed(std::uint64_t conn, const util::Bytes& data,
                         std::string& out) {
-  drain(conn, data,
-        [&](const Record& rec, const std::vector<bool>* mask,
-            const std::set<std::string>* names) {
-          std::string line = names ? trace_line(rec, *names)
-                                   : trace_line(rec, mask);
-          bytes_out_->add(line.size());
-          out += line;
-        });
+  const OnAccept on_accept = [&](const Record& rec,
+                                 const std::vector<bool>* mask,
+                                 const std::set<std::string>* names) {
+    std::string line = names ? trace_line(rec, *names) : trace_line(rec, mask);
+    bytes_out_->add(line.size());
+    out += line;
+  };
+  // Trace rendering needs no owned Record: accepted records decided by the
+  // lowered bytecode render straight from their wire view (drain drops the
+  // hook again if sinks are registered). Declining (extract failure) falls
+  // back to the owned path, so output is identical either way.
+  if (path_ == EvalPath::view && match_ == MatchEngine::bytecode) {
+    const OnAcceptView fast = [&](const RecordView& v, const WirePlan& wp,
+                                  const std::vector<bool>* mask,
+                                  const std::string_view* strings) {
+      const std::size_t before = out.size();
+      if (!trace_line_view(wp, v, mask, strings, out)) return false;
+      bytes_out_->add(out.size() - before);
+      return true;
+    };
+    drain(conn, data, on_accept, &fast);
+    return;
+  }
+  drain(conn, data, on_accept);
 }
 
 void FilterEngine::feed_each(std::uint64_t conn, const util::Bytes& data,

@@ -1,5 +1,7 @@
 #include "filter/trace.h"
 
+#include <charconv>
+
 #include "meter/metermsgs.h"
 #include "util/strings.h"
 
@@ -7,16 +9,30 @@ namespace dpm::filter {
 
 namespace {
 
+void append_escaped(std::string& out, std::string_view s) {
+  // Bulk-append runs of clean characters; escapable bytes (rare — no
+  // event name or socket name contains them today) render as the same
+  // lowercase "%xx" that strprintf("%%%02x") produced.
+  constexpr char kHex[] = "0123456789abcdef";
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char ch = s[i];
+    if (ch == ' ' || ch == '%' || ch == '\n' || ch == '=') {
+      out.append(s.data() + start, i - start);
+      const auto u = static_cast<unsigned char>(ch);
+      out.push_back('%');
+      out.push_back(kHex[u >> 4]);
+      out.push_back(kHex[u & 0xf]);
+      start = i + 1;
+    }
+  }
+  out.append(s.data() + start, s.size() - start);
+}
+
 std::string escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
-  for (char ch : s) {
-    if (ch == ' ' || ch == '%' || ch == '\n' || ch == '=') {
-      out += util::strprintf("%%%02x", static_cast<unsigned char>(ch));
-    } else {
-      out.push_back(ch);
-    }
-  }
+  append_escaped(out, s);
   return out;
 }
 
@@ -64,6 +80,31 @@ std::string trace_line(const Record& rec, const std::vector<bool>* discard_mask)
   }
   out += '\n';
   return out;
+}
+
+bool trace_line_view(const WirePlan& plan, const RecordView& v,
+                     const std::vector<bool>* discard_mask,
+                     const std::string_view* strings, std::string& out) {
+  constexpr std::size_t kMaxFields = 32;
+  FieldView fields[kMaxFields];
+  if (!plan.extract(v, fields, kMaxFields, strings)) return false;
+  const std::vector<std::string>& name_eq = plan.name_eq();
+  out += "event=";
+  out += plan.event_name();
+  for (std::size_t i = 0; i < plan.field_count(); ++i) {
+    if (discard_mask && i < discard_mask->size() && (*discard_mask)[i]) continue;
+    out += name_eq[i];
+    if (const auto* n = std::get_if<std::int64_t>(&fields[i])) {
+      // to_chars renders the same digits as the owned path's "%lld".
+      char buf[24];
+      const auto res = std::to_chars(buf, buf + sizeof buf, *n);
+      out.append(buf, res.ptr);
+    } else {
+      append_escaped(out, std::get<std::string_view>(fields[i]));
+    }
+  }
+  out += '\n';
+  return true;
 }
 
 std::optional<Record> parse_trace_line(const std::string& line) {

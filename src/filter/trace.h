@@ -29,6 +29,17 @@ std::string trace_line(const Record& rec, const std::set<std::string>& discard);
 /// a name lookup per field on the hot path.
 std::string trace_line(const Record& rec, const std::vector<bool>* discard_mask);
 
+/// Renders an accepted record straight from its wire view — byte-identical
+/// to trace_line(decode(v), discard_mask) — and appends it to `out`.
+/// `strings` (optional) is the record's resolved string scratch from
+/// WirePlan::validate. False (nothing appended) when the plan cannot
+/// extract the record (not viewable, too many fields, malformed); the
+/// caller falls back to the owned decode. This is the fast path: no
+/// Record, no per-field string allocation.
+bool trace_line_view(const WirePlan& plan, const RecordView& v,
+                     const std::vector<bool>* discard_mask,
+                     const std::string_view* strings, std::string& out);
+
 /// Parses one trace line back into a Record (numbers become ints, other
 /// values strings). Returns nullopt for blank/comment lines.
 std::optional<Record> parse_trace_line(const std::string& line);

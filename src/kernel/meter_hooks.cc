@@ -24,7 +24,36 @@ void book_cpu(World& world, Machine& m, Process& p, util::Duration d) {
 /// overshoot it by one message before the flush empties it.
 constexpr std::size_t kPendingSlack = 256;
 
+/// True while the meter socket can still move bytes toward a live filter.
+bool meter_conn_healthy(World& world, const Socket* ms) {
+  if (ms == nullptr || ms->sstate != Socket::StreamState::connected ||
+      ms->peer == 0 || ms->eof) {
+    return false;
+  }
+  if (ms->ring) {
+    // Ring transport: consumer-side teardown closes the shared ring in the
+    // same step that destroys the peer socket, so the closed flag already
+    // answers the peer-liveness question — no per-event socket lookup.
+    return !ms->ring->closed;
+  }
+  return world.find_socket(ms->peer) != nullptr;
+}
+
 }  // namespace
+
+// The meter connection died underneath the process: release it, flip to
+// accounted drop mode and tell the parent (the meterdaemon forwards this
+// upstream as a state note). Shared by the legacy flush path and the ring
+// emit path so both degrade identically.
+void meter_degrade(World& world, Process& p) {
+  if (p.meter_sock == 0) return;
+  world.socket_unref(p.meter_sock);
+  p.meter_sock = 0;
+  p.meter_degraded = true;
+  Machine& mm = world.machine(p.machine);
+  world.push_child_change(mm, p.parent,
+                          ChildChange{p.pid, ChildEvent::meter_lost, 0});
+}
 
 void meter_emit(World& world, Process& p, MeterEventDraft&& draft) {
   if ((p.meter_flags & draft.guard) == 0) return;
@@ -41,15 +70,74 @@ void meter_emit(World& world, Process& p, MeterEventDraft&& draft) {
     return;
   }
 
-  Machine& m = world.machine(p.machine);
+  if (p.machine_cache == nullptr) p.machine_cache = &world.machine(p.machine);
+  Machine& m = *p.machine_cache;
   const WorldConfig& cfg = world.config();
 
-  meter::MeterMsg msg;
-  msg.body = std::move(draft.body);
+  // Aggregate-init so the body variant is move-constructed in place instead
+  // of default-constructed and reassigned (this runs once per metered event).
+  meter::MeterMsg msg{meter::MeterHeader{}, std::move(draft.body)};
   msg.header.machine = m.index;
   msg.header.cpu_time = m.clock.read_us(world.exec().now());
   const std::int64_t grain = cfg.cpu_grain.count();
-  msg.header.proc_time = (p.cpu_used.count() / grain) * grain;
+  const std::int64_t cpu_used = p.cpu_used.count();
+  // Below one grain the quantized reading is zero; skip the division that
+  // otherwise runs on every metered event.
+  msg.header.proc_time = cpu_used < grain ? 0 : (cpu_used / grain) * grain;
+
+  // Ring transport: encode straight into the shared ring, no pending batch
+  // and no per-batch fabric payload. The conservation invariant is kept
+  // event by event — every emitted record is immediately either in the
+  // ring (buffered), dropped on overflow, or dropped by degrade.
+  if (p.meter_sock_cache_id != p.meter_sock) {
+    p.meter_sock_cache = world.find_socket(p.meter_sock);
+    p.meter_sock_cache_id = p.meter_sock;
+  }
+  Socket* ms = p.meter_sock_cache;
+  // A cached socket may have been destroyed since; the object survives
+  // (World keeps it), so its own state carries the verdict find_socket
+  // would give.
+  if (ms != nullptr && ms->sstate == Socket::StreamState::closed &&
+      ms->refs == 0) {
+    ms = nullptr;
+  }
+  if (ms && ms->ring) {
+    if (!meter_conn_healthy(world, ms)) {
+      meter_degrade(world, p);
+      ++p.meter_events;
+      world.mobs_.events->add(1);
+      world.mobs_.dropped_records->add(1);
+      return;
+    }
+    meter::MeterRing& ring = *ms->ring;
+    ++p.meter_events;
+    world.mobs_.events->add(1);
+    book_cpu(world, m, p, cfg.costs.meter_event);
+    const std::size_t wrote = ring.push(msg);
+    if (wrote == 0) {
+      // Overflow-to-drop: the record did not fit the free space. It is
+      // dropped whole with exact accounting — never truncated, never
+      // wedged half-written — and the consumer gets an urgent doorbell so
+      // the ring drains instead of dropping the whole burst.
+      const std::size_t sz = msg.wire_size();
+      p.meter_dropped_bytes += sz;
+      world.mobs_.dropped_records->add(1);
+      world.mobs_.dropped_bytes->add(sz);
+      world.mobs_.ring_overflow_drops->add(1);
+      world.kernel_ring_wakeup(p.meter_sock, /*reliable=*/false);
+      return;
+    }
+    p.meter_bytes += wrote;
+    world.mobs_.bytes->add(wrote);
+    world.mobs_.ring_occupancy->add(static_cast<std::int64_t>(wrote));
+    ring.unsignalled_bytes += wrote;
+    ++ring.unsignalled_records;
+    const bool immediate = (p.meter_flags & meter::M_IMMEDIATE) != 0;
+    if (immediate || ring.unsignalled_bytes >= cfg.meter_ring_wakeup_bytes) {
+      world.kernel_ring_wakeup(p.meter_sock, /*reliable=*/false);
+    }
+    return;
+  }
 
   // Encode straight into the pending batch. The reservation covers a full
   // batch (re-established after meter_flush's swap hands the capacity
@@ -75,6 +163,25 @@ void meter_emit(World& world, Process& p, MeterEventDraft&& draft) {
 }
 
 void meter_flush(World& world, Process& p) {
+  // Ring transport: nothing is batched in the process — flushing means
+  // forcing the doorbell so the consumer drains what is already in the
+  // ring. The wakeup rides reliably: flushes happen at termination and at
+  // setmeter changes, where the ring must drain even under fault storms.
+  if (Socket* ms = p.meter_sock ? world.find_socket(p.meter_sock) : nullptr;
+      ms && ms->ring && p.meter_pending.empty()) {
+    if (!meter_conn_healthy(world, ms)) {
+      meter_degrade(world, p);
+      return;
+    }
+    if (ms->ring->unsignalled_bytes > 0) {
+      Machine& m = world.machine(p.machine);
+      book_cpu(world, m, p, world.config().costs.meter_flush_base);
+      ++p.meter_flushes;
+      world.mobs_.flushes->add(1);
+      world.kernel_ring_wakeup(p.meter_sock, /*reliable=*/true);
+    }
+    return;
+  }
   if (p.meter_pending.empty()) return;
   util::Bytes batch;
   batch.swap(p.meter_pending);
@@ -88,9 +195,7 @@ void meter_flush(World& world, Process& p) {
   // A meter socket that has died underneath the process (peer reset, EOF,
   // connection torn down by a fault) is as useless as no socket at all.
   Socket* ms = p.meter_sock == 0 ? nullptr : world.find_socket(p.meter_sock);
-  const bool healthy = ms && ms->sstate == Socket::StreamState::connected &&
-                       ms->peer != 0 && !ms->eof && world.find_socket(ms->peer);
-  if (!healthy) {
+  if (!meter_conn_healthy(world, ms)) {
     // Without a usable meter socket the batch is simply lost (Appendix C):
     // no send happens, so no CPU is charged and nothing is counted as
     // delivered — the loss lands in the dropped counters instead.
@@ -99,16 +204,7 @@ void meter_flush(World& world, Process& p) {
     world.mobs_.dropped_batches->add(1);
     world.mobs_.dropped_bytes->add(batch.size());
     world.mobs_.dropped_records->add(batch_msgs);
-    if (p.meter_sock != 0) {
-      // First detection: flip to accounted drop mode and tell the parent
-      // (the meterdaemon forwards this upstream as a state note).
-      world.socket_unref(p.meter_sock);
-      p.meter_sock = 0;
-      p.meter_degraded = true;
-      Machine& mm = world.machine(p.machine);
-      world.push_child_change(mm, p.parent,
-                              ChildChange{p.pid, ChildEvent::meter_lost, 0});
-    }
+    meter_degrade(world, p);
     return;
   }
 

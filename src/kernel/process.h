@@ -22,6 +22,9 @@
 
 namespace dpm::kernel {
 
+class Machine;
+class Socket;
+
 enum class ProcStatus { embryo, alive, dead };
 
 /// What a child did; delivered to the parent like SIGCHLD + wait status.
@@ -62,6 +65,16 @@ class Process {
   // ---- the paper's three metering fields ----
   SocketId meter_sock = 0;           // hidden from the descriptor table
   meter::Flags meter_flags = 0;
+  /// Resolved meter-socket handle, memoized by id: World keeps Socket
+  /// objects alive (and at stable addresses) for its whole lifetime, so
+  /// meter_emit skips the socket-table lookup on every metered event. Only
+  /// trusted while `meter_sock_cache_id == meter_sock`; destruction shows
+  /// up in the cached object's own state.
+  Socket* meter_sock_cache = nullptr;
+  SocketId meter_sock_cache_id = 0;
+  /// The owning machine, resolved once: a process never migrates, and
+  /// Machine objects are as long-lived as Sockets.
+  Machine* machine_cache = nullptr;
   util::Bytes meter_pending;         // serialized, unsent meter messages
   std::uint32_t meter_pending_count = 0;
   /// Set when the meter connection died under the process (dead filter,

@@ -25,10 +25,13 @@ struct FrameRemainder {
   std::uint64_t tail = 0;
 };
 
-FrameRemainder count_remaining_frames(const Socket& s) {
+/// Core of the remainder walk over any indexable byte source: the receive
+/// buffer on the legacy transport, the ring's wrap-aware spans on the ring
+/// transport. `at(i)` must be valid for i in [0, n).
+template <typename ByteAt>
+FrameRemainder count_frames_over(const Socket& s, std::size_t n, ByteAt at) {
   FrameRemainder out;
   std::size_t pos = 0;
-  const std::size_t n = s.rbuf.size();
   std::uint8_t hdr[4] = {s.frame_hdr[0], s.frame_hdr[1], s.frame_hdr[2],
                          s.frame_hdr[3]};
   std::uint8_t hdr_have = s.frame_hdr_have;
@@ -36,7 +39,7 @@ FrameRemainder count_remaining_frames(const Socket& s) {
   if (hdr_have > 0 || need > 0) {
     out.head = 1;
     if (need == 0) {
-      while (hdr_have < 4 && pos < n) hdr[hdr_have++] = s.rbuf[pos++];
+      while (hdr_have < 4 && pos < n) hdr[hdr_have++] = at(pos++);
       if (hdr_have < 4) return out;  // remainder all belongs to the head
       const std::uint32_t size = static_cast<std::uint32_t>(hdr[0]) |
                                  static_cast<std::uint32_t>(hdr[1]) << 8 |
@@ -49,16 +52,28 @@ FrameRemainder count_remaining_frames(const Socket& s) {
   }
   while (n - pos >= 4) {
     const std::uint32_t size =
-        static_cast<std::uint32_t>(s.rbuf[pos]) |
-        static_cast<std::uint32_t>(s.rbuf[pos + 1]) << 8 |
-        static_cast<std::uint32_t>(s.rbuf[pos + 2]) << 16 |
-        static_cast<std::uint32_t>(s.rbuf[pos + 3]) << 24;
+        static_cast<std::uint32_t>(at(pos)) |
+        static_cast<std::uint32_t>(at(pos + 1)) << 8 |
+        static_cast<std::uint32_t>(at(pos + 2)) << 16 |
+        static_cast<std::uint32_t>(at(pos + 3)) << 24;
     if (size < 4 || n - pos < size) break;  // cut-short (or garbage) tail
     pos += size;
     ++out.complete;
   }
   if (pos < n) out.tail = 1;
   return out;
+}
+
+FrameRemainder count_remaining_frames(const Socket& s) {
+  if (s.ring_rx && s.ring && !s.ring->empty()) {
+    const auto sp = s.ring->spans();
+    return count_frames_over(
+        s, sp[0].size + sp[1].size, [&sp](std::size_t i) {
+          return i < sp[0].size ? sp[0].data[i] : sp[1].data[i - sp[0].size];
+        });
+  }
+  return count_frames_over(s, s.rbuf.size(),
+                           [&s](std::size_t i) { return s.rbuf[i]; });
 }
 
 }  // namespace
@@ -131,7 +146,8 @@ void World::destroy_socket(SocketId id) {
   if (s.sstate == Socket::StreamState::connected) close_stream(s);
   s.sstate = Socket::StreamState::closed;
   if (s.is_meter_conn &&
-      (!s.rbuf.empty() || s.frame_hdr_have > 0 || s.frame_need > 0)) {
+      (!s.rbuf.empty() || s.frame_hdr_have > 0 || s.frame_need > 0 ||
+       (s.ring_rx && s.ring && !s.ring->empty()))) {
     // Undelivered meter bytes die with the socket. Frame them the way the
     // filter would have: complete unread records are stranded, records cut
     // short (a partially-consumed head, a partial tail) are malformed —
@@ -144,6 +160,17 @@ void World::destroy_socket(SocketId id) {
   }
   mobs_.rbuf_bytes->sub(static_cast<std::int64_t>(s.rbuf.size()));
   s.rbuf.clear();
+  if (s.ring) {
+    if (s.ring_rx) {
+      // The draining endpoint dies: whatever ring residue was just booked
+      // as stranded/malformed is discarded, and the ring is closed so any
+      // surviving producer degrades instead of writing into the void.
+      mobs_.ring_occupancy->sub(static_cast<std::int64_t>(s.ring->size()));
+      s.ring->clear();
+      s.ring->closed = true;
+    }
+    s.ring.reset();
+  }
   s.dgrams.clear();
   s.readers.wake_all(exec_);
   s.writers.wake_all(exec_);
@@ -195,21 +222,61 @@ void World::kernel_stream_send(SocketId from, util::Bytes data,
                });
 }
 
+void World::kernel_ring_wakeup(SocketId from, bool reliable) {
+  Socket* s = find_socket(from);
+  if (!s || s->sstate != Socket::StreamState::connected || s->peer == 0) return;
+  Socket* peer = find_socket(s->peer);
+  if (!peer) return;
+  if (s->ring) {
+    s->ring->unsignalled_bytes = 0;
+    s->ring->unsignalled_records = 0;
+  }
+  mobs_.ring_wakeups->add(1);
+  const SocketId peer_id = peer->id;
+  // The data already sits in the shared ring; only this one-byte doorbell
+  // crosses the fabric. Threshold wakeups are droppable (the fault fabric
+  // may eat or delay them — a later wakeup, flush, or EOF re-arms the
+  // consumer); flush-forced wakeups ride reliably so termination always
+  // drains the ring.
+  fabric_.send(s->net_hint, s->machine, peer->machine, s->tx_channel,
+               /*droppable=*/!reliable, 1, [this, peer_id] {
+                 auto it = sockets_.find(peer_id);
+                 if (it == sockets_.end()) return;
+                 it->second->readers.wake_all(exec_);
+               });
+}
+
 void World::meter_consume(Socket& s, const std::uint8_t* data, std::size_t n) {
+  std::uint64_t consumed = 0;
   while (n > 0) {
     if (s.frame_need == 0) {
-      while (s.frame_hdr_have < 4 && n > 0) {
-        s.frame_hdr[s.frame_hdr_have++] = *data++;
-        --n;
+      std::uint32_t size;
+      if (s.frame_hdr_have == 0 && n >= 4) {
+        // Whole size word available in place — the steady state for every
+        // record after the first of a chunk.
+        size = static_cast<std::uint32_t>(data[0]) |
+               static_cast<std::uint32_t>(data[1]) << 8 |
+               static_cast<std::uint32_t>(data[2]) << 16 |
+               static_cast<std::uint32_t>(data[3]) << 24;
+        data += 4;
+        n -= 4;
+      } else {
+        while (s.frame_hdr_have < 4 && n > 0) {
+          s.frame_hdr[s.frame_hdr_have++] = *data++;
+          --n;
+        }
+        if (s.frame_hdr_have < 4) {
+          mobs_.consumed_records->add(consumed);
+          return;
+        }
+        size = static_cast<std::uint32_t>(s.frame_hdr[0]) |
+               static_cast<std::uint32_t>(s.frame_hdr[1]) << 8 |
+               static_cast<std::uint32_t>(s.frame_hdr[2]) << 16 |
+               static_cast<std::uint32_t>(s.frame_hdr[3]) << 24;
+        s.frame_hdr_have = 0;
       }
-      if (s.frame_hdr_have < 4) return;
-      const std::uint32_t size = static_cast<std::uint32_t>(s.frame_hdr[0]) |
-                                 static_cast<std::uint32_t>(s.frame_hdr[1]) << 8 |
-                                 static_cast<std::uint32_t>(s.frame_hdr[2]) << 16 |
-                                 static_cast<std::uint32_t>(s.frame_hdr[3]) << 24;
-      s.frame_hdr_have = 0;
       if (size <= 4) {  // degenerate frame: complete at its header
-        mobs_.consumed_records->add(1);
+        ++consumed;
         continue;
       }
       s.frame_need = size - 4;
@@ -218,8 +285,9 @@ void World::meter_consume(Socket& s, const std::uint8_t* data, std::size_t n) {
     s.frame_need -= static_cast<std::uint32_t>(take);
     data += take;
     n -= take;
-    if (s.frame_need == 0) mobs_.consumed_records->add(1);
+    if (s.frame_need == 0) ++consumed;
   }
+  mobs_.consumed_records->add(consumed);
 }
 
 MeterConservation World::meter_conservation() const {

@@ -13,10 +13,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 
 #include "kernel/types.h"
 #include "kernel/wait.h"
+#include "meter/ring.h"
 #include "net/address.h"
 #include "util/bytes.h"
 #include "util/result.h"
@@ -71,6 +73,14 @@ class Socket {
   /// Marks sockets created by setmeter plumbing (kept out of app stats).
   bool is_meter_conn = false;
 
+  // ---- Ring transport (meter conns with WorldConfig::meter_ring_bytes) ----
+  // Both endpoints of a meter connection share one ring: the metered
+  // process's kernel edge pushes encoded records, the filter's recv pops
+  // them. ring_rx marks the draining endpoint — residue accounting and the
+  // conservation walk count ring bytes there, and only there.
+  std::shared_ptr<meter::MeterRing> ring;
+  bool ring_rx = false;
+
   // Incremental frame cursor over *consumed* bytes (meter conns only):
   // tracks how far the reader has advanced through the framed record
   // stream, so record consumption is counted exactly and teardown can
@@ -82,7 +92,7 @@ class Socket {
   std::uint8_t frame_hdr_have = 0;
 
   bool stream_readable() const {
-    return !rbuf.empty() || eof ||
+    return !rbuf.empty() || (ring_rx && ring && !ring->empty()) || eof ||
            (sstate == StreamState::listening && !accept_queue.empty());
   }
   bool readable() const {

@@ -1,5 +1,6 @@
 #include "kernel/world.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "kernel/meter_hooks.h"
@@ -31,6 +32,9 @@ World::World(WorldConfig cfg)
   mobs_.rbuf_bytes = &obs_.gauge("kernel.rbuf_bytes");
   mobs_.batch_bytes = &obs_.histogram("kernel.meter_batch_bytes");
   mobs_.batch_msgs = &obs_.histogram("kernel.meter_batch_msgs");
+  mobs_.ring_occupancy = &obs_.gauge("ring.occupancy");
+  mobs_.ring_wakeups = &obs_.counter("ring.wakeups");
+  mobs_.ring_overflow_drops = &obs_.counter("ring.overflow_drops");
   machines_down_ = &obs_.gauge("kernel.machines_down");
 }
 
@@ -312,6 +316,9 @@ std::size_t World::reset_streams_between(MachineId a, MachineId b) {
                        (s.machine == b && peer->machine == a);
     if (spans) conns.emplace_back(id, s.peer);
   }
+  // sockets_ is hash-ordered; reset in id order so the EOF events are
+  // scheduled deterministically.
+  std::sort(conns.begin(), conns.end());
   for (auto [x, y] : conns) {
     // Close both endpoints: each side sees EOF after any data already in
     // flight; meter connections degrade at their next flush.

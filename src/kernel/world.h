@@ -9,6 +9,7 @@
 
 #include <functional>
 #include <map>
+#include <unordered_map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -178,6 +179,13 @@ class World {
   void kernel_stream_send(SocketId from, util::Bytes data,
                           std::uint32_t meter_msgs = 0);
 
+  /// Ring transport doorbell: sends a one-byte wakeup packet from the
+  /// producer endpoint toward the consumer so its parked readers re-check
+  /// the shared ring. Droppable unless `reliable` (flush/termination), so
+  /// the fault fabric can drop or spike the signalling edge without ever
+  /// touching ring data.
+  void kernel_ring_wakeup(SocketId from, bool reliable);
+
   /// Closes one endpoint: marks closed, tells the peer (EOF after data).
   void close_stream(Socket& s);
 
@@ -238,6 +246,7 @@ class World {
   friend class Sys;
   friend void meter_emit(World&, Process&, struct MeterEventDraft&&);
   friend void meter_flush(World&, Process&);
+  friend void meter_degrade(World&, Process&);
 
   void finalize_exit(std::shared_ptr<Process> p, int status, bool was_killed);
   void push_child_change(Machine& m, Pid parent, ChildChange change);
@@ -263,7 +272,10 @@ class World {
   std::map<MachineId, std::unique_ptr<Machine>> machines_;
   MachineId next_machine_ = 1;
   net::HostAddr next_addr_ = 1;
-  std::map<SocketId, std::unique_ptr<Socket>> sockets_;
+  // Hash-indexed: meter_emit resolves the meter socket (and its peer) on
+  // every metered event, so lookup cost is hot-path cost. Iteration sites
+  // that affect event ordering sort their worklists first.
+  std::unordered_map<SocketId, std::unique_ptr<Socket>> sockets_;
   SocketId next_socket_ = 1;
   std::uint64_t next_internal_name_ = 1;
   std::vector<ExitListener> exit_listeners_;
@@ -287,6 +299,10 @@ class World {
     obs::Gauge* rbuf_bytes = nullptr;      // sum of socket receive buffers
     obs::Histogram* batch_bytes = nullptr; // per delivered flush
     obs::Histogram* batch_msgs = nullptr;
+    // Ring transport instruments (meter_ring_bytes > 0).
+    obs::Gauge* ring_occupancy = nullptr;  // bytes across rings, high-water
+    obs::Counter* ring_wakeups = nullptr;  // wakeup packets sent
+    obs::Counter* ring_overflow_drops = nullptr;  // records dropped ring-full
   };
   MeterObs mobs_;
 

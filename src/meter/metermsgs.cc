@@ -204,10 +204,59 @@ util::Bytes MeterMsg::serialize() const {
 }
 
 void MeterMsg::serialize_into(util::Bytes& out) const {
-  util::BinaryWriter w(out);
+  // One resize for the whole record, then a span encode into it: the
+  // append-mode writer would grow `out` once per value, and this sits on
+  // the per-event emit path. wire_size() is exact (property-tested), but
+  // a mismatch must never corrupt the batch, so re-encode in append mode
+  // if the span encode does not land exactly on the precomputed size.
+  const std::size_t at = out.size();
+  const std::size_t n = wire_size();
+  out.resize(at + n);
+  util::BinaryWriter w(out.data() + at, n);
+  encode_into(w);
+  if (!w.ok() || w.size() != n) {
+    out.resize(at);
+    util::BinaryWriter fallback(out);
+    encode_into(fallback);
+  }
+}
+
+void MeterMsg::encode_into(util::BinaryWriter& w) const {
   write_header(w, header, type());
   std::visit(BodyWriter{w}, body);
   w.patch_u32(0, static_cast<std::uint32_t>(w.size()));
+}
+
+namespace {
+
+struct BodySizer {
+  // pid i32 + pc u32, common to every body.
+  static constexpr std::size_t kCommon = 8;
+
+  std::size_t operator()(const MeterSend& b) const {
+    return kCommon + 8 + 4 + 4 + b.dest_name.size();
+  }
+  std::size_t operator()(const MeterRecv& b) const {
+    return kCommon + 8 + 4 + 4 + b.source_name.size();
+  }
+  std::size_t operator()(const MeterRecvCall&) const { return kCommon + 8; }
+  std::size_t operator()(const MeterSockCrt&) const { return kCommon + 8 + 12; }
+  std::size_t operator()(const MeterDup&) const { return kCommon + 16; }
+  std::size_t operator()(const MeterDestSock&) const { return kCommon + 8; }
+  std::size_t operator()(const MeterFork&) const { return kCommon + 4; }
+  std::size_t operator()(const MeterAccept& b) const {
+    return kCommon + 16 + 8 + b.sock_name.size() + b.peer_name.size();
+  }
+  std::size_t operator()(const MeterConnect& b) const {
+    return kCommon + 8 + 8 + b.sock_name.size() + b.peer_name.size();
+  }
+  std::size_t operator()(const MeterTermProc&) const { return kCommon + 4; }
+};
+
+}  // namespace
+
+std::size_t MeterMsg::wire_size() const {
+  return kHeaderSize + std::visit(BodySizer{}, body);
 }
 
 namespace {

@@ -1,0 +1,83 @@
+#include "meter/ring.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace dpm::meter {
+
+MeterRing::MeterRing(std::size_t capacity_bytes)
+    : buf_(capacity_bytes > 0 ? capacity_bytes : 1, 0) {}
+
+std::size_t MeterRing::push(const MeterMsg& msg) {
+  const std::size_t n = msg.wire_size();
+  if (n == 0 || n > free()) return 0;
+  const std::size_t cap = buf_.size();
+  const std::size_t tail = (head_ + used_) % cap;
+  if (cap - tail >= n) {
+    // Common case: the record fits the contiguous tail region, so encode
+    // straight into ring storage. The span writer cannot pass `n`; if the
+    // encode disagrees with wire_size() it fails whole, never truncated.
+    util::BinaryWriter w(buf_.data() + tail, n);
+    msg.encode_into(w);
+    if (!w.ok() || w.size() != n) return 0;
+  } else {
+    // Wrap case: stage once, then split into two copies.
+    scratch_.clear();
+    msg.serialize_into(scratch_);
+    if (scratch_.size() != n) return 0;
+    const std::size_t first = cap - tail;
+    std::memcpy(buf_.data() + tail, scratch_.data(), first);
+    std::memcpy(buf_.data(), scratch_.data() + first, n - first);
+  }
+  used_ += n;
+  return n;
+}
+
+bool MeterRing::push_bytes(const std::uint8_t* data, std::size_t n) {
+  if (n > free()) return false;
+  const std::size_t cap = buf_.size();
+  const std::size_t tail = (head_ + used_) % cap;
+  const std::size_t first = n < cap - tail ? n : cap - tail;
+  if (first != 0) std::memcpy(buf_.data() + tail, data, first);
+  if (n - first != 0) std::memcpy(buf_.data(), data + first, n - first);
+  used_ += n;
+  return true;
+}
+
+std::size_t MeterRing::pop(util::Bytes& out, std::size_t max) {
+  const std::size_t n = max < used_ ? max : used_;
+  const std::size_t cap = buf_.size();
+  std::size_t taken = 0;
+  while (taken < n) {
+    const std::size_t run = cap - head_;
+    const std::size_t chunk = (n - taken) < run ? (n - taken) : run;
+    out.insert(out.end(), buf_.data() + head_, buf_.data() + head_ + chunk);
+    head_ = (head_ + chunk) % cap;
+    taken += chunk;
+  }
+  used_ -= n;
+  if (used_ == 0) {
+    // Fully drained: rewind so the next records encode contiguously, and
+    // retire any pending wakeup debt — the consumer is caught up.
+    head_ = 0;
+    unsignalled_bytes = 0;
+    unsignalled_records = 0;
+  }
+  return n;
+}
+
+std::array<MeterRing::Span, 2> MeterRing::spans() const {
+  const std::size_t cap = buf_.size();
+  const std::size_t first = used_ < cap - head_ ? used_ : cap - head_;
+  return {Span{buf_.data() + head_, first},
+          Span{buf_.data(), used_ - first}};
+}
+
+void MeterRing::clear() {
+  head_ = 0;
+  used_ = 0;
+  unsignalled_bytes = 0;
+  unsignalled_records = 0;
+}
+
+}  // namespace dpm::meter

@@ -1,0 +1,87 @@
+// SPSC ring-buffer transport for the meter path.
+//
+// The legacy transport batches serialized records in the emitting process
+// and ships each batch through the simulated network fabric as a stream
+// payload — one fabric packet plus a byte-by-byte receive-buffer copy per
+// batch. The ring replaces that with the perf/kmem idiom: a fixed byte
+// ring mapped (conceptually) between the metered process and its filter,
+// written in place by `meter_emit` and drained directly by the consumer's
+// recv. Only tiny *wakeup* packets cross the fabric, so the fault fabric
+// can still drop or delay the signalling edge without touching the data.
+//
+// Policy decisions that keep the conservation invariant exact:
+//  - a record is written whole or not at all; when it does not fit the
+//    producer drops it with accounting (overflow-to-drop), never truncates;
+//  - the consumer endpoint's teardown walks the residue with the same
+//    frame cursor used for receive buffers, booking complete frames as
+//    stranded and partial ones as malformed — ring bytes are never leaked.
+//
+// Single-producer/single-consumer is by construction: the simulation is
+// single-threaded and one meter connection has exactly one writing kernel
+// edge and one draining filter.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "meter/metermsgs.h"
+#include "util/bytes.h"
+
+namespace dpm::meter {
+
+class MeterRing {
+ public:
+  explicit MeterRing(std::size_t capacity_bytes);
+
+  std::size_t capacity() const { return buf_.size(); }
+  std::size_t size() const { return used_; }
+  std::size_t free() const { return buf_.size() - used_; }
+  bool empty() const { return used_ == 0; }
+
+  /// Producer side. Encodes `msg` directly into ring storage when the
+  /// contiguous tail region fits it (the common case — the ring resets to
+  /// offset 0 whenever it drains); a record that wraps the end of storage
+  /// is staged once through a reused scratch buffer and copied in two
+  /// memcpys. Returns the encoded size, or 0 when the record does not fit
+  /// in the free space — the ring is never partially written and the
+  /// record is never truncated; the caller drops it with accounting.
+  std::size_t push(const MeterMsg& msg);
+
+  /// Raw-byte producer path (tests and future pre-encoded producers).
+  /// Same whole-or-nothing contract as push().
+  bool push_bytes(const std::uint8_t* data, std::size_t n);
+
+  /// Consumer side: appends up to `max` bytes to `out` in FIFO order,
+  /// wrap-aware. Returns the byte count moved. Draining the ring empty
+  /// clears the producer's unsignalled counters (the consumer is caught
+  /// up, so those bytes no longer need a wakeup).
+  std::size_t pop(util::Bytes& out, std::size_t max);
+
+  struct Span {
+    const std::uint8_t* data = nullptr;
+    std::size_t size = 0;
+  };
+  /// The readable content as at most two contiguous spans, for teardown
+  /// and conservation walks that must see residue without consuming it.
+  std::array<Span, 2> spans() const;
+
+  /// Discards all content (consumer teardown, after the residue walk).
+  void clear();
+
+  // Producer-edge wakeup batching state: bytes/records written since the
+  // last wakeup packet was sent toward the consumer.
+  std::size_t unsignalled_bytes = 0;
+  std::uint64_t unsignalled_records = 0;
+  // Set when the consumer endpoint was destroyed: producers must degrade
+  // (drop with accounting) instead of writing into a ring nobody drains.
+  bool closed = false;
+
+ private:
+  util::Bytes buf_;
+  util::Bytes scratch_;  // reused staging for records that wrap
+  std::size_t head_ = 0; // offset of the oldest readable byte
+  std::size_t used_ = 0; // readable byte count
+};
+
+}  // namespace dpm::meter

@@ -2,10 +2,10 @@
 
 namespace dpm::sim {
 
-std::int64_t MachineClock::read_us(util::TimePoint true_now) const {
-  const double t = static_cast<double>(util::count_us(true_now));
-  const double skewed = t * (1.0 + cfg_.drift_ppm * 1e-6) +
-                        static_cast<double>(cfg_.offset.count());
+std::int64_t MachineClock::skewed_us(std::int64_t true_us) const {
+  const double skewed =
+      static_cast<double>(true_us) * (1.0 + cfg_.drift_ppm * 1e-6) +
+      static_cast<double>(cfg_.offset.count());
   const std::int64_t tick = cfg_.tick.count() > 0 ? cfg_.tick.count() : 1;
   const auto raw = static_cast<std::int64_t>(skewed);
   return (raw / tick) * tick;

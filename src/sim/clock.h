@@ -29,12 +29,25 @@ class MachineClock {
   explicit MachineClock(Config cfg) : cfg_(cfg) {}
 
   /// Local wall-clock reading, in microseconds since the machine's epoch.
-  std::int64_t read_us(util::TimePoint true_now) const;
+  /// Memoized on the true-time instant: in a discrete-event world many
+  /// reads land on the same instant (every event of an emit burst), and
+  /// the skew model is a pure function of it.
+  std::int64_t read_us(util::TimePoint true_now) const {
+    const std::int64_t t = util::count_us(true_now);
+    if (t == memo_t_) return memo_r_;
+    memo_t_ = t;
+    memo_r_ = skewed_us(t);
+    return memo_r_;
+  }
 
   const Config& config() const { return cfg_; }
 
  private:
+  std::int64_t skewed_us(std::int64_t true_us) const;
+
   Config cfg_;
+  mutable std::int64_t memo_t_ = -1;
+  mutable std::int64_t memo_r_ = 0;
 };
 
 }  // namespace dpm::sim

@@ -6,53 +6,13 @@
 
 namespace dpm::util {
 
-std::uint8_t* BinaryWriter::grow(std::size_t n) {
-  const std::size_t at = out_->size();
-  out_->resize(at + n);
-  return out_->data() + at;
-}
-
-void BinaryWriter::u8(std::uint8_t v) { out_->push_back(v); }
-
-void BinaryWriter::u16(std::uint16_t v) {
-  std::uint8_t* p = grow(2);
-  p[0] = static_cast<std::uint8_t>(v & 0xff);
-  p[1] = static_cast<std::uint8_t>(v >> 8);
-}
-
-void BinaryWriter::u32(std::uint32_t v) {
-  std::uint8_t* p = grow(4);
-  for (int i = 0; i < 4; ++i) {
-    p[i] = static_cast<std::uint8_t>(v & 0xff);
-    v >>= 8;
-  }
-}
-
-void BinaryWriter::u64(std::uint64_t v) {
-  std::uint8_t* p = grow(8);
-  for (int i = 0; i < 8; ++i) {
-    p[i] = static_cast<std::uint8_t>(v & 0xff);
-    v >>= 8;
-  }
-}
-
-void BinaryWriter::i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
-void BinaryWriter::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
-
-void BinaryWriter::raw(const std::uint8_t* data, std::size_t n) {
-  if (n != 0) std::memcpy(grow(n), data, n);
-}
-
-void BinaryWriter::raw(const Bytes& b) { raw(b.data(), b.size()); }
-
-void BinaryWriter::lstring(std::string_view s) {
-  std::uint8_t* p = grow(4 + s.size());
-  std::uint32_t len = static_cast<std::uint32_t>(s.size());
-  for (int i = 0; i < 4; ++i) {
-    p[i] = static_cast<std::uint8_t>(len & 0xff);
-    len >>= 8;
-  }
-  if (!s.empty()) std::memcpy(p + 4, s.data(), s.size());
+std::uint8_t* BinaryWriter::grow_overflow(std::size_t n) {
+  // Span overflow: fail safe into a discard buffer. fixed_pos_ keeps
+  // advancing so size() reports the capacity the encode needed.
+  overflow_ = true;
+  fixed_pos_ += n;
+  if (own_.size() < n) own_.resize(n);
+  return own_.data();
 }
 
 void BinaryWriter::fixed_string(std::string_view s, std::size_t width) {
@@ -63,6 +23,15 @@ void BinaryWriter::fixed_string(std::string_view s, std::size_t width) {
 }
 
 void BinaryWriter::patch_u32(std::size_t at, std::uint32_t v) {
+  if (fixed_ != nullptr) {
+    if (overflow_ || at + 4 > fixed_pos_ || at + 4 > fixed_cap_) return;
+    for (int i = 0; i < 4; ++i) {
+      fixed_[at + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(v & 0xff);
+      v >>= 8;
+    }
+    return;
+  }
   for (int i = 0; i < 4; ++i) {
     out_->at(base_ + at + i) = static_cast<std::uint8_t>(v & 0xff);
     v >>= 8;
@@ -70,7 +39,8 @@ void BinaryWriter::patch_u32(std::size_t at, std::uint32_t v) {
 }
 
 Bytes BinaryWriter::take() {
-  assert(out_ == &own_ && "take() is only valid for an owned buffer");
+  assert(out_ == &own_ && fixed_ == nullptr &&
+         "take() is only valid for an owned buffer");
   return std::move(own_);
 }
 

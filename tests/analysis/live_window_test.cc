@@ -58,6 +58,35 @@ TEST(RollingWindow, PerSecondScalesBySpan) {
   EXPECT_DOUBLE_EQ(w.per_second(), 0.0);
 }
 
+TEST(RollingWindow, EdgeEventCountedInExactlyOneWindow) {
+  // Regression for the window-boundary tick: the window at `now` is the
+  // half-open interval (now - span, now]. An event landing exactly on the
+  // edge between two adjacent windows belongs to the earlier one only —
+  // present for every `now` in [t, t + span), evicted at the first tick
+  // where now == t + span, so it is never counted twice and never lost.
+  const std::int64_t span = 1000;
+  const std::int64_t t = 5000;
+  RollingWindow w(span);
+  w.add(t);
+  EXPECT_EQ(w.count(), 1u);          // its own window sees it immediately
+  w.advance(t + span - 1);
+  EXPECT_EQ(w.count(), 1u);          // last tick of the first window: in
+  w.advance(t + span);
+  EXPECT_EQ(w.count(), 0u);          // first tick of the next window: out
+  EXPECT_EQ(w.sum(), 0);
+
+  // The same edge with a fresh window and one advance step straight over
+  // the boundary: the event is still counted exactly once overall.
+  RollingWindow v(span);
+  v.add(t);
+  std::int64_t observed = 0;
+  for (std::int64_t now = t; now <= t + span; ++now) {
+    v.advance(now);
+    observed += v.count();
+  }
+  EXPECT_EQ(observed, span);  // in for ticks [t, t+span), out at t+span
+}
+
 TEST(RollingWindow, NonPositiveSpanClampsToOne) {
   RollingWindow w(0);
   w.add(100);

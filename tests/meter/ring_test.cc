@@ -1,0 +1,224 @@
+// MeterRing: the SPSC byte ring behind the fast meter transport. The
+// contracts under test are exactly the ones conservation depends on —
+// FIFO byte identity with the legacy serialize path, whole-or-nothing
+// push (overflow drops, never truncates), wrap-transparent reads, and
+// wire_size() agreeing with serialize() for every message shape.
+#include "meter/ring.h"
+
+#include <deque>
+
+#include <gtest/gtest.h>
+
+#include "meter/metermsgs.h"
+#include "util/rng.h"
+
+namespace dpm::meter {
+namespace {
+
+std::string random_name(util::Rng& rng) {
+  if (rng.bernoulli(0.15)) return "";
+  return std::to_string(rng.uniform(0, 300000));
+}
+
+/// A random message drawn from all ten event types (the record_view
+/// property-test generator, so ring coverage matches filter coverage).
+MeterMsg random_msg(util::Rng& rng) {
+  MeterMsg m;
+  const Pid pid = static_cast<Pid>(rng.uniform(1, 30));
+  const SocketId sock = rng.uniform(0, 8);
+  switch (rng.uniform(0, 10)) {
+    case 0:
+      m.body = MeterSend{pid, 0, sock,
+                         static_cast<std::uint32_t>(rng.uniform(0, 2048)),
+                         random_name(rng)};
+      break;
+    case 1:
+      m.body = MeterRecv{pid, 0, sock,
+                         static_cast<std::uint32_t>(rng.uniform(0, 2048)),
+                         random_name(rng)};
+      break;
+    case 2: m.body = MeterRecvCall{pid, 0, sock}; break;
+    case 3:
+      m.body = MeterSockCrt{pid, 0, sock, 2, 1, 0};
+      break;
+    case 4: m.body = MeterDup{pid, 0, sock, sock + 1}; break;
+    case 5: m.body = MeterDestSock{pid, 0, sock}; break;
+    case 6: m.body = MeterFork{pid, 0, static_cast<Pid>(pid + 1)}; break;
+    case 7:
+      m.body = MeterAccept{pid, 0, sock, sock + 1, random_name(rng),
+                           random_name(rng)};
+      break;
+    case 8:
+      m.body = MeterConnect{pid, 0, sock, random_name(rng), random_name(rng)};
+      break;
+    default: m.body = MeterTermProc{pid, 0, 0}; break;
+  }
+  m.header.machine = static_cast<std::uint16_t>(rng.uniform(0, 6));
+  m.header.cpu_time = rng.uniform(0, 20000);
+  m.header.proc_time = rng.uniform(0, 1000);
+  return m;
+}
+
+TEST(MeterRing, WireSizeMatchesSerializedSizeForEveryShape) {
+  // wire_size() is what the producer reserves (or drops) by; if it ever
+  // disagrees with the actual encoding the ring either wedges or leaks.
+  util::Rng rng(4242);
+  for (int i = 0; i < 2000; ++i) {
+    const MeterMsg m = random_msg(rng);
+    EXPECT_EQ(m.wire_size(), m.serialize().size()) << m.pretty();
+  }
+}
+
+TEST(MeterRing, PushedBytesEqualSerializedBytes) {
+  util::Rng rng(7);
+  MeterRing ring(4096);
+  util::Bytes expect;
+  for (int i = 0; i < 20; ++i) {
+    const MeterMsg m = random_msg(rng);
+    const std::size_t n = ring.push(m);
+    ASSERT_EQ(n, m.wire_size());
+    m.serialize_into(expect);
+  }
+  util::Bytes got;
+  EXPECT_EQ(ring.pop(got, expect.size() + 100), expect.size());
+  EXPECT_EQ(got, expect);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(MeterRing, FifoUnderRandomInterleaveIncludingWrap) {
+  // Property: against a reference byte deque, any interleave of pushes
+  // and partial pops reads back the identical byte stream — including
+  // when records wrap the end of storage.
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    util::Rng rng(seed * 1031);
+    MeterRing ring(256);  // small: wraps constantly
+    std::deque<std::uint8_t> reference;
+    int wraps_exercised = 0;
+    for (int step = 0; step < 4000; ++step) {
+      if (rng.bernoulli(0.55)) {
+        const MeterMsg m = random_msg(rng);
+        const util::Bytes wire = m.serialize();
+        const std::size_t before = ring.free();
+        const std::size_t n = ring.push(m);
+        if (wire.size() <= before) {
+          ASSERT_EQ(n, wire.size());
+          reference.insert(reference.end(), wire.begin(), wire.end());
+          if (ring.spans()[1].size > 0) ++wraps_exercised;
+        } else {
+          // Overflow: whole-or-nothing, ring untouched.
+          ASSERT_EQ(n, 0u);
+          ASSERT_EQ(ring.free(), before);
+        }
+      } else {
+        util::Bytes out;
+        const std::size_t want = 1 + rng.uniform(0, 96);
+        const std::size_t got = ring.pop(out, want);
+        ASSERT_EQ(got, std::min(want, reference.size()));
+        ASSERT_EQ(out.size(), got);
+        for (std::size_t i = 0; i < got; ++i) {
+          ASSERT_EQ(out[i], reference.front()) << "seed " << seed;
+          reference.pop_front();
+        }
+      }
+      ASSERT_EQ(ring.size(), reference.size());
+    }
+    EXPECT_GT(wraps_exercised, 0) << "seed " << seed;
+  }
+}
+
+TEST(MeterRing, WrappedRecordReadsBackIdenticalToContiguousRecord) {
+  // The same record pushed through the wrap path (two memcpys via
+  // scratch) and the in-place path must produce identical bytes.
+  util::Rng rng(99);
+  const MeterMsg m = random_msg(rng);
+  const util::Bytes wire = m.serialize();
+
+  MeterRing contiguous(512);
+  ASSERT_EQ(contiguous.push(m), wire.size());
+
+  MeterRing wrapped(wire.size() + 8);  // capacity barely above one record
+  util::Bytes pad(wire.size() - 4, 0xab);
+  ASSERT_TRUE(wrapped.push_bytes(pad.data(), pad.size()));
+  util::Bytes sink;
+  ASSERT_EQ(wrapped.pop(sink, pad.size() - 2), pad.size() - 2);
+  ASSERT_EQ(wrapped.push(m), wire.size());  // tail region too short: wraps
+  ASSERT_GT(wrapped.spans()[1].size, 0u);
+
+  util::Bytes a, b;
+  (void)contiguous.pop(a, 4096);
+  (void)wrapped.pop(b, 4096);
+  ASSERT_EQ(b.size(), 2 + wire.size());
+  b.erase(b.begin(), b.begin() + 2);  // the pad remainder
+  EXPECT_EQ(a, wire);
+  EXPECT_EQ(b, wire);
+}
+
+TEST(MeterRing, OversizedRecordIsRefusedWholeNotTruncated) {
+  // Satellite: a record larger than the remaining (or total) capacity is
+  // refused with the ring untouched — push never writes a partial record
+  // the frame cursor would misparse.
+  MeterMsg m;
+  m.body = MeterAccept{1, 0, 2, 3, std::string(300, 'x'), std::string(300, 'y')};
+  MeterRing tiny(64);
+  ASSERT_GT(m.wire_size(), tiny.capacity());
+  EXPECT_EQ(tiny.push(m), 0u);
+  EXPECT_TRUE(tiny.empty());
+  EXPECT_EQ(tiny.spans()[0].size, 0u);
+
+  // Partially full: same refusal when only the *remaining* space is short.
+  MeterRing ring(m.wire_size() + 16);
+  MeterMsg small;
+  small.body = MeterDestSock{1, 0, 2};
+  ASSERT_GT(ring.push(small), 0u);
+  const std::size_t used = ring.size();
+  EXPECT_EQ(ring.push(m), 0u);
+  EXPECT_EQ(ring.size(), used);  // nothing half-written
+  util::Bytes out;
+  (void)ring.pop(out, 4096);
+  EXPECT_EQ(out, small.serialize());  // first record still intact
+}
+
+TEST(MeterRing, DrainResetsWakeupDebtAndRewindsHead) {
+  util::Rng rng(17);
+  MeterRing ring(1024);
+  const MeterMsg m = random_msg(rng);
+  ASSERT_GT(ring.push(m), 0u);
+  ring.unsignalled_bytes = ring.size();
+  ring.unsignalled_records = 1;
+  util::Bytes out;
+  (void)ring.pop(out, 4096);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.unsignalled_bytes, 0u);
+  EXPECT_EQ(ring.unsignalled_records, 0u);
+  // Rewound: the next record lands contiguously at offset 0.
+  ASSERT_GT(ring.push(m), 0u);
+  EXPECT_EQ(ring.spans()[1].size, 0u);
+}
+
+TEST(MeterRing, SpanWriterRefusesOverflowInsteadOfTruncating) {
+  // The in-place encode contract push() relies on: a span writer that
+  // runs out of capacity flips ok() to false, keeps counting the bytes
+  // the encode would have needed, and never writes past the region.
+  MeterMsg m;
+  m.body = MeterConnect{7, 0, 3, "123456", "654321"};
+  const util::Bytes wire = m.serialize();
+  ASSERT_GT(wire.size(), 8u);
+
+  util::Bytes region(wire.size(), 0xcd);
+  util::BinaryWriter short_w(region.data(), 8);
+  m.encode_into(short_w);
+  EXPECT_FALSE(short_w.ok());
+  EXPECT_EQ(short_w.size(), wire.size());  // needed capacity, not clipped
+  for (std::size_t i = 8; i < region.size(); ++i) {
+    ASSERT_EQ(region[i], 0xcd) << "wrote past capacity at " << i;
+  }
+
+  util::BinaryWriter exact_w(region.data(), region.size());
+  m.encode_into(exact_w);
+  EXPECT_TRUE(exact_w.ok());
+  EXPECT_EQ(exact_w.size(), wire.size());
+  EXPECT_EQ(region, wire);  // back-patched size word included
+}
+
+}  // namespace
+}  // namespace dpm::meter

@@ -57,6 +57,33 @@ TEST(HistogramTest, Log2BucketBoundaries) {
   EXPECT_EQ(Histogram::bucket_bound(63), INT64_MAX);
 }
 
+TEST(HistogramTest, ExactPowersOfTwoLandInOneDeterministicBucket) {
+  // Table-driven audit of the 2^k edges: bucket i covers [2^(i-1), 2^i),
+  // so 2^k is the *first* value of bucket k+1, never the last of bucket k.
+  // An off-by-one here would shuffle batch-size histograms between runs
+  // and make `dpmstat diff` unstable at round sample values.
+  for (int k = 0; k <= 62; ++k) {
+    const std::int64_t p = std::int64_t{1} << k;
+    const int expected = k + 1 < Histogram::kBuckets ? k + 1
+                                                     : Histogram::kBuckets - 1;
+    EXPECT_EQ(Histogram::bucket_of(p), expected) << "2^" << k;
+    if (k >= 1) {
+      EXPECT_EQ(Histogram::bucket_of(p - 1), k) << "2^" << k << " - 1";
+    }
+    if (p - 1 >= 1) {
+      // Each bucket's inclusive upper bound is one below the next power.
+      EXPECT_EQ(Histogram::bucket_bound(k), p - 1) << "bound(" << k << ")";
+    }
+  }
+  // Recording exactly 2^k must bump exactly that one bucket.
+  Histogram h;
+  h.record(4096);  // 2^12 -> bucket 13
+  const std::uint64_t* b = h.buckets();
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    EXPECT_EQ(b[i], i == 13 ? 1u : 0u) << "bucket " << i;
+  }
+}
+
 TEST(HistogramTest, CountSumMinMax) {
   Histogram h;
   EXPECT_EQ(h.min(), 0);

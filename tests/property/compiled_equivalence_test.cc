@@ -1,9 +1,12 @@
 // Property test for the compiled template engine: on records decoded via
 // the standard descriptions, CompiledTemplates must produce byte-identical
 // accept/discard decisions to the interpreted Templates evaluator, for
-// random rule sets over random meter messages.
+// random rule sets over random meter messages. The lowered FilterBytecode
+// must in turn agree with CompiledTemplates on wire-byte views — before,
+// during, and after its adaptive clause reorder.
 #include <gtest/gtest.h>
 
+#include "filter/bytecode.h"
 #include "filter/compiled_templates.h"
 #include "filter/trace.h"
 #include "meter/metermsgs.h"
@@ -134,6 +137,94 @@ TEST_P(CompiledEquivalence, MatchesInterpretedOnDecodedRecords) {
       }
     }
   }
+}
+
+TEST_P(CompiledEquivalence, BytecodeMatchesCompiledAndInterpretedOnViews) {
+  // Three-way equivalence on the zero-copy path: for the same wire bytes,
+  // bytecode(view) == compiled(view), and both agree with the interpreted
+  // evaluator on the decoded record — accept bit and discard-edited trace
+  // line alike.
+  util::Rng rng(GetParam() * 271 + 3);
+  auto desc = Descriptions::parse(default_descriptions_text());
+  ASSERT_TRUE(desc.has_value());
+
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::string text = random_rules(rng);
+    auto templ = Templates::parse(text);
+    ASSERT_TRUE(templ.has_value()) << text;
+    const auto compiled = CompiledTemplates::compile(*templ, *desc);
+    FilterBytecode bytecode = FilterBytecode::lower(compiled);
+
+    for (int i = 0; i < 40; ++i) {
+      const util::Bytes wire = random_msg(rng).serialize();
+      const std::uint32_t size = static_cast<std::uint32_t>(wire.size());
+      auto v = make_record_view(wire.data(), size);
+      ASSERT_TRUE(v.has_value());
+      const auto cv = compiled.evaluate(*v);
+      const auto bv = bytecode.evaluate(*v);
+      ASSERT_EQ(cv.has_value(), bv.has_value()) << text;
+      if (!cv) continue;
+      ASSERT_EQ(cv->accept, bv->accept)
+          << "rules:\n" << text << "record: " << random_msg(rng).pretty();
+      auto rec = desc->decode(wire);
+      ASSERT_TRUE(rec.has_value());
+      const Templates::Decision id = templ->evaluate(*rec);
+      ASSERT_EQ(bv->accept, id.accept) << "rules:\n" << text;
+      if (bv->accept) {
+        ASSERT_EQ(trace_line(*rec, bv->discard), trace_line(*rec, id.discard))
+            << "rules:\n" << text;
+        ASSERT_EQ(trace_line(*rec, bv->discard), trace_line(*rec, cv->discard))
+            << "rules:\n" << text;
+      }
+    }
+  }
+}
+
+TEST_P(CompiledEquivalence, BytecodeStaysEquivalentAcrossAdaptiveReorder) {
+  // Feed far more records of one type than the learn window so the
+  // program regenerates with reordered clauses; decisions and discard
+  // masks must be identical on every record before and after.
+  util::Rng rng(GetParam() * 8837 + 11);
+  auto desc = Descriptions::parse(default_descriptions_text());
+  ASSERT_TRUE(desc.has_value());
+
+  // Multi-clause rules over one hot type so fail counts accumulate
+  // unevenly and the reorder actually permutes something.
+  const std::string text =
+      "type=1, msgLength>1024, pid<15, machine=2\n"
+      "type=1, pid>=15, msgLength<=64\n"
+      "machine<3, type=1, sock>2\n";
+  auto templ = Templates::parse(text);
+  ASSERT_TRUE(templ.has_value());
+  const auto compiled = CompiledTemplates::compile(*templ, *desc);
+  FilterBytecode bytecode = FilterBytecode::lower(compiled);
+
+  for (int i = 0; i < 1200; ++i) {
+    meter::MeterMsg m;
+    m.body = meter::MeterSend{
+        static_cast<meter::Pid>(rng.uniform(1, 30)), 0,
+        static_cast<meter::SocketId>(rng.uniform(0, 8)),
+        static_cast<std::uint32_t>(rng.uniform(0, 2048)), random_name(rng)};
+    m.header.machine = static_cast<std::uint16_t>(rng.uniform(0, 6));
+    m.header.cpu_time = rng.uniform(0, 20000);
+    const util::Bytes wire = m.serialize();
+    auto v = make_record_view(wire.data(), static_cast<std::uint32_t>(wire.size()));
+    ASSERT_TRUE(v.has_value());
+    const auto cv = compiled.evaluate(*v);
+    const auto bv = bytecode.evaluate(*v);
+    ASSERT_TRUE(cv.has_value());
+    ASSERT_TRUE(bv.has_value());
+    ASSERT_EQ(cv->accept, bv->accept) << "at record " << i;
+    if (cv->accept) {
+      auto rec = desc->decode(wire);
+      ASSERT_TRUE(rec.has_value());
+      ASSERT_EQ(trace_line(*rec, cv->discard), trace_line(*rec, bv->discard))
+          << "at record " << i;
+    }
+  }
+  // The warmup was long enough that the one-shot reorder actually fired.
+  EXPECT_GT(bytecode.reorders(), 0u);
+  EXPECT_GT(bytecode.ops_executed(), 1200u);
 }
 
 TEST_P(CompiledEquivalence, EmptyRuleSetAgrees) {
