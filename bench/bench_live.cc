@@ -212,17 +212,24 @@ int run(int events, double min_seconds, int reps, bool smoke) {
     return 1;
   }
 
-  bool all_equivalent = true;
+  bool all_ok = true;
   for (const WorkloadResult& r : rs) {
     std::printf(
         "bench_live%s: %-13s %6d events, %5zu pairs: batch %9.0f ev/s, "
         "live %9.0f ev/s (%.2fx), equivalent=%s\n",
         smoke ? " --smoke" : "", r.workload, r.events, r.pairs, r.batch_eps,
         r.live_eps, r.ratio, r.equivalent ? "true" : "false");
-    all_equivalent = all_equivalent && r.equivalent;
+    all_ok = all_ok && r.equivalent;
+    // A workload that completes zero pairs exercises none of the
+    // relaxation machinery — the measurement would be vacuous.
+    if (r.pairs == 0) {
+      std::fprintf(stderr, "bench_live: workload '%s' completed no pairs\n",
+                   r.workload);
+      all_ok = false;
+    }
   }
   std::printf("wrote %s\n", kJsonPath);
-  return all_equivalent ? 0 : 1;
+  return all_ok ? 0 : 1;
 }
 
 }  // namespace

@@ -38,12 +38,50 @@ inline constexpr Workload kWorkloads[] = {
 /// Messages of one workload, header fields varied the way a live meter
 /// varies them. Socket names reuse the paper's single-decimal internet
 /// rendering; a few are empty (unknown peer) and a few long.
+///
+/// Every workload opens with a joined stream channel (connect on machine
+/// 1, accept on machine 2) and routes one event in three over it as a
+/// completed send/receive pair, so message pairing — and everything
+/// downstream of it (happens-before edges, critical path) — has real
+/// work on every workload, not just the dedicated "paired" stream.
 inline std::vector<meter::MeterMsg> make_messages(Workload w, int n) {
   using namespace meter;
   std::vector<MeterMsg> out;
-  out.reserve(static_cast<std::size_t>(n));
+  out.reserve(static_cast<std::size_t>(n) + 2);
+  {
+    MeterMsg c;
+    c.body = MeterConnect{1, 0, 5, "111", "222"};
+    c.header.machine = 1;
+    c.header.cpu_time = 0;
+    out.push_back(std::move(c));
+    MeterMsg a;
+    a.body = MeterAccept{2, 0, 6, 7, "222", "111"};
+    a.header.machine = 2;
+    a.header.cpu_time = 500;
+    out.push_back(std::move(a));
+  }
   for (int i = 0; i < n; ++i) {
     MeterMsg m;
+    // Channel slice: a send from the connect endpoint immediately
+    // followed by the matching receive at the accept endpoint.
+    if (i % 6 == 0) {
+      m.body = MeterSend{1, 0, 5, static_cast<std::uint32_t>(32 + i % 1024),
+                         ""};
+      m.header.machine = 1;
+      m.header.cpu_time = 1000 * i;
+      m.header.proc_time = 10000 * (i / 16);
+      out.push_back(std::move(m));
+      continue;
+    }
+    if (i % 6 == 1) {
+      m.body = MeterRecv{2, 0, 7,
+                         static_cast<std::uint32_t>(32 + (i - 1) % 1024), ""};
+      m.header.machine = 2;
+      m.header.cpu_time = 1000 * i + 700;
+      m.header.proc_time = 10000 * (i / 16);
+      out.push_back(std::move(m));
+      continue;
+    }
     switch (w) {
       case Workload::sendrecv:
         switch (i % 3) {

@@ -98,6 +98,7 @@ int run_smoke(const std::string& out_path) {
   kernel::World world;
   world.add_machine("red");
   world.add_machine("green");
+  for (int i = 1; i <= 3; ++i) world.add_machine("g" + std::to_string(i));
   control::install_monitor(world);
   apps::install_everywhere(world);
   control::spawn_meterdaemons(world);
@@ -106,10 +107,15 @@ int run_smoke(const std::string& out_path) {
   world.run();
   (void)session.drain_output();
 
+  // Batched RPC + a small fan-in tree (3 leaves at arity 2 gives two
+  // aggregators), so the shard.*, localfilter.*, aggregator.*, and fanin.*
+  // instruments all appear in the snapshot.
+  (void)session.command("rpcmode batched 4");
   (void)session.command("filter f1 red");
+  (void)session.command("fanin f1 2 g 1 3");
   (void)session.command("newjob smoke");
-  (void)session.command("addprocess smoke green pingpong_server 4700 3");
-  (void)session.command("addprocess smoke red pingpong_client green 4700 3 64");
+  (void)session.command("addprocess smoke g1 pingpong_server 4700 3");
+  (void)session.command("addprocess smoke g2 pingpong_client g1 4700 3 64");
   (void)session.command("setflags smoke all");
   const std::string mid = world.obs_snapshot();
 
@@ -131,8 +137,9 @@ int run_smoke(const std::string& out_path) {
   const obs::Snapshot b = parse_or_die(final_snap, "final snapshot");
 
   // The whole monitor must be visible: one registry, every layer.
-  const std::vector<std::string> want = {"control", "daemon", "filter",
-                                         "kernel",  "net",    "sim"};
+  const std::vector<std::string> want = {
+      "aggregator", "control", "daemon", "fanin", "filter",
+      "kernel",     "localfilter", "net", "shard", "sim"};
   const auto have = b.subsystems();
   for (const auto& w : want) {
     if (std::find(have.begin(), have.end(), w) == have.end()) {

@@ -16,16 +16,18 @@ repo="$(pwd)"
 build="${1:-build}"
 bench="$repo/$build/bench"
 
-for bin in bench_pipeline bench_filter; do
+for bin in bench_pipeline bench_filter bench_scale; do
   if [ ! -x "$bench/$bin" ]; then
     echo "check_bench: $bench/$bin not built" >&2
     exit 1
   fi
 done
-if [ ! -f "$repo/BENCH_pipeline.json" ]; then
-  echo "check_bench: no committed BENCH_pipeline.json to compare against" >&2
-  exit 1
-fi
+for f in BENCH_pipeline.json BENCH_scale.json; do
+  if [ ! -f "$repo/$f" ]; then
+    echo "check_bench: no committed $f to compare against" >&2
+    exit 1
+  fi
+done
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -59,6 +61,32 @@ for wl in $(jq -r '.e2e[].workload' "$repo/BENCH_pipeline.json"); do
   echo "   $wl: recorded ${rec}x, fresh ${fresh}x -> $ok"
   if [ "$ok" != "yes" ]; then
     echo "check_bench: $wl regressed: ${fresh}x < 0.8 * ${rec}x" >&2
+    fail=1
+  fi
+done
+
+echo "== bench_scale --smoke (fan-in conservation + batched-RPC gate)"
+"$bench/bench_scale" --smoke
+
+# The cluster-scale metrics are simulated time, so they are deterministic:
+# a fresh smoke run must reproduce the committed file's smoke section to
+# within the same 20% headroom (which here only absorbs intentional
+# retunings of simulated costs, not host noise). The committed file is
+# written by a full run but always embeds the smoke-size section.
+for key in '.smoke.speedup.start' '.smoke.speedup.kill' \
+           '.smoke.scaling.hier'; do
+  rec="$(jq -r "$key" "$repo/BENCH_scale.json")"
+  fresh="$(jq -r "$key" BENCH_scale.json)"
+  if [ -z "$fresh" ] || [ "$fresh" = "null" ] || [ -z "$rec" ] || \
+     [ "$rec" = "null" ]; then
+    echo "check_bench: $key missing from BENCH_scale.json" >&2
+    fail=1
+    continue
+  fi
+  ok="$(echo "$fresh $rec" | awk '{print ($1 >= 0.8 * $2) ? "yes" : "no"}')"
+  echo "   scale $key: recorded $rec, fresh $fresh -> $ok"
+  if [ "$ok" != "yes" ]; then
+    echo "check_bench: scale $key regressed: $fresh < 0.8 * $rec" >&2
     fail=1
   fi
 done

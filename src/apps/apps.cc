@@ -46,6 +46,8 @@ void register_all(kernel::ExecRegistry& r) {
   r.register_program("pingpong_client", make_pingpong_client);
   r.register_program("dgram_sink", make_dgram_sink);
   r.register_program("dgram_sender", make_dgram_sender);
+  r.register_program("burst_sender", make_burst_sender);
+  r.register_program("waiter", make_waiter);
   r.register_program("echo_server", make_echo_server);
   r.register_program("echo_client", make_echo_client);
   r.register_program("ring_node", make_ring_node);
@@ -61,7 +63,8 @@ void install_everywhere(kernel::World& world) {
   register_all(world.programs());
   static const char* kNames[] = {
       "hello",       "pingpong_server", "pingpong_client", "dgram_sink",
-      "dgram_sender", "echo_server",    "echo_client",     "ring_node",
+      "dgram_sender", "burst_sender",   "waiter",
+      "echo_server",    "echo_client",     "ring_node",
       "pipe_source", "pipe_stage",      "pipe_sink",       "tsp_master",
       "grid_node",
       "tsp_worker",

@@ -33,6 +33,11 @@ kernel::ProcessMain make_pingpong_server(const std::vector<std::string>& argv);
 kernel::ProcessMain make_pingpong_client(const std::vector<std::string>& argv);
 kernel::ProcessMain make_dgram_sink(const std::vector<std::string>& argv);
 kernel::ProcessMain make_dgram_sender(const std::vector<std::string>& argv);
+/// Datagram burst with a size pattern: every Nth datagram is large, the
+/// rest small — the scale bench's selectivity knob.
+kernel::ProcessMain make_burst_sender(const std::vector<std::string>& argv);
+/// Parks forever (timeout-less select); alive until killed, zero events.
+kernel::ProcessMain make_waiter(const std::vector<std::string>& argv);
 kernel::ProcessMain make_echo_server(const std::vector<std::string>& argv);
 kernel::ProcessMain make_echo_client(const std::vector<std::string>& argv);
 kernel::ProcessMain make_ring_node(const std::vector<std::string>& argv);

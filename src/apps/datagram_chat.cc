@@ -61,4 +61,53 @@ kernel::ProcessMain make_dgram_sender(const std::vector<std::string>& argv) {
   };
 }
 
+kernel::ProcessMain make_burst_sender(const std::vector<std::string>& argv) {
+  return [argv](Sys& sys) {
+    // "self" targets the sender's own machine: one addgroup line can then
+    // start a sender per machine without naming each host.
+    const std::string host = arg_str(argv, 1, "self");
+    const auto port = static_cast<net::Port>(arg_int(argv, 2, 6000));
+    const auto count = arg_int(argv, 3, 64);
+    const auto small = static_cast<std::size_t>(arg_int(argv, 4, 64));
+    const auto big = static_cast<std::size_t>(arg_int(argv, 5, 512));
+    const auto every = arg_int(argv, 6, 8);
+    const auto gap_us = arg_int(argv, 7, 500);
+
+    auto addr = sys.resolve(host == "self" ? sys.hostname() : host, port);
+    if (!addr) sys.exit(1);
+    auto fd = sys.socket(SockDomain::internet, SockType::dgram);
+    if (!fd) sys.exit(1);
+    if (!sys.connect(*fd, *addr)) sys.exit(1);
+
+    const util::Bytes s_msg = payload(small, 0x21);
+    const util::Bytes b_msg = payload(big, 0x22);
+    for (std::int64_t i = 0; i < count; ++i) {
+      // Every `every`-th datagram is the large one: with a size-selective
+      // filter rule, exactly 1/every of this sender's records survive.
+      (void)sys.send(*fd, (every > 0 && i % every == 0) ? b_msg : s_msg);
+      sys.sleep(util::usec(gap_us));
+    }
+    sys.exit(0);
+  };
+}
+
+kernel::ProcessMain make_waiter(const std::vector<std::string>& argv) {
+  (void)argv;
+  return [](Sys& sys) {
+    // Parks forever in a timeout-less select on a socket nothing sends
+    // to: alive until killed, yet contributes no events — so a world full
+    // of waiters still reaches quiescence and command windows measure
+    // only the controller's own RPC traffic.
+    auto fd = sys.socket(SockDomain::internet, SockType::dgram);
+    if (fd && sys.bind_port(*fd, 0)) {
+      for (;;) {
+        auto sel = sys.select({*fd}, false, std::nullopt);
+        if (!sel) break;
+        (void)sys.recvfrom(*fd);
+      }
+    }
+    sys.exit(0);
+  };
+}
+
 }  // namespace dpm::apps

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "daemon/protocol.h"
+#include "daemon/rpc_pipeline.h"
 #include "filter/trace.h"
 #include "obs/span.h"
 #include "util/logging.h"
@@ -13,6 +14,10 @@ namespace dpm::control {
 namespace {
 
 using daemon::AcquireRequest;
+using daemon::BatchCreateReply;
+using daemon::BatchCreateRequest;
+using daemon::BatchProcReply;
+using daemon::BatchProcRequest;
 using daemon::CreateReply;
 using daemon::CreateRequest;
 using daemon::DaemonMsg;
@@ -63,20 +68,103 @@ util::SysResult<daemon::DaemonMsg> Controller::daemon_rpc(
     return Err::etimedout;
   }
   auto reply = daemon::rpc_call(sys_, addr, req, daemon::RpcOptions{});
-  if (!reply) {
-    const Err e = reply.error();
-    if (e == Err::etimedout || e == Err::econnrefused ||
-        e == Err::econnreset || e == Err::epipe) {
-      MachineHealth& h = machine_health_[machine];
-      if (!h.down) {
-        h.down = true;
-        h.reason = std::string(util::err_name(e));
-        emit(util::strprintf("machine '%s' marked down: %s\n",
-                             machine.c_str(), h.reason.c_str()));
+  if (!reply) note_rpc_failure(machine, reply.error());
+  return reply;
+}
+
+void Controller::note_rpc_failure(const std::string& machine, Err e) {
+  if (e == Err::etimedout || e == Err::econnrefused || e == Err::econnreset ||
+      e == Err::epipe) {
+    MachineHealth& h = machine_health_[machine];
+    if (!h.down) {
+      h.down = true;
+      h.reason = std::string(util::err_name(e));
+      emit(util::strprintf("machine '%s' marked down: %s\n", machine.c_str(),
+                           h.reason.c_str()));
+    }
+  }
+}
+
+std::vector<util::SysResult<DaemonMsg>> Controller::multi_rpc(
+    std::vector<MultiCall>& calls) {
+  std::vector<util::SysResult<DaemonMsg>> out(
+      calls.size(), util::SysResult<DaemonMsg>{Err::etimedout});
+  if (!batched_) {
+    for (std::size_t i = 0; i < calls.size(); ++i) {
+      out[i] = daemon_rpc(calls[i].machine, calls[i].addr, calls[i].req);
+    }
+    return out;
+  }
+  // Pipelined path: everything not already marked down goes in flight at
+  // once (bounded by window_); replies are matched by nonce.
+  std::vector<daemon::PipelinedCall> pipe;
+  std::vector<std::size_t> index;
+  for (std::size_t i = 0; i < calls.size(); ++i) {
+    auto hit = machine_health_.find(calls[i].machine);
+    if (hit != machine_health_.end() && hit->second.down) continue;
+    daemon::PipelinedCall c;
+    c.to = calls[i].addr;
+    c.request = calls[i].req;
+    c.opts = calls[i].opts;
+    pipe.push_back(std::move(c));
+    index.push_back(i);
+  }
+  daemon::run_pipeline(sys_, pipe, window_);
+  for (std::size_t j = 0; j < pipe.size(); ++j) {
+    if (!pipe[j].reply) {
+      note_rpc_failure(calls[index[j]].machine, pipe[j].reply.error());
+    }
+    out[index[j]] = std::move(pipe[j].reply);
+  }
+  return out;
+}
+
+std::pair<std::string, net::Port> Controller::meter_target(
+    const FilterRec& filt, const std::string& machine) {
+  auto it = filt.locals.find(machine);
+  if (it != filt.locals.end()) return {machine, it->second.meter_port};
+  return {filt.machine, filt.meter_port};
+}
+
+std::vector<std::int32_t> Controller::batch_proc_op(
+    const std::vector<ProcEntry*>& procs, MsgType what) {
+  std::vector<std::int32_t> statuses(
+      procs.size(), static_cast<std::int32_t>(Err::etimedout));
+  std::map<std::string, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    groups[procs[i]->machine].push_back(i);
+  }
+  std::vector<MultiCall> calls;
+  std::vector<std::vector<std::size_t>> order;
+  for (auto& [m, idx] : groups) {
+    auto addr = daemon_addr(m);
+    if (!addr) continue;
+    BatchProcRequest req;
+    req.what = what;
+    req.uid = sys_.getuid();
+    req.nonce = next_nonce();
+    for (std::size_t i : idx) req.pids.push_back(procs[i]->pid);
+    MultiCall c;
+    c.machine = m;
+    c.addr = *addr;
+    c.req = std::move(req);
+    c.opts.deadline = util::msec(250 + 2 * static_cast<long long>(idx.size()));
+    calls.push_back(std::move(c));
+    order.push_back(idx);
+  }
+  auto replies = multi_rpc(calls);
+  for (std::size_t j = 0; j < replies.size(); ++j) {
+    const auto* br =
+        replies[j] ? std::get_if<BatchProcReply>(&*replies[j]) : nullptr;
+    for (std::size_t k = 0; k < order[j].size(); ++k) {
+      if (br && k < br->statuses.size()) {
+        statuses[order[j][k]] = br->statuses[k];
+      } else if (!replies[j]) {
+        statuses[order[j][k]] = static_cast<std::int32_t>(replies[j].error());
       }
     }
   }
-  return reply;
+  return statuses;
 }
 
 void Controller::emit(const std::string& text) {
@@ -292,10 +380,16 @@ bool Controller::execute(const std::string& raw_line) {
     cmd_help();
   } else if (cmd == "filter") {
     cmd_filter(args);
+  } else if (cmd == "fanin") {
+    cmd_fanin(args);
+  } else if (cmd == "rpcmode") {
+    cmd_rpcmode(args);
   } else if (cmd == "newjob") {
     cmd_newjob(args);
   } else if (cmd == "addprocess" || cmd == "add") {
     cmd_addprocess(args);
+  } else if (cmd == "addgroup") {
+    cmd_addgroup(args);
   } else if (cmd == "acquire") {
     cmd_acquire(args);
   } else if (cmd == "setflags") {
@@ -331,8 +425,11 @@ void Controller::cmd_help() {
       "commands:\n"
       "  help\n"
       "  filter [<filtername> [<machine> [<filterfile> [<descriptions> [<templates>]]]]]\n"
+      "  fanin <filtername> <arity> <machineprefix> <first> <last>\n"
+      "  rpcmode [serial | batched [<window>]]\n"
       "  newjob <jobname> [<filtername>]\n"
       "  addprocess <jobname> <machine> <processfile> [<parm1 parm2 ...>]\n"
+      "  addgroup <jobname> <machineprefix> <first> <last> <permachine> <processfile> [<parms>]\n"
       "  acquire <jobname> <machine> <process identifier>\n"
       "  setflags <jobname> <flag1 flag2 ...>\n"
       "  startjob <jobname>\n"
@@ -409,10 +506,203 @@ void Controller::cmd_filter(const std::vector<std::string>& args) {
   rec.pid = fr->pid;
   rec.meter_port = fr->meter_port;
   rec.logfile = req.logfile;
+  rec.descriptions = descriptions;
+  rec.templates = templates;
   filters_[name] = rec;
   if (default_filter_.empty()) default_filter_ = name;
   emit(util::strprintf("filter '%s' ... created: identifier = %d\n",
                        name.c_str(), fr->pid));
+}
+
+void Controller::cmd_fanin(const std::vector<std::string>& args) {
+  if (args.size() < 5) {
+    emit("usage: fanin <filtername> <arity> <machineprefix> <first> <last>\n");
+    return;
+  }
+  auto fit = filters_.find(args[0]);
+  if (fit == filters_.end()) {
+    emit(util::strprintf("no such filter '%s'\n", args[0].c_str()));
+    return;
+  }
+  FilterRec& filt = fit->second;
+  if (!filt.locals.empty() || !filt.aggregators.empty()) {
+    emit(util::strprintf("filter '%s' already has a fan-in tree\n",
+                         args[0].c_str()));
+    return;
+  }
+  auto arity = util::parse_int(args[1]);
+  auto first = util::parse_int(args[3]);
+  auto last = util::parse_int(args[4]);
+  if (!arity || *arity < 2) {
+    emit("fanin: arity must be at least 2\n");
+    return;
+  }
+  if (!first || !last || *last < *first) {
+    emit("fanin: bad machine range\n");
+    return;
+  }
+  const std::size_t A = static_cast<std::size_t>(*arity);
+  std::vector<std::string> leaves;
+  for (long long i = *first; i <= *last; ++i) {
+    std::string m = args[2] + std::to_string(i);
+    if (!daemon_addr(m)) {
+      emit(util::strprintf("unknown machine '%s'\n", m.c_str()));
+      return;
+    }
+    leaves.push_back(std::move(m));
+  }
+  // The session's default descriptions/templates are pre-installed on
+  // every machine; only custom files need rcp staging.
+  const bool custom =
+      filt.descriptions != "descriptions" || filt.templates != "templates";
+
+  // Tree shape, bottom-up: each machine gets a local filter; groups of
+  // `arity` report to an aggregator hosted on the group's first machine,
+  // and so on until at most `arity` nodes remain, which report to the
+  // session (root) filter directly.
+  std::vector<std::vector<std::string>> agg_levels;  // hosts, leafmost first
+  {
+    std::vector<std::string> cur = leaves;
+    while (cur.size() > A) {
+      std::vector<std::string> next;
+      for (std::size_t g = 0; g < cur.size(); g += A) next.push_back(cur[g]);
+      agg_levels.push_back(next);
+      cur = std::move(next);
+    }
+  }
+
+  struct Endpoint {
+    std::string host;
+    net::Port port = 0;
+  };
+  const Endpoint root_ep{filt.machine, filt.meter_port};
+  std::vector<std::vector<Endpoint>> eps(agg_levels.size());
+  for (std::size_t k = 0; k < agg_levels.size(); ++k) {
+    eps[k].resize(agg_levels[k].size());
+  }
+  // A child whose aggregator failed to start falls up to the nearest live
+  // ancestor, so a partial tree still delivers every record.
+  auto parent_for = [&](std::size_t parent_level,
+                        std::size_t child_idx) -> Endpoint {
+    std::size_t idx = child_idx;
+    for (std::size_t lvl = parent_level; lvl < eps.size(); ++lvl) {
+      idx /= A;
+      if (eps[lvl][idx].port != 0) return eps[lvl][idx];
+    }
+    return root_ep;
+  };
+
+  // Create top-down so every parent is listening before its children
+  // connect upward; each level is one multi_rpc round (pipelined across
+  // machines in batched mode).
+  std::size_t aggs_ok = 0, aggs_failed = 0;
+  for (std::size_t k = agg_levels.size(); k-- > 0;) {
+    std::vector<MultiCall> calls;
+    for (std::size_t j = 0; j < agg_levels[k].size(); ++j) {
+      const std::string& m = agg_levels[k][j];
+      Endpoint parent = parent_for(k + 1, j);
+      FilterRequest req;
+      req.uid = sys_.getuid();
+      req.filterfile = "aggregator";
+      req.control_port = control_port_;
+      req.control_host = sys_.hostname();
+      req.nonce = next_nonce();
+      req.mode = 2;
+      req.parent_host = parent.host;
+      req.parent_port = parent.port;
+      MultiCall c;
+      c.machine = m;
+      c.addr = *daemon_addr(m);
+      c.req = std::move(req);
+      calls.push_back(std::move(c));
+    }
+    auto replies = multi_rpc(calls);
+    for (std::size_t j = 0; j < replies.size(); ++j) {
+      const auto* fr =
+          replies[j] ? std::get_if<FilterReply>(&*replies[j]) : nullptr;
+      if (!fr || fr->status != 0) {
+        ++aggs_failed;
+        emit(util::strprintf("aggregator on '%s' not created\n",
+                             agg_levels[k][j].c_str()));
+        continue;
+      }
+      eps[k][j] = Endpoint{agg_levels[k][j], fr->meter_port};
+      filt.aggregators.push_back(
+          AggregatorRec{agg_levels[k][j], fr->pid, fr->meter_port});
+      ++aggs_ok;
+    }
+  }
+
+  // Leaf tier: one local filter per machine, running the session's
+  // programs in place.
+  std::vector<MultiCall> calls;
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    const std::string& m = leaves[i];
+    if (custom) {
+      (void)stage_file(m, filt.descriptions);
+      (void)stage_file(m, filt.templates);
+    }
+    Endpoint parent = parent_for(0, i);
+    FilterRequest req;
+    req.uid = sys_.getuid();
+    req.filterfile = "localfilter";
+    req.descriptions = filt.descriptions;
+    req.templates = filt.templates;
+    req.control_port = control_port_;
+    req.control_host = sys_.hostname();
+    req.nonce = next_nonce();
+    req.mode = 1;
+    req.parent_host = parent.host;
+    req.parent_port = parent.port;
+    MultiCall c;
+    c.machine = m;
+    c.addr = *daemon_addr(m);
+    c.req = std::move(req);
+    calls.push_back(std::move(c));
+  }
+  std::size_t locals_ok = 0, locals_failed = 0;
+  auto replies = multi_rpc(calls);
+  for (std::size_t i = 0; i < replies.size(); ++i) {
+    const auto* fr =
+        replies[i] ? std::get_if<FilterReply>(&*replies[i]) : nullptr;
+    if (!fr || fr->status != 0) {
+      // The machine's processes fall back to metering straight into the
+      // root filter (meter_target finds no local entry).
+      ++locals_failed;
+      continue;
+    }
+    filt.locals[leaves[i]] = LocalFilterRec{fr->pid, fr->meter_port};
+    ++locals_ok;
+  }
+  emit(util::strprintf(
+      "fanin '%s': %zu local filters (%zu failed), %zu aggregators "
+      "(%zu failed), depth %zu\n",
+      filt.name.c_str(), locals_ok, locals_failed, aggs_ok, aggs_failed,
+      agg_levels.size() + 2));
+}
+
+void Controller::cmd_rpcmode(const std::vector<std::string>& args) {
+  if (!args.empty()) {
+    const std::string mode = util::to_lower(args[0]);
+    if (mode == "serial") {
+      batched_ = false;
+    } else if (mode == "batched") {
+      batched_ = true;
+      if (args.size() > 1) {
+        auto w = util::parse_int(args[1]);
+        if (!w || *w < 1 || *w > 128) {
+          emit("rpcmode: window must be 1..128\n");
+          return;
+        }
+        window_ = static_cast<int>(*w);
+      }
+    } else {
+      emit("usage: rpcmode [serial | batched [<window>]]\n");
+      return;
+    }
+  }
+  emit(batched_ ? util::strprintf("rpc mode: batched, window %d\n", window_)
+                : std::string("rpc mode: serial\n"));
 }
 
 void Controller::cmd_newjob(const std::vector<std::string>& args) {
@@ -458,12 +748,13 @@ void Controller::cmd_addprocess(const std::vector<std::string>& args) {
   if (!stage_file(machine, processfile)) return;
 
   const FilterRec& filt = filters_.at(job.filter_name);
+  const auto [fhost, fport] = meter_target(filt, machine);
   CreateRequest req;
   req.uid = sys_.getuid();
   req.filename = processfile;
   req.params.assign(args.begin() + 3, args.end());
-  req.filter_port = filt.meter_port;
-  req.filter_host = filt.machine;
+  req.filter_port = fport;
+  req.filter_host = fhost;
   req.meter_flags = job.flags;
   req.control_port = control_port_;
   req.control_host = sys_.hostname();
@@ -492,6 +783,131 @@ void Controller::cmd_addprocess(const std::vector<std::string>& args) {
                        display.c_str(), cr->pid));
 }
 
+void Controller::cmd_addgroup(const std::vector<std::string>& args) {
+  if (args.size() < 6) {
+    emit(
+        "usage: addgroup <jobname> <machineprefix> <first> <last> "
+        "<permachine> <processfile> [<parms>]\n");
+    return;
+  }
+  auto jit = jobs_.find(args[0]);
+  if (jit == jobs_.end()) {
+    emit(util::strprintf("no such job '%s'\n", args[0].c_str()));
+    return;
+  }
+  Job& job = jit->second;
+  auto first = util::parse_int(args[2]);
+  auto last = util::parse_int(args[3]);
+  auto per = util::parse_int(args[4]);
+  if (!first || !last || *last < *first) {
+    emit("addgroup: bad machine range\n");
+    return;
+  }
+  if (!per || *per < 1) {
+    emit("addgroup: permachine must be at least 1\n");
+    return;
+  }
+  const std::string& processfile = args[5];
+  const std::vector<std::string> params(args.begin() + 6, args.end());
+  const std::string base = basename_of(processfile);
+  const FilterRec& filt = filters_.at(job.filter_name);
+
+  std::vector<std::string> machines;
+  for (long long i = *first; i <= *last; ++i) {
+    std::string m = args[1] + std::to_string(i);
+    if (!daemon_addr(m)) {
+      emit(util::strprintf("unknown machine '%s'\n", m.c_str()));
+      return;
+    }
+    (void)stage_file(m, processfile);
+    machines.push_back(std::move(m));
+  }
+
+  std::size_t created = 0, failed = 0;
+  const std::size_t n_per = static_cast<std::size_t>(*per);
+  auto record = [&](const std::string& machine, std::size_t k,
+                    std::int32_t pid, std::int32_t status) {
+    if (status != 0 || pid < 0) {
+      ++failed;
+      return;
+    }
+    ProcEntry p;
+    p.name = util::strprintf("%s.%s.%zu", base.c_str(), machine.c_str(), k);
+    p.machine = machine;
+    p.pid = pid;
+    p.state = ProcState::fresh;
+    p.flags = job.flags;
+    job.procs.push_back(std::move(p));
+    ++created;
+  };
+
+  if (batched_) {
+    // One multi-create per machine, pipelined across shards. The deadline
+    // scales with the item count: each spawn costs real (simulated) time,
+    // so a 100-item batch legitimately takes longer than one create.
+    std::vector<MultiCall> calls;
+    for (const auto& m : machines) {
+      const auto [fhost, fport] = meter_target(filt, m);
+      BatchCreateRequest req;
+      req.uid = sys_.getuid();
+      for (std::size_t k = 0; k < n_per; ++k) {
+        req.items.push_back(BatchCreateRequest::Item{processfile, params});
+      }
+      req.filter_port = fport;
+      req.filter_host = fhost;
+      req.meter_flags = job.flags;
+      req.control_port = control_port_;
+      req.control_host = sys_.hostname();
+      req.nonce = next_nonce();
+      MultiCall c;
+      c.machine = m;
+      c.addr = *daemon_addr(m);
+      c.req = std::move(req);
+      c.opts.deadline = util::msec(250 + 10 * static_cast<long long>(n_per));
+      calls.push_back(std::move(c));
+    }
+    auto replies = multi_rpc(calls);
+    for (std::size_t i = 0; i < replies.size(); ++i) {
+      const auto* br =
+          replies[i] ? std::get_if<BatchCreateReply>(&*replies[i]) : nullptr;
+      if (!br || br->pids.size() != n_per) {
+        failed += n_per;
+        continue;
+      }
+      for (std::size_t k = 0; k < n_per; ++k) {
+        record(machines[i], k, br->pids[k], br->statuses[k]);
+      }
+    }
+  } else {
+    for (const auto& m : machines) {
+      const auto addr = *daemon_addr(m);
+      const auto [fhost, fport] = meter_target(filt, m);
+      for (std::size_t k = 0; k < n_per; ++k) {
+        CreateRequest req;
+        req.uid = sys_.getuid();
+        req.filename = processfile;
+        req.params = params;
+        req.filter_port = fport;
+        req.filter_host = fhost;
+        req.meter_flags = job.flags;
+        req.control_port = control_port_;
+        req.control_host = sys_.hostname();
+        req.nonce = next_nonce();
+        auto reply = daemon_rpc(m, addr, req);
+        const auto* cr = reply ? std::get_if<CreateReply>(&*reply) : nullptr;
+        if (!cr) {
+          ++failed;
+          continue;
+        }
+        record(m, k, cr->pid, cr->status);
+      }
+    }
+  }
+  emit(util::strprintf(
+      "job '%s': %zu of %zu processes created across %zu machines\n",
+      job.name.c_str(), created, created + failed, machines.size()));
+}
+
 void Controller::cmd_acquire(const std::vector<std::string>& args) {
   if (args.size() < 3) {
     emit("usage: acquire <jobname> <machine> <process identifier>\n");
@@ -515,11 +931,12 @@ void Controller::cmd_acquire(const std::vector<std::string>& args) {
     return;
   }
   const FilterRec& filt = filters_.at(job.filter_name);
+  const auto [fhost, fport] = meter_target(filt, machine);
   AcquireRequest req;
   req.uid = sys_.getuid();
   req.pid = static_cast<std::int32_t>(*pid);
-  req.filter_port = filt.meter_port;
-  req.filter_host = filt.machine;
+  req.filter_port = fport;
+  req.filter_host = fhost;
   req.meter_flags = job.flags;
   // The full acquire round trip (connect → request → reply), in sim time.
   obs::Registry& reg = sys_.world().obs();
@@ -601,6 +1018,37 @@ void Controller::cmd_startjob(const std::vector<std::string>& args) {
     emit(util::strprintf("no such job '%s'\n", args[0].c_str()));
     return;
   }
+  if (batched_) {
+    std::vector<ProcEntry*> eligible;
+    for (auto& p : jit->second.procs) {
+      if (!can_transition(p.state, ProcState::running)) {
+        emit(util::strprintf("'%s' cannot be started (%s).\n", p.name.c_str(),
+                             proc_state_name(p.state)));
+        continue;
+      }
+      eligible.push_back(&p);
+    }
+    obs::Registry& reg = sys_.world().obs();
+    auto statuses = [&] {
+      obs::ObsSpan span(reg, "control.start",
+                        &reg.histogram("control.start_rtt_us"));
+      return batch_proc_op(eligible, MsgType::start_request);
+    }();
+    std::size_t started = 0;
+    for (std::size_t i = 0; i < eligible.size(); ++i) {
+      if (statuses[i] == 0) {
+        eligible[i]->state = ProcState::running;
+        ++started;
+      } else {
+        emit(util::strprintf("'%s' not started: %s\n",
+                             eligible[i]->name.c_str(),
+                             err_text(statuses[i]).c_str()));
+      }
+    }
+    emit(util::strprintf("'%s': %zu of %zu processes started.\n",
+                         jit->second.name.c_str(), started, eligible.size()));
+    return;
+  }
   for (auto& p : jit->second.procs) {
     if (!can_transition(p.state, ProcState::running)) {
       emit(util::strprintf("'%s' cannot be started (%s).\n", p.name.c_str(),
@@ -639,6 +1087,27 @@ void Controller::cmd_stopjob(const std::vector<std::string>& args) {
   auto jit = jobs_.find(args[0]);
   if (jit == jobs_.end()) {
     emit(util::strprintf("no such job '%s'\n", args[0].c_str()));
+    return;
+  }
+  if (batched_) {
+    std::vector<ProcEntry*> eligible;
+    for (auto& p : jit->second.procs) {
+      if (can_transition(p.state, ProcState::stopped)) eligible.push_back(&p);
+    }
+    auto statuses = batch_proc_op(eligible, MsgType::stop_request);
+    std::size_t stopped = 0;
+    for (std::size_t i = 0; i < eligible.size(); ++i) {
+      if (statuses[i] == 0) {
+        eligible[i]->state = ProcState::stopped;
+        ++stopped;
+      } else {
+        emit(util::strprintf("'%s' not stopped: %s\n",
+                             eligible[i]->name.c_str(),
+                             err_text(statuses[i]).c_str()));
+      }
+    }
+    emit(util::strprintf("'%s': %zu of %zu processes stopped.\n",
+                         jit->second.name.c_str(), stopped, eligible.size()));
     return;
   }
   for (auto& p : jit->second.procs) {
@@ -706,6 +1175,27 @@ void Controller::cmd_removejob(const std::vector<std::string>& args) {
     emit(util::strprintf(
         "job '%s' has running or new processes; not removed\n",
         job.name.c_str()));
+    return;
+  }
+  if (batched_) {
+    // Multi-kill / multi-release: one batch per machine, pipelined.
+    std::vector<ProcEntry*> to_kill, to_release;
+    for (auto& p : job.procs) {
+      if (p.state == ProcState::stopped) to_kill.push_back(&p);
+      if (p.state == ProcState::acquired) to_release.push_back(&p);
+    }
+    obs::Registry& reg = sys_.world().obs();
+    {
+      obs::ObsSpan span(reg, "control.kill",
+                        &reg.histogram("control.kill_rtt_us"));
+      (void)batch_proc_op(to_kill, MsgType::kill_request);
+    }
+    for (ProcEntry* p : to_kill) p->state = ProcState::killed;
+    (void)batch_proc_op(to_release, MsgType::release_request);
+    for (auto& p : job.procs) {
+      emit(util::strprintf("'%s' removed\n", p.name.c_str()));
+    }
+    jobs_.erase(jit);
     return;
   }
   for (auto& p : job.procs) {
@@ -891,6 +1381,31 @@ void Controller::cmd_sink(const std::vector<std::string>& args) {
 }
 
 void Controller::remove_filters() {
+  // Fan-in tiers first (children before the root they feed), one batch
+  // kill per machine so a large tree tears down in a few RPC rounds.
+  std::map<std::string, std::vector<std::int32_t>> tree_pids;
+  for (const auto& [name, f] : filters_) {
+    for (const auto& [m, lf] : f.locals) tree_pids[m].push_back(lf.pid);
+    for (const auto& a : f.aggregators) tree_pids[a.machine].push_back(a.pid);
+  }
+  if (!tree_pids.empty()) {
+    std::vector<MultiCall> calls;
+    for (auto& [m, pids] : tree_pids) {
+      auto addr = daemon_addr(m);
+      if (!addr) continue;
+      BatchProcRequest req;
+      req.what = MsgType::kill_request;
+      req.uid = sys_.getuid();
+      req.nonce = next_nonce();
+      req.pids = pids;
+      MultiCall c;
+      c.machine = m;
+      c.addr = *addr;
+      c.req = std::move(req);
+      calls.push_back(std::move(c));
+    }
+    (void)multi_rpc(calls);
+  }
   for (const auto& [name, f] : filters_) {
     auto addr = daemon_addr(f.machine);
     if (!addr) continue;

@@ -14,6 +14,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "control/job.h"
@@ -24,13 +25,34 @@
 
 namespace dpm::control {
 
-/// A filter process the controller created.
+/// A per-machine local filter in a fan-in tree: runs the session's
+/// programs against that machine's meter streams in place and forwards
+/// only accepted records up the tree.
+struct LocalFilterRec {
+  kernel::Pid pid = 0;
+  net::Port meter_port = 0;
+};
+
+/// An intermediate fan-in node: concatenates its children's forwarded
+/// batches and relays them toward the session filter.
+struct AggregatorRec {
+  std::string machine;
+  kernel::Pid pid = 0;
+  net::Port meter_port = 0;
+};
+
+/// A filter process the controller created, plus its fan-in tree (if one
+/// was built with the `fanin` command).
 struct FilterRec {
   std::string name;
   std::string machine;
   kernel::Pid pid = 0;
   net::Port meter_port = 0;
   std::string logfile;
+  std::string descriptions;
+  std::string templates;
+  std::map<std::string, LocalFilterRec> locals;  // keyed by machine
+  std::vector<AggregatorRec> aggregators;
 };
 
 /// Per-machine RPC health as the controller sees it. A machine is marked
@@ -66,8 +88,11 @@ class Controller {
   // ---- command handlers (§4.3) ----
   void cmd_help();
   void cmd_filter(const std::vector<std::string>& args);
+  void cmd_fanin(const std::vector<std::string>& args);
+  void cmd_rpcmode(const std::vector<std::string>& args);
   void cmd_newjob(const std::vector<std::string>& args);
   void cmd_addprocess(const std::vector<std::string>& args);
+  void cmd_addgroup(const std::vector<std::string>& args);
   void cmd_acquire(const std::vector<std::string>& args);
   void cmd_setflags(const std::vector<std::string>& args);
   void cmd_startjob(const std::vector<std::string>& args);
@@ -102,6 +127,32 @@ class Controller {
   util::SysResult<daemon::DaemonMsg> daemon_rpc(const std::string& machine,
                                                 const net::SockAddr& addr,
                                                 const daemon::DaemonMsg& req);
+
+  /// One element of a multi-machine RPC round.
+  struct MultiCall {
+    std::string machine;
+    net::SockAddr addr;
+    daemon::DaemonMsg req;
+    daemon::RpcOptions opts;
+  };
+  /// Issues a round of independent daemon RPCs: serially via daemon_rpc in
+  /// `rpcmode serial`, or pipelined across shards (in-flight window) in
+  /// `rpcmode batched`. Both paths share the down-machine fail-fast and
+  /// mark-down bookkeeping. Replies are parallel to `calls`.
+  std::vector<util::SysResult<daemon::DaemonMsg>> multi_rpc(
+      std::vector<MultiCall>& calls);
+  /// Marks `machine` down on a terminal transport failure (shared by
+  /// daemon_rpc and the pipelined path).
+  void note_rpc_failure(const std::string& machine, util::Err e);
+  /// Applies one proc op (start/stop/kill/release) to `procs`, grouped per
+  /// machine into BatchProcRequests and issued via multi_rpc. Returns
+  /// per-process statuses parallel to `procs` (0 ok, else util::Err).
+  std::vector<std::int32_t> batch_proc_op(const std::vector<ProcEntry*>& procs,
+                                          daemon::MsgType what);
+  /// Where a process on `machine` should send meter records: the
+  /// machine's local filter when the tree has one, else the root filter.
+  std::pair<std::string, net::Port> meter_target(const FilterRec& filt,
+                                                 const std::string& machine);
   /// Fresh at-most-once request identity (pid in the high half keeps
   /// nonces distinct across controller instances).
   std::uint64_t next_nonce();
@@ -115,6 +166,12 @@ class Controller {
   std::map<std::string, Job> jobs_;
   std::map<std::string, MachineHealth> machine_health_;
   std::uint64_t nonce_seq_ = 0;
+
+  // RPC dispatch mode (`rpcmode` command): serial per-process calls (the
+  // paper's behavior, the default) or batched requests pipelined across
+  // daemon shards with this many in flight.
+  bool batched_ = false;
+  int window_ = 8;
 
   // source/sink state (§4.3)
   std::vector<std::deque<std::string>> source_stack_;

@@ -6,6 +6,7 @@
 #include "daemon/meterdaemon.h"
 #include "filter/descriptions.h"
 #include "filter/count_filter.h"
+#include "filter/fanin.h"
 #include "filter/filter_program.h"
 #include "filter/templates.h"
 
@@ -14,6 +15,7 @@ namespace dpm::control {
 void install_monitor(kernel::World& world) {
   filter::register_filter_program(world.programs());
   filter::register_count_filter_program(world.programs());
+  filter::register_fanin_programs(world.programs());
   daemon::register_meterdaemon_program(world.programs());
   register_controller_program(world.programs());
 
@@ -21,6 +23,8 @@ void install_monitor(kernel::World& world) {
     auto& fs = world.machine(m).fs;
     fs.put_executable("filter", filter::kStdFilterProgram);
     fs.put_executable("countfilter", filter::kCountFilterProgram);
+    fs.put_executable("localfilter", filter::kLocalFilterProgram);
+    fs.put_executable("aggregator", filter::kAggregatorProgram);
     fs.put_executable("meterdaemon", daemon::kMeterdaemonProgram);
     fs.put_executable("controller", kControllerProgram);
     fs.put_text("descriptions", filter::default_descriptions_text());

@@ -30,6 +30,7 @@ struct ProcRec {
   std::string control_host;
   Fd gateway = -1;       // daemon's end of the stdio socket pair (-1: none)
   bool acquired = false;
+  bool kill_acked = false;  // death already reported in a kill RPC reply
 };
 
 class Meterdaemon {
@@ -82,7 +83,10 @@ class Meterdaemon {
         }
         procs_.erase(it);
       }
-      if (rec.control_port != 0) {
+      // A death the controller itself requested was already reported in
+      // the kill RPC's reply; re-announcing it would serialize a batched
+      // removejob behind one notification connection per corpse.
+      if (rec.control_port != 0 && !rec.kill_acked) {
         auto to = sys_.resolve(rec.control_host, rec.control_port);
         if (to) {
           StateNote note;
@@ -176,12 +180,20 @@ class Meterdaemon {
       DaemonMsg operator()(const ProcRequest& r) { return d.do_proc(r); }
       DaemonMsg operator()(const AcquireRequest& r) { return d.do_acquire(r); }
       DaemonMsg operator()(const IoSend& r) { return d.do_io_send(r); }
+      DaemonMsg operator()(const BatchCreateRequest& r) {
+        return d.do_batch_create(r);
+      }
+      DaemonMsg operator()(const BatchProcRequest& r) {
+        return d.do_batch_proc(r);
+      }
       // Anything else is a protocol error.
       DaemonMsg operator()(const CreateReply&) { return bad(); }
       DaemonMsg operator()(const FilterReply&) { return bad(); }
       DaemonMsg operator()(const SimpleReply&) { return bad(); }
       DaemonMsg operator()(const StateNote&) { return bad(); }
       DaemonMsg operator()(const IoNote&) { return bad(); }
+      DaemonMsg operator()(const BatchCreateReply&) { return bad(); }
+      DaemonMsg operator()(const BatchProcReply&) { return bad(); }
       static DaemonMsg bad() {
         return SimpleReply{static_cast<std::int32_t>(Err::einval)};
       }
@@ -220,73 +232,109 @@ class Meterdaemon {
     return sm.error();
   }
 
+  /// The create core shared by the single and batched forms: spawn the
+  /// process suspended behind a stdio gateway, wire its meter connection,
+  /// record it. The caller holds the requester's identity (as_user).
+  CreateReply create_one(std::int32_t uid, const std::string& filename,
+                         const std::vector<std::string>& params,
+                         const std::string& filter_host,
+                         std::uint16_t filter_port, std::uint32_t meter_flags,
+                         std::uint16_t control_port,
+                         const std::string& control_host,
+                         const std::string& stdin_file) {
+    CreateReply reply;
+
+    Fd child_stdin = -1;
+    Fd gateway = -1;
+    Fd child_end = -1;
+    if (!stdin_file.empty()) {
+      // §3.5.2: input from a file — the daemon opens the (already
+      // copied) file and redirects the process's standard input to it.
+      auto f = sys_.open(stdin_file, Sys::OpenMode::read);
+      if (!f) {
+        reply.status = static_cast<std::int32_t>(f.error());
+        return reply;
+      }
+      child_stdin = *f;
+    }
+    // Gateway for stdout/stderr (and stdin when no file): a local
+    // socket pair; local IPC is reliable (§3.5.2).
+    auto pair = sys_.socketpair();
+    if (!pair) {
+      if (child_stdin >= 0) (void)sys_.close(child_stdin);
+      reply.status = static_cast<std::int32_t>(pair.error());
+      return reply;
+    }
+    gateway = pair->first;
+    child_end = pair->second;
+    if (child_stdin < 0) child_stdin = child_end;
+
+    Sys::SpawnArgs sa;
+    sa.path = filename;
+    sa.args = params;
+    sa.suspended = true;  // processes are created in the *new* state
+    sa.stdin_fd = child_stdin;
+    sa.stdout_fd = child_end;
+    sa.stderr_fd = child_end;
+    auto pid = sys_.spawn(sa);
+    // The daemon's copy of the child end is no longer needed.
+    (void)sys_.close(child_end);
+    if (child_stdin != child_end) (void)sys_.close(child_stdin);
+    if (!pid) {
+      (void)sys_.close(gateway);
+      reply.status = static_cast<std::int32_t>(pid.error());
+      return reply;
+    }
+
+    if (filter_port != 0) {
+      const Err e = wire_meter(*pid, filter_host, filter_port, meter_flags);
+      if (e != Err::ok) {
+        (void)sys_.kill_kill(*pid);
+        (void)sys_.close(gateway);
+        reply.status = static_cast<std::int32_t>(e);
+        return reply;
+      }
+    }
+
+    ProcRec rec;
+    rec.uid = uid;
+    rec.control_port = control_port;
+    rec.control_host = control_host;
+    rec.gateway = gateway;
+    procs_[*pid] = rec;
+
+    reply.pid = *pid;
+    reply.status = 0;
+    return reply;
+  }
+
   DaemonMsg do_create(const CreateRequest& r) {
     if (auto cached = replay_lookup(r.nonce)) return *cached;
     DaemonMsg out = as_user(r.uid, [&]() -> DaemonMsg {
-      CreateReply reply;
+      return create_one(r.uid, r.filename, r.params, r.filter_host,
+                        r.filter_port, r.meter_flags, r.control_port,
+                        r.control_host, r.stdin_file);
+    });
+    replay_store(r.nonce, out);
+    return out;
+  }
 
-      Fd child_stdin = -1;
-      Fd gateway = -1;
-      Fd child_end = -1;
-      if (!r.stdin_file.empty()) {
-        // §3.5.2: input from a file — the daemon opens the (already
-        // copied) file and redirects the process's standard input to it.
-        auto f = sys_.open(r.stdin_file, Sys::OpenMode::read);
-        if (!f) {
-          reply.status = static_cast<std::int32_t>(f.error());
-          return reply;
-        }
-        child_stdin = *f;
+  /// One RPC, one whole group of creates. The per-item statuses make a
+  /// partial failure visible item-by-item — the controller decides whether
+  /// to roll back or carry on. Cached under the batch nonce as a unit: a
+  /// retried batch replays every pid, never re-spawns any of them.
+  DaemonMsg do_batch_create(const BatchCreateRequest& r) {
+    if (auto cached = replay_lookup(r.nonce)) return *cached;
+    DaemonMsg out = as_user(r.uid, [&]() -> DaemonMsg {
+      BatchCreateReply reply;
+      reply.nonce = r.nonce;
+      for (const auto& item : r.items) {
+        const CreateReply one = create_one(
+            r.uid, item.filename, item.params, r.filter_host, r.filter_port,
+            r.meter_flags, r.control_port, r.control_host, /*stdin_file=*/{});
+        reply.pids.push_back(one.status == 0 ? one.pid : -1);
+        reply.statuses.push_back(one.status);
       }
-      // Gateway for stdout/stderr (and stdin when no file): a local
-      // socket pair; local IPC is reliable (§3.5.2).
-      auto pair = sys_.socketpair();
-      if (!pair) {
-        if (child_stdin >= 0) (void)sys_.close(child_stdin);
-        reply.status = static_cast<std::int32_t>(pair.error());
-        return reply;
-      }
-      gateway = pair->first;
-      child_end = pair->second;
-      if (child_stdin < 0) child_stdin = child_end;
-
-      Sys::SpawnArgs sa;
-      sa.path = r.filename;
-      sa.args = r.params;
-      sa.suspended = true;  // processes are created in the *new* state
-      sa.stdin_fd = child_stdin;
-      sa.stdout_fd = child_end;
-      sa.stderr_fd = child_end;
-      auto pid = sys_.spawn(sa);
-      // The daemon's copy of the child end is no longer needed.
-      (void)sys_.close(child_end);
-      if (child_stdin != child_end) (void)sys_.close(child_stdin);
-      if (!pid) {
-        (void)sys_.close(gateway);
-        reply.status = static_cast<std::int32_t>(pid.error());
-        return reply;
-      }
-
-      if (r.filter_port != 0) {
-        const Err e = wire_meter(*pid, r.filter_host, r.filter_port,
-                                 r.meter_flags);
-        if (e != Err::ok) {
-          (void)sys_.kill_kill(*pid);
-          (void)sys_.close(gateway);
-          reply.status = static_cast<std::int32_t>(e);
-          return reply;
-        }
-      }
-
-      ProcRec rec;
-      rec.uid = r.uid;
-      rec.control_port = r.control_port;
-      rec.control_host = r.control_host;
-      rec.gateway = gateway;
-      procs_[*pid] = rec;
-
-      reply.pid = *pid;
-      reply.status = 0;
       return reply;
     });
     replay_store(r.nonce, out);
@@ -322,8 +370,20 @@ class Meterdaemon {
 
       Sys::SpawnArgs sa;
       sa.path = r.filterfile;
-      sa.args = {r.logfile, r.descriptions, r.templates,
-                 util::strprintf("%u", meter_port)};
+      const std::string port_str = util::strprintf("%u", meter_port);
+      const std::string parent_str = util::strprintf("%u", r.parent_port);
+      switch (r.mode) {
+        case 1:  // local filter: selects in place, forwards to its parent
+          sa.args = {r.descriptions, r.templates, port_str, r.parent_host,
+                     parent_str};
+          break;
+        case 2:  // aggregator: re-frames and concatenates, no selection
+          sa.args = {port_str, r.parent_host, parent_str};
+          break;
+        default:  // session (root) filter
+          sa.args = {r.logfile, r.descriptions, r.templates, port_str};
+          break;
+      }
       sa.suspended = false;  // filters start immediately
       sa.stdin_fd = pair->second;
       sa.stdout_fd = pair->second;
@@ -360,44 +420,71 @@ class Meterdaemon {
     });
   }
 
+  /// The process-op core shared by the single and batched forms. The
+  /// caller holds the requester's identity (as_user).
+  Err proc_op(MsgType what, std::int32_t pid) {
+    util::SysResult<void> res;
+    switch (what) {
+      case MsgType::start_request:
+        res = sys_.kill_continue(pid);
+        break;
+      case MsgType::stop_request:
+        res = sys_.kill_stop(pid);
+        break;
+      case MsgType::kill_request:
+        res = sys_.kill_kill(pid);
+        if (res.ok()) {
+          if (auto it = procs_.find(pid); it != procs_.end()) {
+            it->second.kill_acked = true;
+          }
+        }
+        break;
+      case MsgType::release_request:
+        // Take the metering down but leave the process running
+        // (removejob on acquired processes, §4.3).
+        res = sys_.setmeter(pid, meter::SETMETER_NONE, meter::SETMETER_NONE);
+        break;
+      case MsgType::status_request: {
+        // Liveness probe: pid 0 asks "is the daemon alive" (reaching
+        // this code answers that); otherwise "is this process alive".
+        if (pid == 0) {
+          res = {};
+        } else {
+          kernel::Process* p =
+              sys_.world().find_process(sys_.machine_id(), pid);
+          res = (p && p->status != kernel::ProcStatus::dead)
+                    ? util::SysResult<void>{}
+                    : util::SysResult<void>{Err::esrch};
+        }
+        break;
+      }
+      default:
+        res = Err::einval;
+    }
+    return res.error();
+  }
+
   DaemonMsg do_proc(const ProcRequest& r) {
     return as_user(r.uid, [&]() -> DaemonMsg {
-      util::SysResult<void> res;
-      switch (r.what) {
-        case MsgType::start_request:
-          res = sys_.kill_continue(r.pid);
-          break;
-        case MsgType::stop_request:
-          res = sys_.kill_stop(r.pid);
-          break;
-        case MsgType::kill_request:
-          res = sys_.kill_kill(r.pid);
-          break;
-        case MsgType::release_request:
-          // Take the metering down but leave the process running
-          // (removejob on acquired processes, §4.3).
-          res = sys_.setmeter(r.pid, meter::SETMETER_NONE,
-                              meter::SETMETER_NONE);
-          break;
-        case MsgType::status_request: {
-          // Liveness probe: pid 0 asks "is the daemon alive" (reaching
-          // this code answers that); otherwise "is this process alive".
-          if (r.pid == 0) {
-            res = {};
-          } else {
-            kernel::Process* p =
-                sys_.world().find_process(sys_.machine_id(), r.pid);
-            res = (p && p->status != kernel::ProcStatus::dead)
-                      ? util::SysResult<void>{}
-                      : util::SysResult<void>{Err::esrch};
-          }
-          break;
-        }
-        default:
-          res = Err::einval;
-      }
-      return SimpleReply{static_cast<std::int32_t>(res.error())};
+      return SimpleReply{static_cast<std::int32_t>(proc_op(r.what, r.pid))};
     });
+  }
+
+  /// One op, one pid list, one RPC. Statuses come back parallel to the
+  /// request's pids.
+  DaemonMsg do_batch_proc(const BatchProcRequest& r) {
+    if (auto cached = replay_lookup(r.nonce)) return *cached;
+    DaemonMsg out = as_user(r.uid, [&]() -> DaemonMsg {
+      BatchProcReply reply;
+      reply.nonce = r.nonce;
+      reply.statuses.reserve(r.pids.size());
+      for (std::int32_t pid : r.pids) {
+        reply.statuses.push_back(static_cast<std::int32_t>(proc_op(r.what, pid)));
+      }
+      return reply;
+    });
+    replay_store(r.nonce, out);
+    return out;
   }
 
   DaemonMsg do_acquire(const AcquireRequest& r) {

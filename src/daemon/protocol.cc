@@ -26,6 +26,18 @@ MsgType msg_type(const DaemonMsg& m) {
     MsgType operator()(const StateNote&) { return MsgType::state_note; }
     MsgType operator()(const IoNote&) { return MsgType::io_note; }
     MsgType operator()(const IoSend&) { return MsgType::io_send; }
+    MsgType operator()(const BatchCreateRequest&) {
+      return MsgType::batch_create_request;
+    }
+    MsgType operator()(const BatchCreateReply&) {
+      return MsgType::batch_create_reply;
+    }
+    MsgType operator()(const BatchProcRequest&) {
+      return MsgType::batch_proc_request;
+    }
+    MsgType operator()(const BatchProcReply&) {
+      return MsgType::batch_proc_reply;
+    }
   };
   return std::visit(Visitor{}, m);
 }
@@ -61,6 +73,9 @@ struct BodyWriter {
     w.u16(b.control_port);
     w.lstring(b.control_host);
     w.u64(b.nonce);
+    w.u8(b.mode);
+    w.lstring(b.parent_host);
+    w.u16(b.parent_port);
   }
   void operator()(const FilterReply& b) {
     w.i32(b.pid);
@@ -99,6 +114,40 @@ struct BodyWriter {
     w.i32(b.uid);
     w.i32(b.pid);
     w.lstring(b.data);
+  }
+  void operator()(const BatchCreateRequest& b) {
+    w.i32(b.uid);
+    w.u32(static_cast<std::uint32_t>(b.items.size()));
+    for (const auto& item : b.items) {
+      w.lstring(item.filename);
+      w.u32(static_cast<std::uint32_t>(item.params.size()));
+      for (const auto& p : item.params) w.lstring(p);
+    }
+    w.u16(b.filter_port);
+    w.lstring(b.filter_host);
+    w.u32(b.meter_flags);
+    w.u16(b.control_port);
+    w.lstring(b.control_host);
+    w.u64(b.nonce);
+  }
+  void operator()(const BatchCreateReply& b) {
+    w.u64(b.nonce);
+    w.u32(static_cast<std::uint32_t>(b.pids.size()));
+    for (std::int32_t pid : b.pids) w.i32(pid);
+    w.u32(static_cast<std::uint32_t>(b.statuses.size()));
+    for (std::int32_t st : b.statuses) w.i32(st);
+  }
+  void operator()(const BatchProcRequest& b) {
+    w.u32(static_cast<std::uint32_t>(b.what));
+    w.i32(b.uid);
+    w.u64(b.nonce);
+    w.u32(static_cast<std::uint32_t>(b.pids.size()));
+    for (std::int32_t pid : b.pids) w.i32(pid);
+  }
+  void operator()(const BatchProcReply& b) {
+    w.u64(b.nonce);
+    w.u32(static_cast<std::uint32_t>(b.statuses.size()));
+    for (std::int32_t st : b.statuses) w.i32(st);
   }
 };
 
@@ -152,6 +201,54 @@ std::optional<CreateRequest> parse_create(BinaryReader& r) {
   return b;
 }
 
+std::optional<BatchCreateRequest> parse_batch_create(BinaryReader& r) {
+  BatchCreateRequest b;
+  auto uid = r.i32();
+  auto n = r.u32();
+  if (!uid || !n || *n > 4096) return std::nullopt;
+  b.uid = *uid;
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    BatchCreateRequest::Item item;
+    auto fn = r.lstring();
+    auto np = r.u32();
+    if (!fn || !np || *np > 1024) return std::nullopt;
+    item.filename = std::move(*fn);
+    for (std::uint32_t j = 0; j < *np; ++j) {
+      auto p = r.lstring();
+      if (!p) return std::nullopt;
+      item.params.push_back(std::move(*p));
+    }
+    b.items.push_back(std::move(item));
+  }
+  auto fp = r.u16();
+  auto fh = r.lstring();
+  auto mf = r.u32();
+  auto cp = r.u16();
+  auto ch = r.lstring();
+  auto nn = r.u64();
+  if (!fp || !fh || !mf || !cp || !ch || !nn) return std::nullopt;
+  b.filter_port = *fp;
+  b.filter_host = *fh;
+  b.meter_flags = *mf;
+  b.control_port = *cp;
+  b.control_host = *ch;
+  b.nonce = *nn;
+  return b;
+}
+
+std::optional<std::vector<std::int32_t>> parse_i32_list(BinaryReader& r) {
+  auto n = r.u32();
+  if (!n || *n > 65536) return std::nullopt;
+  std::vector<std::int32_t> out;
+  out.reserve(*n);
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    auto v = r.i32();
+    if (!v) return std::nullopt;
+    out.push_back(*v);
+  }
+  return out;
+}
+
 std::optional<FilterRequest> parse_filter(BinaryReader& r) {
   FilterRequest b;
   auto uid = r.i32();
@@ -162,7 +259,13 @@ std::optional<FilterRequest> parse_filter(BinaryReader& r) {
   auto cp = r.u16();
   auto ch = r.lstring();
   auto nn = r.u64();
-  if (!uid || !ff || !lf || !de || !te || !cp || !ch || !nn) return std::nullopt;
+  auto mo = r.u8();
+  auto ph = r.lstring();
+  auto pp = r.u16();
+  if (!uid || !ff || !lf || !de || !te || !cp || !ch || !nn || !mo || !ph ||
+      !pp || *mo > 2) {
+    return std::nullopt;
+  }
   b.uid = *uid;
   b.filterfile = *ff;
   b.logfile = *lf;
@@ -171,6 +274,9 @@ std::optional<FilterRequest> parse_filter(BinaryReader& r) {
   b.control_port = *cp;
   b.control_host = *ch;
   b.nonce = *nn;
+  b.mode = *mo;
+  b.parent_host = *ph;
+  b.parent_port = *pp;
   return b;
 }
 
@@ -278,6 +384,48 @@ std::optional<DaemonMsg> parse(const Bytes& wire) {
       b.data = *data;
       return DaemonMsg{b};
     }
+    case MsgType::batch_create_request:
+      return finish(parse_batch_create(r));
+    case MsgType::batch_create_reply: {
+      BatchCreateReply b;
+      auto nn = r.u64();
+      auto pids = parse_i32_list(r);
+      auto sts = parse_i32_list(r);
+      if (!nn || !pids || !sts || pids->size() != sts->size())
+        return std::nullopt;
+      b.nonce = *nn;
+      b.pids = std::move(*pids);
+      b.statuses = std::move(*sts);
+      return DaemonMsg{std::move(b)};
+    }
+    case MsgType::batch_proc_request: {
+      BatchProcRequest b;
+      auto what = r.u32();
+      auto uid = r.i32();
+      auto nn = r.u64();
+      auto pids = parse_i32_list(r);
+      if (!what || !uid || !nn || !pids) return std::nullopt;
+      const auto inner = static_cast<MsgType>(*what);
+      if (inner != MsgType::start_request && inner != MsgType::stop_request &&
+          inner != MsgType::kill_request && inner != MsgType::release_request &&
+          inner != MsgType::status_request) {
+        return std::nullopt;
+      }
+      b.what = inner;
+      b.uid = *uid;
+      b.nonce = *nn;
+      b.pids = std::move(*pids);
+      return DaemonMsg{std::move(b)};
+    }
+    case MsgType::batch_proc_reply: {
+      BatchProcReply b;
+      auto nn = r.u64();
+      auto sts = parse_i32_list(r);
+      if (!nn || !sts) return std::nullopt;
+      b.nonce = *nn;
+      b.statuses = std::move(*sts);
+      return DaemonMsg{std::move(b)};
+    }
     case MsgType::io_send: {
       IoSend b;
       auto uid = r.i32();
@@ -374,6 +522,8 @@ const char* rpc_name(MsgType t) {
     case MsgType::acquire_request: return "acquire";
     case MsgType::release_request: return "release";
     case MsgType::status_request: return "status";
+    case MsgType::batch_create_request: return "batch_create";
+    case MsgType::batch_proc_request: return "batch_proc";
     default: return "other";
   }
 }

@@ -46,6 +46,13 @@ enum class MsgType : std::uint32_t {
   state_note = 30,       // daemon → controller: child state change
   io_note = 31,          // daemon → controller: process stdout data
   io_send = 32,          // controller → daemon: data for process stdin
+  // Batched forms (sharded controller): one RPC carries a whole daemon
+  // group's worth of creates or process ops, so job start/kill wall time
+  // scales with shards, not processes.
+  batch_create_request = 33,
+  batch_create_reply = 34,
+  batch_proc_request = 35,
+  batch_proc_reply = 36,
 };
 
 /// Fig 3.6 "create request": filename, parameters, the filter's socket
@@ -86,6 +93,13 @@ struct FilterRequest {
   std::string control_host;
   /// At-most-once identity, as for CreateRequest.
   std::uint64_t nonce = 0;
+  /// Fan-in tier placement: 0 = session (root) filter, 1 = per-machine
+  /// local filter, 2 = aggregator. Modes 1 and 2 name the node's parent
+  /// in the fan-in tree — the daemon passes it to the spawned program,
+  /// which connects upward and metertap()s the edge.
+  std::uint8_t mode = 0;
+  std::string parent_host;
+  std::uint16_t parent_port = 0;
 };
 
 struct FilterReply {
@@ -144,10 +158,53 @@ struct IoSend {
   std::string data;
 };
 
+/// N creates in one RPC. The items share the job's wiring (filter socket,
+/// meter flags, controller notification socket) — exactly the fields that
+/// are identical across a job's processes on one machine. The nonce keys
+/// the whole batch in the daemon's replay cache: a retried batch returns
+/// the cached reply, never a second wave of processes.
+struct BatchCreateRequest {
+  std::int32_t uid = 0;
+  struct Item {
+    std::string filename;
+    std::vector<std::string> params;
+  };
+  std::vector<Item> items;
+  std::uint16_t filter_port = 0;
+  std::string filter_host;
+  std::uint32_t meter_flags = 0;
+  std::uint16_t control_port = 0;
+  std::string control_host;
+  std::uint64_t nonce = 0;
+};
+
+/// Per-item results, parallel to the request's items. `nonce` echoes the
+/// request so a pipelined client can match replies to in-flight calls.
+struct BatchCreateReply {
+  std::uint64_t nonce = 0;
+  std::vector<std::int32_t> pids;      // -1 where the create failed
+  std::vector<std::int32_t> statuses;  // 0 ok, else util::Err value
+};
+
+/// One process op (start/stop/kill/release — `what` disambiguates, as for
+/// ProcRequest) applied to a pid list in one RPC.
+struct BatchProcRequest {
+  MsgType what = MsgType::start_request;
+  std::int32_t uid = 0;
+  std::uint64_t nonce = 0;
+  std::vector<std::int32_t> pids;
+};
+
+struct BatchProcReply {
+  std::uint64_t nonce = 0;
+  std::vector<std::int32_t> statuses;  // parallel to the request's pids
+};
+
 using DaemonMsg =
     std::variant<CreateRequest, CreateReply, FilterRequest, FilterReply,
                  SetFlagsRequest, ProcRequest, AcquireRequest, SimpleReply,
-                 StateNote, IoNote, IoSend>;
+                 StateNote, IoNote, IoSend, BatchCreateRequest,
+                 BatchCreateReply, BatchProcRequest, BatchProcReply>;
 
 MsgType msg_type(const DaemonMsg& m);
 util::Bytes serialize(const DaemonMsg& m);

@@ -1,0 +1,282 @@
+#include "daemon/rpc_pipeline.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "kernel/syscalls.h"
+#include "kernel/world.h"
+#include "obs/registry.h"
+
+namespace dpm::daemon {
+
+namespace {
+
+using kernel::Fd;
+using kernel::Sys;
+using util::Err;
+
+bool retryable(Err e) {
+  return e == Err::etimedout || e == Err::econnrefused ||
+         e == Err::econnreset || e == Err::epipe;
+}
+
+/// Nonce carried by a request (0: none — replies then match by connection
+/// alone, which a fresh-socket-per-attempt pipeline already guarantees).
+std::uint64_t request_nonce(const DaemonMsg& m) {
+  if (const auto* c = std::get_if<CreateRequest>(&m)) return c->nonce;
+  if (const auto* f = std::get_if<FilterRequest>(&m)) return f->nonce;
+  if (const auto* b = std::get_if<BatchCreateRequest>(&m)) return b->nonce;
+  if (const auto* p = std::get_if<BatchProcRequest>(&m)) return p->nonce;
+  return 0;
+}
+
+/// Nonce echoed by a reply (0: the reply type carries none).
+std::uint64_t reply_nonce(const DaemonMsg& m) {
+  if (const auto* b = std::get_if<BatchCreateReply>(&m)) return b->nonce;
+  if (const auto* p = std::get_if<BatchProcReply>(&m)) return p->nonce;
+  return 0;
+}
+
+enum class St { idle, connecting, awaiting, backoff, done };
+
+struct CallState {
+  St st = St::idle;
+  Fd fd = -1;
+  int attempts = 0;            // attempts launched so far
+  util::Duration pause{};      // next backoff pause (doubles per retry)
+  util::TimePoint deadline{};  // current attempt's expiry
+  util::TimePoint resume{};    // end of the current backoff
+  util::Bytes buf;             // reply re-framing (one frame per exchange)
+};
+
+}  // namespace
+
+std::size_t run_pipeline(Sys& sys, std::vector<PipelinedCall>& calls,
+                         int window) {
+  obs::Registry& reg = sys.world().obs();
+  obs::Counter& retries = reg.counter("daemon.rpc_retries");
+  obs::Counter& timeouts = reg.counter("daemon.rpc_timeouts");
+  obs::Counter& failures = reg.counter("daemon.rpc_failures");
+  obs::Counter& mismatches = reg.counter("daemon.rpc_nonce_mismatch");
+  obs::Gauge& inflight = reg.gauge("shard.inflight");
+  reg.counter("daemon.rpc_calls").add(calls.size());
+  reg.counter("daemon.rpc_pipelined").add(calls.size());
+
+  if (window < 1) window = 1;
+  std::vector<CallState> st(calls.size());
+  for (std::size_t i = 0; i < calls.size(); ++i) {
+    st[i].pause = calls[i].opts.backoff;
+  }
+
+  std::size_t done = 0;
+  std::size_t ok = 0;
+  int active = 0;  // connecting + awaiting
+
+  auto settle = [&](std::size_t i, util::SysResult<DaemonMsg> result) {
+    CallState& c = st[i];
+    if (c.fd >= 0) {
+      (void)sys.close(c.fd);
+      c.fd = -1;
+    }
+    c.st = St::done;
+    if (result) ++ok;
+    else failures.add(1);
+    calls[i].reply = std::move(result);
+    ++done;
+  };
+
+  // One failed attempt: close the socket, then either give up (attempt
+  // cap, non-retryable error) or back off before the next fresh attempt.
+  auto fail_attempt = [&](std::size_t i, Err e) {
+    CallState& c = st[i];
+    if (c.st == St::connecting || c.st == St::awaiting) {
+      --active;
+      inflight.sub(1);
+    }
+    if (c.fd >= 0) {
+      (void)sys.close(c.fd);
+      c.fd = -1;
+    }
+    if (e == Err::etimedout) timeouts.add(1);
+    const int cap = std::max(1, calls[i].opts.max_attempts);
+    if (!retryable(e) || c.attempts >= cap) {
+      c.st = St::done;
+      calls[i].reply = e;
+      failures.add(1);
+      ++done;
+      return;
+    }
+    c.st = St::backoff;
+    c.resume = sys.world().now() + c.pause;
+    c.pause = std::min(c.pause + c.pause, calls[i].opts.backoff_max);
+  };
+
+  auto launch = [&](std::size_t i) {
+    CallState& c = st[i];
+    ++c.attempts;
+    c.buf.clear();
+    auto fd = sys.socket(kernel::SockDomain::internet,
+                         kernel::SockType::stream);
+    if (!fd) {
+      settle(i, fd.error());
+      return;
+    }
+    c.fd = *fd;
+    c.deadline = sys.world().now() + calls[i].opts.deadline;
+    auto begun = sys.connect_begin(*fd, calls[i].to);
+    if (!begun) {
+      c.st = St::connecting;  // so fail_attempt rebalances active
+      ++active;
+      inflight.add(1);
+      fail_attempt(i, begun.error());
+      return;
+    }
+    c.st = St::connecting;
+    ++active;
+    inflight.add(1);
+  };
+
+  // A completed connect: ship the request; the exchange then awaits its
+  // framed reply on the same connection.
+  auto on_writable = [&](std::size_t i) {
+    CallState& c = st[i];
+    auto fin = sys.connect_finish(c.fd);
+    if (!fin) {
+      if (fin.error() == Err::ewouldblock) return;  // spurious; still in flight
+      fail_attempt(i, fin.error());
+      return;
+    }
+    auto sent = send_msg(sys, c.fd, calls[i].request);
+    if (!sent) {
+      fail_attempt(i, sent.error());
+      return;
+    }
+    c.st = St::awaiting;
+  };
+
+  auto on_readable = [&](std::size_t i) {
+    CallState& c = st[i];
+    auto data = sys.recv(c.fd, 8192);
+    if (!data) {
+      fail_attempt(i, data.error());
+      return;
+    }
+    if (data->empty()) {
+      fail_attempt(i, Err::econnreset);  // daemon died mid-reply
+      return;
+    }
+    c.buf.insert(c.buf.end(), data->begin(), data->end());
+    if (c.buf.size() < 4) return;
+    const std::uint32_t size = static_cast<std::uint32_t>(c.buf[0]) |
+                               static_cast<std::uint32_t>(c.buf[1]) << 8 |
+                               static_cast<std::uint32_t>(c.buf[2]) << 16 |
+                               static_cast<std::uint32_t>(c.buf[3]) << 24;
+    if (size < 8 || size > (1u << 20)) {
+      fail_attempt(i, Err::einval);  // garbage frame: not worth a retry
+      return;
+    }
+    if (c.buf.size() < size) return;  // reply still arriving
+    util::Bytes wire(c.buf.begin(), c.buf.begin() + size);
+    auto msg = parse(wire);
+    if (!msg) {
+      fail_attempt(i, Err::einval);
+      return;
+    }
+    // A nonce-carrying reply must echo the request's nonce. A mismatch is
+    // a stale or crossed exchange: retry on a fresh connection — the
+    // daemon's replay cache makes the retry safe.
+    const std::uint64_t want = request_nonce(calls[i].request);
+    const std::uint64_t got = reply_nonce(*msg);
+    if (want != 0 && got != 0 && want != got) {
+      mismatches.add(1);
+      fail_attempt(i, Err::econnreset);
+      return;
+    }
+    --active;
+    inflight.sub(1);
+    settle(i, std::move(*msg));
+  };
+
+  while (done < calls.size()) {
+    const util::TimePoint now = sys.world().now();
+
+    // Fill the window: fresh calls first, then retries whose backoff ended.
+    for (std::size_t i = 0; i < calls.size() && active < window; ++i) {
+      if (st[i].st == St::idle) {
+        launch(i);
+      } else if (st[i].st == St::backoff && now >= st[i].resume) {
+        retries.add(1);
+        launch(i);
+      }
+    }
+    if (done >= calls.size()) break;
+
+    std::vector<Fd> read_fds;
+    std::vector<Fd> write_fds;
+    std::optional<util::TimePoint> wake;
+    auto propose = [&wake](util::TimePoint t) {
+      if (!wake || t < *wake) wake = t;
+    };
+    for (std::size_t i = 0; i < calls.size(); ++i) {
+      switch (st[i].st) {
+        case St::connecting:
+          write_fds.push_back(st[i].fd);
+          propose(st[i].deadline);
+          break;
+        case St::awaiting:
+          read_fds.push_back(st[i].fd);
+          propose(st[i].deadline);
+          break;
+        case St::backoff:
+          propose(st[i].resume);
+          break;
+        default:
+          break;
+      }
+    }
+    std::optional<util::Duration> timeout;
+    if (wake) timeout = *wake > now ? *wake - now : util::Duration{0};
+
+    auto sel = sys.select(read_fds, write_fds, /*child_events=*/false,
+                          timeout);
+    if (!sel) break;  // the controller process is being torn down
+
+    auto index_of = [&](Fd fd, St want) -> std::optional<std::size_t> {
+      for (std::size_t i = 0; i < calls.size(); ++i) {
+        if (st[i].st == want && st[i].fd == fd) return i;
+      }
+      return std::nullopt;
+    };
+    for (Fd fd : sel->writable) {
+      if (auto i = index_of(fd, St::connecting)) on_writable(*i);
+    }
+    for (Fd fd : sel->readable) {
+      if (auto i = index_of(fd, St::awaiting)) on_readable(*i);
+    }
+
+    // Deadline sweep: any attempt (connecting or awaiting) past its bound
+    // fails with etimedout, exactly as the serial hardened rpc_call does.
+    const util::TimePoint after = sys.world().now();
+    for (std::size_t i = 0; i < calls.size(); ++i) {
+      if ((st[i].st == St::connecting || st[i].st == St::awaiting) &&
+          after >= st[i].deadline) {
+        fail_attempt(i, Err::etimedout);
+      }
+    }
+  }
+
+  // Torn down mid-run (select failure): account the unfinished calls.
+  for (std::size_t i = 0; i < calls.size(); ++i) {
+    if (st[i].st != St::done) {
+      if (st[i].st == St::connecting || st[i].st == St::awaiting) {
+        inflight.sub(1);
+      }
+      if (st[i].fd >= 0) (void)sys.close(st[i].fd);
+      calls[i].reply = Err::etimedout;
+      failures.add(1);
+    }
+  }
+  return ok;
+}
+
+}  // namespace dpm::daemon

@@ -1,0 +1,40 @@
+// Pipelined daemon RPC (the sharded controller's transport).
+//
+// A serial controller pays one round trip per daemon even when the calls
+// are independent; at cluster scale the job-control wall time is the sum
+// of every daemon's latency. run_pipeline keeps a bounded window of RPC
+// exchanges in flight from one process — non-blocking connects
+// (connect_begin / connect_finish), completion discovered through
+// select()'s write set, replies re-framed per call and matched to their
+// request by nonce — so wall time collapses toward the slowest single
+// exchange. Per-call deadline/retry/backoff semantics are exactly those
+// of the hardened rpc_call (RpcOptions): every retry runs on a fresh
+// connection, and requests that create state must carry a nonce so the
+// daemon's replay cache absorbs duplicates.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "daemon/protocol.h"
+
+namespace dpm::daemon {
+
+/// One call in a pipeline: where to send what, with the hardened-RPC
+/// policy knobs. `reply` holds the outcome after run_pipeline returns —
+/// the daemon's reply, or the final attempt's error.
+struct PipelinedCall {
+  net::SockAddr to;
+  DaemonMsg request;
+  RpcOptions opts;
+  util::SysResult<DaemonMsg> reply = util::Err::etimedout;
+};
+
+/// Drives every call to completion with at most `window` exchanges in
+/// flight; returns how many calls succeeded. Counts each call under the
+/// daemon.rpc_* instruments like rpc_call, plus daemon.rpc_pipelined and
+/// the shard.inflight gauge (high-water = peak window occupancy).
+std::size_t run_pipeline(kernel::Sys& sys, std::vector<PipelinedCall>& calls,
+                         int window = 8);
+
+}  // namespace dpm::daemon

@@ -1,0 +1,45 @@
+// The fan-in tier (hierarchical filtering).
+//
+// A flat session scales until every metered process on every machine
+// streams into one filter: the root's recv serialization becomes the
+// cluster's wall. The fan-in tier moves selection to the edge — a
+// per-machine *local filter* runs the session's selection rules against
+// that machine's meter connections in place and forwards only accepted
+// records, as re-framed wire-byte batches, to *aggregator* nodes arranged
+// in a configurable-arity tree rooted at the session filter. Cross-fabric
+// traffic then scales with accepted records, not emitted events; the root
+// re-runs the same rules over the forwarded stream (idempotent — forwarded
+// bytes are full pre-discard records) and renders the log exactly as in a
+// flat session.
+//
+// Every tier edge is marked with metertap() and its records accounted in
+// the kernel's tier-1 conservation ledger (World::fanin_conservation);
+// see DESIGN.md §11 for the forwarding frame format and overflow policy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kernel/exec_registry.h"
+
+namespace dpm::filter {
+
+/// The per-machine filter stage. argv: <exe> <descriptions> <templates>
+/// <meter-port> <parent-host> <parent-port>. Binds the machine's meter
+/// port, selects over inbound meter connections with the session's rules,
+/// stages accepted records' wire bytes, and ships them up the tree.
+kernel::ProcessMain make_localfilter_main(const std::vector<std::string>& argv);
+
+/// An interior fan-in node. argv: <exe> <port> <parent-host> <parent-port>.
+/// No selection — children already filtered; it re-frames inbound tier-1
+/// streams into whole records, concatenates them, and forwards upward.
+kernel::ProcessMain make_aggregator_main(const std::vector<std::string>& argv);
+
+/// Registers "localfilter" and "aggregator" in the registry.
+void register_fanin_programs(kernel::ExecRegistry& registry);
+
+/// Program names.
+inline constexpr const char* kLocalFilterProgram = "localfilter";
+inline constexpr const char* kAggregatorProgram = "aggregator";
+
+}  // namespace dpm::filter

@@ -14,7 +14,7 @@ namespace dpm::filter {
 
 FilterEngine::FilterEngine(Descriptions descriptions, Templates templates,
                            EvalPath path, obs::Registry* obs,
-                           MatchEngine match)
+                           MatchEngine match, const std::string& key_prefix)
     : desc_(std::move(descriptions)),
       templ_(std::move(templates)),
       compiled_(CompiledTemplates::compile(templ_, desc_)),
@@ -26,18 +26,19 @@ FilterEngine::FilterEngine(Descriptions descriptions, Templates templates,
     obs = own_obs_.get();
   }
   obs_ = obs;
-  bytecode_.set_ops_counter(&obs->counter("filter.bytecode_ops"));
-  records_in_ = &obs_->counter("filter.records_in");
-  accepted_ = &obs_->counter("filter.accepted");
-  rejected_ = &obs_->counter("filter.rejected");
-  malformed_ = &obs_->counter("filter.malformed");
-  truncated_ = &obs_->counter("filter.truncated");
-  bytes_in_ = &obs_->counter("filter.bytes_in");
-  bytes_out_ = &obs_->counter("filter.bytes_out");
-  eval_compiled_ = &obs_->counter("filter.eval_compiled");
-  eval_interpreted_ = &obs_->counter("filter.eval_interpreted");
-  accept_view_ = &obs_->counter("filter.accept_view");
-  accept_owned_ = &obs_->counter("filter.accept_owned");
+  auto key = [&key_prefix](const char* name) { return key_prefix + name; };
+  bytecode_.set_ops_counter(&obs->counter(key(".bytecode_ops")));
+  records_in_ = &obs_->counter(key(".records_in"));
+  accepted_ = &obs_->counter(key(".accepted"));
+  rejected_ = &obs_->counter(key(".rejected"));
+  malformed_ = &obs_->counter(key(".malformed"));
+  truncated_ = &obs_->counter(key(".truncated"));
+  bytes_in_ = &obs_->counter(key(".bytes_in"));
+  bytes_out_ = &obs_->counter(key(".bytes_out"));
+  eval_compiled_ = &obs_->counter(key(".eval_compiled"));
+  eval_interpreted_ = &obs_->counter(key(".eval_interpreted"));
+  accept_view_ = &obs_->counter(key(".accept_view"));
+  accept_owned_ = &obs_->counter(key(".accept_owned"));
 }
 
 void FilterEngine::add_sink(RecordSink* sink) {
@@ -72,7 +73,8 @@ std::string filter_summary_line(const std::string& prog,
 
 bool FilterEngine::select_view(const std::uint8_t* raw, std::size_t size,
                                const OnAccept& on_accept,
-                               const OnAcceptView* fast) {
+                               const OnAcceptView* fast,
+                               const OnAcceptRaw* raw_accept) {
   const auto v = make_record_view(raw, size);
   if (!v) return false;
   const WirePlan* wp = desc_.wire_plan(v->type);
@@ -111,6 +113,13 @@ bool FilterEngine::select_view(const std::uint8_t* raw, std::size_t size,
   }
   accepted_->add(1);
   accept_view_->add(1);
+  // Forwarding path: the accepted record goes out as the bytes it came in
+  // as — no decode at all. Only when a sink needs the owned Record does
+  // the forwarding accept fall through to the decode below.
+  if (raw_accept && sinks_.empty()) {
+    (*raw_accept)(raw, size);
+    return true;
+  }
   // Fast path: a view consumer renders straight off the wire bytes —
   // byte-identical output with no owned Record. Interpreted-fallback
   // accepts carry name-set discards, which the view renderer does not
@@ -119,11 +128,13 @@ bool FilterEngine::select_view(const std::uint8_t* raw, std::size_t size,
   // validate() passed, so the decode cannot fail.
   auto rec = desc_.decode(raw, size);
   on_accept(*rec, mask, names);
+  if (raw_accept) (*raw_accept)(raw, size);
   return true;
 }
 
 void FilterEngine::drain(std::uint64_t conn, const util::Bytes& data,
-                         const OnAccept& user_accept, const OnAcceptView* fast) {
+                         const OnAccept& user_accept, const OnAcceptView* fast,
+                         const OnAcceptRaw* raw_accept) {
   // One wrap point covers every accept site (the view path and both owned
   // paths below): registered sinks see each accepted record before the
   // caller's consumer renders or aggregates it. Sinks need the owned
@@ -179,7 +190,8 @@ void FilterEngine::drain(std::uint64_t conn, const util::Bytes& data,
     // Hot path: evaluate in place over the wire bytes (the view borrows
     // `buf`, which is not touched until the loop ends). Types the view
     // decoder cannot handle fall through to the owned decode below.
-    if (path_ == EvalPath::view && select_view(raw, size, on_accept, fast)) {
+    if (path_ == EvalPath::view &&
+        select_view(raw, size, on_accept, fast, raw_accept)) {
       continue;
     }
 
@@ -200,6 +212,7 @@ void FilterEngine::drain(std::uint64_t conn, const util::Bytes& data,
       accepted_->add(1);
       accept_owned_->add(1);
       on_accept(*rec, cd->discard, nullptr);
+      if (raw_accept) (*raw_accept)(raw, size);
     } else {
       eval_interpreted_->add(1);
       const Templates::Decision d = templ_.evaluate(*rec);
@@ -210,6 +223,7 @@ void FilterEngine::drain(std::uint64_t conn, const util::Bytes& data,
       accepted_->add(1);
       accept_owned_->add(1);
       on_accept(*rec, nullptr, d.discard.empty() ? nullptr : &d.discard);
+      if (raw_accept) (*raw_accept)(raw, size);
     }
   }
   if (desync) {
@@ -272,6 +286,16 @@ void FilterEngine::feed_each(std::uint64_t conn, const util::Bytes& data,
   drain(conn, data,
         [&](const Record& rec, const std::vector<bool>*,
             const std::set<std::string>*) { fn(rec); });
+}
+
+void FilterEngine::feed_forward(std::uint64_t conn, const util::Bytes& data,
+                                const OnAcceptRaw& fn) {
+  // The no-op owned accept still runs for sink-registered engines (drain
+  // wraps it with the sink notifications) and for view-decode fallthrough;
+  // the wire bytes always reach `fn` exactly once per accepted record.
+  const OnAccept noop = [](const Record&, const std::vector<bool>*,
+                           const std::set<std::string>*) {};
+  drain(conn, data, noop, nullptr, &fn);
 }
 
 kernel::ProcessMain make_filter_main(const std::vector<std::string>& argv) {

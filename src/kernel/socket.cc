@@ -151,12 +151,21 @@ void World::destroy_socket(SocketId id) {
     // Undelivered meter bytes die with the socket. Frame them the way the
     // filter would have: complete unread records are stranded, records cut
     // short (a partially-consumed head, a partial tail) are malformed —
-    // the loss is counted record by record, not silent.
+    // the loss is counted record by record, not silent. The loss lands in
+    // the ledger the conn belongs to: tier 0 (process→filter) or tier 1
+    // (fan-in), never both.
     const FrameRemainder rem = count_remaining_frames(s);
-    if (rem.complete) mobs_.stranded_records->add(rem.complete);
-    if (rem.head + rem.tail) mobs_.malformed_records->add(rem.head + rem.tail);
+    obs::Counter* stranded =
+        s.meter_tier == 0 ? mobs_.stranded_records : fobs_.stranded;
+    obs::Counter* malformed =
+        s.meter_tier == 0 ? mobs_.malformed_records : fobs_.malformed;
+    if (rem.complete) stranded->add(rem.complete);
+    if (rem.head + rem.tail) malformed->add(rem.head + rem.tail);
     s.frame_hdr_have = 0;
     s.frame_need = 0;
+  }
+  if (s.is_meter_conn && s.meter_tier == 1) {
+    fobs_.queue_bytes->sub(static_cast<std::int64_t>(s.rbuf.size()));
   }
   mobs_.rbuf_bytes->sub(static_cast<std::int64_t>(s.rbuf.size()));
   s.rbuf.clear();
@@ -247,6 +256,11 @@ void World::kernel_ring_wakeup(SocketId from, bool reliable) {
 }
 
 void World::meter_consume(Socket& s, const std::uint8_t* data, std::size_t n) {
+  // Consumption counts into the conn's own tier ledger: records a local
+  // filter reads off process edges are tier 0; records an aggregator or
+  // the session filter reads off fan-in edges are tier 1.
+  obs::Counter* consumed_ctr =
+      s.meter_tier == 0 ? mobs_.consumed_records : fobs_.consumed;
   std::uint64_t consumed = 0;
   while (n > 0) {
     if (s.frame_need == 0) {
@@ -266,7 +280,7 @@ void World::meter_consume(Socket& s, const std::uint8_t* data, std::size_t n) {
           --n;
         }
         if (s.frame_hdr_have < 4) {
-          mobs_.consumed_records->add(consumed);
+          consumed_ctr->add(consumed);
           return;
         }
         size = static_cast<std::uint32_t>(s.frame_hdr[0]) |
@@ -287,7 +301,7 @@ void World::meter_consume(Socket& s, const std::uint8_t* data, std::size_t n) {
     n -= take;
     if (s.frame_need == 0) ++consumed;
   }
-  mobs_.consumed_records->add(consumed);
+  consumed_ctr->add(consumed);
 }
 
 MeterConservation World::meter_conservation() const {
@@ -303,12 +317,73 @@ MeterConservation World::meter_conservation() const {
   }
   for (const auto& [id, sp] : sockets_) {
     const Socket& s = *sp;
-    if (!s.is_meter_conn) continue;
+    if (!s.is_meter_conn || s.meter_tier != 0) continue;
     if (s.sstate == Socket::StreamState::closed && s.refs == 0) continue;
     const FrameRemainder rem = count_remaining_frames(s);
     c.buffered += rem.head + rem.complete + rem.tail;
   }
   return c;
+}
+
+FanInConservation World::fanin_conservation() const {
+  FanInConservation c;
+  c.forwarded = fobs_.forwarded->value();
+  c.consumed = fobs_.consumed->value();
+  c.lost = fobs_.lost->value();
+  c.overflow = fobs_.overflow_records->value();
+  c.stranded = fobs_.stranded->value();
+  c.malformed = fobs_.malformed->value();
+  for (const auto& [id, sp] : sockets_) {
+    const Socket& s = *sp;
+    if (!s.is_meter_conn || s.meter_tier != 1) continue;
+    if (s.sstate == Socket::StreamState::closed && s.refs == 0) continue;
+    const FrameRemainder rem = count_remaining_frames(s);
+    c.buffered += rem.head + rem.complete + rem.tail;
+  }
+  return c;
+}
+
+bool World::kernel_fanin_forward(SocketId from, util::Bytes data,
+                                 std::uint32_t records) {
+  // Every record entering the tier is counted here; the branches below put
+  // each one in exactly one terminal or in-transit bucket.
+  fobs_.forwarded->add(records);
+  Socket* s = find_socket(from);
+  if (!s || s->sstate != Socket::StreamState::connected || s->peer == 0 ||
+      s->eof) {
+    fobs_.lost->add(records);
+    return false;
+  }
+  Socket* peer = find_socket(s->peer);
+  if (!peer) {
+    fobs_.lost->add(records);
+    return false;
+  }
+  const SocketId peer_id = peer->id;
+  const std::size_t n = data.size();
+  fabric_.send(
+      s->net_hint, s->machine, peer->machine, s->tx_channel,
+      /*droppable=*/false, n,
+      [this, peer_id, records, data = std::move(data)]() mutable {
+        auto it = sockets_.find(peer_id);
+        Socket* p = it == sockets_.end() ? nullptr : it->second.get();
+        if (!p ||
+            (p->sstate == Socket::StreamState::closed && p->refs == 0)) {
+          // The edge died while the batch was in flight.
+          fobs_.lost->add(records);
+          return;
+        }
+        if (p->rbuf.size() >= cfg_.fanin_queue_bytes) {
+          // Backpressure by accounted drop: the receiver is not draining.
+          // Batches are frame-aligned, so the whole batch goes — records
+          // are never cut in half by overflow.
+          fobs_.overflow_records->add(records);
+          fobs_.overflow_bytes->add(data.size());
+          return;
+        }
+        deliver_stream(peer_id, std::move(data), /*accounted=*/false);
+      });
+  return true;
 }
 
 void World::deliver_stream(SocketId to, util::Bytes data, bool accounted) {
@@ -322,6 +397,11 @@ void World::deliver_stream(SocketId to, util::Bytes data, bool accounted) {
   if (s.sstate == Socket::StreamState::closed && s.refs == 0) return;
   s.rbuf.insert(s.rbuf.end(), data.begin(), data.end());
   mobs_.rbuf_bytes->add(static_cast<std::int64_t>(data.size()));
+  if (s.is_meter_conn && s.meter_tier == 1) {
+    // Tier-1 occupancy gauge: its high-water is the aggregator-occupancy
+    // instrument the backpressure policy is judged by.
+    fobs_.queue_bytes->add(static_cast<std::int64_t>(data.size()));
+  }
   s.readers.wake_all(exec_);
 }
 

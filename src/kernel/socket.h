@@ -73,6 +73,12 @@ class Socket {
   /// Marks sockets created by setmeter plumbing (kept out of app stats).
   bool is_meter_conn = false;
 
+  /// Which conservation ledger a meter conn's records belong to: tier 0 is
+  /// the process→filter edge (setmeter), tier 1 the fan-in tier — local
+  /// filter → aggregator → session filter edges marked by metertap().
+  /// Records are counted per tier so each ledger balances on its own.
+  std::uint8_t meter_tier = 0;
+
   // ---- Ring transport (meter conns with WorldConfig::meter_ring_bytes) ----
   // Both endpoints of a meter connection share one ring: the metered
   // process's kernel edge pushes encoded records, the filter's recv pops

@@ -331,39 +331,9 @@ util::SysResult<void> Sys::connect_impl(Fd fd, const net::SockAddr& name,
 
   if (s.sstate == Socket::StreamState::connected) return Err::eisconn;
   if (s.sstate != Socket::StreamState::idle) return Err::einval;
-  auto b = auto_bind(s);
-  if (!b) return b.error();
-
-  // Locate the destination machine.
-  MachineId target = 0;
-  net::NetworkId over_net = 0;
-  if (name.family == net::Family::internet) {
-    auto tm = world_.hosts().machine_at(name);
-    if (!tm) return Err::econnrefused;
-    target = *tm;
-    over_net = name.network;
-  } else if (name.family == net::Family::unix_path) {
-    if (s.domain != SockDomain::unix_path) return Err::einval;
-    target = proc_->machine;  // UNIX-domain names are machine-local
-  } else {
-    return Err::einval;
-  }
-
-  s.sstate = Socket::StreamState::connecting;
-  s.connect_result.reset();
-  s.net_hint = over_net;
-
+  auto launched = connect_launch(s, name);
+  if (!launched) return launched.error();
   const SocketId sid = s.id;
-  const net::SockAddr client_name = s.name;
-  const MachineId client_machine = proc_->machine;
-  World* w = &world_;
-  world_.fabric().send(over_net, proc_->machine, target, /*channel=*/0,
-                       /*droppable=*/false, 8,
-                       [w, target, name, sid, client_machine, client_name,
-                        over_net] {
-                         syn_arrives(*w, target, name, sid, client_machine,
-                                     client_name, over_net);
-                       });
 
   if (deadline) {
     // Bounded wait: a down machine never answers a SYN, so callers that
@@ -407,6 +377,77 @@ util::SysResult<void> Sys::connect_impl(Fd fd, const net::SockAddr& name,
                  meter::M_CONNECT,
                  meter::MeterConnect{proc_->pid, proc_->pc, sock->id,
                                      sock->name.text(), sock->peer_name.text()}});
+  return {};
+}
+
+util::SysResult<void> Sys::connect_launch(Socket& s, const net::SockAddr& name) {
+  auto b = auto_bind(s);
+  if (!b) return b.error();
+
+  // Locate the destination machine.
+  MachineId target = 0;
+  net::NetworkId over_net = 0;
+  if (name.family == net::Family::internet) {
+    auto tm = world_.hosts().machine_at(name);
+    if (!tm) return Err::econnrefused;
+    target = *tm;
+    over_net = name.network;
+  } else if (name.family == net::Family::unix_path) {
+    if (s.domain != SockDomain::unix_path) return Err::einval;
+    target = proc_->machine;  // UNIX-domain names are machine-local
+  } else {
+    return Err::einval;
+  }
+
+  s.sstate = Socket::StreamState::connecting;
+  s.connect_result.reset();
+  s.net_hint = over_net;
+
+  const SocketId sid = s.id;
+  const net::SockAddr client_name = s.name;
+  const MachineId client_machine = proc_->machine;
+  World* w = &world_;
+  world_.fabric().send(over_net, proc_->machine, target, /*channel=*/0,
+                       /*droppable=*/false, 8,
+                       [w, target, name, sid, client_machine, client_name,
+                        over_net] {
+                         syn_arrives(*w, target, name, sid, client_machine,
+                                     client_name, over_net);
+                       });
+  return {};
+}
+
+util::SysResult<void> Sys::connect_begin(Fd fd, const net::SockAddr& name) {
+  enter(world_.config().costs.connect_cost);
+  auto sr = sock_of(fd);
+  if (!sr) return sr.error();
+  Socket& s = **sr;
+  if (s.type != SockType::stream) return Err::eopnotsupp;
+  if (s.sstate == Socket::StreamState::connected) return Err::eisconn;
+  if (s.sstate == Socket::StreamState::connecting) return Err::einval;
+  if (s.sstate != Socket::StreamState::idle) return Err::einval;
+  return connect_launch(s, name);
+}
+
+util::SysResult<void> Sys::connect_finish(Fd fd) {
+  enter();
+  auto sr = sock_of(fd);
+  if (!sr) return sr.error();
+  Socket& s = **sr;
+  if (!s.connect_result.has_value()) {
+    return s.sstate == Socket::StreamState::connecting ? Err::ewouldblock
+                                                       : Err::einval;
+  }
+  if (*s.connect_result != Err::ok) return *s.connect_result;
+  if (s.sstate != Socket::StreamState::connected) return Err::econnreset;
+  if (s.tx_channel == 0) {
+    s.tx_channel = world_.fabric().new_channel();
+    meter_emit(world_, *proc_,
+               MeterEventDraft{
+                   meter::M_CONNECT,
+                   meter::MeterConnect{proc_->pid, proc_->pc, s.id,
+                                       s.name.text(), s.peer_name.text()}});
+  }
   return {};
 }
 
@@ -704,6 +745,9 @@ util::SysResult<util::Bytes> Sys::recv(Fd fd, std::size_t max) {
   sock->rbuf.erase(sock->rbuf.begin(),
                    sock->rbuf.begin() + static_cast<std::ptrdiff_t>(n));
   world_.mobs_.rbuf_bytes->sub(static_cast<std::int64_t>(n));
+  if (n > 0 && sock->is_meter_conn && sock->meter_tier == 1) {
+    world_.fobs_.queue_bytes->sub(static_cast<std::int64_t>(n));
+  }
   if (n > 0 && sock->is_meter_conn) {
     // Advance the conservation frame cursor: these bytes are now the
     // reader's problem; whole records crossing the cursor count consumed.
@@ -837,17 +881,58 @@ util::SysResult<net::SockAddr> Sys::getpeername(Fd fd) {
 util::SysResult<SelectResult> Sys::select(const std::vector<Fd>& read_fds,
                                           bool child_events,
                                           std::optional<util::Duration> timeout) {
+  return select(read_fds, {}, child_events, timeout);
+}
+
+namespace {
+
+/// 4.2BSD writability: a completed (or failed) connect attempt, an
+/// established connection, or a socket where a send would fail fast. A
+/// vanished socket counts writable so the error surfaces on use.
+bool sock_writable(const Socket* s) {
+  if (!s) return true;
+  if (s->type != SockType::stream) return true;
+  switch (s->sstate) {
+    case Socket::StreamState::connecting:
+      return s->connect_result.has_value();
+    case Socket::StreamState::listening:
+      return false;
+    case Socket::StreamState::idle:
+    case Socket::StreamState::connected:
+    case Socket::StreamState::closed:
+      return true;
+  }
+  return true;
+}
+
+}  // namespace
+
+util::SysResult<SelectResult> Sys::select(const std::vector<Fd>& read_fds,
+                                          const std::vector<Fd>& write_fds,
+                                          bool child_events,
+                                          std::optional<util::Duration> timeout) {
   enter();
   auto& exec = world_.exec();
   std::optional<util::TimePoint> deadline;
   if (timeout) deadline = exec.now() + *timeout;
   bool timer_armed = false;
+  sim::EventId timer_id = 0;
+  // A select satisfied before its deadline must take its timer with it:
+  // a stale timeout event would hold the event queue open and stretch
+  // every run-to-quiescence (and any sim-time measurement) out to the
+  // full deadline. now < deadline guarantees the timer has not fired.
+  const auto disarm = [&] {
+    if (timer_armed && exec.now() < *deadline) exec.cancel_event(timer_id);
+  };
 
   for (;;) {
     SelectResult out;
     for (Fd fd : read_fds) {
       const Descriptor* d = proc_->fds.get(fd);
-      if (!d) return Err::ebadf;
+      if (!d) {
+        disarm();
+        return Err::ebadf;
+      }
       bool ready = false;
       switch (d->kind) {
         case Descriptor::Kind::socket: {
@@ -867,9 +952,22 @@ util::SysResult<SelectResult> Sys::select(const std::vector<Fd>& read_fds,
       }
       if (ready) out.readable.push_back(fd);
     }
+    for (Fd fd : write_fds) {
+      const Descriptor* d = proc_->fds.get(fd);
+      if (!d) {
+        disarm();
+        return Err::ebadf;
+      }
+      const bool ready = d->kind != Descriptor::Kind::socket ||
+                         sock_writable(world_.find_socket(d->sock));
+      if (ready) out.writable.push_back(fd);
+    }
     if (child_events && !proc_->child_changes.empty()) out.child_event = true;
 
-    if (!out.readable.empty() || out.child_event) return out;
+    if (!out.readable.empty() || !out.writable.empty() || out.child_event) {
+      disarm();
+      return out;
+    }
     if (deadline && exec.now() >= *deadline) {
       out.timed_out = true;
       return out;
@@ -885,9 +983,21 @@ util::SysResult<SelectResult> Sys::select(const std::vector<Fd>& read_fds,
         d->pipe->readers.add(me);
       }
     }
+    for (Fd fd : write_fds) {
+      const Descriptor* d = proc_->fds.get(fd);
+      if (d->kind == Descriptor::Kind::socket) {
+        if (Socket* s = world_.find_socket(d->sock)) {
+          // A connecting socket completes through its connectors channel;
+          // window/teardown wakeups ride writers.
+          s->connectors.add(me);
+          s->writers.add(me);
+        }
+      }
+    }
     if (child_events) proc_->child_wait.add(me);
     if (deadline && !timer_armed) {
-      exec.schedule_at(*deadline, [&exec, me] { exec.make_runnable(me); });
+      timer_id =
+          exec.schedule_at(*deadline, [&exec, me] { exec.make_runnable(me); });
       timer_armed = true;
     }
     exec.park_current();
@@ -1092,6 +1202,45 @@ util::SysResult<void> Sys::setmeter(std::int32_t proc, std::int32_t flags,
     // union semantics are implemented above the kernel).
     target->meter_flags = static_cast<meter::Flags>(flags);
   }
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// Fan-in tier (local filter / aggregator plumbing)
+// ---------------------------------------------------------------------------
+
+util::SysResult<void> Sys::metertap(Fd fd) {
+  enter();
+  auto sr = sock_of(fd);
+  if (!sr) return sr.error();
+  Socket& s = **sr;
+  if (s.domain != SockDomain::internet || s.type != SockType::stream) {
+    return Err::einval;
+  }
+  if (s.sstate != Socket::StreamState::connected) return Err::enotconn;
+  s.is_meter_conn = true;
+  s.meter_tier = 1;
+  if (Socket* peer = world_.find_socket(s.peer)) {
+    // The upstream end is where records are buffered and consumed; marking
+    // it routes its frame cursor and teardown residue into the tier-1
+    // ledger.
+    peer->is_meter_conn = true;
+    peer->meter_tier = 1;
+  }
+  return {};
+}
+
+util::SysResult<void> Sys::meter_forward(Fd fd, const util::Bytes& batch,
+                                         std::uint32_t records) {
+  const auto& costs = world_.config().costs;
+  enter(costs.send_base +
+        util::usec(costs.send_per_kb.count() *
+                   static_cast<std::int64_t>(batch.size()) / 1024));
+  auto sr = sock_of(fd);
+  if (!sr) return sr.error();
+  Socket& s = **sr;
+  if (!s.is_meter_conn || s.meter_tier != 1) return Err::einval;
+  if (!world_.kernel_fanin_forward(s.id, batch, records)) return Err::epipe;
   return {};
 }
 

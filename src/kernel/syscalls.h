@@ -37,6 +37,7 @@ struct ProcessExit {
 
 struct SelectResult {
   std::vector<Fd> readable;
+  std::vector<Fd> writable;
   bool child_event = false;
   bool timed_out = false;
 };
@@ -84,6 +85,15 @@ class Sys {
   /// socket is returned to idle; close the fd and retry on a fresh one.
   util::SysResult<void> connect(Fd fd, const net::SockAddr& name,
                                 util::Duration deadline);
+  /// Non-blocking connect (stream sockets): sends the SYN and returns at
+  /// once. The socket shows up writable in select() when the attempt
+  /// completes (success or failure); connect_finish() reaps the result.
+  /// The BSD idiom for many concurrent connects from one process — the
+  /// pipelined RPC layer is built on it.
+  util::SysResult<void> connect_begin(Fd fd, const net::SockAddr& name);
+  /// Reaps a connect_begin: ewouldblock while still in flight, otherwise
+  /// the connect result (the socket is connected on ok).
+  util::SysResult<void> connect_finish(Fd fd);
   /// Stream write: blocks until all bytes are queued. Returns byte count.
   util::SysResult<std::size_t> send(Fd fd, const util::Bytes& data);
   util::SysResult<std::size_t> send(Fd fd, std::string_view data);
@@ -121,6 +131,14 @@ class Sys {
   /// select(): blocks until an fd in `read_fds` is readable, a child
   /// state-change is queued (if `child_events`), or the timeout expires.
   util::SysResult<SelectResult> select(const std::vector<Fd>& read_fds,
+                                       bool child_events,
+                                       std::optional<util::Duration> timeout);
+  /// select() with a write set: a stream socket is writable when a pending
+  /// connect has completed (connect_begin), when it is connected, or when
+  /// a send would fail fast (closed/reset) — the 4.2BSD contract the
+  /// pipelined RPC client relies on. Listening sockets are never writable.
+  util::SysResult<SelectResult> select(const std::vector<Fd>& read_fds,
+                                       const std::vector<Fd>& write_fds,
                                        bool child_events,
                                        std::optional<util::Duration> timeout);
 
@@ -164,6 +182,23 @@ class Sys {
   util::SysResult<void> setmeter(std::int32_t proc, std::int32_t flags,
                                  std::int32_t sock);
 
+  // ---- fan-in tier (monitor-internal; not part of the 4.2BSD surface) ----
+  /// Marks a connected internet stream socket (and its peer) as a tier-1
+  /// meter edge: a local-filter→aggregator or aggregator→session-filter
+  /// hop of the fan-in tree. Records moving over it are accounted in the
+  /// tier-1 conservation ledger (World::fanin_conservation), never the
+  /// process-edge one. Called by the downstream node after connecting to
+  /// its parent.
+  util::SysResult<void> metertap(Fd fd);
+  /// Ships a frame-aligned batch of `records` accepted meter records up a
+  /// metertap'd edge. Charged like a send; bypasses the stream window (the
+  /// fan-in backpressure policy is the receiver-side accounted drop, see
+  /// WorldConfig::fanin_queue_bytes). Returns epipe when the edge is dead
+  /// — the records are then already booked fanin.lost_records, so the
+  /// caller may reconnect but must not re-send the batch.
+  util::SysResult<void> meter_forward(Fd fd, const util::Bytes& batch,
+                                      std::uint32_t records);
+
   // ---- files ----
   enum class OpenMode { read, write_trunc, append };
   util::SysResult<Fd> open(const std::string& path, OpenMode mode);
@@ -204,6 +239,10 @@ class Sys {
 
   util::SysResult<void> connect_impl(Fd fd, const net::SockAddr& name,
                                      std::optional<util::Duration> deadline);
+  /// Shared connect launch: binds, resolves the target, flips the socket
+  /// to `connecting` and ships the SYN. Blocking connect waits afterwards;
+  /// connect_begin returns to the caller.
+  util::SysResult<void> connect_launch(Socket& s, const net::SockAddr& name);
   util::SysResult<std::size_t> send_impl(Fd fd, const util::Bytes& data,
                                          const net::SockAddr* dest);
   util::SysResult<std::size_t> stream_send(Socket& s, const util::Bytes& data);

@@ -69,6 +69,13 @@ struct WorldConfig {
   /// unsignalled bytes sit in the ring; M_IMMEDIATE events and meter_flush
   /// force one regardless.
   std::size_t meter_ring_wakeup_bytes = 4096;
+  /// Fan-in tier backpressure bound: a forwarded batch arriving at an
+  /// aggregation-tier socket whose receive buffer already holds this many
+  /// bytes is dropped whole, with every record booked to the tier's
+  /// overflow counter (batches are frame-aligned, so drops never cut a
+  /// record in half). Keeps aggregator occupancy bounded under storms
+  /// while the conservation ledger stays exact.
+  std::size_t fanin_queue_bytes = 256 * 1024;
   /// CPU accounting reporting grain — "CPU use is updated in increments of
   /// 10ms" (§4.1).
   util::Duration cpu_grain = util::msec(10);

@@ -35,6 +35,14 @@ World::World(WorldConfig cfg)
   mobs_.ring_occupancy = &obs_.gauge("ring.occupancy");
   mobs_.ring_wakeups = &obs_.counter("ring.wakeups");
   mobs_.ring_overflow_drops = &obs_.counter("ring.overflow_drops");
+  fobs_.forwarded = &obs_.counter("fanin.forwarded_records");
+  fobs_.consumed = &obs_.counter("fanin.records_consumed");
+  fobs_.lost = &obs_.counter("fanin.lost_records");
+  fobs_.overflow_records = &obs_.counter("fanin.overflow_records");
+  fobs_.overflow_bytes = &obs_.counter("fanin.overflow_bytes");
+  fobs_.stranded = &obs_.counter("fanin.stranded_records");
+  fobs_.malformed = &obs_.counter("fanin.malformed_records");
+  fobs_.queue_bytes = &obs_.gauge("fanin.queue_bytes");
   machines_down_ = &obs_.gauge("kernel.machines_down");
 }
 

@@ -77,6 +77,29 @@ struct MeterConservation {
   bool balanced() const { return emitted == accounted(); }
 };
 
+/// Tier-1 conservation: every record a local filter or aggregator handed
+/// to meter_forward() is in exactly one bucket, so at any quiescent point
+///   forwarded == consumed + lost + overflow + stranded + malformed
+///                + buffered
+/// holds exactly. Self-contained per hop: a record crossing k fan-in edges
+/// adds k to `forwarded` and k terminal/buffered entries, so the ledger
+/// balances for any tree depth. World::fanin_conservation() materializes
+/// it.
+struct FanInConservation {
+  std::uint64_t forwarded = 0;  // fanin.forwarded_records
+  std::uint64_t consumed = 0;   // read out of a tier-1 conn upstream
+  std::uint64_t lost = 0;       // sender or peer dead at send/delivery
+  std::uint64_t overflow = 0;   // dropped at delivery, receiver queue full
+  std::uint64_t stranded = 0;   // complete frames in a torn-down rbuf
+  std::uint64_t malformed = 0;  // frames cut short by teardown
+  std::uint64_t buffered = 0;   // frames waiting in live tier-1 rbufs
+
+  std::uint64_t accounted() const {
+    return consumed + lost + overflow + stranded + malformed + buffered;
+  }
+  bool balanced() const { return forwarded == accounted(); }
+};
+
 /// Options for World::spawn / World::spawn_file.
 struct SpawnOpts {
   bool suspended = false;  // park at the stop gate before the first insn
@@ -186,6 +209,17 @@ class World {
   /// touching ring data.
   void kernel_ring_wakeup(SocketId from, bool reliable);
 
+  /// Fan-in tier send (Sys::meter_forward): ships a frame-aligned batch of
+  /// `records` meter records up a tier-1 edge, bypassing the stream window.
+  /// Every record is booked `fanin.forwarded_records` here and lands in
+  /// exactly one terminal bucket: lost (dead endpoint at send or delivery),
+  /// overflow (receiver rbuf at fanin_queue_bytes — whole batch dropped),
+  /// or the receiver's rbuf (buffered, later consumed/stranded/malformed).
+  /// Returns false when the edge was already dead at send time, so the
+  /// caller can try to re-establish it.
+  bool kernel_fanin_forward(SocketId from, util::Bytes data,
+                            std::uint32_t records);
+
   /// Closes one endpoint: marks closed, tells the peer (EOF after data).
   void close_stream(Socket& s);
 
@@ -232,8 +266,11 @@ class World {
   // ---- experiment hooks ----
   MeterStats meter_stats() const;
   /// The record-conservation ledger (walks live meter sockets and process
-  /// pending buffers for the in-flight terms).
+  /// pending buffers for the in-flight terms). Tier-0 only: fan-in edges
+  /// keep their own ledger (fanin_conservation()).
   MeterConservation meter_conservation() const;
+  /// The fan-in tier's ledger (walks live tier-1 conns for `buffered`).
+  FanInConservation fanin_conservation() const;
 
   /// Called by the exit path; the harness may watch process completion.
   using ExitListener = std::function<void(MachineId, Pid, int status, bool killed)>;
@@ -305,6 +342,19 @@ class World {
     obs::Counter* ring_overflow_drops = nullptr;  // records dropped ring-full
   };
   MeterObs mobs_;
+
+  /// Fan-in tier instruments (tier-1 half of the conservation story).
+  struct FanInObs {
+    obs::Counter* forwarded = nullptr;       // records handed to meter_forward
+    obs::Counter* consumed = nullptr;        // read out of tier-1 conns
+    obs::Counter* lost = nullptr;            // dead edge at send/delivery
+    obs::Counter* overflow_records = nullptr;  // dropped, receiver queue full
+    obs::Counter* overflow_bytes = nullptr;
+    obs::Counter* stranded = nullptr;        // complete frames at teardown
+    obs::Counter* malformed = nullptr;       // cut-short frames at teardown
+    obs::Gauge* queue_bytes = nullptr;  // tier-1 rbuf occupancy, high-water
+  };
+  FanInObs fobs_;
 
   obs::Gauge* machines_down_ = nullptr;
   std::vector<std::pair<MachineId, std::function<void(World&)>>> boot_programs_;

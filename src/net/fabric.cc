@@ -38,6 +38,7 @@ Fabric::Fabric(sim::Executive& exec, std::uint64_t seed, obs::Registry* obs)
   packets_sent_ = &obs_->counter("net.packets_sent");
   packets_dropped_ = &obs_->counter("net.packets_dropped");
   bytes_sent_ = &obs_->counter("net.bytes_sent");
+  bytes_remote_ = &obs_->counter("net.bytes_remote");
   bytes_dropped_ = &obs_->counter("net.bytes_dropped");
   in_flight_ = &obs_->gauge("net.in_flight");
   delivery_us_ = &obs_->histogram("net.delivery_us");
@@ -143,6 +144,8 @@ void Fabric::send(NetworkId net, MachineId src, MachineId dst,
     }
   }
   bytes_sent_->add(size_bytes);
+  // Cross-fabric traffic only: the number the fan-in tree exists to shrink.
+  if (!local) bytes_remote_->add(size_bytes);
 
   util::TimePoint arrive = exec_.now() + delay;
   if (arrive < floor + delay) arrive = floor + delay;  // resume after heal

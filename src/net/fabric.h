@@ -115,6 +115,7 @@ class Fabric {
   obs::Counter* packets_sent_ = nullptr;
   obs::Counter* packets_dropped_ = nullptr;
   obs::Counter* bytes_sent_ = nullptr;
+  obs::Counter* bytes_remote_ = nullptr;
   obs::Counter* bytes_dropped_ = nullptr;
   obs::Gauge* in_flight_ = nullptr;
   obs::Histogram* delivery_us_ = nullptr;

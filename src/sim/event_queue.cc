@@ -5,16 +5,28 @@
 
 namespace dpm::sim {
 
-void EventQueue::schedule(util::TimePoint at, Fn fn) {
-  heap_.push(Event{at, next_seq_++, std::move(fn)});
+EventId EventQueue::schedule(util::TimePoint at, Fn fn) {
+  const EventId id = next_seq_++;
+  heap_.push(Event{at, id, std::move(fn)});
+  return id;
+}
+
+void EventQueue::cancel(EventId id) { cancelled_.insert(id); }
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() && cancelled_.erase(heap_.top().seq) > 0) {
+    heap_.pop();
+  }
 }
 
 util::TimePoint EventQueue::next_time() const {
+  drop_cancelled();
   assert(!heap_.empty());
   return heap_.top().at;
 }
 
 EventQueue::Fn EventQueue::pop() {
+  drop_cancelled();
   assert(!heap_.empty());
   // priority_queue::top() is const; the event is moved out via const_cast,
   // which is safe because the element is popped immediately after.

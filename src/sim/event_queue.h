@@ -7,21 +7,39 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "util/time.h"
 
 namespace dpm::sim {
 
+/// Handle for cancelling a scheduled event (the event's sequence number).
+using EventId = std::uint64_t;
+
 class EventQueue {
  public:
   using Fn = std::function<void()>;
 
   /// Schedules `fn` at absolute simulated time `at`.
-  void schedule(util::TimePoint at, Fn fn);
+  EventId schedule(util::TimePoint at, Fn fn);
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t size() const { return heap_.size(); }
+  /// Cancels a pending event: it will neither run nor advance simulated
+  /// time. A queue holding only cancelled events is empty — crucial for
+  /// quiescence: a satisfied select must not drag the world out to its
+  /// timeout. Cancelling an event that already fired is a (cheap) bug:
+  /// the tombstone can never be collected; callers guard with now <
+  /// deadline.
+  void cancel(EventId id);
+
+  bool empty() const {
+    drop_cancelled();
+    return heap_.empty();
+  }
+  std::size_t size() const {
+    drop_cancelled();
+    return heap_.size();
+  }
 
   /// Time of the earliest pending event; queue must not be empty.
   util::TimePoint next_time() const;
@@ -41,7 +59,12 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  /// Pops cancelled events off the top (lazy deletion; each erases its
+  /// tombstone). Mutable + const so empty()/next_time() see through them.
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  mutable std::unordered_set<EventId> cancelled_;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -18,14 +18,16 @@ Executive::~Executive() {
   }
 }
 
-void Executive::schedule_at(util::TimePoint t, std::function<void()> fn) {
+EventId Executive::schedule_at(util::TimePoint t, std::function<void()> fn) {
   assert(t >= now_);
-  events_.schedule(t, std::move(fn));
+  return events_.schedule(t, std::move(fn));
 }
 
-void Executive::schedule_after(util::Duration d, std::function<void()> fn) {
-  schedule_at(now_ + d, std::move(fn));
+EventId Executive::schedule_after(util::Duration d, std::function<void()> fn) {
+  return schedule_at(now_ + d, std::move(fn));
 }
+
+void Executive::cancel_event(EventId id) { events_.cancel(id); }
 
 void Executive::set_obs(obs::Registry* reg) {
   obs_ = reg;
@@ -113,6 +115,11 @@ void Executive::resume_task(TaskId id) {
   if (switches_counter_) switches_counter_->add(1);
   st->task->resume();
   current_ = kNoTask;
+  // A task that just ran to completion has an exited OS thread behind it;
+  // join it now so its stack mapping is released (and recycled by the
+  // runtime's stack cache) instead of accumulating one zombie mapping per
+  // finished process for the life of the world.
+  if (st->task->finished()) st->task->reap();
   // If a wake arrived while the task was running and it then parked, the
   // park consumed it synchronously (see park_current). If the task parked
   // without a pending wake it stays off the runnable queue until woken.

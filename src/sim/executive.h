@@ -35,8 +35,12 @@ class Executive {
   util::TimePoint now() const { return now_; }
 
   /// Schedules an event on the executive (runs outside any task).
-  void schedule_at(util::TimePoint t, std::function<void()> fn);
-  void schedule_after(util::Duration d, std::function<void()> fn);
+  EventId schedule_at(util::TimePoint t, std::function<void()> fn);
+  EventId schedule_after(util::Duration d, std::function<void()> fn);
+  /// Cancels a pending scheduled event: it neither runs nor holds the
+  /// queue open (see EventQueue::cancel). Only valid while the event is
+  /// still pending.
+  void cancel_event(EventId id);
 
   /// Creates a task; it becomes runnable immediately.
   TaskId spawn(std::string name, Task::Body body);

@@ -40,6 +40,10 @@ void Task::start(Body body) {
   });
 }
 
+void Task::reap() {
+  if (finished_ && thread_.joinable()) thread_.join();
+}
+
 void Task::resume() {
   assert(started_ && !finished_);
   std::unique_lock lk(mu_);

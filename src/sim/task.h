@@ -45,6 +45,12 @@ class Task {
   /// TaskAborted inside the body. Safe to call multiple times.
   void request_abort();
 
+  /// Joins the OS thread once the body has finished, releasing its stack
+  /// mapping. An exited-but-unjoined thread pins one stack mapping each;
+  /// at cluster scale (100k+ simulated processes per world) that hits
+  /// vm.max_map_count long before memory runs out. No-op until finished.
+  void reap();
+
   bool started() const { return started_; }
   bool finished() const { return finished_; }
   bool abort_requested() const { return abort_; }

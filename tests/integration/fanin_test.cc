@@ -1,0 +1,222 @@
+// The fan-in tier end to end: tree construction and record carriage,
+// edge selection counts, the metertap/meter_forward syscall contract,
+// and batched-vs-serial controller equivalence (DESIGN.md §11).
+#include <gtest/gtest.h>
+
+#include "analysis/trace_reader.h"
+#include "apps/apps.h"
+#include "control/session.h"
+#include "kernel/syscalls.h"
+#include "meter/metermsgs.h"
+#include "testing.h"
+#include "util/strings.h"
+
+namespace dpm {
+namespace {
+
+using util::Err;
+
+std::size_t count_substr(const std::string& s, const std::string& needle) {
+  std::size_t n = 0;
+  for (auto pos = s.find(needle); pos != std::string::npos;
+       pos = s.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+/// A hub plus g1..gN with the monitor booted and a session on hub.
+struct FanInWorld {
+  explicit FanInWorld(int n, std::uint64_t seed = 4242)
+      : world(dpm::testing::quick_config(seed)) {
+    std::vector<std::string> names{"hub"};
+    for (int i = 1; i <= n; ++i) names.push_back("g" + std::to_string(i));
+    machines = dpm::testing::add_machines(world, names);
+    control::install_monitor(world);
+    apps::install_everywhere(world);
+    control::spawn_meterdaemons(world);
+    session = std::make_unique<control::MonitorSession>(
+        world, control::MonitorSession::Options{.host = "hub", .uid = 100});
+    world.run();
+    (void)session->drain_output();
+  }
+
+  kernel::World world;
+  std::vector<kernel::MachineId> machines;
+  std::unique_ptr<control::MonitorSession> session;
+};
+
+TEST(FanInTest, TreeBuildsAndCarriesRecords) {
+  FanInWorld w(6);
+  auto& s = *w.session;
+  (void)s.command("filter f1 hub");
+  // 6 leaves at arity 2 group into 3 aggregators, then 2, then the root:
+  // 5 interior nodes, 4 tiers of machines end to end.
+  const std::string out = s.command("fanin f1 2 g 1 6");
+  EXPECT_NE(out.find("fanin 'f1': 6 local filters (0 failed), "
+                     "5 aggregators (0 failed), depth 4"),
+            std::string::npos)
+      << out;
+
+  (void)s.command("newjob big");
+  (void)s.command("addprocess big g2 pingpong_server 5600 6");
+  (void)s.command("addprocess big g5 pingpong_client g2 5600 6 32");
+  (void)s.command("setflags big all");
+  (void)s.command("startjob big");
+  w.world.run();
+
+  // Records really crossed the tree and every hop is accounted for.
+  const kernel::FanInConservation fic = w.world.fanin_conservation();
+  EXPECT_GT(fic.forwarded, 0u);
+  EXPECT_TRUE(fic.balanced())
+      << "forwarded=" << fic.forwarded << " accounted=" << fic.accounted()
+      << " consumed=" << fic.consumed << " lost=" << fic.lost
+      << " overflow=" << fic.overflow << " stranded=" << fic.stranded
+      << " malformed=" << fic.malformed << " buffered=" << fic.buffered;
+  EXPECT_TRUE(w.world.meter_conservation().balanced());
+
+  // The root renders forwarded records into an ordinary, well-formed log.
+  (void)s.command("getlog f1 t");
+  auto text = w.world.machine(w.machines[0]).fs.read_text("t");
+  ASSERT_TRUE(text.has_value());
+  analysis::Trace trace = analysis::read_trace(*text);
+  EXPECT_EQ(trace.malformed, 0u);
+  EXPECT_GT(trace.events.size(), 0u);
+}
+
+TEST(FanInTest, LocalFiltersSelectExactly) {
+  FanInWorld w(4);
+  auto& s = *w.session;
+  // Accept only the large sends: 1-in-`every` of each burst_sender's
+  // datagrams, so the accepted count is exact and loss-free.
+  w.world.machine_by_name("hub")->fs.put_text(
+      "tmpl_big", "machine=#*, pid=#*, type=1, msgLength>256\n");
+  (void)s.command("filter f1 hub filter descriptions tmpl_big");
+  const std::string out = s.command("fanin f1 2 g 1 4");
+  EXPECT_EQ(count_substr(out, "(0 failed)"), 2u) << out;
+
+  constexpr int kCount = 24, kEvery = 4;
+  (void)s.command("newjob send");
+  (void)s.command("setflags send send");
+  (void)s.command(util::strprintf(
+      "addgroup send g 1 4 1 burst_sender self 9 %d 64 512 %d 300", kCount,
+      kEvery));
+  const auto a0 = w.world.obs().counter("filter.accepted").value();
+  (void)s.command("startjob send");
+  w.world.run();
+  const auto accepted = w.world.obs().counter("filter.accepted").value() - a0;
+
+  // 4 senders x ceil(24/4) large datagrams each, all surviving selection.
+  EXPECT_EQ(accepted, 4u * ((kCount + kEvery - 1) / kEvery));
+  EXPECT_TRUE(w.world.fanin_conservation().balanced());
+  EXPECT_TRUE(w.world.meter_conservation().balanced());
+}
+
+TEST(FanInTest, MeterForwardSyscallContract) {
+  kernel::World world(dpm::testing::quick_config(7));
+  auto machines = dpm::testing::add_machines(world, {"red", "green"});
+  world.add_account_everywhere(100);
+
+  // A framed tier-1 batch: two wire records, each self-framing (leading
+  // u32 size), exactly as a local filter re-frames accepted bytes.
+  meter::MeterMsg m1;
+  m1.header.machine = 1;
+  m1.body = meter::MeterSend{
+      .pid = 7, .pc = 1, .sock = 3, .msg_length = 64, .dest_name = {}};
+  meter::MeterMsg m2;
+  m2.header.machine = 1;
+  m2.body = meter::MeterRecv{
+      .pid = 8, .pc = 2, .sock = 4, .msg_length = 64, .source_name = {}};
+  util::Bytes batch = m1.serialize();
+  const util::Bytes second = m2.serialize();
+  batch.insert(batch.end(), second.begin(), second.end());
+  const std::size_t batch_bytes = batch.size();
+
+  std::size_t drained = 0;
+  auto sr = world.spawn(machines[0], "up", 100, [&](kernel::Sys& sys) {
+    auto ls = sys.socket(kernel::SockDomain::internet,
+                         kernel::SockType::stream);
+    ASSERT_TRUE(ls.ok());
+    ASSERT_TRUE(sys.bind_port(*ls, 4800).ok());
+    ASSERT_TRUE(sys.listen(*ls, 1).ok());
+    auto conn = sys.accept(*ls);
+    ASSERT_TRUE(conn.ok());
+    while (drained < batch_bytes) {
+      auto d = sys.recv(*conn, batch_bytes - drained);
+      if (!d.ok() || d->empty()) break;
+      drained += d->size();
+    }
+  });
+  ASSERT_TRUE(sr.ok());
+
+  auto cr = world.spawn(machines[1], "down", 100, [&](kernel::Sys& sys) {
+    // Untapped datagram socket: metertap wants a connected stream.
+    auto dg = sys.socket(kernel::SockDomain::internet,
+                         kernel::SockType::dgram);
+    ASSERT_TRUE(dg.ok());
+    EXPECT_EQ(sys.metertap(*dg).error(), Err::einval);
+
+    auto fd = sys.socket(kernel::SockDomain::internet,
+                         kernel::SockType::stream);
+    ASSERT_TRUE(fd.ok());
+    EXPECT_EQ(sys.metertap(*fd).error(), Err::enotconn);
+
+    sys.sleep(util::msec(5));  // let the upstream bind
+    auto addr = sys.resolve("red", 4800);
+    ASSERT_TRUE(addr.has_value());
+    ASSERT_TRUE(sys.connect(*fd, *addr).ok());
+
+    // Forwarding on an untapped edge is refused; tapping converts it.
+    EXPECT_EQ(sys.meter_forward(*fd, batch, 2).error(),
+              Err::einval);
+    ASSERT_TRUE(sys.metertap(*fd).ok());
+    ASSERT_TRUE(sys.meter_forward(*fd, batch, 2).ok());
+  });
+  ASSERT_TRUE(cr.ok());
+
+  world.run();
+  EXPECT_EQ(drained, batch_bytes);
+  const kernel::FanInConservation fic = world.fanin_conservation();
+  EXPECT_EQ(fic.forwarded, 2u);
+  EXPECT_EQ(fic.consumed, 2u);
+  EXPECT_TRUE(fic.balanced());
+}
+
+TEST(FanInTest, BatchedJobOpsMatchSerial) {
+  FanInWorld w(3);
+  auto& s = *w.session;
+  (void)s.command("filter f1 hub");
+
+  // Same 9-process group through both RPC modes; the serial wave reports
+  // one line per process, the batched wave one summary — identical counts.
+  (void)s.command("rpcmode serial");
+  (void)s.command("newjob wS");
+  (void)s.command("addgroup wS g 1 3 3 waiter");
+  std::string out = s.command("startjob wS");
+  EXPECT_EQ(count_substr(out, "' started."), 9u) << out;
+  out = s.command("stopjob wS");
+  EXPECT_EQ(count_substr(out, "' stopped."), 9u) << out;
+  out = s.command("removejob wS");
+  EXPECT_EQ(count_substr(out, "' removed"), 9u) << out;
+
+  (void)s.command("rpcmode batched 4");
+  (void)s.command("newjob wB");
+  out = s.command("addgroup wB g 1 3 3 waiter");
+  EXPECT_NE(out.find("9 of 9 processes created across 3 machines"),
+            std::string::npos)
+      << out;
+  out = s.command("startjob wB");
+  EXPECT_NE(out.find("'wB': 9 of 9 processes started."), std::string::npos)
+      << out;
+  out = s.command("stopjob wB");
+  EXPECT_NE(out.find("'wB': 9 of 9 processes stopped."), std::string::npos)
+      << out;
+  out = s.command("removejob wB");
+  EXPECT_EQ(count_substr(out, "' removed"), 9u) << out;
+
+  // The pipelined path really ran: calls were put in flight concurrently.
+  EXPECT_GT(w.world.obs().counter("daemon.rpc_pipelined").value(), 0u);
+}
+
+}  // namespace
+}  // namespace dpm

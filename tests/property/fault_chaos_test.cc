@@ -156,6 +156,121 @@ TEST_P(FaultChaosTest, SessionSurvivesRandomFaultPlan) {
   run_session_chaos(seed, dpm::testing::quick_config(seed));
 }
 
+TEST_P(FaultChaosTest, ShardedFanInSessionSurvivesStorm) {
+  // A sharded session — local filters on every machine, aggregators in an
+  // arity-4 tree, batched/pipelined controller RPC — hit with a targeted
+  // storm: an aggregator host crashes mid-fan-in, the controller is
+  // partitioned from one shard (and heals), plus a seeded loss burst.
+  // Both conservation ledgers must balance and the surviving trace must
+  // stream-analyze identically to batch, through the aggregation tier.
+  const std::uint64_t seed = GetParam();
+  kernel::World world(dpm::testing::quick_config(seed));
+  std::vector<std::string> names = {"hub"};
+  for (int i = 1; i <= 12; ++i) names.push_back("n" + std::to_string(i));
+  auto machines = dpm::testing::add_machines(world, names);
+  control::install_monitor(world);
+  apps::install_everywhere(world);
+  control::spawn_meterdaemons(world);
+  control::MonitorSession session(
+      world, control::MonitorSession::Options{.host = "hub", .uid = 100});
+  world.run();
+  (void)session.drain_output();
+
+  (void)session.command("rpcmode batched 8");
+  (void)session.command("filter f1 hub");
+  std::string fan = session.command("fanin f1 4 n 1 12");
+  ASSERT_NE(fan.find("12 local filters (0 failed), 3 aggregators (0 failed)"),
+            std::string::npos)
+      << fan;
+
+  // One metered burst sender per machine plus two cross-machine pairs, so
+  // records flow through every leaf and pairs survive for the analysis.
+  (void)session.command("newjob storm");
+  (void)session.command(
+      "addgroup storm n 1 12 1 burst_sender self 9 30 48 512 4 500");
+  (void)session.command("addprocess storm n2 pingpong_server 5900 12");
+  (void)session.command("addprocess storm n3 pingpong_client n2 5900 12 48");
+  (void)session.command("setflags storm all");
+
+  // The targeted storm, jittered per seed: n5 hosts the second-group
+  // aggregator (groups n1-n4, n5-n8, n9-n12 at arity 4); n9 is a shard
+  // the controller loses mid-run.
+  const long long j = static_cast<long long>(seed % 7);
+  const auto dsl = util::strprintf(
+      "drop@%lldms net=0 for=20ms p=0.5\n"
+      "partition@%lldms hub n9 for=40ms\n"
+      "crash@%lldms n5\n"
+      "restart@%lldms n5\n"
+      "reset@%lldms hub n1\n",
+      8 + j, 12 + j, 20 + j, 70 + j, 45 + j);
+  auto plan = net::FaultPlan::parse(dsl);
+  ASSERT_TRUE(plan.has_value());
+  world.install_faults(*plan);
+  session.send_line("startjob storm");
+  world.run_for(util::msec(80));
+  const std::string mid_snapshot = world.obs_snapshot();
+  world.run();
+  (void)session.drain_output();
+
+  ASSERT_TRUE(session.controller_alive());
+  (void)session.command("reconcile");
+  std::string out = session.command("jobs storm");
+  EXPECT_NE(out.find("job 'storm'"), std::string::npos) << out;
+
+  // Tier-0: every emitted record accounted for.
+  const kernel::MeterConservation cons = world.meter_conservation();
+  EXPECT_TRUE(cons.balanced())
+      << "emitted=" << cons.emitted << " accounted=" << cons.accounted()
+      << " consumed=" << cons.consumed << " dropped=" << cons.dropped
+      << " lost=" << cons.lost << " stranded=" << cons.stranded
+      << " malformed=" << cons.malformed << " pending=" << cons.pending
+      << " buffered=" << cons.buffered;
+  // Tier-1: everything the local filters and aggregators forwarded is
+  // accounted for too, even with an aggregator dead mid-tree.
+  const kernel::FanInConservation fic = world.fanin_conservation();
+  EXPECT_GT(fic.forwarded, 0u);
+  EXPECT_TRUE(fic.balanced())
+      << "forwarded=" << fic.forwarded << " accounted=" << fic.accounted()
+      << " consumed=" << fic.consumed << " lost=" << fic.lost
+      << " overflow=" << fic.overflow << " stranded=" << fic.stranded
+      << " malformed=" << fic.malformed << " buffered=" << fic.buffered;
+
+  // The trace that reached the root through the tree is parseable and
+  // batch/live equivalent.
+  (void)session.command("getlog f1 t");
+  auto text = world.machine(machines[0]).fs.read_text("t");
+  ASSERT_TRUE(text.has_value());
+  analysis::Trace trace = analysis::read_trace(*text);
+  EXPECT_EQ(trace.malformed, 0u);
+  analysis::Ordering ord = analysis::order_events(trace);
+  analysis::live::LiveAnalysis live;
+  for (const analysis::Event& e : trace.events) live.add_event(e);
+  ASSERT_EQ(live.events(), trace.events.size());
+  EXPECT_EQ(live.stats().message_pairs, ord.message_pairs);
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    ASSERT_EQ(live.lamport_of(i), ord.events[i].lamport) << "at " << i;
+  }
+
+  // Counter monotonicity across the storm.
+  std::string err;
+  auto mid = obs::parse_snapshot(mid_snapshot, &err);
+  ASSERT_TRUE(mid.has_value()) << err;
+  auto end = obs::parse_snapshot(world.obs_snapshot(), &err);
+  ASSERT_TRUE(end.has_value()) << err;
+  for (const auto& [name, value] : mid->counters) {
+    auto it = end->counters.find(name);
+    ASSERT_NE(it, end->counters.end()) << name;
+    EXPECT_GE(it->second, value) << name;
+  }
+
+  (void)session.command("stopjob storm");
+  (void)session.command("removejob storm");
+  (void)session.command("die");
+  (void)session.command("die");
+  world.run();
+  EXPECT_FALSE(session.controller_alive());
+}
+
 TEST_P(FaultChaosTest, SessionSurvivesRandomFaultPlanOnRingTransport) {
   // Satellite: the same seeded storms with the ring transport switched on.
   // Seed 11 runs a deliberately tiny ring so wakeup loss + slow drains
