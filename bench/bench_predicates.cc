@@ -1,0 +1,471 @@
+// Online predicate detection under injected clock skew (analysis/predicates/).
+//
+// The detector claims (DESIGN.md §12): with physical skew bounded by ε,
+// possibly(P) admits every cut that could be simultaneous under some skew
+// assignment within ε, and definitely(P) only cuts whose overlap survives
+// every such assignment. This bench measures what those claims buy at the
+// verdict level, against ground truth only the simulator has: machine
+// clocks are configured with *known* offset/drift (three severities, the
+// stormiest adding message-delay faults from the fault fabric), the trace
+// is captured from a real metered session, and every local reading is
+// inverted back to true simulated time through the exact clock model
+// (MachineClock::true_us_from_local). A verdict counts as a true positive
+// when each witness interval, mapped to true time, intersects a true
+// occurrence of the predicate.
+//
+// Sweeping ε across {too small, the sound bound, 4x the bound} yields the
+// precision/recall/sensitivity curves of BENCH_predicates.json:
+//
+//   * small ε: time-exclusion wrongly separates truly-overlapping states
+//     (possibly recall drops below 1) and definitely claims a certainty
+//     its ε cannot back;
+//   * sound ε: possibly recall is ~1 by construction;
+//   * large ε: possibly admits cuts that never overlapped (precision can
+//     drop), and definitely demands >2ε overlap few true states have
+//     (definitely recall decays to 0). Sensitivity records the shortest
+//     true occurrence each tier still detected, against the 2ε floor.
+//
+// `--smoke` runs the same 3x3 grid on a shorter session and enforces the
+// structural guarantees: definitely ⊆ possibly in every cell, verdicts
+// deterministic across a re-run, and ≥1 truth and ≥1 verdict per severity.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/live/aggregator.h"
+#include "analysis/predicates/detector.h"
+#include "analysis/predicates/service.h"
+#include "analysis/trace_reader.h"
+#include "apps/apps.h"
+#include "control/session.h"
+#include "kernel/world.h"
+#include "net/faults.h"
+#include "sim/clock.h"
+#include "util/strings.h"
+
+namespace dpm::bench {
+namespace {
+
+using analysis::pred::PredicateDetector;
+
+// Both processes waiting on the wire at once: the client's recvcall state
+// spans the pong flight, the server's spans client compute plus the ping
+// flight, so true overlap durations sit in the same few-ms range as the
+// injected skew — exactly where the ε sweep bites.
+constexpr const char* kPredicate =
+    "wait: @0:* type=recvcall & @1:* type=recvcall";
+
+struct Severity {
+  const char* name;
+  std::int64_t off0_us, off1_us;  // clock offsets, machines 0 and 1
+  double drift0_ppm, drift1_ppm;
+  bool faults;  // message-delay spikes from the fault fabric
+};
+
+constexpr Severity kSeverities[] = {
+    {"calm", 150, -150, 20.0, -20.0, false},
+    {"skewed", 2500, -2500, 200.0, -200.0, false},
+    {"stormy", 2500, -2500, 200.0, -200.0, true},
+};
+
+sim::MachineClock::Config clock_cfg(std::int64_t off_us, double drift_ppm) {
+  sim::MachineClock::Config cfg;
+  cfg.offset = util::usec(off_us);
+  cfg.drift_ppm = drift_ppm;
+  cfg.tick = util::usec(1);  // fine ticks keep the truth inversion exact
+  return cfg;
+}
+
+struct Capture {
+  std::string trace_text;
+  std::int64_t final_t_us = 0;
+  sim::MachineClock::Config cfg[2];
+};
+
+/// One metered ping-pong session under `sev`'s clocks (and faults), its
+/// trace retrieved through getlog — the same bytes any analysis consumer
+/// would see.
+Capture capture_trace(const Severity& sev, int rounds) {
+  Capture cap;
+  cap.cfg[0] = clock_cfg(sev.off0_us, sev.drift0_ppm);
+  cap.cfg[1] = clock_cfg(sev.off1_us, sev.drift1_ppm);
+
+  kernel::World world;
+  const auto alpha =
+      world.add_machine("alpha", {net::Interface{0, 101}}, cap.cfg[0]);
+  world.add_machine("beta", {net::Interface{0, 102}}, cap.cfg[1]);
+  control::install_monitor(world);
+  apps::install_everywhere(world);
+  control::spawn_meterdaemons(world);
+
+  control::MonitorSession session(world, {.host = "alpha", .uid = 100});
+  world.run();
+  (void)session.drain_output();
+
+  (void)session.command("filter f1 alpha");
+  (void)session.command("newjob pp");
+  (void)session.command(
+      util::strprintf("addprocess pp beta pingpong_server 5100 %d", rounds));
+  (void)session.command(util::strprintf(
+      "addprocess pp alpha pingpong_client beta 5100 %d 128 800", rounds));
+  (void)session.command("setflags pp all");
+
+  if (sev.faults) {
+    // Delay spikes on the shared network, anchored to the session clock so
+    // they land mid-job; delays stretch flight times (and so the true
+    // overlap windows) without losing records.
+    const std::int64_t t0 = util::count_us(world.now() - util::TimePoint{});
+    auto at = [t0](std::int64_t off) {
+      return std::to_string(t0 + off) + "us";
+    };
+    auto plan = net::FaultPlan::parse(
+        "spike@" + at(10'000) + " net=0 for=100ms add=2ms\n"
+        "spike@" + at(200'000) + " net=0 for=150ms add=4ms\n");
+    if (plan) world.install_faults(*plan);
+  }
+
+  (void)session.command("startjob pp");
+  (void)session.command("removejob pp");
+  (void)session.command("getlog f1 pp.trace");
+  session.send_line("bye");
+  world.run();
+
+  if (auto text = world.machine(alpha).fs.read_text("pp.trace")) {
+    cap.trace_text = *text;
+  }
+  cap.final_t_us = util::count_us(world.now() - util::TimePoint{});
+  return cap;
+}
+
+/// Streams the captured trace through a fresh LiveAnalysis + detector at
+/// skew bound `eps` and returns the full verdict sequence.
+std::vector<PredicateDetector::Verdict> detect(const Capture& cap,
+                                               std::int64_t eps) {
+  analysis::live::LiveAnalysis live;
+  PredicateDetector det(analysis::pred::standard_descriptions(),
+                        {.epsilon_us = eps});
+  live.add_observer(&det);
+  std::string err;
+  if (!det.add_predicate(kPredicate, &err)) {
+    std::fprintf(stderr, "bench_predicates: bad predicate: %s\n", err.c_str());
+    return {};
+  }
+  analysis::live::TraceTailer tailer(live);
+  constexpr std::size_t kChunk = 4096;
+  for (std::size_t pos = 0; pos < cap.trace_text.size(); pos += kChunk) {
+    tailer.feed(std::string_view(cap.trace_text).substr(pos, kChunk));
+  }
+  tailer.finish();
+  det.finish();
+  return {det.verdicts().begin(), det.verdicts().end()};
+}
+
+std::string verdict_line(const PredicateDetector::Verdict& v) {
+  std::string s = util::strprintf(
+      "%s/%d/#%llu/[%lld,%lld]/", v.predicate.c_str(),
+      static_cast<int>(v.kind), static_cast<unsigned long long>(v.occurrence),
+      static_cast<long long>(v.cut_lo_us), static_cast<long long>(v.cut_hi_us));
+  for (const auto& w : v.witness) {
+    s += util::strprintf("m%u:p%d@%zu-%zu;", w.proc.machine, w.proc.pid,
+                         w.lo_index, w.hi_index);
+  }
+  return s;
+}
+
+struct TrueIv {
+  std::int64_t lo = 0, hi = 0;
+};
+
+/// Intervals (true sim time) where some process on machine `m` has
+/// last-event type `want`, recovered by inverting each local reading
+/// through that machine's exact clock model.
+std::vector<TrueIv> conjunct_truth(const analysis::Trace& trace,
+                                   const sim::MachineClock clk[2],
+                                   std::uint16_t m, meter::EventType want,
+                                   std::int64_t final_t) {
+  std::vector<TrueIv> ivs;
+  std::map<std::int32_t, std::pair<bool, std::int64_t>> state;  // pid->(in,lo)
+  for (const auto& e : trace.events) {
+    if (e.machine != m) continue;
+    const std::int64_t t = clk[m].true_us_from_local(e.cpu_time);
+    auto& [in, lo] = state[e.pid];
+    const bool now = e.type == want;
+    if (now && !in) {
+      in = true;
+      lo = t;
+    } else if (!now && in) {
+      in = false;
+      if (t > lo) ivs.push_back({lo, t});
+    }
+  }
+  for (auto& [pid, s] : state) {
+    if (s.first && final_t > s.second) ivs.push_back({s.second, final_t});
+  }
+  std::sort(ivs.begin(), ivs.end(),
+            [](const TrueIv& a, const TrueIv& b) { return a.lo < b.lo; });
+  // Union across processes of the machine (wildcard selector semantics).
+  std::vector<TrueIv> merged;
+  for (const auto& iv : ivs) {
+    if (!merged.empty() && iv.lo <= merged.back().hi) {
+      merged.back().hi = std::max(merged.back().hi, iv.hi);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  return merged;
+}
+
+std::vector<TrueIv> intersect(const std::vector<TrueIv>& a,
+                              const std::vector<TrueIv>& b) {
+  std::vector<TrueIv> out;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const std::int64_t lo = std::max(a[i].lo, b[j].lo);
+    const std::int64_t hi = std::min(a[i].hi, b[j].hi);
+    if (hi > lo) out.push_back({lo, hi});
+    if (a[i].hi < b[j].hi) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+/// True occurrences of kPredicate: both conjunct states hold at once, in
+/// true time — the deterministic sim's global-state ground truth.
+std::vector<TrueIv> predicate_truth(const Capture& cap,
+                                    const sim::MachineClock clk[2]) {
+  const analysis::Trace trace = analysis::read_trace(cap.trace_text);
+  const auto c0 = conjunct_truth(trace, clk, 0, meter::EventType::recvcall,
+                                 cap.final_t_us);
+  const auto c1 = conjunct_truth(trace, clk, 1, meter::EventType::recvcall,
+                                 cap.final_t_us);
+  return intersect(c0, c1);
+}
+
+// Clock ticks round each endpoint; ±2us absorbs quantization + rounding.
+constexpr std::int64_t kSlack = 2;
+
+bool verdict_matches(const PredicateDetector::Verdict& v,
+                     const sim::MachineClock clk[2], const TrueIv& t) {
+  for (const auto& w : v.witness) {
+    const auto& c = clk[w.proc.machine <= 1 ? w.proc.machine : 0];
+    const std::int64_t lo = c.true_us_from_local(w.lo_local_us) - kSlack;
+    const std::int64_t hi = c.true_us_from_local(w.hi_local_us) + kSlack;
+    if (hi < t.lo || lo > t.hi) return false;
+  }
+  return true;
+}
+
+struct TierResult {
+  std::size_t verdicts = 0;
+  std::size_t matched = 0;       // verdicts intersecting some truth
+  std::size_t truths_hit = 0;    // truths some verdict intersects
+  double precision = -1, recall = -1;
+  std::int64_t min_detected_us = -1;  // shortest true occurrence detected
+};
+
+TierResult score(const std::vector<PredicateDetector::Verdict>& vs,
+                 PredicateDetector::VerdictKind kind,
+                 const sim::MachineClock clk[2],
+                 const std::vector<TrueIv>& truth) {
+  TierResult r;
+  std::vector<bool> hit(truth.size(), false);
+  for (const auto& v : vs) {
+    if (v.kind != kind) continue;
+    ++r.verdicts;
+    bool any = false;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      if (verdict_matches(v, clk, truth[i])) {
+        any = true;
+        if (!hit[i]) {
+          hit[i] = true;
+          ++r.truths_hit;
+        }
+        const std::int64_t d = truth[i].hi - truth[i].lo;
+        if (r.min_detected_us < 0 || d < r.min_detected_us) {
+          r.min_detected_us = d;
+        }
+      }
+    }
+    if (any) ++r.matched;
+  }
+  if (r.verdicts > 0) {
+    r.precision = static_cast<double>(r.matched) / r.verdicts;
+  }
+  if (!truth.empty()) {
+    r.recall = static_cast<double>(r.truths_hit) / truth.size();
+  }
+  return r;
+}
+
+/// Every definitely occurrence must already have a possibly verdict for
+/// the same occurrence ordinal (the detector's structural subset claim).
+bool definitely_subset(const std::vector<PredicateDetector::Verdict>& vs) {
+  for (const auto& d : vs) {
+    if (d.kind != PredicateDetector::VerdictKind::definitely) continue;
+    bool found = false;
+    for (const auto& p : vs) {
+      if (p.kind == PredicateDetector::VerdictKind::possibly &&
+          p.occurrence == d.occurrence) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+struct Cell {
+  std::int64_t eps = 0;
+  TierResult possibly, definitely;
+  bool subset = false;
+};
+
+int run(int rounds, bool smoke) {
+  std::ofstream out("BENCH_predicates.json", std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bench_predicates: cannot write output\n");
+    return 1;
+  }
+  out << "{\n  \"bench\": \"predicate_skew_sweep\",\n"
+      << "  \"predicate\": \"" << kPredicate << "\",\n"
+      << util::strprintf("  \"rounds\": %d,\n  \"severities\": [\n", rounds);
+
+  bool ok = true;
+  std::size_t sev_i = 0;
+  for (const Severity& sev : kSeverities) {
+    const Capture cap = capture_trace(sev, rounds);
+    if (cap.trace_text.empty()) {
+      std::fprintf(stderr, "bench_predicates: %s: empty trace\n", sev.name);
+      return 1;
+    }
+    const sim::MachineClock clk[2] = {sim::MachineClock(cap.cfg[0]),
+                                      sim::MachineClock(cap.cfg[1])};
+    const std::vector<TrueIv> truth = predicate_truth(cap, clk);
+    if (truth.empty()) {
+      std::fprintf(stderr, "bench_predicates: %s: no true occurrences\n",
+                   sev.name);
+      ok = false;
+    }
+    std::int64_t min_true = -1;
+    for (const auto& t : truth) {
+      if (min_true < 0 || t.hi - t.lo < min_true) min_true = t.hi - t.lo;
+    }
+
+    // The sound bound for this world, from the configured clock models at
+    // the trace's horizon (what World::clock_skew_bound_us reports live).
+    const std::int64_t bound = clk[0].error_bound_us(cap.final_t_us) +
+                               clk[1].error_bound_us(cap.final_t_us);
+    const std::int64_t eps_sweep[3] = {250, bound, 4 * bound};
+
+    // Verdict determinism: the same trace at the same ε must reproduce the
+    // identical verdict sequence (the ISSUE's same-seed guarantee).
+    bool deterministic = true;
+    {
+      const auto a = detect(cap, bound);
+      const auto b = detect(cap, bound);
+      if (a.size() != b.size()) deterministic = false;
+      for (std::size_t i = 0; deterministic && i < a.size(); ++i) {
+        if (verdict_line(a[i]) != verdict_line(b[i])) deterministic = false;
+      }
+    }
+    if (!deterministic) {
+      std::fprintf(stderr, "bench_predicates: %s: verdicts not deterministic\n",
+                   sev.name);
+      ok = false;
+    }
+
+    Cell cells[3];
+    for (int c = 0; c < 3; ++c) {
+      const auto vs = detect(cap, eps_sweep[c]);
+      cells[c].eps = eps_sweep[c];
+      cells[c].possibly =
+          score(vs, PredicateDetector::VerdictKind::possibly, clk, truth);
+      cells[c].definitely =
+          score(vs, PredicateDetector::VerdictKind::definitely, clk, truth);
+      cells[c].subset = definitely_subset(vs);
+      if (!cells[c].subset) {
+        std::fprintf(stderr,
+                     "bench_predicates: %s eps=%lld: definitely not a subset "
+                     "of possibly\n",
+                     sev.name, static_cast<long long>(eps_sweep[c]));
+        ok = false;
+      }
+      if (cells[c].definitely.verdicts > cells[c].possibly.verdicts) {
+        std::fprintf(stderr, "bench_predicates: %s: more definitely than "
+                             "possibly verdicts\n",
+                     sev.name);
+        ok = false;
+      }
+    }
+    // At 4x the sound bound the detector must at least see the predicate.
+    if (cells[2].possibly.verdicts == 0) {
+      std::fprintf(stderr, "bench_predicates: %s: no possibly verdicts at "
+                           "widest eps\n",
+                   sev.name);
+      ok = false;
+    }
+
+    out << util::strprintf(
+        "    {\n      \"name\": \"%s\",\n      \"skew_bound_us\": %lld,\n"
+        "      \"final_t_us\": %lld,\n      \"truth_occurrences\": %zu,\n"
+        "      \"min_true_duration_us\": %lld,\n"
+        "      \"deterministic\": %s,\n      \"cells\": [\n",
+        sev.name, static_cast<long long>(bound),
+        static_cast<long long>(cap.final_t_us), truth.size(),
+        static_cast<long long>(min_true), deterministic ? "true" : "false");
+    for (int c = 0; c < 3; ++c) {
+      auto tier = [](const TierResult& t) {
+        return util::strprintf(
+            "{\"verdicts\": %zu, \"matched\": %zu, \"precision\": %.4f, "
+            "\"recall\": %.4f, \"min_detected_true_duration_us\": %lld}",
+            t.verdicts, t.matched, t.precision, t.recall,
+            static_cast<long long>(t.min_detected_us));
+      };
+      out << util::strprintf(
+          "        {\"epsilon_us\": %lld, \"theory_floor_2eps_us\": %lld,\n"
+          "         \"possibly\": %s,\n         \"definitely\": %s,\n"
+          "         \"definitely_subset\": %s}%s\n",
+          static_cast<long long>(cells[c].eps),
+          static_cast<long long>(2 * cells[c].eps),
+          tier(cells[c].possibly).c_str(), tier(cells[c].definitely).c_str(),
+          cells[c].subset ? "true" : "false", c < 2 ? "," : "");
+      std::printf(
+          "bench_predicates%s: %-7s eps=%-7lld possibly %zu verdicts "
+          "(p=%.2f r=%.2f)  definitely %zu (p=%.2f r=%.2f)  truths=%zu\n",
+          smoke ? " --smoke" : "", sev.name,
+          static_cast<long long>(cells[c].eps), cells[c].possibly.verdicts,
+          cells[c].possibly.precision, cells[c].possibly.recall,
+          cells[c].definitely.verdicts, cells[c].definitely.precision,
+          cells[c].definitely.recall, truth.size());
+    }
+    out << util::strprintf("      ]\n    }%s\n",
+                           ++sev_i < std::size(kSeverities) ? "," : "");
+  }
+  out << "  ]\n}\n";
+  if (!out.good()) {
+    std::fprintf(stderr, "bench_predicates: write failed\n");
+    return 1;
+  }
+  std::printf("wrote BENCH_predicates.json\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace dpm::bench
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      return dpm::bench::run(/*rounds=*/60, /*smoke=*/true);
+    }
+  }
+  return dpm::bench::run(/*rounds=*/400, /*smoke=*/false);
+}

@@ -5,14 +5,22 @@
 //   dpmstat json <snapshot.jsonl>         re-emit as a JSON array
 //   dpmstat --smoke [out.jsonl]           run a scripted session, snapshot it,
 //                                         validate the schema, print + diff
+//   dpmstat --watch <interval_ms> [--frames N] [--smoke]
+//                                         periodic refresh: drive a live
+//                                         session in frames, printing each
+//                                         snapshot's headline and the diff
+//                                         from the previous frame
 //
 // The --smoke mode doubles as the ctest schema check: it drives a small
 // metered session, captures world.obs_snapshot() twice, validates both
 // against the JSONL schema, and requires instruments from the kernel,
 // net, filter, daemon, control, and sim subsystems to be present.
+// --watch --smoke is its periodic sibling: every frame's snapshot must
+// validate and snapshot sequence numbers must strictly increase.
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <vector>
 
@@ -21,6 +29,7 @@
 #include "kernel/world.h"
 #include "obs/snapshot.h"
 #include "util/strings.h"
+#include "util/time.h"
 
 namespace {
 
@@ -159,6 +168,76 @@ int run_smoke(const std::string& out_path) {
   return 0;
 }
 
+/// Drives a live metered session in fixed frames, snapshotting between
+/// them — the "top for the monitor itself" loop.
+int run_watch(std::int64_t interval_ms, int frames, bool smoke) {
+  if (interval_ms <= 0 || frames < 2) {
+    std::cerr << "dpmstat --watch: interval must be > 0 and frames >= 2\n";
+    return 2;
+  }
+  kernel::World world;
+  world.add_machine("red");
+  world.add_machine("green");
+  control::install_monitor(world);
+  apps::install_everywhere(world);
+  control::spawn_meterdaemons(world);
+
+  control::MonitorSession session(world, {.host = "red", .uid = 100});
+  world.run();
+  (void)session.drain_output();
+
+  (void)session.command("filter f1 red");
+  (void)session.command("newjob watch");
+  (void)session.command("addprocess watch green pingpong_server 4950 24");
+  (void)session.command(
+      "addprocess watch red pingpong_client green 4950 24 128");
+  (void)session.command("setflags watch all");
+  session.send_line("startjob watch");
+
+  std::optional<obs::Snapshot> prev;
+  std::uint64_t last_seq = 0;
+  int valid = 0;
+  for (int f = 0; f < frames; ++f) {
+    world.run_for(util::msec(interval_ms));
+    const std::string text = world.obs_snapshot();
+    const std::string err = obs::validate_snapshot(text);
+    if (!err.empty()) {
+      std::cerr << "dpmstat --watch: invalid snapshot at frame " << f << ": "
+                << err << "\n";
+      return 1;
+    }
+    obs::Snapshot snap = parse_or_die(text, "watch snapshot");
+    if (valid > 0 && snap.seq <= last_seq) {
+      std::cerr << "dpmstat --watch: snapshot seq did not advance (frame "
+                << f << ")\n";
+      return 1;
+    }
+    std::cout << util::strprintf(
+        "-- frame %-3d seq=%llu t=%lld us (%zu counters, %zu gauges, %zu "
+        "histograms)\n",
+        f, static_cast<unsigned long long>(snap.seq),
+        static_cast<long long>(snap.t_us), snap.counters.size(),
+        snap.gauges.size(), snap.histograms.size());
+    if (prev) std::cout << obs::diff_snapshots(*prev, snap);
+    last_seq = snap.seq;
+    ++valid;
+    prev = std::move(snap);
+  }
+
+  session.send_line("bye");
+  world.run();
+
+  if (smoke) {
+    if (valid < 2) {
+      std::cerr << "dpmstat --watch --smoke: fewer than 2 valid snapshots\n";
+      return 1;
+    }
+    std::cout << "dpmstat --watch --smoke: OK (" << valid
+              << " schema-valid snapshots, seq strictly increasing)\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -167,12 +246,40 @@ int main(int argc, char** argv) {
     std::cerr << "usage: dpmstat print <snapshot.jsonl>\n"
                  "       dpmstat diff <a.jsonl> <b.jsonl>\n"
                  "       dpmstat json <snapshot.jsonl>\n"
-                 "       dpmstat --smoke [out.jsonl]\n";
+                 "       dpmstat --smoke [out.jsonl]\n"
+                 "       dpmstat --watch <interval_ms> [--frames N] "
+                 "[--smoke]\n";
     return 2;
   }
 
   if (args[0] == "--smoke") {
     return run_smoke(args.size() > 1 ? args[1] : "DPMSTAT_smoke.jsonl");
+  }
+  if (args[0] == "--watch" && args.size() >= 2) {
+    const auto interval = util::parse_int(args[1]);
+    if (!interval) {
+      std::cerr << "dpmstat --watch: bad interval '" << args[1] << "'\n";
+      return 2;
+    }
+    int frames = 5;
+    bool smoke = false;
+    for (std::size_t i = 2; i < args.size(); ++i) {
+      if (args[i] == "--frames" && i + 1 < args.size()) {
+        const auto n = util::parse_int(args[++i]);
+        if (!n) {
+          std::cerr << "dpmstat --watch: bad frame count\n";
+          return 2;
+        }
+        frames = static_cast<int>(*n);
+      } else if (args[i] == "--smoke") {
+        smoke = true;
+      } else {
+        std::cerr << "dpmstat --watch: unknown argument '" << args[i]
+                  << "'\n";
+        return 2;
+      }
+    }
+    return run_watch(*interval, frames, smoke);
   }
   if (args[0] == "print" && args.size() == 2) {
     const std::string text = read_file(args[1]);

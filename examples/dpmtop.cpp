@@ -10,16 +10,21 @@
 //   * per-process event/byte rates over a rolling window, with liveness;
 //   * per-channel message rates and latencies;
 //   * the critical path through the happens-before DAG so far, with its
-//     time attributed per process and per channel.
+//     time attributed per process and per channel;
+//   * online predicate verdicts (analysis/predicates/): the session adds
+//     global predicates through the controller's `predicate` command and
+//     the panel shows possibly/definitely counts and recent witness cuts.
 //
 //   dpmtop [--frames N] [--frame-ms MS] [--no-clear]
 //   dpmtop --smoke        few frames, no screen clearing, hard checks
 //                         (used as the ctest smoke test)
+#include <algorithm>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "analysis/live/aggregator.h"
+#include "analysis/predicates/service.h"
 #include "apps/apps.h"
 #include "control/session.h"
 #include "filter/filter_program.h"
@@ -31,8 +36,38 @@ namespace {
 
 using namespace dpm;
 
+void render_predicates(analysis::pred::PredicateDetector& det) {
+  using analysis::pred::PredicateDetector;
+  const auto st = det.status();
+  if (st.empty()) return;
+  std::cout << util::strprintf("\npredicates (eps=%lld us):\n",
+                               static_cast<long long>(det.config().epsilon_us));
+  std::cout << "  name         insts  possibly  definitely  strongest\n";
+  static const char* kStrength[] = {"never", "possibly", "definitely"};
+  for (const auto& p : st) {
+    std::cout << util::strprintf(
+        "  %-12s %5zu  %8llu  %10llu  %s\n", p.name.c_str(), p.instantiations,
+        static_cast<unsigned long long>(p.possibly_count),
+        static_cast<unsigned long long>(p.definitely_count),
+        kStrength[p.strongest]);
+  }
+  const auto& vs = det.verdicts();
+  const std::size_t show = std::min<std::size_t>(vs.size(), 4);
+  for (std::size_t i = vs.size() - show; i < vs.size(); ++i) {
+    const auto& v = vs[i];
+    std::cout << util::strprintf(
+        "  %s %s #%llu cut=[%lld,%lld]us lag=%lldus\n",
+        v.kind == PredicateDetector::VerdictKind::definitely ? "definitely"
+                                                             : "possibly  ",
+        v.predicate.c_str(), static_cast<unsigned long long>(v.occurrence),
+        static_cast<long long>(v.cut_lo_us), static_cast<long long>(v.cut_hi_us),
+        static_cast<long long>(v.detect_lag_us));
+  }
+}
+
 void render_frame(kernel::World& world, analysis::live::LiveAnalysis& live,
-                  int frame, bool clear) {
+                  analysis::pred::PredicateDetector& det, int frame,
+                  bool clear) {
   if (clear) std::cout << "\x1b[2J\x1b[H";
   const auto st = live.stats();
   std::cout << util::strprintf(
@@ -83,6 +118,7 @@ void render_frame(kernel::World& world, analysis::live::LiveAnalysis& live,
             .c_str(),
         static_cast<long long>(us));
   }
+  render_predicates(det);
   std::cout.flush();
 }
 
@@ -121,15 +157,28 @@ int main(int argc, char** argv) {
   control::spawn_meterdaemons(world);
 
   // The live tap: installed before the filter starts, so the filter picks
-  // it up when it is spawned.
-  analysis::live::LiveAnalysis live(
-      analysis::live::LiveConfig{.window_us = 500'000}, &world.obs());
-  auto sink = std::make_shared<analysis::live::LiveRecordSink>(live);
-  filter::install_live_sink(world, sink);
+  // it up when it is spawned. The predicate bundle wraps a LiveAnalysis
+  // with an online detector; ε comes from the world's clock model, padded
+  // for drift accumulated over the run.
+  auto bundle = analysis::pred::install_live_predicates(
+      world, analysis::pred::standard_descriptions(),
+      analysis::live::LiveConfig{.window_us = 500'000},
+      analysis::pred::DetectorConfig{
+          .epsilon_us = world.clock_skew_bound_us() + 5'000});
+  analysis::live::LiveAnalysis& live = bundle->live;
+  analysis::pred::PredicateDetector& det = bundle->detector;
 
   control::MonitorSession session(world, {.host = "alpha", .uid = 100});
   world.run();
   (void)session.drain_output();
+
+  // Global predicates, added the way a user would: through the
+  // controller's `predicate` command. Meter records carry the compact
+  // 0-based machine index (creation order: alpha=0, beta=1, gamma=2).
+  (void)session.command("predicate add xfer: @0:* type=send & @1:* type=send");
+  (void)session.command(
+      "predicate add flow: @0:* type=send & @2:* type=recv"
+      " & reach @0:* -> @2:*");
 
   // A three-stage pipeline across the three machines (§4.3-style job).
   (void)session.command("filter f1 alpha");
@@ -144,17 +193,20 @@ int main(int argc, char** argv) {
   session.send_line("startjob pipe");
   for (int f = 0; f < frames; ++f) {
     world.run_for(util::msec(frame_ms));
-    render_frame(world, live, f, clear);
+    render_frame(world, live, det, f, clear);
   }
 
+  (void)session.command("predicate list");
   (void)session.command("removejob pipe");
   session.send_line("bye");
   world.run();
-  render_frame(world, live, frames, clear);
+  det.finish();  // settle everything buffered before the final panel
+  render_frame(world, live, det, frames, clear);
 
   if (smoke) {
     const auto st = live.stats();
     const auto cp = live.critical_path();
+    const auto ds = det.stats();
     auto fail = [](const std::string& what) {
       std::cerr << "dpmtop --smoke: " << what << "\n";
       return 1;
@@ -164,10 +216,15 @@ int main(int argc, char** argv) {
     if (st.cross_machine_pairs == 0) return fail("no cross-machine pairs");
     if (st.had_cycle) return fail("happens-before cycle");
     if (st.pairing_disorder) return fail("pairing disorder");
-    if (sink->dropped() != 0) return fail("sink dropped records");
     if (live.process_rates().size() < 3) return fail("fewer than 3 processes");
     if (!cp.valid || cp.total_us <= 0) return fail("no critical path");
     if (cp.channel_us.empty()) return fail("no channel time on critical path");
+    if (ds.events != st.events) return fail("detector missed live events");
+    if (ds.predicates != 2) return fail("predicate commands did not register");
+    if (ds.verdicts_possibly == 0) return fail("no possibly verdict");
+    if (ds.verdicts_definitely > ds.verdicts_possibly) {
+      return fail("definitely verdicts exceed possibly verdicts");
+    }
     std::cout << "\ndpmtop --smoke: OK\n";
   }
   return 0;

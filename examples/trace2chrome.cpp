@@ -31,6 +31,15 @@ using namespace dpm;
 
 int write_export(analysis::live::LiveAnalysis& live,
                  const std::string& out_path) {
+  const auto st = live.stats();
+  if (st.events == 0) {
+    // An empty document loads as a blank screen in the trace viewer with
+    // no hint of what went wrong; fail loudly instead and write nothing.
+    std::cerr << "trace2chrome: trace contains no events (empty or "
+                 "comment-only input?) -- refusing to write "
+              << out_path << "\n";
+    return 1;
+  }
   const std::string json = analysis::live::chrome_trace_json(live);
   const auto check = analysis::live::check_chrome_trace(json);
   if (!check.ok) {
@@ -45,7 +54,6 @@ int write_export(analysis::live::LiveAnalysis& live,
     return 1;
   }
   out << json;
-  const auto st = live.stats();
   std::cout << "wrote " << out_path << ": " << check.events
             << " trace events (" << check.slices << " slices, "
             << check.flow_pairs << " message flows, "

@@ -1,0 +1,91 @@
+#!/bin/sh
+# Regression gate for online global predicate detection.
+#
+# Re-runs the predicate skew-sweep bench in smoke size and verifies the
+# structural guarantees the detector must never lose, whatever the
+# timings: a full severity x epsilon grid was produced, definitely never
+# escapes possibly in any cell, every severity's verdicts are
+# deterministic across a re-run, and the widest epsilon still finds the
+# predicate at all. Then replays the `predicates`-labeled ctest suite
+# (verdict determinism, chunking invariance, definitely-subset property
+# tests). Runs in a scratch directory so the committed
+# BENCH_predicates.json is never clobbered.
+# Usage: scripts/check_predicates.sh [build-dir]   (default: build)
+set -eu
+
+cd "$(dirname "$0")/.."
+repo="$(pwd)"
+build="${1:-build}"
+bench="$repo/$build/bench"
+
+if [ ! -x "$bench/bench_predicates" ]; then
+  echo "check_predicates: $bench/bench_predicates not built" >&2
+  exit 1
+fi
+if [ ! -f "$repo/BENCH_predicates.json" ]; then
+  echo "check_predicates: no committed BENCH_predicates.json" >&2
+  exit 1
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cd "$tmp"
+
+echo "== bench_predicates --smoke (skew sweep, reduced rounds)"
+"$bench/bench_predicates" --smoke
+
+fail=0
+json=BENCH_predicates.json
+
+severities="$(jq -r '.severities | length' "$json")"
+if [ "$severities" -lt 3 ]; then
+  echo "check_predicates: only $severities severities (< 3)" >&2
+  fail=1
+fi
+
+for s in $(jq -r '.severities[].name' "$json"); do
+  cells="$(jq -r ".severities[] | select(.name == \"$s\") | .cells | length" \
+          "$json")"
+  det="$(jq -r ".severities[] | select(.name == \"$s\") | .deterministic" \
+        "$json")"
+  echo "   $s: $cells epsilon cells, deterministic=$det"
+  if [ "$cells" -lt 3 ]; then
+    echo "check_predicates: severity $s has $cells cells (< 3)" >&2
+    fail=1
+  fi
+  if [ "$det" != "true" ]; then
+    echo "check_predicates: severity $s verdicts not deterministic" >&2
+    fail=1
+  fi
+  # Per cell: definitely stays inside possibly, both as a per-occurrence
+  # subset flag and as counts; possibly must fire at the widest epsilon.
+  subsets="$(jq -r ".severities[] | select(.name == \"$s\")
+                    | .cells[].definitely_subset" "$json")"
+  for sub in $subsets; do
+    if [ "$sub" != "true" ]; then
+      echo "check_predicates: $s has a cell where definitely escaped" \
+           "possibly" >&2
+      fail=1
+    fi
+  done
+  bad="$(jq -r ".severities[] | select(.name == \"$s\")
+               | [.cells[] | select(.definitely.verdicts > .possibly.verdicts)]
+               | length" "$json")"
+  if [ "$bad" != "0" ]; then
+    echo "check_predicates: $s has $bad cells with more definitely than" \
+         "possibly verdicts" >&2
+    fail=1
+  fi
+  widest="$(jq -r ".severities[] | select(.name == \"$s\")
+                  | .cells | max_by(.epsilon_us) | .possibly.verdicts" "$json")"
+  if [ "$widest" -le 0 ]; then
+    echo "check_predicates: $s found nothing at its widest epsilon" >&2
+    fail=1
+  fi
+done
+
+echo "== ctest -L predicates (property + smoke suite)"
+cd "$repo/$build"
+ctest -L predicates --output-on-failure -j 1 || fail=1
+
+exit "$fail"

@@ -192,9 +192,14 @@ void LiveAnalysis::add_event(const Event& e) {
     }
   }
 
+  for (LiveObserver* o : observers_) o->on_event(idx, e);
+
   // Pairing: this event may complete any number of parked pairs.
   pairing_.observe(e, idx);
-  for (const PairingCore::Pair& p : pairing_.take_pairs()) on_pair(p);
+  for (const PairingCore::Pair& p : pairing_.take_pairs()) {
+    on_pair(p);
+    for (LiveObserver* o : observers_) o->on_pair(p.send, p.recv);
+  }
 
   // Park-TTL sweep, keyed on Lamport progress: entries whose evidence is
   // presumed lost to a fault become per-channel gaps instead of growing
@@ -204,6 +209,7 @@ void LiveAnalysis::add_event(const Event& e) {
   for (const PairingCore::Gap& g : pairing_.take_gaps()) {
     c_gaps_->add(1);
     reg_->counter("live.gap." + g.channel).add(1);
+    for (LiveObserver* o : observers_) o->on_gap(g.index);
   }
   g_parked_->set(static_cast<std::int64_t>(pairing_.parked()));
 }

@@ -61,6 +61,22 @@ struct LiveConfig {
 /// How one happens-before edge was induced.
 enum class EdgeKind : std::uint8_t { none, program, message };
 
+/// Downstream consumers of the pairing/ordering stream (the predicate
+/// detector, analysis/predicates/). Callbacks fire synchronously inside
+/// add_event, in a fixed order: on_event for the new event (indices are
+/// arrival order, the same ones lamport_of/time_of use), then on_pair for
+/// every pair the event completed, then on_gap for every parked event the
+/// TTL sweep expelled. The same trace fed in any chunking produces the
+/// same callback sequence.
+class LiveObserver {
+ public:
+  virtual ~LiveObserver() = default;
+  virtual void on_event(std::size_t index, const Event& e) = 0;
+  virtual void on_pair(std::size_t /*send_index*/, std::size_t /*recv_index*/) {
+  }
+  virtual void on_gap(std::size_t /*index*/) {}
+};
+
 class LiveAnalysis {
  public:
   /// `reg` is the registry the aggregator accounts through (the world's,
@@ -148,6 +164,10 @@ class LiveAnalysis {
   const LiveConfig& config() const { return cfg_; }
   obs::Registry& obs() { return *reg_; }
 
+  /// Registers a downstream observer (not owned; must outlive the
+  /// aggregator or be removed by destroying the aggregator first).
+  void add_observer(LiveObserver* obs) { observers_.push_back(obs); }
+
  private:
   static constexpr std::uint32_t kNone = UINT32_MAX;
 
@@ -213,6 +233,7 @@ class LiveAnalysis {
   std::uint32_t best_cost_node_ = kNone;
 
   std::vector<std::uint32_t> worklist_;
+  std::vector<LiveObserver*> observers_;
 
   // Registry instruments (resolved once; null registry → private one).
   obs::Counter* c_events_ = nullptr;

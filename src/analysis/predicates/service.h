@@ -1,0 +1,50 @@
+// Wiring the predicate detector into a running World.
+//
+// LivePredicates bundles the streaming pieces a metered session needs for
+// online detection: a LiveAnalysis fed by the filter's record sink, with
+// a PredicateDetector subscribed as its observer. install_live_predicates
+// hangs the bundle on the world twice — as the filter live sink (so every
+// session filter feeds it, filter_program.h) and as the
+// "analysis.predicates" service slot the controller's `predicate` command
+// resolves (the same inverted-layer pattern as kLiveSinkService: the
+// control layer cannot name analysis types, so the slot is type-erased).
+#pragma once
+
+#include <memory>
+
+#include "analysis/live/aggregator.h"
+#include "analysis/predicates/detector.h"
+#include "kernel/world.h"
+
+namespace dpm::analysis::pred {
+
+inline constexpr const char* kPredicateService = "analysis.predicates";
+
+struct LivePredicates {
+  LivePredicates(const filter::Descriptions& desc, live::LiveConfig live_cfg,
+                 DetectorConfig det_cfg, obs::Registry* reg)
+      : live(live_cfg, reg), detector(desc, det_cfg, reg) {
+    live.add_observer(&detector);
+  }
+
+  live::LiveAnalysis live;
+  PredicateDetector detector;
+};
+
+/// Builds the bundle (accounting through the world's registry), installs
+/// its record sink as the world's filter live sink, and registers it
+/// under kPredicateService. `desc` must outlive the world's sessions —
+/// pass filter::default_descriptions_text()-parsed statics or a
+/// caller-owned Descriptions.
+std::shared_ptr<LivePredicates> install_live_predicates(
+    kernel::World& world, const filter::Descriptions& desc,
+    live::LiveConfig live_cfg = {}, DetectorConfig det_cfg = {});
+
+/// The installed bundle, or nullptr when none was installed.
+std::shared_ptr<LivePredicates> predicate_service(kernel::World& world);
+
+/// The standard descriptions, parsed once (what sessions run with unless
+/// they load their own description files).
+const filter::Descriptions& standard_descriptions();
+
+}  // namespace dpm::analysis::pred

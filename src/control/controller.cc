@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/predicates/service.h"
 #include "daemon/protocol.h"
 #include "daemon/rpc_pipeline.h"
 #include "filter/trace.h"
@@ -365,6 +366,15 @@ bool Controller::execute(const std::string& raw_line) {
   const std::string cmd = util::to_lower(tokens[0]);
   std::vector<std::string> args(tokens.begin() + 1, tokens.end());
 
+  // `predicate` takes a raw spec tail whose characters (@ = * < > ! , &)
+  // the word validator rejects, so it dispatches before validation.
+  if (cmd == "predicate") {
+    warned_die_ = false;
+    sys_.world().obs().counter("control.commands").add(1);
+    cmd_predicate(std::string(util::trim(line.substr(tokens[0].size()))));
+    return true;
+  }
+
   for (const auto& a : args) {
     if (!util::is_word(a)) {
       emit(util::strprintf("bad parameter '%s'\n", a.c_str()));
@@ -438,12 +448,90 @@ void Controller::cmd_help() {
       "  removeprocess <jobname> <processname>\n"
       "  jobs [<jobname1 jobname2 ...>]\n"
       "  reconcile\n"
+      "  predicate add <name>: <spec>   (online possibly/definitely detection)\n"
+      "  predicate list | verdicts [<name>] | stats\n"
       "  getlog <filtername> <destination filename>\n"
       "  source <filename>\n"
       "  sink [<filename>]\n"
       "  die (aliases: exit, bye, ^D)\n"
       "metering flags: fork termproc send receivecall receive socket dup\n"
       "  destsocket accept connect all immediate (prefix '-' resets)\n");
+}
+
+void Controller::cmd_predicate(const std::string& rest) {
+  auto svc = analysis::pred::predicate_service(sys_.world());
+  if (!svc) {
+    emit("no predicate service installed on this world\n");
+    return;
+  }
+  auto& det = svc->detector;
+
+  std::string sub{rest};
+  std::string tail;
+  if (const auto sp = rest.find_first_of(" \t"); sp != std::string::npos) {
+    sub = rest.substr(0, sp);
+    tail = std::string{util::trim(rest.substr(sp))};
+  }
+  sub = util::to_lower(sub);
+
+  if (sub == "add") {
+    if (tail.empty()) {
+      emit("usage: predicate add <name>: <spec>\n");
+      return;
+    }
+    std::string err;
+    if (!det.add_predicate(tail, &err)) {
+      emit(util::strprintf("predicate error: %s\n", err.c_str()));
+      return;
+    }
+    emit(util::strprintf("predicate added (epsilon=%lldus)\n",
+                         static_cast<long long>(det.config().epsilon_us)));
+  } else if (sub == "list" || sub.empty()) {
+    const auto st = det.status();
+    if (st.empty()) {
+      emit("no predicates\n");
+      return;
+    }
+    static const char* kStrength[] = {"never", "possibly", "definitely"};
+    for (const auto& p : st) {
+      emit(util::strprintf(
+          "%s: insts=%zu possibly=%llu definitely=%llu strongest=%s\n  %s\n",
+          p.name.c_str(), p.instantiations,
+          static_cast<unsigned long long>(p.possibly_count),
+          static_cast<unsigned long long>(p.definitely_count),
+          kStrength[p.strongest], p.spec.c_str()));
+    }
+  } else if (sub == "verdicts") {
+    std::size_t shown = 0;
+    for (const auto& v : det.verdicts()) {
+      if (!tail.empty() && v.predicate != tail) continue;
+      emit(util::strprintf(
+          "%s %s #%llu cut=[%lld,%lld]us lag=%lldus procs=%zu\n",
+          v.kind == analysis::pred::PredicateDetector::VerdictKind::definitely
+              ? "definitely"
+              : "possibly",
+          v.predicate.c_str(), static_cast<unsigned long long>(v.occurrence),
+          static_cast<long long>(v.cut_lo_us),
+          static_cast<long long>(v.cut_hi_us),
+          static_cast<long long>(v.detect_lag_us), v.witness.size()));
+      ++shown;
+    }
+    if (shown == 0) emit("no verdicts\n");
+  } else if (sub == "stats") {
+    const auto s = det.stats();
+    emit(util::strprintf(
+        "events=%zu settled=%zu unsettled=%zu predicates=%zu insts=%zu "
+        "open=%zu cuts=%llu possibly=%llu definitely=%llu capped=%zu\n",
+        s.events, s.settled, s.unsettled, s.predicates, s.instantiations,
+        s.open_intervals, static_cast<unsigned long long>(s.cuts_examined),
+        static_cast<unsigned long long>(s.verdicts_possibly),
+        static_cast<unsigned long long>(s.verdicts_definitely),
+        s.capped_instantiations));
+  } else {
+    emit(
+        "usage: predicate add <name>: <spec>\n"
+        "       predicate list | verdicts [<name>] | stats\n");
+  }
 }
 
 void Controller::cmd_filter(const std::vector<std::string>& args) {

@@ -3,8 +3,8 @@
 // control of one or more distributed computations."
 //
 // Commands: help, filter, newjob, addprocess, acquire, setflags, startjob,
-// stopjob, removejob, removeprocess, jobs, getlog, source, sink, die
-// (aliases exit, bye). The controller runs as a simulated process: it
+// stopjob, removejob, removeprocess, jobs, getlog, source, sink, predicate,
+// die (aliases exit, bye). The controller runs as a simulated process: it
 // reads commands from standard input, performs daemon RPCs over temporary
 // connections, and listens on a notification socket for daemon-initiated
 // state-change reports (§3.5.1).
@@ -87,6 +87,10 @@ class Controller {
  private:
   // ---- command handlers (§4.3) ----
   void cmd_help();
+  /// `predicate add|list|verdicts|stats` — drives the online predicate
+  /// detector when one is installed (analysis/predicates/service.h).
+  /// Takes the raw command tail: specs contain non-word characters.
+  void cmd_predicate(const std::string& rest);
   void cmd_filter(const std::vector<std::string>& args);
   void cmd_fanin(const std::vector<std::string>& args);
   void cmd_rpcmode(const std::vector<std::string>& args);

@@ -399,6 +399,21 @@ std::size_t World::live_processes() const {
   return n;
 }
 
+std::int64_t World::clock_skew_bound_us() const {
+  const std::int64_t horizon = util::count_us(exec_.now());
+  std::int64_t worst = 0, second = 0;
+  for (const auto& [id, m] : machines_) {
+    const std::int64_t err = m->clock.error_bound_us(horizon);
+    if (err >= worst) {
+      second = worst;
+      worst = err;
+    } else if (err > second) {
+      second = err;
+    }
+  }
+  return worst + second;
+}
+
 util::SysResult<std::size_t> World::copy_file(MachineId src_m,
                                               const std::string& src,
                                               MachineId dst_m,

@@ -279,6 +279,13 @@ class World {
   /// Live (alive, not dead) process count across all machines.
   std::size_t live_processes() const;
 
+  /// Sound bound on how far apart any two machines' clock readings of the
+  /// same instant can be, up to the current sim time: the sum of the two
+  /// largest per-machine error bounds (offset + drift over the horizon +
+  /// one tick each, sim::MachineClock::error_bound_us). This is the ε the
+  /// online predicate detector should assume for this world.
+  std::int64_t clock_skew_bound_us() const;
+
  private:
   friend class Sys;
   friend void meter_emit(World&, Process&, struct MeterEventDraft&&);

@@ -11,4 +11,21 @@ std::int64_t MachineClock::skewed_us(std::int64_t true_us) const {
   return (raw / tick) * tick;
 }
 
+std::int64_t MachineClock::true_us_from_local(std::int64_t local_us) const {
+  const double t = (static_cast<double>(local_us) -
+                    static_cast<double>(cfg_.offset.count())) /
+                   (1.0 + cfg_.drift_ppm * 1e-6);
+  return static_cast<std::int64_t>(t >= 0 ? t + 0.5 : t - 0.5);
+}
+
+std::int64_t MachineClock::error_bound_us(std::int64_t horizon_us) const {
+  const std::int64_t off = cfg_.offset.count();
+  const double drift = cfg_.drift_ppm >= 0 ? cfg_.drift_ppm : -cfg_.drift_ppm;
+  const std::int64_t tick = cfg_.tick.count() > 0 ? cfg_.tick.count() : 1;
+  return (off >= 0 ? off : -off) +
+         static_cast<std::int64_t>(drift * 1e-6 *
+                                   static_cast<double>(horizon_us)) +
+         tick;
+}
+
 }  // namespace dpm::sim

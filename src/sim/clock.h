@@ -42,6 +42,17 @@ class MachineClock {
 
   const Config& config() const { return cfg_; }
 
+  /// Inverts the skew model: the true time whose reading is `local_us`.
+  /// Exact up to quantization — |local(true_us_from_local(x)) - x| < tick
+  /// — so analysis ground truth recovered this way is tick-accurate.
+  std::int64_t true_us_from_local(std::int64_t local_us) const;
+
+  /// Worst-case |reading - true time| over true times in [0, horizon]:
+  /// |offset| + |drift| * horizon + tick. Two machines' readings of one
+  /// instant differ by at most the sum of their bounds — the ε the
+  /// predicate detector (analysis/predicates/) is parameterized by.
+  std::int64_t error_bound_us(std::int64_t horizon_us) const;
+
  private:
   std::int64_t skewed_us(std::int64_t true_us) const;
 

@@ -1,0 +1,122 @@
+// Park-TTL soundness on healthy traces: the pairing layer parks receives
+// that arrive ahead of their routing evidence and expels them as gaps
+// (live.gap.*) only after `park_ttl` worth of Lamport progress — a
+// fault-recovery valve. On a *healthy* trace (every connect/accept and
+// send present, nothing lost), the default TTL must never fire: whatever
+// the workload, interleaving, or feed chunking, every parked event drains
+// and the gap count stays zero.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/analysis_testing.h"
+#include "analysis/live/aggregator.h"
+#include "analysis/ordering.h"
+#include "util/rng.h"
+
+namespace dpm::analysis::live {
+namespace {
+
+using dpm::analysis_testing::Stamp;
+using meter::MeterAccept;
+using meter::MeterConnect;
+using meter::MeterRecv;
+using meter::MeterSend;
+using meter::MeterTermProc;
+
+/// Healthy multi-connection workload: like the live-equivalence shape but
+/// deliberately adversarial to the parking path — each connection's
+/// connect/accept records land at a random point of the interleaving
+/// (often *after* traffic they route), and receives may precede their
+/// sends in log order, so events park constantly and must all drain.
+std::vector<std::pair<Stamp, meter::MeterBody>> healthy_workload(
+    util::Rng& rng, int nconns) {
+  std::vector<std::vector<std::pair<Stamp, meter::MeterBody>>> streams;
+  std::int64_t offsets[8];
+  for (auto& o : offsets) o = rng.uniform(-50000, 50000);
+
+  for (int c = 0; c < nconns; ++c) {
+    const auto ma = static_cast<std::uint16_t>(rng.uniform(0, 7));
+    const auto mb = static_cast<std::uint16_t>(rng.uniform(0, 7));
+    const std::int32_t pa = 100 + 2 * c, pb = 101 + 2 * c;
+    const auto sa = static_cast<std::uint64_t>(10 + 2 * c);
+    const auto sb = static_cast<std::uint64_t>(11 + 2 * c);
+    const std::string na = "n" + std::to_string(2 * c);
+    const std::string nb = "n" + std::to_string(2 * c + 1);
+
+    std::vector<std::pair<Stamp, meter::MeterBody>> a_events, b_events;
+    std::int64_t t = rng.uniform(0, 5000);
+    a_events.push_back(
+        {Stamp{ma, t + offsets[ma], 0}, MeterConnect{pa, 0, sa, na, nb}});
+    b_events.push_back({Stamp{mb, t + 200 + offsets[mb], 0},
+                        MeterAccept{pb, 0, 20, sb, nb, na}});
+    const int msgs = static_cast<int>(rng.uniform(1, 24));
+    for (int i = 0; i < msgs; ++i) {
+      t += rng.uniform(100, 2000);
+      a_events.push_back(
+          {Stamp{ma, t + offsets[ma], 0}, MeterSend{pa, 0, sa, 64, ""}});
+      b_events.push_back({Stamp{mb, t + rng.uniform(200, 900) + offsets[mb], 0},
+                          MeterRecv{pb, 0, sb, 64, ""}});
+    }
+    a_events.push_back(
+        {Stamp{ma, t + 3000 + offsets[ma], 0}, MeterTermProc{pa, 0, 0}});
+    b_events.push_back(
+        {Stamp{mb, t + 3200 + offsets[mb], 0}, MeterTermProc{pb, 0, 0}});
+    streams.push_back(std::move(a_events));
+    streams.push_back(std::move(b_events));
+  }
+
+  std::vector<std::pair<Stamp, meter::MeterBody>> out;
+  std::vector<std::size_t> cursor(streams.size(), 0);
+  for (;;) {
+    std::vector<std::size_t> ready;
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+      if (cursor[s] < streams[s].size()) ready.push_back(s);
+    }
+    if (ready.empty()) break;
+    const std::size_t pick = ready[static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(ready.size()) - 1))];
+    out.push_back(streams[pick][cursor[pick]++]);
+  }
+  return out;
+}
+
+class ParkTtlProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParkTtlProperty,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+TEST_P(ParkTtlProperty, DefaultTtlNeverExpelsOnHealthyTraces) {
+  util::Rng rng(GetParam() * 4409);
+  const auto events =
+      healthy_workload(rng, static_cast<int>(rng.uniform(2, 10)));
+  const std::string text = dpm::analysis_testing::trace_text(events);
+  const Ordering ord = order_events(read_trace(text));
+
+  // Feed the same text at several chunk granularities — the TTL sweep
+  // runs inside add_event, so chunking must not change when it fires
+  // (namely: never).
+  for (const std::size_t chunk :
+       {std::size_t{1}, std::size_t{13},
+        static_cast<std::size_t>(rng.uniform(2, 700)), text.size() + 1}) {
+    LiveAnalysis live;  // default LiveConfig: park_ttl = 65536
+    TraceTailer tailer(live);
+    for (std::size_t at = 0; at < text.size(); at += chunk) {
+      tailer.feed(std::string_view(text).substr(at, chunk));
+    }
+    tailer.finish();
+
+    const auto st = live.stats();
+    EXPECT_EQ(st.gaps, 0u) << "chunk=" << chunk;
+    EXPECT_EQ(st.parked, 0u)
+        << "chunk=" << chunk << ": a healthy trace must fully drain";
+    EXPECT_EQ(live.obs().counter("live.gaps").value(), 0u)
+        << "chunk=" << chunk;
+    // With no expulsions, pairing agrees exactly with the batch order.
+    EXPECT_EQ(st.message_pairs, ord.message_pairs) << "chunk=" << chunk;
+  }
+}
+
+}  // namespace
+}  // namespace dpm::analysis::live
