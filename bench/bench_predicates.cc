@@ -21,9 +21,9 @@
 //     its ε cannot back;
 //   * sound ε: possibly recall is ~1 by construction;
 //   * large ε: possibly admits cuts that never overlapped (precision can
-//     drop), and definitely demands >2ε overlap few true states have
+//     drop), and definitely demands >ε overlap few true states have
 //     (definitely recall decays to 0). Sensitivity records the shortest
-//     true occurrence each tier still detected, against the 2ε floor.
+//     true occurrence each tier still detected, against the ε floor.
 //
 // `--smoke` runs the same 3x3 grid on a shorter session and enforces the
 // structural guarantees: definitely ⊆ possibly in every cell, verdicts
@@ -430,11 +430,11 @@ int run(int rounds, bool smoke) {
             static_cast<long long>(t.min_detected_us));
       };
       out << util::strprintf(
-          "        {\"epsilon_us\": %lld, \"theory_floor_2eps_us\": %lld,\n"
+          "        {\"epsilon_us\": %lld, \"theory_floor_us\": %lld,\n"
           "         \"possibly\": %s,\n         \"definitely\": %s,\n"
           "         \"definitely_subset\": %s}%s\n",
           static_cast<long long>(cells[c].eps),
-          static_cast<long long>(2 * cells[c].eps),
+          static_cast<long long>(cells[c].eps),
           tier(cells[c].possibly).c_str(), tier(cells[c].definitely).c_str(),
           cells[c].subset ? "true" : "false", c < 2 ? "," : "");
       std::printf(

@@ -17,6 +17,7 @@ PredicateDetector::PredicateDetector(const filter::Descriptions& desc,
   c_definitely_ = &reg_->counter("pred.verdicts_definitely");
   c_cuts_ = &reg_->counter("pred.lattice_cuts");
   c_capped_ = &reg_->counter("pred.instantiations_capped");
+  c_stamps_dropped_ = &reg_->counter("pred.send_stamps_dropped");
   g_predicates_ = &reg_->gauge("pred.predicates");
   g_insts_ = &reg_->gauge("pred.instantiations");
   g_open_ = &reg_->gauge("pred.open_intervals");
@@ -106,6 +107,7 @@ void PredicateDetector::expand_combos(std::size_t pi, std::size_t pinned,
       }
     }
     ps.insts.push_back(std::move(inst));
+    g_insts_->set(static_cast<std::int64_t>(++insts_total_));
     return;
   }
   if (at == pinned) {
@@ -164,10 +166,33 @@ void PredicateDetector::on_pair(std::size_t send_index,
 void PredicateDetector::on_gap(std::size_t index) {
   if (finished_) return;
   const auto it = pending_.find(index);
-  if (it == pending_.end()) return;
+  if (it == pending_.end()) {
+    // An already-settled send expelled by the pairing TTL: it will never
+    // pair, so its retained stamp is dead weight.
+    drop_send_stamp(index);
+    settle_ready();
+    return;
+  }
   it->second.gap = true;
   candidates_.insert(index);
   settle_ready();
+}
+
+/// Re-queues the receive (if any) parked on `send_index`'s stamp.
+void PredicateDetector::wake_waiter(std::size_t send_index) {
+  const auto it = send_waiters_.find(send_index);
+  if (it == send_waiters_.end()) return;
+  candidates_.insert(it->second);
+  send_waiters_.erase(it);
+}
+
+void PredicateDetector::drop_send_stamp(std::size_t send_index) {
+  const auto it = send_stamps_.find(send_index);
+  if (it == send_stamps_.end()) return;
+  send_stamps_.erase(it);
+  ++stamps_dropped_;
+  c_stamps_dropped_->add(1);
+  wake_waiter(send_index);
 }
 
 void PredicateDetector::finish() {
@@ -181,13 +206,20 @@ void PredicateDetector::finish() {
     bool severed = false;
     for (auto& [idx, pe] : pending_) {
       const auto& q = proc_pending_[pe.e.proc()];
-      if (!q.empty() && q.front() == idx) {
+      if (q.empty() || q.front() != idx) continue;
+      if (pe.e.type == meter::EventType::recv && !pe.gap &&
+          pe.send_index != kNoIndex && send_stamps_.count(pe.send_index)) {
+        // The join is sitting right there (unreachable given waiter
+        // wakeups, but never discard a known causal edge): re-queue the
+        // receive instead of severing it.
+        candidates_.insert(idx);
+      } else {
         pe.gap = true;
         pe.send_index = kNoIndex;
         candidates_.insert(idx);
-        severed = true;
-        break;
       }
+      severed = true;
+      break;
     }
     if (!severed) break;  // no per-process head: bookkeeping bug, don't spin
   }
@@ -207,7 +239,16 @@ void PredicateDetector::settle_ready() {
     const bool is_recv = pe.e.type == meter::EventType::recv;
     if (is_recv && !pe.gap && pe.send_index != kNoIndex &&
         !send_stamps_.count(pe.send_index)) {
-      continue;  // paired, but the send has not settled yet
+      if (pending_.count(pe.send_index)) {
+        // Paired, but the send has not settled yet (it may be blocked
+        // behind its own process's unpaired receive): park as its
+        // waiter — settle() wakes us the moment the stamp lands.
+        send_waiters_[pe.send_index] = idx;
+        continue;
+      }
+      // The send settled without leaving a stamp (expelled by the
+      // pairing TTL or pruned past the stamp cap): the join is
+      // unrecoverable — settle without it rather than wedge the queue.
     }
     if (is_recv && !pe.gap && pe.send_index == kNoIndex) {
       continue;  // unpaired recv: wait for pairing evidence or the TTL
@@ -247,17 +288,19 @@ void PredicateDetector::settle(PendEvent& pe) {
   ++rt.vc[slot];
   std::int64_t msg_l = 0;
   bool new_edge = false;
-  if (e.type == meter::EventType::recv && !pe.gap &&
-      pe.send_index != kNoIndex) {
+  if (e.type == meter::EventType::recv && pe.send_index != kNoIndex) {
     const auto sit = send_stamps_.find(pe.send_index);
     if (sit != send_stamps_.end()) {
-      const SendStamp& ss = sit->second;
-      if (rt.vc.size() < ss.vc.size()) rt.vc.resize(ss.vc.size(), 0);
-      for (std::size_t i = 0; i < ss.vc.size(); ++i) {
-        rt.vc[i] = std::max(rt.vc[i], ss.vc[i]);
+      if (!pe.gap) {
+        const SendStamp& ss = sit->second;
+        if (rt.vc.size() < ss.vc.size()) rt.vc.resize(ss.vc.size(), 0);
+        for (std::size_t i = 0; i < ss.vc.size(); ++i) {
+          rt.vc[i] = std::max(rt.vc[i], ss.vc[i]);
+        }
+        msg_l = ss.hlc_l;
+        new_edge = channels_.insert({ss.proc_slot, slot}).second;
       }
-      msg_l = ss.hlc_l;
-      new_edge = channels_.insert({ss.proc_slot, slot}).second;
+      // Joined or not, the receive is the stamp's only consumer.
       send_stamps_.erase(sit);
     }
   }
@@ -280,7 +323,15 @@ void PredicateDetector::settle(PendEvent& pe) {
   }
 
   if (e.type == meter::EventType::send) {
-    send_stamps_[pe.index] = SendStamp{rt.vc, rt.hlc_l, slot};
+    // A gap send was expelled by the pairing TTL and will never pair;
+    // recording its stamp would only leak it.
+    if (!pe.gap) {
+      send_stamps_[pe.index] = SendStamp{rt.vc, rt.hlc_l, slot};
+      while (send_stamps_.size() > cfg_.max_send_stamps) {
+        drop_send_stamp(send_stamps_.begin()->first);
+      }
+    }
+    wake_waiter(pe.index);
   }
 
   ++settled_;
@@ -413,7 +464,10 @@ void PredicateDetector::check_instantiation(PredState& ps,
                                             Instantiation& inst) {
   const std::size_t n = inst.trackers.size();
   std::vector<const Interval*> heads(n);
-  const std::int64_t slack = 2 * cfg_.epsilon_us;
+  // ε bounds any pair of machines' readings of one instant, so relative
+  // to any reference clock every offset lives in one window of width ε:
+  // the worst the adversary can do to an overlap is ε, not 2ε.
+  const std::int64_t slack = cfg_.epsilon_us;
   for (;;) {
     for (std::size_t i = 0; i < n; ++i) {
       Tracker& t = inst.trackers[i];
@@ -424,7 +478,7 @@ void PredicateDetector::check_instantiation(PredState& ps,
     c_cuts_->add(1);
 
     // Pairwise exclusion: interval i "dead before" interval j when it is
-    // happens-before j's start, or ends more than 2ε (of local clock)
+    // happens-before j's start, or ends more than ε (of local clock)
     // before j starts — no skew assignment within ε can overlap them.
     std::size_t pop_i = SIZE_MAX;
     bool excluded = false;
@@ -464,8 +518,7 @@ void PredicateDetector::check_instantiation(PredState& ps,
       max_lo = std::max(max_lo, heads[i]->lo_l);
       min_hi = std::min(min_hi, heads[i]->hi_l);
     }
-    // definitely: the overlap survives every skew assignment within ε —
-    // shrink each interval by ε on both sides and it is still nonempty.
+    // definitely: the overlap survives every skew assignment within ε.
     const bool definite = max_lo + slack <= min_hi;
 
     const bool fresh_sig = sig != inst.last_sig;
@@ -591,6 +644,8 @@ PredicateDetector::Stats PredicateDetector::stats() const {
   }
   s.cuts_examined = c_cuts_->value();
   s.capped_instantiations = capped_;
+  s.send_stamps = send_stamps_.size();
+  s.send_stamps_dropped = stamps_dropped_;
   return s;
 }
 

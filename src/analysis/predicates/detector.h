@@ -6,7 +6,15 @@
 //   * A *settled frontier* replays events in trace order, holding a
 //     receive back until its matching send is known (or the pairing
 //     layer expelled it as a gap) — so when an event settles, every
-//     happens-before edge into it is final.
+//     happens-before edge into it is final. A receive whose matched
+//     send has not settled yet registers as that send's *waiter* and is
+//     woken the moment the send's stamp is recorded, so a send blocked
+//     behind its own process's unpaired receive can never wedge the
+//     receiver's process. Send stamps are retained only until their
+//     receive settles (join or gap), are pruned when the pairing TTL
+//     expels the send itself, and are capped (lowest trace index
+//     evicted first) — a waiter of an evicted stamp settles without the
+//     join rather than stall.
 //   * Per process it maintains a vector clock (exact happens-before:
 //     receives join their send's clock), a hybrid logical clock
 //     (l = max(l, local_reading, sender_l); the HLC never runs behind
@@ -22,11 +30,15 @@
 //
 //       possibly(P):  no pair ordered by happens-before, and every pair
 //                     of intervals can overlap once readings are
-//                     widened by 2ε;
+//                     widened by ε;
 //       definitely(P): possibly's conditions, and the latest start plus
-//                     2ε still precedes the earliest end — the overlap
+//                     ε still precedes the earliest end — the overlap
 //                     survives any skew assignment within ε, so every
-//                     run through the lattice passes through it.
+//                     run through the lattice passes through it. (ε
+//                     bounds any *pair* of readings of one instant, so
+//                     all per-machine offsets against any one reference
+//                     clock live in a window of width ε — shifting
+//                     starts up and ends down can cost at most ε.)
 //
 //     definitely(P) ⊆ possibly(P) holds structurally: a definite verdict
 //     is only ever emitted on a cut that already passed the possibly
@@ -65,6 +77,13 @@ struct DetectorConfig {
   std::size_t max_instantiations = 64;
   /// Cap on retained (not yet consumed) verdicts.
   std::size_t max_verdicts = 4096;
+  /// Cap on retained send stamps (sends settled but whose receive has
+  /// not). Stamps normally die when the receive settles or the pairing
+  /// TTL expels the send; the cap bounds the residue of sends whose
+  /// receive never produces either signal in a long-running session.
+  /// Past it the lowest-index stamp is dropped (its receive, if it ever
+  /// settles, joins nothing — counted in pred.send_stamps_dropped).
+  std::size_t max_send_stamps = 65536;
 };
 
 class PredicateDetector : public live::LiveObserver {
@@ -140,6 +159,8 @@ class PredicateDetector : public live::LiveObserver {
     std::uint64_t verdicts_possibly = 0;
     std::uint64_t verdicts_definitely = 0;
     std::size_t capped_instantiations = 0;
+    std::size_t send_stamps = 0;          // retained, awaiting their recv
+    std::size_t send_stamps_dropped = 0;  // pruned (TTL gap / cap / no recv)
   };
   Stats stats() const;
 
@@ -218,6 +239,8 @@ class PredicateDetector : public live::LiveObserver {
 
   void settle_ready();
   void settle(PendEvent& pe);
+  void wake_waiter(std::size_t send_index);
+  void drop_send_stamp(std::size_t send_index);
   std::size_t proc_slot(const ProcKey& key);
   void bind_one(std::size_t pred_index, std::size_t slot);
   void expand_combos(std::size_t pred_index, std::size_t pinned,
@@ -249,11 +272,16 @@ class PredicateDetector : public live::LiveObserver {
   std::map<ProcKey, std::deque<std::size_t>> proc_pending_;
   std::set<std::size_t> candidates_;  // settle-eligible (to re-verify)
   std::map<std::size_t, SendStamp> send_stamps_;
+  /// send index -> receive index parked on its stamp; woken (re-inserted
+  /// into candidates_) when the send settles or its stamp is dropped.
+  std::map<std::size_t, std::size_t> send_waiters_;
   std::set<std::pair<std::size_t, std::size_t>> channels_;  // settled edges
   std::size_t settled_ = 0;
   std::size_t events_seen_ = 0;
   std::int64_t frontier_l_ = 0;     // max HLC l over settled events
   std::size_t capped_ = 0;
+  std::size_t insts_total_ = 0;     // instantiations across all predicates
+  std::size_t stamps_dropped_ = 0;
   bool finished_ = false;
 
   std::deque<Verdict> verdicts_;
@@ -264,6 +292,7 @@ class PredicateDetector : public live::LiveObserver {
   obs::Counter* c_definitely_ = nullptr;
   obs::Counter* c_cuts_ = nullptr;
   obs::Counter* c_capped_ = nullptr;
+  obs::Counter* c_stamps_dropped_ = nullptr;
   obs::Gauge* g_predicates_ = nullptr;
   obs::Gauge* g_insts_ = nullptr;
   obs::Gauge* g_open_ = nullptr;

@@ -521,12 +521,13 @@ void Controller::cmd_predicate(const std::string& rest) {
     const auto s = det.stats();
     emit(util::strprintf(
         "events=%zu settled=%zu unsettled=%zu predicates=%zu insts=%zu "
-        "open=%zu cuts=%llu possibly=%llu definitely=%llu capped=%zu\n",
+        "open=%zu cuts=%llu possibly=%llu definitely=%llu capped=%zu "
+        "stamps=%zu stamps_dropped=%zu\n",
         s.events, s.settled, s.unsettled, s.predicates, s.instantiations,
         s.open_intervals, static_cast<unsigned long long>(s.cuts_examined),
         static_cast<unsigned long long>(s.verdicts_possibly),
         static_cast<unsigned long long>(s.verdicts_definitely),
-        s.capped_instantiations));
+        s.capped_instantiations, s.send_stamps, s.send_stamps_dropped));
   } else {
     emit(
         "usage: predicate add <name>: <spec>\n"

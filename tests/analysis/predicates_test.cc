@@ -1,9 +1,10 @@
 // Predicate DSL and online detector: spec parsing/compilation against the
 // standard descriptions, and hand-built trace scenarios through
 // LiveAnalysis + PredicateDetector — concurrent state overlap yields
-// possibly (and definitely when the overlap survives 2ε), happens-before
+// possibly (and definitely when the overlap survives ε), happens-before
 // edges exclude ordered intervals, reach conjuncts gate on settled
-// channels, and wildcard selectors instantiate per observed process.
+// channels, wildcard selectors instantiate per observed process, and the
+// settled frontier neither wedges on pairing races nor leaks send stamps.
 #include <gtest/gtest.h>
 
 #include "analysis/analysis_testing.h"
@@ -148,7 +149,7 @@ TEST(PredicateDetectorTest, ConcurrentOverlapYieldsPossiblyThenDefinitely) {
       concurrent_overlap(), "w: @0:* type=recvcall & @1:* type=recvcall",
       /*eps=*/100, &st, &status);
 
-  // The overlap [1500,3000] is 1500us wide, far beyond 2ε=200: the cut is
+  // The overlap [1500,3000] is 1500us wide, far beyond ε=100: the cut is
   // first witnessed as possibly (while B's interval is still open), then
   // upgraded to definitely once both ends are known.
   ASSERT_EQ(verdicts.size(), 2u);
@@ -172,12 +173,12 @@ TEST(PredicateDetectorTest, ConcurrentOverlapYieldsPossiblyThenDefinitely) {
 }
 
 TEST(PredicateDetectorTest, WideEpsilonDowngradesDefinitelyToPossibly) {
-  // With ε=1000 the 1500us overlap no longer survives every skew
-  // assignment (max_lo + 2ε = 3500 > min_hi = 3000): possibly still
+  // With ε=2000 the 1500us overlap no longer survives every skew
+  // assignment (max_lo + ε = 3500 > min_hi = 3000): possibly still
   // fires, definitely must not.
   const auto verdicts = run_detector(
       concurrent_overlap(), "w: @0:* type=recvcall & @1:* type=recvcall",
-      /*eps=*/1000);
+      /*eps=*/2000);
   ASSERT_EQ(verdicts.size(), 1u);
   EXPECT_EQ(verdicts[0].kind, PredicateDetector::VerdictKind::possibly);
 }
@@ -205,7 +206,7 @@ TEST(PredicateDetectorTest, HappensBeforeExclusionSuppressesVerdicts) {
                   .empty());
 
   // The same local timings without the message are merely time-separated:
-  // widening by 2ε=20000 overlaps them, so possibly fires. (B's opening
+  // widening by ε=10000 overlaps them, so possibly fires. (B's opening
   // sockcrt binds it before A's interval — an instantiation only tracks
   // intervals from its binding on.)
   const Events unordered = {
@@ -225,7 +226,7 @@ TEST(PredicateDetectorTest, HappensBeforeExclusionSuppressesVerdicts) {
 }
 
 TEST(PredicateDetectorTest, TimeExclusionSuppressesAtSmallEpsilon) {
-  // Same separated intervals, ε=100: A ends (3000) more than 2ε before B
+  // Same separated intervals, ε=100: A ends (3000) more than ε before B
   // starts (5000), so no skew assignment overlaps them. B binds early so
   // A's interval is actually tracked and the exclusion logic (not a
   // missing binding) is what suppresses the verdict.
@@ -278,7 +279,7 @@ TEST(PredicateDetectorTest, WildcardSelectorInstantiatesPerProcess) {
                                      "any: @* type=recvcall",
                                      /*eps=*/100, &st);
   // One instantiation per observed process; each interval is 2000us wide,
-  // beyond 2ε, so each process gets possibly + definitely.
+  // beyond ε, so each process gets possibly + definitely.
   EXPECT_EQ(st.instantiations, 2u);
   EXPECT_EQ(st.verdicts_possibly, 2u);
   EXPECT_EQ(st.verdicts_definitely, 2u);
@@ -312,6 +313,136 @@ TEST(PredicateDetectorTest, UnmatchedReceiveSettlesOnFinish) {
   EXPECT_EQ(det.stats().settled, 2u);
   EXPECT_EQ(det.stats().unsettled, 0u);
   EXPECT_EQ(det.stats().verdicts_possibly, 1u);
+}
+
+/// A's send at 4000 is blocked behind an earlier unpaired receive on A
+/// (sock 9 never joins — delayed meter chunks); B's receive at 4500 pairs
+/// with that send. A's recvcall interval [1000,3000] is hb-ordered before
+/// B's [5000,5500] through the message, so with the join intact no ε can
+/// produce a verdict.
+Events blocked_send_chain() {
+  return {
+      {Stamp{0, 300, 0}, MeterConnect{100, 0, 10, "na", "nb"}},
+      {Stamp{1, 350, 0}, MeterAccept{101, 0, 20, 11, "nb", "na"}},
+      {Stamp{0, 500, 0}, MeterRecv{100, 0, 9, 32, ""}},
+      {Stamp{0, 1000, 0}, MeterRecvCall{100, 0, 10}},
+      {Stamp{0, 3000, 0}, MeterSockCrt{100, 0, 50, 2, 1, 0}},
+      {Stamp{0, 4000, 0}, MeterSend{100, 0, 10, 32, ""}},
+      {Stamp{1, 4500, 0}, MeterRecv{101, 0, 11, 32, ""}},
+      {Stamp{1, 5000, 0}, MeterRecvCall{101, 0, 11}},
+      {Stamp{1, 5500, 0}, MeterSockCrt{101, 0, 51, 2, 1, 0}},
+      // Filler keeps Lamport progress advancing so a park TTL can expire
+      // within the trace.
+      {Stamp{1, 5600, 0}, MeterSockCrt{101, 0, 52, 2, 1, 0}},
+      {Stamp{1, 5700, 0}, MeterSockCrt{101, 0, 53, 2, 1, 0}},
+      {Stamp{1, 5800, 0}, MeterSockCrt{101, 0, 54, 2, 1, 0}},
+      {Stamp{0, 6000, 0}, MeterTermProc{100, 0, 0}},
+      {Stamp{1, 6500, 0}, MeterTermProc{101, 0, 0}},
+  };
+}
+
+TEST(PredicateDetectorTest, SettledSendWakesItsWaitingReceive) {
+  // When the pairing TTL expels A's stuck receive, A's send settles — and
+  // must wake B's waiting receive: the whole trace settles *live* (no
+  // finish() needed), the message edge is joined (so the hb-ordered
+  // intervals yield nothing even at a huge ε), and the consumed send
+  // stamp is reclaimed. The TTL is sized so the expulsion lands *after*
+  // B's receive has been announced as paired (the lost-wakeup shape) but
+  // before the trace ends.
+  live::LiveConfig lcfg;
+  lcfg.park_ttl = 4;
+  live::LiveAnalysis live(lcfg);
+  PredicateDetector det(desc(), DetectorConfig{.epsilon_us = 10000});
+  live.add_observer(&det);
+  std::string err;
+  ASSERT_TRUE(det.add_predicate("w: @0:* type=recvcall & @1:* type=recvcall",
+                                &err))
+      << err;
+  const Trace tr = dpm::analysis_testing::make_trace(blocked_send_chain());
+  for (const Event& e : tr.events) live.add_event(e);
+
+  const auto st = det.stats();
+  EXPECT_EQ(st.settled, tr.events.size());
+  EXPECT_EQ(st.unsettled, 0u);
+  EXPECT_EQ(st.send_stamps, 0u);
+
+  det.finish();
+  EXPECT_TRUE(det.take_verdicts().empty());
+}
+
+TEST(PredicateDetectorTest, FinishJoinsWaitingReceiveInsteadOfSevering) {
+  // Same chain with the TTL never firing: everything behind A's unpaired
+  // receive is still buffered at finish(). Severing that one head must
+  // cascade into real settlements — A's send records its stamp, B's
+  // waiting receive joins it — rather than severing B's receive too and
+  // dropping the happens-before edge (which would emit a bogus possibly).
+  live::LiveAnalysis live;
+  PredicateDetector det(desc(), DetectorConfig{.epsilon_us = 10000});
+  live.add_observer(&det);
+  std::string err;
+  ASSERT_TRUE(det.add_predicate("w: @0:* type=recvcall & @1:* type=recvcall",
+                                &err))
+      << err;
+  const Trace tr = dpm::analysis_testing::make_trace(blocked_send_chain());
+  for (const Event& e : tr.events) live.add_event(e);
+  EXPECT_GT(det.stats().unsettled, 0u);
+
+  det.finish();
+  const auto st = det.stats();
+  EXPECT_EQ(st.settled, tr.events.size());
+  EXPECT_EQ(st.unsettled, 0u);
+  EXPECT_TRUE(det.take_verdicts().empty());
+}
+
+TEST(PredicateDetectorTest, SendStampsArePrunedAndBounded) {
+  // A datagram send whose destination name never resolves settles (and
+  // stamps) immediately, then is expelled by the pairing TTL: the gap
+  // notification must reclaim the stamp it left behind.
+  {
+    live::LiveConfig lcfg;
+    lcfg.park_ttl = 2;
+    live::LiveAnalysis live(lcfg);
+    PredicateDetector det(desc(), DetectorConfig{.epsilon_us = 100});
+    live.add_observer(&det);
+    std::string err;
+    ASSERT_TRUE(det.add_predicate("p: @0:* type=send", &err)) << err;
+    const Trace tr = dpm::analysis_testing::make_trace({
+        {Stamp{0, 100, 0}, MeterSend{100, 0, 9, 32, "nowhere"}},
+        // Unrelated progress on another machine drives the TTL sweep.
+        {Stamp{1, 200, 0}, MeterSockCrt{101, 0, 51, 2, 1, 0}},
+        {Stamp{1, 300, 0}, MeterSockCrt{101, 0, 52, 2, 1, 0}},
+        {Stamp{1, 400, 0}, MeterSockCrt{101, 0, 53, 2, 1, 0}},
+        {Stamp{1, 500, 0}, MeterSockCrt{101, 0, 54, 2, 1, 0}},
+        {Stamp{1, 600, 0}, MeterSockCrt{101, 0, 55, 2, 1, 0}},
+    });
+    for (const Event& e : tr.events) live.add_event(e);
+    EXPECT_EQ(det.stats().send_stamps, 0u);
+    EXPECT_GE(det.stats().send_stamps_dropped, 1u);
+  }
+
+  // Stream sends whose receives never arrive leave no reclamation signal
+  // at all: the cap keeps the retained stamps bounded.
+  {
+    live::LiveAnalysis live;
+    PredicateDetector det(
+        desc(), DetectorConfig{.epsilon_us = 100, .max_send_stamps = 2});
+    live.add_observer(&det);
+    std::string err;
+    ASSERT_TRUE(det.add_predicate("p: @0:* type=send", &err)) << err;
+    const Trace tr = dpm::analysis_testing::make_trace({
+        {Stamp{0, 100, 0}, MeterConnect{100, 0, 10, "na", "nb"}},
+        {Stamp{1, 150, 0}, MeterAccept{101, 0, 20, 11, "nb", "na"}},
+        {Stamp{0, 1000, 0}, MeterSend{100, 0, 10, 32, ""}},
+        {Stamp{0, 2000, 0}, MeterSend{100, 0, 10, 32, ""}},
+        {Stamp{0, 3000, 0}, MeterSend{100, 0, 10, 32, ""}},
+        {Stamp{0, 4000, 0}, MeterSend{100, 0, 10, 32, ""}},
+        {Stamp{0, 5000, 0}, MeterSend{100, 0, 10, 32, ""}},
+    });
+    for (const Event& e : tr.events) live.add_event(e);
+    const auto st = det.stats();
+    EXPECT_EQ(st.send_stamps, 2u);
+    EXPECT_EQ(st.send_stamps_dropped, 3u);
+  }
 }
 
 TEST(PredicateDetectorTest, RejectsDuplicateNamesAndBadSpecs) {
